@@ -1,0 +1,60 @@
+//! Criterion benches for the design-choice ablations DESIGN.md calls
+//! out: generic vs accelerated mode, interrupt cost, piggyback threshold,
+//! Catamount vs Linux bridges, and exhaustion policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xt3_netpipe::runner::{latency_curve, run_curve, NetpipeConfig, TestKind, Transport};
+use xt3_netpipe::Schedule;
+use xt3_seastar::cost::CostModel;
+use xt3_sim::SimTime;
+
+fn tiny_config() -> NetpipeConfig {
+    let mut c = NetpipeConfig::paper_latency();
+    c.schedule = Schedule::standard(64, 0);
+    for p in &mut c.schedule.points {
+        p.reps = 6;
+    }
+    c
+}
+
+fn mode_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mode");
+    for accel in [false, true] {
+        let mut cfg = tiny_config();
+        cfg.accelerated = accel;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if accel { "accelerated" } else { "generic" }),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(run_curve(cfg, Transport::Put, TestKind::PingPong))),
+        );
+    }
+    group.finish();
+}
+
+fn interrupt_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interrupt_cost");
+    for ns in [0u64, 2000, 4000] {
+        let mut cfg = tiny_config();
+        cfg.cost = CostModel::paper().with_interrupt_cost(SimTime::from_ns(ns));
+        group.bench_with_input(BenchmarkId::from_parameter(ns), &cfg, |b, cfg| {
+            b.iter(|| black_box(latency_curve(cfg, Transport::Put, TestKind::PingPong)))
+        });
+    }
+    group.finish();
+}
+
+fn piggyback_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("piggyback_max");
+    for limit in [0u32, 12, 32] {
+        let mut cfg = tiny_config();
+        cfg.cost = CostModel::paper().with_piggyback_max(limit);
+        group.bench_with_input(BenchmarkId::from_parameter(limit), &cfg, |b, cfg| {
+            b.iter(|| black_box(latency_curve(cfg, Transport::Put, TestKind::PingPong)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablations, mode_ablation, interrupt_ablation, piggyback_ablation);
+criterion_main!(ablations);

@@ -1,0 +1,55 @@
+//! Criterion benches: one per paper figure. Each bench runs the full
+//! simulation sweep that regenerates the figure (reduced size domain so a
+//! bench iteration stays in the tens of milliseconds) and asserts nothing
+//! — wall-clock tracking of the reproduction harness itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xt3_netpipe::runner::{bandwidth_curve, latency_curve, NetpipeConfig, TestKind, Transport};
+use xt3_netpipe::Schedule;
+
+fn bench_config(max: u64) -> NetpipeConfig {
+    let mut c = NetpipeConfig::paper();
+    c.schedule = Schedule::standard(max, 0);
+    for p in &mut c.schedule.points {
+        p.reps = p.reps.min(8);
+    }
+    c
+}
+
+fn fig4(c: &mut Criterion) {
+    let config = bench_config(1 << 10);
+    c.bench_function("fig4_latency_put_curve", |b| {
+        b.iter(|| black_box(latency_curve(&config, Transport::Put, TestKind::PingPong)))
+    });
+    c.bench_function("fig4_latency_mpich1_curve", |b| {
+        b.iter(|| black_box(latency_curve(&config, Transport::Mpich1, TestKind::PingPong)))
+    });
+}
+
+fn fig5(c: &mut Criterion) {
+    let config = bench_config(1 << 20);
+    c.bench_function("fig5_unidir_put_curve", |b| {
+        b.iter(|| black_box(bandwidth_curve(&config, Transport::Put, TestKind::PingPong)))
+    });
+    c.bench_function("fig5_unidir_get_curve", |b| {
+        b.iter(|| black_box(bandwidth_curve(&config, Transport::Get, TestKind::PingPong)))
+    });
+}
+
+fn fig6(c: &mut Criterion) {
+    let config = bench_config(1 << 20);
+    c.bench_function("fig6_stream_put_curve", |b| {
+        b.iter(|| black_box(bandwidth_curve(&config, Transport::Put, TestKind::Stream)))
+    });
+}
+
+fn fig7(c: &mut Criterion) {
+    let config = bench_config(1 << 20);
+    c.bench_function("fig7_bidir_put_curve", |b| {
+        b.iter(|| black_box(bandwidth_curve(&config, Transport::Put, TestKind::Bidir)))
+    });
+}
+
+criterion_group!(figures, fig4, fig5, fig6, fig7);
+criterion_main!(figures);

@@ -1,0 +1,124 @@
+//! Micro-benchmarks of the substrate itself: the DES engine's event
+//! throughput, Portals matching, routing-table construction and fabric
+//! transport — the pieces whose performance bounds every figure sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xt3_portals::header::PortalsHeader;
+use xt3_portals::library::{DeliverOutcome, PortalsLib};
+use xt3_portals::md::{MdOptions, Threshold};
+use xt3_portals::me::{InsertPos, UnlinkOp};
+use xt3_portals::types::{AckReq, MdHandle, NiLimits, ProcessId};
+use xt3_sim::{Engine, EventQueue, Model, SimTime};
+use xt3_topology::coord::{Dims, NodeId};
+use xt3_topology::fabric::{Fabric, FabricConfig, NetMessage};
+use xt3_topology::route::RoutingTable;
+
+struct Ring(u32);
+impl Model for Ring {
+    type Event = u32;
+    fn dispatch(&mut self, now: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+        if ev > 0 {
+            q.schedule_at(now + SimTime::NS, ev - 1);
+        }
+        self.0 += 1;
+    }
+}
+
+fn des_engine(c: &mut Criterion) {
+    c.bench_function("des_dispatch_100k_events", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(Ring(0));
+            e.queue_mut().schedule_at(SimTime::ZERO, 100_000);
+            e.run();
+            black_box(e.model().0)
+        })
+    });
+}
+
+fn matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portals_match");
+    for depth in [1usize, 16, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let mut lib = PortalsLib::new(ProcessId::new(1, 0), NiLimits::default());
+            // `depth` non-matching entries ahead of the matching one.
+            for i in 0..depth {
+                let me = lib
+                    .me_attach(0, ProcessId::any(), i as u64 + 1000, 0, UnlinkOp::Retain, InsertPos::After)
+                    .unwrap();
+                lib.md_attach(me, 1 << 20, 0, 64, MdOptions::put_target(), Threshold::Infinite, None, 0)
+                    .unwrap();
+            }
+            let me = lib
+                .me_attach(0, ProcessId::any(), 42, 0, UnlinkOp::Retain, InsertPos::After)
+                .unwrap();
+            lib.md_attach(
+                me,
+                1 << 20,
+                0,
+                1 << 16,
+                MdOptions {
+                    manage_remote: true,
+                    ..MdOptions::put_target()
+                },
+                Threshold::Infinite,
+                None,
+                0,
+            )
+            .unwrap();
+            let hdr = PortalsHeader::put(
+                ProcessId::new(0, 0),
+                ProcessId::new(1, 0),
+                0,
+                0,
+                42,
+                64,
+                0,
+                AckReq::NoAck,
+                0,
+                MdHandle { index: 0, generation: 0 },
+            );
+            b.iter(|| match lib.match_incoming(black_box(&hdr)) {
+                DeliverOutcome::Matched(t) => black_box(t.mlength),
+                _ => panic!("must match"),
+            })
+        });
+    }
+    group.finish();
+}
+
+fn routing(c: &mut Criterion) {
+    c.bench_function("routing_table_build_redstorm_small", |b| {
+        b.iter(|| black_box(RoutingTable::build(Dims::red_storm(8, 8, 8))))
+    });
+    let rt = RoutingTable::build(Dims::red_storm(16, 16, 24));
+    c.bench_function("routing_path_cross_machine", |b| {
+        b.iter(|| black_box(rt.path(NodeId(0), NodeId(16 * 16 * 24 - 1))))
+    });
+}
+
+fn fabric(c: &mut Criterion) {
+    c.bench_function("fabric_send_1k_messages", |b| {
+        b.iter(|| {
+            let mut f = Fabric::new(Dims::red_storm(4, 4, 4), FabricConfig::default());
+            let mut last = SimTime::ZERO;
+            for i in 0..1000u64 {
+                let d = f.send(
+                    last,
+                    NetMessage {
+                        src: NodeId((i % 64) as u32),
+                        dst: NodeId(((i * 7) % 64) as u32),
+                        payload_bytes: 1024,
+                        tag: i,
+                        body: (),
+                    },
+                );
+                last = d.header_at;
+            }
+            black_box(last)
+        })
+    });
+}
+
+criterion_group!(micro, des_engine, matching, routing, fabric);
+criterion_main!(micro);

@@ -1,0 +1,52 @@
+//! Ablation: the MPI eager/rendezvous threshold.
+//!
+//! The personalities ship with a 128 KB eager limit. This sweep shows the
+//! protocol tradeoff the threshold navigates: eager pays a bounce-buffer
+//! copy on the unexpected path but completes in one traversal; rendezvous
+//! adds an RTS round trip and a get, but moves payload exactly once.
+
+use xt3_mpi::Personality;
+use xt3_netpipe::mpi::MpiPattern;
+use xt3_netpipe::runner::{run_mpi, NetpipeConfig};
+use xt3_netpipe::{Schedule, SizePoint};
+
+fn main() {
+    let sizes = [16u64 << 10, 64 << 10, 128 << 10, 256 << 10, 1 << 20];
+    let thresholds = [0u64, 16 << 10, 128 << 10, 8 << 20];
+
+    println!("MPI ping-pong latency (us) by eager threshold (rows: message size)\n");
+    print!("{:>10}", "bytes");
+    for t in thresholds {
+        if t == 0 {
+            print!("{:>16}", "all-rdzv");
+        } else if t >= 8 << 20 {
+            print!("{:>16}", "all-eager");
+        } else {
+            print!("{:>13}KB-e", t >> 10);
+        }
+    }
+    println!();
+
+    for size in sizes {
+        print!("{size:>10}");
+        for threshold in thresholds {
+            let personality = Personality {
+                eager_max: threshold,
+                ..Personality::mpich1()
+            };
+            let mut config = NetpipeConfig::paper();
+            config.schedule = Schedule {
+                points: vec![SizePoint { size, reps: 10 }],
+            };
+            let (rounds, _) = run_mpi(&config, MpiPattern::PingPong, personality);
+            let lat = rounds.first().map(|r| r.latency_us()).unwrap_or(f64::NAN);
+            print!("{lat:>16.2}");
+        }
+        println!();
+    }
+    println!(
+        "\nRendezvous adds the RTS round trip (visible at small sizes); eager \n\
+         saves it but the crossover narrows as transfer time dominates — the\n\
+         reason both 2005 MPI stacks picked a threshold in the 100 KB range."
+    );
+}

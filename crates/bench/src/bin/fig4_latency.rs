@@ -1,0 +1,49 @@
+//! Regenerate Figure 4 (latency performance, 1 B – 1 KB) and the §6
+//! headline latency table.
+//!
+//! Usage: `fig4_latency [--table] [--quick]`
+
+use xt3_bench::{figure4, save_json};
+use xt3_netpipe::reference as r;
+use xt3_netpipe::runner::{latency_curve, NetpipeConfig, TestKind, Transport};
+use xt3_netpipe::Schedule;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let table_only = args.iter().any(|a| a == "--table");
+    let quick = args.iter().any(|a| a == "--quick");
+
+    if table_only {
+        let mut config = NetpipeConfig::paper_latency();
+        config.schedule = Schedule::standard(16, 0);
+        println!("Table: 1-byte latency (paper §6)");
+        println!("{:<14} {:>12} {:>12} {:>8}", "curve", "model (us)", "paper (us)", "err %");
+        for (t, paper) in [
+            (Transport::Put, r::latency_1b::PUT_US),
+            (Transport::Get, r::latency_1b::GET_US),
+            (Transport::Mpich1, r::latency_1b::MPICH1_US),
+            (Transport::Mpich2, r::latency_1b::MPICH2_US),
+        ] {
+            let s = latency_curve(&config, t, TestKind::PingPong);
+            let got = s.points[0].y;
+            println!(
+                "{:<14} {got:>12.3} {paper:>12.3} {:>8.2}",
+                t.label(),
+                (got - paper) / paper * 100.0
+            );
+        }
+        return;
+    }
+
+    let config = if quick {
+        NetpipeConfig::quick(1 << 10)
+    } else {
+        NetpipeConfig::paper_latency()
+    };
+    let fig = figure4(&config);
+    println!("{}", fig.render_ascii(72, 20));
+    println!("{}", fig.render_table());
+    if let Ok(p) = save_json("fig4_latency", &fig) {
+        println!("JSON written to {}", p.display());
+    }
+}

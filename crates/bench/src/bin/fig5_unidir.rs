@@ -1,0 +1,21 @@
+//! Regenerate Figure 5 by running the full NetPIPE bandwidth sweep.
+//!
+//! Usage: `fig5_unidir [--quick]`
+
+use xt3_bench::{figure5, save_json};
+use xt3_netpipe::runner::NetpipeConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        NetpipeConfig::quick(1 << 20)
+    } else {
+        NetpipeConfig::paper()
+    };
+    let fig = figure5(&config);
+    println!("{}", fig.render_ascii(72, 20));
+    println!("{}", fig.render_table());
+    if let Ok(p) = save_json("fig5_unidir", &fig) {
+        println!("JSON written to {}", p.display());
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerate Figure 6 by running the full NetPIPE bandwidth sweep.
+//!
+//! Usage: `fig6_stream [--quick]`
+
+use xt3_bench::{figure6, save_json};
+use xt3_netpipe::runner::NetpipeConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        NetpipeConfig::quick(1 << 20)
+    } else {
+        NetpipeConfig::paper()
+    };
+    let fig = figure6(&config);
+    println!("{}", fig.render_ascii(72, 20));
+    println!("{}", fig.render_table());
+    if let Ok(p) = save_json("fig6_stream", &fig) {
+        println!("JSON written to {}", p.display());
+    }
+}

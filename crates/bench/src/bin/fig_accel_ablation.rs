@@ -1,0 +1,66 @@
+//! Ablation: generic mode vs accelerated mode (the paper's §3.3 future
+//! work, implemented here) and the interrupt-cost sweep the paper
+//! motivates ("it will be necessary to eliminate all interrupts from the
+//! data path").
+
+use xt3_netpipe::report::FigureData;
+use xt3_netpipe::runner::{latency_curve, NetpipeConfig, TestKind, Transport};
+use xt3_netpipe::Schedule;
+use xt3_seastar::cost::CostModel;
+use xt3_sim::SimTime;
+
+fn main() {
+    // Curve 1: generic vs accelerated latency over the Fig. 4 domain.
+    let mut generic = NetpipeConfig::paper_latency();
+    generic.schedule = Schedule::standard(1 << 10, 3);
+    let mut accel = generic.clone();
+    accel.accelerated = true;
+
+    let mut fig = FigureData {
+        title: "Ablation: generic vs accelerated mode (projected)".into(),
+        y_label: "us".into(),
+        series: vec![],
+    };
+    let mut g = latency_curve(&generic, Transport::Put, TestKind::PingPong);
+    g.label = "put (generic)".into();
+    let mut a = latency_curve(&accel, Transport::Put, TestKind::PingPong);
+    a.label = "put (accelerated)".into();
+    fig.series.push(g);
+    fig.series.push(a);
+    println!("{}", fig.render_ascii(72, 18));
+
+    let g1 = fig.series[0].points[0].y;
+    let a1 = fig.series[1].points[0].y;
+    println!(
+        "1-byte latency: generic {g1:.2} us -> accelerated {a1:.2} us ({:.1}% reduction)\n",
+        (1.0 - a1 / g1) * 100.0
+    );
+
+    // Curve 2: interrupt-cost sweep (how much of generic-mode latency is
+    // interrupt processing, §6).
+    println!("Interrupt-cost sweep (generic mode, 1-byte put):");
+    println!("{:>16} {:>14}", "interrupt (us)", "latency (us)");
+    for int_ns in [0u64, 500, 1000, 2000, 3000, 4000] {
+        let mut c = NetpipeConfig::paper_latency();
+        c.schedule = Schedule::standard(4, 0);
+        c.cost = CostModel::paper().with_interrupt_cost(SimTime::from_ns(int_ns));
+        let lat = latency_curve(&c, Transport::Put, TestKind::PingPong).points[0].y;
+        println!("{:>16.1} {lat:>14.3}", int_ns as f64 / 1000.0);
+    }
+
+    // Curve 3: piggyback threshold sweep (the §6 12-byte optimization).
+    println!("\nPiggyback threshold sweep (latency at 8 B / 32 B):");
+    println!("{:>12} {:>12} {:>12}", "limit (B)", "8 B (us)", "32 B (us)");
+    for limit in [0u32, 12, 32] {
+        let mut c = NetpipeConfig::paper_latency();
+        c.schedule = Schedule {
+            points: vec![
+                xt3_netpipe::SizePoint { size: 8, reps: 30 },
+                xt3_netpipe::SizePoint { size: 32, reps: 30 },
+            ],
+        };
+        c.cost = CostModel::paper().with_piggyback_max(limit);
+        let s = latency_curve(&c, Transport::Put, TestKind::PingPong);
+        println!("{limit:>12} {:>12.3} {:>12.3}", s.points[0].y, s.points[1].y);
+    }
+}

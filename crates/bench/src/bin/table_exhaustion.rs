@@ -1,0 +1,132 @@
+//! Regenerate the §4.3 resource-exhaustion comparison: the shipped
+//! firmware panics the node; the in-progress go-back-n protocol recovers.
+//!
+//! Workload: a burst of puts into a receiver whose RX pending pool is
+//! deliberately tiny.
+
+use std::any::Any;
+use xt3_node::config::{ExhaustionPolicy, MachineConfig, NodeSpec, OsKind, ProcSpec};
+use xt3_node::{App, AppCtx, AppEvent, Machine};
+use xt3_portals::event::EventKind;
+use xt3_portals::md::{MdOptions, Threshold};
+use xt3_portals::me::{InsertPos, UnlinkOp};
+use xt3_portals::types::{AckReq, EqHandle, ProcessId};
+
+const PT: u32 = 4;
+const BITS: u64 = 7;
+const BURST: u32 = 64;
+
+struct Burst;
+impl App for Burst {
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        if let AppEvent::Started = event {
+            for _ in 0..BURST {
+                let md = ctx
+                    .md_bind(0, 2048, MdOptions::default(), Threshold::Count(1), None, 0)
+                    .unwrap();
+                ctx.put(md, AckReq::NoAck, ProcessId::new(1, 0), PT, 0, BITS, 0, 0)
+                    .unwrap();
+            }
+            ctx.finish();
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct Sink {
+    eq: Option<EqHandle>,
+    received: u32,
+}
+impl App for Sink {
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        if let AppEvent::Started = event {
+            let eq = ctx.eq_alloc(256).unwrap();
+            self.eq = Some(eq);
+            let me = ctx
+                .me_attach(PT, ProcessId::any(), BITS, 0, UnlinkOp::Retain, InsertPos::After)
+                .unwrap();
+            ctx.md_attach(
+                me,
+                0,
+                1 << 20,
+                MdOptions {
+                    manage_remote: true,
+                    event_start_disable: true,
+                    ..MdOptions::put_target()
+                },
+                Threshold::Infinite,
+                Some(eq),
+                0,
+            )
+            .unwrap();
+        }
+        if let AppEvent::Ptl(ev) = event {
+            if ev.kind == EventKind::PutEnd {
+                self.received += 1;
+                if self.received >= BURST {
+                    ctx.finish();
+                    return;
+                }
+            }
+        }
+        ctx.wait_eq(self.eq.unwrap());
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn run(policy: ExhaustionPolicy, rx_pendings: u32) -> (bool, u32, u64, u64) {
+    let mut config = MachineConfig::paper_pair();
+    config.fw.rx_pendings = rx_pendings;
+    config.fw.tx_pendings = 128;
+    config.exhaustion = policy;
+    let mut m = Machine::new(config, &[NodeSpec {
+        os: OsKind::Catamount,
+        procs: vec![ProcSpec::catamount_generic()],
+    }]);
+    m.spawn(0, 0, Box::new(Burst));
+    m.spawn(1, 0, Box::new(Sink { eq: None, received: 0 }));
+    let mut engine = m.into_engine();
+    engine.run();
+    let mut m = engine.into_model();
+    let panicked = m.nodes[1].panicked;
+    let drops = m.nodes[1].fw.counters().exhaustion_drops;
+    let retrans: u64 = m.nodes[0].gbn_retransmissions();
+    let received = m
+        .take_app(1, 0)
+        .unwrap()
+        .as_any()
+        .downcast_mut::<Sink>()
+        .unwrap()
+        .received;
+    (panicked, received, drops, retrans)
+}
+
+fn main() {
+    println!("Resource exhaustion handling (paper §4.3): {BURST}-message burst\n");
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>10} {:>14}",
+        "policy", "rx pendings", "panicked", "delivered", "fw drops", "retransmits"
+    );
+    for (policy, name) in [
+        (ExhaustionPolicy::Panic, "panic"),
+        (ExhaustionPolicy::GoBackN, "go-back-n"),
+    ] {
+        for rx in [4u32, 16, 768] {
+            let (panicked, received, drops, retrans) = run(policy, rx);
+            println!(
+                "{name:<10} {rx:>12} {panicked:>10} {received:>10} {drops:>10} {retrans:>14}"
+            );
+        }
+    }
+    println!(
+        "\nPanic (the shipped behaviour) loses the application on overload;\n\
+         go-back-n delivers the full burst at the cost of retransmissions.\n\
+         With the paper's production pool sizes (768 RX pendings) neither\n\
+         policy triggers — matching the authors' observation that exhaustion\n\
+         was never seen on 7,700 nodes."
+    );
+}

@@ -1,0 +1,68 @@
+//! Host-CPU overhead of communication: the motivation for offload the
+//! paper closes on (§7, "using the host CPU" vs "using the network
+//! interface CPU").
+//!
+//! Runs a fixed streaming workload in generic and accelerated modes and
+//! reports how much of the receiving host's time communication consumed —
+//! CPU that a real application would rather spend computing.
+
+use xt3_netpipe::ptl::{Layout, PtlInitiator, PtlPattern, PtlResponder};
+use xt3_netpipe::{Schedule, SizePoint};
+use xt3_node::config::{MachineConfig, NodeSpec, OsKind, ProcSpec};
+use xt3_node::Machine;
+
+fn run(size: u64, accelerated: bool) -> (f64, f64, u64) {
+    let schedule = Schedule {
+        points: vec![SizePoint { size, reps: 200 }],
+    };
+    let layout = Layout::for_max(size);
+    let mc = MachineConfig::paper_pair();
+    let proc = ProcSpec {
+        accelerated,
+        mem_bytes: layout.mem_bytes as usize,
+        ..ProcSpec::catamount_generic()
+    };
+    let mut m = Machine::new(
+        mc,
+        &[NodeSpec {
+            os: OsKind::Catamount,
+            procs: vec![proc],
+        }],
+    );
+    m.spawn(0, 0, Box::new(PtlInitiator::new(PtlPattern::StreamPut, schedule.clone())));
+    m.spawn(1, 0, Box::new(PtlResponder::new(PtlPattern::StreamPut, schedule)));
+    let mut engine = m.into_engine();
+    engine.run();
+    let now = engine.now();
+    let m = engine.into_model();
+    let rx = &m.nodes[1];
+    (
+        rx.host.utilization(now),
+        rx.chip.ppc.utilization(now),
+        rx.fw.counters().interrupts,
+    )
+}
+
+fn main() {
+    println!("Receive-side CPU overhead, 200-message put stream (paper §7 motivation)\n");
+    println!(
+        "{:>10} {:>8} {:>12} {:>12} {:>12}",
+        "bytes", "mode", "host busy %", "PPC busy %", "interrupts"
+    );
+    for size in [64u64, 1024, 16 << 10, 256 << 10] {
+        for accelerated in [false, true] {
+            let (host, ppc, ints) = run(size, accelerated);
+            println!(
+                "{size:>10} {:>8} {:>12.1} {:>12.1} {ints:>12}",
+                if accelerated { "accel" } else { "generic" },
+                host * 100.0,
+                ppc * 100.0
+            );
+        }
+    }
+    println!(
+        "\nGeneric mode burns the receiving Opteron on interrupts and matching;\n\
+         accelerated mode moves that work to the 500 MHz PowerPC — the tradeoff\n\
+         the paper's summary lays out (host CPU freed, slower matching engine)."
+    );
+}

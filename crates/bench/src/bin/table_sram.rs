@@ -1,0 +1,57 @@
+//! Regenerate the §4.2 SRAM occupancy accounting: the firmware's
+//! structures laid into the SeaStar's 384 KB, checked against the
+//! occupancy formula `M = S*S_size + sum_i(P_i * P_size)`.
+
+use xt3_firmware::control::{Firmware, FwConfig, FwMode};
+use xt3_firmware::pending::LOWER_PENDING_BYTES;
+use xt3_firmware::source::SOURCE_BYTES;
+use xt3_seastar::sram::Sram;
+
+fn main() {
+    println!("SeaStar SRAM occupancy (paper §4.2)\n");
+
+    for (label, modes) in [
+        ("generic process only (shipped firmware)", vec![FwMode::Generic]),
+        (
+            "generic + 2 accelerated processes",
+            vec![FwMode::Generic, FwMode::Accelerated, FwMode::Accelerated],
+        ),
+    ] {
+        let mut sram = Sram::default();
+        let config = FwConfig::default();
+        let fw = Firmware::new(config, &modes, &mut sram).expect("fits");
+        println!("--- {label} ---");
+        println!("{}", sram.render_layout());
+
+        // The occupancy formula.
+        let s = config.sources;
+        let n = fw.process_count();
+        let formula: u64 = s as u64 * SOURCE_BYTES as u64
+            + (0..n)
+                .map(|_| config.pendings_total() as u64 * LOWER_PENDING_BYTES as u64)
+                .sum::<u64>();
+        println!(
+            "formula M = S*Ssize + sum(Pi*Psize) = {s}*{SOURCE_BYTES} + {n}*{}*{LOWER_PENDING_BYTES} = {formula} bytes ({:.1} KB)\n",
+            config.pendings_total(),
+            formula as f64 / 1024.0
+        );
+    }
+
+    // How many more pending pools fit? (§4.2: "several more similarly
+    // sized pending pools can be supported")
+    let mut modes = vec![FwMode::Generic];
+    loop {
+        let mut sram = Sram::default();
+        let mut trial = modes.clone();
+        trial.push(FwMode::Accelerated);
+        if Firmware::new(FwConfig::default(), &trial, &mut sram).is_err() {
+            break;
+        }
+        modes = trial;
+    }
+    println!(
+        "maximum firmware-level processes in 384 KB: {} (generic + {} accelerated)",
+        modes.len(),
+        modes.len() - 1
+    );
+}

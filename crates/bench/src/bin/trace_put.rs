@@ -1,0 +1,57 @@
+//! Latency breakdown: trace a single put end to end and print where every
+//! nanosecond of the one-way path goes — the tool used to verify the
+//! calibration decomposition in EXPERIMENTS.md.
+//!
+//! Usage: `trace_put [bytes]` (default 1)
+
+use xt3_netpipe::ptl::{Layout, PtlInitiator, PtlPattern, PtlResponder};
+use xt3_netpipe::{Schedule, SizePoint};
+use xt3_node::config::{MachineConfig, NodeSpec, OsKind, ProcSpec};
+use xt3_node::Machine;
+use xt3_sim::SimTime;
+
+fn main() {
+    let size: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
+
+    let schedule = Schedule {
+        points: vec![SizePoint { size, reps: 1 }],
+    };
+    let layout = Layout::for_max(size);
+    let mut mc = MachineConfig::paper_pair();
+    mc.trace = true;
+    let proc = ProcSpec {
+        mem_bytes: layout.mem_bytes as usize,
+        ..ProcSpec::catamount_generic()
+    };
+    let mut m = Machine::new(
+        mc,
+        &[NodeSpec {
+            os: OsKind::Catamount,
+            procs: vec![proc],
+        }],
+    );
+    m.spawn(0, 0, Box::new(PtlInitiator::new(PtlPattern::PingPongPut, schedule.clone())));
+    m.spawn(1, 0, Box::new(PtlResponder::new(PtlPattern::PingPongPut, schedule)));
+    let mut engine = m.into_engine();
+    engine.run();
+    let m = engine.into_model();
+
+    println!("Trace of one {size}-byte put ping-pong (round-trip = 2 messages):\n");
+    let mut prev: Option<SimTime> = None;
+    for e in m.trace.events() {
+        let delta = prev.map(|p| e.at.saturating_sub(p)).unwrap_or(SimTime::ZERO);
+        println!(
+            "{:>14}  (+{:>10})  n{} {:<5} {}",
+            e.at.to_string(),
+            delta.to_string(),
+            e.node,
+            e.category.to_string(),
+            e.label
+        );
+        prev = Some(e.at);
+    }
+    println!("\n(total events: {}; the second half mirrors the first as the pong)", m.trace.events().len());
+}

@@ -1,0 +1,125 @@
+#![warn(missing_docs)]
+//! Shared helpers for the figure/table binaries and Criterion benches.
+//!
+//! Each figure of the paper's evaluation (§6) has a binary that
+//! regenerates it (`fig4_latency`, `fig5_unidir`, `fig6_stream`,
+//! `fig7_bidir`); the text-level results each have a `table_*` binary.
+//! `cargo bench` wraps the same sweeps in Criterion for statistical
+//! wall-clock tracking of the simulator itself.
+
+use xt3_netpipe::report::FigureData;
+use xt3_netpipe::runner::{bandwidth_curve, latency_curve, NetpipeConfig, TestKind, Transport};
+
+/// The four curves every figure in §6 plots, in the paper's legend order.
+pub const CURVES: [Transport; 4] = [
+    Transport::Get,
+    Transport::Mpich2,
+    Transport::Mpich1,
+    Transport::Put,
+];
+
+/// Build Figure 4 (latency, 1 B – 1 KB, ping-pong).
+pub fn figure4(config: &NetpipeConfig) -> FigureData {
+    FigureData {
+        title: "Figure 4. Latency performance".into(),
+        y_label: "us".into(),
+        series: run_parallel(config, TestKind::PingPong, true),
+    }
+}
+
+/// Build Figure 5 (uni-directional bandwidth, 1 B – 8 MB, ping-pong).
+pub fn figure5(config: &NetpipeConfig) -> FigureData {
+    FigureData {
+        title: "Figure 5. Uni-directional bandwidth performance".into(),
+        y_label: "MB/s".into(),
+        series: run_parallel(config, TestKind::PingPong, false),
+    }
+}
+
+/// Build Figure 6 (streaming bandwidth).
+pub fn figure6(config: &NetpipeConfig) -> FigureData {
+    FigureData {
+        title: "Figure 6. Streaming bandwidth performance".into(),
+        y_label: "MB/s".into(),
+        series: run_parallel(config, TestKind::Stream, false),
+    }
+}
+
+/// Build Figure 7 (bi-directional bandwidth).
+pub fn figure7(config: &NetpipeConfig) -> FigureData {
+    FigureData {
+        title: "Figure 7. Bi-directional bandwidth performance".into(),
+        y_label: "MB/s".into(),
+        series: run_parallel(config, TestKind::Bidir, false),
+    }
+}
+
+/// Run the four transport curves of one figure in parallel (each curve is
+/// an independent deterministic simulation; crossbeam scoped threads keep
+/// the sweep wall-clock at the slowest single curve).
+fn run_parallel(
+    config: &NetpipeConfig,
+    kind: TestKind,
+    latency: bool,
+) -> Vec<xt3_netpipe::Series> {
+    let mut out: Vec<Option<xt3_netpipe::Series>> = (0..CURVES.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &t in CURVES.iter() {
+            let cfg = config.clone();
+            handles.push(scope.spawn(move |_| {
+                if latency {
+                    latency_curve(&cfg, t, kind)
+                } else {
+                    bandwidth_curve(&cfg, t, kind)
+                }
+            }));
+        }
+        for (slot, h) in out.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("curve thread"));
+        }
+    })
+    .expect("scope");
+    out.into_iter().map(|s| s.expect("filled")).collect()
+}
+
+/// Write a figure's JSON next to the rendered output, under `results/`.
+pub fn save_json(name: &str, fig: &FigureData) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, fig.to_json())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_quick_has_four_curves() {
+        let config = NetpipeConfig::quick(64);
+        let fig = figure4(&config);
+        assert_eq!(fig.series.len(), 4);
+        let labels: Vec<&str> = fig.series.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["get", "mpich2", "mpich-1.2.6", "put"]);
+        for s in &fig.series {
+            assert!(!s.points.is_empty());
+            assert!(s.points.iter().all(|p| p.y > 0.0));
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        // The parallel harness must not change results (independent
+        // machines, deterministic seeds).
+        let config = NetpipeConfig::quick(64);
+        let fig = figure4(&config);
+        let serial = latency_curve(&config, Transport::Put, TestKind::PingPong);
+        let par = fig.series.iter().find(|s| s.label == "put").unwrap();
+        assert_eq!(serial.points.len(), par.points.len());
+        for (a, b) in serial.points.iter().zip(&par.points) {
+            assert_eq!(a.y.to_bits(), b.y.to_bits(), "bit-identical results");
+        }
+    }
+}

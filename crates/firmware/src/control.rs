@@ -1,0 +1,785 @@
+//! The firmware proper: the NIC control block and the §4.3 processing
+//! rules, as an effects-returning state machine.
+//!
+//! The node model (`xt3-node`) owns the clock; every method here mutates
+//! firmware state and returns the [`FwEffect`]s the PowerPC would initiate
+//! (program a DMA engine, write an event, raise an interrupt). Handlers
+//! run to completion, one at a time, exactly like the single-threaded
+//! firmware loop.
+
+use crate::mailbox::{FwCommand, FwEvent, Mailbox};
+use crate::pending::{LowerPending, PendingId, PendingState, LOWER_PENDING_BYTES};
+use crate::pool::Pool;
+use crate::source::{SourceId, SourceTable, NUM_SOURCES, SOURCE_BYTES};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use xt3_seastar::sram::{Sram, SramError};
+
+/// Index of a firmware-level process (0 = the generic Portals
+/// implementation in the kernel; 1.. = accelerated processes).
+pub type ProcIdx = u32;
+
+/// Operating mode of a firmware-level process (§3.3/§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FwMode {
+    /// Host-driven: headers and completions interrupt the host, which does
+    /// all Portals processing in the kernel.
+    Generic,
+    /// Offloaded: the firmware performs Portals matching itself and posts
+    /// events directly into user space; no interrupts.
+    Accelerated,
+}
+
+/// Compile-time-style firmware configuration (§4.2's constants).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FwConfig {
+    /// RX pendings per firmware-level process (firmware-managed pool).
+    pub rx_pendings: u32,
+    /// TX pendings per firmware-level process (host-managed pool).
+    pub tx_pendings: u32,
+    /// Global source structures.
+    pub sources: u32,
+    /// Mailbox command-FIFO depth.
+    pub mailbox_depth: u32,
+}
+
+impl Default for FwConfig {
+    fn default() -> Self {
+        // Paper §4.2: 1,274 pendings allocated to the generic process and
+        // 1,024 global sources. The rx/tx split is not published; we give
+        // the receive side the larger share since receives are
+        // firmware-paced.
+        FwConfig {
+            rx_pendings: 768,
+            tx_pendings: 506,
+            sources: NUM_SOURCES,
+            mailbox_depth: 64,
+        }
+    }
+}
+
+impl FwConfig {
+    /// Total pendings per process (the paper's 1,274 for the default).
+    pub fn pendings_total(&self) -> u32 {
+        self.rx_pendings + self.tx_pendings
+    }
+}
+
+/// Effects the firmware hands back for the platform to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FwEffect {
+    /// Program the TX DMA engine for a pending at the head of the TX list.
+    StartTxDma {
+        /// Owning process.
+        proc: ProcIdx,
+        /// The pending to stream.
+        pending: PendingId,
+    },
+    /// Program the RX DMA engine to deposit a pending at the head of its
+    /// source's RX list.
+    StartRxDma {
+        /// Owning process.
+        proc: ProcIdx,
+        /// The pending to deposit.
+        pending: PendingId,
+        /// Its source structure.
+        source: SourceId,
+    },
+    /// Write the Portals header (and any piggybacked payload) into the
+    /// upper pending in host memory.
+    WriteUpperHeader {
+        /// Owning process.
+        proc: ProcIdx,
+        /// The pending whose upper half to fill.
+        pending: PendingId,
+    },
+    /// Post an event into the process's event queue (an HT write).
+    PostEvent {
+        /// Owning process.
+        proc: ProcIdx,
+        /// The event.
+        event: FwEvent,
+    },
+    /// Raise the host interrupt (generic mode only).
+    RaiseInterrupt,
+    /// Perform Portals matching on the NIC (accelerated mode).
+    MatchOnNic {
+        /// Owning process.
+        proc: ProcIdx,
+        /// The pending holding the header.
+        pending: PendingId,
+    },
+}
+
+/// Resource-exhaustion conditions (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FwError {
+    /// The target process's RX pending free list is empty.
+    NoRxPending,
+    /// The global source pool is exhausted.
+    NoSource,
+    /// A command referenced a pending in the wrong state.
+    BadPending,
+    /// Unknown firmware-level process id in a header.
+    BadProcess,
+}
+
+/// Firmware counters exposed to the experiments.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct FwCounters {
+    /// Headers received.
+    pub rx_headers: u64,
+    /// Headers whose payload piggybacked in the header packet.
+    pub rx_piggybacked: u64,
+    /// Transmits completed.
+    pub tx_completions: u64,
+    /// Receptions completed.
+    pub rx_completions: u64,
+    /// Interrupts requested (generic mode).
+    pub interrupts: u64,
+    /// Headers dropped to exhaustion.
+    pub exhaustion_drops: u64,
+    /// RAS heartbeats written to the control block (Figure 3's
+    /// "heartbeat for RAS").
+    pub heartbeats: u64,
+}
+
+/// One firmware-level process's state.
+#[derive(Debug)]
+struct FwProcess {
+    mode: FwMode,
+    mailbox: Mailbox,
+    /// Firmware-managed RX pool; ids `[0, rx_cap)`.
+    rx_pool: Pool<LowerPending>,
+    /// Host-managed TX pendings; ids `[rx_cap, rx_cap + tx_cap)`.
+    tx_lower: Vec<LowerPending>,
+}
+
+/// The firmware: control block plus per-process state.
+#[derive(Debug)]
+pub struct Firmware {
+    config: FwConfig,
+    processes: Vec<FwProcess>,
+    sources: SourceTable,
+    /// The single global TX pending list (§4.3: "All transmits,
+    /// regardless of destination or process type, are serialized through a
+    /// single TX FIFO"). Entries are `(proc, pending)`.
+    tx_list: VecDeque<(ProcIdx, PendingId)>,
+    counters: FwCounters,
+}
+
+impl Firmware {
+    /// Initialize the firmware with `modes[i]` describing firmware-level
+    /// process `i`, reserving its structures from the chip SRAM.
+    pub fn new(config: FwConfig, modes: &[FwMode], sram: &mut Sram) -> Result<Self, SramError> {
+        // The control block and the firmware image itself (22 KB when
+        // compiled with GCC 4.0 -O3, §4).
+        sram.reserve("firmware image", 22 * 1024)?;
+        sram.reserve("control block", 512)?;
+        sram.reserve_array("sources", config.sources, SOURCE_BYTES)?;
+        let mut processes = Vec::with_capacity(modes.len());
+        for (i, &mode) in modes.iter().enumerate() {
+            sram.reserve_array(
+                format!("pendings[{i}]"),
+                config.pendings_total(),
+                LOWER_PENDING_BYTES,
+            )?;
+            sram.reserve(format!("process[{i}]"), 256)?;
+            sram.reserve(format!("mailbox[{i}]"), 512)?;
+            processes.push(FwProcess {
+                mode,
+                mailbox: Mailbox::new(config.mailbox_depth),
+                rx_pool: Pool::new(config.rx_pendings),
+                tx_lower: vec![LowerPending::default(); config.tx_pendings as usize],
+            });
+        }
+        Ok(Firmware {
+            config,
+            processes,
+            sources: SourceTable::new(config.sources),
+            tx_list: VecDeque::new(),
+            counters: FwCounters::default(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FwConfig {
+        &self.config
+    }
+
+    /// Counters.
+    pub fn counters(&self) -> FwCounters {
+        self.counters
+    }
+
+    /// Number of firmware-level processes.
+    pub fn process_count(&self) -> u32 {
+        self.processes.len() as u32
+    }
+
+    /// A process's mode.
+    pub fn mode(&self, proc: ProcIdx) -> FwMode {
+        self.processes[proc as usize].mode
+    }
+
+    /// Host-side mailbox access (the host posts commands through this).
+    pub fn mailbox_mut(&mut self, proc: ProcIdx) -> &mut Mailbox {
+        &mut self.processes[proc as usize].mailbox
+    }
+
+    /// The source table (diagnostics / exhaustion experiments).
+    pub fn sources(&self) -> &SourceTable {
+        &self.sources
+    }
+
+    /// RX pool diagnostics for a process.
+    pub fn rx_pool_stats(&self, proc: ProcIdx) -> (u32, u32, u64) {
+        let p = &self.processes[proc as usize].rx_pool;
+        (p.in_use(), p.high_water(), p.alloc_failures())
+    }
+
+    /// First TX pending id for a process (host-managed ids start here).
+    pub fn tx_base(&self) -> PendingId {
+        self.config.rx_pendings
+    }
+
+    /// Borrow a lower pending.
+    pub fn lower(&self, proc: ProcIdx, pending: PendingId) -> &LowerPending {
+        let p = &self.processes[proc as usize];
+        if pending < self.config.rx_pendings {
+            p.rx_pool.get(pending)
+        } else {
+            &p.tx_lower[(pending - self.config.rx_pendings) as usize]
+        }
+    }
+
+    fn lower_mut(&mut self, proc: ProcIdx, pending: PendingId) -> &mut LowerPending {
+        let rx_cap = self.config.rx_pendings;
+        let p = &mut self.processes[proc as usize];
+        if pending < rx_cap {
+            p.rx_pool.get_mut(pending)
+        } else {
+            &mut p.tx_lower[(pending - rx_cap) as usize]
+        }
+    }
+
+    // ----- main-loop entry points (§4.3) -----
+
+    /// Drain and process every queued mailbox command for `proc`.
+    pub fn poll_mailbox(&mut self, proc: ProcIdx) -> Vec<FwEffect> {
+        let mut effects = Vec::new();
+        while let Some(cmd) = self.processes[proc as usize].mailbox.take_cmd() {
+            effects.extend(self.handle_command(proc, cmd));
+        }
+        effects
+    }
+
+    /// Process one host command.
+    pub fn handle_command(&mut self, proc: ProcIdx, cmd: FwCommand) -> Vec<FwEffect> {
+        match cmd {
+            FwCommand::Transmit {
+                pending,
+                target_node,
+                length,
+                dma,
+                tag,
+            } => {
+                // Look up and initialize the lower pending from the
+                // host-pushed command, allocate a source for the target if
+                // needed, and enqueue on the single TX list.
+                let _ = self.sources.find_or_alloc(target_node);
+                {
+                    let lp = self.lower_mut(proc, pending);
+                    lp.state = PendingState::TxQueued;
+                    lp.peer = target_node;
+                    lp.length = length;
+                    lp.drop_length = 0;
+                    lp.dma = dma;
+                    lp.tag = tag;
+                    lp.direct = false;
+                }
+                self.tx_list.push_back((proc, pending));
+                if self.tx_list.len() == 1 {
+                    self.lower_mut(proc, pending).state = PendingState::TxActive;
+                    vec![FwEffect::StartTxDma { proc, pending }]
+                } else {
+                    Vec::new()
+                }
+            }
+            FwCommand::RecvDeposit {
+                pending,
+                length,
+                drop_length,
+                dma,
+            } => {
+                let peer = {
+                    let lp = self.lower_mut(proc, pending);
+                    if lp.state != PendingState::RxHeaderPending {
+                        return Vec::new();
+                    }
+                    lp.state = PendingState::RxQueued;
+                    lp.length = length;
+                    lp.drop_length = drop_length;
+                    lp.dma = dma;
+                    lp.peer
+                };
+                let source = self.sources.find(peer).expect("source exists for active rx");
+                let src = self.sources.get_mut(source);
+                src.rx_pending_list.push_back(pending);
+                if src.rx_pending_list.len() == 1 {
+                    self.lower_mut(proc, pending).state = PendingState::RxActive;
+                    vec![FwEffect::StartRxDma {
+                        proc,
+                        pending,
+                        source,
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            FwCommand::RecvDiscard { pending } => {
+                let lp = self.lower_mut(proc, pending);
+                if lp.state == PendingState::RxHeaderPending {
+                    lp.state = PendingState::Free;
+                    self.processes[proc as usize].rx_pool.free(pending);
+                }
+                Vec::new()
+            }
+            FwCommand::ReleasePending { pending } => {
+                let rx_cap = self.config.rx_pendings;
+                let lp = self.lower_mut(proc, pending);
+                if lp.state == PendingState::AwaitRelease {
+                    lp.state = PendingState::Free;
+                    if pending < rx_cap {
+                        self.processes[proc as usize].rx_pool.free(pending);
+                    }
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Queue a firmware-direct deposit (Reply data whose buffer the
+    /// originating get command pushed down): enqueues on the source's RX
+    /// pending list exactly like a host `RecvDeposit`, without a mailbox
+    /// round trip.
+    pub fn direct_deposit(
+        &mut self,
+        proc: ProcIdx,
+        pending: PendingId,
+        length: u64,
+        dma: Vec<xt3_seastar::dma::DmaCommand>,
+    ) -> Vec<FwEffect> {
+        self.handle_command(
+            proc,
+            FwCommand::RecvDeposit {
+                pending,
+                length,
+                drop_length: 0,
+                dma,
+            },
+        )
+    }
+
+    /// The TX DMA engine finished streaming the head-of-list pending.
+    pub fn tx_dma_complete(&mut self) -> Vec<FwEffect> {
+        let (proc, pending) = self
+            .tx_list
+            .pop_front()
+            .expect("tx completion with empty TX list");
+        self.counters.tx_completions += 1;
+        self.lower_mut(proc, pending).state = PendingState::AwaitRelease;
+
+        let mut effects = vec![FwEffect::PostEvent {
+            proc,
+            event: FwEvent::TxComplete { pending },
+        }];
+        if self.processes[proc as usize].mode == FwMode::Generic {
+            self.counters.interrupts += 1;
+            effects.push(FwEffect::RaiseInterrupt);
+        }
+        if let Some(&(nproc, npending)) = self.tx_list.front() {
+            self.lower_mut(nproc, npending).state = PendingState::TxActive;
+            effects.push(FwEffect::StartTxDma {
+                proc: nproc,
+                pending: npending,
+            });
+        }
+        effects
+    }
+
+    /// A new message header arrived from the network for firmware-level
+    /// process `proc`.
+    ///
+    /// On success returns the RX pending id and the effects (upper-header
+    /// write plus either the generic header event + interrupt or the
+    /// accelerated on-NIC match). `piggybacked` marks payloads that rode in
+    /// the header packet.
+    pub fn rx_header(
+        &mut self,
+        proc: ProcIdx,
+        from_node: u32,
+        piggybacked: bool,
+        direct: bool,
+    ) -> Result<(PendingId, Vec<FwEffect>), FwError> {
+        if proc as usize >= self.processes.len() {
+            return Err(FwError::BadProcess);
+        }
+        self.counters.rx_headers += 1;
+        if piggybacked {
+            self.counters.rx_piggybacked += 1;
+        }
+        let Some(_source) = self.sources.find_or_alloc(from_node) else {
+            self.counters.exhaustion_drops += 1;
+            return Err(FwError::NoSource);
+        };
+        let Some(pending) = self.processes[proc as usize].rx_pool.alloc() else {
+            self.counters.exhaustion_drops += 1;
+            return Err(FwError::NoRxPending);
+        };
+        {
+            let lp = self.lower_mut(proc, pending);
+            lp.state = PendingState::RxHeaderPending;
+            lp.peer = from_node;
+            lp.dma = Vec::new();
+            lp.direct = direct;
+        }
+        let mut effects = vec![FwEffect::WriteUpperHeader { proc, pending }];
+        if direct {
+            // Reply/Ack: the firmware already knows the destination buffer
+            // (the originating command pushed it down); no host matching,
+            // no interrupt. The node model drives the deposit directly.
+            return Ok((pending, effects));
+        }
+        match self.processes[proc as usize].mode {
+            FwMode::Generic => {
+                effects.push(FwEffect::PostEvent {
+                    proc,
+                    event: FwEvent::RxHeader { pending },
+                });
+                self.counters.interrupts += 1;
+                effects.push(FwEffect::RaiseInterrupt);
+            }
+            FwMode::Accelerated => {
+                effects.push(FwEffect::MatchOnNic { proc, pending });
+            }
+        }
+        Ok((pending, effects))
+    }
+
+    /// The RX DMA engine finished depositing `pending`.
+    pub fn rx_dma_complete(&mut self, proc: ProcIdx, pending: PendingId) -> Vec<FwEffect> {
+        self.counters.rx_completions += 1;
+        let peer = self.lower(proc, pending).peer;
+        let source = self.sources.find(peer).expect("active source");
+        let src = self.sources.get_mut(source);
+        let head = src.rx_pending_list.pop_front();
+        debug_assert_eq!(head, Some(pending), "completions follow list order");
+        let next = src.rx_pending_list.front().copied();
+
+        let direct = {
+            let lp = self.lower_mut(proc, pending);
+            lp.state = PendingState::AwaitRelease;
+            lp.direct
+        };
+
+        let mut effects = Vec::new();
+        if !direct {
+            effects.push(FwEffect::PostEvent {
+                proc,
+                event: FwEvent::RxComplete { pending },
+            });
+            if self.processes[proc as usize].mode == FwMode::Generic {
+                self.counters.interrupts += 1;
+                effects.push(FwEffect::RaiseInterrupt);
+            }
+        }
+        if let Some(npending) = next {
+            self.lower_mut(proc, npending).state = PendingState::RxActive;
+            effects.push(FwEffect::StartRxDma {
+                proc,
+                pending: npending,
+                source,
+            });
+        }
+        effects
+    }
+
+    /// Free a direct pending immediately after the node finished its
+    /// inline completion (no host release command is involved).
+    pub fn release_direct(&mut self, proc: ProcIdx, pending: PendingId) {
+        let lp = self.lower_mut(proc, pending);
+        debug_assert!(lp.direct, "release_direct on non-direct pending");
+        debug_assert!(matches!(
+            lp.state,
+            PendingState::AwaitRelease | PendingState::RxHeaderPending
+        ));
+        lp.state = PendingState::Free;
+        self.processes[proc as usize].rx_pool.free(pending);
+    }
+
+    /// Tick the control block's RAS heartbeat (Figure 3). The RAS system
+    /// reads this to distinguish a hung firmware from a hung application.
+    pub fn ras_heartbeat(&mut self) {
+        self.counters.heartbeats += 1;
+    }
+
+    /// A piggybacked (≤ 12 byte) message needs no RX DMA: the payload was
+    /// written with the header. Completes the pending immediately after
+    /// host matching deposits the bytes.
+    pub fn rx_piggyback_complete(&mut self, proc: ProcIdx, pending: PendingId) {
+        self.counters.rx_completions += 1;
+        let lp = self.lower_mut(proc, pending);
+        debug_assert_eq!(lp.state, PendingState::RxHeaderPending);
+        lp.state = PendingState::AwaitRelease;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fw(modes: &[FwMode]) -> (Firmware, Sram) {
+        let mut sram = Sram::default();
+        let f = Firmware::new(FwConfig::default(), modes, &mut sram).unwrap();
+        (f, sram)
+    }
+
+    fn tx_cmd(pending: PendingId, target: u32) -> FwCommand {
+        FwCommand::Transmit {
+            pending,
+            target_node: target,
+            length: 1024,
+            dma: vec![],
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn default_config_matches_paper_counts() {
+        let c = FwConfig::default();
+        assert_eq!(c.pendings_total(), 1274);
+        assert_eq!(c.sources, 1024);
+    }
+
+    #[test]
+    fn sram_accounting_covers_formula() {
+        let (_f, sram) = fw(&[FwMode::Generic]);
+        // M = S*Ssize + sum(Pi*Psize) for the message structures.
+        let expected_msg_structs = 1024 * 32 + 1274 * 64;
+        let msg_bytes: u32 = sram
+            .regions()
+            .iter()
+            .filter(|r| r.name.starts_with("sources") || r.name.starts_with("pendings"))
+            .map(|r| r.bytes)
+            .sum();
+        assert_eq!(msg_bytes, expected_msg_structs);
+        assert!(sram.used() <= sram.capacity());
+    }
+
+    #[test]
+    fn several_more_processes_fit_in_sram() {
+        // Paper §4.2: "several more similarly sized pending pools can be
+        // supported for additional firmware-level processes."
+        let mut sram = Sram::default();
+        let f = Firmware::new(
+            FwConfig::default(),
+            &[FwMode::Generic, FwMode::Accelerated, FwMode::Accelerated],
+            &mut sram,
+        )
+        .unwrap();
+        assert_eq!(f.process_count(), 3);
+    }
+
+    #[test]
+    fn single_tx_fifo_serializes_all_transmits() {
+        let (mut f, _) = fw(&[FwMode::Generic]);
+        let base = f.tx_base();
+        // First transmit starts the DMA immediately.
+        let e1 = f.handle_command(0, tx_cmd(base, 1));
+        assert_eq!(
+            e1,
+            vec![FwEffect::StartTxDma {
+                proc: 0,
+                pending: base
+            }]
+        );
+        // Second (even to a different node) just queues.
+        let e2 = f.handle_command(0, tx_cmd(base + 1, 2));
+        assert!(e2.is_empty());
+
+        // Completion posts an event, raises the interrupt (generic) and
+        // starts the next transmit.
+        let e3 = f.tx_dma_complete();
+        assert!(e3.contains(&FwEffect::PostEvent {
+            proc: 0,
+            event: FwEvent::TxComplete { pending: base }
+        }));
+        assert!(e3.contains(&FwEffect::RaiseInterrupt));
+        assert!(e3.contains(&FwEffect::StartTxDma {
+            proc: 0,
+            pending: base + 1
+        }));
+    }
+
+    #[test]
+    fn rx_header_generic_posts_event_and_interrupt() {
+        let (mut f, _) = fw(&[FwMode::Generic]);
+        let (pending, effects) = f.rx_header(0, 7, false, false).unwrap();
+        assert_eq!(effects[0], FwEffect::WriteUpperHeader { proc: 0, pending });
+        assert!(effects.contains(&FwEffect::PostEvent {
+            proc: 0,
+            event: FwEvent::RxHeader { pending }
+        }));
+        assert!(effects.contains(&FwEffect::RaiseInterrupt));
+        assert_eq!(f.counters().rx_headers, 1);
+        assert_eq!(f.sources().in_use(), 1);
+    }
+
+    #[test]
+    fn rx_header_accelerated_matches_on_nic() {
+        let (mut f, _) = fw(&[FwMode::Accelerated]);
+        let (pending, effects) = f.rx_header(0, 7, true, false).unwrap();
+        assert!(effects.contains(&FwEffect::MatchOnNic { proc: 0, pending }));
+        assert!(!effects.contains(&FwEffect::RaiseInterrupt));
+        assert_eq!(f.counters().rx_piggybacked, 1);
+        assert_eq!(f.counters().interrupts, 0);
+    }
+
+    #[test]
+    fn per_source_rx_lists_serialize_deposits() {
+        let (mut f, _) = fw(&[FwMode::Generic]);
+        let (p1, _) = f.rx_header(0, 7, false, false).unwrap();
+        let (p2, _) = f.rx_header(0, 7, false, false).unwrap();
+        let (p3, _) = f.rx_header(0, 8, false, false).unwrap();
+
+        // Deposits for the same source queue; the first starts DMA.
+        let e1 = f.handle_command(
+            0,
+            FwCommand::RecvDeposit {
+                pending: p1,
+                length: 100,
+                drop_length: 0,
+                dma: vec![],
+            },
+        );
+        assert_eq!(e1.len(), 1);
+        let e2 = f.handle_command(
+            0,
+            FwCommand::RecvDeposit {
+                pending: p2,
+                length: 100,
+                drop_length: 0,
+                dma: vec![],
+            },
+        );
+        assert!(e2.is_empty(), "second deposit from same source queues");
+
+        // A different source proceeds independently.
+        let e3 = f.handle_command(
+            0,
+            FwCommand::RecvDeposit {
+                pending: p3,
+                length: 100,
+                drop_length: 0,
+                dma: vec![],
+            },
+        );
+        assert_eq!(e3.len(), 1);
+
+        // Completing p1 starts p2.
+        let e4 = f.rx_dma_complete(0, p1);
+        assert!(e4.iter().any(|e| matches!(
+            e,
+            FwEffect::StartRxDma { pending, .. } if *pending == p2
+        )));
+    }
+
+    #[test]
+    fn release_returns_rx_pending_to_pool() {
+        let (mut f, _) = fw(&[FwMode::Generic]);
+        let (p, _) = f.rx_header(0, 7, false, false).unwrap();
+        f.handle_command(
+            0,
+            FwCommand::RecvDeposit {
+                pending: p,
+                length: 10,
+                drop_length: 0,
+                dma: vec![],
+            },
+        );
+        f.rx_dma_complete(0, p);
+        assert_eq!(f.rx_pool_stats(0).0, 1);
+        f.handle_command(0, FwCommand::ReleasePending { pending: p });
+        assert_eq!(f.rx_pool_stats(0).0, 0);
+    }
+
+    #[test]
+    fn rx_pending_exhaustion_reported() {
+        let config = FwConfig {
+            rx_pendings: 2,
+            tx_pendings: 2,
+            sources: 8,
+            mailbox_depth: 8,
+        };
+        let mut sram = Sram::default();
+        let mut f = Firmware::new(config, &[FwMode::Generic], &mut sram).unwrap();
+        f.rx_header(0, 1, false, false).unwrap();
+        f.rx_header(0, 1, false, false).unwrap();
+        assert_eq!(f.rx_header(0, 1, false, false).unwrap_err(), FwError::NoRxPending);
+        assert_eq!(f.counters().exhaustion_drops, 1);
+    }
+
+    #[test]
+    fn source_exhaustion_reported() {
+        let config = FwConfig {
+            rx_pendings: 64,
+            tx_pendings: 2,
+            sources: 2,
+            mailbox_depth: 8,
+        };
+        let mut sram = Sram::default();
+        let mut f = Firmware::new(config, &[FwMode::Generic], &mut sram).unwrap();
+        f.rx_header(0, 1, false, false).unwrap();
+        f.rx_header(0, 2, false, false).unwrap();
+        assert_eq!(f.rx_header(0, 3, false, false).unwrap_err(), FwError::NoSource);
+        // Existing sources still accept.
+        assert!(f.rx_header(0, 1, false, false).is_ok());
+    }
+
+    #[test]
+    fn discard_frees_pending_without_deposit() {
+        let (mut f, _) = fw(&[FwMode::Generic]);
+        let (p, _) = f.rx_header(0, 7, false, false).unwrap();
+        f.handle_command(0, FwCommand::RecvDiscard { pending: p });
+        assert_eq!(f.rx_pool_stats(0).0, 0);
+    }
+
+    #[test]
+    fn piggyback_completion_skips_dma() {
+        let (mut f, _) = fw(&[FwMode::Generic]);
+        let (p, _) = f.rx_header(0, 7, true, false).unwrap();
+        f.rx_piggyback_complete(0, p);
+        assert_eq!(f.counters().rx_completions, 1);
+        f.handle_command(0, FwCommand::ReleasePending { pending: p });
+        assert_eq!(f.rx_pool_stats(0).0, 0);
+    }
+
+    #[test]
+    fn mailbox_polling_drains_commands() {
+        let (mut f, _) = fw(&[FwMode::Generic]);
+        let base = f.tx_base();
+        f.mailbox_mut(0).post_cmd(tx_cmd(base, 1));
+        f.mailbox_mut(0).post_cmd(tx_cmd(base + 1, 1));
+        let effects = f.poll_mailbox(0);
+        // Only the first starts (single TX FIFO).
+        assert_eq!(
+            effects
+                .iter()
+                .filter(|e| matches!(e, FwEffect::StartTxDma { .. }))
+                .count(),
+            1
+        );
+        assert_eq!(f.mailbox_mut(0).cmd_len(), 0);
+    }
+}

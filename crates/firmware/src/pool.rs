@@ -1,0 +1,151 @@
+//! Pre-allocated object pools with free lists.
+//!
+//! Paper §4.2: "There is no dynamic allocation of any data structures by
+//! the firmware. All structures are pre-allocated at initialization time
+//! and inserted into free lists or slab caches." The pool tracks a
+//! high-water mark so the `table_exhaustion` experiment can report how
+//! close workloads come to the compile-time limits — mirroring the
+//! authors' careful monitoring on 7,700 Red Storm nodes.
+
+/// A fixed pool of `T` with an intrusive-style free list of indices.
+#[derive(Debug, Clone)]
+pub struct Pool<T> {
+    items: Vec<T>,
+    free: Vec<u32>,
+    in_use: u32,
+    high_water: u32,
+    alloc_failures: u64,
+}
+
+impl<T: Default + Clone> Pool<T> {
+    /// Pre-allocate `capacity` default-initialized objects.
+    pub fn new(capacity: u32) -> Self {
+        Pool {
+            items: vec![T::default(); capacity as usize],
+            free: (0..capacity).rev().collect(),
+            in_use: 0,
+            high_water: 0,
+            alloc_failures: 0,
+        }
+    }
+}
+
+impl<T> Pool<T> {
+    /// Allocate an object, returning its index, or `None` on exhaustion.
+    pub fn alloc(&mut self) -> Option<u32> {
+        match self.free.pop() {
+            Some(idx) => {
+                self.in_use += 1;
+                self.high_water = self.high_water.max(self.in_use);
+                Some(idx)
+            }
+            None => {
+                self.alloc_failures += 1;
+                None
+            }
+        }
+    }
+
+    /// Return an object to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free (the index is already free) in debug builds.
+    pub fn free(&mut self, idx: u32) {
+        debug_assert!(
+            !self.free.contains(&idx),
+            "double free of pool index {idx}"
+        );
+        debug_assert!((idx as usize) < self.items.len(), "foreign index {idx}");
+        self.free.push(idx);
+        self.in_use -= 1;
+    }
+
+    /// Borrow an object.
+    pub fn get(&self, idx: u32) -> &T {
+        &self.items[idx as usize]
+    }
+
+    /// Mutably borrow an object.
+    pub fn get_mut(&mut self, idx: u32) -> &mut T {
+        &mut self.items[idx as usize]
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u32 {
+        self.items.len() as u32
+    }
+
+    /// Objects currently allocated.
+    pub fn in_use(&self) -> u32 {
+        self.in_use
+    }
+
+    /// Maximum simultaneous allocation observed.
+    pub fn high_water(&self) -> u32 {
+        self.high_water
+    }
+
+    /// Allocation attempts that failed due to exhaustion.
+    pub fn alloc_failures(&self) -> u64 {
+        self.alloc_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut p: Pool<u64> = Pool::new(3);
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.in_use(), 2);
+        p.free(a);
+        assert_eq!(p.in_use(), 1);
+        let c = p.alloc().unwrap();
+        assert_eq!(c, a, "LIFO reuse");
+    }
+
+    #[test]
+    fn exhaustion_returns_none_and_counts() {
+        let mut p: Pool<u8> = Pool::new(2);
+        p.alloc().unwrap();
+        p.alloc().unwrap();
+        assert_eq!(p.alloc(), None);
+        assert_eq!(p.alloc(), None);
+        assert_eq!(p.alloc_failures(), 2);
+        assert_eq!(p.high_water(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut p: Pool<u8> = Pool::new(8);
+        let xs: Vec<u32> = (0..5).map(|_| p.alloc().unwrap()).collect();
+        for x in xs {
+            p.free(x);
+        }
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.high_water(), 5);
+    }
+
+    #[test]
+    fn data_access_roundtrip() {
+        let mut p: Pool<String> = Pool::new(2);
+        let i = p.alloc().unwrap();
+        *p.get_mut(i) = "hello".into();
+        assert_eq!(p.get(i), "hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    #[cfg(debug_assertions)]
+    fn double_free_panics_in_debug() {
+        let mut p: Pool<u8> = Pool::new(2);
+        let i = p.alloc().unwrap();
+        p.free(i);
+        p.free(i);
+    }
+}

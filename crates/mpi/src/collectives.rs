@@ -1,0 +1,297 @@
+//! Simple collectives built on the point-to-point layer.
+//!
+//! Implemented for the example applications (the paper's platform ran
+//! real scientific codes whose inner loops are neighbor exchanges plus
+//! reductions): a dissemination barrier and a recursive-doubling
+//! allreduce. Both are explicit state machines the owning app advances as
+//! completions arrive — the same event-driven style as everything else in
+//! the stack.
+
+use crate::endpoint::{Completion, CompletionKind, MpiEndpoint};
+use crate::types::{MpiError, Rank, ReqId, Tag};
+use xt3_node::machine::AppCtx;
+
+/// Tag space reserved for collective traffic.
+const COLL_TAG_BASE: Tag = 0xC011_0000;
+
+/// A dissemination barrier: ceil(log2(n)) rounds; in round k, rank r
+/// sends to `(r + 2^k) mod n` and waits for a message from
+/// `(r - 2^k) mod n`.
+#[derive(Debug)]
+pub struct Barrier {
+    n: Rank,
+    me: Rank,
+    round: u32,
+    rounds_total: u32,
+    pending_send: Option<ReqId>,
+    pending_recv: Option<ReqId>,
+    /// Scratch byte for the zero-ish payload.
+    scratch_addr: u64,
+    /// Distinguish concurrent barriers.
+    instance: Tag,
+    done: bool,
+}
+
+impl Barrier {
+    /// Prepare a barrier over the endpoint's communicator. `scratch_addr`
+    /// is one byte of process memory the barrier may use.
+    pub fn new(ep: &MpiEndpoint, scratch_addr: u64, instance: Tag) -> Self {
+        let n = ep.size();
+        let rounds_total = if n <= 1 {
+            0
+        } else {
+            (n as f64).log2().ceil() as u32
+        };
+        Barrier {
+            n,
+            me: ep.rank(),
+            round: 0,
+            rounds_total,
+            pending_send: None,
+            pending_recv: None,
+            scratch_addr,
+            instance,
+            done: n <= 1,
+        }
+    }
+
+    /// Is the barrier complete?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn tag(&self) -> Tag {
+        COLL_TAG_BASE + self.instance * 64 + self.round
+    }
+
+    /// Begin (or continue) the current round. Call once after `new`, then
+    /// from `on_completion`.
+    pub fn advance(&mut self, ep: &mut MpiEndpoint, ctx: &mut AppCtx<'_>) -> Result<(), MpiError> {
+        if self.done || self.pending_send.is_some() || self.pending_recv.is_some() {
+            return Ok(());
+        }
+        let dist = 1u32 << self.round;
+        let to = (self.me + dist) % self.n;
+        let from = (self.me + self.n - dist % self.n) % self.n;
+        let tag = self.tag();
+        self.pending_recv = Some(ep.irecv(ctx, from, tag, self.scratch_addr, 1)?);
+        self.pending_send = Some(ep.isend(ctx, to, tag, self.scratch_addr, 1)?);
+        Ok(())
+    }
+
+    /// Feed a completion; returns `true` when the barrier just finished.
+    pub fn on_completion(
+        &mut self,
+        ep: &mut MpiEndpoint,
+        ctx: &mut AppCtx<'_>,
+        comp: &Completion,
+    ) -> Result<bool, MpiError> {
+        if Some(comp.req) == self.pending_send {
+            self.pending_send = None;
+        } else if Some(comp.req) == self.pending_recv {
+            self.pending_recv = None;
+        } else {
+            return Ok(false);
+        }
+        if self.pending_send.is_none() && self.pending_recv.is_none() {
+            self.round += 1;
+            if self.round >= self.rounds_total {
+                self.done = true;
+                return Ok(true);
+            }
+            self.advance(ep, ctx)?;
+        }
+        Ok(false)
+    }
+}
+
+/// Recursive-doubling allreduce (sum of one `f64`), power-of-two ranks.
+#[derive(Debug)]
+pub struct AllReduce {
+    me: Rank,
+    round: u32,
+    rounds_total: u32,
+    /// Local partial value.
+    pub value: f64,
+    send_buf: u64,
+    recv_buf: u64,
+    pending_send: Option<ReqId>,
+    pending_recv: Option<ReqId>,
+    instance: Tag,
+    done: bool,
+}
+
+impl AllReduce {
+    /// Prepare an allreduce of `value`. Requires `n` to be a power of two.
+    /// `send_buf`/`recv_buf` are 8-byte scratch regions.
+    pub fn new(ep: &MpiEndpoint, value: f64, send_buf: u64, recv_buf: u64, instance: Tag) -> Self {
+        let n = ep.size();
+        assert!(n.is_power_of_two(), "recursive doubling needs 2^k ranks");
+        AllReduce {
+            me: ep.rank(),
+            round: 0,
+            rounds_total: n.trailing_zeros(),
+            value,
+            send_buf,
+            recv_buf,
+            pending_send: None,
+            pending_recv: None,
+            instance,
+            done: n == 1,
+        }
+    }
+
+    /// Is the reduction complete (`value` holds the global sum)?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn tag(&self) -> Tag {
+        COLL_TAG_BASE + 0x8000 + self.instance * 64 + self.round
+    }
+
+    /// Start or continue the current round.
+    pub fn advance(&mut self, ep: &mut MpiEndpoint, ctx: &mut AppCtx<'_>) -> Result<(), MpiError> {
+        if self.done || self.pending_send.is_some() || self.pending_recv.is_some() {
+            return Ok(());
+        }
+        let partner = self.me ^ (1 << self.round);
+        ctx.write_mem(self.send_buf, &self.value.to_le_bytes());
+        let tag = self.tag();
+        self.pending_recv = Some(ep.irecv(ctx, partner, tag, self.recv_buf, 8)?);
+        self.pending_send = Some(ep.isend(ctx, partner, tag, self.send_buf, 8)?);
+        Ok(())
+    }
+
+    /// Feed a completion; returns `true` when the reduction just
+    /// finished.
+    pub fn on_completion(
+        &mut self,
+        ep: &mut MpiEndpoint,
+        ctx: &mut AppCtx<'_>,
+        comp: &Completion,
+    ) -> Result<bool, MpiError> {
+        if Some(comp.req) == self.pending_send {
+            self.pending_send = None;
+        } else if Some(comp.req) == self.pending_recv {
+            debug_assert_eq!(comp.kind, CompletionKind::Recv);
+            self.pending_recv = None;
+            let bytes = ctx.read_mem(self.recv_buf, 8);
+            let peer_val = f64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+            self.value += peer_val;
+        } else {
+            return Ok(false);
+        }
+        if self.pending_send.is_none() && self.pending_recv.is_none() {
+            self.round += 1;
+            if self.round >= self.rounds_total {
+                self.done = true;
+                return Ok(true);
+            }
+            self.advance(ep, ctx)?;
+        }
+        Ok(false)
+    }
+}
+
+/// Binomial-tree broadcast of a buffer from rank `root`.
+///
+/// Ascending rounds k = 0..log2(n): every rank whose id relative to the
+/// root is below `2^k` (and therefore already holds the data) sends to
+/// the rank `2^k` above it; the rank whose relative id has its highest
+/// bit at position k receives. The classic MPICH schedule.
+#[derive(Debug)]
+pub struct Broadcast {
+    n: Rank,
+    me: Rank,
+    root: Rank,
+    round: u32,
+    rounds_total: u32,
+    buf: u64,
+    len: u64,
+    have_data: bool,
+    pending: Option<ReqId>,
+    instance: Tag,
+    done: bool,
+}
+
+impl Broadcast {
+    /// Prepare a broadcast of `[buf, buf+len)` from `root` (power-of-two
+    /// communicators).
+    pub fn new(ep: &MpiEndpoint, root: Rank, buf: u64, len: u64, instance: Tag) -> Self {
+        let n = ep.size();
+        assert!(n.is_power_of_two(), "binomial tree as implemented needs 2^k ranks");
+        Broadcast {
+            n,
+            me: ep.rank(),
+            root,
+            round: 0,
+            rounds_total: n.trailing_zeros(),
+            buf,
+            len,
+            have_data: ep.rank() == root,
+            pending: None,
+            instance,
+            done: n == 1,
+        }
+    }
+
+    /// Is the broadcast complete (every rank holds the data)?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn rel(&self) -> Rank {
+        (self.me + self.n - self.root) % self.n
+    }
+
+    fn tag(&self) -> Tag {
+        COLL_TAG_BASE + 0xB000 + self.instance * 64 + self.round
+    }
+
+    /// Start or continue the current round.
+    pub fn advance(&mut self, ep: &mut MpiEndpoint, ctx: &mut AppCtx<'_>) -> Result<(), MpiError> {
+        while !self.done && self.pending.is_none() {
+            if self.round >= self.rounds_total {
+                self.done = true;
+                return Ok(());
+            }
+            let bit = 1u32 << self.round;
+            let rel = self.rel();
+            if self.have_data && rel < bit && rel + bit < self.n {
+                // Everyone below 2^k holds the data and sends up.
+                let peer = (self.me + bit) % self.n;
+                let tag = self.tag();
+                self.pending = Some(ep.isend(ctx, peer, tag, self.buf, self.len)?);
+            } else if !self.have_data && rel >= bit && rel < 2 * bit {
+                // Highest bit of rel is k: this is our receive round.
+                let peer = (self.me + self.n - bit) % self.n;
+                let tag = self.tag();
+                self.pending = Some(ep.irecv(ctx, peer, tag, self.buf, self.len)?);
+            } else {
+                self.round += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Feed a completion; returns `true` when the broadcast just finished
+    /// locally.
+    pub fn on_completion(
+        &mut self,
+        ep: &mut MpiEndpoint,
+        ctx: &mut AppCtx<'_>,
+        comp: &Completion,
+    ) -> Result<bool, MpiError> {
+        if Some(comp.req) != self.pending {
+            return Ok(false);
+        }
+        self.pending = None;
+        if comp.kind == CompletionKind::Recv {
+            self.have_data = true;
+        }
+        self.round += 1;
+        self.advance(ep, ctx)?;
+        Ok(self.done)
+    }
+}

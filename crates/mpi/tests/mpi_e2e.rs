@@ -1,0 +1,558 @@
+//! End-to-end MPI-over-Portals tests on the simulated platform.
+
+use std::any::Any;
+use xt3_mpi::collectives::{AllReduce, Barrier};
+use xt3_mpi::{CompletionKind, MpiEndpoint, Personality, ANY_SOURCE, ANY_TAG};
+use xt3_node::config::{MachineConfig, NodeSpec};
+use xt3_node::{App, AppCtx, AppEvent, Machine};
+use xt3_portals::types::ProcessId;
+use xt3_sim::RunOutcome;
+
+/// Memory layout used by test apps: user buffers below 4 MB, MPI bounce
+/// buffers above.
+const BOUNCE_BASE: u64 = 4 << 20;
+const SEND_BUF: u64 = 0;
+const RECV_BUF: u64 = 1 << 20;
+
+fn comm(n: u32) -> Vec<ProcessId> {
+    (0..n).map(|i| ProcessId::new(i, 0)).collect()
+}
+
+/// Generic two-node MPI test app: runs a closure-driven script.
+struct MpiApp {
+    rank: u32,
+    n: u32,
+    personality: Personality,
+    ep: Option<MpiEndpoint>,
+    script: Script,
+    pub log: Vec<String>,
+}
+
+enum Script {
+    /// Rank 0 sends `len` bytes with `tag` after `delay_recv` controls
+    /// ordering; rank 1 receives (optionally with wildcards) and checks.
+    SendRecv {
+        len: u64,
+        tag: u32,
+        recv_src: u32,
+        recv_tag: u32,
+        /// Rank 1 posts its receive only after the message has certainly
+        /// arrived (forces the unexpected path).
+        late_recv: bool,
+        state: u32,
+    },
+    Barrier {
+        barrier: Option<Barrier>,
+    },
+    AllReduce {
+        red: Option<AllReduce>,
+        result: f64,
+    },
+}
+
+impl MpiApp {
+    fn new(rank: u32, n: u32, personality: Personality, script: Script) -> Self {
+        MpiApp {
+            rank,
+            n,
+            personality,
+            ep: None,
+            script,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl App for MpiApp {
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        if let AppEvent::Started = event {
+            let ep = MpiEndpoint::init(ctx, comm(self.n), self.rank, self.personality, BOUNCE_BASE)
+                .expect("mpi init");
+            self.ep = Some(ep);
+        }
+        let mut ep = self.ep.take().expect("endpoint");
+
+        // Feed incoming Portals events through the progress engine.
+        if let AppEvent::Ptl(ev) = &event {
+            ep.progress(ctx, ev.clone());
+        }
+
+        match &mut self.script {
+            Script::SendRecv {
+                len,
+                tag,
+                recv_src,
+                recv_tag,
+                late_recv,
+                state,
+            } => {
+                let (len, tag, recv_src, recv_tag, late) = (*len, *tag, *recv_src, *recv_tag, *late_recv);
+                if matches!(event, AppEvent::Started) {
+                    if self.rank == 0 {
+                        if !ctx.synthetic() {
+                            let payload: Vec<u8> = (0..len).map(|i| (i * 7 % 250) as u8).collect();
+                            ctx.write_mem(SEND_BUF, &payload);
+                        }
+                        ep.isend(ctx, 1, tag, SEND_BUF, len).unwrap();
+                    } else if late {
+                        // Delay the receive so the send lands unexpected.
+                        ctx.sleep(xt3_sim::SimTime::from_ms(1));
+                        self.ep = Some(ep);
+                        return;
+                    } else {
+                        ep.irecv(ctx, recv_src, recv_tag, RECV_BUF, len.max(8)).unwrap();
+                    }
+                }
+                if matches!(event, AppEvent::Timer) && self.rank == 1 {
+                    ep.irecv(ctx, recv_src, recv_tag, RECV_BUF, len.max(8)).unwrap();
+                }
+                for c in ep.take_completions() {
+                    match c.kind {
+                        CompletionKind::Send => {
+                            self.log.push(format!("send-done len={}", c.len));
+                            *state |= 1;
+                        }
+                        CompletionKind::Recv => {
+                            self.log
+                                .push(format!("recv-done len={} peer={} tag={}", c.len, c.peer, c.tag));
+                            if !ctx.synthetic() {
+                                let got = ctx.read_mem(RECV_BUF, c.len as u32);
+                                let want: Vec<u8> = (0..c.len).map(|i| (i * 7 % 250) as u8).collect();
+                                assert_eq!(got, want, "payload corruption");
+                            }
+                            *state |= 2;
+                        }
+                    }
+                }
+                let done = if self.rank == 0 { *state & 1 != 0 } else { *state & 2 != 0 };
+                if done {
+                    ctx.finish();
+                } else {
+                    ctx.wait_eq(ep.eq());
+                }
+            }
+            Script::Barrier { barrier } => {
+                if matches!(event, AppEvent::Started) {
+                    let mut b = Barrier::new(&ep, RECV_BUF + 4096, 0);
+                    b.advance(&mut ep, ctx).unwrap();
+                    *barrier = Some(b);
+                }
+                let b = barrier.as_mut().expect("barrier");
+                loop {
+                    let comps = ep.take_completions();
+                    if comps.is_empty() {
+                        break;
+                    }
+                    for c in comps {
+                        b.on_completion(&mut ep, ctx, &c).unwrap();
+                    }
+                }
+                if b.is_done() {
+                    self.log.push(format!("barrier-done at {}", ctx.now()));
+                    ctx.finish();
+                } else {
+                    ctx.wait_eq(ep.eq());
+                }
+            }
+            Script::AllReduce { red, result } => {
+                if matches!(event, AppEvent::Started) {
+                    let mut r = AllReduce::new(
+                        &ep,
+                        (self.rank + 1) as f64,
+                        RECV_BUF + 8192,
+                        RECV_BUF + 8200,
+                        0,
+                    );
+                    r.advance(&mut ep, ctx).unwrap();
+                    *red = Some(r);
+                }
+                let r = red.as_mut().expect("allreduce");
+                loop {
+                    let comps = ep.take_completions();
+                    if comps.is_empty() {
+                        break;
+                    }
+                    for c in comps {
+                        r.on_completion(&mut ep, ctx, &c).unwrap();
+                    }
+                }
+                if r.is_done() {
+                    *result = r.value;
+                    ctx.finish();
+                } else {
+                    ctx.wait_eq(ep.eq());
+                }
+            }
+        }
+        self.ep = Some(ep);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn run_machine(n_nodes: u16, apps: Vec<MpiApp>, synthetic: bool) -> Vec<MpiApp> {
+    let mut config = MachineConfig::paper(xt3_topology::coord::Dims::mesh(n_nodes, 1, 1));
+    config.synthetic_payload = synthetic;
+    let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
+    for (i, app) in apps.into_iter().enumerate() {
+        m.spawn(i as u32, 0, Box::new(app));
+    }
+    let mut engine = m.into_engine();
+    assert_eq!(engine.run(), RunOutcome::Drained);
+    let mut m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "apps must all finish");
+    (0..n_nodes as u32)
+        .map(|i| {
+            let mut a = m.take_app(i, 0).unwrap();
+            let app = a.as_any().downcast_mut::<MpiApp>().unwrap();
+            std::mem::replace(app, MpiApp::new(0, 0, Personality::mpich1(), Script::Barrier { barrier: None }))
+        })
+        .collect()
+}
+
+fn send_recv_script(len: u64, tag: u32, recv_src: u32, recv_tag: u32, late: bool) -> Vec<MpiApp> {
+    vec![
+        MpiApp::new(
+            0,
+            2,
+            Personality::mpich1(),
+            Script::SendRecv {
+                len,
+                tag,
+                recv_src,
+                recv_tag,
+                late_recv: late,
+                state: 0,
+            },
+        ),
+        MpiApp::new(
+            1,
+            2,
+            Personality::mpich1(),
+            Script::SendRecv {
+                len,
+                tag,
+                recv_src,
+                recv_tag,
+                late_recv: late,
+                state: 0,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn eager_expected_delivery() {
+    let apps = run_machine(2, send_recv_script(1024, 5, 0, 5, false), false);
+    assert!(apps[0].log.iter().any(|l| l.starts_with("send-done")));
+    assert!(apps[1].log.iter().any(|l| l.contains("recv-done len=1024 peer=0 tag=5")));
+}
+
+#[test]
+fn eager_unexpected_is_buffered_and_copied_out() {
+    let apps = run_machine(2, send_recv_script(2048, 9, 0, 9, true), false);
+    assert!(apps[1].log.iter().any(|l| l.contains("recv-done len=2048")));
+}
+
+#[test]
+fn rendezvous_transfer() {
+    // Above eager_max (128 KB) the payload moves by get.
+    let apps = run_machine(2, send_recv_script(512 * 1024, 3, 0, 3, false), false);
+    assert!(apps[0].log.iter().any(|l| l.contains("send-done len=524288")));
+    assert!(apps[1].log.iter().any(|l| l.contains("recv-done len=524288")));
+}
+
+#[test]
+fn rendezvous_unexpected_rts() {
+    let apps = run_machine(2, send_recv_script(300 * 1024, 3, 0, 3, true), true);
+    assert!(apps[1].log.iter().any(|l| l.contains("recv-done len=307200")));
+}
+
+#[test]
+fn wildcard_source_and_tag() {
+    let apps = run_machine(2, send_recv_script(64, 17, ANY_SOURCE, ANY_TAG, false), false);
+    assert!(apps[1].log.iter().any(|l| l.contains("recv-done len=64 peer=0 tag=17")));
+}
+
+#[test]
+fn barrier_completes_on_four_ranks() {
+    let apps: Vec<MpiApp> = (0..4)
+        .map(|r| MpiApp::new(r, 4, Personality::mpich1(), Script::Barrier { barrier: None }))
+        .collect();
+    let apps = run_machine(4, apps, true);
+    for a in &apps {
+        assert!(a.log.iter().any(|l| l.starts_with("barrier-done")), "rank missing barrier");
+    }
+}
+
+#[test]
+fn allreduce_sums_across_four_ranks() {
+    let apps: Vec<MpiApp> = (0..4)
+        .map(|r| {
+            MpiApp::new(
+                r,
+                4,
+                Personality::mpich2(),
+                Script::AllReduce {
+                    red: None,
+                    result: 0.0,
+                },
+            )
+        })
+        .collect();
+    let apps = run_machine(4, apps, false);
+    for a in &apps {
+        if let Script::AllReduce { result, .. } = a.script {
+            assert_eq!(result, 10.0, "sum of 1+2+3+4");
+        } else {
+            panic!("wrong script");
+        }
+    }
+}
+
+/// Wrap-around of the unexpected bounce buffers: messages arrive
+/// unexpected in waves, each wave consumed before the next, with buffers
+/// small enough that the cumulative traffic wraps them several times.
+/// Every receive must complete full-length (buffers re-arm; no
+/// truncation), and overflow within a wave spills to the next buffer
+/// rather than truncating.
+#[test]
+fn bounce_buffers_rearm_under_unexpected_floods() {
+    use xt3_node::config::{MachineConfig, NodeSpec, OsKind, ProcSpec};
+    use xt3_sim::RunOutcome;
+
+    const WAVES: u32 = 10;
+    const PER_WAVE: u32 = 3;
+    const MSG: u64 = 8 * 1024;
+    const TAG_ACK: u32 = 99;
+
+    struct Flood {
+        rank: u32,
+        ep: Option<MpiEndpoint>,
+        wave: u32,
+        sends_done: u32,
+        recvs_done: u32,
+        bad: u32,
+        pub rearms: u64,
+    }
+    impl Flood {
+        fn personality() -> Personality {
+            Personality {
+                unexpected_buffers: 2,
+                unexpected_buffer_bytes: 24 * 1024,
+                eager_max: 16 * 1024,
+                ..Personality::mpich1()
+            }
+        }
+        fn send_wave(&mut self, ep: &mut MpiEndpoint, ctx: &mut AppCtx<'_>) {
+            for i in 0..PER_WAVE {
+                ep.isend(ctx, 1, 77, SEND_BUF + (i as u64) * MSG, MSG).unwrap();
+            }
+            // Wait for the receiver's wave ack before the next burst.
+            ep.irecv(ctx, 1, TAG_ACK, RECV_BUF, 8).unwrap();
+            self.wave += 1;
+        }
+    }
+    impl App for Flood {
+        fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+            if let AppEvent::Started = event {
+                let mut ep =
+                    MpiEndpoint::init(ctx, comm(2), self.rank, Self::personality(), BOUNCE_BASE)
+                        .expect("init");
+                if self.rank == 0 {
+                    self.send_wave(&mut ep, ctx);
+                } else {
+                    // Let the first wave land unexpected, then start
+                    // consuming.
+                    ctx.sleep(xt3_sim::SimTime::from_us(200));
+                    self.ep = Some(ep);
+                    return;
+                }
+                ctx.wait_eq(ep.eq());
+                self.ep = Some(ep);
+                return;
+            }
+            let mut ep = self.ep.take().expect("ep");
+            if let AppEvent::Ptl(ev) = &event {
+                ep.progress(ctx, ev.clone());
+            }
+            if matches!(event, AppEvent::Timer) && self.rank == 1 {
+                for _ in 0..PER_WAVE {
+                    ep.irecv(ctx, 0, 77, RECV_BUF + 4096, MSG).unwrap();
+                }
+            }
+            loop {
+                let comps = ep.take_completions();
+                if comps.is_empty() {
+                    break;
+                }
+                for c in comps {
+                    match (self.rank, c.kind) {
+                        (0, CompletionKind::Send) => self.sends_done += 1,
+                        (0, CompletionKind::Recv) if self.wave < WAVES => {
+                            // Wave ack: launch the next wave.
+                            self.send_wave(&mut ep, ctx);
+                        }
+                        (1, CompletionKind::Recv) if c.tag == 77 => {
+                            self.recvs_done += 1;
+                            if c.len != MSG {
+                                self.bad += 1;
+                            }
+                            if self.recvs_done.is_multiple_of(PER_WAVE) {
+                                // Wave consumed: ack, then pre-post the next
+                                // wave's receives AFTER the ack so at least
+                                // some arrivals keep landing unexpected.
+                                ep.isend(ctx, 0, TAG_ACK, SEND_BUF, 8).unwrap();
+                                if self.recvs_done < WAVES * PER_WAVE {
+                                    for _ in 0..PER_WAVE {
+                                        ep.irecv(ctx, 0, 77, RECV_BUF + 4096, MSG).unwrap();
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let done = if self.rank == 0 {
+                self.sends_done >= WAVES * PER_WAVE && self.wave >= WAVES
+            } else {
+                self.recvs_done >= WAVES * PER_WAVE
+            };
+            if done {
+                self.rearms = ep.bounce_rearms;
+                ctx.finish();
+            } else {
+                ctx.wait_eq(ep.eq());
+            }
+            self.ep = Some(ep);
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    let mut config = MachineConfig::paper(xt3_topology::coord::Dims::mesh(2, 1, 1));
+    config.synthetic_payload = true;
+    let spec = NodeSpec {
+        os: OsKind::Catamount,
+        procs: vec![ProcSpec {
+            mem_bytes: 8 << 20,
+            ..ProcSpec::catamount_generic()
+        }],
+    };
+    let mut m = Machine::new(config, &[spec]);
+    m.spawn(0, 0, Box::new(Flood { rank: 0, ep: None, wave: 0, sends_done: 0, recvs_done: 0, bad: 0, rearms: 0 }));
+    m.spawn(1, 0, Box::new(Flood { rank: 1, ep: None, wave: 0, sends_done: 0, recvs_done: 0, bad: 0, rearms: 0 }));
+    let mut engine = m.into_engine();
+    assert_eq!(engine.run(), RunOutcome::Drained);
+    let mut m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "flood must fully deliver");
+    let mut r = m.take_app(1, 0).unwrap();
+    let r = r.as_any().downcast_mut::<Flood>().unwrap();
+    assert_eq!(r.recvs_done, WAVES * PER_WAVE);
+    assert_eq!(r.bad, 0, "no truncated receives");
+    assert!(r.rearms > 0, "the tiny buffers must have wrapped (rearms={})", r.rearms);
+    // Nothing was dropped at the Portals level either.
+    assert_eq!(m.nodes[1].procs[0].lib.counters().dropped_no_match, 0);
+}
+
+/// Binomial broadcast across eight ranks: the payload written by the root
+/// must arrive byte-exact at every rank in log2(n) rounds.
+#[test]
+fn broadcast_reaches_all_ranks_byte_exact() {
+    use xt3_mpi::Broadcast;
+    use xt3_node::config::{MachineConfig, NodeSpec, OsKind, ProcSpec};
+    use xt3_sim::RunOutcome;
+
+    const LEN: u64 = 32 * 1024;
+    const ROOT: u32 = 3;
+
+    struct Bcast {
+        rank: u32,
+        ep: Option<MpiEndpoint>,
+        bc: Option<Broadcast>,
+        pub ok: bool,
+    }
+    impl App for Bcast {
+        fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+            if let AppEvent::Started = event {
+                let mut ep =
+                    MpiEndpoint::init(ctx, comm(8), self.rank, Personality::mpich1(), BOUNCE_BASE)
+                        .expect("init");
+                if self.rank == ROOT {
+                    let payload: Vec<u8> = (0..LEN).map(|i| (i % 127) as u8).collect();
+                    ctx.write_mem(SEND_BUF, &payload);
+                }
+                let mut bc = Broadcast::new(&ep, ROOT, SEND_BUF, LEN, 0);
+                bc.advance(&mut ep, ctx).unwrap();
+                self.bc = Some(bc);
+                if self.bc.as_ref().unwrap().is_done() {
+                    self.finish_check(ctx);
+                } else {
+                    ctx.wait_eq(ep.eq());
+                }
+                self.ep = Some(ep);
+                return;
+            }
+            let mut ep = self.ep.take().expect("ep");
+            if let AppEvent::Ptl(ev) = &event {
+                ep.progress(ctx, ev.clone());
+            }
+            let bc = self.bc.as_mut().expect("bc");
+            loop {
+                let comps = ep.take_completions();
+                if comps.is_empty() {
+                    break;
+                }
+                for c in comps {
+                    bc.on_completion(&mut ep, ctx, &c).unwrap();
+                }
+            }
+            if bc.is_done() {
+                self.finish_check(ctx);
+            } else {
+                ctx.wait_eq(ep.eq());
+            }
+            self.ep = Some(ep);
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    impl Bcast {
+        fn finish_check(&mut self, ctx: &mut AppCtx<'_>) {
+            let got = ctx.read_mem(SEND_BUF, LEN as u32);
+            self.ok = got
+                .iter()
+                .enumerate()
+                .all(|(i, &b)| b == (i as u64 % 127) as u8);
+            ctx.finish();
+        }
+    }
+
+    let mut config = MachineConfig::paper(xt3_topology::coord::Dims::torus(2, 2, 2));
+    config.synthetic_payload = false;
+    let spec = NodeSpec {
+        os: OsKind::Catamount,
+        procs: vec![ProcSpec {
+            mem_bytes: 8 << 20,
+            ..ProcSpec::catamount_generic()
+        }],
+    };
+    let mut m = Machine::new(config, &[spec]);
+    for rank in 0..8 {
+        m.spawn(rank, 0, Box::new(Bcast { rank, ep: None, bc: None, ok: false }));
+    }
+    let mut engine = m.into_engine();
+    assert_eq!(engine.run(), RunOutcome::Drained);
+    let mut m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "all ranks finish");
+    for rank in 0..8 {
+        let mut a = m.take_app(rank, 0).unwrap();
+        let b = a.as_any().downcast_mut::<Bcast>().unwrap();
+        assert!(b.ok, "rank {rank} payload mismatch");
+    }
+}

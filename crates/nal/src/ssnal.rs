@@ -1,0 +1,72 @@
+//! The SeaStar NAL (SSNAL) entry-point surface.
+//!
+//! Paper §3.3: "The SeaStar NAL, or SSNAL, implements all of the
+//! entry-points required by a Portals NAL, including functions for sending
+//! and receiving messages. Additionally, SSNAL provides an interrupt
+//! handler for processing asynchronous events from the SeaStar."
+//!
+//! In this reproduction the actual mechanics live in the node model
+//! (`xt3-node`), which owns both the host and firmware sides; this module
+//! defines the entry-point vocabulary and the counters the experiments
+//! read, keeping the layering of the original implementation visible in
+//! the code base.
+
+use serde::{Deserialize, Serialize};
+
+/// The NAL entry points, named after their roles in the reference
+/// implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SsnalEntryPoints {
+    /// `nal_send` — initiate an outgoing message.
+    Send,
+    /// `nal_recv` — deposit an incoming message body.
+    Recv,
+    /// The interrupt handler processing asynchronous SeaStar events.
+    InterruptHandler,
+    /// Address validation (delegated to the bridge).
+    Validate,
+    /// Address translation (delegated to the bridge).
+    Translate,
+}
+
+/// Invocation counters per entry point.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SsnalCounters {
+    /// `nal_send` invocations.
+    pub sends: u64,
+    /// `nal_recv` invocations.
+    pub recvs: u64,
+    /// Interrupt-handler invocations.
+    pub interrupts: u64,
+    /// Events drained per interrupt, accumulated (for the coalescing
+    /// statistic: paper §4.1, "the Portals interrupt handler processes all
+    /// of the new events in the generic EQ each time it is invoked").
+    pub events_drained: u64,
+    /// Validation failures.
+    pub validate_failures: u64,
+}
+
+impl SsnalCounters {
+    /// Mean events handled per interrupt (coalescing factor).
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.interrupts == 0 {
+            0.0
+        } else {
+            self.events_drained as f64 / self.interrupts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescing_factor() {
+        let mut c = SsnalCounters::default();
+        assert_eq!(c.coalescing_factor(), 0.0);
+        c.interrupts = 4;
+        c.events_drained = 10;
+        assert!((c.coalescing_factor() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,72 @@
+//! Calibration check: print the four §6 headline latencies and the
+//! bandwidth peaks under the current cost model, next to the paper's
+//! values.
+//!
+//! Run with `--full` for the 8 MB bandwidth sweeps (slower).
+
+use xt3_netpipe::reference as r;
+use xt3_netpipe::runner::{latency_curve, NetpipeConfig, TestKind, Transport};
+use xt3_netpipe::Schedule;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+
+    // 1-byte latency checks on a small schedule with decent reps.
+    let mut config = NetpipeConfig::paper_latency();
+    config.schedule = Schedule::standard(64, 0);
+
+    println!("{:<14} {:>10} {:>10} {:>8}", "curve", "model", "paper", "err%");
+    let check = |label: &str, transport: Transport, paper: f64| {
+        let s = latency_curve(&config, transport, TestKind::PingPong);
+        let got = s.points.first().map(|p| p.y).unwrap_or(f64::NAN);
+        println!(
+            "{label:<14} {got:>10.3} {paper:>10.3} {:>8.2}",
+            (got - paper) / paper * 100.0
+        );
+    };
+    check("put(1B)", Transport::Put, r::latency_1b::PUT_US);
+    check("get(1B)", Transport::Get, r::latency_1b::GET_US);
+    check("mpich1(1B)", Transport::Mpich1, r::latency_1b::MPICH1_US);
+    check("mpich2(1B)", Transport::Mpich2, r::latency_1b::MPICH2_US);
+
+    if full {
+        let config = NetpipeConfig::paper();
+        let uni = xt3_netpipe::runner::bandwidth_curve(&config, Transport::Put, TestKind::PingPong);
+        let peak = uni.y_max();
+        println!(
+            "{:<14} {:>10.2} {:>10.2} {:>8.2}",
+            "uni peak",
+            peak,
+            r::unidir::PUT_PEAK_MB,
+            (peak - r::unidir::PUT_PEAK_MB) / r::unidir::PUT_PEAK_MB * 100.0
+        );
+        let half = uni.x_where_y_reaches(peak / 2.0).unwrap_or(f64::NAN);
+        println!(
+            "{:<14} {:>10.0} {:>10.0} {:>8.2}",
+            "uni half-bw B",
+            half,
+            r::unidir::HALF_BW_BYTES,
+            (half - r::unidir::HALF_BW_BYTES) / r::unidir::HALF_BW_BYTES * 100.0
+        );
+        let stream = xt3_netpipe::runner::bandwidth_curve(&config, Transport::Put, TestKind::Stream);
+        let s_half = stream
+            .x_where_y_reaches(stream.y_max() / 2.0)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<14} {:>10.0} {:>10.0} {:>8.2}",
+            "stream half B",
+            s_half,
+            r::streaming::HALF_BW_BYTES,
+            (s_half - r::streaming::HALF_BW_BYTES) / r::streaming::HALF_BW_BYTES * 100.0
+        );
+        let bidir = xt3_netpipe::runner::bandwidth_curve(&config, Transport::Put, TestKind::Bidir);
+        let b_peak = bidir.y_max();
+        println!(
+            "{:<14} {:>10.2} {:>10.2} {:>8.2}",
+            "bidir peak",
+            b_peak,
+            r::bidir::PUT_PEAK_MB,
+            (b_peak - r::bidir::PUT_PEAK_MB) / r::bidir::PUT_PEAK_MB * 100.0
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Diagnostic: streaming-put internals at a fixed message size.
+
+use xt3_netpipe::ptl::{Layout, PtlInitiator, PtlPattern, PtlResponder};
+use xt3_netpipe::runner::NetpipeConfig;
+use xt3_netpipe::Schedule;
+use xt3_node::config::{MachineConfig, NodeSpec, OsKind, ProcSpec};
+use xt3_node::Machine;
+
+fn main() {
+    let size: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3072);
+    let reps: u32 = 200;
+
+    let config = NetpipeConfig::paper();
+    let schedule = Schedule {
+        points: vec![xt3_netpipe::SizePoint { size, reps }],
+    };
+    let layout = Layout::for_max(size);
+    let mut mc = MachineConfig::paper_pair().with_cost(config.cost);
+    mc.synthetic_payload = true;
+    let proc = ProcSpec {
+        mem_bytes: layout.mem_bytes as usize,
+        ..ProcSpec::catamount_generic()
+    };
+    let mut m = Machine::new(
+        mc,
+        &[NodeSpec {
+            os: OsKind::Catamount,
+            procs: vec![proc],
+        }],
+    );
+    m.spawn(0, 0, Box::new(PtlInitiator::new(PtlPattern::StreamPut, schedule.clone())));
+    m.spawn(1, 0, Box::new(PtlResponder::new(PtlPattern::StreamPut, schedule)));
+    let mut engine = m.into_engine();
+    engine.run();
+    let now = engine.now();
+    let mut m = engine.into_model();
+
+    let mut b = m.take_app(1, 0).unwrap();
+    let results = &b
+        .as_any()
+        .downcast_mut::<PtlResponder>()
+        .unwrap()
+        .results;
+    for r in results {
+        println!(
+            "size={} msgs={} per-msg={:.3}us bw={:.1}MB/s",
+            r.size,
+            r.messages,
+            r.latency_us(),
+            r.bandwidth_mb()
+        );
+    }
+    for (i, n) in m.nodes.iter().enumerate() {
+        println!(
+            "node{i}: host util={:.3} traps={} ints={} fw_ints={} ppc util={:.3} txdma util={:.3} rxdma util={:.3}",
+            n.host.utilization(now),
+            n.host.counters.traps,
+            n.host.counters.interrupts,
+            n.fw.counters().interrupts,
+            n.chip.ppc.utilization(now),
+            n.chip.tx_dma.utilization(now),
+            n.chip.rx_dma.utilization(now),
+        );
+    }
+    println!("sim time: {now}");
+}

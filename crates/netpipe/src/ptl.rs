@@ -1,0 +1,619 @@
+//! The Portals-level NetPIPE drivers.
+//!
+//! Faithful to the paper's module (§5.2): a single match entry on a
+//! dedicated portal, a receive MD rebuilt once per round (so setup stays
+//! out of the measurement), and put/get variants for ping-pong, streaming
+//! and bidirectional patterns. Round synchronization uses zero-byte
+//! control puts on a second portal, which cost one header packet and
+//! carry their information in `hdr_data`.
+
+use crate::report::RoundResult;
+use crate::schedule::Schedule;
+use std::any::Any;
+use xt3_node::{App, AppCtx, AppEvent};
+use xt3_portals::event::EventKind;
+use xt3_portals::md::{MdOptions, Threshold};
+use xt3_portals::me::{InsertPos, UnlinkOp};
+use xt3_portals::types::{AckReq, EqHandle, MdHandle, MeHandle, ProcessId};
+use xt3_sim::SimTime;
+
+/// Portal index for benchmark data.
+pub const PT_DATA: u32 = 4;
+/// Portal index for round-control messages.
+pub const PT_CTRL: u32 = 5;
+/// Match bits for data messages.
+pub const DATA_BITS: u64 = 0xDA7A;
+/// Match-bit base for control messages; the low byte is the kind.
+pub const CTRL_BITS: u64 = 0xC700;
+/// Control kind: round ready.
+pub const CTRL_READY: u64 = 1;
+/// Control kind: round done (streaming).
+pub const CTRL_DONE: u64 = 2;
+/// user_ptr marking control-plane events.
+const UPTR_CTRL: u64 = 99;
+/// user_ptr marking data receive events.
+const UPTR_DATA: u64 = 0;
+/// user_ptr marking transmit-side events (streaming throttle).
+const UPTR_TX: u64 = 7;
+/// Outstanding-message window for the streaming driver.
+const STREAM_WINDOW: u32 = 32;
+
+/// Buffer layout for a benchmark process.
+#[derive(Debug, Clone, Copy)]
+pub struct Layout {
+    /// Transmit buffer base.
+    pub tx: u64,
+    /// Receive buffer base.
+    pub rx: u64,
+    /// Process memory size needed.
+    pub mem_bytes: u64,
+}
+
+impl Layout {
+    /// Layout for a maximum message size.
+    pub fn for_max(max_size: u64) -> Self {
+        let align = |x: u64| (x + 4095) & !4095;
+        let tx = 0;
+        let rx = align(max_size.max(64));
+        Layout {
+            tx,
+            rx,
+            mem_bytes: rx + align(max_size.max(64)) + 8192,
+        }
+    }
+}
+
+/// Shared per-app plumbing: EQ, control-plane entries, round state.
+struct Plumbing {
+    eq: EqHandle,
+    peer: ProcessId,
+    layout: Layout,
+    round: usize,
+    data_me: Option<MeHandle>,
+    tx_md: Option<MdHandle>,
+    /// READY received before this side finished its round (ordering
+    /// slack between data completion and control messages).
+    ready_pending: bool,
+}
+
+impl Plumbing {
+    fn setup(ctx: &mut AppCtx<'_>, peer: ProcessId, layout: Layout) -> Self {
+        let eq = ctx.eq_alloc(2048).expect("eq");
+        // Persistent control entry: matches any CTRL kind, deposits
+        // nothing (control puts are zero-length).
+        let me = ctx
+            .me_attach(PT_CTRL, ProcessId::any(), CTRL_BITS, 0xFF, UnlinkOp::Retain, InsertPos::After)
+            .expect("ctrl me");
+        ctx.md_attach(
+            me,
+            layout.rx,
+            8,
+            MdOptions {
+                manage_remote: true,
+                event_start_disable: true,
+                ..MdOptions::put_target()
+            },
+            Threshold::Infinite,
+            Some(eq),
+            UPTR_CTRL,
+        )
+        .expect("ctrl md");
+        Plumbing {
+            eq,
+            peer,
+            layout,
+            round: 0,
+            data_me: None,
+            tx_md: None,
+            ready_pending: false,
+        }
+    }
+
+    /// Send a zero-length control put.
+    fn send_ctrl(&mut self, ctx: &mut AppCtx<'_>, kind: u64, info: u64) {
+        let md = ctx
+            .md_bind(0, 0, MdOptions::default(), Threshold::Count(1), None, 0)
+            .expect("ctrl tx md");
+        ctx.put(md, AckReq::NoAck, self.peer, PT_CTRL, 0, CTRL_BITS | kind, 0, info)
+            .expect("ctrl put");
+        ctx.md_unlink(md).expect("ctrl md unlink");
+    }
+
+    /// Rebuild the data receive entry for a round ("the memory descriptor
+    /// is created once for each round", §5.2).
+    fn rebuild_rx(&mut self, ctx: &mut AppCtx<'_>, size: u64, for_get: bool) {
+        if let Some(me) = self.data_me.take() {
+            ctx.me_unlink(me).expect("stale data me");
+        }
+        let me = ctx
+            .me_attach(PT_DATA, ProcessId::any(), DATA_BITS, 0, UnlinkOp::Retain, InsertPos::After)
+            .expect("data me");
+        let options = if for_get {
+            MdOptions {
+                manage_remote: true,
+                event_start_disable: true,
+                ..MdOptions::get_target()
+            }
+        } else {
+            MdOptions {
+                manage_remote: true,
+                event_start_disable: true,
+                ..MdOptions::put_target()
+            }
+        };
+        let base = if for_get { self.layout.tx } else { self.layout.rx };
+        ctx.md_attach(me, base, size.max(1), options, Threshold::Infinite, Some(self.eq), UPTR_DATA)
+            .expect("data md");
+        self.data_me = Some(me);
+    }
+
+    /// Rebuild the transmit MD for a round.
+    fn rebuild_tx(&mut self, ctx: &mut AppCtx<'_>, size: u64, with_events: bool) {
+        if let Some(md) = self.tx_md.take() {
+            ctx.md_unlink(md).expect("stale tx md");
+        }
+        let eq = if with_events { Some(self.eq) } else { None };
+        let md = ctx
+            .md_bind(self.layout.tx, size, MdOptions::default(), Threshold::Infinite, eq, UPTR_TX)
+            .expect("tx md");
+        self.tx_md = Some(md);
+    }
+
+    fn put_data(&mut self, ctx: &mut AppCtx<'_>) {
+        let md = self.tx_md.expect("tx md built");
+        ctx.put(md, AckReq::NoAck, self.peer, PT_DATA, 0, DATA_BITS, 0, 0)
+            .expect("data put");
+    }
+}
+
+/// Which benchmark pattern a driver runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtlPattern {
+    /// Ping-pong with puts (Figs. 4, 5).
+    PingPongPut,
+    /// Serial gets (Figs. 4, 5; a get is its own round trip).
+    PingPongGet,
+    /// Uni-directional streaming puts (Fig. 6).
+    StreamPut,
+    /// Serial streaming gets (Fig. 6's blocking get curve).
+    StreamGet,
+    /// Bidirectional simultaneous ping-pong (Fig. 7).
+    Bidir,
+    /// Bidirectional gets: both sides pull from each other simultaneously
+    /// (Fig. 7's get curve).
+    BidirGet,
+}
+
+/// The initiator-side driver (node 0). For streaming, the measurement is
+/// taken at the receiver — see [`PtlResponder`].
+pub struct PtlInitiator {
+    pattern: PtlPattern,
+    schedule: Schedule,
+    peer_nid: u32,
+    p: Option<Plumbing>,
+    i: u32,
+    issued: u32,
+    outstanding: u32,
+    t0: SimTime,
+    /// Completed round measurements (empty for streaming; the responder
+    /// records those).
+    pub results: Vec<RoundResult>,
+}
+
+impl PtlInitiator {
+    /// Create a driver for `pattern` over `schedule`, talking to node 1.
+    pub fn new(pattern: PtlPattern, schedule: Schedule) -> Self {
+        Self::with_peer(pattern, schedule, 1)
+    }
+
+    /// Create a driver whose peer is node `peer_nid` (symmetric patterns
+    /// run an initiator on both nodes).
+    pub fn with_peer(pattern: PtlPattern, schedule: Schedule, peer_nid: u32) -> Self {
+        PtlInitiator {
+            pattern,
+            schedule,
+            peer_nid,
+            p: None,
+            i: 0,
+            issued: 0,
+            outstanding: 0,
+            t0: SimTime::ZERO,
+            results: Vec::new(),
+        }
+    }
+
+    /// The memory layout this driver requires.
+    pub fn layout(&self) -> Layout {
+        Layout::for_max(self.schedule.max_size())
+    }
+
+    fn begin_round_setup(&mut self, ctx: &mut AppCtx<'_>) {
+        let size = self.schedule.points[self.p.as_ref().unwrap().round].size;
+        let p = self.p.as_mut().unwrap();
+        match self.pattern {
+            PtlPattern::PingPongPut | PtlPattern::StreamPut => {
+                p.rebuild_rx(ctx, size, false);
+                p.rebuild_tx(ctx, size, self.pattern == PtlPattern::StreamPut);
+            }
+            PtlPattern::PingPongGet | PtlPattern::StreamGet => {
+                // The get deposits into an initiator-bound MD; rebuild it
+                // per round. (`rebuild_tx` doubles as the get MD over the
+                // rx buffer.)
+                if let Some(md) = p.tx_md.take() {
+                    ctx.md_unlink(md).expect("stale get md");
+                }
+                let md = ctx
+                    .md_bind(p.layout.rx, size, MdOptions::default(), Threshold::Infinite, Some(p.eq), UPTR_TX)
+                    .expect("get md");
+                p.tx_md = Some(md);
+            }
+            PtlPattern::Bidir => {
+                p.rebuild_rx(ctx, size, false);
+                p.rebuild_tx(ctx, size, false);
+            }
+            PtlPattern::BidirGet => {
+                // Expose the tx region for the peer's gets AND bind the
+                // local get descriptor over the rx buffer.
+                p.rebuild_rx(ctx, size, true);
+                if let Some(md) = p.tx_md.take() {
+                    ctx.md_unlink(md).expect("stale get md");
+                }
+                let md = ctx
+                    .md_bind(p.layout.rx, size, MdOptions::default(), Threshold::Infinite, Some(p.eq), UPTR_TX)
+                    .expect("get md");
+                p.tx_md = Some(md);
+            }
+        }
+        self.i = 0;
+        self.issued = 0;
+        self.outstanding = 0;
+    }
+
+    fn start_round(&mut self, ctx: &mut AppCtx<'_>) {
+        self.t0 = ctx.now();
+        let point = self.schedule.points[self.p.as_ref().unwrap().round];
+        match self.pattern {
+            PtlPattern::PingPongPut | PtlPattern::Bidir => {
+                self.p.as_mut().unwrap().put_data(ctx);
+            }
+            PtlPattern::PingPongGet | PtlPattern::StreamGet | PtlPattern::BidirGet => {
+                self.issue_get(ctx);
+            }
+            PtlPattern::StreamPut => {
+                self.pump_stream(ctx, point.reps);
+            }
+        }
+    }
+
+    fn issue_get(&mut self, ctx: &mut AppCtx<'_>) {
+        let p = self.p.as_mut().unwrap();
+        let md = p.tx_md.expect("get md");
+        ctx.get(md, p.peer, PT_DATA, 0, DATA_BITS, 0).expect("get");
+    }
+
+    fn pump_stream(&mut self, ctx: &mut AppCtx<'_>, reps: u32) {
+        while self.issued < reps && self.outstanding < STREAM_WINDOW {
+            self.p.as_mut().unwrap().put_data(ctx);
+            self.issued += 1;
+            self.outstanding += 1;
+        }
+    }
+
+    fn round_complete(&mut self, ctx: &mut AppCtx<'_>) {
+        let point = self.schedule.points[self.p.as_ref().unwrap().round];
+        let elapsed = ctx.now() - self.t0;
+        let (messages, bw_factor) = match self.pattern {
+            // Ping-pong put: reps round trips = 2*reps one-way messages.
+            PtlPattern::PingPongPut => (2 * point.reps, 1),
+            // A get is a full round trip; count each get once.
+            PtlPattern::PingPongGet | PtlPattern::StreamGet => (point.reps, 1),
+            // Both sides pull simultaneously: aggregate both directions.
+            PtlPattern::BidirGet => (point.reps, 2),
+            // Bidirectional: each iteration moves one message per
+            // direction; report per-iteration latency and 2x aggregate
+            // bandwidth.
+            PtlPattern::Bidir => (point.reps, 2),
+            PtlPattern::StreamPut => (point.reps, 1), // recorded at responder
+        };
+        self.results.push(RoundResult {
+            size: point.size,
+            messages,
+            elapsed,
+            bw_factor,
+        });
+        self.advance_round(ctx);
+    }
+
+    fn advance_round(&mut self, ctx: &mut AppCtx<'_>) {
+        let p = self.p.as_mut().unwrap();
+        p.round += 1;
+        if p.round >= self.schedule.len() {
+            ctx.finish();
+            return;
+        }
+        self.begin_round_setup(ctx);
+        if matches!(self.pattern, PtlPattern::Bidir | PtlPattern::BidirGet) {
+            let p = self.p.as_mut().unwrap();
+            p.send_ctrl(ctx, CTRL_READY, p.round as u64);
+        }
+        let p = self.p.as_mut().unwrap();
+        if p.ready_pending {
+            p.ready_pending = false;
+            self.start_round(ctx);
+        }
+        if !self.finished_check(ctx) {
+            let eq = self.p.as_ref().unwrap().eq;
+            ctx.wait_eq(eq);
+        }
+    }
+
+    fn finished_check(&self, _ctx: &mut AppCtx<'_>) -> bool {
+        false
+    }
+}
+
+impl App for PtlInitiator {
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::Started => {
+                let layout = self.layout();
+                let peer = ProcessId::new(self.peer_nid, 0);
+                if !ctx.synthetic() {
+                    let max = self.schedule.max_size().max(64) as usize;
+                    let pattern: Vec<u8> = (0..max).map(|i| (i % 253) as u8).collect();
+                    ctx.write_mem(layout.tx, &pattern);
+                }
+                let mut p = Plumbing::setup(ctx, peer, layout);
+                p.round = 0;
+                self.p = Some(p);
+                self.begin_round_setup(ctx);
+                if matches!(self.pattern, PtlPattern::Bidir | PtlPattern::BidirGet) {
+                    let p = self.p.as_mut().unwrap();
+                    p.send_ctrl(ctx, CTRL_READY, 0);
+                }
+                let eq = self.p.as_ref().unwrap().eq;
+                ctx.wait_eq(eq);
+            }
+            AppEvent::Ptl(ev) => {
+                let reps = self.schedule.points[self.p.as_ref().unwrap().round].reps;
+                match (ev.user_ptr, ev.kind) {
+                    (UPTR_CTRL, EventKind::PutEnd) => {
+                        let kind = ev.match_bits & 0xFF;
+                        if kind == CTRL_READY {
+                            // Peer ready for the current round.
+                            if self.i == 0 && self.issued == 0 {
+                                self.start_round(ctx);
+                            } else {
+                                self.p.as_mut().unwrap().ready_pending = true;
+                            }
+                        } else if kind == CTRL_DONE {
+                            // Streaming round acknowledged by receiver.
+                            debug_assert_eq!(self.pattern, PtlPattern::StreamPut);
+                            self.round_complete(ctx);
+                            return;
+                        }
+                        let eq = self.p.as_ref().unwrap().eq;
+                        ctx.wait_eq(eq);
+                    }
+                    (UPTR_DATA, EventKind::PutEnd) => {
+                        // Pong (ping-pong put) or peer data (bidir).
+                        self.i += 1;
+                        if self.i < reps {
+                            self.p.as_mut().unwrap().put_data(ctx);
+                            let eq = self.p.as_ref().unwrap().eq;
+                            ctx.wait_eq(eq);
+                        } else {
+                            self.round_complete(ctx);
+                        }
+                    }
+                    (UPTR_TX, EventKind::ReplyEnd) => {
+                        // A get completed.
+                        self.i += 1;
+                        if self.i < reps {
+                            self.issue_get(ctx);
+                            let eq = self.p.as_ref().unwrap().eq;
+                            ctx.wait_eq(eq);
+                        } else {
+                            self.round_complete(ctx);
+                        }
+                    }
+                    (UPTR_TX, EventKind::SendEnd) => {
+                        // Streaming throttle.
+                        self.outstanding -= 1;
+                        self.pump_stream(ctx, reps);
+                        let eq = self.p.as_ref().unwrap().eq;
+                        ctx.wait_eq(eq);
+                    }
+                    _ => {
+                        let eq = self.p.as_ref().unwrap().eq;
+                        ctx.wait_eq(eq);
+                    }
+                }
+            }
+            _ => {
+                let eq = self.p.as_ref().unwrap().eq;
+                ctx.wait_eq(eq);
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The responder-side driver (node 1).
+pub struct PtlResponder {
+    pattern: PtlPattern,
+    schedule: Schedule,
+    p: Option<Plumbing>,
+    count: u32,
+    t_first: SimTime,
+    t_last: SimTime,
+    /// Streaming measurements (receiver side, steady-state intervals).
+    pub results: Vec<RoundResult>,
+}
+
+impl PtlResponder {
+    /// Create the responder for `pattern` over `schedule`.
+    pub fn new(pattern: PtlPattern, schedule: Schedule) -> Self {
+        PtlResponder {
+            pattern,
+            schedule,
+            p: None,
+            count: 0,
+            t_first: SimTime::ZERO,
+            t_last: SimTime::ZERO,
+            results: Vec::new(),
+        }
+    }
+
+    fn begin_round(&mut self, ctx: &mut AppCtx<'_>) {
+        let size = self.schedule.points[self.p.as_ref().unwrap().round].size;
+        let p = self.p.as_mut().unwrap();
+        match self.pattern {
+            PtlPattern::PingPongPut | PtlPattern::Bidir => {
+                p.rebuild_rx(ctx, size, false);
+                p.rebuild_tx(ctx, size, false);
+            }
+            PtlPattern::StreamPut => {
+                p.rebuild_rx(ctx, size, false);
+            }
+            PtlPattern::PingPongGet | PtlPattern::StreamGet => {
+                // Expose the source buffer for gets.
+                p.rebuild_rx(ctx, size, true);
+            }
+            PtlPattern::BidirGet => {
+                unreachable!("BidirGet runs an initiator on both nodes")
+            }
+        }
+        self.count = 0;
+        let p = self.p.as_mut().unwrap();
+        p.send_ctrl(ctx, CTRL_READY, p.round as u64);
+    }
+
+    fn end_round(&mut self, ctx: &mut AppCtx<'_>) {
+        let point = self.schedule.points[self.p.as_ref().unwrap().round];
+        if self.pattern == PtlPattern::StreamPut {
+            // Steady-state receiver measurement across reps-1 intervals.
+            if point.reps > 1 && self.t_last > self.t_first {
+                self.results.push(RoundResult {
+                    size: point.size,
+                    messages: point.reps - 1,
+                    elapsed: self.t_last - self.t_first,
+                    bw_factor: 1,
+                });
+            }
+            let p = self.p.as_mut().unwrap();
+            p.send_ctrl(ctx, CTRL_DONE, 0);
+        }
+        let p = self.p.as_mut().unwrap();
+        p.round += 1;
+        if p.round >= self.schedule.len() {
+            ctx.finish();
+            return;
+        }
+        self.begin_round(ctx);
+        let p = self.p.as_mut().unwrap();
+        if p.ready_pending {
+            p.ready_pending = false;
+            // Bidir: we already got the peer's READY for this round.
+            if self.pattern == PtlPattern::Bidir {
+                p.put_data(ctx);
+            }
+        }
+        let eq = self.p.as_ref().unwrap().eq;
+        ctx.wait_eq(eq);
+    }
+}
+
+impl App for PtlResponder {
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::Started => {
+                let layout = Layout::for_max(self.schedule.max_size());
+                if !ctx.synthetic() {
+                    let max = self.schedule.max_size().max(64) as usize;
+                    let pattern: Vec<u8> = (0..max).map(|i| (i % 253) as u8).collect();
+                    ctx.write_mem(layout.tx, &pattern);
+                }
+                let p = Plumbing::setup(ctx, ProcessId::new(0, 0), layout);
+                self.p = Some(p);
+                self.begin_round(ctx);
+                let eq = self.p.as_ref().unwrap().eq;
+                ctx.wait_eq(eq);
+            }
+            AppEvent::Ptl(ev) => {
+                let reps = self.schedule.points[self.p.as_ref().unwrap().round].reps;
+                match (ev.user_ptr, ev.kind) {
+                    (UPTR_DATA, EventKind::PutEnd) => {
+                        self.count += 1;
+                        match self.pattern {
+                            PtlPattern::PingPongPut => {
+                                self.p.as_mut().unwrap().put_data(ctx);
+                                if self.count >= reps {
+                                    self.end_round(ctx);
+                                    return;
+                                }
+                            }
+                            PtlPattern::StreamPut => {
+                                if self.count == 1 {
+                                    self.t_first = ctx.now();
+                                }
+                                self.t_last = ctx.now();
+                                if self.count >= reps {
+                                    self.end_round(ctx);
+                                    return;
+                                }
+                            }
+                            PtlPattern::Bidir => {
+                                if self.count < reps {
+                                    self.p.as_mut().unwrap().put_data(ctx);
+                                } else {
+                                    self.end_round(ctx);
+                                    return;
+                                }
+                            }
+                            _ => {}
+                        }
+                        let eq = self.p.as_ref().unwrap().eq;
+                        ctx.wait_eq(eq);
+                    }
+                    (UPTR_DATA, EventKind::GetEnd) => {
+                        self.count += 1;
+                        if self.count >= reps {
+                            self.end_round(ctx);
+                            return;
+                        }
+                        let eq = self.p.as_ref().unwrap().eq;
+                        ctx.wait_eq(eq);
+                    }
+                    (UPTR_CTRL, EventKind::PutEnd) => {
+                        // Bidir READY from the initiator.
+                        if ev.match_bits & 0xFF == CTRL_READY && self.pattern == PtlPattern::Bidir {
+                            if self.count == 0 {
+                                self.p.as_mut().unwrap().put_data(ctx);
+                            } else {
+                                self.p.as_mut().unwrap().ready_pending = true;
+                            }
+                        }
+                        let eq = self.p.as_ref().unwrap().eq;
+                        ctx.wait_eq(eq);
+                    }
+                    _ => {
+                        let eq = self.p.as_ref().unwrap().eq;
+                        ctx.wait_eq(eq);
+                    }
+                }
+            }
+            _ => {
+                let eq = self.p.as_ref().unwrap().eq;
+                ctx.wait_eq(eq);
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

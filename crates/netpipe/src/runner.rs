@@ -1,0 +1,226 @@
+//! Machine assembly and test execution: one call per paper curve.
+
+use crate::mpi::{MpiDriver, MpiPattern};
+use crate::ptl::{Layout, PtlInitiator, PtlPattern, PtlResponder};
+use crate::report::{bandwidth_series, latency_series, RoundResult, Series};
+use crate::schedule::Schedule;
+use xt3_mpi::Personality;
+use xt3_node::config::{MachineConfig, NodeSpec, ProcSpec};
+use xt3_node::Machine;
+use xt3_seastar::cost::CostModel;
+use xt3_sim::RunOutcome;
+
+/// Which transport a curve measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Portals put.
+    Put,
+    /// Portals get.
+    Get,
+    /// MPICH-1.2.6 over Portals.
+    Mpich1,
+    /// Cray MPICH2 over Portals.
+    Mpich2,
+}
+
+impl Transport {
+    /// The curve label used in the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Transport::Put => "put",
+            Transport::Get => "get",
+            Transport::Mpich1 => "mpich-1.2.6",
+            Transport::Mpich2 => "mpich2",
+        }
+    }
+}
+
+/// Which test pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestKind {
+    /// Ping-pong (Figs. 4 and 5).
+    PingPong,
+    /// Uni-directional streaming (Fig. 6).
+    Stream,
+    /// Bidirectional (Fig. 7).
+    Bidir,
+}
+
+/// Configuration of one NetPIPE run.
+#[derive(Debug, Clone)]
+pub struct NetpipeConfig {
+    /// The size sweep.
+    pub schedule: Schedule,
+    /// The cost model (defaults to the paper calibration).
+    pub cost: CostModel,
+    /// Run the accelerated-mode ablation instead of generic mode.
+    pub accelerated: bool,
+    /// Carry real payload bytes (slow; for validation runs).
+    pub real_payload: bool,
+}
+
+impl NetpipeConfig {
+    /// The paper's full bandwidth sweep.
+    pub fn paper() -> Self {
+        NetpipeConfig {
+            schedule: Schedule::paper(),
+            cost: CostModel::paper(),
+            accelerated: false,
+            real_payload: false,
+        }
+    }
+
+    /// The paper's latency sweep (Fig. 4 domain).
+    pub fn paper_latency() -> Self {
+        NetpipeConfig {
+            schedule: Schedule::paper_latency(),
+            ..Self::paper()
+        }
+    }
+
+    /// A light configuration for tests.
+    pub fn quick(max_size: u64) -> Self {
+        NetpipeConfig {
+            schedule: Schedule::quick(max_size),
+            cost: CostModel::paper(),
+            accelerated: false,
+            real_payload: false,
+        }
+    }
+}
+
+fn machine_for(config: &NetpipeConfig, mem_bytes: u64) -> Machine {
+    let mut mc = MachineConfig::paper_pair().with_cost(config.cost);
+    mc.synthetic_payload = !config.real_payload;
+    let proc = ProcSpec {
+        accelerated: config.accelerated,
+        mem_bytes: mem_bytes as usize,
+        ..ProcSpec::catamount_generic()
+    };
+    Machine::new(
+        mc,
+        &[NodeSpec {
+            os: xt3_node::config::OsKind::Catamount,
+            procs: vec![proc],
+        }],
+    )
+}
+
+/// Run one Portals curve; returns `(initiator results, responder
+/// results)`.
+pub fn run_ptl(config: &NetpipeConfig, pattern: PtlPattern) -> (Vec<RoundResult>, Vec<RoundResult>) {
+    let layout = Layout::for_max(config.schedule.max_size());
+    let mut m = machine_for(config, layout.mem_bytes);
+    m.spawn(0, 0, Box::new(PtlInitiator::new(pattern, config.schedule.clone())));
+    m.spawn(1, 0, Box::new(PtlResponder::new(pattern, config.schedule.clone())));
+    let mut engine = m.into_engine();
+    let outcome = engine.run();
+    assert_eq!(outcome, RunOutcome::Drained, "netpipe run must drain");
+    let mut m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "netpipe apps must finish ({pattern:?})");
+    let mut a = m.take_app(0, 0).expect("initiator");
+    let mut b = m.take_app(1, 0).expect("responder");
+    let ra = std::mem::take(&mut a.as_any().downcast_mut::<PtlInitiator>().unwrap().results);
+    let rb = std::mem::take(&mut b.as_any().downcast_mut::<PtlResponder>().unwrap().results);
+    (ra, rb)
+}
+
+/// Run a symmetric Portals pattern (an initiator on both nodes); returns
+/// node 0's measurements.
+pub fn run_ptl_symmetric(config: &NetpipeConfig, pattern: PtlPattern) -> Vec<RoundResult> {
+    let layout = Layout::for_max(config.schedule.max_size());
+    let mut m = machine_for(config, layout.mem_bytes);
+    m.spawn(
+        0,
+        0,
+        Box::new(PtlInitiator::with_peer(pattern, config.schedule.clone(), 1)),
+    );
+    m.spawn(
+        1,
+        0,
+        Box::new(PtlInitiator::with_peer(pattern, config.schedule.clone(), 0)),
+    );
+    let mut engine = m.into_engine();
+    let outcome = engine.run();
+    assert_eq!(outcome, RunOutcome::Drained, "symmetric run must drain");
+    let mut m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "symmetric apps must finish ({pattern:?})");
+    let mut a = m.take_app(0, 0).expect("node 0");
+    std::mem::take(&mut a.as_any().downcast_mut::<PtlInitiator>().unwrap().results)
+}
+
+/// Run one MPI curve; returns `(rank0 results, rank1 results)`.
+pub fn run_mpi(
+    config: &NetpipeConfig,
+    pattern: MpiPattern,
+    personality: Personality,
+) -> (Vec<RoundResult>, Vec<RoundResult>) {
+    let layout = crate::mpi::MpiLayout::for_max(config.schedule.max_size(), &personality);
+    let mut m = machine_for(config, layout.mem_bytes);
+    m.spawn(
+        0,
+        0,
+        Box::new(MpiDriver::new(pattern, personality, config.schedule.clone(), 0)),
+    );
+    m.spawn(
+        1,
+        0,
+        Box::new(MpiDriver::new(pattern, personality, config.schedule.clone(), 1)),
+    );
+    let mut engine = m.into_engine();
+    let outcome = engine.run();
+    assert_eq!(outcome, RunOutcome::Drained, "mpi netpipe run must drain");
+    let mut m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "mpi netpipe apps must finish ({pattern:?})");
+    let mut a = m.take_app(0, 0).expect("rank 0");
+    let mut b = m.take_app(1, 0).expect("rank 1");
+    let ra = std::mem::take(&mut a.as_any().downcast_mut::<MpiDriver>().unwrap().results);
+    let rb = std::mem::take(&mut b.as_any().downcast_mut::<MpiDriver>().unwrap().results);
+    (ra, rb)
+}
+
+/// The measured rounds for `(transport, kind)` — the side holding the
+/// measurement depends on the pattern (receiver for streams).
+pub fn run_curve(config: &NetpipeConfig, transport: Transport, kind: TestKind) -> Vec<RoundResult> {
+    match (transport, kind) {
+        (Transport::Put, TestKind::PingPong) => run_ptl(config, PtlPattern::PingPongPut).0,
+        (Transport::Put, TestKind::Stream) => run_ptl(config, PtlPattern::StreamPut).1,
+        (Transport::Put, TestKind::Bidir) => run_ptl(config, PtlPattern::Bidir).0,
+        (Transport::Get, TestKind::PingPong) => run_ptl(config, PtlPattern::PingPongGet).0,
+        (Transport::Get, TestKind::Stream) => run_ptl(config, PtlPattern::StreamGet).0,
+        (Transport::Get, TestKind::Bidir) => run_ptl_symmetric(config, PtlPattern::BidirGet),
+        (Transport::Mpich1, k) => run_mpi(config, mpi_pattern(k), Personality::mpich1()).pick(k),
+        (Transport::Mpich2, k) => run_mpi(config, mpi_pattern(k), Personality::mpich2()).pick(k),
+    }
+}
+
+fn mpi_pattern(kind: TestKind) -> MpiPattern {
+    match kind {
+        TestKind::PingPong => MpiPattern::PingPong,
+        TestKind::Stream => MpiPattern::Stream,
+        TestKind::Bidir => MpiPattern::Bidir,
+    }
+}
+
+trait PickSide {
+    fn pick(self, kind: TestKind) -> Vec<RoundResult>;
+}
+
+impl PickSide for (Vec<RoundResult>, Vec<RoundResult>) {
+    fn pick(self, kind: TestKind) -> Vec<RoundResult> {
+        match kind {
+            TestKind::Stream => self.1,
+            _ => self.0,
+        }
+    }
+}
+
+/// Build a latency curve (Fig. 4 style).
+pub fn latency_curve(config: &NetpipeConfig, transport: Transport, kind: TestKind) -> Series {
+    latency_series(transport.label(), &run_curve(config, transport, kind))
+}
+
+/// Build a bandwidth curve (Figs. 5–7 style).
+pub fn bandwidth_curve(config: &NetpipeConfig, transport: Transport, kind: TestKind) -> Series {
+    bandwidth_series(transport.label(), &run_curve(config, transport, kind))
+}

@@ -1,0 +1,110 @@
+//! Process memory abstraction.
+//!
+//! The Portals library reads (get/reply sources) and writes (put/reply
+//! deposits) user memory. Which physical pages back a virtual address is
+//! the bridge layer's business (`xt3-nal`): Catamount maps virtually
+//! contiguous to physically contiguous; Linux pins and translates page by
+//! page. The library only needs a read/write interface over the process's
+//! virtual address space.
+
+/// A process's virtual address space, as seen by the Portals library.
+pub trait ProcessMemory {
+    /// Size of the address space in bytes.
+    fn size(&self) -> u64;
+
+    /// Copy `data` into memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds — bounds were validated by
+    /// the bridge before the library touches memory, so an out-of-range
+    /// access here is a stack bug, not a user error.
+    fn write(&mut self, addr: u64, data: &[u8]);
+
+    /// Copy `len` bytes from memory at `addr` into a fresh buffer.
+    fn read(&self, addr: u64, len: u32) -> Vec<u8>;
+}
+
+/// A flat, contiguous address space — the Catamount model, and the default
+/// for unit tests.
+#[derive(Debug, Clone)]
+pub struct FlatMemory {
+    bytes: Vec<u8>,
+}
+
+impl FlatMemory {
+    /// A zero-filled space of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        FlatMemory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Direct view of the backing bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl ProcessMemory for FlatMemory {
+    fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) {
+        let start = addr as usize;
+        let end = start + data.len();
+        assert!(
+            end <= self.bytes.len(),
+            "write [{start}, {end}) out of bounds (size {})",
+            self.bytes.len()
+        );
+        self.bytes[start..end].copy_from_slice(data);
+    }
+
+    fn read(&self, addr: u64, len: u32) -> Vec<u8> {
+        let start = addr as usize;
+        let end = start + len as usize;
+        assert!(
+            end <= self.bytes.len(),
+            "read [{start}, {end}) out of bounds (size {})",
+            self.bytes.len()
+        );
+        self.bytes[start..end].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = FlatMemory::new(64);
+        m.write(10, &[1, 2, 3]);
+        assert_eq!(m.read(10, 3), vec![1, 2, 3]);
+        assert_eq!(m.read(9, 1), vec![0]);
+        assert_eq!(m.size(), 64);
+    }
+
+    #[test]
+    fn zero_length_operations() {
+        let mut m = FlatMemory::new(4);
+        m.write(4, &[]);
+        assert_eq!(m.read(4, 0), Vec::<u8>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_write_panics() {
+        let mut m = FlatMemory::new(4);
+        m.write(2, &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let m = FlatMemory::new(4);
+        m.read(3, 2);
+    }
+}

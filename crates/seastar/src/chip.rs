@@ -1,0 +1,76 @@
+//! The assembled SeaStar chip: one per node.
+
+use crate::cost::CostModel;
+use crate::dma::{DmaEngine, DmaKind};
+use crate::ht::HyperTransport;
+use crate::ppc::Ppc440;
+use crate::sram::Sram;
+
+/// One SeaStar NIC instance (per node).
+///
+/// Owns the chip-level resources the firmware uses: the embedded PPC, both
+/// DMA engines, the HyperTransport cave and the local SRAM. The firmware
+/// logic itself lives in `xt3-firmware`; this struct is the "hardware" it
+/// drives.
+#[derive(Debug)]
+pub struct SeaStar {
+    /// The platform cost model (shared by value; copy-cheap).
+    pub cost: CostModel,
+    /// Embedded PowerPC 440.
+    pub ppc: Ppc440,
+    /// Transmit DMA engine.
+    pub tx_dma: DmaEngine,
+    /// Receive DMA engine.
+    pub rx_dma: DmaEngine,
+    /// HyperTransport cave.
+    pub ht: HyperTransport,
+    /// 384 KB local SRAM.
+    pub sram: Sram,
+    /// Interrupts raised to the host (for the Table "interrupt count"
+    /// experiment).
+    pub interrupts_raised: u64,
+}
+
+impl SeaStar {
+    /// A fresh chip with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        SeaStar {
+            cost,
+            ppc: Ppc440::new(),
+            tx_dma: DmaEngine::new(DmaKind::Tx),
+            rx_dma: DmaEngine::new(DmaKind::Rx),
+            ht: HyperTransport::new(),
+            sram: Sram::default(),
+            interrupts_raised: 0,
+        }
+    }
+
+    /// Record an interrupt raised to the host.
+    pub fn raise_interrupt(&mut self) {
+        self.interrupts_raised += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt3_sim::SimTime;
+
+    #[test]
+    fn fresh_chip_is_idle() {
+        let chip = SeaStar::new(CostModel::paper());
+        assert_eq!(chip.ppc.free_at(), SimTime::ZERO);
+        assert_eq!(chip.tx_dma.free_at(), SimTime::ZERO);
+        assert_eq!(chip.rx_dma.free_at(), SimTime::ZERO);
+        assert_eq!(chip.interrupts_raised, 0);
+        assert_eq!(chip.sram.used(), 0);
+    }
+
+    #[test]
+    fn interrupt_counter() {
+        let mut chip = SeaStar::new(CostModel::paper());
+        chip.raise_interrupt();
+        chip.raise_interrupt();
+        assert_eq!(chip.interrupts_raised, 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! The send and receive DMA engines.
+//!
+//! Paper §2: "Independent send and receive DMA engines interact with a
+//! router ... They also provide hardware support for an end-to-end 32 bit
+//! CRC check." The engines are programmed by the PowerPC (transactions
+//! across HT are too slow for the host to program them directly), and a
+//! non-contiguous host buffer requires the *host* to pre-compute the
+//! per-page DMA commands (§3.3).
+//!
+//! Each engine is a FIFO resource: one command list streams at a time.
+//! The number of DMA commands matters because each command costs PPC
+//! programming work — this is how the Linux (paged) vs. Catamount
+//! (contiguous) difference becomes visible in the benchmarks.
+
+use serde::{Deserialize, Serialize};
+use xt3_sim::{BusyCursor, SimTime};
+
+/// Which engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DmaKind {
+    /// Transmit (host memory -> wire).
+    Tx,
+    /// Receive (wire -> host memory).
+    Rx,
+}
+
+/// A DMA command: one physically contiguous chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmaCommand {
+    /// Physical start address.
+    pub phys_addr: u64,
+    /// Chunk length in bytes.
+    pub bytes: u32,
+}
+
+/// One DMA engine.
+#[derive(Debug)]
+pub struct DmaEngine {
+    kind: DmaKind,
+    cursor: BusyCursor,
+    transfers: u64,
+    bytes: u64,
+    commands: u64,
+    /// 32-bit end-to-end CRC failures observed (fault injection only).
+    crc_failures: u64,
+}
+
+impl DmaEngine {
+    /// A fresh engine.
+    pub fn new(kind: DmaKind) -> Self {
+        DmaEngine {
+            kind,
+            cursor: BusyCursor::new(),
+            transfers: 0,
+            bytes: 0,
+            commands: 0,
+            crc_failures: 0,
+        }
+    }
+
+    /// Engine kind.
+    pub fn kind(&self) -> DmaKind {
+        self.kind
+    }
+
+    /// Reserve the engine for a transfer occupying `[max(arrival, free),
+    /// ..+duration]`. The caller computes `duration` from the HT model (the
+    /// engine itself is not the bandwidth bottleneck; HT is). Returns
+    /// `(start, done)`.
+    pub fn occupy(&mut self, arrival: SimTime, duration: SimTime, bytes: u64, commands: u64) -> (SimTime, SimTime) {
+        self.transfers += 1;
+        self.bytes += bytes;
+        self.commands += commands;
+        self.cursor.occupy_span(arrival, duration)
+    }
+
+    /// When the engine becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.cursor.free_at()
+    }
+
+    /// Record an end-to-end CRC failure (fault injection).
+    pub fn record_crc_failure(&mut self) {
+        self.crc_failures += 1;
+    }
+
+    /// Transfers performed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// DMA commands consumed (1 for contiguous, one per page for paged
+    /// buffers).
+    pub fn commands(&self) -> u64 {
+        self.commands
+    }
+
+    /// End-to-end CRC failures recorded.
+    pub fn crc_failures(&self) -> u64 {
+        self.crc_failures
+    }
+
+    /// Utilization over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.cursor.utilization(now)
+    }
+}
+
+/// Split a virtually contiguous buffer into per-page DMA commands, the way
+/// the Linux host must when pages are pinned individually (§3.3: "the host
+/// must pre-compute the commands for the TX DMA engine and pass them to
+/// the firmware").
+pub fn paged_commands(virt_addr: u64, len: u32, page_size: u32, phys_of_page: impl Fn(u64) -> u64) -> Vec<DmaCommand> {
+    assert!(page_size.is_power_of_two(), "page size must be a power of two");
+    let mut cmds = Vec::new();
+    let mut addr = virt_addr;
+    let mut remaining = len;
+    while remaining > 0 {
+        let page = addr & !(page_size as u64 - 1);
+        let offset = (addr - page) as u32;
+        let chunk = remaining.min(page_size - offset);
+        cmds.push(DmaCommand {
+            phys_addr: phys_of_page(page) + offset as u64,
+            bytes: chunk,
+        });
+        addr += chunk as u64;
+        remaining -= chunk;
+    }
+    cmds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_serializes_transfers() {
+        let mut e = DmaEngine::new(DmaKind::Tx);
+        let d = SimTime::from_us(10);
+        let (s1, d1) = e.occupy(SimTime::ZERO, d, 1000, 1);
+        let (s2, _d2) = e.occupy(SimTime::ZERO, d, 1000, 1);
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(s2, d1);
+        assert_eq!(e.transfers(), 2);
+        assert_eq!(e.bytes(), 2000);
+    }
+
+    #[test]
+    fn paged_commands_contiguous_page_aligned() {
+        // Identity mapping, 4 KB pages, aligned 16 KB buffer -> 4 commands.
+        let cmds = paged_commands(0x10000, 16384, 4096, |p| p);
+        assert_eq!(cmds.len(), 4);
+        assert!(cmds.iter().all(|c| c.bytes == 4096));
+        assert_eq!(cmds[0].phys_addr, 0x10000);
+        assert_eq!(cmds[3].phys_addr, 0x13000);
+    }
+
+    #[test]
+    fn paged_commands_unaligned() {
+        // Start 100 bytes into a page, 5000 bytes total:
+        // 3996 + 1004 across two pages.
+        let cmds = paged_commands(100, 5000, 4096, |p| p + 0x8000_0000);
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(cmds[0].bytes, 3996);
+        assert_eq!(cmds[0].phys_addr, 0x8000_0064);
+        assert_eq!(cmds[1].bytes, 1004);
+        assert_eq!(cmds[1].phys_addr, 0x8000_1000);
+    }
+
+    #[test]
+    fn paged_commands_scattered_mapping() {
+        // Non-identity page mapping: each page lands somewhere else.
+        let cmds = paged_commands(0, 8192, 4096, |p| if p == 0 { 0x7000 } else { 0x3000 });
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(cmds[0].phys_addr, 0x7000);
+        assert_eq!(cmds[1].phys_addr, 0x3000);
+    }
+
+    #[test]
+    fn paged_commands_zero_len() {
+        assert!(paged_commands(0, 0, 4096, |p| p).is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = DmaEngine::new(DmaKind::Rx);
+        e.occupy(SimTime::ZERO, SimTime::from_ns(100), 64, 3);
+        e.record_crc_failure();
+        assert_eq!(e.kind(), DmaKind::Rx);
+        assert_eq!(e.commands(), 3);
+        assert_eq!(e.crc_failures(), 1);
+        assert!(e.utilization(SimTime::from_ns(200)) > 0.4);
+    }
+}

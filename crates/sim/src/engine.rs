@@ -1,0 +1,235 @@
+//! The simulation driver: pops events in time order and hands them to the
+//! model.
+//!
+//! The engine enforces monotonic time (an event may never be scheduled
+//! before the current instant — that would be a causality bug in the model)
+//! and provides run limits so a buggy model cannot spin forever.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A simulation model: the owner of all mutable world state.
+///
+/// The engine pops events and calls [`Model::dispatch`]; the model reacts by
+/// mutating its state and scheduling further events. This "flat dispatch"
+/// style (rather than per-component trait objects) keeps borrows simple and
+/// dispatch monomorphic.
+pub trait Model {
+    /// The event type circulating through the queue.
+    type Event;
+
+    /// Handle one event at simulated time `now`.
+    fn dispatch(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Why a [`Engine::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The time horizon passed before the queue drained.
+    HorizonReached,
+    /// The event budget was exhausted (runaway-model guard).
+    EventBudgetExhausted,
+}
+
+/// The discrete-event simulation engine.
+pub struct Engine<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    dispatched: u64,
+    /// Hard cap on dispatched events per `run*` call; guards against
+    /// accidental infinite event loops in models under test.
+    event_budget: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Create an engine around `model` with an empty queue at time zero.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            dispatched: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Set the maximum number of events a single `run*` call may dispatch.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Current simulated time (the firing time of the last dispatched
+    /// event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. to seed initial state).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Mutable access to the queue (e.g. to seed initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<M::Event> {
+        &mut self.queue
+    }
+
+    /// Total events dispatched over the engine's lifetime.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Consume the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Dispatch a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((at, ev)) => {
+                assert!(
+                    at >= self.now,
+                    "causality violation: event at {at} dispatched at {}",
+                    self.now
+                );
+                self.now = at;
+                self.dispatched += 1;
+                self.model.dispatch(at, ev, &mut self.queue);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue drains.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until the queue drains or the next event would fire after
+    /// `horizon` (the horizon event itself is *not* dispatched).
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        let mut budget = self.event_budget;
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > horizon => return RunOutcome::HorizonReached,
+                Some(_) => {}
+            }
+            if budget == 0 {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            budget -= 1;
+            self.step();
+        }
+    }
+
+    /// Run until `predicate` over the model returns true, the queue drains,
+    /// or the budget runs out. The predicate is checked after every event.
+    pub fn run_while<F: FnMut(&M) -> bool>(&mut self, mut keep_going: F) -> RunOutcome {
+        let mut budget = self.event_budget;
+        loop {
+            if !keep_going(&self.model) {
+                return RunOutcome::HorizonReached;
+            }
+            if budget == 0 {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            budget -= 1;
+            if !self.step() {
+                return RunOutcome::Drained;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Chain {
+        hits: Vec<u64>,
+    }
+
+    impl Model for Chain {
+        type Event = u64;
+        fn dispatch(&mut self, now: SimTime, ev: u64, q: &mut EventQueue<u64>) {
+            self.hits.push(ev);
+            if ev > 0 {
+                q.schedule_at(now + SimTime::from_ns(10), ev - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_drain() {
+        let mut e = Engine::new(Chain { hits: vec![] });
+        e.queue_mut().schedule_at(SimTime::from_ns(1), 3);
+        assert_eq!(e.run(), RunOutcome::Drained);
+        assert_eq!(e.model().hits, vec![3, 2, 1, 0]);
+        assert_eq!(e.now(), SimTime::from_ns(31));
+        assert_eq!(e.dispatched(), 4);
+    }
+
+    #[test]
+    fn horizon_stops_early_without_dispatching_past_it() {
+        let mut e = Engine::new(Chain { hits: vec![] });
+        e.queue_mut().schedule_at(SimTime::from_ns(1), 10);
+        assert_eq!(e.run_until(SimTime::from_ns(25)), RunOutcome::HorizonReached);
+        // Events at 1, 11, 21 fired; 31 is pending.
+        assert_eq!(e.model().hits, vec![10, 9, 8]);
+        assert_eq!(e.queue_mut().len(), 1);
+    }
+
+    #[test]
+    fn event_budget_guards_runaway() {
+        struct Spinner;
+        impl Model for Spinner {
+            type Event = ();
+            fn dispatch(&mut self, now: SimTime, _: (), q: &mut EventQueue<()>) {
+                q.schedule_at(now + SimTime::PS, ());
+            }
+        }
+        let mut e = Engine::new(Spinner).with_event_budget(1000);
+        e.queue_mut().schedule_at(SimTime::ZERO, ());
+        assert_eq!(e.run(), RunOutcome::EventBudgetExhausted);
+        assert_eq!(e.dispatched(), 1000);
+    }
+
+    #[test]
+    fn run_while_predicate() {
+        let mut e = Engine::new(Chain { hits: vec![] });
+        e.queue_mut().schedule_at(SimTime::ZERO, 100);
+        e.run_while(|m| m.hits.len() < 5);
+        assert_eq!(e.model().hits.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn past_scheduling_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = bool;
+            fn dispatch(&mut self, _now: SimTime, first: bool, q: &mut EventQueue<bool>) {
+                if first {
+                    // Schedule an event in the past relative to where time
+                    // will be after we advance.
+                    q.schedule_at(SimTime::from_ns(1), false);
+                }
+            }
+        }
+        let mut e = Engine::new(Bad);
+        e.queue_mut().schedule_at(SimTime::from_ns(100), true);
+        e.run();
+    }
+}

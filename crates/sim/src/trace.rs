@@ -1,0 +1,190 @@
+//! Lightweight event tracing.
+//!
+//! Models record significant protocol steps (command posted, interrupt
+//! raised, DMA complete, ...) into a [`Trace`]. Tracing is used two ways:
+//! the determinism integration test compares full traces across runs, and
+//! the latency-breakdown tooling attributes time between consecutive steps
+//! of one message's life.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse category of a trace event, used for filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceCategory {
+    /// Host CPU activity (traps, library processing, interrupt handlers).
+    Host,
+    /// Firmware activity on the embedded PowerPC.
+    Firmware,
+    /// DMA engine activity.
+    Dma,
+    /// Network fabric activity (injection, delivery, retries).
+    Network,
+    /// Portals library-level events (matching, EQ posts).
+    Portals,
+    /// MPI-layer events.
+    Mpi,
+    /// Application-level milestones.
+    App,
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceCategory::Host => "host",
+            TraceCategory::Firmware => "fw",
+            TraceCategory::Dma => "dma",
+            TraceCategory::Network => "net",
+            TraceCategory::Portals => "ptl",
+            TraceCategory::Mpi => "mpi",
+            TraceCategory::App => "app",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which node it happened on.
+    pub node: u32,
+    /// Event category.
+    pub category: TraceCategory,
+    /// Human-readable step label (stable strings; compared across runs).
+    pub label: String,
+    /// Message/connection correlation id, when applicable.
+    pub tag: u64,
+}
+
+/// An append-only trace buffer. Disabled traces drop events at negligible
+/// cost so production benchmark runs are unaffected.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+    capacity: usize,
+}
+
+impl Trace {
+    /// A disabled (no-op) trace.
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            events: Vec::new(),
+            capacity: 0,
+        }
+    }
+
+    /// An enabled trace retaining at most `capacity` events (0 =
+    /// unbounded).
+    pub fn enabled(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Is recording active?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled or full).
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        node: u32,
+        category: TraceCategory,
+        label: impl Into<String>,
+        tag: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if self.capacity != 0 && self.events.len() >= self.capacity {
+            return;
+        }
+        self.events.push(TraceEvent {
+            at,
+            node,
+            category,
+            label: label.into(),
+            tag,
+        });
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events for one correlation tag, in order.
+    pub fn for_tag(&self, tag: u64) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.tag == tag)
+    }
+
+    /// Render a human-readable dump (used by the latency-breakdown tools).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "{:>14}  n{:<4} {:<4} #{:<6} {}",
+                e.at.to_string(),
+                e.node,
+                e.category.to_string(),
+                e.tag,
+                e.label
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, 0, TraceCategory::Host, "x", 1);
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled(0);
+        t.record(SimTime::from_ns(1), 0, TraceCategory::Host, "a", 7);
+        t.record(SimTime::from_ns(2), 1, TraceCategory::Network, "b", 7);
+        t.record(SimTime::from_ns(3), 1, TraceCategory::Firmware, "c", 8);
+        assert_eq!(t.events().len(), 3);
+        let tagged: Vec<_> = t.for_tag(7).map(|e| e.label.as_str()).collect();
+        assert_eq!(tagged, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn capacity_bounds_retention() {
+        let mut t = Trace::enabled(2);
+        for i in 0..5 {
+            t.record(SimTime::from_ns(i), 0, TraceCategory::App, "e", i);
+        }
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn render_contains_labels() {
+        let mut t = Trace::enabled(0);
+        t.record(SimTime::from_us(5), 3, TraceCategory::Dma, "tx-dma-done", 42);
+        let s = t.render();
+        assert!(s.contains("tx-dma-done"));
+        assert!(s.contains("n3"));
+        assert!(s.contains("#42"));
+    }
+}

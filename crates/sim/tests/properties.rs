@@ -1,0 +1,93 @@
+//! Property tests for the DES foundations: queue ordering, busy-cursor
+//! conservation, statistics correctness.
+
+use proptest::prelude::*;
+use xt3_sim::{BusyCursor, EventQueue, Histogram, OnlineStats, SimRng, SimTime};
+
+proptest! {
+    /// The event queue pops in (time, insertion) order for any schedule —
+    /// equivalent to a stable sort by time.
+    #[test]
+    fn queue_matches_stable_sort(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_ns(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+        expected.sort_by_key(|&(t, _)| t); // stable: ties keep insertion order
+        let mut popped = Vec::new();
+        while let Some((at, idx)) = q.pop() {
+            popped.push((at.ns(), idx));
+        }
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Busy-cursor conservation: total busy time equals the sum of
+    /// durations; completion times never decrease; jobs never overlap.
+    #[test]
+    fn busy_cursor_conservation(jobs in proptest::collection::vec((0u64..1000, 0u64..500), 1..100)) {
+        let mut c = BusyCursor::new();
+        let mut total = SimTime::ZERO;
+        let mut last_done = SimTime::ZERO;
+        let mut prev_done = SimTime::ZERO;
+        for &(arrival, duration) in &jobs {
+            let (start, done) = c.occupy_span(SimTime::from_ns(arrival), SimTime::from_ns(duration));
+            prop_assert!(start >= SimTime::from_ns(arrival));
+            prop_assert!(start >= prev_done, "jobs must not overlap");
+            prop_assert_eq!(done, start + SimTime::from_ns(duration));
+            prev_done = done;
+            total += SimTime::from_ns(duration);
+            last_done = last_done.max(done);
+        }
+        prop_assert_eq!(c.busy_total(), total);
+        prop_assert_eq!(c.free_at(), prev_done);
+        prop_assert!(c.utilization(last_done.max(SimTime::NS)) <= 1.0 + f64::EPSILON);
+    }
+
+    /// OnlineStats agrees with the two-pass computation.
+    #[test]
+    fn online_stats_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..300)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+        prop_assert_eq!(s.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Histogram conservation: count and mean match the raw samples, and
+    /// each sample lands in the bucket containing it.
+    #[test]
+    fn histogram_conservation(xs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-9 * mean.max(1.0));
+        let total: u64 = h.iter_nonzero().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, xs.len() as u64);
+    }
+
+    /// The RNG's bounded sampling is in range and `fork` streams never
+    /// collide with the parent stream in their first draws.
+    #[test]
+    fn rng_bounds_and_forks(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(r.below(bound) < bound);
+        }
+        let mut a = SimRng::new(seed).fork(1);
+        let mut b = SimRng::new(seed).fork(2);
+        let a_vals: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let b_vals: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        prop_assert_ne!(a_vals, b_vals, "fork streams must differ");
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! The XT3 / Red Storm interconnect model.
+//!
+//! The SeaStar router (paper §2) is a table-based 3-D torus router: every
+//! node holds a routing table giving a **fixed path** to every destination,
+//! which yields in-order packet delivery. Links carry 64-byte packets at up
+//! to 2.5 GB/s of data payload per direction, protected by a 16-bit CRC
+//! with retries, plus an end-to-end 32-bit CRC.
+//!
+//! This crate implements:
+//!
+//! * [`coord`] — 3-D coordinates and the mesh/torus shape (Red Storm is a
+//!   torus only in Z, §5.1);
+//! * [`route`] — per-node routing tables (dimension-order), path
+//!   enumeration and next-hop lookup;
+//! * [`link`] — the link model: serialization at link payload bandwidth,
+//!   per-hop router latency, CRC-16 retry on injected errors;
+//! * [`fabric`] — message transport over fixed paths with per-link busy
+//!   cursors (wormhole-style cut-through approximation), preserving
+//!   contention and per-(src,dst) in-order delivery.
+//!
+//! # Example
+//!
+//! ```
+//! use xt3_topology::*;
+//! use xt3_sim::SimTime;
+//!
+//! // Red Storm wraps only in z (paper §5.1).
+//! let dims = Dims::red_storm(4, 4, 8);
+//! let mut fabric = Fabric::new(dims, FabricConfig::default());
+//! let delivered = fabric.send(
+//!     SimTime::ZERO,
+//!     NetMessage { src: NodeId(0), dst: NodeId(100), payload_bytes: 4096, tag: 1, body: () },
+//! );
+//! assert_eq!(delivered.hops, fabric.routes().hop_count(NodeId(0), NodeId(100)));
+//! assert!(delivered.header_at < delivered.complete_at);
+//! ```
+
+pub mod coord;
+pub mod fabric;
+pub mod link;
+pub mod route;
+
+pub use coord::{Coord, Dims, NodeId, Port};
+pub use fabric::{DeliveredMsg, Fabric, FabricConfig, NetMessage};
+pub use link::{Link, LinkConfig};
+pub use route::RoutingTable;

@@ -1,0 +1,193 @@
+//! Table-based routing.
+//!
+//! The SeaStar routers are *table-based*: each router holds a per-
+//! destination output-port table, giving a **fixed path** between every
+//! pair of nodes and therefore in-order delivery (paper §2). We reproduce
+//! that structure literally: [`RoutingTable::build`] computes a
+//! dimension-order (X, then Y, then Z) table for every node; the fabric
+//! then walks tables hop by hop exactly as the hardware would.
+
+use crate::coord::{Coord, Dims, NodeId, Port};
+use serde::{Deserialize, Serialize};
+
+/// Per-node routing tables for an entire machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoutingTable {
+    dims: Dims,
+    /// `table[src][dst]` = output port at `src` for packets to `dst`.
+    table: Vec<Vec<Port>>,
+}
+
+impl RoutingTable {
+    /// Build dimension-order routing tables for `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is disconnected for some pair (cannot happen for
+    /// meshes/tori with all extents ≥ 1).
+    pub fn build(dims: Dims) -> Self {
+        let n = dims.node_count() as usize;
+        let mut table = Vec::with_capacity(n);
+        for src in dims.iter_ids() {
+            let sc = dims.coord_of(src);
+            let mut row = Vec::with_capacity(n);
+            for dst in dims.iter_ids() {
+                row.push(Self::compute_port(dims, sc, dims.coord_of(dst)));
+            }
+            table.push(row);
+        }
+        RoutingTable { dims, table }
+    }
+
+    fn compute_port(dims: Dims, src: Coord, dst: Coord) -> Port {
+        // Dimension order: resolve X first, then Y, then Z.
+        let dx = Dims::delta(src.x, dst.x, dims.nx, dims.wrap_x);
+        if dx != 0 {
+            return if dx > 0 { Port::XPlus } else { Port::XMinus };
+        }
+        let dy = Dims::delta(src.y, dst.y, dims.ny, dims.wrap_y);
+        if dy != 0 {
+            return if dy > 0 { Port::YPlus } else { Port::YMinus };
+        }
+        let dz = Dims::delta(src.z, dst.z, dims.nz, dims.wrap_z);
+        if dz != 0 {
+            return if dz > 0 { Port::ZPlus } else { Port::ZMinus };
+        }
+        Port::Host
+    }
+
+    /// The machine shape this table was built for.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// Output port at `at` for traffic destined to `dst`.
+    pub fn next_port(&self, at: NodeId, dst: NodeId) -> Port {
+        self.table[at.0 as usize][dst.0 as usize]
+    }
+
+    /// The full fixed path from `src` to `dst` as a list of `(node, port)`
+    /// traversals; empty when `src == dst`.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Vec<(NodeId, Port)> {
+        let mut hops = Vec::new();
+        let mut at = src;
+        while at != dst {
+            let port = self.next_port(at, dst);
+            debug_assert_ne!(port, Port::Host, "premature host port on path");
+            let next = self
+                .dims
+                .neighbor(self.dims.coord_of(at), port)
+                .expect("routing table pointed at a missing link");
+            hops.push((at, port));
+            at = self.dims.id_of(next);
+            debug_assert!(
+                hops.len() <= self.dims.node_count() as usize,
+                "routing loop {src}->{dst}"
+            );
+        }
+        hops
+    }
+
+    /// Number of network hops between two nodes.
+    pub fn hop_count(&self, src: NodeId, dst: NodeId) -> u32 {
+        let (sc, dc) = (self.dims.coord_of(src), self.dims.coord_of(dst));
+        let d = self.dims;
+        Dims::delta(sc.x, dc.x, d.nx, d.wrap_x).unsigned_abs()
+            + Dims::delta(sc.y, dc.y, d.ny, d.wrap_y).unsigned_abs()
+            + Dims::delta(sc.z, dc.z, d.nz, d.wrap_z).unsigned_abs()
+    }
+
+    /// The maximum hop count over all node pairs (network diameter).
+    pub fn diameter(&self) -> u32 {
+        let d = self.dims;
+        let span = |extent: u16, wrap: bool| -> u32 {
+            if extent <= 1 {
+                0
+            } else if wrap {
+                (extent / 2) as u32
+            } else {
+                (extent - 1) as u32
+            }
+        };
+        span(d.nx, d.wrap_x) + span(d.ny, d.wrap_y) + span(d.nz, d.wrap_z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_route_is_host_port() {
+        let rt = RoutingTable::build(Dims::torus(3, 3, 3));
+        for id in rt.dims().iter_ids() {
+            assert_eq!(rt.next_port(id, id), Port::Host);
+            assert!(rt.path(id, id).is_empty());
+        }
+    }
+
+    #[test]
+    fn path_length_matches_hop_count() {
+        let dims = Dims::red_storm(4, 3, 5);
+        let rt = RoutingTable::build(dims);
+        for src in dims.iter_ids() {
+            for dst in dims.iter_ids() {
+                assert_eq!(
+                    rt.path(src, dst).len() as u32,
+                    rt.hop_count(src, dst),
+                    "{src}->{dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_order_resolves_x_first() {
+        let dims = Dims::mesh(4, 4, 4);
+        let rt = RoutingTable::build(dims);
+        let src = dims.id_of(Coord::new(0, 0, 0));
+        let dst = dims.id_of(Coord::new(2, 2, 0));
+        let path = rt.path(src, dst);
+        let ports: Vec<Port> = path.iter().map(|&(_, p)| p).collect();
+        assert_eq!(ports, vec![Port::XPlus, Port::XPlus, Port::YPlus, Port::YPlus]);
+    }
+
+    #[test]
+    fn torus_takes_short_way() {
+        let dims = Dims::torus(8, 1, 1);
+        let rt = RoutingTable::build(dims);
+        let src = dims.id_of(Coord::new(0, 0, 0));
+        let dst = dims.id_of(Coord::new(7, 0, 0));
+        assert_eq!(rt.hop_count(src, dst), 1);
+        assert_eq!(rt.next_port(src, dst), Port::XMinus);
+    }
+
+    #[test]
+    fn mesh_takes_long_way() {
+        let dims = Dims::mesh(8, 1, 1);
+        let rt = RoutingTable::build(dims);
+        let src = dims.id_of(Coord::new(0, 0, 0));
+        let dst = dims.id_of(Coord::new(7, 0, 0));
+        assert_eq!(rt.hop_count(src, dst), 7);
+    }
+
+    #[test]
+    fn diameter() {
+        assert_eq!(RoutingTable::build(Dims::torus(8, 8, 8)).diameter(), 12);
+        assert_eq!(RoutingTable::build(Dims::mesh(8, 8, 8)).diameter(), 21);
+        assert_eq!(RoutingTable::build(Dims::red_storm(8, 8, 8)).diameter(), 18);
+    }
+
+    #[test]
+    fn fixed_paths_are_consistent_with_tables() {
+        // Every hop of a path must agree with the per-node table (this is
+        // what gives the hardware in-order delivery).
+        let dims = Dims::red_storm(3, 3, 4);
+        let rt = RoutingTable::build(dims);
+        let src = NodeId(0);
+        let dst = NodeId(dims.node_count() - 1);
+        for (node, port) in rt.path(src, dst) {
+            assert_eq!(rt.next_port(node, dst), port);
+        }
+    }
+}

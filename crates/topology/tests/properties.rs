@@ -1,0 +1,142 @@
+//! Property tests for the interconnect: routing invariants that must hold
+//! for any machine shape, and fabric delivery invariants under arbitrary
+//! traffic.
+
+use proptest::prelude::*;
+use xt3_sim::SimTime;
+use xt3_topology::coord::{Dims, NodeId, Port};
+use xt3_topology::fabric::{Fabric, FabricConfig, NetMessage};
+use xt3_topology::route::RoutingTable;
+
+fn arb_dims() -> impl Strategy<Value = Dims> {
+    (1u16..5, 1u16..5, 1u16..5, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(nx, ny, nz, wx, wy, wz)| Dims {
+            nx,
+            ny,
+            nz,
+            wrap_x: wx,
+            wrap_y: wy,
+            wrap_z: wz,
+        },
+    )
+}
+
+proptest! {
+    /// Every path terminates at its destination, has exactly hop_count
+    /// steps, never exceeds the diameter, and every hop agrees with the
+    /// per-node table (the fixed-path property behind in-order delivery).
+    #[test]
+    fn routing_paths_are_valid(dims in arb_dims(), src_i in any::<u32>(), dst_i in any::<u32>()) {
+        let n = dims.node_count();
+        let src = NodeId(src_i % n);
+        let dst = NodeId(dst_i % n);
+        let rt = RoutingTable::build(dims);
+        let path = rt.path(src, dst);
+        prop_assert_eq!(path.len() as u32, rt.hop_count(src, dst));
+        prop_assert!(path.len() as u32 <= rt.diameter());
+
+        let mut at = src;
+        for &(node, port) in &path {
+            prop_assert_eq!(node, at);
+            prop_assert_eq!(rt.next_port(at, dst), port);
+            prop_assert_ne!(port, Port::Host);
+            let next = dims.neighbor(dims.coord_of(at), port).expect("link exists");
+            at = dims.id_of(next);
+        }
+        prop_assert_eq!(at, dst);
+        prop_assert_eq!(rt.next_port(dst, dst), Port::Host);
+    }
+
+    /// Hop counts are symmetric (dimension-order deltas are sign-reversed
+    /// on the reverse path) and satisfy the triangle inequality through
+    /// any intermediate node.
+    #[test]
+    fn hop_count_metric_properties(
+        dims in arb_dims(),
+        a_i in any::<u32>(),
+        b_i in any::<u32>(),
+        c_i in any::<u32>(),
+    ) {
+        let n = dims.node_count();
+        let (a, b, c) = (NodeId(a_i % n), NodeId(b_i % n), NodeId(c_i % n));
+        let rt = RoutingTable::build(dims);
+        prop_assert_eq!(rt.hop_count(a, b), rt.hop_count(b, a));
+        prop_assert_eq!(rt.hop_count(a, a), 0);
+        prop_assert!(rt.hop_count(a, b) <= rt.hop_count(a, c) + rt.hop_count(c, b));
+    }
+
+    /// For any sequence of messages between one (src, dst) pair, headers
+    /// and completions arrive strictly in order, and completion never
+    /// precedes the header.
+    #[test]
+    fn fabric_delivery_is_in_order(
+        sizes in proptest::collection::vec(0u64..100_000, 1..30),
+        src_i in 0u32..27,
+        dst_i in 0u32..27,
+    ) {
+        let dims = Dims::red_storm(3, 3, 3);
+        let mut f = Fabric::new(dims, FabricConfig::default());
+        let src = NodeId(src_i % dims.node_count());
+        let dst = NodeId(dst_i % dims.node_count());
+        prop_assume!(src != dst);
+
+        let mut last_header = SimTime::ZERO;
+        let mut last_complete = SimTime::ZERO;
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let d = f.send(
+                SimTime::ZERO,
+                NetMessage { src, dst, payload_bytes: bytes, tag: i as u64, body: () },
+            );
+            prop_assert!(d.header_at <= d.complete_at, "header precedes completion");
+            prop_assert!(d.header_at > last_header, "headers in order");
+            prop_assert!(d.complete_at > last_complete, "completions in order");
+            last_header = d.header_at;
+            last_complete = d.complete_at;
+        }
+    }
+
+    /// Wire time grows monotonically with payload for a fixed pair, and a
+    /// longer route never beats a shorter one for the same payload on an
+    /// idle fabric.
+    #[test]
+    fn fabric_time_monotonicity(bytes in 0u64..1_000_000) {
+        let dims = Dims::mesh(5, 1, 1);
+        let near = Fabric::new(dims, FabricConfig::default())
+            .send(SimTime::ZERO, NetMessage { src: NodeId(0), dst: NodeId(1), payload_bytes: bytes, tag: 0, body: () })
+            .complete_at;
+        let far = Fabric::new(dims, FabricConfig::default())
+            .send(SimTime::ZERO, NetMessage { src: NodeId(0), dst: NodeId(4), payload_bytes: bytes, tag: 0, body: () })
+            .complete_at;
+        prop_assert!(far > near, "more hops cost more: {far} vs {near}");
+
+        let small = Fabric::new(dims, FabricConfig::default())
+            .send(SimTime::ZERO, NetMessage { src: NodeId(0), dst: NodeId(1), payload_bytes: bytes, tag: 0, body: () })
+            .complete_at;
+        let big = Fabric::new(dims, FabricConfig::default())
+            .send(SimTime::ZERO, NetMessage { src: NodeId(0), dst: NodeId(1), payload_bytes: bytes + 4096, tag: 0, body: () })
+            .complete_at;
+        prop_assert!(big > small, "more bytes cost more");
+    }
+
+    /// CRC fault injection never changes packet accounting, only timing:
+    /// the same traffic with errors completes no earlier than without.
+    #[test]
+    fn crc_errors_only_add_time(
+        bytes in 64u64..262_144,
+        prob in 0.0f64..0.3,
+    ) {
+        let dims = Dims::mesh(2, 1, 1);
+        let msg = |tag| NetMessage { src: NodeId(0), dst: NodeId(1), payload_bytes: bytes, tag, body: () };
+
+        let clean = Fabric::new(dims, FabricConfig::default())
+            .send(SimTime::ZERO, msg(0))
+            .complete_at;
+        let mut cfg = FabricConfig::default();
+        cfg.link.crc_error_prob = prob;
+        let mut dirty_fabric = Fabric::new(dims, cfg);
+        let dirty = dirty_fabric.send(SimTime::ZERO, msg(0)).complete_at;
+        prop_assert!(dirty >= clean);
+        prop_assert_eq!(dirty_fabric.messages_sent(), 1);
+        prop_assert_eq!(dirty_fabric.bytes_sent(), bytes);
+    }
+}

@@ -1,0 +1,52 @@
+//! The application interface.
+//!
+//! An [`App`] is an event-driven process: the machine calls
+//! [`App::on_event`] when the app starts, when an event it waited for
+//! arrives, or when its timer fires. Inside the callback the app issues
+//! Portals API calls through [`AppCtx`]; each call charges the host CPU
+//! its cost-model price and advances the app's notion of time. Blocking
+//! (`PtlEQWait`) is expressed by requesting a wait and returning — the
+//! machine wakes the app when an event lands in that queue.
+
+use std::any::Any;
+use xt3_portals::event::Event as PtlEvent;
+use xt3_portals::types::EqHandle;
+use xt3_sim::SimTime;
+
+/// What the machine delivers to an app callback.
+#[derive(Debug, Clone)]
+pub enum AppEvent {
+    /// First activation.
+    Started,
+    /// A Portals event arrived on the EQ the app was waiting on.
+    Ptl(PtlEvent),
+    /// The requested timer elapsed.
+    Timer,
+    /// The EQ overflowed and events were lost (`PTL_EQ_DROPPED`).
+    EqDropped,
+}
+
+/// What an app asks for when its callback returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitRequest {
+    /// Nothing; the app is idle until something else wakes it (or it
+    /// finished).
+    None,
+    /// Wake when an event is available on this EQ.
+    Eq(EqHandle),
+    /// Wake after a delay.
+    Timer(SimTime),
+}
+
+/// An application process.
+pub trait App: 'static {
+    /// Handle one activation. Issue Portals calls through `ctx`; request
+    /// the next wait via [`AppCtx::wait_eq`] / [`AppCtx::sleep`] /
+    /// [`AppCtx::finish`] before returning.
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent);
+
+    /// Downcast support so harnesses can extract results after the run.
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+pub use crate::machine::AppCtx;

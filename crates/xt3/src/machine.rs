@@ -1,0 +1,1700 @@
+//! The machine: nodes + fabric + event dispatch.
+//!
+//! This module sequences the full message paths of paper §3–§4 over the
+//! simulated platform. The canonical generic-mode put:
+//!
+//! ```text
+//! app --trap--> kernel Portals --cmd--> mailbox --HT--> firmware
+//!   firmware --TX DMA(header fetch + payload read)--> wire
+//!   wire --router hops--> target firmware
+//!   firmware --upper pending write, event, INTERRUPT--> target host
+//!   host: matching --deposit cmd--> firmware --RX DMA--> memory
+//!   firmware --event, INTERRUPT--> host --PUT_END--> polling app
+//! ```
+//!
+//! with the §6 12-byte piggyback shortcut (payload rides with the header;
+//! the match interrupt also delivers and completes, saving the second
+//! interrupt) and the firmware-direct Reply/Ack path (the originating
+//! command pushed the buffer down, so no host matching and no interrupt —
+//! the completion event is readable by the polling application the moment
+//! the firmware writes it, §4.1).
+
+use crate::app::{App, AppEvent, WaitRequest};
+use crate::config::{ExhaustionPolicy, MachineConfig, NodeSpec};
+use crate::node::{Node, ProcState, RxRecord, TxRecord, WaitState};
+use crate::wire::{WireKind, WireMsg};
+use xt3_firmware::control::{FwEffect, FwMode, ProcIdx};
+use xt3_firmware::gbn::{GbnEvent, GbnSender};
+use xt3_firmware::mailbox::{FwCommand, FwEvent};
+use xt3_firmware::pending::PendingId;
+use xt3_portals::header::{PortalsHeader, PortalsOp};
+use xt3_portals::library::{DeliverOutcome, IncomingAction, WireData};
+use xt3_portals::md::{MdOptions, Threshold};
+use xt3_portals::me::{InsertPos, UnlinkOp};
+use xt3_portals::types::{
+    AckReq, EqHandle, MatchBits, MdHandle, MeHandle, ProcessId, PtlError, PtlResult,
+};
+use xt3_seastar::ht::HtDir;
+use xt3_seastar::ppc::FwHandler;
+use xt3_sim::{Engine, EventQueue, Model, SimTime, Trace, TraceCategory};
+use xt3_topology::coord::NodeId;
+use xt3_topology::fabric::{Fabric, NetMessage};
+
+/// PPC cost of feeding one additional scatter/gather chunk to a DMA
+/// engine beyond the first (Linux paged buffers; §3.3). Catamount buffers
+/// are one chunk and never pay it.
+const FW_PER_CHUNK: SimTime = SimTime::from_ns(60);
+/// Host-side cost of the small setup API calls (MD bind, ME attach, EQ
+/// alloc): table manipulation in the kernel library.
+const OP_SETUP_COST: SimTime = SimTime::from_ns(150);
+/// API-entry cost for accelerated-mode calls (no trap; user-level library
+/// prologue).
+const ACCEL_ENTRY_COST: SimTime = SimTime::from_ns(40);
+/// Go-back-n sender window.
+const GBN_WINDOW: usize = 64;
+/// Go-back-n retransmission timeout (sender side).
+const GBN_TIMEOUT: SimTime = SimTime::from_us(200);
+
+/// A message in flight: the wire body plus when its last byte lands.
+#[derive(Debug)]
+pub struct InFlight {
+    /// The message.
+    pub msg: WireMsg,
+    /// When the last byte reaches the destination NIC.
+    pub complete_at: SimTime,
+    /// The end-to-end 32-bit CRC will reject this payload (§2).
+    pub corrupted: bool,
+}
+
+/// Simulation events.
+#[derive(Debug)]
+pub enum Ev {
+    /// First activation of an app.
+    AppStart {
+        /// Node index.
+        node: u32,
+        /// Process id.
+        pid: u32,
+    },
+    /// An app's wait is (possibly) satisfied.
+    AppWake {
+        /// Node index.
+        node: u32,
+        /// Process id.
+        pid: u32,
+    },
+    /// Commands are waiting in a firmware mailbox.
+    FwCmd {
+        /// Node index.
+        node: u32,
+        /// Firmware-level process.
+        fw_proc: u32,
+    },
+    /// The TX DMA engine finished the head-of-list transmit.
+    TxDmaDone {
+        /// Node index.
+        node: u32,
+    },
+    /// A message header reached a node's NIC.
+    NetHeader {
+        /// Destination node index.
+        node: u32,
+        /// The message and its completion time.
+        inflight: Box<InFlight>,
+    },
+    /// The RX DMA finished depositing a pending.
+    RxDepositDone {
+        /// Node index.
+        node: u32,
+        /// Firmware-level process.
+        fw_proc: u32,
+        /// The pending.
+        pending: PendingId,
+    },
+    /// The host interrupt line fired.
+    HostInterrupt {
+        /// Node index.
+        node: u32,
+    },
+    /// Periodic RAS heartbeat tick on a node's firmware.
+    RasHeartbeat {
+        /// Node index.
+        node: u32,
+    },
+    /// Go-back-n retransmission timeout for one peer.
+    GbnTimeout {
+        /// Sending node index.
+        node: u32,
+        /// Destination node id.
+        peer: u32,
+    },
+}
+
+/// The machine model.
+pub struct Machine {
+    /// Configuration.
+    pub config: MachineConfig,
+    /// Nodes.
+    pub nodes: Vec<Node>,
+    /// The interconnect.
+    pub fabric: Fabric,
+    /// Trace buffer.
+    pub trace: Trace,
+    running_apps: u32,
+    spawned: Vec<(u32, u32)>,
+}
+
+impl Machine {
+    /// Build a machine with one spec per node (specs cycle if fewer than
+    /// `dims.node_count()` are given).
+    pub fn new(config: MachineConfig, specs: &[NodeSpec]) -> Self {
+        assert!(!specs.is_empty(), "at least one node spec required");
+        let fabric = Fabric::new(config.dims, config.fabric);
+        let nodes = (0..config.dims.node_count())
+            .map(|i| Node::new(&config, NodeId(i), &specs[i as usize % specs.len()]))
+            .collect();
+        let trace = if config.trace {
+            Trace::enabled(1 << 20)
+        } else {
+            Trace::disabled()
+        };
+        Machine {
+            config,
+            nodes,
+            fabric,
+            trace,
+            running_apps: 0,
+            spawned: Vec::new(),
+        }
+    }
+
+    /// Install an app on `(node, pid)`; it activates at time zero.
+    pub fn spawn(&mut self, node: u32, pid: u32, app: Box<dyn App>) {
+        let slot = &mut self.nodes[node as usize].procs[pid as usize].app;
+        assert!(slot.is_none(), "process {node}:{pid} already has an app");
+        *slot = Some(app);
+        self.running_apps += 1;
+        self.spawned.push((node, pid));
+    }
+
+    /// Number of apps still running.
+    pub fn running_apps(&self) -> u32 {
+        self.running_apps
+    }
+
+    /// Did any node panic on resource exhaustion?
+    pub fn any_panicked(&self) -> bool {
+        self.nodes.iter().any(|n| n.panicked)
+    }
+
+    /// Extract an app after the run (for result harvesting).
+    pub fn take_app(&mut self, node: u32, pid: u32) -> Option<Box<dyn App>> {
+        self.nodes[node as usize].procs[pid as usize].app.take()
+    }
+
+    /// Wrap in an engine with every spawned app's start event seeded.
+    pub fn into_engine(self) -> Engine<Machine> {
+        let starts = self.spawned.clone();
+        let heartbeat = self.config.ras_heartbeat;
+        let node_count = self.nodes.len() as u32;
+        let mut engine = Engine::new(self).with_event_budget(2_000_000_000);
+        for (node, pid) in starts {
+            engine
+                .queue_mut()
+                .schedule_at(SimTime::ZERO, Ev::AppStart { node, pid });
+        }
+        if let Some(interval) = heartbeat {
+            for node in 0..node_count {
+                engine
+                    .queue_mut()
+                    .schedule_at(interval, Ev::RasHeartbeat { node });
+            }
+        }
+        engine
+    }
+
+    // ================= event handlers =================
+
+    fn on_fw_cmd(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize, fw_proc: ProcIdx) {
+        while let Some(cmd) = self.nodes[node].fw.mailbox_mut(fw_proc).take_cmd() {
+            let cm = self.config.cost;
+            let t = match &cmd {
+                FwCommand::Transmit { pending, .. } => {
+                    // Reply transmits take the firmware fast path: the
+                    // header is synthesized from the command itself.
+                    let is_reply = self.nodes[node]
+                        .tx_store
+                        .get(&(fw_proc, *pending))
+                        .map(|r| r.header.op == PortalsOp::Reply)
+                        .unwrap_or(false);
+                    if is_reply {
+                        self.nodes[node].chip.ppc.occupy_raw(now, cm.fw_reply_tx)
+                    } else {
+                        self.nodes[node].chip.ppc.run(&cm, FwHandler::TxCommand, now)
+                    }
+                }
+                FwCommand::RecvDeposit { .. } => {
+                    self.nodes[node].chip.ppc.run(&cm, FwHandler::RxCommand, now)
+                }
+                FwCommand::RecvDiscard { .. } | FwCommand::ReleasePending { .. } => {
+                    self.nodes[node].chip.ppc.run(&cm, FwHandler::Completion, now)
+                }
+            };
+            let effects = self.nodes[node].fw.handle_command(fw_proc, cmd);
+            self.exec_effects(q, t, node, effects);
+        }
+    }
+
+    fn on_tx_dma_done(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize) {
+        let n = &mut self.nodes[node];
+        let cm = n.chip.cost;
+        let t = n.chip.ppc.run(&cm, FwHandler::Completion, now);
+        let effects = n.fw.tx_dma_complete();
+        self.exec_effects(q, t, node, effects);
+    }
+
+    fn on_rx_deposit_done(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        now: SimTime,
+        node: usize,
+        fw_proc: ProcIdx,
+        pending: PendingId,
+    ) {
+        let cm = self.config.cost;
+        let t = self.nodes[node].chip.ppc.run(&cm, FwHandler::Completion, now);
+        self.trace
+            .record(t, node as u32, TraceCategory::Dma, "rx-deposit-done", 0);
+        let effects = self.nodes[node].fw.rx_dma_complete(fw_proc, pending);
+
+        // Firmware-direct replies complete inline: deposit happened via
+        // DMA; post ReplyEnd straight into the app-visible EQ.
+        let is_direct_reply = self.nodes[node]
+            .rx_store
+            .get(&(fw_proc, pending))
+            .map(|r| r.header.op == PortalsOp::Reply)
+            .unwrap_or(false);
+        if is_direct_reply {
+            let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("record");
+            let pid = rec.dst_pid as usize;
+            let n = &mut self.nodes[node];
+            let proc = &mut n.procs[pid];
+            proc.lib.complete_reply(&rec.header, &rec.data, proc.mem.as_mut_memory());
+            if let Some(md) = rec.header.initiator_md {
+                n.await_reply.remove(&(rec.dst_pid, md));
+            }
+            n.fw.release_direct(fw_proc, pending);
+            let visible = t + cm.ht_write_latency;
+            self.maybe_wake(q, visible, node, pid as u32);
+        }
+
+        self.exec_effects(q, t, node, effects);
+    }
+
+    fn exec_effects(&mut self, q: &mut EventQueue<Ev>, t: SimTime, node: usize, effects: Vec<FwEffect>) {
+        let cm = self.config.cost;
+        for eff in effects {
+            match eff {
+                FwEffect::StartTxDma { proc, pending } => {
+                    self.start_tx_dma(q, t, node, proc, pending);
+                }
+                FwEffect::StartRxDma { proc, pending, .. } => {
+                    self.start_rx_dma(q, t, node, proc, pending);
+                }
+                FwEffect::WriteUpperHeader { .. } => {
+                    // Latency folded into the event/interrupt visibility
+                    // times below.
+                }
+                FwEffect::PostEvent { proc, event } => {
+                    if self.nodes[node].fw.mode(proc) == FwMode::Accelerated {
+                        self.accel_event(q, t, node, proc, event);
+                    } else {
+                        self.nodes[node].fw_eq[proc as usize].push_back(event);
+                    }
+                }
+                FwEffect::RaiseInterrupt => {
+                    self.trace
+                        .record(t, node as u32, TraceCategory::Firmware, "int-raise", 0);
+                    // Every raise costs the host a full handler entry/exit
+                    // (§3.3: interrupts are "very costly, requiring at
+                    // least 2 us of overhead each"); a handler invocation
+                    // still drains every event queued by then (§4.1's
+                    // coalescing), so a busy host processes events early
+                    // but pays for every line assertion.
+                    let n = &mut self.nodes[node];
+                    n.chip.raise_interrupt();
+                    q.schedule_at(
+                        t + cm.ht_write_latency,
+                        Ev::HostInterrupt { node: node as u32 },
+                    );
+                }
+                FwEffect::MatchOnNic { proc, pending } => {
+                    self.nic_match(q, t, node, proc, pending);
+                }
+            }
+        }
+    }
+
+    fn start_tx_dma(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        t: SimTime,
+        node: usize,
+        proc: ProcIdx,
+        pending: PendingId,
+    ) {
+        let cm = self.config.cost;
+        let n = &mut self.nodes[node];
+        let chunks = n.fw.lower(proc, pending).dma.len().max(1) as u64;
+        let extra = FW_PER_CHUNK.times(chunks - 1);
+        let is_reply = n
+            .tx_store
+            .get(&(proc, pending))
+            .map(|r| r.header.op == PortalsOp::Reply)
+            .unwrap_or(false);
+        // The header is DMA'ed out of the upper pending first (§4.3): a
+        // high-latency HT read round trip. Replies skip both the fetch and
+        // the separate DMA-setup charge — their header was synthesized on
+        // the NIC from the serve command (fw_reply_tx covered it).
+        let setup_done = if is_reply {
+            n.chip.ppc.occupy_raw(t, extra)
+        } else {
+            n.chip
+                .ppc
+                .run_with_extra(&cm, FwHandler::TxDmaSetup, t, extra)
+        };
+        let fetch_done = if is_reply {
+            setup_done
+        } else {
+            setup_done + cm.ht_read_latency
+        };
+
+        let rec = n.tx_store.get_mut(&(proc, pending)).expect("tx record");
+        let len = rec.data.len();
+        let data = std::mem::replace(&mut rec.data, WireData::Synthetic(len));
+        let tag = rec.tag;
+        let header = rec.header.clone();
+        let piggy = len <= cm.piggyback_max as u64;
+
+        // Payload is DMA'ed directly from host memory ("zero-copy",
+        // §4.3); piggybacked payloads ride in the header write instead.
+        let dma_done = if piggy {
+            fetch_done
+        } else {
+            n.chip.ht.bulk(&cm, HtDir::Read, fetch_done, len).1
+        };
+        n.chip
+            .tx_dma
+            .occupy(fetch_done, dma_done.saturating_sub(fetch_done), len, chunks);
+        q.schedule_at(dma_done, Ev::TxDmaDone { node: node as u32 });
+
+        let mut msg = WireMsg {
+            header,
+            data,
+            kind: WireKind::Data,
+            seq: None,
+            tag,
+        };
+
+        // Go-back-n sequencing on the way out.
+        if self.config.exhaustion == ExhaustionPolicy::GoBackN {
+            let dst = msg.header.dst.nid;
+            let sender = self.nodes[node]
+                .gbn_tx
+                .entry(dst)
+                .or_insert_with(|| GbnSender::new(GBN_WINDOW));
+            match sender.send(msg.clone()) {
+                Some(seq) => msg.seq = Some(seq),
+                None => {
+                    self.nodes[node]
+                        .gbn_deferred
+                        .entry(dst)
+                        .or_default()
+                        .push_back(msg);
+                    return;
+                }
+            }
+        }
+
+        self.trace
+            .record(fetch_done, node as u32, TraceCategory::Dma, "tx-inject", tag);
+        self.inject(q, fetch_done, dma_done, msg);
+    }
+
+    /// Put a message on the wire at `inject_at`; delivery is throttled by
+    /// the slower of the fabric and the TX DMA stream (`dma_done`).
+    fn inject(&mut self, q: &mut EventQueue<Ev>, inject_at: SimTime, dma_done: SimTime, msg: WireMsg) {
+        let src = NodeId(msg.header.src.nid);
+        let dst = NodeId(msg.header.dst.nid);
+        let tag = msg.tag;
+        let wire_bytes = msg.wire_bytes();
+        let d = self.fabric.send(
+            inject_at, // the header packet leaves as soon as it is fetched
+            NetMessage {
+                src,
+                dst,
+                payload_bytes: wire_bytes,
+                tag,
+                body: msg,
+            },
+        );
+        let head_latency = d.header_at.saturating_sub(inject_at);
+        let complete_at = d.complete_at.max(dma_done + head_latency);
+        q.schedule_at(
+            d.header_at,
+            Ev::NetHeader {
+                node: dst.0,
+                inflight: Box::new(InFlight {
+                    msg: d.msg.body,
+                    complete_at,
+                    corrupted: d.corrupted,
+                }),
+            },
+        );
+    }
+
+    fn start_rx_dma(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        t: SimTime,
+        node: usize,
+        proc: ProcIdx,
+        pending: PendingId,
+    ) {
+        let cm = self.config.cost;
+        let n = &mut self.nodes[node];
+        let lower = n.fw.lower(proc, pending);
+        let len = lower.length;
+        let chunks = lower.dma.len().max(1) as u64;
+        let wire_complete = n
+            .rx_store
+            .get(&(proc, pending))
+            .map(|r| r.wire_complete)
+            .unwrap_or(t);
+        let extra = FW_PER_CHUNK.times(chunks - 1);
+        let setup_done = n
+            .chip
+            .ppc
+            .run_with_extra(&cm, FwHandler::TxDmaSetup, t, extra);
+        // The engine serializes deposits; HT bandwidth and wire arrival
+        // both bound completion.
+        let (_, ht_done) = n.chip.ht.bulk(&cm, HtDir::Write, setup_done, len);
+        let ht_duration = ht_done.saturating_sub(setup_done);
+        let (_, engine_done) = n.chip.rx_dma.occupy(setup_done, ht_duration, len, chunks);
+        let done = engine_done.max(ht_done).max(wire_complete) + cm.ht_write_latency;
+        q.schedule_at(
+            done,
+            Ev::RxDepositDone {
+                node: node as u32,
+                fw_proc: proc,
+                pending,
+            },
+        );
+    }
+
+    fn on_net_header(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize, inflight: InFlight) {
+        let cm = self.config.cost;
+        let msg = inflight.msg;
+        let from_node = msg.header.src.nid;
+
+        match msg.kind {
+            WireKind::GbnNack { expected } => {
+                let t = self.nodes[node].chip.ppc.run(&cm, FwHandler::RxHeader, now);
+                let (resend, in_flight) = self.nodes[node]
+                    .gbn_tx
+                    .get_mut(&from_node)
+                    .map(|s| (s.nack(expected), s.in_flight()))
+                    .unwrap_or_default();
+                if resend.is_empty()
+                    && in_flight > 0
+                    && self.nodes[node].gbn_timer_armed.insert(from_node)
+                {
+                    // Suppressed duplicate: arm the retransmission timer
+                    // (one per peer) so a dropped retransmission is
+                    // eventually repaired.
+                    q.schedule_at(
+                        t + GBN_TIMEOUT,
+                        Ev::GbnTimeout {
+                            node: node as u32,
+                            peer: from_node,
+                        },
+                    );
+                }
+                for (seq, mut m) in resend {
+                    m.seq = Some(seq);
+                    self.inject(q, t, t, m);
+                }
+                return;
+            }
+            WireKind::GbnAck { upto } => {
+                let t = self.nodes[node].chip.ppc.run(&cm, FwHandler::Completion, now);
+                if let Some(s) = self.nodes[node].gbn_tx.get_mut(&from_node) {
+                    s.ack(upto);
+                }
+                self.drain_gbn_deferred(q, t, node, from_node);
+                return;
+            }
+            WireKind::Data => {}
+        }
+
+        // End-to-end CRC (§2): a payload that escaped the link CRC is
+        // rejected by the RX DMA's 32-bit check. Under go-back-n the drop
+        // turns into a NACK (the window copy is clean); under the panic
+        // policy the message is simply lost and counted.
+        if inflight.corrupted && matches!(msg.kind, WireKind::Data) {
+            self.nodes[node].chip.rx_dma.record_crc_failure();
+            let t = self.nodes[node].chip.ppc.run(&cm, FwHandler::RxHeader, now);
+            if let Some(seq) = msg.seq {
+                let rx = self.nodes[node].gbn_rx.entry(from_node).or_default();
+                if let GbnEvent::Nack { expected } = rx.on_arrival(seq, false) {
+                    self.send_gbn_control(q, t, node, from_node, WireKind::GbnNack { expected });
+                }
+            }
+            self.trace
+                .record(t, node as u32, TraceCategory::Dma, "e2e-crc-reject", msg.tag);
+            return;
+        }
+
+        // Go-back-n sequencing check (order first, then allocation).
+        if let Some(seq) = msg.seq {
+            let rx = self.nodes[node].gbn_rx.entry(from_node).or_default();
+            if seq != rx.expected() {
+                let ev = rx.on_arrival(seq, true);
+                match ev {
+                    GbnEvent::Nack { expected } => {
+                        self.send_gbn_control(q, now, node, from_node, WireKind::GbnNack { expected });
+                    }
+                    GbnEvent::Duplicate => {}
+                    GbnEvent::Accept { .. } => unreachable!("mismatched seq cannot accept"),
+                }
+                return;
+            }
+        }
+
+        let dst_pid = msg.header.dst.pid;
+        let fw_proc = self.nodes[node].procs[dst_pid as usize].fw_proc;
+        let direct = matches!(msg.header.op, PortalsOp::Reply | PortalsOp::Ack);
+        let piggy = msg.piggybacked(cm.piggyback_max);
+
+        let t = if direct {
+            self.nodes[node].chip.ppc.occupy_raw(now, cm.fw_reply_rx)
+        } else {
+            self.nodes[node].chip.ppc.run(&cm, FwHandler::RxHeader, now)
+        };
+        let result = self.nodes[node].fw.rx_header(fw_proc, from_node, piggy, direct);
+
+        // Resolve go-back-n acceptance against allocation success.
+        if let Some(seq) = msg.seq {
+            let ok = result.is_ok();
+            let rx = self.nodes[node].gbn_rx.get_mut(&from_node).expect("entry above");
+            match rx.on_arrival(seq, ok) {
+                GbnEvent::Accept { .. } => {
+                    let upto = rx.expected();
+                    self.send_gbn_control(q, t, node, from_node, WireKind::GbnAck { upto });
+                }
+                GbnEvent::Nack { expected } => {
+                    self.send_gbn_control(q, t, node, from_node, WireKind::GbnNack { expected });
+                    return;
+                }
+                GbnEvent::Duplicate => return,
+            }
+        }
+
+        let (pending, effects) = match result {
+            Ok(pe) => pe,
+            Err(_) => {
+                if self.config.exhaustion == ExhaustionPolicy::Panic && msg.seq.is_none() {
+                    // §4.3: "The current approach is to panic the node."
+                    self.nodes[node].panicked = true;
+                    self.trace
+                        .record(t, node as u32, TraceCategory::Firmware, "panic-exhaustion", msg.tag);
+                }
+                return;
+            }
+        };
+
+        self.trace
+            .record(t, node as u32, TraceCategory::Firmware, "rx-header", msg.tag);
+        self.nodes[node].rx_store.insert(
+            (fw_proc, pending),
+            RxRecord {
+                header: msg.header.clone(),
+                data: msg.data,
+                wire_complete: inflight.complete_at,
+                dst_pid,
+                piggyback: piggy,
+                ticket: None,
+            },
+        );
+        self.exec_effects(q, t, node, effects);
+
+        if direct {
+            self.handle_direct(q, t, node, fw_proc, pending);
+        }
+    }
+
+    /// Firmware-direct Reply/Ack processing at header time.
+    fn handle_direct(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        t: SimTime,
+        node: usize,
+        fw_proc: ProcIdx,
+        pending: PendingId,
+    ) {
+        let cm = self.config.cost;
+        let (op, piggy, dst_pid) = {
+            let rec = &self.nodes[node].rx_store[&(fw_proc, pending)];
+            (rec.header.op, rec.piggyback, rec.dst_pid)
+        };
+        match op {
+            PortalsOp::Ack => {
+                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rec");
+                let n = &mut self.nodes[node];
+                let t2 = n.chip.ppc.run(&cm, FwHandler::Completion, t);
+                n.procs[dst_pid as usize].lib.deliver_ack(&rec.header);
+                n.fw.release_direct(fw_proc, pending);
+                self.maybe_wake(q, t2 + cm.ht_write_latency, node, dst_pid);
+            }
+            PortalsOp::Reply if piggy => {
+                // Payload arrived with the header: deposit and complete
+                // without any DMA program.
+                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rec");
+                let n = &mut self.nodes[node];
+                let t2 = n.chip.ppc.occupy_raw(t, cm.fw_reply_rx);
+                let proc = &mut n.procs[dst_pid as usize];
+                proc.lib.complete_reply(&rec.header, &rec.data, proc.mem.as_mut_memory());
+                if let Some(md) = rec.header.initiator_md {
+                    n.await_reply.remove(&(dst_pid, md));
+                }
+                n.fw.release_direct(fw_proc, pending);
+                self.maybe_wake(q, t2 + cm.ht_write_latency, node, dst_pid);
+            }
+            PortalsOp::Reply => {
+                // Bulk reply: the get command pushed the deposit buffer
+                // down; program the RX DMA directly.
+                let (len, dma) = {
+                    let rec = &self.nodes[node].rx_store[&(fw_proc, pending)];
+                    let md = rec.header.initiator_md.expect("reply names its md");
+                    let dma = self.nodes[node]
+                        .await_reply
+                        .get(&(dst_pid, md))
+                        .cloned()
+                        .unwrap_or_default();
+                    (rec.header.mlength, dma)
+                };
+                let effects = self.nodes[node].fw.direct_deposit(fw_proc, pending, len, dma);
+                self.exec_effects(q, t, node, effects);
+            }
+            _ => unreachable!("direct path only handles Reply/Ack"),
+        }
+    }
+
+    fn send_gbn_control(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        t: SimTime,
+        node: usize,
+        to_node: u32,
+        kind: WireKind,
+    ) {
+        let my = self.nodes[node].id.0;
+        let header = PortalsHeader::put(
+            ProcessId::new(my, 0),
+            ProcessId::new(to_node, 0),
+            0,
+            0,
+            0,
+            0,
+            0,
+            AckReq::NoAck,
+            0,
+            MdHandle {
+                index: 0,
+                generation: 0,
+            },
+        );
+        let msg = WireMsg {
+            header,
+            data: WireData::Synthetic(0),
+            kind,
+            seq: None,
+            tag: 0,
+        };
+        self.inject(q, t, t, msg);
+    }
+
+    fn drain_gbn_deferred(&mut self, q: &mut EventQueue<Ev>, t: SimTime, node: usize, dst: u32) {
+        while let Some(mut msg) = self.nodes[node]
+            .gbn_deferred
+            .get_mut(&dst)
+            .and_then(|d| d.pop_front())
+        {
+            let sender = self.nodes[node]
+                .gbn_tx
+                .get_mut(&dst)
+                .expect("sender exists when deferred");
+            match sender.send(msg.clone()) {
+                Some(seq) => {
+                    msg.seq = Some(seq);
+                    self.inject(q, t, t, msg);
+                }
+                None => {
+                    self.nodes[node]
+                        .gbn_deferred
+                        .get_mut(&dst)
+                        .expect("entry")
+                        .push_front(msg);
+                    break;
+                }
+            }
+        }
+    }
+
+    // ----- interrupt path (generic mode) -----
+
+    fn on_host_interrupt(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize) {
+        let cm = self.config.cost;
+        let mut t = self.nodes[node].host.interrupt(&cm, now);
+        self.trace
+            .record(t, node as u32, TraceCategory::Host, "int-handler-done", 0);
+
+        // §4.1: the handler processes ALL new events each invocation.
+        let mut events = Vec::new();
+        for (fw_proc, eq) in self.nodes[node].fw_eq.iter_mut().enumerate() {
+            while let Some(ev) = eq.pop_front() {
+                events.push((fw_proc as ProcIdx, ev));
+            }
+        }
+        for (fw_proc, ev) in events {
+            t = self.process_fw_event(q, t, node, fw_proc, ev);
+        }
+    }
+
+    fn process_fw_event(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        mut t: SimTime,
+        node: usize,
+        fw_proc: ProcIdx,
+        event: FwEvent,
+    ) -> SimTime {
+        let cm = self.config.cost;
+        match event {
+            FwEvent::TxComplete { pending } => {
+                let rec = self.nodes[node].tx_store.remove(&(fw_proc, pending)).expect("tx rec");
+                self.nodes[node].free_tx_pending(fw_proc, pending);
+                if let Some(md) = rec.md {
+                    t = self.nodes[node].host.run(t, cm.host_event_post);
+                    self.nodes[node].procs[rec.src_pid as usize]
+                        .lib
+                        .on_send_complete(md, rec.data.len());
+                    self.maybe_wake(q, t, node, rec.src_pid);
+                }
+                t
+            }
+            FwEvent::RxHeader { pending } => self.host_match(q, t, node, fw_proc, pending),
+            FwEvent::RxComplete { pending } => {
+                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rx rec");
+                let ticket = rec.ticket.as_ref().expect("deposit had a ticket");
+                t = self.nodes[node].host.run(t, cm.host_event_post);
+                let action = {
+                    let proc = &mut self.nodes[node].procs[rec.dst_pid as usize];
+                    proc.lib
+                        .complete_put(&rec.header, ticket, &rec.data, proc.mem.as_mut_memory())
+                };
+                self.trace
+                    .record(t, node as u32, TraceCategory::Portals, "put-end-posted", 0);
+                t = self.post_cmd(q, t, node, fw_proc, FwCommand::ReleasePending { pending });
+                t = self.handle_incoming_action(q, t, node, fw_proc, rec.dst_pid, action, None);
+                self.maybe_wake(q, t, node, rec.dst_pid);
+                t
+            }
+        }
+    }
+
+    /// Host-side Portals matching for one header (generic mode, interrupt
+    /// context).
+    fn host_match(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        mut t: SimTime,
+        node: usize,
+        fw_proc: ProcIdx,
+        pending: PendingId,
+    ) -> SimTime {
+        let cm = self.config.cost;
+        t = self.nodes[node].host.run(t, cm.host_match);
+        self.nodes[node].host.counters.matches += 1;
+        self.trace
+            .record(t, node as u32, TraceCategory::Portals, "host-match", 0);
+
+        let (header, dst_pid, piggy) = {
+            let rec = &self.nodes[node].rx_store[&(fw_proc, pending)];
+            (rec.header.clone(), rec.dst_pid, rec.piggyback)
+        };
+        let outcome = self.nodes[node].procs[dst_pid as usize]
+            .lib
+            .match_incoming(&header);
+
+        let ticket = match outcome {
+            DeliverOutcome::Matched(ticket) => ticket,
+            _ => {
+                self.nodes[node].rx_store.remove(&(fw_proc, pending));
+                return self.post_cmd(q, t, node, fw_proc, FwCommand::RecvDiscard { pending });
+            }
+        };
+
+        match header.op {
+            PortalsOp::Put if piggy => {
+                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rec");
+                let action = {
+                    let proc = &mut self.nodes[node].procs[dst_pid as usize];
+                    proc.lib
+                        .complete_put(&rec.header, &ticket, &rec.data, proc.mem.as_mut_memory())
+                };
+                t = self.nodes[node].host.run(t, cm.host_event_post);
+                self.nodes[node].fw.rx_piggyback_complete(fw_proc, pending);
+                t = self.post_cmd(q, t, node, fw_proc, FwCommand::ReleasePending { pending });
+                t = self.handle_incoming_action(q, t, node, fw_proc, dst_pid, action, None);
+                self.maybe_wake(q, t, node, dst_pid);
+                t
+            }
+            PortalsOp::Put => {
+                // Prepare the deposit buffer and push the receive command.
+                let (dma, prep_cost) = {
+                    let proc = &self.nodes[node].procs[dst_pid as usize];
+                    let prepared = proc
+                        .bridge
+                        .prepare(&cm, proc.mem.as_ref(), ticket.address, ticket.mlength as u32)
+                        .expect("matched region is valid");
+                    (prepared.commands, prepared.prep_cost)
+                };
+                t = self.nodes[node].host.run(t, prep_cost);
+                let drop_length = ticket.rlength - ticket.mlength;
+                self.nodes[node]
+                    .rx_store
+                    .get_mut(&(fw_proc, pending))
+                    .expect("rec")
+                    .ticket = Some(ticket);
+                self.post_cmd(
+                    q,
+                    t,
+                    node,
+                    fw_proc,
+                    FwCommand::RecvDeposit {
+                        pending,
+                        length: ticket_mlength_of(&self.nodes[node], fw_proc, pending),
+                        drop_length,
+                        dma,
+                    },
+                )
+            }
+            PortalsOp::Get => {
+                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rec");
+                let synthetic = self.config.synthetic_payload;
+                let action = {
+                    let proc = &mut self.nodes[node].procs[dst_pid as usize];
+                    proc.lib
+                        .complete_get_serve(&rec.header, &ticket, proc.mem.as_ref_memory(), synthetic)
+                };
+                // The reply leaves first; GetEnd bookkeeping and the
+                // pending release follow off the reply's critical path.
+                t = self.handle_incoming_action(q, t, node, fw_proc, dst_pid, action, Some(ticket.address));
+                t = self.nodes[node].host.run(t, cm.host_event_post);
+                self.nodes[node].fw.rx_piggyback_complete(fw_proc, pending);
+                t = self.post_cmd(q, t, node, fw_proc, FwCommand::ReleasePending { pending });
+                self.maybe_wake(q, t, node, dst_pid);
+                t
+            }
+            _ => unreachable!("reply/ack never reach host matching"),
+        }
+    }
+
+    /// Send back whatever the library asked for (ack or reply).
+    /// `reply_region` is the matched MD region's start address when the
+    /// action may be a reply (used for scatter/gather cost accounting).
+    #[allow(clippy::too_many_arguments)]
+    fn handle_incoming_action(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        t: SimTime,
+        node: usize,
+        fw_proc: ProcIdx,
+        src_pid: u32,
+        action: IncomingAction,
+        reply_region: Option<u64>,
+    ) -> SimTime {
+        let cm = self.config.cost;
+        match action {
+            IncomingAction::None => t,
+            IncomingAction::SendAck(ack) => {
+                self.transmit_internal(q, t, node, fw_proc, src_pid, ack, WireData::Synthetic(0), 1, None)
+            }
+            IncomingAction::SendReply(reply, data) => {
+                // Reply payload is DMA'ed from the matched MD region; the
+                // DMA command count mirrors that region's physical layout.
+                let chunks = if let Some(region) = reply_region {
+                    let proc = &self.nodes[node].procs[src_pid as usize];
+                    proc.bridge
+                        .prepare(
+                            &cm,
+                            proc.mem.as_ref(),
+                            region,
+                            data.len().min(u32::MAX as u64) as u32,
+                        )
+                        .map(|p| p.commands.len().max(1) as u32)
+                        .unwrap_or(1)
+                } else {
+                    1
+                };
+                self.transmit_internal(q, t, node, fw_proc, src_pid, reply, data, chunks, None)
+            }
+        }
+    }
+
+    /// Kernel/NIC-initiated transmit (acks, replies).
+    #[allow(clippy::too_many_arguments)]
+    fn transmit_internal(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        mut t: SimTime,
+        node: usize,
+        fw_proc: ProcIdx,
+        src_pid: u32,
+        header: PortalsHeader,
+        data: WireData,
+        dma_chunks: u32,
+        md: Option<MdHandle>,
+    ) -> SimTime {
+        let cm = self.config.cost;
+        let Some(pending) = self.nodes[node].alloc_tx_pending(fw_proc) else {
+            // Host-managed TX pool exhausted: surface it loudly — the run
+            // will stall and any_panicked() tells the harness why.
+            self.trace.record(
+                t,
+                node as u32,
+                TraceCategory::Host,
+                "tx-pending-exhausted",
+                0,
+            );
+            eprintln!(
+                "[portals-xt3] node {node}: host TX pending pool exhausted (fw proc {fw_proc}); marking node panicked"
+            );
+            self.nodes[node].panicked = true;
+            return t;
+        };
+        let tag = self.nodes[node].fresh_tag();
+        self.trace
+            .record(t, node as u32, TraceCategory::Host, "tx-cmd-post", tag);
+        let len = data.len();
+        let target_node = header.dst.nid;
+        self.nodes[node].tx_store.insert(
+            (fw_proc, pending),
+            TxRecord {
+                header,
+                data,
+                src_pid,
+                md,
+                tag,
+            },
+        );
+        let dma = vec![
+            xt3_seastar::dma::DmaCommand {
+                phys_addr: 0,
+                bytes: (len / dma_chunks.max(1) as u64).max(1) as u32,
+            };
+            dma_chunks.max(1) as usize
+        ];
+        t = self.nodes[node].host.run(t, cm.host_cmd_post);
+        let backlog = self.nodes[node].fw.mailbox_mut(fw_proc).post_cmd(FwCommand::Transmit {
+            pending,
+            target_node,
+            length: len,
+            dma,
+            tag,
+        });
+        t = self.charge_mailbox_stall(node, t, backlog);
+        q.schedule_at(
+            t + cm.ht_write_latency,
+            Ev::FwCmd {
+                node: node as u32,
+                fw_proc,
+            },
+        );
+        t
+    }
+
+    fn post_cmd(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        t: SimTime,
+        node: usize,
+        fw_proc: ProcIdx,
+        cmd: FwCommand,
+    ) -> SimTime {
+        let cm = self.config.cost;
+        let t = self.nodes[node].host.run(t, cm.host_cmd_post);
+        let backlog = self.nodes[node].fw.mailbox_mut(fw_proc).post_cmd(cmd);
+        let t = self.charge_mailbox_stall(node, t, backlog);
+        q.schedule_at(
+            t + cm.ht_write_latency,
+            Ev::FwCmd {
+                node: node as u32,
+                fw_proc,
+            },
+        );
+        t
+    }
+
+    /// The host busy-waits for mailbox space when the command FIFO is
+    /// over capacity (§4.1): stall roughly one firmware dispatch per
+    /// queued-over entry.
+    fn charge_mailbox_stall(&mut self, node: usize, t: SimTime, backlog: u32) -> SimTime {
+        if backlog == 0 {
+            return t;
+        }
+        let cm = self.config.cost;
+        self.nodes[node]
+            .host
+            .run(t, cm.fw_tx_cmd.times(backlog as u64))
+    }
+
+    // ----- accelerated mode -----
+
+    /// Offloaded matching on the PPC (paper §3.3's accelerated mode).
+    fn nic_match(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        t: SimTime,
+        node: usize,
+        fw_proc: ProcIdx,
+        pending: PendingId,
+    ) {
+        let cm = self.config.cost;
+        let t = self.nodes[node].chip.ppc.run(&cm, FwHandler::Match, t);
+        let (header, dst_pid, piggy) = {
+            let rec = &self.nodes[node].rx_store[&(fw_proc, pending)];
+            (rec.header.clone(), rec.dst_pid, rec.piggyback)
+        };
+        let outcome = self.nodes[node].procs[dst_pid as usize]
+            .lib
+            .match_incoming(&header);
+        let ticket = match outcome {
+            DeliverOutcome::Matched(ticket) => ticket,
+            _ => {
+                self.nodes[node].rx_store.remove(&(fw_proc, pending));
+                let effects = self.nodes[node]
+                    .fw
+                    .handle_command(fw_proc, FwCommand::RecvDiscard { pending });
+                self.exec_effects(q, t, node, effects);
+                return;
+            }
+        };
+
+        match header.op {
+            PortalsOp::Put if piggy => {
+                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rec");
+                let action = {
+                    let proc = &mut self.nodes[node].procs[dst_pid as usize];
+                    proc.lib
+                        .complete_put(&rec.header, &ticket, &rec.data, proc.mem.as_mut_memory())
+                };
+                self.nodes[node].fw.rx_piggyback_complete(fw_proc, pending);
+                let effects = self.nodes[node]
+                    .fw
+                    .handle_command(fw_proc, FwCommand::ReleasePending { pending });
+                self.exec_effects(q, t, node, effects);
+                let t2 = self.handle_incoming_action(q, t, node, fw_proc, dst_pid, action, None);
+                self.maybe_wake(q, t2 + cm.ht_write_latency, node, dst_pid);
+            }
+            PortalsOp::Put => {
+                // Accelerated mode requires physically contiguous buffers
+                // (§3.3): a single DMA command.
+                let (dma, _) = self.nodes[node].procs[dst_pid as usize]
+                    .mem
+                    .translate(ticket.address, ticket.mlength as u32);
+                let drop_length = ticket.rlength - ticket.mlength;
+                let mlength = ticket.mlength;
+                self.nodes[node]
+                    .rx_store
+                    .get_mut(&(fw_proc, pending))
+                    .expect("rec")
+                    .ticket = Some(ticket);
+                let effects = self.nodes[node].fw.handle_command(
+                    fw_proc,
+                    FwCommand::RecvDeposit {
+                        pending,
+                        length: mlength,
+                        drop_length,
+                        dma,
+                    },
+                );
+                self.exec_effects(q, t, node, effects);
+            }
+            PortalsOp::Get => {
+                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rec");
+                let synthetic = self.config.synthetic_payload;
+                let action = {
+                    let proc = &mut self.nodes[node].procs[dst_pid as usize];
+                    proc.lib
+                        .complete_get_serve(&rec.header, &ticket, proc.mem.as_ref_memory(), synthetic)
+                };
+                self.nodes[node].fw.rx_piggyback_complete(fw_proc, pending);
+                let effects = self.nodes[node]
+                    .fw
+                    .handle_command(fw_proc, FwCommand::ReleasePending { pending });
+                self.exec_effects(q, t, node, effects);
+                let t2 = self.handle_incoming_action(q, t, node, fw_proc, dst_pid, action, Some(ticket.address));
+                self.maybe_wake(q, t2, node, dst_pid);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Completion events for accelerated processes: handled by the
+    /// firmware inline, posted straight to user space, no interrupt.
+    fn accel_event(&mut self, q: &mut EventQueue<Ev>, t: SimTime, node: usize, fw_proc: ProcIdx, event: FwEvent) {
+        let cm = self.config.cost;
+        match event {
+            FwEvent::TxComplete { pending } => {
+                let rec = self.nodes[node].tx_store.remove(&(fw_proc, pending)).expect("tx rec");
+                self.nodes[node].free_tx_pending(fw_proc, pending);
+                if let Some(md) = rec.md {
+                    self.nodes[node].procs[rec.src_pid as usize]
+                        .lib
+                        .on_send_complete(md, rec.data.len());
+                    self.maybe_wake(q, t + cm.ht_write_latency, node, rec.src_pid);
+                }
+            }
+            FwEvent::RxComplete { pending } => {
+                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rx rec");
+                let ticket = rec.ticket.as_ref().expect("ticket");
+                let action = {
+                    let proc = &mut self.nodes[node].procs[rec.dst_pid as usize];
+                    proc.lib
+                        .complete_put(&rec.header, ticket, &rec.data, proc.mem.as_mut_memory())
+                };
+                let effects = self.nodes[node]
+                    .fw
+                    .handle_command(fw_proc, FwCommand::ReleasePending { pending });
+                self.exec_effects(q, t, node, effects);
+                let t2 = self.handle_incoming_action(q, t, node, fw_proc, rec.dst_pid, action, None);
+                self.maybe_wake(q, t2 + cm.ht_write_latency, node, rec.dst_pid);
+            }
+            FwEvent::RxHeader { .. } => {
+                unreachable!("accelerated mode matches on the NIC")
+            }
+        }
+    }
+
+    // ----- app scheduling -----
+
+    fn maybe_wake(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize, pid: u32) {
+        let proc = &mut self.nodes[node].procs[pid as usize];
+        if proc.wake_scheduled || proc.finished {
+            return;
+        }
+        if let WaitState::Eq(eq) = proc.wait {
+            let ready = proc.lib.eq_len(eq).map(|n| n > 0).unwrap_or(false);
+            if ready {
+                proc.wake_scheduled = true;
+                q.schedule_at(
+                    now,
+                    Ev::AppWake {
+                        node: node as u32,
+                        pid,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_app_wake(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize, pid: u32) {
+        let cm = self.config.cost;
+        let wait = {
+            let proc = &mut self.nodes[node].procs[pid as usize];
+            proc.wake_scheduled = false;
+            if proc.finished {
+                return;
+            }
+            proc.wait
+        };
+        match wait {
+            WaitState::Idle => {}
+            WaitState::Timer => {
+                self.nodes[node].procs[pid as usize].wait = WaitState::Idle;
+                self.run_app(q, now, node, pid, AppEvent::Timer);
+            }
+            WaitState::Eq(eq) => {
+                // The polling discovery path: a trap plus an EQ read.
+                let accelerated = self.nodes[node].procs[pid as usize].spec.accelerated;
+                let mut t = now;
+                if !accelerated {
+                    t = self.nodes[node].host.trap(&cm, t);
+                }
+                t = self.nodes[node].host.run(t, cm.host_eq_poll);
+                let got = self.nodes[node].procs[pid as usize].lib.eq_get(eq);
+                match got {
+                    Ok(ev) => {
+                        self.trace
+                            .record(t, node as u32, TraceCategory::App, "app-event", 0);
+                        self.nodes[node].procs[pid as usize].wait = WaitState::Idle;
+                        self.run_app(q, t, node, pid, AppEvent::Ptl(ev));
+                    }
+                    Err(PtlError::EqEmpty) => {
+                        // Spurious wake; stay blocked.
+                    }
+                    Err(PtlError::EqDropped) => {
+                        self.nodes[node].procs[pid as usize].wait = WaitState::Idle;
+                        self.run_app(q, t, node, pid, AppEvent::EqDropped);
+                    }
+                    Err(e) => panic!("eq_get failed: {e}"),
+                }
+            }
+        }
+    }
+
+    fn run_app(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize, pid: u32, event: AppEvent) {
+        let mut app = self.nodes[node].procs[pid as usize]
+            .app
+            .take()
+            .expect("app present");
+        let mut ctx = AppCtx {
+            m: self,
+            q,
+            node,
+            pid,
+            time: now,
+            wait: WaitRequest::None,
+            finished: false,
+        };
+        app.on_event(&mut ctx, event);
+        let wait = ctx.wait;
+        let finished = ctx.finished;
+        let end_time = ctx.time;
+
+        self.nodes[node].procs[pid as usize].app = Some(app);
+        if finished {
+            self.nodes[node].procs[pid as usize].finished = true;
+            self.nodes[node].procs[pid as usize].wait = WaitState::Idle;
+            self.running_apps -= 1;
+            return;
+        }
+        self.nodes[node].set_wait(pid, wait);
+        match wait {
+            WaitRequest::Timer(delay) => {
+                q.schedule_at(
+                    end_time + delay,
+                    Ev::AppWake {
+                        node: node as u32,
+                        pid,
+                    },
+                );
+            }
+            WaitRequest::Eq(_) => {
+                // The event may already be there.
+                self.maybe_wake(q, end_time, node, pid);
+            }
+            WaitRequest::None => {}
+        }
+    }
+}
+
+impl Model for Machine {
+    type Event = Ev;
+
+    fn dispatch(&mut self, now: SimTime, event: Ev, q: &mut EventQueue<Ev>) {
+        match event {
+            Ev::AppStart { node, pid } => self.run_app(q, now, node as usize, pid, AppEvent::Started),
+            Ev::AppWake { node, pid } => self.on_app_wake(q, now, node as usize, pid),
+            Ev::FwCmd { node, fw_proc } => self.on_fw_cmd(q, now, node as usize, fw_proc),
+            Ev::TxDmaDone { node } => self.on_tx_dma_done(q, now, node as usize),
+            Ev::NetHeader { node, inflight } => self.on_net_header(q, now, node as usize, *inflight),
+            Ev::RxDepositDone {
+                node,
+                fw_proc,
+                pending,
+            } => self.on_rx_deposit_done(q, now, node as usize, fw_proc, pending),
+            Ev::HostInterrupt { node } => self.on_host_interrupt(q, now, node as usize),
+            Ev::GbnTimeout { node, peer } => {
+                self.nodes[node as usize].gbn_timer_armed.remove(&peer);
+                let resend = self.nodes[node as usize]
+                    .gbn_tx
+                    .get_mut(&peer)
+                    .filter(|s| s.in_flight() > 0)
+                    .map(|s| s.timeout_retransmit())
+                    .unwrap_or_default();
+                for (seq, mut m) in resend {
+                    m.seq = Some(seq);
+                    self.inject(q, now, now, m);
+                }
+            }
+            Ev::RasHeartbeat { node } => {
+                // The firmware's main loop stamps the control block; the
+                // RAS system watches for it going stale. Ticks stop once
+                // all applications finish so runs still drain.
+                let n = &mut self.nodes[node as usize];
+                let cm = n.chip.cost;
+                n.chip.ppc.run(&cm, FwHandler::Completion, now);
+                n.fw.ras_heartbeat();
+                if self.running_apps > 0 {
+                    if let Some(interval) = self.config.ras_heartbeat {
+                        q.schedule_at(now + interval, Ev::RasHeartbeat { node });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn ticket_mlength_of(node: &Node, fw_proc: ProcIdx, pending: PendingId) -> u64 {
+    node.rx_store[&(fw_proc, pending)]
+        .ticket
+        .as_ref()
+        .expect("ticket stored")
+        .mlength
+}
+
+// ================= the app-facing API =================
+
+/// The API surface an [`App`] uses during a callback. Every call charges
+/// the host CPU its cost-model price and advances the app's clock.
+pub struct AppCtx<'a> {
+    m: &'a mut Machine,
+    q: &'a mut EventQueue<Ev>,
+    node: usize,
+    pid: u32,
+    time: SimTime,
+    pub(crate) wait: WaitRequest,
+    pub(crate) finished: bool,
+}
+
+impl AppCtx<'_> {
+    /// Current time (advances as calls are made).
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// This process's Portals id.
+    pub fn my_id(&self) -> ProcessId {
+        ProcessId::new(self.m.nodes[self.node].id.0, self.pid)
+    }
+
+    /// Nodes in the machine.
+    pub fn node_count(&self) -> u32 {
+        self.m.config.dims.node_count()
+    }
+
+    /// Whether payloads are synthetic (length-only) in this run.
+    pub fn synthetic(&self) -> bool {
+        self.m.config.synthetic_payload
+    }
+
+    fn proc(&mut self) -> &mut ProcState {
+        &mut self.m.nodes[self.node].procs[self.pid as usize]
+    }
+
+    fn charge(&mut self, cost: SimTime) {
+        self.time = self.m.nodes[self.node].host.run(self.time, cost);
+    }
+
+    fn api_entry(&mut self) {
+        let cm = self.m.config.cost;
+        if self.m.nodes[self.node].procs[self.pid as usize].spec.accelerated {
+            self.charge(ACCEL_ENTRY_COST);
+        } else {
+            let crossing = self.m.nodes[self.node].procs[self.pid as usize]
+                .bridge
+                .api_crossing(&cm);
+            self.m.nodes[self.node].host.counters.traps += 1;
+            self.charge(crossing);
+        }
+    }
+
+    /// `PtlEQAlloc`.
+    pub fn eq_alloc(&mut self, capacity: u32) -> PtlResult<EqHandle> {
+        self.api_entry();
+        self.charge(OP_SETUP_COST);
+        self.proc().lib.eq_alloc(capacity)
+    }
+
+    /// `PtlMDBind`.
+    pub fn md_bind(
+        &mut self,
+        start: u64,
+        length: u64,
+        options: MdOptions,
+        threshold: Threshold,
+        eq: Option<EqHandle>,
+        user_ptr: u64,
+    ) -> PtlResult<MdHandle> {
+        self.api_entry();
+        self.charge(OP_SETUP_COST);
+        let size = self.proc().mem.size();
+        self.proc()
+            .lib
+            .md_bind(size, start, length, options, threshold, eq, user_ptr)
+    }
+
+    /// `PtlMEAttach`.
+    pub fn me_attach(
+        &mut self,
+        pt_index: u32,
+        match_id: ProcessId,
+        match_bits: MatchBits,
+        ignore_bits: MatchBits,
+        unlink: UnlinkOp,
+        pos: InsertPos,
+    ) -> PtlResult<MeHandle> {
+        self.api_entry();
+        self.charge(OP_SETUP_COST);
+        self.proc()
+            .lib
+            .me_attach(pt_index, match_id, match_bits, ignore_bits, unlink, pos)
+    }
+
+    /// `PtlMDAttach`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn md_attach(
+        &mut self,
+        me: MeHandle,
+        start: u64,
+        length: u64,
+        options: MdOptions,
+        threshold: Threshold,
+        eq: Option<EqHandle>,
+        user_ptr: u64,
+    ) -> PtlResult<MdHandle> {
+        self.api_entry();
+        self.charge(OP_SETUP_COST);
+        let size = self.proc().mem.size();
+        self.proc()
+            .lib
+            .md_attach(me, size, start, length, options, threshold, eq, user_ptr)
+    }
+
+    /// `PtlMEInsert`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn me_insert(
+        &mut self,
+        reference: MeHandle,
+        pos: InsertPos,
+        match_id: ProcessId,
+        match_bits: MatchBits,
+        ignore_bits: MatchBits,
+        unlink: UnlinkOp,
+    ) -> PtlResult<MeHandle> {
+        self.api_entry();
+        self.charge(OP_SETUP_COST);
+        self.proc()
+            .lib
+            .me_insert(reference, pos, match_id, match_bits, ignore_bits, unlink)
+    }
+
+    /// `PtlMEUnlink`.
+    pub fn me_unlink(&mut self, me: MeHandle) -> PtlResult<()> {
+        self.api_entry();
+        self.charge(OP_SETUP_COST);
+        self.proc().lib.me_unlink(me)
+    }
+
+    /// `PtlMDUnlink`.
+    pub fn md_unlink(&mut self, md: MdHandle) -> PtlResult<()> {
+        self.api_entry();
+        self.charge(OP_SETUP_COST);
+        self.proc().lib.md_unlink(md)
+    }
+
+    /// `PtlPut`: put the whole descriptor (a region put over `[0, len)`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn put(
+        &mut self,
+        md: MdHandle,
+        ack: AckReq,
+        target: ProcessId,
+        pt_index: u32,
+        ac_index: u32,
+        match_bits: MatchBits,
+        remote_offset: u64,
+        hdr_data: u64,
+    ) -> PtlResult<()> {
+        let len = self.proc().lib.md(md)?.length;
+        self.put_region(
+            md,
+            0,
+            len,
+            ack,
+            target,
+            pt_index,
+            ac_index,
+            match_bits,
+            remote_offset,
+            hdr_data,
+        )
+    }
+
+    /// `PtlPutRegion`: put a sub-range of the MD.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_region(
+        &mut self,
+        md: MdHandle,
+        local_offset: u64,
+        length: u64,
+        ack: AckReq,
+        target: ProcessId,
+        pt_index: u32,
+        ac_index: u32,
+        match_bits: MatchBits,
+        remote_offset: u64,
+        hdr_data: u64,
+    ) -> PtlResult<()> {
+        let cm = self.m.config.cost;
+        self.api_entry();
+        self.charge(cm.host_tx_proc);
+        let header = self.proc().lib.put_region(
+            md,
+            local_offset,
+            length,
+            ack,
+            target,
+            pt_index,
+            ac_index,
+            match_bits,
+            remote_offset,
+            hdr_data,
+        )?;
+        let (start, len) = self.proc().lib.tx_region_at(md, local_offset, length)?;
+        let synthetic = self.m.config.synthetic_payload;
+        let (data, chunks, prep_cost) = {
+            let proc = &self.m.nodes[self.node].procs[self.pid as usize];
+            let prepared = proc
+                .bridge
+                .prepare(&cm, proc.mem.as_ref(), start, len as u32)
+                .ok_or(PtlError::InvalidArg)?;
+            let data = if synthetic {
+                WireData::Synthetic(len)
+            } else {
+                WireData::Real(proc.mem.read(start, len as u32))
+            };
+            (data, prepared.commands.len().max(1) as u32, prepared.prep_cost)
+        };
+        self.charge(prep_cost);
+        let fw_proc = self.m.nodes[self.node].procs[self.pid as usize].fw_proc;
+        self.time = self.m.transmit_internal(
+            self.q,
+            self.time,
+            self.node,
+            fw_proc,
+            self.pid,
+            header,
+            data,
+            chunks,
+            Some(md),
+        );
+        Ok(())
+    }
+
+    /// `PtlGet`. The reply deposits at the MD's start.
+    pub fn get(
+        &mut self,
+        md: MdHandle,
+        target: ProcessId,
+        pt_index: u32,
+        ac_index: u32,
+        match_bits: MatchBits,
+        remote_offset: u64,
+    ) -> PtlResult<()> {
+        let cm = self.m.config.cost;
+        self.api_entry();
+        self.charge(cm.host_tx_proc);
+        let header = self
+            .proc()
+            .lib
+            .get(md, target, pt_index, ac_index, match_bits, remote_offset)?;
+        // Pre-compute the reply deposit buffer and push it down with the
+        // command, so the firmware can deposit the reply without host
+        // involvement.
+        let (start, len) = self.proc().lib.tx_region(md)?;
+        let (dma, prep_cost) = {
+            let proc = &self.m.nodes[self.node].procs[self.pid as usize];
+            let prepared = proc
+                .bridge
+                .prepare(&cm, proc.mem.as_ref(), start, len as u32)
+                .ok_or(PtlError::InvalidArg)?;
+            (prepared.commands, prepared.prep_cost)
+        };
+        self.charge(prep_cost);
+        self.m.nodes[self.node].await_reply.insert((self.pid, md), dma);
+        let fw_proc = self.m.nodes[self.node].procs[self.pid as usize].fw_proc;
+        self.time = self.m.transmit_internal(
+            self.q,
+            self.time,
+            self.node,
+            fw_proc,
+            self.pid,
+            header,
+            WireData::Synthetic(0),
+            1,
+            None,
+        );
+        Ok(())
+    }
+
+    /// Charge host CPU time for application/library computation (e.g.
+    /// MPI request bookkeeping, buffer copies).
+    pub fn compute(&mut self, cost: SimTime) {
+        self.charge(cost);
+    }
+
+    /// Copy `len` bytes within this process's memory, charging the host
+    /// memcpy rate (used for MPI unexpected-message copies).
+    pub fn copy_mem(&mut self, from: u64, to: u64, len: u32) {
+        let cm = self.m.config.cost;
+        self.charge(cm.host_copy_bw.transfer_time(len as u64));
+        if !self.m.config.synthetic_payload {
+            let data = self.proc().mem.read(from, len);
+            self.proc().mem.write(to, &data);
+        }
+    }
+
+    /// Write bytes into this process's memory (setup; free of charge).
+    pub fn write_mem(&mut self, addr: u64, data: &[u8]) {
+        self.proc().mem.write(addr, data);
+    }
+
+    /// Read bytes from this process's memory.
+    pub fn read_mem(&mut self, addr: u64, len: u32) -> Vec<u8> {
+        self.proc().mem.read(addr, len)
+    }
+
+    /// Block until an event is available on `eq` (`PtlEQWait`).
+    pub fn wait_eq(&mut self, eq: EqHandle) {
+        self.wait = WaitRequest::Eq(eq);
+    }
+
+    /// Wake after `delay`.
+    pub fn sleep(&mut self, delay: SimTime) {
+        self.wait = WaitRequest::Timer(delay);
+    }
+
+    /// Terminate this app.
+    pub fn finish(&mut self) {
+        self.finished = true;
+    }
+}
+
+// Helper trait to view `Box<dyn AddressSpace>` as `dyn ProcessMemory`.
+pub(crate) trait AsMemory {
+    fn as_mut_memory(&mut self) -> &mut dyn xt3_portals::memory::ProcessMemory;
+    fn as_ref_memory(&self) -> &dyn xt3_portals::memory::ProcessMemory;
+}
+
+impl AsMemory for Box<dyn xt3_nal::addr::AddressSpace> {
+    fn as_mut_memory(&mut self) -> &mut dyn xt3_portals::memory::ProcessMemory {
+        &mut **self
+    }
+    fn as_ref_memory(&self) -> &dyn xt3_portals::memory::ProcessMemory {
+        &**self
+    }
+}

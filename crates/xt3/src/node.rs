@@ -1,0 +1,246 @@
+//! Per-node state: host + SeaStar + firmware + processes.
+
+use crate::app::{App, WaitRequest};
+use crate::config::{MachineConfig, NodeSpec, ProcSpec};
+use crate::host::HostCpu;
+use crate::wire::WireMsg;
+use std::collections::{HashMap, VecDeque};
+use xt3_firmware::control::{Firmware, FwMode, ProcIdx};
+use xt3_firmware::gbn::{GbnReceiver, GbnSender};
+use xt3_firmware::mailbox::FwEvent;
+use xt3_firmware::pending::PendingId;
+use xt3_nal::addr::{AddressSpace, CatamountSpace, LinuxSpace};
+use xt3_nal::bridge::{bridge_for, Bridge};
+use xt3_portals::header::PortalsHeader;
+use xt3_portals::library::{MatchTicket, PortalsLib, WireData};
+use xt3_portals::types::{MdHandle, NiLimits, ProcessId};
+use xt3_seastar::chip::SeaStar;
+use xt3_seastar::dma::DmaCommand;
+use xt3_sim::SimTime;
+use xt3_topology::coord::NodeId;
+
+/// A process's wait status between activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitState {
+    /// Running or idle with nothing requested.
+    Idle,
+    /// Blocked on an event queue.
+    Eq(xt3_portals::types::EqHandle),
+    /// Blocked on a timer (the wake event is already scheduled).
+    Timer,
+}
+
+/// One process on a node.
+pub struct ProcState {
+    /// Its Portals library state (kernel-resident for generic processes).
+    pub lib: PortalsLib,
+    /// Its address space.
+    pub mem: Box<dyn AddressSpace>,
+    /// Its bridge.
+    pub bridge: Box<dyn Bridge>,
+    /// Its spec.
+    pub spec: ProcSpec,
+    /// The firmware-level process its traffic flows through (0 for all
+    /// generic processes; own slot for accelerated ones).
+    pub fw_proc: ProcIdx,
+    pub(crate) app: Option<Box<dyn App>>,
+    pub(crate) wait: WaitState,
+    pub(crate) wake_scheduled: bool,
+    /// The app called `finish`.
+    pub finished: bool,
+}
+
+/// Host-side record of an in-flight transmit.
+pub(crate) struct TxRecord {
+    pub header: PortalsHeader,
+    pub data: WireData,
+    pub src_pid: u32,
+    /// `Some` when a `SendEnd` must be posted to this MD on completion.
+    pub md: Option<MdHandle>,
+    pub tag: u64,
+}
+
+/// Host/NIC-side record of an in-flight receive.
+pub(crate) struct RxRecord {
+    pub header: PortalsHeader,
+    pub data: WireData,
+    pub wire_complete: SimTime,
+    pub dst_pid: u32,
+    pub piggyback: bool,
+    pub ticket: Option<MatchTicket>,
+}
+
+/// One node.
+pub struct Node {
+    /// Node id (the Portals nid).
+    pub id: NodeId,
+    /// The SeaStar chip.
+    pub chip: SeaStar,
+    /// The firmware running on it.
+    pub fw: Firmware,
+    /// The host Opteron.
+    pub host: HostCpu,
+    /// Processes, indexed by Portals pid.
+    pub procs: Vec<ProcState>,
+    /// Host-managed TX pending free lists, per firmware-level process.
+    pub(crate) tx_free: Vec<Vec<PendingId>>,
+    pub(crate) tx_store: HashMap<(ProcIdx, PendingId), TxRecord>,
+    pub(crate) rx_store: HashMap<(ProcIdx, PendingId), RxRecord>,
+    /// The host-memory event queues the firmware posts into (generic
+    /// procs only; accelerated completions are handled inline).
+    pub(crate) fw_eq: Vec<VecDeque<FwEvent>>,
+    /// Reply deposit buffers prepared at `PtlGet` time, keyed by
+    /// `(pid, initiator MD)`.
+    pub(crate) await_reply: HashMap<(u32, MdHandle), Vec<DmaCommand>>,
+    /// Go-back-n sender state per destination node.
+    pub(crate) gbn_tx: HashMap<u32, GbnSender<WireMsg>>,
+    /// Go-back-n receiver state per source node.
+    pub(crate) gbn_rx: HashMap<u32, GbnReceiver>,
+    /// Transmits deferred because the go-back-n window was full, per
+    /// destination node.
+    pub(crate) gbn_deferred: HashMap<u32, VecDeque<WireMsg>>,
+    /// Peers with a retransmission timer already armed (one timer per
+    /// peer at a time).
+    pub(crate) gbn_timer_armed: std::collections::HashSet<u32>,
+    /// The node hit unrecoverable resource exhaustion under the `Panic`
+    /// policy (paper §4.3's shipped behaviour).
+    pub panicked: bool,
+    pub(crate) next_tag: u64,
+}
+
+impl Node {
+    /// Maximum accelerated-mode processes per node. Paper §4.1: "Limited
+    /// network interface resources and OS limitations prevent all
+    /// processes from operating in accelerated mode. Typically, there
+    /// will be a small number of accelerated processes (one or two on
+    /// each Catamount compute node)".
+    pub const MAX_ACCELERATED: usize = 2;
+
+    /// Build a node from its spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on configurations the platform cannot support: more than
+    /// [`Self::MAX_ACCELERATED`] accelerated processes, or accelerated
+    /// mode on a paged (Linux) bridge — "accelerated mode relies on
+    /// message buffers being physically contiguous in memory" (§4.1), so
+    /// only Catamount (qkbridge) processes qualify.
+    pub fn new(config: &MachineConfig, id: NodeId, spec: &NodeSpec) -> Self {
+        let accel_count = spec.procs.iter().filter(|p| p.accelerated).count();
+        assert!(
+            accel_count <= Self::MAX_ACCELERATED,
+            "node {id}: {accel_count} accelerated processes exceed the SeaStar's \
+             resources (max {})",
+            Self::MAX_ACCELERATED
+        );
+        for p in &spec.procs {
+            assert!(
+                !(p.accelerated && p.bridge != xt3_nal::bridge::BridgeKind::Qk),
+                "node {id}: accelerated mode requires physically contiguous \
+                 (Catamount) memory; Linux bridges are generic-only (paper §4.1)"
+            );
+        }
+
+        let mut chip = SeaStar::new(config.cost);
+
+        // Firmware-level processes: slot 0 is the kernel's generic
+        // implementation; each accelerated process gets its own slot.
+        let mut fw_modes = vec![FwMode::Generic];
+        let mut fw_proc_of = Vec::with_capacity(spec.procs.len());
+        for p in &spec.procs {
+            if p.accelerated {
+                fw_proc_of.push(fw_modes.len() as ProcIdx);
+                fw_modes.push(FwMode::Accelerated);
+            } else {
+                fw_proc_of.push(0);
+            }
+        }
+        let fw = Firmware::new(config.fw, &fw_modes, &mut chip.sram)
+            .expect("firmware structures must fit SeaStar SRAM");
+
+        let procs = spec
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(pid, ps)| {
+                let mem: Box<dyn AddressSpace> = match ps.bridge {
+                    xt3_nal::bridge::BridgeKind::Qk => {
+                        Box::new(CatamountSpace::new(ps.mem_bytes, (id.0 as u64) << 36))
+                    }
+                    _ => Box::new(LinuxSpace::new(
+                        ps.mem_bytes,
+                        config.seed ^ ((id.0 as u64) << 8 | pid as u64),
+                    )),
+                };
+                ProcState {
+                    lib: PortalsLib::new(ProcessId::new(id.0, pid as u32), NiLimits::default()),
+                    mem,
+                    bridge: bridge_for(ps.bridge),
+                    spec: *ps,
+                    fw_proc: fw_proc_of[pid],
+                    app: None,
+                    wait: WaitState::Idle,
+                    wake_scheduled: false,
+                    finished: false,
+                }
+            })
+            .collect();
+
+        let tx_base = fw.config().rx_pendings;
+        let tx_count = fw.config().tx_pendings;
+        let tx_free = (0..fw_modes.len())
+            .map(|_| (tx_base..tx_base + tx_count).rev().collect())
+            .collect();
+        let fw_eq = (0..fw_modes.len()).map(|_| VecDeque::new()).collect();
+
+        Node {
+            id,
+            chip,
+            fw,
+            host: HostCpu::new(),
+            procs,
+            tx_free,
+            tx_store: HashMap::new(),
+            rx_store: HashMap::new(),
+            fw_eq,
+            await_reply: HashMap::new(),
+            gbn_tx: HashMap::new(),
+            gbn_rx: HashMap::new(),
+            gbn_deferred: HashMap::new(),
+            gbn_timer_armed: std::collections::HashSet::new(),
+            panicked: false,
+            next_tag: (id.0 as u64) << 40,
+        }
+    }
+
+    /// Allocate a host-managed TX pending for firmware-level process
+    /// `fw_proc`.
+    pub(crate) fn alloc_tx_pending(&mut self, fw_proc: ProcIdx) -> Option<PendingId> {
+        self.tx_free[fw_proc as usize].pop()
+    }
+
+    /// Return a TX pending to the host free list.
+    pub(crate) fn free_tx_pending(&mut self, fw_proc: ProcIdx, pending: PendingId) {
+        self.tx_free[fw_proc as usize].push(pending);
+    }
+
+    /// Fresh trace tag.
+    pub(crate) fn fresh_tag(&mut self) -> u64 {
+        self.next_tag += 1;
+        self.next_tag
+    }
+
+    /// Total go-back-n retransmissions this node has performed (across
+    /// all peers).
+    pub fn gbn_retransmissions(&self) -> u64 {
+        self.gbn_tx.values().map(|s| s.retransmissions).sum()
+    }
+
+    pub(crate) fn set_wait(&mut self, pid: u32, req: WaitRequest) {
+        self.procs[pid as usize].wait = match req {
+            WaitRequest::None => WaitState::Idle,
+            WaitRequest::Eq(h) => WaitState::Eq(h),
+            WaitRequest::Timer(_) => WaitState::Timer,
+        };
+    }
+}

@@ -1,0 +1,96 @@
+//! Platform-constraint tests: the limits the paper states that a correct
+//! configuration layer must enforce, plus the RAS heartbeat.
+
+use std::any::Any;
+use xt3_node::config::{MachineConfig, NodeSpec, OsKind, ProcSpec};
+use xt3_node::{App, AppCtx, AppEvent, Machine};
+use xt3_sim::SimTime;
+
+struct Idle(SimTime);
+impl App for Idle {
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::Started => ctx.sleep(self.0),
+            _ => ctx.finish(),
+        }
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+#[should_panic(expected = "accelerated processes exceed")]
+fn more_than_two_accelerated_processes_is_rejected() {
+    // §4.1: "a small number of accelerated processes (one or two on each
+    // Catamount compute node)".
+    let spec = NodeSpec {
+        os: OsKind::Catamount,
+        procs: vec![ProcSpec::catamount_accelerated(); 3],
+    };
+    Machine::new(MachineConfig::paper_pair(), &[spec]);
+}
+
+#[test]
+fn two_accelerated_processes_are_fine() {
+    let spec = NodeSpec {
+        os: OsKind::Catamount,
+        procs: vec![
+            ProcSpec {
+                mem_bytes: 1 << 20,
+                ..ProcSpec::catamount_accelerated()
+            };
+            2
+        ],
+    };
+    let m = Machine::new(MachineConfig::paper_pair(), &[spec]);
+    // Each accelerated process gets its own firmware-level slot besides
+    // the kernel's generic one.
+    assert_eq!(m.nodes[0].fw.process_count(), 3);
+}
+
+#[test]
+#[should_panic(expected = "physically contiguous")]
+fn accelerated_mode_on_linux_is_rejected() {
+    // §4.1: "Supporting accelerated mode for Linux processes is
+    // particularly difficult because of memory paging".
+    let spec = NodeSpec {
+        os: OsKind::Linux,
+        procs: vec![ProcSpec {
+            accelerated: true,
+            ..ProcSpec::linux_user()
+        }],
+    };
+    Machine::new(MachineConfig::paper_pair(), &[spec]);
+}
+
+#[test]
+fn ras_heartbeat_ticks_while_apps_run() {
+    let mut config = MachineConfig::paper_pair();
+    config.ras_heartbeat = Some(SimTime::from_us(50));
+    let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
+    m.spawn(0, 0, Box::new(Idle(SimTime::from_ms(1))));
+    m.spawn(1, 0, Box::new(Idle(SimTime::from_ms(1))));
+    let mut engine = m.into_engine();
+    engine.run();
+    let m = engine.into_model();
+    for n in &m.nodes {
+        let beats = n.fw.counters().heartbeats;
+        // ~1 ms of runtime at a 50 us interval: ~20 beats (ticks stop once
+        // apps finish, so the count is bounded).
+        assert!(
+            (15..=25).contains(&beats),
+            "expected ~20 heartbeats, saw {beats}"
+        );
+    }
+}
+
+#[test]
+fn heartbeat_disabled_by_default() {
+    let mut m = Machine::new(MachineConfig::paper_pair(), &[NodeSpec::catamount_compute()]);
+    m.spawn(0, 0, Box::new(Idle(SimTime::from_us(100))));
+    let mut engine = m.into_engine();
+    engine.run();
+    let m = engine.into_model();
+    assert_eq!(m.nodes[0].fw.counters().heartbeats, 0);
+}

@@ -1,0 +1,77 @@
+//! A NetPIPE command line over the simulated platform.
+//!
+//! Mirrors the workflow of running `NPtcp`-style tools on the real
+//! machine: choose a transport and a pattern, get the size/latency/
+//! bandwidth table.
+//!
+//! Run: `cargo run --release --example netpipe_cli -- put pingpong 65536`
+//! Args: `<put|get|mpich1|mpich2> <pingpong|stream|bidir> [max_bytes] [--accel]`
+
+use portals_xt3::netpipe::report::{bandwidth_series, latency_series, FigureData};
+use portals_xt3::netpipe::runner::{run_curve, NetpipeConfig, TestKind, Transport};
+use portals_xt3::netpipe::Schedule;
+
+fn usage() -> ! {
+    eprintln!("usage: netpipe_cli <put|get|mpich1|mpich2> <pingpong|stream|bidir> [max_bytes] [--accel]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let transport = match args.first().map(String::as_str) {
+        Some("put") => Transport::Put,
+        Some("get") => Transport::Get,
+        Some("mpich1") => Transport::Mpich1,
+        Some("mpich2") => Transport::Mpich2,
+        _ => usage(),
+    };
+    let kind = match args.get(1).map(String::as_str) {
+        Some("pingpong") => TestKind::PingPong,
+        Some("stream") => TestKind::Stream,
+        Some("bidir") => TestKind::Bidir,
+        _ => usage(),
+    };
+    let max: u64 = match args.get(2).filter(|a| !a.starts_with("--")) {
+        Some(a) => a.parse().unwrap_or_else(|_| {
+            eprintln!("max_bytes must be a number, got {a:?}");
+            usage()
+        }),
+        None => 1 << 20,
+    };
+    let accel = args.iter().any(|a| a == "--accel");
+
+    let mut config = NetpipeConfig::paper();
+    config.schedule = Schedule::standard(max, 3);
+    config.accelerated = accel;
+
+    println!(
+        "NetPIPE over simulated SeaStar: {} / {:?}{} up to {max} bytes\n",
+        transport.label(),
+        kind,
+        if accel { " (accelerated mode)" } else { "" }
+    );
+    let rounds = run_curve(&config, transport, kind);
+    println!(
+        "{:>12} {:>10} {:>14} {:>14}",
+        "bytes", "msgs", "latency (us)", "bw (MB/s)"
+    );
+    for r in &rounds {
+        println!(
+            "{:>12} {:>10} {:>14.3} {:>14.2}",
+            r.size,
+            r.messages,
+            r.latency_us(),
+            r.bandwidth_mb()
+        );
+    }
+
+    let fig = FigureData {
+        title: format!("{} {:?}", transport.label(), kind),
+        y_label: "MB/s".into(),
+        series: vec![
+            bandwidth_series(transport.label(), &rounds),
+            latency_series("(latency-us)", &rounds),
+        ],
+    };
+    println!("\n{}", fig.render_ascii(64, 16));
+}

@@ -1,0 +1,156 @@
+//! Red Storm at scale: a 216-node (6x6x6, torus in z) slice of the
+//! machine the paper measured on, running simultaneous nearest-neighbor
+//! put traffic on every node.
+//!
+//! Demonstrates that the simulation holds up beyond benchmark pairs: all
+//! 216 firmware instances, routers and hosts progress together, and the
+//! printed statistics show the §1 requirements story at machine scale
+//! (per-node injection vs. the 1.5 GB/s target, interior link
+//! utilization, machine diameter in hops).
+//!
+//! Run: `cargo run --release --example red_storm_scale`
+
+use portals_xt3::portals::event::EventKind;
+use portals_xt3::portals::md::{MdOptions, Threshold};
+use portals_xt3::portals::me::{InsertPos, UnlinkOp};
+use portals_xt3::portals::types::{AckReq, EqHandle, ProcessId};
+use portals_xt3::topology::coord::Dims;
+use portals_xt3::xt3::config::{MachineConfig, NodeSpec, OsKind, ProcSpec};
+use portals_xt3::xt3::{App, AppCtx, AppEvent, Machine};
+use std::any::Any;
+
+const PT: u32 = 4;
+const BITS: u64 = 0x5CA1E;
+const MSG: u64 = 64 * 1024;
+const ROUNDS: u32 = 8;
+
+/// Every node sends `ROUNDS` puts to its +x neighbor and absorbs the same
+/// from its -x neighbor (with wraparound in the ring ordering of node
+/// ids), so all links see traffic at once.
+struct NeighborPusher {
+    me: u32,
+    n: u32,
+    eq: Option<EqHandle>,
+    sent: u32,
+    received: u32,
+}
+
+impl App for NeighborPusher {
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::Started => {
+                let eq = ctx.eq_alloc(128).unwrap();
+                self.eq = Some(eq);
+                let me = ctx
+                    .me_attach(PT, ProcessId::any(), BITS, 0, UnlinkOp::Retain, InsertPos::After)
+                    .unwrap();
+                ctx.md_attach(
+                    me,
+                    MSG,
+                    MSG,
+                    MdOptions {
+                        manage_remote: true,
+                        event_start_disable: true,
+                        ..MdOptions::put_target()
+                    },
+                    Threshold::Infinite,
+                    Some(eq),
+                    0,
+                )
+                .unwrap();
+                let md = ctx
+                    .md_bind(0, MSG, MdOptions::default(), Threshold::Infinite, Some(eq), 1)
+                    .unwrap();
+                let target = ProcessId::new((self.me + 1) % self.n, 0);
+                ctx.put(md, AckReq::NoAck, target, PT, 0, BITS, 0, 0).unwrap();
+                self.sent = 1;
+                ctx.wait_eq(eq);
+            }
+            AppEvent::Ptl(ev) => {
+                match (ev.user_ptr, ev.kind) {
+                    (1, EventKind::SendEnd) if self.sent < ROUNDS => {
+                        let target = ProcessId::new((self.me + 1) % self.n, 0);
+                        ctx.put(ev.md, AckReq::NoAck, target, PT, 0, BITS, 0, 0).unwrap();
+                        self.sent += 1;
+                    }
+                    (0, EventKind::PutEnd) => {
+                        self.received += 1;
+                    }
+                    _ => {}
+                }
+                if self.sent >= ROUNDS && self.received >= ROUNDS {
+                    ctx.finish();
+                } else {
+                    ctx.wait_eq(self.eq.unwrap());
+                }
+            }
+            _ => ctx.wait_eq(self.eq.unwrap()),
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn main() {
+    let dims = Dims::red_storm(6, 6, 6);
+    let n = dims.node_count();
+    let config = MachineConfig::paper(dims);
+    let spec = NodeSpec {
+        os: OsKind::Catamount,
+        procs: vec![ProcSpec {
+            mem_bytes: (2 * MSG + 8192) as usize,
+            ..ProcSpec::catamount_generic()
+        }],
+    };
+    println!("building {n}-node Red Storm slice ({}x{}x{}, torus in z)...", dims.nx, dims.ny, dims.nz);
+    let mut m = Machine::new(config, &[spec]);
+    for node in 0..n {
+        m.spawn(node, 0, Box::new(NeighborPusher { me: node, n, eq: None, sent: 0, received: 0 }));
+    }
+
+    let start = std::time::Instant::now();
+    let mut engine = m.into_engine();
+    engine.run();
+    let sim_time = engine.now();
+    let events = engine.dispatched();
+    let m = engine.into_model();
+
+    assert_eq!(m.running_apps(), 0, "all {n} nodes complete");
+    assert!(!m.any_panicked());
+
+    let total_bytes = m.fabric.bytes_sent();
+    let wall = start.elapsed();
+    println!(
+        "{} puts of {} KB delivered on {} nodes in {sim_time} simulated",
+        n * ROUNDS,
+        MSG / 1024,
+        n
+    );
+    println!(
+        "wire payload {:.1} MB | {} wire messages | peak link utilization {:.1}%",
+        total_bytes as f64 / 1e6,
+        m.fabric.messages_sent(),
+        m.fabric.peak_link_utilization(sim_time) * 100.0
+    );
+    let agg_bw = total_bytes as f64 / sim_time.as_secs_f64() / 1e9;
+    println!(
+        "aggregate injection {agg_bw:.2} GB/s across the machine ({:.3} GB/s per node vs the 1.5 GB/s requirement)",
+        agg_bw / n as f64
+    );
+    let diameter = m.fabric.routes().diameter();
+    println!("network diameter: {diameter} hops");
+    println!(
+        "simulator: {events} events in {:.2?} wall-clock ({:.1}k events/s)",
+        wall,
+        events as f64 / wall.as_secs_f64() / 1e3
+    );
+
+    // Mean host and PPC utilization across nodes.
+    let host_util: f64 =
+        m.nodes.iter().map(|nd| nd.host.utilization(sim_time)).sum::<f64>() / n as f64;
+    let ppc_util: f64 =
+        m.nodes.iter().map(|nd| nd.chip.ppc.utilization(sim_time)).sum::<f64>() / n as f64;
+    println!("mean host utilization {:.1}% | mean PPC utilization {:.1}%", host_util * 100.0, ppc_util * 100.0);
+}

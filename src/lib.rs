@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! Facade crate for the Portals 3.3 / Cray XT3 reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can `use portals_xt3::...`. See `README.md` for a tour
+//! and `DESIGN.md` for the system inventory.
+
+pub use xt3_firmware as firmware;
+pub use xt3_mpi as mpi;
+pub use xt3_nal as nal;
+pub use xt3_netpipe as netpipe;
+pub use xt3_node as xt3;
+pub use xt3_portals as portals;
+pub use xt3_seastar as seastar;
+pub use xt3_sim as sim;
+pub use xt3_topology as topology;
