@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! Determinism audit layer.
+//!
+//! Two halves, both runnable from CI (`cargo run -p audit -- lint|replay`)
+//! and from the test suite:
+//!
+//! * [`lint`] — repo-specific source lints that keep nondeterminism out
+//!   of the simulation at the source level: no `HashMap`/`HashSet` in
+//!   simulation-facing crates, no wall-clock reads outside bench
+//!   binaries, no panic paths in firmware event handlers. Violations are
+//!   suppressed only by an inline `audit:allow(rule): reason` marker or
+//!   by `crates/audit/allowlist.txt`, which may only ever shrink.
+//! * [`replay`] — a replay-divergence checker that builds every NetPIPE
+//!   scenario and the tier-1 end-to-end configurations twice from
+//!   identical state and steps the two engines in lockstep, comparing
+//!   the streaming event digest after every dispatch. A determinism bug
+//!   is reported as the first divergent event index.
+
+pub mod lint;
+pub mod replay;
+
+pub use lint::{LintReport, Rule, Violation};
+pub use replay::{Divergence, ReplayRun, Scenario};

@@ -1,0 +1,83 @@
+//! Determinism audit CLI.
+//!
+//! ```text
+//! cargo run -p audit -- lint     # source lints; exit 1 on any violation
+//! cargo run -p audit -- replay   # replay-divergence check; exit 1 on divergence
+//! cargo run -p audit -- all      # both
+//! ```
+
+use std::process::ExitCode;
+
+use audit::{lint, replay};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some("replay") => run_replay(),
+        Some("all") => {
+            let a = run_lint();
+            let b = run_replay();
+            if a == ExitCode::SUCCESS && b == ExitCode::SUCCESS {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: audit <lint|replay|all>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = lint::repo_root();
+    match lint::run(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("audit lint: i/o error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_replay() -> ExitCode {
+    let scenarios = replay::all_scenarios();
+    let mut failed = false;
+    for s in &scenarios {
+        match s.check() {
+            Ok(run) => {
+                println!(
+                    "ok   {:<28} {:>8} events  digest {:#018x}",
+                    run.name, run.dispatched, run.digest
+                );
+            }
+            Err(d) => {
+                println!("FAIL {d}");
+                failed = true;
+            }
+        }
+    }
+    println!(
+        "{} scenario(s), {}",
+        scenarios.len(),
+        if failed {
+            "divergence detected"
+        } else {
+            "all deterministic"
+        }
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

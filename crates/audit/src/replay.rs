@@ -1,0 +1,451 @@
+//! Replay-divergence checker.
+//!
+//! The DES contract is: same configuration + same seed ⇒ the same event
+//! sequence, bit for bit. The engine maintains a streaming FNV digest of
+//! every dispatched event ([`xt3_sim::Engine::digest`]); this module
+//! builds two identically-configured engines per scenario and steps them
+//! in **lockstep**, comparing the digest and clock after every event.
+//! A nondeterminism bug (hash-ordered iteration, wall-clock leakage,
+//! address-sensitive ordering) shows up as the *first* divergent event
+//! index rather than as a flaky benchmark three layers up.
+//!
+//! Scenarios cover each NetPIPE transport × test pattern plus the tier-1
+//! end-to-end configurations (go-back-N under pool exhaustion, CRC noise
+//! on the wire, many-to-one fan-in).
+
+use std::any::Any;
+use std::fmt;
+
+use xt3_netpipe::runner::{build_engine, NetpipeConfig, TestKind, Transport};
+use xt3_node::config::{ExhaustionPolicy, MachineConfig, NodeSpec};
+use xt3_node::{App, AppCtx, AppEvent, Machine};
+use xt3_portals::event::EventKind;
+use xt3_portals::md::{MdOptions, Threshold};
+use xt3_portals::me::{InsertPos, UnlinkOp};
+use xt3_portals::types::{AckReq, EqHandle, ProcessId};
+use xt3_sim::{Engine, Model};
+use xt3_topology::coord::Dims;
+
+/// Where two supposedly-identical runs first disagreed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Scenario name.
+    pub scenario: String,
+    /// 1-based index of the first divergent event.
+    pub index: u64,
+    /// What differed.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replay divergence in `{}` at event {}: {}",
+            self.scenario, self.index, self.detail
+        )
+    }
+}
+
+/// A completed, divergence-free replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayRun {
+    /// Scenario name.
+    pub name: String,
+    /// Events both runs dispatched.
+    pub dispatched: u64,
+    /// The (equal) final digest.
+    pub digest: u64,
+}
+
+/// Step `a` and `b` — two engines built from the same configuration —
+/// one event at a time, comparing the streaming digest and clock after
+/// every event. Returns the first divergence, or the agreed final state.
+pub fn lockstep<M: Model>(
+    mut a: Engine<M>,
+    mut b: Engine<M>,
+    name: &str,
+) -> Result<ReplayRun, Divergence> {
+    loop {
+        let sa = a.step();
+        let sb = b.step();
+        if sa != sb {
+            return Err(Divergence {
+                scenario: name.to_string(),
+                index: a.dispatched().max(b.dispatched()),
+                detail: format!(
+                    "one run drained after {} events, the other still had work after {}",
+                    a.dispatched().min(b.dispatched()),
+                    a.dispatched().max(b.dispatched())
+                ),
+            });
+        }
+        if !sa {
+            // Both drained together. The per-step compare below already
+            // caught any divergence, so the digests must agree here.
+            debug_assert_eq!(a.digest(), b.digest());
+            return Ok(ReplayRun {
+                name: name.to_string(),
+                dispatched: a.dispatched(),
+                digest: a.digest(),
+            });
+        }
+        if a.digest() != b.digest() || a.now() != b.now() {
+            return Err(Divergence {
+                scenario: name.to_string(),
+                index: a.dispatched(),
+                detail: format!(
+                    "digest {:#018x} vs {:#018x}, clock {} vs {}",
+                    a.digest(),
+                    b.digest(),
+                    a.now(),
+                    b.now()
+                ),
+            });
+        }
+    }
+}
+
+/// One replayable scenario: a name plus a constructor that builds a
+/// fully-seeded engine. The checker calls the constructor twice.
+pub struct Scenario {
+    /// Display name (stable; used in failure output).
+    pub name: String,
+    build: Box<dyn Fn() -> Engine<Machine>>,
+}
+
+impl Scenario {
+    /// Build one engine instance.
+    pub fn build(&self) -> Engine<Machine> {
+        (self.build)()
+    }
+
+    /// Run the scenario twice from identical state and compare.
+    pub fn check(&self) -> Result<ReplayRun, Divergence> {
+        lockstep(self.build(), self.build(), &self.name)
+    }
+}
+
+/// The NetPIPE scenarios: every transport × pattern, on the quick size
+/// schedule capped at `max_size` bytes.
+pub fn netpipe_scenarios(max_size: u64) -> Vec<Scenario> {
+    let transports = [
+        Transport::Put,
+        Transport::Get,
+        Transport::Mpich1,
+        Transport::Mpich2,
+    ];
+    let kinds = [TestKind::PingPong, TestKind::Stream, TestKind::Bidir];
+    let mut out = Vec::new();
+    for &t in &transports {
+        for &k in &kinds {
+            out.push(Scenario {
+                name: format!("netpipe/{}-{:?}", t.label(), k).to_lowercase(),
+                build: Box::new(move || build_engine(&NetpipeConfig::quick(max_size), t, k)),
+            });
+        }
+    }
+    out
+}
+
+/// The tier-1 end-to-end configurations, replayed: go-back-N recovery
+/// under RX pool exhaustion, CRC errors on every link, and many-to-one
+/// fan-in through source lists.
+pub fn e2e_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "e2e/gbn-exhaustion".to_string(),
+            build: Box::new(|| {
+                let mut config = MachineConfig::paper_pair();
+                config.synthetic_payload = false;
+                config.fw.rx_pendings = 3;
+                config.fw.tx_pendings = 64;
+                config.exhaustion = ExhaustionPolicy::GoBackN;
+                let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
+                m.spawn(
+                    0,
+                    0,
+                    Box::new(Pusher::burst(ProcessId::new(1, 0), 2048, 16)),
+                );
+                m.spawn(1, 0, Box::new(Collector::new(16)));
+                m.into_engine()
+            }),
+        },
+        Scenario {
+            name: "e2e/crc-noise".to_string(),
+            build: Box::new(|| {
+                let seed = MachineConfig::paper_pair().seed;
+                crc_noise_engine(seed)
+            }),
+        },
+        Scenario {
+            name: "e2e/fan-in".to_string(),
+            build: Box::new(|| {
+                let config = MachineConfig::paper(Dims::mesh(5, 1, 1));
+                let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
+                for nid in 1..5 {
+                    m.spawn(nid, 0, Box::new(Pusher::new(ProcessId::new(0, 0), 1024, 3)));
+                }
+                m.spawn(0, 0, Box::new(Collector::new(12)));
+                m.into_engine()
+            }),
+        },
+    ]
+}
+
+/// The CRC-noise end-to-end engine with an explicit machine seed.
+///
+/// Exposed so the digest tests can show both directions of the contract:
+/// equal seeds ⇒ equal digests, and different seeds ⇒ different digests
+/// (the seed drives CRC error injection, so the event streams genuinely
+/// differ).
+pub fn crc_noise_engine(seed: u64) -> Engine<Machine> {
+    let mut config = MachineConfig::paper_pair();
+    config.seed = seed;
+    // The fabric keeps its own injection RNG; thread the seed there too
+    // or two "differently-seeded" runs would corrupt the same packets.
+    config.fabric.seed = seed;
+    config.synthetic_payload = false;
+    config.fabric.link.crc_error_prob = 0.25;
+    let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
+    m.spawn(
+        0,
+        0,
+        Box::new(Pusher::new(ProcessId::new(1, 0), 16 << 10, 4)),
+    );
+    m.spawn(1, 0, Box::new(Collector::new(4)));
+    m.into_engine()
+}
+
+/// Every scenario the `audit replay` command and the tier-1 replay test
+/// run: NetPIPE sweeps capped at 4 KiB plus the e2e configurations.
+pub fn all_scenarios() -> Vec<Scenario> {
+    let mut out = netpipe_scenarios(4096);
+    out.extend(e2e_scenarios());
+    out
+}
+
+/// Run every scenario; return the per-scenario results or the first
+/// divergence.
+pub fn check_all() -> Result<Vec<ReplayRun>, Divergence> {
+    all_scenarios().iter().map(|s| s.check()).collect()
+}
+
+// ---------------------------------------------------------------------
+// Minimal traffic apps (put sender / put collector) for the e2e
+// scenarios. Mirrors the shape of the tier-1 `full_stack.rs` apps.
+// ---------------------------------------------------------------------
+
+const PT: u32 = 4;
+const BITS: u64 = 0xD1CE;
+
+/// Sends `count` puts of `len` bytes to `target`.
+struct Pusher {
+    target: ProcessId,
+    len: u64,
+    count: u32,
+    sent: u32,
+    acked: u32,
+    burst: bool,
+    eq: Option<EqHandle>,
+}
+
+impl Pusher {
+    fn new(target: ProcessId, len: u64, count: u32) -> Self {
+        Pusher {
+            target,
+            len,
+            count,
+            sent: 0,
+            acked: 0,
+            burst: false,
+            eq: None,
+        }
+    }
+
+    fn burst(target: ProcessId, len: u64, count: u32) -> Self {
+        Pusher {
+            burst: true,
+            ..Self::new(target, len, count)
+        }
+    }
+}
+
+impl App for Pusher {
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::Started => {
+                if !ctx.synthetic() {
+                    let payload: Vec<u8> = (0..self.len).map(|i| (i % 251) as u8).collect();
+                    ctx.write_mem(0, &payload);
+                }
+                let eq = ctx.eq_alloc(1024).expect("audit pusher eq");
+                self.eq = Some(eq);
+                let md = ctx
+                    .md_bind(
+                        0,
+                        self.len,
+                        MdOptions::default(),
+                        Threshold::Infinite,
+                        Some(eq),
+                        0,
+                    )
+                    .expect("audit pusher md");
+                let first = if self.burst { self.count } else { 1 };
+                for _ in 0..first {
+                    ctx.put(md, AckReq::NoAck, self.target, PT, 0, BITS, 0, 0)
+                        .expect("audit pusher put");
+                }
+                self.sent = first;
+                ctx.wait_eq(eq);
+            }
+            AppEvent::Ptl(ev) => {
+                if ev.kind == EventKind::SendEnd {
+                    self.acked += 1;
+                    if self.sent < self.count {
+                        ctx.put(ev.md, AckReq::NoAck, self.target, PT, 0, BITS, 0, 0)
+                            .expect("audit pusher put");
+                        self.sent += 1;
+                    } else if self.acked >= self.count {
+                        ctx.finish();
+                        return;
+                    }
+                }
+                ctx.wait_eq(self.eq.expect("eq set at start"));
+            }
+            _ => ctx.wait_eq(self.eq.expect("eq set at start")),
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Collects `count` puts, then finishes.
+struct Collector {
+    count: u32,
+    got: u32,
+    eq: Option<EqHandle>,
+}
+
+impl Collector {
+    fn new(count: u32) -> Self {
+        Collector {
+            count,
+            got: 0,
+            eq: None,
+        }
+    }
+}
+
+impl App for Collector {
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::Started => {
+                let eq = ctx.eq_alloc(1024).expect("audit collector eq");
+                self.eq = Some(eq);
+                let me = ctx
+                    .me_attach(
+                        PT,
+                        ProcessId::any(),
+                        BITS,
+                        0,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
+                    .expect("audit collector me");
+                ctx.md_attach(
+                    me,
+                    0,
+                    64 << 10,
+                    MdOptions {
+                        manage_remote: true,
+                        event_start_disable: true,
+                        ..MdOptions::put_target()
+                    },
+                    Threshold::Infinite,
+                    Some(eq),
+                    0,
+                )
+                .expect("audit collector md");
+                ctx.wait_eq(eq);
+            }
+            AppEvent::Ptl(ev) => {
+                if ev.kind == EventKind::PutEnd {
+                    self.got += 1;
+                    if self.got >= self.count {
+                        ctx.finish();
+                        return;
+                    }
+                }
+                ctx.wait_eq(self.eq.expect("eq set at start"));
+            }
+            _ => ctx.wait_eq(self.eq.expect("eq set at start")),
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt3_sim::{EventDigest, EventQueue, SimTime};
+
+    // A model that iterates keys in a run-dependent order — emulating,
+    // deterministically, exactly what `HashMap` iteration injects: run A
+    // visits keys ascending, run B descending. The checker must catch it.
+    struct OrderSensitive {
+        keys: Vec<u32>,
+        cursor: usize,
+    }
+
+    impl Model for OrderSensitive {
+        type Event = u32;
+        fn dispatch(&mut self, now: SimTime, _ev: u32, q: &mut EventQueue<u32>) {
+            if self.cursor < self.keys.len() {
+                let k = self.keys[self.cursor];
+                self.cursor += 1;
+                q.schedule_at(now + SimTime::from_ns(10), k);
+            }
+        }
+        fn fingerprint(event: &u32, digest: &mut EventDigest) {
+            digest.write_u32(*event);
+        }
+    }
+
+    fn engine_with_order(keys: Vec<u32>) -> Engine<OrderSensitive> {
+        let mut e = Engine::new(OrderSensitive { keys, cursor: 0 });
+        e.queue_mut().schedule_at(SimTime::ZERO, 0);
+        e
+    }
+
+    #[test]
+    fn lockstep_passes_identical_models() {
+        let a = engine_with_order(vec![1, 2, 3]);
+        let b = engine_with_order(vec![1, 2, 3]);
+        let run = lockstep(a, b, "identical").expect("no divergence");
+        assert_eq!(run.dispatched, 4);
+    }
+
+    #[test]
+    fn lockstep_catches_hash_ordered_iteration() {
+        // Same multiset of keys, different iteration order — precisely
+        // the failure mode `HashMap` iteration injects.
+        let a = engine_with_order(vec![1, 2, 3]);
+        let b = engine_with_order(vec![3, 2, 1]);
+        let d = lockstep(a, b, "hash-order").expect_err("must diverge");
+        assert_eq!(d.index, 2, "first divergent event is the second one");
+    }
+
+    #[test]
+    fn lockstep_catches_event_count_mismatch() {
+        let a = engine_with_order(vec![1]);
+        let b = engine_with_order(vec![1, 2]);
+        let d = lockstep(a, b, "count").expect_err("must diverge");
+        assert!(d.detail.contains("drained"), "{d}");
+    }
+}

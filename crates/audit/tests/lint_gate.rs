@@ -1,0 +1,130 @@
+//! The lint half of the audit, as tests: the shipped tree must be clean,
+//! and the scanner must actually catch seeded violations (so a silent
+//! scanner regression can't fake a clean tree).
+
+use std::fs;
+use std::path::PathBuf;
+
+use audit::lint::{self, AllowEntry, Rule};
+
+/// A scratch repo-shaped directory, cleaned up on drop.
+struct ScratchRepo {
+    root: PathBuf,
+}
+
+impl ScratchRepo {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("audit-lint-{}-{}", tag, std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("scratch root");
+        ScratchRepo { root }
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(path, text).expect("write");
+    }
+}
+
+impl Drop for ScratchRepo {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn shipped_tree_is_clean() {
+    let report = lint::run(&lint::repo_root()).expect("lint run");
+    assert!(
+        report.is_clean(),
+        "determinism lint must pass on the shipped tree:\n{}",
+        report.render()
+    );
+    assert!(
+        report.files_scanned > 50,
+        "sanity: the scanner must actually visit the tree (saw {})",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn seeded_hashmap_violation_is_caught() {
+    let repo = ScratchRepo::new("hashmap");
+    repo.write(
+        "crates/sim/src/bad.rs",
+        "use std::collections::HashMap;\npub fn f() -> HashMap<u32, u32> { HashMap::new() }\n",
+    );
+    let report = lint::run(&repo.root).expect("lint run");
+    assert_eq!(report.violations.len(), 2);
+    assert!(report
+        .violations
+        .iter()
+        .all(|v| v.rule == Rule::NondetCollection));
+    assert_eq!(report.violations[0].path, "crates/sim/src/bad.rs");
+    assert_eq!(report.violations[0].line, 1);
+}
+
+#[test]
+fn seeded_wall_clock_violation_is_caught() {
+    let repo = ScratchRepo::new("wallclock");
+    repo.write(
+        "crates/xt3/src/bad.rs",
+        "pub fn f() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let report = lint::run(&repo.root).expect("lint run");
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].rule, Rule::WallClock);
+}
+
+#[test]
+fn seeded_firmware_unwrap_is_caught_outside_tests_only() {
+    let repo = ScratchRepo::new("panic");
+    repo.write(
+        "crates/firmware/src/control.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+         #[cfg(test)]\nmod tests {\n    fn g(x: Option<u32>) -> u32 { x.unwrap() }\n}\n",
+    );
+    let report = lint::run(&repo.root).expect("lint run");
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].rule, Rule::PanicPath);
+    assert_eq!(report.violations[0].line, 1);
+}
+
+#[test]
+fn allowlist_suppresses_and_goes_stale() {
+    let repo = ScratchRepo::new("allow");
+    repo.write("crates/mpi/src/debt.rs", "use std::collections::HashSet;\n");
+    repo.write("crates/portals/src/clean.rs", "pub fn f() {}\n");
+
+    let allow = vec![
+        // Covers the real violation — suppressed.
+        AllowEntry {
+            rule: Rule::NondetCollection,
+            path: "crates/mpi/src/debt.rs".to_string(),
+        },
+        // Covers nothing — must be reported stale so the file shrinks.
+        AllowEntry {
+            rule: Rule::NondetCollection,
+            path: "crates/portals/src/clean.rs".to_string(),
+        },
+    ];
+    let report = lint::run_with_allowlist(&repo.root, &allow).expect("lint run");
+    assert!(report.violations.is_empty(), "{}", report.render());
+    assert_eq!(report.stale_allowlist.len(), 1);
+    assert!(report.stale_allowlist[0].contains("clean.rs"));
+    assert!(!report.is_clean(), "stale entries are errors");
+}
+
+#[test]
+fn inline_marker_must_name_the_right_rule() {
+    let repo = ScratchRepo::new("marker");
+    repo.write(
+        "crates/nal/src/x.rs",
+        "use std::collections::HashMap; // audit:allow(nondet-collection): FFI mirror of host table\n\
+         use std::collections::HashSet; // audit:allow(wall-clock): wrong rule name\n",
+    );
+    let report = lint::run(&repo.root).expect("lint run");
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].line, 2);
+}

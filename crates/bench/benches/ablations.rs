@@ -56,5 +56,10 @@ fn piggyback_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(ablations, mode_ablation, interrupt_ablation, piggyback_ablation);
+criterion_group!(
+    ablations,
+    mode_ablation,
+    interrupt_ablation,
+    piggyback_ablation
+);
 criterion_main!(ablations);

@@ -23,7 +23,13 @@ fn fig4(c: &mut Criterion) {
         b.iter(|| black_box(latency_curve(&config, Transport::Put, TestKind::PingPong)))
     });
     c.bench_function("fig4_latency_mpich1_curve", |b| {
-        b.iter(|| black_box(latency_curve(&config, Transport::Mpich1, TestKind::PingPong)))
+        b.iter(|| {
+            black_box(latency_curve(
+                &config,
+                Transport::Mpich1,
+                TestKind::PingPong,
+            ))
+        })
     });
 }
 

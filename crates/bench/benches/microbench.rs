@@ -44,13 +44,36 @@ fn matching(c: &mut Criterion) {
             // `depth` non-matching entries ahead of the matching one.
             for i in 0..depth {
                 let me = lib
-                    .me_attach(0, ProcessId::any(), i as u64 + 1000, 0, UnlinkOp::Retain, InsertPos::After)
+                    .me_attach(
+                        0,
+                        ProcessId::any(),
+                        i as u64 + 1000,
+                        0,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
                     .unwrap();
-                lib.md_attach(me, 1 << 20, 0, 64, MdOptions::put_target(), Threshold::Infinite, None, 0)
-                    .unwrap();
+                lib.md_attach(
+                    me,
+                    1 << 20,
+                    0,
+                    64,
+                    MdOptions::put_target(),
+                    Threshold::Infinite,
+                    None,
+                    0,
+                )
+                .unwrap();
             }
             let me = lib
-                .me_attach(0, ProcessId::any(), 42, 0, UnlinkOp::Retain, InsertPos::After)
+                .me_attach(
+                    0,
+                    ProcessId::any(),
+                    42,
+                    0,
+                    UnlinkOp::Retain,
+                    InsertPos::After,
+                )
                 .unwrap();
             lib.md_attach(
                 me,
@@ -76,7 +99,10 @@ fn matching(c: &mut Criterion) {
                 0,
                 AckReq::NoAck,
                 0,
-                MdHandle { index: 0, generation: 0 },
+                MdHandle {
+                    index: 0,
+                    generation: 0,
+                },
             );
             b.iter(|| match lib.match_incoming(black_box(&hdr)) {
                 DeliverOutcome::Matched(t) => black_box(t.mlength),

@@ -17,7 +17,10 @@ fn main() {
         let mut config = NetpipeConfig::paper_latency();
         config.schedule = Schedule::standard(16, 0);
         println!("Table: 1-byte latency (paper §6)");
-        println!("{:<14} {:>12} {:>12} {:>8}", "curve", "model (us)", "paper (us)", "err %");
+        println!(
+            "{:<14} {:>12} {:>12} {:>8}",
+            "curve", "model (us)", "paper (us)", "err %"
+        );
         for (t, paper) in [
             (Transport::Put, r::latency_1b::PUT_US),
             (Transport::Get, r::latency_1b::GET_US),

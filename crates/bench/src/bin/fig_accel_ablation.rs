@@ -61,6 +61,9 @@ fn main() {
         };
         c.cost = CostModel::paper().with_piggyback_max(limit);
         let s = latency_curve(&c, Transport::Put, TestKind::PingPong);
-        println!("{limit:>12} {:>12.3} {:>12.3}", s.points[0].y, s.points[1].y);
+        println!(
+            "{limit:>12} {:>12.3} {:>12.3}",
+            s.points[0].y, s.points[1].y
+        );
     }
 }

@@ -33,7 +33,11 @@ fn latency_at_hops(hops: u16) -> f64 {
     let far = hops as u32;
     let init = PtlInitiator::with_peer(PtlPattern::PingPongPut, schedule.clone(), far);
     m.spawn(0, 0, Box::new(init));
-    m.spawn(far, 0, Box::new(PtlResponder::new(PtlPattern::PingPongPut, schedule)));
+    m.spawn(
+        far,
+        0,
+        Box::new(PtlResponder::new(PtlPattern::PingPongPut, schedule)),
+    );
     let mut engine = m.into_engine();
     engine.run();
     let mut m = engine.into_model();
@@ -49,8 +53,13 @@ fn latency_at_hops(hops: u16) -> f64 {
 }
 
 fn main() {
-    println!("1-byte put latency vs network distance (paper §1: 2 us near / 5 us far MPI targets)\n");
-    println!("{:>8} {:>14} {:>18}", "hops", "latency (us)", "delta vs 1 hop");
+    println!(
+        "1-byte put latency vs network distance (paper §1: 2 us near / 5 us far MPI targets)\n"
+    );
+    println!(
+        "{:>8} {:>14} {:>18}",
+        "hops", "latency (us)", "delta vs 1 hop"
+    );
     let base = latency_at_hops(1);
     for hops in [1u16, 2, 4, 8, 16, 32, 53] {
         let lat = latency_at_hops(hops);

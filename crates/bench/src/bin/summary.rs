@@ -32,17 +32,68 @@ fn main() {
     let bidir_peak = bandwidth_curve(&bw_cfg, Transport::Put, TestKind::Bidir).y_max();
 
     let rows = vec![
-        Row { name: "Fig4 put 1B latency", paper: r::latency_1b::PUT_US, measured: lat(Transport::Put), unit: "us", tolerance_pct: 2.0 },
-        Row { name: "Fig4 get 1B latency", paper: r::latency_1b::GET_US, measured: lat(Transport::Get), unit: "us", tolerance_pct: 2.0 },
-        Row { name: "Fig4 mpich-1.2.6 1B latency", paper: r::latency_1b::MPICH1_US, measured: lat(Transport::Mpich1), unit: "us", tolerance_pct: 2.0 },
-        Row { name: "Fig4 mpich2 1B latency", paper: r::latency_1b::MPICH2_US, measured: lat(Transport::Mpich2), unit: "us", tolerance_pct: 2.0 },
-        Row { name: "Fig5 uni-dir put peak", paper: r::unidir::PUT_PEAK_MB, measured: uni_peak, unit: "MB/s", tolerance_pct: 1.0 },
-        Row { name: "Fig5 put half-bandwidth point", paper: r::unidir::HALF_BW_BYTES, measured: uni_half, unit: "B", tolerance_pct: 15.0 },
-        Row { name: "Fig6 stream half-bandwidth point", paper: r::streaming::HALF_BW_BYTES, measured: stream_half, unit: "B", tolerance_pct: 10.0 },
-        Row { name: "Fig7 bi-dir put peak", paper: r::bidir::PUT_PEAK_MB, measured: bidir_peak, unit: "MB/s", tolerance_pct: 1.0 },
+        Row {
+            name: "Fig4 put 1B latency",
+            paper: r::latency_1b::PUT_US,
+            measured: lat(Transport::Put),
+            unit: "us",
+            tolerance_pct: 2.0,
+        },
+        Row {
+            name: "Fig4 get 1B latency",
+            paper: r::latency_1b::GET_US,
+            measured: lat(Transport::Get),
+            unit: "us",
+            tolerance_pct: 2.0,
+        },
+        Row {
+            name: "Fig4 mpich-1.2.6 1B latency",
+            paper: r::latency_1b::MPICH1_US,
+            measured: lat(Transport::Mpich1),
+            unit: "us",
+            tolerance_pct: 2.0,
+        },
+        Row {
+            name: "Fig4 mpich2 1B latency",
+            paper: r::latency_1b::MPICH2_US,
+            measured: lat(Transport::Mpich2),
+            unit: "us",
+            tolerance_pct: 2.0,
+        },
+        Row {
+            name: "Fig5 uni-dir put peak",
+            paper: r::unidir::PUT_PEAK_MB,
+            measured: uni_peak,
+            unit: "MB/s",
+            tolerance_pct: 1.0,
+        },
+        Row {
+            name: "Fig5 put half-bandwidth point",
+            paper: r::unidir::HALF_BW_BYTES,
+            measured: uni_half,
+            unit: "B",
+            tolerance_pct: 15.0,
+        },
+        Row {
+            name: "Fig6 stream half-bandwidth point",
+            paper: r::streaming::HALF_BW_BYTES,
+            measured: stream_half,
+            unit: "B",
+            tolerance_pct: 10.0,
+        },
+        Row {
+            name: "Fig7 bi-dir put peak",
+            paper: r::bidir::PUT_PEAK_MB,
+            measured: bidir_peak,
+            unit: "MB/s",
+            tolerance_pct: 1.0,
+        },
     ];
 
-    println!("{:<34} {:>12} {:>12} {:>8}  status", "anchor", "paper", "measured", "err %");
+    println!(
+        "{:<34} {:>12} {:>12} {:>8}  status",
+        "anchor", "paper", "measured", "err %"
+    );
     let mut all_ok = true;
     for row in &rows {
         let err = (row.measured - row.paper) / row.paper * 100.0;

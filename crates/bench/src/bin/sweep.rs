@@ -1,13 +1,13 @@
 //! Parallel design-space sweep: 1-byte put latency over the
 //! (interrupt cost × piggyback limit) grid — the two knobs §6 says
 //! dominate small-message performance. Every grid cell is an independent
-//! deterministic simulation; crossbeam scoped threads run them all
+//! deterministic simulation; std scoped threads run them all
 //! concurrently.
 //!
 //! Usage: `sweep [message_bytes]` (default 64: above any piggyback limit
 //! in the grid, so both knobs matter)
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use xt3_netpipe::runner::{latency_curve, NetpipeConfig, TestKind, Transport};
 use xt3_netpipe::{Schedule, SizePoint};
 use xt3_seastar::cost::CostModel;
@@ -23,12 +23,16 @@ fn main() {
     let piggybacks: Vec<u32> = vec![0, 12, 64, 128];
 
     let results = Mutex::new(vec![vec![0.0f64; piggybacks.len()]; interrupts_ns.len()]);
-    let start = std::time::Instant::now();
-    crossbeam::thread::scope(|scope| {
+    // HOST time, not simulated time: this measures how fast the simulator
+    // itself chews through the grid on this machine. Exempted from the
+    // determinism audit's wall-clock lint below (results never feed back
+    // into any simulation).
+    let start = std::time::Instant::now(); // audit:allow(wall-clock): host-side throughput report only
+    std::thread::scope(|scope| {
         for (i, &int_ns) in interrupts_ns.iter().enumerate() {
             for (j, &piggy) in piggybacks.iter().enumerate() {
                 let results = &results;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut config = NetpipeConfig::paper_latency();
                     config.schedule = Schedule {
                         points: vec![SizePoint { size, reps: 30 }],
@@ -38,22 +42,19 @@ fn main() {
                         .with_piggyback_max(piggy);
                     let lat =
                         latency_curve(&config, Transport::Put, TestKind::PingPong).points[0].y;
-                    results.lock()[i][j] = lat;
+                    results.lock().expect("sweep results lock")[i][j] = lat;
                 });
             }
         }
-    })
-    .expect("sweep scope");
+    });
 
-    println!(
-        "{size}-byte put latency (us): interrupt cost (rows) x piggyback limit (cols)\n"
-    );
+    println!("{size}-byte put latency (us): interrupt cost (rows) x piggyback limit (cols)\n");
     print!("{:>14}", "int \\ piggy");
     for p in &piggybacks {
         print!("{p:>10} B");
     }
     println!();
-    let grid = results.into_inner();
+    let grid = results.into_inner().expect("sweep results lock");
     for (i, &int_ns) in interrupts_ns.iter().enumerate() {
         print!("{:>11.1} us", int_ns as f64 / 1000.0);
         for cell in &grid[i] {

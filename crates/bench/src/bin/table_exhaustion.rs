@@ -45,7 +45,14 @@ impl App for Sink {
             let eq = ctx.eq_alloc(256).unwrap();
             self.eq = Some(eq);
             let me = ctx
-                .me_attach(PT, ProcessId::any(), BITS, 0, UnlinkOp::Retain, InsertPos::After)
+                .me_attach(
+                    PT,
+                    ProcessId::any(),
+                    BITS,
+                    0,
+                    UnlinkOp::Retain,
+                    InsertPos::After,
+                )
                 .unwrap();
             ctx.md_attach(
                 me,
@@ -83,12 +90,22 @@ fn run(policy: ExhaustionPolicy, rx_pendings: u32) -> (bool, u32, u64, u64) {
     config.fw.rx_pendings = rx_pendings;
     config.fw.tx_pendings = 128;
     config.exhaustion = policy;
-    let mut m = Machine::new(config, &[NodeSpec {
-        os: OsKind::Catamount,
-        procs: vec![ProcSpec::catamount_generic()],
-    }]);
+    let mut m = Machine::new(
+        config,
+        &[NodeSpec {
+            os: OsKind::Catamount,
+            procs: vec![ProcSpec::catamount_generic()],
+        }],
+    );
     m.spawn(0, 0, Box::new(Burst));
-    m.spawn(1, 0, Box::new(Sink { eq: None, received: 0 }));
+    m.spawn(
+        1,
+        0,
+        Box::new(Sink {
+            eq: None,
+            received: 0,
+        }),
+    );
     let mut engine = m.into_engine();
     engine.run();
     let mut m = engine.into_model();
@@ -117,9 +134,7 @@ fn main() {
     ] {
         for rx in [4u32, 16, 768] {
             let (panicked, received, drops, retrans) = run(policy, rx);
-            println!(
-                "{name:<10} {rx:>12} {panicked:>10} {received:>10} {drops:>10} {retrans:>14}"
-            );
+            println!("{name:<10} {rx:>12} {panicked:>10} {received:>10} {drops:>10} {retrans:>14}");
         }
     }
     println!(

@@ -28,8 +28,16 @@ fn interrupts_for(size: u64, accelerated: bool) -> (u64, u64, f64) {
             procs: vec![proc],
         }],
     );
-    m.spawn(0, 0, Box::new(PtlInitiator::new(PtlPattern::PingPongPut, schedule.clone())));
-    m.spawn(1, 0, Box::new(PtlResponder::new(PtlPattern::PingPongPut, schedule)));
+    m.spawn(
+        0,
+        0,
+        Box::new(PtlInitiator::new(PtlPattern::PingPongPut, schedule.clone())),
+    );
+    m.spawn(
+        1,
+        0,
+        Box::new(PtlResponder::new(PtlPattern::PingPongPut, schedule)),
+    );
     let mut engine = m.into_engine();
     engine.run();
     let mut m = engine.into_model();

@@ -29,8 +29,16 @@ fn run(size: u64, accelerated: bool) -> (f64, f64, u64) {
             procs: vec![proc],
         }],
     );
-    m.spawn(0, 0, Box::new(PtlInitiator::new(PtlPattern::StreamPut, schedule.clone())));
-    m.spawn(1, 0, Box::new(PtlResponder::new(PtlPattern::StreamPut, schedule)));
+    m.spawn(
+        0,
+        0,
+        Box::new(PtlInitiator::new(PtlPattern::StreamPut, schedule.clone())),
+    );
+    m.spawn(
+        1,
+        0,
+        Box::new(PtlResponder::new(PtlPattern::StreamPut, schedule)),
+    );
     let mut engine = m.into_engine();
     engine.run();
     let now = engine.now();

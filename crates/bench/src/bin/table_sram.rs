@@ -11,7 +11,10 @@ fn main() {
     println!("SeaStar SRAM occupancy (paper §4.2)\n");
 
     for (label, modes) in [
-        ("generic process only (shipped firmware)", vec![FwMode::Generic]),
+        (
+            "generic process only (shipped firmware)",
+            vec![FwMode::Generic],
+        ),
         (
             "generic + 2 accelerated processes",
             vec![FwMode::Generic, FwMode::Accelerated, FwMode::Accelerated],

@@ -33,8 +33,16 @@ fn main() {
             procs: vec![proc],
         }],
     );
-    m.spawn(0, 0, Box::new(PtlInitiator::new(PtlPattern::PingPongPut, schedule.clone())));
-    m.spawn(1, 0, Box::new(PtlResponder::new(PtlPattern::PingPongPut, schedule)));
+    m.spawn(
+        0,
+        0,
+        Box::new(PtlInitiator::new(PtlPattern::PingPongPut, schedule.clone())),
+    );
+    m.spawn(
+        1,
+        0,
+        Box::new(PtlResponder::new(PtlPattern::PingPongPut, schedule)),
+    );
     let mut engine = m.into_engine();
     engine.run();
     let m = engine.into_model();
@@ -42,7 +50,9 @@ fn main() {
     println!("Trace of one {size}-byte put ping-pong (round-trip = 2 messages):\n");
     let mut prev: Option<SimTime> = None;
     for e in m.trace.events() {
-        let delta = prev.map(|p| e.at.saturating_sub(p)).unwrap_or(SimTime::ZERO);
+        let delta = prev
+            .map(|p| e.at.saturating_sub(p))
+            .unwrap_or(SimTime::ZERO);
         println!(
             "{:>14}  (+{:>10})  n{} {:<5} {}",
             e.at.to_string(),
@@ -53,5 +63,8 @@ fn main() {
         );
         prev = Some(e.at);
     }
-    println!("\n(total events: {}; the second half mirrors the first as the pong)", m.trace.events().len());
+    println!(
+        "\n(total events: {}; the second half mirrors the first as the pong)",
+        m.trace.events().len()
+    );
 }

@@ -55,32 +55,28 @@ pub fn figure7(config: &NetpipeConfig) -> FigureData {
 }
 
 /// Run the four transport curves of one figure in parallel (each curve is
-/// an independent deterministic simulation; crossbeam scoped threads keep
-/// the sweep wall-clock at the slowest single curve).
-fn run_parallel(
-    config: &NetpipeConfig,
-    kind: TestKind,
-    latency: bool,
-) -> Vec<xt3_netpipe::Series> {
-    let mut out: Vec<Option<xt3_netpipe::Series>> = (0..CURVES.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &t in CURVES.iter() {
-            let cfg = config.clone();
-            handles.push(scope.spawn(move |_| {
-                if latency {
-                    latency_curve(&cfg, t, kind)
-                } else {
-                    bandwidth_curve(&cfg, t, kind)
-                }
-            }));
-        }
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("curve thread"));
-        }
+/// an independent deterministic simulation; std scoped threads keep the
+/// sweep wall-clock at the slowest single curve).
+fn run_parallel(config: &NetpipeConfig, kind: TestKind, latency: bool) -> Vec<xt3_netpipe::Series> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = CURVES
+            .iter()
+            .map(|&t| {
+                let cfg = config.clone();
+                scope.spawn(move || {
+                    if latency {
+                        latency_curve(&cfg, t, kind)
+                    } else {
+                        bandwidth_curve(&cfg, t, kind)
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("curve thread"))
+            .collect()
     })
-    .expect("scope");
-    out.into_iter().map(|s| s.expect("filled")).collect()
 }
 
 /// Write a figure's JSON next to the rendered output, under `results/`.

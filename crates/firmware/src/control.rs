@@ -122,6 +122,24 @@ pub enum FwError {
     BadPending,
     /// Unknown firmware-level process id in a header.
     BadProcess,
+    /// A DMA completion arrived with no matching in-progress transfer —
+    /// the TX list or the source's RX list did not name it. Indicates
+    /// corrupted firmware state; the platform isolates the node rather
+    /// than panicking the whole simulation.
+    SpuriousCompletion,
+}
+
+impl std::fmt::Display for FwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FwError::NoRxPending => "rx pending pool exhausted",
+            FwError::NoSource => "source pool exhausted or source missing",
+            FwError::BadPending => "pending in wrong state",
+            FwError::BadProcess => "unknown firmware-level process",
+            FwError::SpuriousCompletion => "dma completion with no in-progress transfer",
+        };
+        f.write_str(s)
+    }
 }
 
 /// Firmware counters exposed to the experiments.
@@ -266,16 +284,24 @@ impl Firmware {
     // ----- main-loop entry points (§4.3) -----
 
     /// Drain and process every queued mailbox command for `proc`.
-    pub fn poll_mailbox(&mut self, proc: ProcIdx) -> Vec<FwEffect> {
+    pub fn poll_mailbox(&mut self, proc: ProcIdx) -> Result<Vec<FwEffect>, FwError> {
         let mut effects = Vec::new();
         while let Some(cmd) = self.processes[proc as usize].mailbox.take_cmd() {
-            effects.extend(self.handle_command(proc, cmd));
+            effects.extend(self.handle_command(proc, cmd)?);
         }
-        effects
+        Ok(effects)
     }
 
     /// Process one host command.
-    pub fn handle_command(&mut self, proc: ProcIdx, cmd: FwCommand) -> Vec<FwEffect> {
+    ///
+    /// Event handlers return typed errors instead of panicking: the audit
+    /// layer forbids `unwrap`/`expect` on these paths (a corrupt host
+    /// command must isolate the node, not abort the simulation).
+    pub fn handle_command(
+        &mut self,
+        proc: ProcIdx,
+        cmd: FwCommand,
+    ) -> Result<Vec<FwEffect>, FwError> {
         match cmd {
             FwCommand::Transmit {
                 pending,
@@ -301,9 +327,9 @@ impl Firmware {
                 self.tx_list.push_back((proc, pending));
                 if self.tx_list.len() == 1 {
                     self.lower_mut(proc, pending).state = PendingState::TxActive;
-                    vec![FwEffect::StartTxDma { proc, pending }]
+                    Ok(vec![FwEffect::StartTxDma { proc, pending }])
                 } else {
-                    Vec::new()
+                    Ok(Vec::new())
                 }
             }
             FwCommand::RecvDeposit {
@@ -315,7 +341,7 @@ impl Firmware {
                 let peer = {
                     let lp = self.lower_mut(proc, pending);
                     if lp.state != PendingState::RxHeaderPending {
-                        return Vec::new();
+                        return Ok(Vec::new());
                     }
                     lp.state = PendingState::RxQueued;
                     lp.length = length;
@@ -323,18 +349,21 @@ impl Firmware {
                     lp.dma = dma;
                     lp.peer
                 };
-                let source = self.sources.find(peer).expect("source exists for active rx");
+                // The source was allocated at rx_header time and stays
+                // live while its RX list is non-empty; failing to find it
+                // means the host named a pending we never advertised.
+                let source = self.sources.find(peer).ok_or(FwError::NoSource)?;
                 let src = self.sources.get_mut(source);
                 src.rx_pending_list.push_back(pending);
                 if src.rx_pending_list.len() == 1 {
                     self.lower_mut(proc, pending).state = PendingState::RxActive;
-                    vec![FwEffect::StartRxDma {
+                    Ok(vec![FwEffect::StartRxDma {
                         proc,
                         pending,
                         source,
-                    }]
+                    }])
                 } else {
-                    Vec::new()
+                    Ok(Vec::new())
                 }
             }
             FwCommand::RecvDiscard { pending } => {
@@ -343,7 +372,7 @@ impl Firmware {
                     lp.state = PendingState::Free;
                     self.processes[proc as usize].rx_pool.free(pending);
                 }
-                Vec::new()
+                Ok(Vec::new())
             }
             FwCommand::ReleasePending { pending } => {
                 let rx_cap = self.config.rx_pendings;
@@ -354,7 +383,7 @@ impl Firmware {
                         self.processes[proc as usize].rx_pool.free(pending);
                     }
                 }
-                Vec::new()
+                Ok(Vec::new())
             }
         }
     }
@@ -369,7 +398,7 @@ impl Firmware {
         pending: PendingId,
         length: u64,
         dma: Vec<xt3_seastar::dma::DmaCommand>,
-    ) -> Vec<FwEffect> {
+    ) -> Result<Vec<FwEffect>, FwError> {
         self.handle_command(
             proc,
             FwCommand::RecvDeposit {
@@ -382,11 +411,15 @@ impl Firmware {
     }
 
     /// The TX DMA engine finished streaming the head-of-list pending.
-    pub fn tx_dma_complete(&mut self) -> Vec<FwEffect> {
+    ///
+    /// A completion with an empty TX list is a spurious interrupt from
+    /// the DMA engine (or corrupted firmware state) and is surfaced as a
+    /// typed error rather than a panic.
+    pub fn tx_dma_complete(&mut self) -> Result<Vec<FwEffect>, FwError> {
         let (proc, pending) = self
             .tx_list
             .pop_front()
-            .expect("tx completion with empty TX list");
+            .ok_or(FwError::SpuriousCompletion)?;
         self.counters.tx_completions += 1;
         self.lower_mut(proc, pending).state = PendingState::AwaitRelease;
 
@@ -405,7 +438,7 @@ impl Firmware {
                 pending: npending,
             });
         }
-        effects
+        Ok(effects)
     }
 
     /// A new message header arrived from the network for firmware-level
@@ -468,10 +501,18 @@ impl Firmware {
     }
 
     /// The RX DMA engine finished depositing `pending`.
-    pub fn rx_dma_complete(&mut self, proc: ProcIdx, pending: PendingId) -> Vec<FwEffect> {
+    ///
+    /// Fails with [`FwError::NoSource`] when the completion names a peer
+    /// with no live source structure (spurious completion or corrupted
+    /// state) — handlers never panic.
+    pub fn rx_dma_complete(
+        &mut self,
+        proc: ProcIdx,
+        pending: PendingId,
+    ) -> Result<Vec<FwEffect>, FwError> {
         self.counters.rx_completions += 1;
         let peer = self.lower(proc, pending).peer;
-        let source = self.sources.find(peer).expect("active source");
+        let source = self.sources.find(peer).ok_or(FwError::NoSource)?;
         let src = self.sources.get_mut(source);
         let head = src.rx_pending_list.pop_front();
         debug_assert_eq!(head, Some(pending), "completions follow list order");
@@ -502,7 +543,7 @@ impl Firmware {
                 source,
             });
         }
-        effects
+        Ok(effects)
     }
 
     /// Free a direct pending immediately after the node finished its
@@ -596,7 +637,7 @@ mod tests {
         let (mut f, _) = fw(&[FwMode::Generic]);
         let base = f.tx_base();
         // First transmit starts the DMA immediately.
-        let e1 = f.handle_command(0, tx_cmd(base, 1));
+        let e1 = f.handle_command(0, tx_cmd(base, 1)).unwrap();
         assert_eq!(
             e1,
             vec![FwEffect::StartTxDma {
@@ -605,12 +646,12 @@ mod tests {
             }]
         );
         // Second (even to a different node) just queues.
-        let e2 = f.handle_command(0, tx_cmd(base + 1, 2));
+        let e2 = f.handle_command(0, tx_cmd(base + 1, 2)).unwrap();
         assert!(e2.is_empty());
 
         // Completion posts an event, raises the interrupt (generic) and
         // starts the next transmit.
-        let e3 = f.tx_dma_complete();
+        let e3 = f.tx_dma_complete().unwrap();
         assert!(e3.contains(&FwEffect::PostEvent {
             proc: 0,
             event: FwEvent::TxComplete { pending: base }
@@ -654,41 +695,47 @@ mod tests {
         let (p3, _) = f.rx_header(0, 8, false, false).unwrap();
 
         // Deposits for the same source queue; the first starts DMA.
-        let e1 = f.handle_command(
-            0,
-            FwCommand::RecvDeposit {
-                pending: p1,
-                length: 100,
-                drop_length: 0,
-                dma: vec![],
-            },
-        );
+        let e1 = f
+            .handle_command(
+                0,
+                FwCommand::RecvDeposit {
+                    pending: p1,
+                    length: 100,
+                    drop_length: 0,
+                    dma: vec![],
+                },
+            )
+            .unwrap();
         assert_eq!(e1.len(), 1);
-        let e2 = f.handle_command(
-            0,
-            FwCommand::RecvDeposit {
-                pending: p2,
-                length: 100,
-                drop_length: 0,
-                dma: vec![],
-            },
-        );
+        let e2 = f
+            .handle_command(
+                0,
+                FwCommand::RecvDeposit {
+                    pending: p2,
+                    length: 100,
+                    drop_length: 0,
+                    dma: vec![],
+                },
+            )
+            .unwrap();
         assert!(e2.is_empty(), "second deposit from same source queues");
 
         // A different source proceeds independently.
-        let e3 = f.handle_command(
-            0,
-            FwCommand::RecvDeposit {
-                pending: p3,
-                length: 100,
-                drop_length: 0,
-                dma: vec![],
-            },
-        );
+        let e3 = f
+            .handle_command(
+                0,
+                FwCommand::RecvDeposit {
+                    pending: p3,
+                    length: 100,
+                    drop_length: 0,
+                    dma: vec![],
+                },
+            )
+            .unwrap();
         assert_eq!(e3.len(), 1);
 
         // Completing p1 starts p2.
-        let e4 = f.rx_dma_complete(0, p1);
+        let e4 = f.rx_dma_complete(0, p1).unwrap();
         assert!(e4.iter().any(|e| matches!(
             e,
             FwEffect::StartRxDma { pending, .. } if *pending == p2
@@ -707,10 +754,12 @@ mod tests {
                 drop_length: 0,
                 dma: vec![],
             },
-        );
-        f.rx_dma_complete(0, p);
+        )
+        .unwrap();
+        f.rx_dma_complete(0, p).unwrap();
         assert_eq!(f.rx_pool_stats(0).0, 1);
-        f.handle_command(0, FwCommand::ReleasePending { pending: p });
+        f.handle_command(0, FwCommand::ReleasePending { pending: p })
+            .unwrap();
         assert_eq!(f.rx_pool_stats(0).0, 0);
     }
 
@@ -726,7 +775,10 @@ mod tests {
         let mut f = Firmware::new(config, &[FwMode::Generic], &mut sram).unwrap();
         f.rx_header(0, 1, false, false).unwrap();
         f.rx_header(0, 1, false, false).unwrap();
-        assert_eq!(f.rx_header(0, 1, false, false).unwrap_err(), FwError::NoRxPending);
+        assert_eq!(
+            f.rx_header(0, 1, false, false).unwrap_err(),
+            FwError::NoRxPending
+        );
         assert_eq!(f.counters().exhaustion_drops, 1);
     }
 
@@ -742,7 +794,10 @@ mod tests {
         let mut f = Firmware::new(config, &[FwMode::Generic], &mut sram).unwrap();
         f.rx_header(0, 1, false, false).unwrap();
         f.rx_header(0, 2, false, false).unwrap();
-        assert_eq!(f.rx_header(0, 3, false, false).unwrap_err(), FwError::NoSource);
+        assert_eq!(
+            f.rx_header(0, 3, false, false).unwrap_err(),
+            FwError::NoSource
+        );
         // Existing sources still accept.
         assert!(f.rx_header(0, 1, false, false).is_ok());
     }
@@ -751,7 +806,8 @@ mod tests {
     fn discard_frees_pending_without_deposit() {
         let (mut f, _) = fw(&[FwMode::Generic]);
         let (p, _) = f.rx_header(0, 7, false, false).unwrap();
-        f.handle_command(0, FwCommand::RecvDiscard { pending: p });
+        f.handle_command(0, FwCommand::RecvDiscard { pending: p })
+            .unwrap();
         assert_eq!(f.rx_pool_stats(0).0, 0);
     }
 
@@ -761,7 +817,8 @@ mod tests {
         let (p, _) = f.rx_header(0, 7, true, false).unwrap();
         f.rx_piggyback_complete(0, p);
         assert_eq!(f.counters().rx_completions, 1);
-        f.handle_command(0, FwCommand::ReleasePending { pending: p });
+        f.handle_command(0, FwCommand::ReleasePending { pending: p })
+            .unwrap();
         assert_eq!(f.rx_pool_stats(0).0, 0);
     }
 
@@ -771,7 +828,7 @@ mod tests {
         let base = f.tx_base();
         f.mailbox_mut(0).post_cmd(tx_cmd(base, 1));
         f.mailbox_mut(0).post_cmd(tx_cmd(base + 1, 1));
-        let effects = f.poll_mailbox(0);
+        let effects = f.poll_mailbox(0).unwrap();
         // Only the first starts (single TX FIFO).
         assert_eq!(
             effects

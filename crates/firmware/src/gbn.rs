@@ -236,7 +236,10 @@ mod tests {
 
         // Sender rewinds to 1 and resends 1 and 2.
         let resend = tx.nack(1);
-        assert_eq!(resend.iter().map(|&(s, m)| (s, m)).collect::<Vec<_>>(), vec![(1, 101), (2, 102)]);
+        assert_eq!(
+            resend.iter().map(|&(s, m)| (s, m)).collect::<Vec<_>>(),
+            vec![(1, 101), (2, 102)]
+        );
         assert_eq!(tx.retransmissions, 2);
 
         // Replay succeeds.

@@ -49,11 +49,11 @@
 //!     tag: 0,
 //! });
 //! // ...the firmware's main loop picks it up and programs the TX DMA.
-//! let effects = fw.poll_mailbox(0);
+//! let effects = fw.poll_mailbox(0).unwrap();
 //! assert_eq!(effects, vec![FwEffect::StartTxDma { proc: 0, pending }]);
 //!
 //! // DMA completion posts the host event and raises the interrupt.
-//! let effects = fw.tx_dma_complete();
+//! let effects = fw.tx_dma_complete().unwrap();
 //! assert!(effects.contains(&FwEffect::RaiseInterrupt));
 //! ```
 

@@ -164,8 +164,14 @@ mod tests {
         assert_eq!(m.post_cmd(tx(0)), 0);
         assert_eq!(m.post_cmd(tx(1)), 0);
         assert_eq!(m.cmd_len(), 2);
-        assert!(matches!(m.take_cmd(), Some(FwCommand::Transmit { pending: 0, .. })));
-        assert!(matches!(m.take_cmd(), Some(FwCommand::Transmit { pending: 1, .. })));
+        assert!(matches!(
+            m.take_cmd(),
+            Some(FwCommand::Transmit { pending: 0, .. })
+        ));
+        assert!(matches!(
+            m.take_cmd(),
+            Some(FwCommand::Transmit { pending: 1, .. })
+        ));
         assert!(m.take_cmd().is_none());
     }
 

@@ -52,10 +52,7 @@ impl<T> Pool<T> {
     ///
     /// Panics on double free (the index is already free) in debug builds.
     pub fn free(&mut self, idx: u32) {
-        debug_assert!(
-            !self.free.contains(&idx),
-            "double free of pool index {idx}"
-        );
+        debug_assert!(!self.free.contains(&idx), "double free of pool index {idx}");
         debug_assert!((idx as usize) < self.items.len(), "foreign index {idx}");
         self.free.push(idx);
         self.in_use -= 1;

@@ -147,13 +147,15 @@ proptest! {
                     Err(_) => prop_assert_eq!(held.len(), 8, "exhaustion only when full"),
                 }
             } else if let Some(p) = held.pop() {
-                fw.handle_command(0, xt3_firmware::mailbox::FwCommand::RecvDiscard { pending: p });
+                fw.handle_command(0, xt3_firmware::mailbox::FwCommand::RecvDiscard { pending: p })
+                    .expect("discard never fails");
             }
             let (in_use, _, _) = fw.rx_pool_stats(0);
             prop_assert_eq!(in_use as usize, held.len());
         }
         for p in held.drain(..) {
-            fw.handle_command(0, xt3_firmware::mailbox::FwCommand::RecvDiscard { pending: p });
+            fw.handle_command(0, xt3_firmware::mailbox::FwCommand::RecvDiscard { pending: p })
+                    .expect("discard never fails");
         }
         prop_assert_eq!(fw.rx_pool_stats(0).0, 0);
     }

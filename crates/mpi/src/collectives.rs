@@ -220,7 +220,10 @@ impl Broadcast {
     /// communicators).
     pub fn new(ep: &MpiEndpoint, root: Rank, buf: u64, len: u64, instance: Tag) -> Self {
         let n = ep.size();
-        assert!(n.is_power_of_two(), "binomial tree as implemented needs 2^k ranks");
+        assert!(
+            n.is_power_of_two(),
+            "binomial tree as implemented needs 2^k ranks"
+        );
         Broadcast {
             n,
             me: ep.rank(),

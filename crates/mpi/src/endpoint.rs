@@ -3,7 +3,9 @@
 
 use crate::personality::Personality;
 use crate::types::{bits, hdr, MpiError, Rank, ReqId, Tag, ANY_SOURCE};
-use std::collections::{HashMap, VecDeque};
+// Ordered collections keep request-id iteration deterministic (audit
+// lint: no HashMap/HashSet in simulation-facing crates).
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use xt3_node::machine::AppCtx;
 use xt3_portals::event::{Event as PtlEvent, EventKind};
 use xt3_portals::md::{MdOptions, Threshold};
@@ -84,17 +86,17 @@ pub struct MpiEndpoint {
     /// First unexpected (catch-all) ME: posted receives insert before it.
     first_unexpected_me: MeHandle,
     /// Receive requests whose MEs are currently posted.
-    posted: std::collections::HashSet<ReqId>,
+    posted: BTreeSet<ReqId>,
     /// Posted receives in posting order (MPI matching order).
     posted_order: Vec<ReqId>,
     /// Receives completed by claiming a buffered unexpected message while
     /// their match entry was still live: if that entry later fires, the
     /// event is recycled as a fresh unexpected message from the recorded
     /// buffer.
-    stolen: HashMap<ReqId, (u64, u64)>,
+    stolen: BTreeMap<ReqId, (u64, u64)>,
     unexpected: VecDeque<UnexpectedMsg>,
-    sends: HashMap<ReqId, SendState>,
-    recvs: HashMap<ReqId, RecvState>,
+    sends: BTreeMap<ReqId, SendState>,
+    recvs: BTreeMap<ReqId, RecvState>,
     next_req: ReqId,
     next_cookie: u16,
     completions: Vec<Completion>,
@@ -134,7 +136,14 @@ impl MpiEndpoint {
         let mut bounce_mes = Vec::new();
         for i in 0..personality.unexpected_buffers {
             let me = ctx
-                .me_attach(MPI_PT, ProcessId::any(), 0, u64::MAX, UnlinkOp::Retain, InsertPos::After)
+                .me_attach(
+                    MPI_PT,
+                    ProcessId::any(),
+                    0,
+                    u64::MAX,
+                    UnlinkOp::Retain,
+                    InsertPos::After,
+                )
                 .map_err(|_| MpiError::Portals)?;
             let base = bounce_base + i as u64 * personality.unexpected_buffer_bytes;
             bounce_bases.push(base);
@@ -165,12 +174,12 @@ impl MpiEndpoint {
             ctx_id: 0,
             eq,
             first_unexpected_me: first_me.expect("at least one bounce buffer"),
-            posted: std::collections::HashSet::new(),
+            posted: BTreeSet::new(),
             posted_order: Vec::new(),
-            stolen: HashMap::new(),
+            stolen: BTreeMap::new(),
             unexpected: VecDeque::new(),
-            sends: HashMap::new(),
-            recvs: HashMap::new(),
+            sends: BTreeMap::new(),
+            recvs: BTreeMap::new(),
             next_req: 1,
             next_cookie: 1,
             completions: Vec::new(),
@@ -220,7 +229,14 @@ impl MpiEndpoint {
 
         if len <= self.personality.eager_max {
             let md = ctx
-                .md_bind(addr, len, MdOptions::default(), Threshold::Count(1), Some(self.eq), req)
+                .md_bind(
+                    addr,
+                    len,
+                    MdOptions::default(),
+                    Threshold::Count(1),
+                    Some(self.eq),
+                    req,
+                )
                 .map_err(|_| MpiError::Portals)?;
             ctx.put(
                 md,
@@ -233,14 +249,28 @@ impl MpiEndpoint {
                 hdr::pack(hdr::Protocol::Eager, 0, len),
             )
             .map_err(|_| MpiError::Portals)?;
-            self.sends.insert(req, SendState::Eager { peer: dest, tag, len });
+            self.sends.insert(
+                req,
+                SendState::Eager {
+                    peer: dest,
+                    tag,
+                    len,
+                },
+            );
         } else {
             // Rendezvous: expose the buffer, send a zero-byte RTS.
             self.rendezvous_count += 1;
             let cookie = self.next_cookie;
             self.next_cookie = self.next_cookie.wrapping_add(1).max(1);
             let me = ctx
-                .me_attach(RDZV_PT, ProcessId::any(), cookie as u64, 0, UnlinkOp::Unlink, InsertPos::After)
+                .me_attach(
+                    RDZV_PT,
+                    ProcessId::any(),
+                    cookie as u64,
+                    0,
+                    UnlinkOp::Unlink,
+                    InsertPos::After,
+                )
                 .map_err(|_| MpiError::Portals)?;
             ctx.md_attach(
                 me,
@@ -253,7 +283,14 @@ impl MpiEndpoint {
             )
             .map_err(|_| MpiError::Portals)?;
             let rts_md = ctx
-                .md_bind(addr, 0, MdOptions::default(), Threshold::Count(1), None, req)
+                .md_bind(
+                    addr,
+                    0,
+                    MdOptions::default(),
+                    Threshold::Count(1),
+                    None,
+                    req,
+                )
                 .map_err(|_| MpiError::Portals)?;
             ctx.put(
                 rts_md,
@@ -266,8 +303,14 @@ impl MpiEndpoint {
                 hdr::pack(hdr::Protocol::Rendezvous, cookie, len),
             )
             .map_err(|_| MpiError::Portals)?;
-            self.sends
-                .insert(req, SendState::Rendezvous { peer: dest, tag, len });
+            self.sends.insert(
+                req,
+                SendState::Rendezvous {
+                    peer: dest,
+                    tag,
+                    len,
+                },
+            );
         }
         Ok(req)
     }
@@ -311,7 +354,16 @@ impl MpiEndpoint {
                     });
                 }
                 hdr::Protocol::Rendezvous => {
-                    self.start_pull(ctx, req, u.src, cookie, addr, len.min(full_len), u_src, u_tag)?;
+                    self.start_pull(
+                        ctx,
+                        req,
+                        u.src,
+                        cookie,
+                        addr,
+                        len.min(full_len),
+                        u_src,
+                        u_tag,
+                    )?;
                 }
             }
             return Ok(req);
@@ -324,7 +376,14 @@ impl MpiEndpoint {
             self.comm[src as usize]
         };
         let me = ctx
-            .me_insert(self.first_unexpected_me, InsertPos::Before, match_id, want_bits, ignore, UnlinkOp::Unlink)
+            .me_insert(
+                self.first_unexpected_me,
+                InsertPos::Before,
+                match_id,
+                want_bits,
+                ignore,
+                UnlinkOp::Unlink,
+            )
             .map_err(|_| MpiError::Portals)?;
         ctx.md_attach(
             me,
@@ -366,7 +425,14 @@ impl MpiEndpoint {
         tag: Tag,
     ) -> Result<(), MpiError> {
         let md = ctx
-            .md_bind(addr, len, MdOptions::default(), Threshold::Count(1), Some(self.eq), req)
+            .md_bind(
+                addr,
+                len,
+                MdOptions::default(),
+                Threshold::Count(1),
+                Some(self.eq),
+                req,
+            )
             .map_err(|_| MpiError::Portals)?;
         ctx.get(md, src, RDZV_PT, 0, cookie as u64, 0)
             .map_err(|_| MpiError::Portals)?;
@@ -416,7 +482,16 @@ impl MpiEndpoint {
                 });
             }
             hdr::Protocol::Rendezvous => {
-                let _ = self.start_pull(ctx, req, msg.src, cookie, addr, len.min(full_len), u_src, u_tag);
+                let _ = self.start_pull(
+                    ctx,
+                    req,
+                    msg.src,
+                    cookie,
+                    addr,
+                    len.min(full_len),
+                    u_src,
+                    u_tag,
+                );
             }
         }
     }

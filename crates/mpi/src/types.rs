@@ -68,7 +68,11 @@ pub mod bits {
 
     /// Decode `(ctx, src, tag)` from match bits.
     pub fn decode(bits: u64) -> (u16, Rank, Tag) {
-        ((bits >> 48) as u16, ((bits >> 32) & 0xFFFF) as Rank, bits as Tag)
+        (
+            (bits >> 48) as u16,
+            ((bits >> 32) & 0xFFFF) as Rank,
+            bits as Tag,
+        )
     }
 }
 

@@ -86,7 +86,8 @@ impl App for MpiApp {
                 late_recv,
                 state,
             } => {
-                let (len, tag, recv_src, recv_tag, late) = (*len, *tag, *recv_src, *recv_tag, *late_recv);
+                let (len, tag, recv_src, recv_tag, late) =
+                    (*len, *tag, *recv_src, *recv_tag, *late_recv);
                 if matches!(event, AppEvent::Started) {
                     if self.rank == 0 {
                         if !ctx.synthetic() {
@@ -100,11 +101,13 @@ impl App for MpiApp {
                         self.ep = Some(ep);
                         return;
                     } else {
-                        ep.irecv(ctx, recv_src, recv_tag, RECV_BUF, len.max(8)).unwrap();
+                        ep.irecv(ctx, recv_src, recv_tag, RECV_BUF, len.max(8))
+                            .unwrap();
                     }
                 }
                 if matches!(event, AppEvent::Timer) && self.rank == 1 {
-                    ep.irecv(ctx, recv_src, recv_tag, RECV_BUF, len.max(8)).unwrap();
+                    ep.irecv(ctx, recv_src, recv_tag, RECV_BUF, len.max(8))
+                        .unwrap();
                 }
                 for c in ep.take_completions() {
                     match c.kind {
@@ -113,18 +116,25 @@ impl App for MpiApp {
                             *state |= 1;
                         }
                         CompletionKind::Recv => {
-                            self.log
-                                .push(format!("recv-done len={} peer={} tag={}", c.len, c.peer, c.tag));
+                            self.log.push(format!(
+                                "recv-done len={} peer={} tag={}",
+                                c.len, c.peer, c.tag
+                            ));
                             if !ctx.synthetic() {
                                 let got = ctx.read_mem(RECV_BUF, c.len as u32);
-                                let want: Vec<u8> = (0..c.len).map(|i| (i * 7 % 250) as u8).collect();
+                                let want: Vec<u8> =
+                                    (0..c.len).map(|i| (i * 7 % 250) as u8).collect();
                                 assert_eq!(got, want, "payload corruption");
                             }
                             *state |= 2;
                         }
                     }
                 }
-                let done = if self.rank == 0 { *state & 1 != 0 } else { *state & 2 != 0 };
+                let done = if self.rank == 0 {
+                    *state & 1 != 0
+                } else {
+                    *state & 2 != 0
+                };
                 if done {
                     ctx.finish();
                 } else {
@@ -207,7 +217,15 @@ fn run_machine(n_nodes: u16, apps: Vec<MpiApp>, synthetic: bool) -> Vec<MpiApp> 
         .map(|i| {
             let mut a = m.take_app(i, 0).unwrap();
             let app = a.as_any().downcast_mut::<MpiApp>().unwrap();
-            std::mem::replace(app, MpiApp::new(0, 0, Personality::mpich1(), Script::Barrier { barrier: None }))
+            std::mem::replace(
+                app,
+                MpiApp::new(
+                    0,
+                    0,
+                    Personality::mpich1(),
+                    Script::Barrier { barrier: None },
+                ),
+            )
         })
         .collect()
 }
@@ -247,7 +265,10 @@ fn send_recv_script(len: u64, tag: u32, recv_src: u32, recv_tag: u32, late: bool
 fn eager_expected_delivery() {
     let apps = run_machine(2, send_recv_script(1024, 5, 0, 5, false), false);
     assert!(apps[0].log.iter().any(|l| l.starts_with("send-done")));
-    assert!(apps[1].log.iter().any(|l| l.contains("recv-done len=1024 peer=0 tag=5")));
+    assert!(apps[1]
+        .log
+        .iter()
+        .any(|l| l.contains("recv-done len=1024 peer=0 tag=5")));
 }
 
 #[test]
@@ -260,30 +281,56 @@ fn eager_unexpected_is_buffered_and_copied_out() {
 fn rendezvous_transfer() {
     // Above eager_max (128 KB) the payload moves by get.
     let apps = run_machine(2, send_recv_script(512 * 1024, 3, 0, 3, false), false);
-    assert!(apps[0].log.iter().any(|l| l.contains("send-done len=524288")));
-    assert!(apps[1].log.iter().any(|l| l.contains("recv-done len=524288")));
+    assert!(apps[0]
+        .log
+        .iter()
+        .any(|l| l.contains("send-done len=524288")));
+    assert!(apps[1]
+        .log
+        .iter()
+        .any(|l| l.contains("recv-done len=524288")));
 }
 
 #[test]
 fn rendezvous_unexpected_rts() {
     let apps = run_machine(2, send_recv_script(300 * 1024, 3, 0, 3, true), true);
-    assert!(apps[1].log.iter().any(|l| l.contains("recv-done len=307200")));
+    assert!(apps[1]
+        .log
+        .iter()
+        .any(|l| l.contains("recv-done len=307200")));
 }
 
 #[test]
 fn wildcard_source_and_tag() {
-    let apps = run_machine(2, send_recv_script(64, 17, ANY_SOURCE, ANY_TAG, false), false);
-    assert!(apps[1].log.iter().any(|l| l.contains("recv-done len=64 peer=0 tag=17")));
+    let apps = run_machine(
+        2,
+        send_recv_script(64, 17, ANY_SOURCE, ANY_TAG, false),
+        false,
+    );
+    assert!(apps[1]
+        .log
+        .iter()
+        .any(|l| l.contains("recv-done len=64 peer=0 tag=17")));
 }
 
 #[test]
 fn barrier_completes_on_four_ranks() {
     let apps: Vec<MpiApp> = (0..4)
-        .map(|r| MpiApp::new(r, 4, Personality::mpich1(), Script::Barrier { barrier: None }))
+        .map(|r| {
+            MpiApp::new(
+                r,
+                4,
+                Personality::mpich1(),
+                Script::Barrier { barrier: None },
+            )
+        })
         .collect();
     let apps = run_machine(4, apps, true);
     for a in &apps {
-        assert!(a.log.iter().any(|l| l.starts_with("barrier-done")), "rank missing barrier");
+        assert!(
+            a.log.iter().any(|l| l.starts_with("barrier-done")),
+            "rank missing barrier"
+        );
     }
 }
 
@@ -348,7 +395,8 @@ fn bounce_buffers_rearm_under_unexpected_floods() {
         }
         fn send_wave(&mut self, ep: &mut MpiEndpoint, ctx: &mut AppCtx<'_>) {
             for i in 0..PER_WAVE {
-                ep.isend(ctx, 1, 77, SEND_BUF + (i as u64) * MSG, MSG).unwrap();
+                ep.isend(ctx, 1, 77, SEND_BUF + (i as u64) * MSG, MSG)
+                    .unwrap();
             }
             // Wait for the receiver's wave ack before the next burst.
             ep.irecv(ctx, 1, TAG_ACK, RECV_BUF, 8).unwrap();
@@ -444,8 +492,32 @@ fn bounce_buffers_rearm_under_unexpected_floods() {
         }],
     };
     let mut m = Machine::new(config, &[spec]);
-    m.spawn(0, 0, Box::new(Flood { rank: 0, ep: None, wave: 0, sends_done: 0, recvs_done: 0, bad: 0, rearms: 0 }));
-    m.spawn(1, 0, Box::new(Flood { rank: 1, ep: None, wave: 0, sends_done: 0, recvs_done: 0, bad: 0, rearms: 0 }));
+    m.spawn(
+        0,
+        0,
+        Box::new(Flood {
+            rank: 0,
+            ep: None,
+            wave: 0,
+            sends_done: 0,
+            recvs_done: 0,
+            bad: 0,
+            rearms: 0,
+        }),
+    );
+    m.spawn(
+        1,
+        0,
+        Box::new(Flood {
+            rank: 1,
+            ep: None,
+            wave: 0,
+            sends_done: 0,
+            recvs_done: 0,
+            bad: 0,
+            rearms: 0,
+        }),
+    );
     let mut engine = m.into_engine();
     assert_eq!(engine.run(), RunOutcome::Drained);
     let mut m = engine.into_model();
@@ -454,7 +526,11 @@ fn bounce_buffers_rearm_under_unexpected_floods() {
     let r = r.as_any().downcast_mut::<Flood>().unwrap();
     assert_eq!(r.recvs_done, WAVES * PER_WAVE);
     assert_eq!(r.bad, 0, "no truncated receives");
-    assert!(r.rearms > 0, "the tiny buffers must have wrapped (rearms={})", r.rearms);
+    assert!(
+        r.rearms > 0,
+        "the tiny buffers must have wrapped (rearms={})",
+        r.rearms
+    );
     // Nothing was dropped at the Portals level either.
     assert_eq!(m.nodes[1].procs[0].lib.counters().dropped_no_match, 0);
 }
@@ -544,7 +620,16 @@ fn broadcast_reaches_all_ranks_byte_exact() {
     };
     let mut m = Machine::new(config, &[spec]);
     for rank in 0..8 {
-        m.spawn(rank, 0, Box::new(Bcast { rank, ep: None, bc: None, ok: false }));
+        m.spawn(
+            rank,
+            0,
+            Box::new(Bcast {
+                rank,
+                ep: None,
+                bc: None,
+                ok: false,
+            }),
+        );
     }
     let mut engine = m.into_engine();
     assert_eq!(engine.run(), RunOutcome::Drained);

@@ -46,7 +46,13 @@ pub trait Bridge {
 
     /// Validate and translate a buffer for DMA, charging the appropriate
     /// host cost. Returns `None` when the range is invalid.
-    fn prepare(&self, cm: &CostModel, space: &dyn AddressSpace, addr: u64, len: u32) -> Option<PreparedBuffer>;
+    fn prepare(
+        &self,
+        cm: &CostModel,
+        space: &dyn AddressSpace,
+        addr: u64,
+        len: u32,
+    ) -> Option<PreparedBuffer>;
 }
 
 /// Per-page pin + translate cost on Linux. Not in the paper's tables; a
@@ -70,7 +76,13 @@ impl Bridge for QkBridge {
         cm.host_trap
     }
 
-    fn prepare(&self, _cm: &CostModel, space: &dyn AddressSpace, addr: u64, len: u32) -> Option<PreparedBuffer> {
+    fn prepare(
+        &self,
+        _cm: &CostModel,
+        space: &dyn AddressSpace,
+        addr: u64,
+        len: u32,
+    ) -> Option<PreparedBuffer> {
         if !space.validate(addr, len as u64) {
             return None;
         }
@@ -98,7 +110,13 @@ impl Bridge for UkBridge {
         LINUX_SYSCALL_COST
     }
 
-    fn prepare(&self, _cm: &CostModel, space: &dyn AddressSpace, addr: u64, len: u32) -> Option<PreparedBuffer> {
+    fn prepare(
+        &self,
+        _cm: &CostModel,
+        space: &dyn AddressSpace,
+        addr: u64,
+        len: u32,
+    ) -> Option<PreparedBuffer> {
         if !space.validate(addr, len as u64) {
             return None;
         }
@@ -125,7 +143,13 @@ impl Bridge for KBridge {
         SimTime::from_ns(20)
     }
 
-    fn prepare(&self, _cm: &CostModel, space: &dyn AddressSpace, addr: u64, len: u32) -> Option<PreparedBuffer> {
+    fn prepare(
+        &self,
+        _cm: &CostModel,
+        space: &dyn AddressSpace,
+        addr: u64,
+        len: u32,
+    ) -> Option<PreparedBuffer> {
         if !space.validate(addr, len as u64) {
             return None;
         }

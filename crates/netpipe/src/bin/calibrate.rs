@@ -15,7 +15,10 @@ fn main() {
     let mut config = NetpipeConfig::paper_latency();
     config.schedule = Schedule::standard(64, 0);
 
-    println!("{:<14} {:>10} {:>10} {:>8}", "curve", "model", "paper", "err%");
+    println!(
+        "{:<14} {:>10} {:>10} {:>8}",
+        "curve", "model", "paper", "err%"
+    );
     let check = |label: &str, transport: Transport, paper: f64| {
         let s = latency_curve(&config, transport, TestKind::PingPong);
         let got = s.points.first().map(|p| p.y).unwrap_or(f64::NAN);
@@ -48,7 +51,8 @@ fn main() {
             r::unidir::HALF_BW_BYTES,
             (half - r::unidir::HALF_BW_BYTES) / r::unidir::HALF_BW_BYTES * 100.0
         );
-        let stream = xt3_netpipe::runner::bandwidth_curve(&config, Transport::Put, TestKind::Stream);
+        let stream =
+            xt3_netpipe::runner::bandwidth_curve(&config, Transport::Put, TestKind::Stream);
         let s_half = stream
             .x_where_y_reaches(stream.y_max() / 2.0)
             .unwrap_or(f64::NAN);

@@ -31,19 +31,23 @@ fn main() {
             procs: vec![proc],
         }],
     );
-    m.spawn(0, 0, Box::new(PtlInitiator::new(PtlPattern::StreamPut, schedule.clone())));
-    m.spawn(1, 0, Box::new(PtlResponder::new(PtlPattern::StreamPut, schedule)));
+    m.spawn(
+        0,
+        0,
+        Box::new(PtlInitiator::new(PtlPattern::StreamPut, schedule.clone())),
+    );
+    m.spawn(
+        1,
+        0,
+        Box::new(PtlResponder::new(PtlPattern::StreamPut, schedule)),
+    );
     let mut engine = m.into_engine();
     engine.run();
     let now = engine.now();
     let mut m = engine.into_model();
 
     let mut b = m.take_app(1, 0).unwrap();
-    let results = &b
-        .as_any()
-        .downcast_mut::<PtlResponder>()
-        .unwrap()
-        .results;
+    let results = &b.as_any().downcast_mut::<PtlResponder>().unwrap().results;
     for r in results {
         println!(
             "size={} msgs={} per-msg={:.3}us bw={:.1}MB/s",

@@ -93,7 +93,12 @@ pub struct MpiDriver {
 
 impl MpiDriver {
     /// Create one side.
-    pub fn new(pattern: MpiPattern, personality: Personality, schedule: Schedule, rank: u32) -> Self {
+    pub fn new(
+        pattern: MpiPattern,
+        personality: Personality,
+        schedule: Schedule,
+        rank: u32,
+    ) -> Self {
         let layout = MpiLayout::for_max(schedule.max_size(), &personality);
         MpiDriver {
             pattern,
@@ -136,7 +141,9 @@ impl MpiDriver {
             self.count,
             self.issued,
             self.outstanding_sends,
-            self.ep.as_ref().map(|e| (e.outstanding(), e.unexpected_len(), e.unexpected_count)),
+            self.ep
+                .as_ref()
+                .map(|e| (e.outstanding(), e.unexpected_len(), e.unexpected_count)),
         )
     }
 
@@ -163,20 +170,15 @@ impl MpiDriver {
         match (self.pattern, self.rank) {
             (MpiPattern::PingPong, 0) => {
                 // Wait for rank 1's ready, then send the first ping.
-                self.ready_req = Some(
-                    ep.irecv(ctx, peer, TAG_READY, self.layout.sync, 8).unwrap(),
-                );
+                self.ready_req = Some(ep.irecv(ctx, peer, TAG_READY, self.layout.sync, 8).unwrap());
             }
             (MpiPattern::PingPong, 1) => {
                 ep.irecv(ctx, peer, TAG_DATA, self.layout.rx, size).unwrap();
                 ep.isend(ctx, peer, TAG_READY, self.layout.sync, 1).unwrap();
             }
             (MpiPattern::Stream, 0) => {
-                self.done_req =
-                    Some(ep.irecv(ctx, peer, TAG_DONE, self.layout.sync, 8).unwrap());
-                self.ready_req = Some(
-                    ep.irecv(ctx, peer, TAG_READY, self.layout.sync, 8).unwrap(),
-                );
+                self.done_req = Some(ep.irecv(ctx, peer, TAG_DONE, self.layout.sync, 8).unwrap());
+                self.ready_req = Some(ep.irecv(ctx, peer, TAG_READY, self.layout.sync, 8).unwrap());
             }
             (MpiPattern::Stream, 1) => {
                 let w = RECV_WINDOW.min(self.reps());
@@ -189,9 +191,7 @@ impl MpiDriver {
             (MpiPattern::PingPong | MpiPattern::Stream, _) => unreachable!("two ranks only"),
             (MpiPattern::Bidir, _) => {
                 ep.irecv(ctx, peer, TAG_DATA, self.layout.rx, size).unwrap();
-                self.ready_req = Some(
-                    ep.irecv(ctx, peer, TAG_READY, self.layout.sync, 8).unwrap(),
-                );
+                self.ready_req = Some(ep.irecv(ctx, peer, TAG_READY, self.layout.sync, 8).unwrap());
                 ep.isend(ctx, peer, TAG_READY, self.layout.sync, 1).unwrap();
             }
         }
@@ -254,120 +254,127 @@ impl App for MpiDriver {
         // posted in begin_round may match an already-buffered unexpected
         // message); drain until quiescent.
         loop {
-        let completions = ep.take_completions();
-        if completions.is_empty() {
-            break;
-        }
-        for c in completions {
-            match (self.pattern, self.rank, c.kind) {
-                // ---- ping-pong rank 0 ----
-                (MpiPattern::PingPong, 0, CompletionKind::Recv) if c.tag == TAG_READY => {
-                    // Round start: prepost pong receive, send ping.
-                    self.t0 = ctx.now();
-                    ep.irecv(ctx, 1, TAG_DATA, self.layout.rx, self.size()).unwrap();
-                    ep.isend(ctx, 1, TAG_DATA, self.layout.tx, self.size()).unwrap();
-                }
-                (MpiPattern::PingPong, 0, CompletionKind::Recv) if c.tag == TAG_DATA => {
-                    self.i += 1;
-                    if self.i < self.reps() {
-                        ep.irecv(ctx, 1, TAG_DATA, self.layout.rx, self.size()).unwrap();
-                        ep.isend(ctx, 1, TAG_DATA, self.layout.tx, self.size()).unwrap();
-                    } else {
-                        let elapsed = ctx.now() - self.t0;
-                        let reps = self.reps();
-                        self.record(2 * reps, elapsed, 1);
-                        if !self.next_round(&mut ep, ctx) {
-                            self.ep = Some(ep);
-                            return;
-                        }
-                    }
-                }
-                // ---- ping-pong rank 1 ----
-                (MpiPattern::PingPong, 1, CompletionKind::Recv) if c.tag == TAG_DATA => {
-                    self.count += 1;
-                    let reps = self.reps();
-                    if self.count < reps {
-                        ep.irecv(ctx, 0, TAG_DATA, self.layout.rx, self.size()).unwrap();
-                    }
-                    ep.isend(ctx, 0, TAG_DATA, self.layout.tx, self.size()).unwrap();
-                    if self.count >= reps && !self.next_round(&mut ep, ctx) {
-                        self.ep = Some(ep);
-                        return;
-                    }
-                }
-                // ---- streaming rank 0 (sender) ----
-                (MpiPattern::Stream, 0, CompletionKind::Recv) if c.tag == TAG_READY => {
-                    self.pump_stream_sends(&mut ep, ctx);
-                }
-                #[allow(clippy::collapsible_match)]
-                #[allow(clippy::collapsible_if)]
-                (MpiPattern::Stream, 0, CompletionKind::Recv) if c.tag == TAG_DONE => {
-                    if !self.next_round(&mut ep, ctx) {
-                        self.ep = Some(ep);
-                        return;
-                    }
-                }
-                (MpiPattern::Stream, 0, CompletionKind::Send) if c.tag == TAG_DATA => {
-                    self.outstanding_sends -= 1;
-                    self.pump_stream_sends(&mut ep, ctx);
-                }
-                // ---- streaming rank 1 (receiver, measurer) ----
-                (MpiPattern::Stream, 1, CompletionKind::Recv) if c.tag == TAG_DATA => {
-                    self.count += 1;
-                    if self.count == 1 {
-                        self.t_first = ctx.now();
-                    }
-                    self.t_last = ctx.now();
-                    let reps = self.reps();
-                    if self.posted_recvs < reps {
-                        ep.irecv(ctx, 0, TAG_DATA, self.layout.rx, self.size()).unwrap();
-                        self.posted_recvs += 1;
-                    }
-                    if self.count >= reps {
-                        if reps > 1 && self.t_last > self.t_first {
-                            let elapsed = self.t_last - self.t_first;
-                            self.record(reps - 1, elapsed, 1);
-                        }
-                        self.posted_recvs = 0;
-                        ep.isend(ctx, 0, TAG_DONE, self.layout.sync, 1).unwrap();
-                        if !self.next_round(&mut ep, ctx) {
-                            self.ep = Some(ep);
-                            return;
-                        }
-                    }
-                }
-                // ---- bidirectional (both ranks symmetric) ----
-                (MpiPattern::Bidir, _, CompletionKind::Recv) if c.tag == TAG_READY => {
-                    self.peer_ready = true;
-                    if self.i == 0 && self.issued == 0 {
-                        self.t0 = ctx.now();
-                        self.issued = 1;
-                        ep.isend(ctx, self.peer(), TAG_DATA, self.layout.tx, self.size())
-                            .unwrap();
-                    }
-                }
-                (MpiPattern::Bidir, _, CompletionKind::Recv) if c.tag == TAG_DATA => {
-                    self.i += 1;
-                    let reps = self.reps();
-                    if self.i < reps {
-                        ep.irecv(ctx, self.peer(), TAG_DATA, self.layout.rx, self.size())
-                            .unwrap();
-                        ep.isend(ctx, self.peer(), TAG_DATA, self.layout.tx, self.size())
-                            .unwrap();
-                    } else {
-                        if self.rank == 0 {
-                            let elapsed = ctx.now() - self.t0;
-                            self.record(reps, elapsed, 2);
-                        }
-                        if !self.next_round(&mut ep, ctx) {
-                            self.ep = Some(ep);
-                            return;
-                        }
-                    }
-                }
-                _ => {}
+            let completions = ep.take_completions();
+            if completions.is_empty() {
+                break;
             }
-        }
+            for c in completions {
+                match (self.pattern, self.rank, c.kind) {
+                    // ---- ping-pong rank 0 ----
+                    (MpiPattern::PingPong, 0, CompletionKind::Recv) if c.tag == TAG_READY => {
+                        // Round start: prepost pong receive, send ping.
+                        self.t0 = ctx.now();
+                        ep.irecv(ctx, 1, TAG_DATA, self.layout.rx, self.size())
+                            .unwrap();
+                        ep.isend(ctx, 1, TAG_DATA, self.layout.tx, self.size())
+                            .unwrap();
+                    }
+                    (MpiPattern::PingPong, 0, CompletionKind::Recv) if c.tag == TAG_DATA => {
+                        self.i += 1;
+                        if self.i < self.reps() {
+                            ep.irecv(ctx, 1, TAG_DATA, self.layout.rx, self.size())
+                                .unwrap();
+                            ep.isend(ctx, 1, TAG_DATA, self.layout.tx, self.size())
+                                .unwrap();
+                        } else {
+                            let elapsed = ctx.now() - self.t0;
+                            let reps = self.reps();
+                            self.record(2 * reps, elapsed, 1);
+                            if !self.next_round(&mut ep, ctx) {
+                                self.ep = Some(ep);
+                                return;
+                            }
+                        }
+                    }
+                    // ---- ping-pong rank 1 ----
+                    (MpiPattern::PingPong, 1, CompletionKind::Recv) if c.tag == TAG_DATA => {
+                        self.count += 1;
+                        let reps = self.reps();
+                        if self.count < reps {
+                            ep.irecv(ctx, 0, TAG_DATA, self.layout.rx, self.size())
+                                .unwrap();
+                        }
+                        ep.isend(ctx, 0, TAG_DATA, self.layout.tx, self.size())
+                            .unwrap();
+                        if self.count >= reps && !self.next_round(&mut ep, ctx) {
+                            self.ep = Some(ep);
+                            return;
+                        }
+                    }
+                    // ---- streaming rank 0 (sender) ----
+                    (MpiPattern::Stream, 0, CompletionKind::Recv) if c.tag == TAG_READY => {
+                        self.pump_stream_sends(&mut ep, ctx);
+                    }
+                    #[allow(clippy::collapsible_match)]
+                    #[allow(clippy::collapsible_if)]
+                    (MpiPattern::Stream, 0, CompletionKind::Recv) if c.tag == TAG_DONE => {
+                        if !self.next_round(&mut ep, ctx) {
+                            self.ep = Some(ep);
+                            return;
+                        }
+                    }
+                    (MpiPattern::Stream, 0, CompletionKind::Send) if c.tag == TAG_DATA => {
+                        self.outstanding_sends -= 1;
+                        self.pump_stream_sends(&mut ep, ctx);
+                    }
+                    // ---- streaming rank 1 (receiver, measurer) ----
+                    (MpiPattern::Stream, 1, CompletionKind::Recv) if c.tag == TAG_DATA => {
+                        self.count += 1;
+                        if self.count == 1 {
+                            self.t_first = ctx.now();
+                        }
+                        self.t_last = ctx.now();
+                        let reps = self.reps();
+                        if self.posted_recvs < reps {
+                            ep.irecv(ctx, 0, TAG_DATA, self.layout.rx, self.size())
+                                .unwrap();
+                            self.posted_recvs += 1;
+                        }
+                        if self.count >= reps {
+                            if reps > 1 && self.t_last > self.t_first {
+                                let elapsed = self.t_last - self.t_first;
+                                self.record(reps - 1, elapsed, 1);
+                            }
+                            self.posted_recvs = 0;
+                            ep.isend(ctx, 0, TAG_DONE, self.layout.sync, 1).unwrap();
+                            if !self.next_round(&mut ep, ctx) {
+                                self.ep = Some(ep);
+                                return;
+                            }
+                        }
+                    }
+                    // ---- bidirectional (both ranks symmetric) ----
+                    (MpiPattern::Bidir, _, CompletionKind::Recv) if c.tag == TAG_READY => {
+                        self.peer_ready = true;
+                        if self.i == 0 && self.issued == 0 {
+                            self.t0 = ctx.now();
+                            self.issued = 1;
+                            ep.isend(ctx, self.peer(), TAG_DATA, self.layout.tx, self.size())
+                                .unwrap();
+                        }
+                    }
+                    (MpiPattern::Bidir, _, CompletionKind::Recv) if c.tag == TAG_DATA => {
+                        self.i += 1;
+                        let reps = self.reps();
+                        if self.i < reps {
+                            ep.irecv(ctx, self.peer(), TAG_DATA, self.layout.rx, self.size())
+                                .unwrap();
+                            ep.isend(ctx, self.peer(), TAG_DATA, self.layout.tx, self.size())
+                                .unwrap();
+                        } else {
+                            if self.rank == 0 {
+                                let elapsed = ctx.now() - self.t0;
+                                self.record(reps, elapsed, 2);
+                            }
+                            if !self.next_round(&mut ep, ctx) {
+                                self.ep = Some(ep);
+                                return;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
         }
 
         ctx.wait_eq(ep.eq());

@@ -82,7 +82,14 @@ impl Plumbing {
         // Persistent control entry: matches any CTRL kind, deposits
         // nothing (control puts are zero-length).
         let me = ctx
-            .me_attach(PT_CTRL, ProcessId::any(), CTRL_BITS, 0xFF, UnlinkOp::Retain, InsertPos::After)
+            .me_attach(
+                PT_CTRL,
+                ProcessId::any(),
+                CTRL_BITS,
+                0xFF,
+                UnlinkOp::Retain,
+                InsertPos::After,
+            )
             .expect("ctrl me");
         ctx.md_attach(
             me,
@@ -114,8 +121,17 @@ impl Plumbing {
         let md = ctx
             .md_bind(0, 0, MdOptions::default(), Threshold::Count(1), None, 0)
             .expect("ctrl tx md");
-        ctx.put(md, AckReq::NoAck, self.peer, PT_CTRL, 0, CTRL_BITS | kind, 0, info)
-            .expect("ctrl put");
+        ctx.put(
+            md,
+            AckReq::NoAck,
+            self.peer,
+            PT_CTRL,
+            0,
+            CTRL_BITS | kind,
+            0,
+            info,
+        )
+        .expect("ctrl put");
         ctx.md_unlink(md).expect("ctrl md unlink");
     }
 
@@ -126,7 +142,14 @@ impl Plumbing {
             ctx.me_unlink(me).expect("stale data me");
         }
         let me = ctx
-            .me_attach(PT_DATA, ProcessId::any(), DATA_BITS, 0, UnlinkOp::Retain, InsertPos::After)
+            .me_attach(
+                PT_DATA,
+                ProcessId::any(),
+                DATA_BITS,
+                0,
+                UnlinkOp::Retain,
+                InsertPos::After,
+            )
             .expect("data me");
         let options = if for_get {
             MdOptions {
@@ -141,9 +164,21 @@ impl Plumbing {
                 ..MdOptions::put_target()
             }
         };
-        let base = if for_get { self.layout.tx } else { self.layout.rx };
-        ctx.md_attach(me, base, size.max(1), options, Threshold::Infinite, Some(self.eq), UPTR_DATA)
-            .expect("data md");
+        let base = if for_get {
+            self.layout.tx
+        } else {
+            self.layout.rx
+        };
+        ctx.md_attach(
+            me,
+            base,
+            size.max(1),
+            options,
+            Threshold::Infinite,
+            Some(self.eq),
+            UPTR_DATA,
+        )
+        .expect("data md");
         self.data_me = Some(me);
     }
 
@@ -154,7 +189,14 @@ impl Plumbing {
         }
         let eq = if with_events { Some(self.eq) } else { None };
         let md = ctx
-            .md_bind(self.layout.tx, size, MdOptions::default(), Threshold::Infinite, eq, UPTR_TX)
+            .md_bind(
+                self.layout.tx,
+                size,
+                MdOptions::default(),
+                Threshold::Infinite,
+                eq,
+                UPTR_TX,
+            )
             .expect("tx md");
         self.tx_md = Some(md);
     }
@@ -243,7 +285,14 @@ impl PtlInitiator {
                     ctx.md_unlink(md).expect("stale get md");
                 }
                 let md = ctx
-                    .md_bind(p.layout.rx, size, MdOptions::default(), Threshold::Infinite, Some(p.eq), UPTR_TX)
+                    .md_bind(
+                        p.layout.rx,
+                        size,
+                        MdOptions::default(),
+                        Threshold::Infinite,
+                        Some(p.eq),
+                        UPTR_TX,
+                    )
                     .expect("get md");
                 p.tx_md = Some(md);
             }
@@ -259,7 +308,14 @@ impl PtlInitiator {
                     ctx.md_unlink(md).expect("stale get md");
                 }
                 let md = ctx
-                    .md_bind(p.layout.rx, size, MdOptions::default(), Threshold::Infinite, Some(p.eq), UPTR_TX)
+                    .md_bind(
+                        p.layout.rx,
+                        size,
+                        MdOptions::default(),
+                        Threshold::Infinite,
+                        Some(p.eq),
+                        UPTR_TX,
+                    )
                     .expect("get md");
                 p.tx_md = Some(md);
             }

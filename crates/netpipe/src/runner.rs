@@ -106,28 +106,23 @@ fn machine_for(config: &NetpipeConfig, mem_bytes: u64) -> Machine {
     )
 }
 
-/// Run one Portals curve; returns `(initiator results, responder
-/// results)`.
-pub fn run_ptl(config: &NetpipeConfig, pattern: PtlPattern) -> (Vec<RoundResult>, Vec<RoundResult>) {
+fn ptl_machine(config: &NetpipeConfig, pattern: PtlPattern) -> Machine {
     let layout = Layout::for_max(config.schedule.max_size());
     let mut m = machine_for(config, layout.mem_bytes);
-    m.spawn(0, 0, Box::new(PtlInitiator::new(pattern, config.schedule.clone())));
-    m.spawn(1, 0, Box::new(PtlResponder::new(pattern, config.schedule.clone())));
-    let mut engine = m.into_engine();
-    let outcome = engine.run();
-    assert_eq!(outcome, RunOutcome::Drained, "netpipe run must drain");
-    let mut m = engine.into_model();
-    assert_eq!(m.running_apps(), 0, "netpipe apps must finish ({pattern:?})");
-    let mut a = m.take_app(0, 0).expect("initiator");
-    let mut b = m.take_app(1, 0).expect("responder");
-    let ra = std::mem::take(&mut a.as_any().downcast_mut::<PtlInitiator>().unwrap().results);
-    let rb = std::mem::take(&mut b.as_any().downcast_mut::<PtlResponder>().unwrap().results);
-    (ra, rb)
+    m.spawn(
+        0,
+        0,
+        Box::new(PtlInitiator::new(pattern, config.schedule.clone())),
+    );
+    m.spawn(
+        1,
+        0,
+        Box::new(PtlResponder::new(pattern, config.schedule.clone())),
+    );
+    m
 }
 
-/// Run a symmetric Portals pattern (an initiator on both nodes); returns
-/// node 0's measurements.
-pub fn run_ptl_symmetric(config: &NetpipeConfig, pattern: PtlPattern) -> Vec<RoundResult> {
+fn ptl_symmetric_machine(config: &NetpipeConfig, pattern: PtlPattern) -> Machine {
     let layout = Layout::for_max(config.schedule.max_size());
     let mut m = machine_for(config, layout.mem_bytes);
     m.spawn(
@@ -140,11 +135,92 @@ pub fn run_ptl_symmetric(config: &NetpipeConfig, pattern: PtlPattern) -> Vec<Rou
         0,
         Box::new(PtlInitiator::with_peer(pattern, config.schedule.clone(), 0)),
     );
-    let mut engine = m.into_engine();
+    m
+}
+
+fn mpi_machine(config: &NetpipeConfig, pattern: MpiPattern, personality: Personality) -> Machine {
+    let layout = crate::mpi::MpiLayout::for_max(config.schedule.max_size(), &personality);
+    let mut m = machine_for(config, layout.mem_bytes);
+    m.spawn(
+        0,
+        0,
+        Box::new(MpiDriver::new(
+            pattern,
+            personality,
+            config.schedule.clone(),
+            0,
+        )),
+    );
+    m.spawn(
+        1,
+        0,
+        Box::new(MpiDriver::new(
+            pattern,
+            personality,
+            config.schedule.clone(),
+            1,
+        )),
+    );
+    m
+}
+
+/// Build the fully-spawned engine for `(transport, kind)` without running
+/// it. The replay-divergence audit (`crates/audit`) uses this to step two
+/// identically-configured engines in lockstep and compare their event
+/// digests; the `run_*` helpers below use it too, so measurement runs and
+/// audit runs exercise exactly the same construction path.
+pub fn build_engine(
+    config: &NetpipeConfig,
+    transport: Transport,
+    kind: TestKind,
+) -> xt3_sim::Engine<Machine> {
+    let m = match (transport, kind) {
+        (Transport::Put, TestKind::PingPong) => ptl_machine(config, PtlPattern::PingPongPut),
+        (Transport::Put, TestKind::Stream) => ptl_machine(config, PtlPattern::StreamPut),
+        (Transport::Put, TestKind::Bidir) => ptl_machine(config, PtlPattern::Bidir),
+        (Transport::Get, TestKind::PingPong) => ptl_machine(config, PtlPattern::PingPongGet),
+        (Transport::Get, TestKind::Stream) => ptl_machine(config, PtlPattern::StreamGet),
+        (Transport::Get, TestKind::Bidir) => ptl_symmetric_machine(config, PtlPattern::BidirGet),
+        (Transport::Mpich1, k) => mpi_machine(config, mpi_pattern(k), Personality::mpich1()),
+        (Transport::Mpich2, k) => mpi_machine(config, mpi_pattern(k), Personality::mpich2()),
+    };
+    m.into_engine()
+}
+
+/// Run one Portals curve; returns `(initiator results, responder
+/// results)`.
+pub fn run_ptl(
+    config: &NetpipeConfig,
+    pattern: PtlPattern,
+) -> (Vec<RoundResult>, Vec<RoundResult>) {
+    let mut engine = ptl_machine(config, pattern).into_engine();
+    let outcome = engine.run();
+    assert_eq!(outcome, RunOutcome::Drained, "netpipe run must drain");
+    let mut m = engine.into_model();
+    assert_eq!(
+        m.running_apps(),
+        0,
+        "netpipe apps must finish ({pattern:?})"
+    );
+    let mut a = m.take_app(0, 0).expect("initiator");
+    let mut b = m.take_app(1, 0).expect("responder");
+    let ra = std::mem::take(&mut a.as_any().downcast_mut::<PtlInitiator>().unwrap().results);
+    let rb = std::mem::take(&mut b.as_any().downcast_mut::<PtlResponder>().unwrap().results);
+    (ra, rb)
+}
+
+/// Run a symmetric Portals pattern (an initiator on both nodes); returns
+/// node 0's measurements.
+pub fn run_ptl_symmetric(config: &NetpipeConfig, pattern: PtlPattern) -> Vec<RoundResult> {
+    let mut engine = ptl_symmetric_machine(config, pattern).into_engine();
     let outcome = engine.run();
     assert_eq!(outcome, RunOutcome::Drained, "symmetric run must drain");
     let mut m = engine.into_model();
-    assert_eq!(m.running_apps(), 0, "symmetric apps must finish ({pattern:?})");
+    assert_eq!(
+        m.running_apps(),
+        0,
+        "symmetric apps must finish ({pattern:?})"
+    );
     let mut a = m.take_app(0, 0).expect("node 0");
     std::mem::take(&mut a.as_any().downcast_mut::<PtlInitiator>().unwrap().results)
 }
@@ -155,23 +231,15 @@ pub fn run_mpi(
     pattern: MpiPattern,
     personality: Personality,
 ) -> (Vec<RoundResult>, Vec<RoundResult>) {
-    let layout = crate::mpi::MpiLayout::for_max(config.schedule.max_size(), &personality);
-    let mut m = machine_for(config, layout.mem_bytes);
-    m.spawn(
-        0,
-        0,
-        Box::new(MpiDriver::new(pattern, personality, config.schedule.clone(), 0)),
-    );
-    m.spawn(
-        1,
-        0,
-        Box::new(MpiDriver::new(pattern, personality, config.schedule.clone(), 1)),
-    );
-    let mut engine = m.into_engine();
+    let mut engine = mpi_machine(config, pattern, personality).into_engine();
     let outcome = engine.run();
     assert_eq!(outcome, RunOutcome::Drained, "mpi netpipe run must drain");
     let mut m = engine.into_model();
-    assert_eq!(m.running_apps(), 0, "mpi netpipe apps must finish ({pattern:?})");
+    assert_eq!(
+        m.running_apps(),
+        0,
+        "mpi netpipe apps must finish ({pattern:?})"
+    );
     let mut a = m.take_app(0, 0).expect("rank 0");
     let mut b = m.take_app(1, 0).expect("rank 1");
     let ra = std::mem::take(&mut a.as_any().downcast_mut::<MpiDriver>().unwrap().results);

@@ -1,11 +1,11 @@
 //! Driver-level unit coverage for the NetPIPE harness: measurement
 //! bookkeeping properties that the figure sweeps depend on.
 
-use xt3_netpipe::runner::{run_curve, run_mpi, run_ptl, NetpipeConfig, TestKind, Transport};
-use xt3_netpipe::ptl::PtlPattern;
-use xt3_netpipe::mpi::MpiPattern;
-use xt3_netpipe::{Schedule, SizePoint};
 use xt3_mpi::Personality;
+use xt3_netpipe::mpi::MpiPattern;
+use xt3_netpipe::ptl::PtlPattern;
+use xt3_netpipe::runner::{run_curve, run_mpi, run_ptl, NetpipeConfig, TestKind, Transport};
+use xt3_netpipe::{Schedule, SizePoint};
 
 fn tiny(sizes: &[u64], reps: u32) -> NetpipeConfig {
     let mut c = NetpipeConfig::quick(64);
@@ -49,7 +49,10 @@ fn every_round_of_the_schedule_is_measured() {
 fn pingpong_counts_two_messages_per_iteration() {
     let config = tiny(&[64], 5);
     let rounds = run_curve(&config, Transport::Put, TestKind::PingPong);
-    assert_eq!(rounds[0].messages, 10, "5 round trips = 10 one-way messages");
+    assert_eq!(
+        rounds[0].messages, 10,
+        "5 round trips = 10 one-way messages"
+    );
     assert_eq!(rounds[0].bw_factor, 1);
 }
 

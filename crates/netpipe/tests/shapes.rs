@@ -84,7 +84,11 @@ fn unidir_bandwidth_matches_paper() {
     let s = bandwidth_curve(&config, Transport::Put, TestKind::PingPong);
     let peak = s.y_max();
     let err = (peak - r::unidir::PUT_PEAK_MB).abs() / r::unidir::PUT_PEAK_MB;
-    assert!(err < 0.01, "uni peak {peak:.2} vs paper {:.2}", r::unidir::PUT_PEAK_MB);
+    assert!(
+        err < 0.01,
+        "uni peak {peak:.2} vs paper {:.2}",
+        r::unidir::PUT_PEAK_MB
+    );
 
     // Peak is reached at the top of the sweep (8 MB).
     let last = s.points.last().unwrap();
@@ -104,7 +108,11 @@ fn bidir_bandwidth_matches_paper() {
     let s = bandwidth_curve(&config, Transport::Put, TestKind::Bidir);
     let peak = s.y_max();
     let err = (peak - r::bidir::PUT_PEAK_MB).abs() / r::bidir::PUT_PEAK_MB;
-    assert!(err < 0.01, "bidir peak {peak:.2} vs paper {:.2}", r::bidir::PUT_PEAK_MB);
+    assert!(
+        err < 0.01,
+        "bidir peak {peak:.2} vs paper {:.2}",
+        r::bidir::PUT_PEAK_MB
+    );
 }
 
 #[test]
@@ -168,7 +176,10 @@ fn streaming_hurts_get_much_more_than_put() {
     );
     let p16 = put.y_at(16_384.0).unwrap();
     let g16 = get.y_at(16_384.0).unwrap();
-    assert!(p16 > 1.2 * g16, "gap persists at 16 KB: {p16:.0} vs {g16:.0}");
+    assert!(
+        p16 > 1.2 * g16,
+        "gap persists at 16 KB: {p16:.0} vs {g16:.0}"
+    );
 }
 
 #[test]
@@ -213,9 +224,7 @@ fn accelerated_mode_eliminates_interrupt_latency() {
     let mut accel = small_config();
     generic.accelerated = false;
     accel.accelerated = true;
-    let g = latency_curve(&generic, Transport::Put, TestKind::PingPong)
-        .points[0]
-        .y;
+    let g = latency_curve(&generic, Transport::Put, TestKind::PingPong).points[0].y;
     let a = latency_curve(&accel, Transport::Put, TestKind::PingPong).points[0].y;
     assert!(a < g - 1.5, "accelerated {a:.2} us ≪ generic {g:.2} us");
 }

@@ -311,7 +311,9 @@ impl PortalsLib {
 
     /// Borrow an MD (diagnostics/tests).
     pub fn md(&self, h: MdHandle) -> PtlResult<&Md> {
-        self.mds.get(h.index, h.generation).ok_or(PtlError::InvalidHandle)
+        self.mds
+            .get(h.index, h.generation)
+            .ok_or(PtlError::InvalidHandle)
     }
 
     // ----- Match entries -----
@@ -515,7 +517,12 @@ impl PortalsLib {
     }
 
     /// The transmit region for a region put (what the TX DMA reads).
-    pub fn tx_region_at(&self, md_h: MdHandle, local_offset: u64, length: u64) -> PtlResult<(u64, u64)> {
+    pub fn tx_region_at(
+        &self,
+        md_h: MdHandle,
+        local_offset: u64,
+        length: u64,
+    ) -> PtlResult<(u64, u64)> {
         let md = self.md(md_h)?;
         if local_offset
             .checked_add(length)
@@ -690,7 +697,13 @@ impl PortalsLib {
         if let WireData::Real(bytes) = data {
             mem.write(ticket.address, &bytes[..ticket.mlength as usize]);
         }
-        self.post_header_event_checked(ticket.md, EventKind::PutEnd, header, ticket.mlength, ticket.offset);
+        self.post_header_event_checked(
+            ticket.md,
+            EventKind::PutEnd,
+            header,
+            ticket.mlength,
+            ticket.offset,
+        );
         let action = if ticket.ack_needed {
             IncomingAction::SendAck(PortalsHeader::ack_to(header, ticket.mlength, ticket.offset))
         } else {
@@ -715,7 +728,13 @@ impl PortalsLib {
         } else {
             WireData::Real(mem.read(ticket.address, ticket.mlength as u32))
         };
-        self.post_header_event_checked(ticket.md, EventKind::GetEnd, header, ticket.mlength, ticket.offset);
+        self.post_header_event_checked(
+            ticket.md,
+            EventKind::GetEnd,
+            header,
+            ticket.mlength,
+            ticket.offset,
+        );
         let reply = PortalsHeader::reply_to(header, ticket.mlength, ticket.offset);
         self.finish_unlink(ticket);
         IncomingAction::SendReply(reply, data)
@@ -769,7 +788,13 @@ impl PortalsLib {
             self.counters.stale_completions += 1;
             return DeliverOutcome::StaleHandle;
         }
-        self.post_header_event_checked(md_h, EventKind::Ack, header, header.mlength, header.target_offset);
+        self.post_header_event_checked(
+            md_h,
+            EventKind::Ack,
+            header,
+            header.mlength,
+            header.target_offset,
+        );
         DeliverOutcome::Matched(MatchTicket {
             md: md_h,
             offset: header.target_offset,

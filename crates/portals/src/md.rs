@@ -115,7 +115,10 @@ impl Md {
         user_ptr: u64,
         memory_size: u64,
     ) -> PtlResult<Self> {
-        if start.checked_add(length).is_none_or(|end| end > memory_size) {
+        if start
+            .checked_add(length)
+            .is_none_or(|end| end > memory_size)
+        {
             return Err(PtlError::InvalidArg);
         }
         if let Threshold::Count(0) = threshold {
@@ -171,19 +174,54 @@ mod tests {
 
     #[test]
     fn construction_validates_bounds() {
-        assert!(Md::new(0, 100, MdOptions::put_target(), Threshold::Infinite, None, 0, 100).is_ok());
+        assert!(Md::new(
+            0,
+            100,
+            MdOptions::put_target(),
+            Threshold::Infinite,
+            None,
+            0,
+            100
+        )
+        .is_ok());
         assert_eq!(
-            Md::new(1, 100, MdOptions::put_target(), Threshold::Infinite, None, 0, 100).unwrap_err(),
+            Md::new(
+                1,
+                100,
+                MdOptions::put_target(),
+                Threshold::Infinite,
+                None,
+                0,
+                100
+            )
+            .unwrap_err(),
             PtlError::InvalidArg
         );
         assert_eq!(
-            Md::new(u64::MAX, 2, MdOptions::put_target(), Threshold::Infinite, None, 0, 100)
-                .unwrap_err(),
+            Md::new(
+                u64::MAX,
+                2,
+                MdOptions::put_target(),
+                Threshold::Infinite,
+                None,
+                0,
+                100
+            )
+            .unwrap_err(),
             PtlError::InvalidArg,
             "overflowing region must be rejected"
         );
         assert_eq!(
-            Md::new(0, 8, MdOptions::put_target(), Threshold::Count(0), None, 0, 100).unwrap_err(),
+            Md::new(
+                0,
+                8,
+                MdOptions::put_target(),
+                Threshold::Count(0),
+                None,
+                0,
+                100
+            )
+            .unwrap_err(),
             PtlError::InvalidArg
         );
     }

@@ -64,7 +64,9 @@ pub enum AckReq {
 macro_rules! handle_type {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        // Ord so handles can key deterministic ordered maps (BTreeMap):
+        // the determinism audit bans HashMap in simulation-facing crates.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
         pub struct $name {
             /// Slot index in the owning table.
             pub index: u32,

@@ -22,7 +22,10 @@ fn put_header(bits: u64, len: u64) -> PortalsHeader {
         0,
         AckReq::NoAck,
         0,
-        MdHandle { index: 0, generation: 0 },
+        MdHandle {
+            index: 0,
+            generation: 0,
+        },
     )
 }
 
@@ -35,10 +38,26 @@ fn unlink_between_match_and_completion_is_safe() {
     let mut mem = FlatMemory::new(MEM as usize);
     let eq = lib.eq_alloc(8).unwrap();
     let me = lib
-        .me_attach(0, ProcessId::any(), 1, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            1,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
-    lib.md_attach(me, MEM, 0, 1024, MdOptions::put_target(), Threshold::Infinite, Some(eq), 0)
-        .unwrap();
+    lib.md_attach(
+        me,
+        MEM,
+        0,
+        1024,
+        MdOptions::put_target(),
+        Threshold::Infinite,
+        Some(eq),
+        0,
+    )
+    .unwrap();
 
     let hdr = put_header(1, 512);
     let DeliverOutcome::Matched(ticket) = lib.match_incoming(&hdr) else {
@@ -65,10 +84,26 @@ fn md_update_between_match_and_completion() {
     let mut mem = FlatMemory::new(MEM as usize);
     let eq = lib.eq_alloc(8).unwrap();
     let me = lib
-        .me_attach(0, ProcessId::any(), 1, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            1,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
     let md = lib
-        .md_attach(me, MEM, 0, 1024, MdOptions::put_target(), Threshold::Count(1), Some(eq), 0)
+        .md_attach(
+            me,
+            MEM,
+            0,
+            1024,
+            MdOptions::put_target(),
+            Threshold::Count(1),
+            Some(eq),
+            0,
+        )
         .unwrap();
 
     let hdr = put_header(1, 100);
@@ -77,7 +112,12 @@ fn md_update_between_match_and_completion() {
     };
     // Threshold exhausted by the match; the app re-arms.
     let applied = lib
-        .md_update(md, |m| !m.threshold.available(), Threshold::Count(5), Some(eq))
+        .md_update(
+            md,
+            |m| !m.threshold.available(),
+            Threshold::Count(5),
+            Some(eq),
+        )
         .unwrap();
     assert!(applied);
 
@@ -85,7 +125,10 @@ fn md_update_between_match_and_completion() {
     // Both events present, and the descriptor accepts again.
     assert_eq!(lib.eq_get(eq).unwrap().kind, EventKind::PutStart);
     assert_eq!(lib.eq_get(eq).unwrap().kind, EventKind::PutEnd);
-    assert!(matches!(lib.match_incoming(&hdr), DeliverOutcome::Matched(_)));
+    assert!(matches!(
+        lib.match_incoming(&hdr),
+        DeliverOutcome::Matched(_)
+    ));
 }
 
 #[test]
@@ -94,10 +137,26 @@ fn eq_free_makes_md_events_vanish_quietly() {
     let mut mem = FlatMemory::new(MEM as usize);
     let eq = lib.eq_alloc(8).unwrap();
     let me = lib
-        .me_attach(0, ProcessId::any(), 1, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            1,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
-    lib.md_attach(me, MEM, 0, 64, MdOptions::put_target(), Threshold::Infinite, Some(eq), 0)
-        .unwrap();
+    lib.md_attach(
+        me,
+        MEM,
+        0,
+        64,
+        MdOptions::put_target(),
+        Threshold::Infinite,
+        Some(eq),
+        0,
+    )
+    .unwrap();
     lib.eq_free(eq).unwrap();
     // Traffic against an MD whose EQ is gone: delivered, no events, no
     // panic.
@@ -118,18 +177,42 @@ fn md_table_exhaustion_and_recovery() {
     let mut lib = PortalsLib::new(ProcessId::new(0, 0), limits);
     let handles: Vec<MdHandle> = (0..4)
         .map(|i| {
-            lib.md_bind(MEM, i * 64, 64, MdOptions::default(), Threshold::Infinite, None, 0)
-                .unwrap()
+            lib.md_bind(
+                MEM,
+                i * 64,
+                64,
+                MdOptions::default(),
+                Threshold::Infinite,
+                None,
+                0,
+            )
+            .unwrap()
         })
         .collect();
     assert_eq!(
-        lib.md_bind(MEM, 512, 64, MdOptions::default(), Threshold::Infinite, None, 0)
-            .unwrap_err(),
+        lib.md_bind(
+            MEM,
+            512,
+            64,
+            MdOptions::default(),
+            Threshold::Infinite,
+            None,
+            0
+        )
+        .unwrap_err(),
         PtlError::NoSpace
     );
     lib.md_unlink(handles[2]).unwrap();
     assert!(lib
-        .md_bind(MEM, 512, 64, MdOptions::default(), Threshold::Infinite, None, 0)
+        .md_bind(
+            MEM,
+            512,
+            64,
+            MdOptions::default(),
+            Threshold::Infinite,
+            None,
+            0
+        )
         .is_ok());
 }
 
@@ -138,15 +221,25 @@ fn pt_index_bounds_are_enforced() {
     let mut lib = target_lib();
     let pt_size = lib.limits().pt_size;
     assert_eq!(
-        lib.me_attach(pt_size, ProcessId::any(), 0, 0, UnlinkOp::Retain, InsertPos::After)
-            .unwrap_err(),
+        lib.me_attach(
+            pt_size,
+            ProcessId::any(),
+            0,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After
+        )
+        .unwrap_err(),
         PtlError::PtIndexInvalid
     );
     // An incoming header naming an out-of-range portal is a permission
     // violation, not a panic.
     let mut hdr = put_header(0, 8);
     hdr.pt_index = pt_size + 10;
-    assert_eq!(lib.match_incoming(&hdr), DeliverOutcome::PermissionViolation);
+    assert_eq!(
+        lib.match_incoming(&hdr),
+        DeliverOutcome::PermissionViolation
+    );
 }
 
 #[test]
@@ -155,10 +248,26 @@ fn zero_length_put_matches_and_completes() {
     let mut mem = FlatMemory::new(MEM as usize);
     let eq = lib.eq_alloc(4).unwrap();
     let me = lib
-        .me_attach(0, ProcessId::any(), 9, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            9,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
-    lib.md_attach(me, MEM, 0, 0, MdOptions::put_target(), Threshold::Infinite, Some(eq), 0)
-        .unwrap();
+    lib.md_attach(
+        me,
+        MEM,
+        0,
+        0,
+        MdOptions::put_target(),
+        Threshold::Infinite,
+        Some(eq),
+        0,
+    )
+    .unwrap();
     let hdr = put_header(9, 0);
     let DeliverOutcome::Matched(t) = lib.match_incoming(&hdr) else {
         panic!("zero-length put must match a zero-length MD");
@@ -175,14 +284,41 @@ fn retained_me_with_exhausted_md_revives_on_update() {
     // matching; md_update re-arms it in place.
     let mut lib = target_lib();
     let me = lib
-        .me_attach(0, ProcessId::any(), 3, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            3,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
     let md = lib
-        .md_attach(me, MEM, 0, 100, MdOptions::put_target(), Threshold::Count(1), None, 0)
+        .md_attach(
+            me,
+            MEM,
+            0,
+            100,
+            MdOptions::put_target(),
+            Threshold::Count(1),
+            None,
+            0,
+        )
         .unwrap();
     let hdr = put_header(3, 10);
-    assert!(matches!(lib.match_incoming(&hdr), DeliverOutcome::Matched(_)));
-    assert_eq!(lib.match_incoming(&hdr), DeliverOutcome::NoMatch, "exhausted");
-    lib.md_update(md, |_| true, Threshold::Count(3), None).unwrap();
-    assert!(matches!(lib.match_incoming(&hdr), DeliverOutcome::Matched(_)));
+    assert!(matches!(
+        lib.match_incoming(&hdr),
+        DeliverOutcome::Matched(_)
+    ));
+    assert_eq!(
+        lib.match_incoming(&hdr),
+        DeliverOutcome::NoMatch,
+        "exhausted"
+    );
+    lib.md_update(md, |_| true, Threshold::Count(3), None)
+        .unwrap();
+    assert!(matches!(
+        lib.match_incoming(&hdr),
+        DeliverOutcome::Matched(_)
+    ));
 }

@@ -24,10 +24,26 @@ fn put_target(
 ) -> (MeHandle, MdHandle, EqHandle) {
     let eq = lib.eq_alloc(32).unwrap();
     let me = lib
-        .me_attach(pt, ProcessId::any(), bits, ignore, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            pt,
+            ProcessId::any(),
+            bits,
+            ignore,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
     let md = lib
-        .md_attach(me, MEM, start, len, MdOptions::put_target(), Threshold::Infinite, Some(eq), 7)
+        .md_attach(
+            me,
+            MEM,
+            start,
+            len,
+            MdOptions::put_target(),
+            Threshold::Infinite,
+            Some(eq),
+            7,
+        )
         .unwrap();
     (me, md, eq)
 }
@@ -62,7 +78,15 @@ fn put_delivers_bytes_end_to_end() {
 
     amem.write(0, b"hello portals");
     let md = a
-        .md_bind(MEM, 0, 13, MdOptions::default(), Threshold::Count(1), None, 0)
+        .md_bind(
+            MEM,
+            0,
+            13,
+            MdOptions::default(),
+            Threshold::Count(1),
+            None,
+            0,
+        )
         .unwrap();
     let (outcome, action) = do_put(&mut a, &amem, &mut b, &mut bmem, md, 0x42, 4);
 
@@ -78,7 +102,15 @@ fn events_carry_header_metadata() {
     let (_, _, eq) = put_target(&mut b, 0, 9, 0, 0, 64);
 
     let md = a
-        .md_bind(MEM, 0, 8, MdOptions::default(), Threshold::Count(1), None, 0)
+        .md_bind(
+            MEM,
+            0,
+            8,
+            MdOptions::default(),
+            Threshold::Count(1),
+            None,
+            0,
+        )
         .unwrap();
     do_put(&mut a, &amem, &mut b, &mut bmem, md, 9, 0);
 
@@ -101,7 +133,15 @@ fn no_match_drops_message() {
     put_target(&mut b, 0, 0x1111, 0, 0, 64);
 
     let md = a
-        .md_bind(MEM, 0, 4, MdOptions::default(), Threshold::Count(1), None, 0)
+        .md_bind(
+            MEM,
+            0,
+            4,
+            MdOptions::default(),
+            Threshold::Count(1),
+            None,
+            0,
+        )
         .unwrap();
     let (outcome, _) = do_put(&mut a, &amem, &mut b, &mut bmem, md, 0x2222, 0);
     assert_eq!(outcome, DeliverOutcome::NoMatch);
@@ -116,7 +156,15 @@ fn ignore_bits_allow_wildcard_matching() {
     put_target(&mut b, 0, 0xAAAA_0000_0000_0000, 0xFFFF_FFFF, 0, 64);
 
     let md = a
-        .md_bind(MEM, 0, 4, MdOptions::default(), Threshold::Infinite, None, 0)
+        .md_bind(
+            MEM,
+            0,
+            4,
+            MdOptions::default(),
+            Threshold::Infinite,
+            None,
+            0,
+        )
         .unwrap();
     let (outcome, _) = do_put(
         &mut a,
@@ -136,16 +184,48 @@ fn match_list_walk_order_first_wins() {
     let eq = b.eq_alloc(8).unwrap();
     // Two MEs that both match bits=5; the first attached must win.
     let me1 = b
-        .me_attach(0, ProcessId::any(), 5, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            5,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
     let md1 = b
-        .md_attach(me1, MEM, 0, 64, MdOptions::put_target(), Threshold::Infinite, Some(eq), 111)
+        .md_attach(
+            me1,
+            MEM,
+            0,
+            64,
+            MdOptions::put_target(),
+            Threshold::Infinite,
+            Some(eq),
+            111,
+        )
         .unwrap();
     let me2 = b
-        .me_attach(0, ProcessId::any(), 5, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            5,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
     let _md2 = b
-        .md_attach(me2, MEM, 128, 64, MdOptions::put_target(), Threshold::Infinite, Some(eq), 222)
+        .md_attach(
+            me2,
+            MEM,
+            128,
+            64,
+            MdOptions::put_target(),
+            Threshold::Infinite,
+            Some(eq),
+            222,
+        )
         .unwrap();
 
     let hdr = PortalsHeader::put(
@@ -158,7 +238,10 @@ fn match_list_walk_order_first_wins() {
         0,
         AckReq::NoAck,
         0,
-        MdHandle { index: 0, generation: 0 },
+        MdHandle {
+            index: 0,
+            generation: 0,
+        },
     );
     match b.match_incoming(&hdr) {
         DeliverOutcome::Matched(t) => assert_eq!(t.md, md1),
@@ -171,16 +254,48 @@ fn insert_before_changes_walk_order() {
     let (mut b, _) = lib(1);
     let eq = b.eq_alloc(8).unwrap();
     let me1 = b
-        .me_attach(0, ProcessId::any(), 5, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            5,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
     let _md1 = b
-        .md_attach(me1, MEM, 0, 64, MdOptions::put_target(), Threshold::Infinite, Some(eq), 1)
+        .md_attach(
+            me1,
+            MEM,
+            0,
+            64,
+            MdOptions::put_target(),
+            Threshold::Infinite,
+            Some(eq),
+            1,
+        )
         .unwrap();
     let me2 = b
-        .me_insert(me1, InsertPos::Before, ProcessId::any(), 5, 0, UnlinkOp::Retain)
+        .me_insert(
+            me1,
+            InsertPos::Before,
+            ProcessId::any(),
+            5,
+            0,
+            UnlinkOp::Retain,
+        )
         .unwrap();
     let md2 = b
-        .md_attach(me2, MEM, 128, 64, MdOptions::put_target(), Threshold::Infinite, Some(eq), 2)
+        .md_attach(
+            me2,
+            MEM,
+            128,
+            64,
+            MdOptions::put_target(),
+            Threshold::Infinite,
+            Some(eq),
+            2,
+        )
         .unwrap();
 
     let hdr = PortalsHeader::put(
@@ -193,7 +308,10 @@ fn insert_before_changes_walk_order() {
         0,
         AckReq::NoAck,
         0,
-        MdHandle { index: 0, generation: 0 },
+        MdHandle {
+            index: 0,
+            generation: 0,
+        },
     );
     match b.match_incoming(&hdr) {
         DeliverOutcome::Matched(t) => assert_eq!(t.md, md2, "inserted-before ME wins"),
@@ -206,16 +324,48 @@ fn threshold_exhaustion_falls_through_to_next_me() {
     let (mut b, _) = lib(1);
     let eq = b.eq_alloc(8).unwrap();
     let me1 = b
-        .me_attach(0, ProcessId::any(), 5, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            5,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
     let _md1 = b
-        .md_attach(me1, MEM, 0, 64, MdOptions::put_target(), Threshold::Count(1), Some(eq), 1)
+        .md_attach(
+            me1,
+            MEM,
+            0,
+            64,
+            MdOptions::put_target(),
+            Threshold::Count(1),
+            Some(eq),
+            1,
+        )
         .unwrap();
     let me2 = b
-        .me_attach(0, ProcessId::any(), 5, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            5,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
     let md2 = b
-        .md_attach(me2, MEM, 128, 64, MdOptions::put_target(), Threshold::Infinite, Some(eq), 2)
+        .md_attach(
+            me2,
+            MEM,
+            128,
+            64,
+            MdOptions::put_target(),
+            Threshold::Infinite,
+            Some(eq),
+            2,
+        )
         .unwrap();
 
     let hdr = PortalsHeader::put(
@@ -228,7 +378,10 @@ fn threshold_exhaustion_falls_through_to_next_me() {
         0,
         AckReq::NoAck,
         0,
-        MdHandle { index: 0, generation: 0 },
+        MdHandle {
+            index: 0,
+            generation: 0,
+        },
     );
     let first = b.match_incoming(&hdr);
     let DeliverOutcome::Matched(t1) = first else {
@@ -248,14 +401,38 @@ fn auto_unlink_posts_unlink_event_and_retires_handles() {
     let (mut b, mut bmem) = lib(1);
     let eq = b.eq_alloc(8).unwrap();
     let me = b
-        .me_attach(0, ProcessId::any(), 1, 0, UnlinkOp::Unlink, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            1,
+            0,
+            UnlinkOp::Unlink,
+            InsertPos::After,
+        )
         .unwrap();
     let md_t = b
-        .md_attach(me, MEM, 0, 64, MdOptions::put_target(), Threshold::Count(1), Some(eq), 0)
+        .md_attach(
+            me,
+            MEM,
+            0,
+            64,
+            MdOptions::put_target(),
+            Threshold::Count(1),
+            Some(eq),
+            0,
+        )
         .unwrap();
 
     let md = a
-        .md_bind(MEM, 0, 4, MdOptions::default(), Threshold::Infinite, None, 0)
+        .md_bind(
+            MEM,
+            0,
+            4,
+            MdOptions::default(),
+            Threshold::Infinite,
+            None,
+            0,
+        )
         .unwrap();
     let (o1, _) = do_put(&mut a, &amem, &mut b, &mut bmem, md, 1, 0);
     assert!(matches!(o1, DeliverOutcome::Matched(ref t) if t.unlinked));
@@ -280,7 +457,15 @@ fn truncation_and_rejection() {
     // 16-byte target without truncate: a 32-byte put must NOT match.
     put_target(&mut b, 0, 7, 0, 0, 16);
     let md32 = a
-        .md_bind(MEM, 0, 32, MdOptions::default(), Threshold::Infinite, None, 0)
+        .md_bind(
+            MEM,
+            0,
+            32,
+            MdOptions::default(),
+            Threshold::Infinite,
+            None,
+            0,
+        )
         .unwrap();
     let (o, _) = do_put(&mut a, &amem, &mut b, &mut bmem, md32, 7, 0);
     assert_eq!(o, DeliverOutcome::NoMatch, "oversized put without truncate");
@@ -289,7 +474,14 @@ fn truncation_and_rejection() {
     let (mut c, mut cmem) = lib(2);
     let eq = c.eq_alloc(8).unwrap();
     let me = c
-        .me_attach(0, ProcessId::any(), 7, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            7,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
     c.md_attach(
         me,
@@ -323,7 +515,15 @@ fn locally_managed_offset_advances() {
     amem.write(0, &[0xAB; 8]);
 
     let md = a
-        .md_bind(MEM, 0, 8, MdOptions::default(), Threshold::Infinite, None, 0)
+        .md_bind(
+            MEM,
+            0,
+            8,
+            MdOptions::default(),
+            Threshold::Infinite,
+            None,
+            0,
+        )
         .unwrap();
     for i in 0..3u64 {
         let (o, _) = do_put(&mut a, &amem, &mut b, &mut bmem, md, 3, 0);
@@ -341,7 +541,14 @@ fn remote_managed_offset_uses_header_offset() {
     let (mut b, mut bmem) = lib(1);
     let eq = b.eq_alloc(8).unwrap();
     let me = b
-        .me_attach(0, ProcessId::any(), 3, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            3,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
     b.md_attach(
         me,
@@ -359,7 +566,15 @@ fn remote_managed_offset_uses_header_offset() {
     .unwrap();
 
     let md = a
-        .md_bind(MEM, 0, 8, MdOptions::default(), Threshold::Infinite, None, 0)
+        .md_bind(
+            MEM,
+            0,
+            8,
+            MdOptions::default(),
+            Threshold::Infinite,
+            None,
+            0,
+        )
         .unwrap();
     let hdr = a.put(md, AckReq::NoAck, b.id(), 0, 0, 3, 40, 0).unwrap();
     let data = WireData::Real(amem.read(0, 8));
@@ -381,15 +596,39 @@ fn get_serves_reply_that_completes_at_initiator() {
     bmem.write(500, b"get me out");
     let eq_b = b.eq_alloc(8).unwrap();
     let me = b
-        .me_attach(2, ProcessId::any(), 0xC0DE, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            2,
+            ProcessId::any(),
+            0xC0DE,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
-    b.md_attach(me, MEM, 500, 10, MdOptions::get_target(), Threshold::Infinite, Some(eq_b), 0)
-        .unwrap();
+    b.md_attach(
+        me,
+        MEM,
+        500,
+        10,
+        MdOptions::get_target(),
+        Threshold::Infinite,
+        Some(eq_b),
+        0,
+    )
+    .unwrap();
 
     // A initiates the get into a local MD with an EQ.
     let eq_a = a.eq_alloc(8).unwrap();
     let md_a = a
-        .md_bind(MEM, 100, 10, MdOptions::default(), Threshold::Count(1), Some(eq_a), 0)
+        .md_bind(
+            MEM,
+            100,
+            10,
+            MdOptions::default(),
+            Threshold::Count(1),
+            Some(eq_a),
+            0,
+        )
         .unwrap();
     let hdr = a.get(md_a, b.id(), 2, 0, 0xC0DE, 0).unwrap();
 
@@ -424,7 +663,10 @@ fn get_on_put_only_md_falls_through() {
         1,
         16,
         0,
-        MdHandle { index: 0, generation: 0 },
+        MdHandle {
+            index: 0,
+            generation: 0,
+        },
     );
     assert_eq!(b.match_incoming(&hdr), DeliverOutcome::NoMatch);
 }
@@ -434,7 +676,15 @@ fn stale_reply_is_detected() {
     let (mut a, mut amem) = lib(0);
     let eq = a.eq_alloc(8).unwrap();
     let md = a
-        .md_bind(MEM, 0, 8, MdOptions::default(), Threshold::Count(1), Some(eq), 0)
+        .md_bind(
+            MEM,
+            0,
+            8,
+            MdOptions::default(),
+            Threshold::Count(1),
+            Some(eq),
+            0,
+        )
         .unwrap();
     let hdr = a.get(md, ProcessId::new(1, 0), 0, 0, 0, 0).unwrap();
     // MD unlinks before the reply arrives.
@@ -453,7 +703,15 @@ fn ack_reaches_initiator_eq() {
 
     let eq = a.eq_alloc(8).unwrap();
     let md = a
-        .md_bind(MEM, 0, 4, MdOptions::default(), Threshold::Count(1), Some(eq), 0)
+        .md_bind(
+            MEM,
+            0,
+            4,
+            MdOptions::default(),
+            Threshold::Count(1),
+            Some(eq),
+            0,
+        )
         .unwrap();
     let (_, action) = do_put(&mut a, &amem, &mut b, &mut bmem, md, 1, 0);
     let Some(IncomingAction::SendAck(ack)) = action else {
@@ -472,7 +730,14 @@ fn ack_disable_suppresses_ack() {
     let (mut b, mut bmem) = lib(1);
     let eq = b.eq_alloc(8).unwrap();
     let me = b
-        .me_attach(0, ProcessId::any(), 1, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            1,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
     b.md_attach(
         me,
@@ -489,7 +754,15 @@ fn ack_disable_suppresses_ack() {
     )
     .unwrap();
     let md = a
-        .md_bind(MEM, 0, 4, MdOptions::default(), Threshold::Count(1), None, 0)
+        .md_bind(
+            MEM,
+            0,
+            4,
+            MdOptions::default(),
+            Threshold::Count(1),
+            None,
+            0,
+        )
         .unwrap();
     let (_, action) = do_put(&mut a, &amem, &mut b, &mut bmem, md, 1, 0);
     assert_eq!(action, Some(IncomingAction::None));
@@ -521,13 +794,25 @@ fn access_control_restricts_sources() {
             0,
             AckReq::NoAck,
             0,
-            MdHandle { index: 0, generation: 0 },
+            MdHandle {
+                index: 0,
+                generation: 0,
+            },
         )
     };
-    assert!(matches!(b.match_incoming(&mk_hdr(5, 1)), DeliverOutcome::Matched(_)));
-    assert_eq!(b.match_incoming(&mk_hdr(6, 1)), DeliverOutcome::PermissionViolation);
+    assert!(matches!(
+        b.match_incoming(&mk_hdr(5, 1)),
+        DeliverOutcome::Matched(_)
+    ));
+    assert_eq!(
+        b.match_incoming(&mk_hdr(6, 1)),
+        DeliverOutcome::PermissionViolation
+    );
     // Unused AC index denies.
-    assert_eq!(b.match_incoming(&mk_hdr(5, 3)), DeliverOutcome::PermissionViolation);
+    assert_eq!(
+        b.match_incoming(&mk_hdr(5, 3)),
+        DeliverOutcome::PermissionViolation
+    );
     assert_eq!(b.counters().permission_violations, 2);
 }
 
@@ -536,10 +821,26 @@ fn source_match_criterion() {
     let (mut b, _) = lib(1);
     let eq = b.eq_alloc(8).unwrap();
     let me = b
-        .me_attach(0, ProcessId::new(9, 0), 0, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::new(9, 0),
+            0,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
-    b.md_attach(me, MEM, 0, 64, MdOptions::put_target(), Threshold::Infinite, Some(eq), 0)
-        .unwrap();
+    b.md_attach(
+        me,
+        MEM,
+        0,
+        64,
+        MdOptions::put_target(),
+        Threshold::Infinite,
+        Some(eq),
+        0,
+    )
+    .unwrap();
     let bid = b.id();
     let mk_hdr = |src_nid: u32| {
         PortalsHeader::put(
@@ -552,10 +853,16 @@ fn source_match_criterion() {
             0,
             AckReq::NoAck,
             0,
-            MdHandle { index: 0, generation: 0 },
+            MdHandle {
+                index: 0,
+                generation: 0,
+            },
         )
     };
-    assert!(matches!(b.match_incoming(&mk_hdr(9)), DeliverOutcome::Matched(_)));
+    assert!(matches!(
+        b.match_incoming(&mk_hdr(9)),
+        DeliverOutcome::Matched(_)
+    ));
     assert_eq!(b.match_incoming(&mk_hdr(8)), DeliverOutcome::NoMatch);
 }
 
@@ -564,7 +871,15 @@ fn send_end_event_on_initiator() {
     let (mut a, _amem) = lib(0);
     let eq = a.eq_alloc(8).unwrap();
     let md = a
-        .md_bind(MEM, 0, 4, MdOptions::default(), Threshold::Count(1), Some(eq), 99)
+        .md_bind(
+            MEM,
+            0,
+            4,
+            MdOptions::default(),
+            Threshold::Count(1),
+            Some(eq),
+            99,
+        )
         .unwrap();
     a.put(md, AckReq::NoAck, ProcessId::new(1, 0), 0, 0, 0, 0, 0)
         .unwrap();
@@ -578,7 +893,15 @@ fn send_end_event_on_initiator() {
 fn put_on_exhausted_initiator_md_fails() {
     let (mut a, _) = lib(0);
     let md = a
-        .md_bind(MEM, 0, 4, MdOptions::default(), Threshold::Count(1), None, 0)
+        .md_bind(
+            MEM,
+            0,
+            4,
+            MdOptions::default(),
+            Threshold::Count(1),
+            None,
+            0,
+        )
         .unwrap();
     a.put(md, AckReq::NoAck, ProcessId::new(1, 0), 0, 0, 0, 0, 0)
         .unwrap();
@@ -595,7 +918,15 @@ fn synthetic_data_skips_memory_but_keeps_protocol() {
     let (mut b, mut bmem) = lib(1);
     let (_, _, eq) = put_target(&mut b, 0, 1, 0, 0, 1 << 12);
     let md = a
-        .md_bind(MEM, 0, 4096, MdOptions::default(), Threshold::Count(1), None, 0)
+        .md_bind(
+            MEM,
+            0,
+            4096,
+            MdOptions::default(),
+            Threshold::Count(1),
+            None,
+            0,
+        )
         .unwrap();
     let hdr = a.put(md, AckReq::NoAck, b.id(), 0, 0, 1, 0, 0).unwrap();
     let DeliverOutcome::Matched(t) = b.match_incoming(&hdr) else {
@@ -625,7 +956,14 @@ fn eq_capacity_overflow_reports_dropped() {
     let (mut b, mut bmem) = lib(1);
     let eq = b.eq_alloc(2).unwrap();
     let me = b
-        .me_attach(0, ProcessId::any(), 1, 0, UnlinkOp::Retain, InsertPos::After)
+        .me_attach(
+            0,
+            ProcessId::any(),
+            1,
+            0,
+            UnlinkOp::Retain,
+            InsertPos::After,
+        )
         .unwrap();
     b.md_attach(
         me,
@@ -642,7 +980,15 @@ fn eq_capacity_overflow_reports_dropped() {
     )
     .unwrap();
     let md = a
-        .md_bind(MEM, 0, 4, MdOptions::default(), Threshold::Infinite, None, 0)
+        .md_bind(
+            MEM,
+            0,
+            4,
+            MdOptions::default(),
+            Threshold::Infinite,
+            None,
+            0,
+        )
         .unwrap();
     for _ in 0..3 {
         do_put(&mut a, &amem, &mut b, &mut bmem, md, 1, 0);
@@ -657,19 +1003,37 @@ fn md_update_is_conditional() {
     let (mut a, _) = lib(0);
     let eq = a.eq_alloc(8).unwrap();
     let md = a
-        .md_bind(MEM, 0, 64, MdOptions::default(), Threshold::Count(2), Some(eq), 0)
+        .md_bind(
+            MEM,
+            0,
+            64,
+            MdOptions::default(),
+            Threshold::Count(2),
+            Some(eq),
+            0,
+        )
         .unwrap();
 
     // Test closure rejects: no change.
     let applied = a
-        .md_update(md, |m| m.threshold == Threshold::Count(99), Threshold::Count(5), None)
+        .md_update(
+            md,
+            |m| m.threshold == Threshold::Count(99),
+            Threshold::Count(5),
+            None,
+        )
         .unwrap();
     assert!(!applied);
     assert_eq!(a.md(md).unwrap().threshold, Threshold::Count(2));
 
     // Test closure accepts: threshold and EQ update atomically.
     let applied = a
-        .md_update(md, |m| m.threshold == Threshold::Count(2), Threshold::Count(5), None)
+        .md_update(
+            md,
+            |m| m.threshold == Threshold::Count(2),
+            Threshold::Count(5),
+            None,
+        )
         .unwrap();
     assert!(applied);
     let m = a.md(md).unwrap();
@@ -678,12 +1042,17 @@ fn md_update_is_conditional() {
 
     // Invalid arguments still rejected.
     assert_eq!(
-        a.md_update(md, |_| true, Threshold::Count(0), None).unwrap_err(),
+        a.md_update(md, |_| true, Threshold::Count(0), None)
+            .unwrap_err(),
         PtlError::InvalidArg
     );
-    let stale = EqHandle { index: 42, generation: 9 };
+    let stale = EqHandle {
+        index: 42,
+        generation: 9,
+    };
     assert_eq!(
-        a.md_update(md, |_| true, Threshold::Infinite, Some(stale)).unwrap_err(),
+        a.md_update(md, |_| true, Threshold::Infinite, Some(stale))
+            .unwrap_err(),
         PtlError::InvalidHandle
     );
 }
@@ -695,7 +1064,15 @@ fn ni_status_registers_track_counters() {
     let (mut b, mut bmem) = lib(1);
     put_target(&mut b, 0, 1, 0, 0, 64);
     let md = a
-        .md_bind(MEM, 0, 4, MdOptions::default(), Threshold::Infinite, None, 0)
+        .md_bind(
+            MEM,
+            0,
+            4,
+            MdOptions::default(),
+            Threshold::Infinite,
+            None,
+            0,
+        )
         .unwrap();
     do_put(&mut a, &amem, &mut b, &mut bmem, md, 1, 0); // matches
     do_put(&mut a, &amem, &mut b, &mut bmem, md, 2, 0); // wrong bits: drop
@@ -712,7 +1089,15 @@ fn put_region_sends_subrange() {
 
     amem.write(0, b"0123456789");
     let md = a
-        .md_bind(MEM, 0, 10, MdOptions::default(), Threshold::Infinite, None, 0)
+        .md_bind(
+            MEM,
+            0,
+            10,
+            MdOptions::default(),
+            Threshold::Infinite,
+            None,
+            0,
+        )
         .unwrap();
     // Send bytes [3, 8) of the descriptor.
     let hdr = a

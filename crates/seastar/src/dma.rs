@@ -67,7 +67,13 @@ impl DmaEngine {
     /// ..+duration]`. The caller computes `duration` from the HT model (the
     /// engine itself is not the bandwidth bottleneck; HT is). Returns
     /// `(start, done)`.
-    pub fn occupy(&mut self, arrival: SimTime, duration: SimTime, bytes: u64, commands: u64) -> (SimTime, SimTime) {
+    pub fn occupy(
+        &mut self,
+        arrival: SimTime,
+        duration: SimTime,
+        bytes: u64,
+        commands: u64,
+    ) -> (SimTime, SimTime) {
         self.transfers += 1;
         self.bytes += bytes;
         self.commands += commands;
@@ -115,8 +121,16 @@ impl DmaEngine {
 /// the Linux host must when pages are pinned individually (§3.3: "the host
 /// must pre-compute the commands for the TX DMA engine and pass them to
 /// the firmware").
-pub fn paged_commands(virt_addr: u64, len: u32, page_size: u32, phys_of_page: impl Fn(u64) -> u64) -> Vec<DmaCommand> {
-    assert!(page_size.is_power_of_two(), "page size must be a power of two");
+pub fn paged_commands(
+    virt_addr: u64,
+    len: u32,
+    page_size: u32,
+    phys_of_page: impl Fn(u64) -> u64,
+) -> Vec<DmaCommand> {
+    assert!(
+        page_size.is_power_of_two(),
+        "page size must be a power of two"
+    );
     let mut cmds = Vec::new();
     let mut addr = virt_addr;
     let mut remaining = len;

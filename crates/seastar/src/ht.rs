@@ -173,6 +173,9 @@ mod tests {
         let ht = HyperTransport::new();
         assert_eq!(ht.posted_write_latency(&cm), cm.ht_write_latency);
         assert_eq!(ht.read_latency(&cm), cm.ht_read_latency);
-        assert!(cm.ht_read_latency > cm.ht_write_latency, "reads are round trips");
+        assert!(
+            cm.ht_read_latency > cm.ht_write_latency,
+            "reads are round trips"
+        );
     }
 }

@@ -85,7 +85,11 @@ impl Sram {
     }
 
     /// Reserve a named region of `bytes`.
-    pub fn reserve(&mut self, name: impl Into<String>, bytes: u32) -> Result<SramRegion, SramError> {
+    pub fn reserve(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u32,
+    ) -> Result<SramRegion, SramError> {
         let available = self.capacity - self.used;
         if bytes > available {
             return Err(SramError::OutOfMemory {

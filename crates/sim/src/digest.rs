@@ -1,0 +1,120 @@
+//! Streaming event digest for replay-divergence checking.
+//!
+//! The determinism claim behind every number this repo reproduces is
+//! *bit-identical replay*: running the same model with the same seed must
+//! dispatch the same events at the same times in the same order. The
+//! [`EventDigest`] turns that claim into a checkable value — a streaming
+//! FNV-1a 64-bit hash folded over every dispatched event (time, plus
+//! whatever identifying detail the model contributes through
+//! [`crate::Model::fingerprint`]). Two runs agree iff their digests agree;
+//! the `audit` crate's replay harness runs scenarios twice and compares.
+//!
+//! FNV-1a is used instead of a SipHash/`DefaultHasher` because its
+//! initial state and multiplier are fixed constants: digests are stable
+//! across processes, platforms and Rust releases, so they can be recorded
+//! in tests and compared across machines.
+
+/// Streaming FNV-1a (64-bit) over event-stream bytes.
+///
+/// Not a cryptographic hash — collisions are possible in principle — but
+/// any *systematic* nondeterminism (map-iteration order, tie-break
+/// instability, float drift in time conversion) changes the stream early
+/// and permanently, which is exactly what the replay checker needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventDigest {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+impl EventDigest {
+    /// Fresh digest at the FNV offset basis.
+    pub fn new() -> Self {
+        EventDigest { state: FNV_OFFSET }
+    }
+
+    /// Fold one byte.
+    #[inline]
+    pub fn write_u8(&mut self, byte: u8) {
+        self.state ^= byte as u64;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Fold a little-endian `u64`.
+    #[inline]
+    pub fn write_u64(&mut self, value: u64) {
+        for b in value.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Fold a little-endian `u32`.
+    #[inline]
+    pub fn write_u32(&mut self, value: u32) {
+        for b in value.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Fold a byte slice (length-prefixed, so `"ab" + "c"` and
+    /// `"a" + "bc"` fold differently).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Fold a string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Current digest value.
+    pub fn value(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for EventDigest {
+    fn default() -> Self {
+        EventDigest::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(EventDigest::new().value(), 0xcbf2_9ce4_8422_2325);
+        let mut d = EventDigest::new();
+        d.write_u8(b'a');
+        assert_eq!(d.value(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let mut a = EventDigest::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = EventDigest::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_concatenation() {
+        let mut a = EventDigest::new();
+        a.write_bytes(b"ab");
+        a.write_bytes(b"c");
+        let mut b = EventDigest::new();
+        b.write_bytes(b"a");
+        b.write_bytes(b"bc");
+        assert_ne!(a.value(), b.value());
+    }
+}

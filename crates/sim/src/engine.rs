@@ -5,6 +5,7 @@
 //! before the current instant — that would be a causality bug in the model)
 //! and provides run limits so a buggy model cannot spin forever.
 
+use crate::digest::EventDigest;
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
@@ -20,6 +21,18 @@ pub trait Model {
 
     /// Handle one event at simulated time `now`.
     fn dispatch(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// Fold identifying details of `event` (kind, node, correlation ids)
+    /// into the engine's replay digest.
+    ///
+    /// The engine always folds the firing time and dispatch index; models
+    /// override this to add event-specific detail so that two runs which
+    /// happen to fire *different* events at identical times still produce
+    /// different digests. The default folds nothing, which keeps trivial
+    /// test models working unchanged.
+    fn fingerprint(event: &Self::Event, digest: &mut EventDigest) {
+        let _ = (event, digest);
+    }
 }
 
 /// Why a [`Engine::run`] call returned.
@@ -39,6 +52,7 @@ pub struct Engine<M: Model> {
     queue: EventQueue<M::Event>,
     now: SimTime,
     dispatched: u64,
+    digest: EventDigest,
     /// Hard cap on dispatched events per `run*` call; guards against
     /// accidental infinite event loops in models under test.
     event_budget: u64,
@@ -52,6 +66,7 @@ impl<M: Model> Engine<M> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             dispatched: 0,
+            digest: EventDigest::new(),
             event_budget: u64::MAX,
         }
     }
@@ -88,6 +103,14 @@ impl<M: Model> Engine<M> {
         self.dispatched
     }
 
+    /// Streaming digest of every event dispatched so far: firing time,
+    /// dispatch index, and the model's [`Model::fingerprint`] detail.
+    /// Equal seeds must yield equal digests at equal dispatch counts —
+    /// the replay-divergence audit (`crates/audit`) enforces exactly that.
+    pub fn digest(&self) -> u64 {
+        self.digest.value()
+    }
+
     /// Consume the engine, returning the model.
     pub fn into_model(self) -> M {
         self.model
@@ -104,6 +127,8 @@ impl<M: Model> Engine<M> {
                 );
                 self.now = at;
                 self.dispatched += 1;
+                self.digest.write_u64(at.0);
+                M::fingerprint(&ev, &mut self.digest);
                 self.model.dispatch(at, ev, &mut self.queue);
                 true
             }
@@ -185,7 +210,10 @@ mod tests {
     fn horizon_stops_early_without_dispatching_past_it() {
         let mut e = Engine::new(Chain { hits: vec![] });
         e.queue_mut().schedule_at(SimTime::from_ns(1), 10);
-        assert_eq!(e.run_until(SimTime::from_ns(25)), RunOutcome::HorizonReached);
+        assert_eq!(
+            e.run_until(SimTime::from_ns(25)),
+            RunOutcome::HorizonReached
+        );
         // Events at 1, 11, 21 fired; 31 is pending.
         assert_eq!(e.model().hits, vec![10, 9, 8]);
         assert_eq!(e.queue_mut().len(), 1);

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod cursor;
+pub mod digest;
 pub mod engine;
 pub mod queue;
 pub mod rng;
@@ -46,6 +47,7 @@ pub mod time;
 pub mod trace;
 
 pub use cursor::BusyCursor;
+pub use digest::EventDigest;
 pub use engine::{Engine, Model, RunOutcome};
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -257,7 +257,10 @@ impl Series {
 
     /// Maximum y in the series (NaN-free input assumed).
     pub fn y_max(&self) -> f64 {
-        self.points.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.y)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 

@@ -16,7 +16,9 @@ use serde::{Deserialize, Serialize};
 /// `SimTime` is used both as an absolute timestamp and as a duration; the
 /// arithmetic is the same and keeping one type avoids conversion noise in
 /// the cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

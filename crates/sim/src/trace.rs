@@ -6,6 +6,7 @@
 //! the latency-breakdown tooling attributes time between consecutive steps
 //! of one message's life.
 
+use crate::digest::EventDigest;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -66,6 +67,7 @@ pub struct Trace {
     enabled: bool,
     events: Vec<TraceEvent>,
     capacity: usize,
+    digest: EventDigest,
 }
 
 impl Trace {
@@ -75,6 +77,7 @@ impl Trace {
             enabled: false,
             events: Vec::new(),
             capacity: 0,
+            digest: EventDigest::new(),
         }
     }
 
@@ -85,6 +88,7 @@ impl Trace {
             enabled: true,
             events: Vec::new(),
             capacity,
+            digest: EventDigest::new(),
         }
     }
 
@@ -105,6 +109,15 @@ impl Trace {
         if !self.enabled {
             return;
         }
+        let label = label.into();
+        // The digest covers every record() call while enabled — including
+        // events the capacity bound drops from retention — so it reflects
+        // the full stream, not just the kept prefix.
+        self.digest.write_u64(at.0);
+        self.digest.write_u32(node);
+        self.digest.write_u8(category as u8);
+        self.digest.write_str(&label);
+        self.digest.write_u64(tag);
         if self.capacity != 0 && self.events.len() >= self.capacity {
             return;
         }
@@ -112,7 +125,7 @@ impl Trace {
             at,
             node,
             category,
-            label: label.into(),
+            label,
             tag,
         });
     }
@@ -120,6 +133,13 @@ impl Trace {
     /// All recorded events in order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Streaming digest of every event recorded while enabled (time,
+    /// node, category, label, tag), independent of the retention cap.
+    /// Used by the replay-divergence audit to compare traced runs.
+    pub fn digest(&self) -> u64 {
+        self.digest.value()
     }
 
     /// Events for one correlation tag, in order.
@@ -181,7 +201,13 @@ mod tests {
     #[test]
     fn render_contains_labels() {
         let mut t = Trace::enabled(0);
-        t.record(SimTime::from_us(5), 3, TraceCategory::Dma, "tx-dma-done", 42);
+        t.record(
+            SimTime::from_us(5),
+            3,
+            TraceCategory::Dma,
+            "tx-dma-done",
+            42,
+        );
         let s = t.render();
         assert!(s.contains("tx-dma-done"));
         assert!(s.contains("n3"));

@@ -239,7 +239,10 @@ mod tests {
         let dims = Dims::mesh(3, 3, 3);
         let corner = Coord::new(0, 0, 0);
         assert_eq!(dims.neighbor(corner, Port::XMinus), None);
-        assert_eq!(dims.neighbor(corner, Port::XPlus), Some(Coord::new(1, 0, 0)));
+        assert_eq!(
+            dims.neighbor(corner, Port::XPlus),
+            Some(Coord::new(1, 0, 0))
+        );
     }
 
     #[test]

@@ -90,9 +90,7 @@ impl Fabric {
     /// Build a fabric for `dims` with the given configuration.
     pub fn new(dims: Dims, config: FabricConfig) -> Self {
         let routes = RoutingTable::build(dims);
-        let links = (0..dims.node_count())
-            .map(|_| Default::default())
-            .collect();
+        let links = (0..dims.node_count()).map(|_| Default::default()).collect();
         Fabric {
             config,
             routes,
@@ -267,7 +265,10 @@ mod tests {
         for i in 0..20 {
             let d = f.send(SimTime::ZERO, msg(0, 63, 1000 + i, i));
             assert!(d.header_at > last_header, "header order violated at {i}");
-            assert!(d.complete_at > last_complete, "completion order violated at {i}");
+            assert!(
+                d.complete_at > last_complete,
+                "completion order violated at {i}"
+            );
             last_header = d.header_at;
             last_complete = d.complete_at;
         }

@@ -98,9 +98,7 @@ impl Link {
             let errs = sample_packet_errors(rng, packets, cfg.crc_error_prob);
             if errs > 0 {
                 self.retries += errs;
-                occupancy += (cfg.retry_cost
-                    + cfg.serialization_time(1))
-                .times(errs);
+                occupancy += (cfg.retry_cost + cfg.serialization_time(1)).times(errs);
             }
         }
         self.packets += packets;
@@ -206,7 +204,10 @@ mod tests {
         let p = 1e-3;
         let errs = sample_packet_errors(&mut rng, packets, p);
         let expect = packets as f64 * p;
-        assert!((errs as f64 - expect).abs() <= 1.0, "errs={errs} expect={expect}");
+        assert!(
+            (errs as f64 - expect).abs() <= 1.0,
+            "errs={errs} expect={expect}"
+        );
     }
 
     #[test]

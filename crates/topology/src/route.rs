@@ -149,7 +149,10 @@ mod tests {
         let dst = dims.id_of(Coord::new(2, 2, 0));
         let path = rt.path(src, dst);
         let ports: Vec<Port> = path.iter().map(|&(_, p)| p).collect();
-        assert_eq!(ports, vec![Port::XPlus, Port::XPlus, Port::YPlus, Port::YPlus]);
+        assert_eq!(
+            ports,
+            vec![Port::XPlus, Port::XPlus, Port::YPlus, Port::YPlus]
+        );
     }
 
     #[test]

@@ -9,16 +9,22 @@ use xt3_topology::fabric::{Fabric, FabricConfig, NetMessage};
 use xt3_topology::route::RoutingTable;
 
 fn arb_dims() -> impl Strategy<Value = Dims> {
-    (1u16..5, 1u16..5, 1u16..5, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-        |(nx, ny, nz, wx, wy, wz)| Dims {
+    (
+        1u16..5,
+        1u16..5,
+        1u16..5,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(nx, ny, nz, wx, wy, wz)| Dims {
             nx,
             ny,
             nz,
             wrap_x: wx,
             wrap_y: wy,
             wrap_z: wz,
-        },
-    )
+        })
 }
 
 proptest! {

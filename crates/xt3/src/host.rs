@@ -76,7 +76,11 @@ mod tests {
         let t1 = h.trap(&cm, SimTime::ZERO);
         assert_eq!(t1, SimTime::from_ns(75));
         let t2 = h.interrupt(&cm, SimTime::ZERO);
-        assert_eq!(t2, SimTime::from_ns(75 + 2000), "interrupt queues behind trap");
+        assert_eq!(
+            t2,
+            SimTime::from_ns(75 + 2000),
+            "interrupt queues behind trap"
+        );
         assert_eq!(h.counters.traps, 1);
         assert_eq!(h.counters.interrupts, 1);
     }

@@ -23,7 +23,7 @@ use crate::app::{App, AppEvent, WaitRequest};
 use crate::config::{ExhaustionPolicy, MachineConfig, NodeSpec};
 use crate::node::{Node, ProcState, RxRecord, TxRecord, WaitState};
 use crate::wire::{WireKind, WireMsg};
-use xt3_firmware::control::{FwEffect, FwMode, ProcIdx};
+use xt3_firmware::control::{FwEffect, FwError, FwMode, ProcIdx};
 use xt3_firmware::gbn::{GbnEvent, GbnSender};
 use xt3_firmware::mailbox::{FwCommand, FwEvent};
 use xt3_firmware::pending::PendingId;
@@ -230,17 +230,28 @@ impl Machine {
                     if is_reply {
                         self.nodes[node].chip.ppc.occupy_raw(now, cm.fw_reply_tx)
                     } else {
-                        self.nodes[node].chip.ppc.run(&cm, FwHandler::TxCommand, now)
+                        self.nodes[node]
+                            .chip
+                            .ppc
+                            .run(&cm, FwHandler::TxCommand, now)
                     }
                 }
                 FwCommand::RecvDeposit { .. } => {
-                    self.nodes[node].chip.ppc.run(&cm, FwHandler::RxCommand, now)
+                    self.nodes[node]
+                        .chip
+                        .ppc
+                        .run(&cm, FwHandler::RxCommand, now)
                 }
-                FwCommand::RecvDiscard { .. } | FwCommand::ReleasePending { .. } => {
-                    self.nodes[node].chip.ppc.run(&cm, FwHandler::Completion, now)
-                }
+                FwCommand::RecvDiscard { .. } | FwCommand::ReleasePending { .. } => self.nodes
+                    [node]
+                    .chip
+                    .ppc
+                    .run(&cm, FwHandler::Completion, now),
             };
-            let effects = self.nodes[node].fw.handle_command(fw_proc, cmd);
+            let effects = match self.nodes[node].fw.handle_command(fw_proc, cmd) {
+                Ok(e) => e,
+                Err(err) => self.fw_fault(t, node, err),
+            };
             self.exec_effects(q, t, node, effects);
         }
     }
@@ -249,7 +260,10 @@ impl Machine {
         let n = &mut self.nodes[node];
         let cm = n.chip.cost;
         let t = n.chip.ppc.run(&cm, FwHandler::Completion, now);
-        let effects = n.fw.tx_dma_complete();
+        let effects = match n.fw.tx_dma_complete() {
+            Ok(e) => e,
+            Err(err) => self.fw_fault(t, node, err),
+        };
         self.exec_effects(q, t, node, effects);
     }
 
@@ -262,10 +276,16 @@ impl Machine {
         pending: PendingId,
     ) {
         let cm = self.config.cost;
-        let t = self.nodes[node].chip.ppc.run(&cm, FwHandler::Completion, now);
+        let t = self.nodes[node]
+            .chip
+            .ppc
+            .run(&cm, FwHandler::Completion, now);
         self.trace
             .record(t, node as u32, TraceCategory::Dma, "rx-deposit-done", 0);
-        let effects = self.nodes[node].fw.rx_dma_complete(fw_proc, pending);
+        let effects = match self.nodes[node].fw.rx_dma_complete(fw_proc, pending) {
+            Ok(e) => e,
+            Err(err) => self.fw_fault(t, node, err),
+        };
 
         // Firmware-direct replies complete inline: deposit happened via
         // DMA; post ReplyEnd straight into the app-visible EQ.
@@ -275,11 +295,15 @@ impl Machine {
             .map(|r| r.header.op == PortalsOp::Reply)
             .unwrap_or(false);
         if is_direct_reply {
-            let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("record");
+            let rec = self.nodes[node]
+                .rx_store
+                .remove(&(fw_proc, pending))
+                .expect("record");
             let pid = rec.dst_pid as usize;
             let n = &mut self.nodes[node];
             let proc = &mut n.procs[pid];
-            proc.lib.complete_reply(&rec.header, &rec.data, proc.mem.as_mut_memory());
+            proc.lib
+                .complete_reply(&rec.header, &rec.data, proc.mem.as_mut_memory());
             if let Some(md) = rec.header.initiator_md {
                 n.await_reply.remove(&(rec.dst_pid, md));
             }
@@ -291,7 +315,29 @@ impl Machine {
         self.exec_effects(q, t, node, effects);
     }
 
-    fn exec_effects(&mut self, q: &mut EventQueue<Ev>, t: SimTime, node: usize, effects: Vec<FwEffect>) {
+    /// A firmware handler reported a protocol fault (bad pending id,
+    /// spurious completion, ...). On the real XT3 the firmware panics the
+    /// node and RAS reboots it (§4.3); the model isolates the node instead
+    /// so the run finishes and `any_panicked()` reports the failure.
+    fn fw_fault(&mut self, t: SimTime, node: usize, err: FwError) -> Vec<FwEffect> {
+        self.nodes[node].panicked = true;
+        self.trace.record(
+            t,
+            node as u32,
+            TraceCategory::Firmware,
+            format!("fw-fault:{err}"),
+            0,
+        );
+        Vec::new()
+    }
+
+    fn exec_effects(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        t: SimTime,
+        node: usize,
+        effects: Vec<FwEffect>,
+    ) {
         let cm = self.config.cost;
         for eff in effects {
             match eff {
@@ -416,14 +462,25 @@ impl Machine {
             }
         }
 
-        self.trace
-            .record(fetch_done, node as u32, TraceCategory::Dma, "tx-inject", tag);
+        self.trace.record(
+            fetch_done,
+            node as u32,
+            TraceCategory::Dma,
+            "tx-inject",
+            tag,
+        );
         self.inject(q, fetch_done, dma_done, msg);
     }
 
     /// Put a message on the wire at `inject_at`; delivery is throttled by
     /// the slower of the fabric and the TX DMA stream (`dma_done`).
-    fn inject(&mut self, q: &mut EventQueue<Ev>, inject_at: SimTime, dma_done: SimTime, msg: WireMsg) {
+    fn inject(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        inject_at: SimTime,
+        dma_done: SimTime,
+        msg: WireMsg,
+    ) {
         let src = NodeId(msg.header.src.nid);
         let dst = NodeId(msg.header.dst.nid);
         let tag = msg.tag;
@@ -492,7 +549,13 @@ impl Machine {
         );
     }
 
-    fn on_net_header(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize, inflight: InFlight) {
+    fn on_net_header(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        now: SimTime,
+        node: usize,
+        inflight: InFlight,
+    ) {
         let cm = self.config.cost;
         let msg = inflight.msg;
         let from_node = msg.header.src.nid;
@@ -527,7 +590,10 @@ impl Machine {
                 return;
             }
             WireKind::GbnAck { upto } => {
-                let t = self.nodes[node].chip.ppc.run(&cm, FwHandler::Completion, now);
+                let t = self.nodes[node]
+                    .chip
+                    .ppc
+                    .run(&cm, FwHandler::Completion, now);
                 if let Some(s) = self.nodes[node].gbn_tx.get_mut(&from_node) {
                     s.ack(upto);
                 }
@@ -550,8 +616,13 @@ impl Machine {
                     self.send_gbn_control(q, t, node, from_node, WireKind::GbnNack { expected });
                 }
             }
-            self.trace
-                .record(t, node as u32, TraceCategory::Dma, "e2e-crc-reject", msg.tag);
+            self.trace.record(
+                t,
+                node as u32,
+                TraceCategory::Dma,
+                "e2e-crc-reject",
+                msg.tag,
+            );
             return;
         }
 
@@ -562,7 +633,13 @@ impl Machine {
                 let ev = rx.on_arrival(seq, true);
                 match ev {
                     GbnEvent::Nack { expected } => {
-                        self.send_gbn_control(q, now, node, from_node, WireKind::GbnNack { expected });
+                        self.send_gbn_control(
+                            q,
+                            now,
+                            node,
+                            from_node,
+                            WireKind::GbnNack { expected },
+                        );
                     }
                     GbnEvent::Duplicate => {}
                     GbnEvent::Accept { .. } => unreachable!("mismatched seq cannot accept"),
@@ -581,12 +658,17 @@ impl Machine {
         } else {
             self.nodes[node].chip.ppc.run(&cm, FwHandler::RxHeader, now)
         };
-        let result = self.nodes[node].fw.rx_header(fw_proc, from_node, piggy, direct);
+        let result = self.nodes[node]
+            .fw
+            .rx_header(fw_proc, from_node, piggy, direct);
 
         // Resolve go-back-n acceptance against allocation success.
         if let Some(seq) = msg.seq {
             let ok = result.is_ok();
-            let rx = self.nodes[node].gbn_rx.get_mut(&from_node).expect("entry above");
+            let rx = self.nodes[node]
+                .gbn_rx
+                .get_mut(&from_node)
+                .expect("entry above");
             match rx.on_arrival(seq, ok) {
                 GbnEvent::Accept { .. } => {
                     let upto = rx.expected();
@@ -606,15 +688,25 @@ impl Machine {
                 if self.config.exhaustion == ExhaustionPolicy::Panic && msg.seq.is_none() {
                     // §4.3: "The current approach is to panic the node."
                     self.nodes[node].panicked = true;
-                    self.trace
-                        .record(t, node as u32, TraceCategory::Firmware, "panic-exhaustion", msg.tag);
+                    self.trace.record(
+                        t,
+                        node as u32,
+                        TraceCategory::Firmware,
+                        "panic-exhaustion",
+                        msg.tag,
+                    );
                 }
                 return;
             }
         };
 
-        self.trace
-            .record(t, node as u32, TraceCategory::Firmware, "rx-header", msg.tag);
+        self.trace.record(
+            t,
+            node as u32,
+            TraceCategory::Firmware,
+            "rx-header",
+            msg.tag,
+        );
         self.nodes[node].rx_store.insert(
             (fw_proc, pending),
             RxRecord {
@@ -649,7 +741,10 @@ impl Machine {
         };
         match op {
             PortalsOp::Ack => {
-                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rec");
+                let rec = self.nodes[node]
+                    .rx_store
+                    .remove(&(fw_proc, pending))
+                    .expect("rec");
                 let n = &mut self.nodes[node];
                 let t2 = n.chip.ppc.run(&cm, FwHandler::Completion, t);
                 n.procs[dst_pid as usize].lib.deliver_ack(&rec.header);
@@ -659,11 +754,15 @@ impl Machine {
             PortalsOp::Reply if piggy => {
                 // Payload arrived with the header: deposit and complete
                 // without any DMA program.
-                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rec");
+                let rec = self.nodes[node]
+                    .rx_store
+                    .remove(&(fw_proc, pending))
+                    .expect("rec");
                 let n = &mut self.nodes[node];
                 let t2 = n.chip.ppc.occupy_raw(t, cm.fw_reply_rx);
                 let proc = &mut n.procs[dst_pid as usize];
-                proc.lib.complete_reply(&rec.header, &rec.data, proc.mem.as_mut_memory());
+                proc.lib
+                    .complete_reply(&rec.header, &rec.data, proc.mem.as_mut_memory());
                 if let Some(md) = rec.header.initiator_md {
                     n.await_reply.remove(&(dst_pid, md));
                 }
@@ -683,7 +782,13 @@ impl Machine {
                         .unwrap_or_default();
                     (rec.header.mlength, dma)
                 };
-                let effects = self.nodes[node].fw.direct_deposit(fw_proc, pending, len, dma);
+                let effects = match self.nodes[node]
+                    .fw
+                    .direct_deposit(fw_proc, pending, len, dma)
+                {
+                    Ok(e) => e,
+                    Err(err) => self.fw_fault(t, node, err),
+                };
                 self.exec_effects(q, t, node, effects);
             }
             _ => unreachable!("direct path only handles Reply/Ack"),
@@ -782,7 +887,10 @@ impl Machine {
         let cm = self.config.cost;
         match event {
             FwEvent::TxComplete { pending } => {
-                let rec = self.nodes[node].tx_store.remove(&(fw_proc, pending)).expect("tx rec");
+                let rec = self.nodes[node]
+                    .tx_store
+                    .remove(&(fw_proc, pending))
+                    .expect("tx rec");
                 self.nodes[node].free_tx_pending(fw_proc, pending);
                 if let Some(md) = rec.md {
                     t = self.nodes[node].host.run(t, cm.host_event_post);
@@ -795,7 +903,10 @@ impl Machine {
             }
             FwEvent::RxHeader { pending } => self.host_match(q, t, node, fw_proc, pending),
             FwEvent::RxComplete { pending } => {
-                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rx rec");
+                let rec = self.nodes[node]
+                    .rx_store
+                    .remove(&(fw_proc, pending))
+                    .expect("rx rec");
                 let ticket = rec.ticket.as_ref().expect("deposit had a ticket");
                 t = self.nodes[node].host.run(t, cm.host_event_post);
                 let action = {
@@ -847,7 +958,10 @@ impl Machine {
 
         match header.op {
             PortalsOp::Put if piggy => {
-                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rec");
+                let rec = self.nodes[node]
+                    .rx_store
+                    .remove(&(fw_proc, pending))
+                    .expect("rec");
                 let action = {
                     let proc = &mut self.nodes[node].procs[dst_pid as usize];
                     proc.lib
@@ -866,7 +980,12 @@ impl Machine {
                     let proc = &self.nodes[node].procs[dst_pid as usize];
                     let prepared = proc
                         .bridge
-                        .prepare(&cm, proc.mem.as_ref(), ticket.address, ticket.mlength as u32)
+                        .prepare(
+                            &cm,
+                            proc.mem.as_ref(),
+                            ticket.address,
+                            ticket.mlength as u32,
+                        )
                         .expect("matched region is valid");
                     (prepared.commands, prepared.prep_cost)
                 };
@@ -891,16 +1010,31 @@ impl Machine {
                 )
             }
             PortalsOp::Get => {
-                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rec");
+                let rec = self.nodes[node]
+                    .rx_store
+                    .remove(&(fw_proc, pending))
+                    .expect("rec");
                 let synthetic = self.config.synthetic_payload;
                 let action = {
                     let proc = &mut self.nodes[node].procs[dst_pid as usize];
-                    proc.lib
-                        .complete_get_serve(&rec.header, &ticket, proc.mem.as_ref_memory(), synthetic)
+                    proc.lib.complete_get_serve(
+                        &rec.header,
+                        &ticket,
+                        proc.mem.as_ref_memory(),
+                        synthetic,
+                    )
                 };
                 // The reply leaves first; GetEnd bookkeeping and the
                 // pending release follow off the reply's critical path.
-                t = self.handle_incoming_action(q, t, node, fw_proc, dst_pid, action, Some(ticket.address));
+                t = self.handle_incoming_action(
+                    q,
+                    t,
+                    node,
+                    fw_proc,
+                    dst_pid,
+                    action,
+                    Some(ticket.address),
+                );
                 t = self.nodes[node].host.run(t, cm.host_event_post);
                 self.nodes[node].fw.rx_piggyback_complete(fw_proc, pending);
                 t = self.post_cmd(q, t, node, fw_proc, FwCommand::ReleasePending { pending });
@@ -928,9 +1062,17 @@ impl Machine {
         let cm = self.config.cost;
         match action {
             IncomingAction::None => t,
-            IncomingAction::SendAck(ack) => {
-                self.transmit_internal(q, t, node, fw_proc, src_pid, ack, WireData::Synthetic(0), 1, None)
-            }
+            IncomingAction::SendAck(ack) => self.transmit_internal(
+                q,
+                t,
+                node,
+                fw_proc,
+                src_pid,
+                ack,
+                WireData::Synthetic(0),
+                1,
+                None,
+            ),
             IncomingAction::SendReply(reply, data) => {
                 // Reply payload is DMA'ed from the matched MD region; the
                 // DMA command count mirrors that region's physical layout.
@@ -1007,13 +1149,16 @@ impl Machine {
             dma_chunks.max(1) as usize
         ];
         t = self.nodes[node].host.run(t, cm.host_cmd_post);
-        let backlog = self.nodes[node].fw.mailbox_mut(fw_proc).post_cmd(FwCommand::Transmit {
-            pending,
-            target_node,
-            length: len,
-            dma,
-            tag,
-        });
+        let backlog = self.nodes[node]
+            .fw
+            .mailbox_mut(fw_proc)
+            .post_cmd(FwCommand::Transmit {
+                pending,
+                target_node,
+                length: len,
+                dma,
+                tag,
+            });
         t = self.charge_mailbox_stall(node, t, backlog);
         q.schedule_at(
             t + cm.ht_write_latency,
@@ -1084,9 +1229,13 @@ impl Machine {
             DeliverOutcome::Matched(ticket) => ticket,
             _ => {
                 self.nodes[node].rx_store.remove(&(fw_proc, pending));
-                let effects = self.nodes[node]
+                let effects = match self.nodes[node]
                     .fw
-                    .handle_command(fw_proc, FwCommand::RecvDiscard { pending });
+                    .handle_command(fw_proc, FwCommand::RecvDiscard { pending })
+                {
+                    Ok(e) => e,
+                    Err(err) => self.fw_fault(t, node, err),
+                };
                 self.exec_effects(q, t, node, effects);
                 return;
             }
@@ -1094,16 +1243,23 @@ impl Machine {
 
         match header.op {
             PortalsOp::Put if piggy => {
-                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rec");
+                let rec = self.nodes[node]
+                    .rx_store
+                    .remove(&(fw_proc, pending))
+                    .expect("rec");
                 let action = {
                     let proc = &mut self.nodes[node].procs[dst_pid as usize];
                     proc.lib
                         .complete_put(&rec.header, &ticket, &rec.data, proc.mem.as_mut_memory())
                 };
                 self.nodes[node].fw.rx_piggyback_complete(fw_proc, pending);
-                let effects = self.nodes[node]
+                let effects = match self.nodes[node]
                     .fw
-                    .handle_command(fw_proc, FwCommand::ReleasePending { pending });
+                    .handle_command(fw_proc, FwCommand::ReleasePending { pending })
+                {
+                    Ok(e) => e,
+                    Err(err) => self.fw_fault(t, node, err),
+                };
                 self.exec_effects(q, t, node, effects);
                 let t2 = self.handle_incoming_action(q, t, node, fw_proc, dst_pid, action, None);
                 self.maybe_wake(q, t2 + cm.ht_write_latency, node, dst_pid);
@@ -1121,7 +1277,7 @@ impl Machine {
                     .get_mut(&(fw_proc, pending))
                     .expect("rec")
                     .ticket = Some(ticket);
-                let effects = self.nodes[node].fw.handle_command(
+                let effects = match self.nodes[node].fw.handle_command(
                     fw_proc,
                     FwCommand::RecvDeposit {
                         pending,
@@ -1129,23 +1285,45 @@ impl Machine {
                         drop_length,
                         dma,
                     },
-                );
+                ) {
+                    Ok(e) => e,
+                    Err(err) => self.fw_fault(t, node, err),
+                };
                 self.exec_effects(q, t, node, effects);
             }
             PortalsOp::Get => {
-                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rec");
+                let rec = self.nodes[node]
+                    .rx_store
+                    .remove(&(fw_proc, pending))
+                    .expect("rec");
                 let synthetic = self.config.synthetic_payload;
                 let action = {
                     let proc = &mut self.nodes[node].procs[dst_pid as usize];
-                    proc.lib
-                        .complete_get_serve(&rec.header, &ticket, proc.mem.as_ref_memory(), synthetic)
+                    proc.lib.complete_get_serve(
+                        &rec.header,
+                        &ticket,
+                        proc.mem.as_ref_memory(),
+                        synthetic,
+                    )
                 };
                 self.nodes[node].fw.rx_piggyback_complete(fw_proc, pending);
-                let effects = self.nodes[node]
+                let effects = match self.nodes[node]
                     .fw
-                    .handle_command(fw_proc, FwCommand::ReleasePending { pending });
+                    .handle_command(fw_proc, FwCommand::ReleasePending { pending })
+                {
+                    Ok(e) => e,
+                    Err(err) => self.fw_fault(t, node, err),
+                };
                 self.exec_effects(q, t, node, effects);
-                let t2 = self.handle_incoming_action(q, t, node, fw_proc, dst_pid, action, Some(ticket.address));
+                let t2 = self.handle_incoming_action(
+                    q,
+                    t,
+                    node,
+                    fw_proc,
+                    dst_pid,
+                    action,
+                    Some(ticket.address),
+                );
                 self.maybe_wake(q, t2, node, dst_pid);
             }
             _ => unreachable!(),
@@ -1154,11 +1332,21 @@ impl Machine {
 
     /// Completion events for accelerated processes: handled by the
     /// firmware inline, posted straight to user space, no interrupt.
-    fn accel_event(&mut self, q: &mut EventQueue<Ev>, t: SimTime, node: usize, fw_proc: ProcIdx, event: FwEvent) {
+    fn accel_event(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        t: SimTime,
+        node: usize,
+        fw_proc: ProcIdx,
+        event: FwEvent,
+    ) {
         let cm = self.config.cost;
         match event {
             FwEvent::TxComplete { pending } => {
-                let rec = self.nodes[node].tx_store.remove(&(fw_proc, pending)).expect("tx rec");
+                let rec = self.nodes[node]
+                    .tx_store
+                    .remove(&(fw_proc, pending))
+                    .expect("tx rec");
                 self.nodes[node].free_tx_pending(fw_proc, pending);
                 if let Some(md) = rec.md {
                     self.nodes[node].procs[rec.src_pid as usize]
@@ -1168,18 +1356,26 @@ impl Machine {
                 }
             }
             FwEvent::RxComplete { pending } => {
-                let rec = self.nodes[node].rx_store.remove(&(fw_proc, pending)).expect("rx rec");
+                let rec = self.nodes[node]
+                    .rx_store
+                    .remove(&(fw_proc, pending))
+                    .expect("rx rec");
                 let ticket = rec.ticket.as_ref().expect("ticket");
                 let action = {
                     let proc = &mut self.nodes[node].procs[rec.dst_pid as usize];
                     proc.lib
                         .complete_put(&rec.header, ticket, &rec.data, proc.mem.as_mut_memory())
                 };
-                let effects = self.nodes[node]
+                let effects = match self.nodes[node]
                     .fw
-                    .handle_command(fw_proc, FwCommand::ReleasePending { pending });
+                    .handle_command(fw_proc, FwCommand::ReleasePending { pending })
+                {
+                    Ok(e) => e,
+                    Err(err) => self.fw_fault(t, node, err),
+                };
                 self.exec_effects(q, t, node, effects);
-                let t2 = self.handle_incoming_action(q, t, node, fw_proc, rec.dst_pid, action, None);
+                let t2 =
+                    self.handle_incoming_action(q, t, node, fw_proc, rec.dst_pid, action, None);
                 self.maybe_wake(q, t2 + cm.ht_write_latency, node, rec.dst_pid);
             }
             FwEvent::RxHeader { .. } => {
@@ -1255,7 +1451,14 @@ impl Machine {
         }
     }
 
-    fn run_app(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize, pid: u32, event: AppEvent) {
+    fn run_app(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        now: SimTime,
+        node: usize,
+        pid: u32,
+        event: AppEvent,
+    ) {
         let mut app = self.nodes[node].procs[pid as usize]
             .app
             .take()
@@ -1306,11 +1509,15 @@ impl Model for Machine {
 
     fn dispatch(&mut self, now: SimTime, event: Ev, q: &mut EventQueue<Ev>) {
         match event {
-            Ev::AppStart { node, pid } => self.run_app(q, now, node as usize, pid, AppEvent::Started),
+            Ev::AppStart { node, pid } => {
+                self.run_app(q, now, node as usize, pid, AppEvent::Started)
+            }
             Ev::AppWake { node, pid } => self.on_app_wake(q, now, node as usize, pid),
             Ev::FwCmd { node, fw_proc } => self.on_fw_cmd(q, now, node as usize, fw_proc),
             Ev::TxDmaDone { node } => self.on_tx_dma_done(q, now, node as usize),
-            Ev::NetHeader { node, inflight } => self.on_net_header(q, now, node as usize, *inflight),
+            Ev::NetHeader { node, inflight } => {
+                self.on_net_header(q, now, node as usize, *inflight)
+            }
             Ev::RxDepositDone {
                 node,
                 fw_proc,
@@ -1343,6 +1550,70 @@ impl Model for Machine {
                         q.schedule_at(now + interval, Ev::RasHeartbeat { node });
                     }
                 }
+            }
+        }
+    }
+
+    /// Fold the event kind plus every identifying field into the replay
+    /// digest, so any reordering or substitution of events between two
+    /// same-seed runs — the signature of nondeterministic state (map
+    /// iteration order, tie-break drift) — changes the digest at the
+    /// first divergent dispatch.
+    fn fingerprint(event: &Ev, digest: &mut xt3_sim::EventDigest) {
+        match event {
+            Ev::AppStart { node, pid } => {
+                digest.write_u8(0);
+                digest.write_u32(*node);
+                digest.write_u32(*pid);
+            }
+            Ev::AppWake { node, pid } => {
+                digest.write_u8(1);
+                digest.write_u32(*node);
+                digest.write_u32(*pid);
+            }
+            Ev::FwCmd { node, fw_proc } => {
+                digest.write_u8(2);
+                digest.write_u32(*node);
+                digest.write_u32(*fw_proc);
+            }
+            Ev::TxDmaDone { node } => {
+                digest.write_u8(3);
+                digest.write_u32(*node);
+            }
+            Ev::NetHeader { node, inflight } => {
+                digest.write_u8(4);
+                digest.write_u32(*node);
+                digest.write_u64(inflight.complete_at.0);
+                digest.write_u8(inflight.corrupted as u8);
+                digest.write_u64(inflight.msg.tag);
+                digest.write_u64(inflight.msg.wire_bytes());
+                match inflight.msg.seq {
+                    Some(seq) => digest.write_u64(1 + seq),
+                    None => digest.write_u64(0),
+                }
+            }
+            Ev::RxDepositDone {
+                node,
+                fw_proc,
+                pending,
+            } => {
+                digest.write_u8(5);
+                digest.write_u32(*node);
+                digest.write_u32(*fw_proc);
+                digest.write_u32(*pending);
+            }
+            Ev::HostInterrupt { node } => {
+                digest.write_u8(6);
+                digest.write_u32(*node);
+            }
+            Ev::RasHeartbeat { node } => {
+                digest.write_u8(7);
+                digest.write_u32(*node);
+            }
+            Ev::GbnTimeout { node, peer } => {
+                digest.write_u8(8);
+                digest.write_u32(*node);
+                digest.write_u32(*peer);
             }
         }
     }
@@ -1401,7 +1672,10 @@ impl AppCtx<'_> {
 
     fn api_entry(&mut self) {
         let cm = self.m.config.cost;
-        if self.m.nodes[self.node].procs[self.pid as usize].spec.accelerated {
+        if self.m.nodes[self.node].procs[self.pid as usize]
+            .spec
+            .accelerated
+        {
             self.charge(ACCEL_ENTRY_COST);
         } else {
             let crossing = self.m.nodes[self.node].procs[self.pid as usize]
@@ -1577,7 +1851,11 @@ impl AppCtx<'_> {
             } else {
                 WireData::Real(proc.mem.read(start, len as u32))
             };
-            (data, prepared.commands.len().max(1) as u32, prepared.prep_cost)
+            (
+                data,
+                prepared.commands.len().max(1) as u32,
+                prepared.prep_cost,
+            )
         };
         self.charge(prep_cost);
         let fw_proc = self.m.nodes[self.node].procs[self.pid as usize].fw_proc;
@@ -1608,10 +1886,10 @@ impl AppCtx<'_> {
         let cm = self.m.config.cost;
         self.api_entry();
         self.charge(cm.host_tx_proc);
-        let header = self
-            .proc()
-            .lib
-            .get(md, target, pt_index, ac_index, match_bits, remote_offset)?;
+        let header =
+            self.proc()
+                .lib
+                .get(md, target, pt_index, ac_index, match_bits, remote_offset)?;
         // Pre-compute the reply deposit buffer and push it down with the
         // command, so the firmware can deposit the reply without host
         // involvement.
@@ -1625,7 +1903,9 @@ impl AppCtx<'_> {
             (prepared.commands, prepared.prep_cost)
         };
         self.charge(prep_cost);
-        self.m.nodes[self.node].await_reply.insert((self.pid, md), dma);
+        self.m.nodes[self.node]
+            .await_reply
+            .insert((self.pid, md), dma);
         let fw_proc = self.m.nodes[self.node].procs[self.pid as usize].fw_proc;
         self.time = self.m.transmit_internal(
             self.q,

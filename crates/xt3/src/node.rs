@@ -4,7 +4,10 @@ use crate::app::{App, WaitRequest};
 use crate::config::{MachineConfig, NodeSpec, ProcSpec};
 use crate::host::HostCpu;
 use crate::wire::WireMsg;
-use std::collections::{HashMap, VecDeque};
+// BTreeMap/BTreeSet, not HashMap/HashSet: iteration order must be
+// deterministic for bit-identical replay (enforced by `cargo run -p
+// audit -- lint`).
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use xt3_firmware::control::{Firmware, FwMode, ProcIdx};
 use xt3_firmware::gbn::{GbnReceiver, GbnSender};
 use xt3_firmware::mailbox::FwEvent;
@@ -84,24 +87,24 @@ pub struct Node {
     pub procs: Vec<ProcState>,
     /// Host-managed TX pending free lists, per firmware-level process.
     pub(crate) tx_free: Vec<Vec<PendingId>>,
-    pub(crate) tx_store: HashMap<(ProcIdx, PendingId), TxRecord>,
-    pub(crate) rx_store: HashMap<(ProcIdx, PendingId), RxRecord>,
+    pub(crate) tx_store: BTreeMap<(ProcIdx, PendingId), TxRecord>,
+    pub(crate) rx_store: BTreeMap<(ProcIdx, PendingId), RxRecord>,
     /// The host-memory event queues the firmware posts into (generic
     /// procs only; accelerated completions are handled inline).
     pub(crate) fw_eq: Vec<VecDeque<FwEvent>>,
     /// Reply deposit buffers prepared at `PtlGet` time, keyed by
     /// `(pid, initiator MD)`.
-    pub(crate) await_reply: HashMap<(u32, MdHandle), Vec<DmaCommand>>,
+    pub(crate) await_reply: BTreeMap<(u32, MdHandle), Vec<DmaCommand>>,
     /// Go-back-n sender state per destination node.
-    pub(crate) gbn_tx: HashMap<u32, GbnSender<WireMsg>>,
+    pub(crate) gbn_tx: BTreeMap<u32, GbnSender<WireMsg>>,
     /// Go-back-n receiver state per source node.
-    pub(crate) gbn_rx: HashMap<u32, GbnReceiver>,
+    pub(crate) gbn_rx: BTreeMap<u32, GbnReceiver>,
     /// Transmits deferred because the go-back-n window was full, per
     /// destination node.
-    pub(crate) gbn_deferred: HashMap<u32, VecDeque<WireMsg>>,
+    pub(crate) gbn_deferred: BTreeMap<u32, VecDeque<WireMsg>>,
     /// Peers with a retransmission timer already armed (one timer per
     /// peer at a time).
-    pub(crate) gbn_timer_armed: std::collections::HashSet<u32>,
+    pub(crate) gbn_timer_armed: BTreeSet<u32>,
     /// The node hit unrecoverable resource exhaustion under the `Panic`
     /// policy (paper §4.3's shipped behaviour).
     pub panicked: bool,
@@ -200,14 +203,14 @@ impl Node {
             host: HostCpu::new(),
             procs,
             tx_free,
-            tx_store: HashMap::new(),
-            rx_store: HashMap::new(),
+            tx_store: BTreeMap::new(),
+            rx_store: BTreeMap::new(),
             fw_eq,
-            await_reply: HashMap::new(),
-            gbn_tx: HashMap::new(),
-            gbn_rx: HashMap::new(),
-            gbn_deferred: HashMap::new(),
-            gbn_timer_armed: std::collections::HashSet::new(),
+            await_reply: BTreeMap::new(),
+            gbn_tx: BTreeMap::new(),
+            gbn_rx: BTreeMap::new(),
+            gbn_deferred: BTreeMap::new(),
+            gbn_timer_armed: BTreeSet::new(),
             panicked: false,
             next_tag: (id.0 as u64) << 40,
         }

@@ -51,7 +51,14 @@ impl App for Sender {
                     ctx.write_mem(0, &payload);
                 }
                 let md = ctx
-                    .md_bind(0, self.len, MdOptions::default(), Threshold::Count(2), Some(eq), 0)
+                    .md_bind(
+                        0,
+                        self.len,
+                        MdOptions::default(),
+                        Threshold::Count(2),
+                        Some(eq),
+                        0,
+                    )
                     .unwrap();
                 self.md = Some(md);
                 let ack = if self.ack { AckReq::Ack } else { AckReq::NoAck };
@@ -114,7 +121,14 @@ impl App for Receiver {
                 let eq = ctx.eq_alloc(32).unwrap();
                 self.eq = Some(eq);
                 let me = ctx
-                    .me_attach(PT, ProcessId::any(), BITS, 0, UnlinkOp::Retain, InsertPos::After)
+                    .me_attach(
+                        PT,
+                        ProcessId::any(),
+                        BITS,
+                        0,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
                     .unwrap();
                 ctx.md_attach(
                     me,
@@ -191,7 +205,10 @@ fn small_put_is_byte_exact() {
     assert!(s.got_send_end);
     assert_eq!(r.mlength, 12);
     assert_eq!(r.hdr_data, 0x77);
-    assert_eq!(r.received, (0..12u64).map(|i| (i % 251) as u8).collect::<Vec<_>>());
+    assert_eq!(
+        r.received,
+        (0..12u64).map(|i| (i % 251) as u8).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -222,7 +239,8 @@ fn piggybacked_put_uses_one_interrupt_larger_uses_two() {
     let (_, _, m) = run_put(8, false, true, false);
     let rx_node = &m.nodes[1];
     assert_eq!(
-        rx_node.fw.counters().interrupts, 1,
+        rx_node.fw.counters().interrupts,
+        1,
         "piggybacked put: single receive-side interrupt"
     );
 
@@ -230,7 +248,8 @@ fn piggybacked_put_uses_one_interrupt_larger_uses_two() {
     let (_, _, m) = run_put(4096, false, true, false);
     let rx_node = &m.nodes[1];
     assert_eq!(
-        rx_node.fw.counters().interrupts, 2,
+        rx_node.fw.counters().interrupts,
+        2,
         "large put: header + completion interrupts"
     );
 }
@@ -286,7 +305,14 @@ impl App for Getter {
                 let eq = ctx.eq_alloc(32).unwrap();
                 self.eq = Some(eq);
                 let md = ctx
-                    .md_bind(0, self.len, MdOptions::default(), Threshold::Count(1), Some(eq), 0)
+                    .md_bind(
+                        0,
+                        self.len,
+                        MdOptions::default(),
+                        Threshold::Count(1),
+                        Some(eq),
+                        0,
+                    )
                     .unwrap();
                 ctx.get(md, ProcessId::new(1, 0), PT, 0, BITS, 0).unwrap();
                 ctx.wait_eq(eq);
@@ -329,7 +355,14 @@ impl App for GetServer {
                     ctx.write_mem(8192, &payload);
                 }
                 let me = ctx
-                    .me_attach(PT, ProcessId::any(), BITS, 0, UnlinkOp::Retain, InsertPos::After)
+                    .me_attach(
+                        PT,
+                        ProcessId::any(),
+                        BITS,
+                        0,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
                     .unwrap();
                 ctx.md_attach(
                     me,
@@ -374,7 +407,15 @@ fn run_get(len: u64, synthetic: bool) -> (Getter, bool, Machine) {
             received: Vec::new(),
         }),
     );
-    m.spawn(1, 0, Box::new(GetServer { len, served: false, eq: None }));
+    m.spawn(
+        1,
+        0,
+        Box::new(GetServer {
+            len,
+            served: false,
+            eq: None,
+        }),
+    );
     let mut engine = m.into_engine();
     assert_eq!(engine.run(), RunOutcome::Drained);
     let mut m = engine.into_model();
@@ -401,7 +442,9 @@ fn get_pulls_bytes_end_to_end() {
     assert!(served);
     assert_eq!(
         g.received,
-        (0..1000u64).map(|i| (i % 13) as u8 + 100).collect::<Vec<_>>()
+        (0..1000u64)
+            .map(|i| (i % 13) as u8 + 100)
+            .collect::<Vec<_>>()
     );
 }
 
@@ -456,7 +499,14 @@ fn exhaustion_panics_node_under_paper_policy() {
         fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
             if let AppEvent::Started = event {
                 let me = ctx
-                    .me_attach(PT, ProcessId::any(), BITS, 0, UnlinkOp::Retain, InsertPos::After)
+                    .me_attach(
+                        PT,
+                        ProcessId::any(),
+                        BITS,
+                        0,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
                     .unwrap();
                 ctx.md_attach(
                     me,
@@ -489,7 +539,10 @@ fn exhaustion_panics_node_under_paper_policy() {
     let mut engine = m.into_engine();
     engine.run();
     let m = engine.into_model();
-    assert!(m.nodes[1].panicked, "paper policy: node panics on exhaustion");
+    assert!(
+        m.nodes[1].panicked,
+        "paper policy: node panics on exhaustion"
+    );
 }
 
 #[test]
@@ -519,7 +572,14 @@ fn loopback_put_to_self() {
                     let eq = ctx.eq_alloc(16).unwrap();
                     self.eq = Some(eq);
                     let me = ctx
-                        .me_attach(PT, ProcessId::any(), BITS, 0, UnlinkOp::Retain, InsertPos::After)
+                        .me_attach(
+                            PT,
+                            ProcessId::any(),
+                            BITS,
+                            0,
+                            UnlinkOp::Retain,
+                            InsertPos::After,
+                        )
                         .unwrap();
                     ctx.md_attach(
                         me,
@@ -538,7 +598,8 @@ fn loopback_put_to_self() {
                         .md_bind(0, 4, MdOptions::default(), Threshold::Count(1), None, 0)
                         .unwrap();
                     let myself = ctx.my_id();
-                    ctx.put(md, AckReq::NoAck, myself, PT, 0, BITS, 0, 0).unwrap();
+                    ctx.put(md, AckReq::NoAck, myself, PT, 0, BITS, 0, 0)
+                        .unwrap();
                     ctx.wait_eq(eq);
                 }
                 AppEvent::Ptl(ev) if ev.kind == EventKind::PutEnd => {
@@ -555,7 +616,14 @@ fn loopback_put_to_self() {
     }
 
     let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
-    m.spawn(0, 0, Box::new(SelfPut { eq: None, got: false }));
+    m.spawn(
+        0,
+        0,
+        Box::new(SelfPut {
+            eq: None,
+            got: false,
+        }),
+    );
     let mut engine = m.into_engine();
     engine.run();
     let mut m = engine.into_model();
@@ -629,7 +697,15 @@ fn accelerated_get_is_byte_exact_and_interrupt_free() {
             received: Vec::new(),
         }),
     );
-    m.spawn(1, 0, Box::new(GetServer { len: 2000, served: false, eq: None }));
+    m.spawn(
+        1,
+        0,
+        Box::new(GetServer {
+            len: 2000,
+            served: false,
+            eq: None,
+        }),
+    );
     let mut engine = m.into_engine();
     assert_eq!(engine.run(), RunOutcome::Drained);
     let mut m = engine.into_model();
@@ -639,7 +715,9 @@ fn accelerated_get_is_byte_exact_and_interrupt_free() {
     assert!(g.got_reply);
     assert_eq!(
         g.received,
-        (0..2000u64).map(|i| (i % 13) as u8 + 100).collect::<Vec<_>>()
+        (0..2000u64)
+            .map(|i| (i % 13) as u8 + 100)
+            .collect::<Vec<_>>()
     );
     assert_eq!(m.nodes[0].fw.counters().interrupts, 0);
     assert_eq!(m.nodes[1].fw.counters().interrupts, 0);

@@ -87,7 +87,10 @@ fn ras_heartbeat_ticks_while_apps_run() {
 
 #[test]
 fn heartbeat_disabled_by_default() {
-    let mut m = Machine::new(MachineConfig::paper_pair(), &[NodeSpec::catamount_compute()]);
+    let mut m = Machine::new(
+        MachineConfig::paper_pair(),
+        &[NodeSpec::catamount_compute()],
+    );
     m.spawn(0, 0, Box::new(Idle(SimTime::from_us(100))));
     let mut engine = m.into_engine();
     engine.run();

@@ -30,7 +30,14 @@ impl App for OnePut {
             AppEvent::Started => {
                 let eq = ctx.eq_alloc(8).unwrap();
                 let md = ctx
-                    .md_bind(0, self.len, MdOptions::default(), Threshold::Count(1), Some(eq), 0)
+                    .md_bind(
+                        0,
+                        self.len,
+                        MdOptions::default(),
+                        Threshold::Count(1),
+                        Some(eq),
+                        0,
+                    )
                     .unwrap();
                 ctx.put(md, AckReq::NoAck, ProcessId::new(1, 0), PT, 0, BITS, 0, 0)
                     .unwrap();
@@ -55,7 +62,14 @@ impl App for OneSink {
                 let eq = ctx.eq_alloc(8).unwrap();
                 self.eq = Some(eq);
                 let me = ctx
-                    .me_attach(PT, ProcessId::any(), BITS, 0, UnlinkOp::Retain, InsertPos::After)
+                    .me_attach(
+                        PT,
+                        ProcessId::any(),
+                        BITS,
+                        0,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
                     .unwrap();
                 ctx.md_attach(
                     me,
@@ -88,8 +102,23 @@ impl App for OneSink {
 fn put_end_time(len: u64, cost: CostModel) -> SimTime {
     let config = MachineConfig::paper_pair().with_cost(cost);
     let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
-    m.spawn(0, 0, Box::new(OnePut { len, done_at: SimTime::ZERO }));
-    m.spawn(1, 0, Box::new(OneSink { len, eq: None, put_end_at: SimTime::ZERO }));
+    m.spawn(
+        0,
+        0,
+        Box::new(OnePut {
+            len,
+            done_at: SimTime::ZERO,
+        }),
+    );
+    m.spawn(
+        1,
+        0,
+        Box::new(OneSink {
+            len,
+            eq: None,
+            put_end_at: SimTime::ZERO,
+        }),
+    );
     let mut engine = m.into_engine();
     engine.run();
     let mut m = engine.into_model();

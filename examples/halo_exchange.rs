@@ -12,9 +12,9 @@
 use portals_xt3::mpi::collectives::AllReduce;
 use portals_xt3::mpi::{CompletionKind, MpiEndpoint, Personality, ReqId};
 use portals_xt3::portals::types::ProcessId;
+use portals_xt3::topology::coord::Dims;
 use portals_xt3::xt3::config::{MachineConfig, NodeSpec, OsKind, ProcSpec};
 use portals_xt3::xt3::{App, AppCtx, AppEvent, Machine};
-use portals_xt3::topology::coord::Dims;
 use std::any::Any;
 use std::collections::HashSet;
 
@@ -109,7 +109,10 @@ impl App for HaloRank {
                 match self.phase {
                     Phase::Exchange => {
                         self.pending.remove(&c.req);
-                        debug_assert!(matches!(c.kind, CompletionKind::Send | CompletionKind::Recv));
+                        debug_assert!(matches!(
+                            c.kind,
+                            CompletionKind::Send | CompletionKind::Recv
+                        ));
                         if self.pending.is_empty() {
                             self.start_reduce(&mut ep, ctx);
                         }

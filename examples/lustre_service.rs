@@ -48,7 +48,14 @@ impl App for ObjectService {
                 self.eq = Some(eq);
                 // Request portal: tiny descriptors, locally managed.
                 let me = ctx
-                    .me_attach(PT_REQ, ProcessId::any(), 0, u64::MAX, UnlinkOp::Retain, InsertPos::After)
+                    .me_attach(
+                        PT_REQ,
+                        ProcessId::any(),
+                        0,
+                        u64::MAX,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
                     .unwrap();
                 ctx.md_attach(
                     me,
@@ -65,7 +72,14 @@ impl App for ObjectService {
                 .unwrap();
                 // Bulk-write portal: clients deposit object data here.
                 let me = ctx
-                    .me_attach(PT_BULK, ProcessId::any(), 0, u64::MAX, UnlinkOp::Retain, InsertPos::After)
+                    .me_attach(
+                        PT_BULK,
+                        ProcessId::any(),
+                        0,
+                        u64::MAX,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
                     .unwrap();
                 ctx.md_attach(
                     me,
@@ -95,10 +109,26 @@ impl App for ObjectService {
                     if op == 1 {
                         // READ: put the object back to the client.
                         let md = ctx
-                            .md_bind(8 << 20, OBJ_BYTES, MdOptions::default(), Threshold::Count(1), Some(self.eq.unwrap()), 3)
+                            .md_bind(
+                                8 << 20,
+                                OBJ_BYTES,
+                                MdOptions::default(),
+                                Threshold::Count(1),
+                                Some(self.eq.unwrap()),
+                                3,
+                            )
                             .unwrap();
-                        ctx.put(md, AckReq::NoAck, ProcessId::new(client, 0), PT_REPLY, 0, 0, 0, 0)
-                            .unwrap();
+                        ctx.put(
+                            md,
+                            AckReq::NoAck,
+                            ProcessId::new(client, 0),
+                            PT_REPLY,
+                            0,
+                            0,
+                            0,
+                            0,
+                        )
+                        .unwrap();
                         self.reads_served += 1;
                     }
                 } else if ev.kind == EventKind::PutEnd && ev.user_ptr == 2 {
@@ -134,7 +164,14 @@ impl App for Heartbeat {
                 let eq = ctx.eq_alloc(64).unwrap();
                 self.eq = Some(eq);
                 let me = ctx
-                    .me_attach(PT_HEARTBEAT, ProcessId::any(), 0, u64::MAX, UnlinkOp::Retain, InsertPos::After)
+                    .me_attach(
+                        PT_HEARTBEAT,
+                        ProcessId::any(),
+                        0,
+                        u64::MAX,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
                     .unwrap();
                 ctx.md_attach(
                     me,
@@ -197,7 +234,14 @@ impl App for Client {
                 self.eq = Some(eq);
                 // Reply portal for the read.
                 let me = ctx
-                    .me_attach(PT_REPLY, ProcessId::any(), 0, u64::MAX, UnlinkOp::Retain, InsertPos::After)
+                    .me_attach(
+                        PT_REPLY,
+                        ProcessId::any(),
+                        0,
+                        u64::MAX,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
                     .unwrap();
                 ctx.md_attach(
                     me,
@@ -215,16 +259,33 @@ impl App for Client {
                 .unwrap();
                 // WRITE: bulk object to the service.
                 let md = ctx
-                    .md_bind(OBJ_BYTES, OBJ_BYTES, MdOptions::default(), Threshold::Count(1), None, 0)
+                    .md_bind(
+                        OBJ_BYTES,
+                        OBJ_BYTES,
+                        MdOptions::default(),
+                        Threshold::Count(1),
+                        None,
+                        0,
+                    )
                     .unwrap();
-                ctx.put(md, AckReq::NoAck, SERVICE, PT_BULK, 0, 0, 0, 0).unwrap();
+                ctx.put(md, AckReq::NoAck, SERVICE, PT_BULK, 0, 0, 0, 0)
+                    .unwrap();
                 // READ request descriptor: hdr_data = (1 << 32) | my nid.
                 let md = ctx
                     .md_bind(0, 16, MdOptions::default(), Threshold::Count(1), None, 0)
                     .unwrap();
                 let me_nid = ctx.my_id().nid;
-                ctx.put(md, AckReq::NoAck, SERVICE, PT_REQ, 0, 0, 0, (1u64 << 32) | me_nid as u64)
-                    .unwrap();
+                ctx.put(
+                    md,
+                    AckReq::NoAck,
+                    SERVICE,
+                    PT_REQ,
+                    0,
+                    0,
+                    0,
+                    (1u64 << 32) | me_nid as u64,
+                )
+                .unwrap();
                 ctx.wait_eq(eq);
             }
             AppEvent::Ptl(ev) => {
@@ -270,15 +331,35 @@ fn main() {
     };
     let mut m = Machine::new(config, &[service_node, compute.clone(), compute]);
     m.spawn(0, 0, Box::new(Heartbeat { eq: None, beats: 0 }));
-    m.spawn(0, 1, Box::new(ObjectService { eq: None, reads_served: 0, writes_accepted: 0 }));
+    m.spawn(
+        0,
+        1,
+        Box::new(ObjectService {
+            eq: None,
+            reads_served: 0,
+            writes_accepted: 0,
+        }),
+    );
     for nid in 1..=N_CLIENTS {
-        m.spawn(nid, 0, Box::new(Client { eq: None, got_reply: false, reply_bytes: 0 }));
+        m.spawn(
+            nid,
+            0,
+            Box::new(Client {
+                eq: None,
+                got_reply: false,
+                reply_bytes: 0,
+            }),
+        );
     }
     let mut engine = m.into_engine();
     engine.run();
     let finished = engine.now();
     let mut m = engine.into_model();
-    assert_eq!(m.running_apps(), 0, "service, heartbeat and clients all finish");
+    assert_eq!(
+        m.running_apps(),
+        0,
+        "service, heartbeat and clients all finish"
+    );
 
     let mut svc = m.take_app(0, 1).unwrap();
     let svc = svc.as_any().downcast_mut::<ObjectService>().unwrap();

@@ -43,12 +43,22 @@ fn run(personality: Personality) {
     m.spawn(
         0,
         0,
-        Box::new(MpiDriver::new(MpiPattern::PingPong, personality, schedule.clone(), 0)),
+        Box::new(MpiDriver::new(
+            MpiPattern::PingPong,
+            personality,
+            schedule.clone(),
+            0,
+        )),
     );
     m.spawn(
         1,
         0,
-        Box::new(MpiDriver::new(MpiPattern::PingPong, personality, schedule, 1)),
+        Box::new(MpiDriver::new(
+            MpiPattern::PingPong,
+            personality,
+            schedule,
+            1,
+        )),
     );
     let mut engine = m.into_engine();
     engine.run();
@@ -61,9 +71,16 @@ fn run(personality: Personality) {
         .expect("driver")
         .results;
 
-    println!("{:>12} {:>14} {:>14} {:>12}", "bytes", "latency (us)", "bw (MB/s)", "protocol");
+    println!(
+        "{:>12} {:>14} {:>14} {:>12}",
+        "bytes", "latency (us)", "bw (MB/s)", "protocol"
+    );
     for r in results {
-        let proto = if r.size <= personality.eager_max { "eager" } else { "rendezvous" };
+        let proto = if r.size <= personality.eager_max {
+            "eager"
+        } else {
+            "rendezvous"
+        };
         println!(
             "{:>12} {:>14.3} {:>14.2} {:>12}",
             r.size,

@@ -12,7 +12,9 @@ use portals_xt3::netpipe::runner::{run_curve, NetpipeConfig, TestKind, Transport
 use portals_xt3::netpipe::Schedule;
 
 fn usage() -> ! {
-    eprintln!("usage: netpipe_cli <put|get|mpich1|mpich2> <pingpong|stream|bidir> [max_bytes] [--accel]");
+    eprintln!(
+        "usage: netpipe_cli <put|get|mpich1|mpich2> <pingpong|stream|bidir> [max_bytes] [--accel]"
+    );
     std::process::exit(2);
 }
 

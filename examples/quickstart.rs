@@ -29,16 +29,39 @@ impl App for Sender {
     fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
         match event {
             AppEvent::Started => {
-                println!("[{}] sender: writing {} bytes into memory", ctx.now(), MESSAGE.len());
+                println!(
+                    "[{}] sender: writing {} bytes into memory",
+                    ctx.now(),
+                    MESSAGE.len()
+                );
                 ctx.write_mem(0, MESSAGE);
                 let eq = ctx.eq_alloc(16).expect("eq_alloc");
                 self.eq = Some(eq);
                 let md = ctx
-                    .md_bind(0, MESSAGE.len() as u64, MdOptions::default(), Threshold::Count(1), Some(eq), 0)
+                    .md_bind(
+                        0,
+                        MESSAGE.len() as u64,
+                        MdOptions::default(),
+                        Threshold::Count(1),
+                        Some(eq),
+                        0,
+                    )
                     .expect("md_bind");
-                println!("[{}] sender: PtlPut -> node 1, portal {PORTAL}, bits {MATCH_BITS:#x}", ctx.now());
-                ctx.put(md, AckReq::Ack, ProcessId::new(1, 0), PORTAL, 0, MATCH_BITS, 0, 0xCAFE)
-                    .expect("put");
+                println!(
+                    "[{}] sender: PtlPut -> node 1, portal {PORTAL}, bits {MATCH_BITS:#x}",
+                    ctx.now()
+                );
+                ctx.put(
+                    md,
+                    AckReq::Ack,
+                    ProcessId::new(1, 0),
+                    PORTAL,
+                    0,
+                    MATCH_BITS,
+                    0,
+                    0xCAFE,
+                )
+                .expect("put");
                 ctx.wait_eq(eq);
             }
             AppEvent::Ptl(ev) => {
@@ -48,7 +71,11 @@ impl App for Sender {
                         self.done.0 = true;
                     }
                     EventKind::Ack => {
-                        println!("[{}] sender: ACK from the target, mlength={}", ctx.now(), ev.mlength);
+                        println!(
+                            "[{}] sender: ACK from the target, mlength={}",
+                            ctx.now(),
+                            ev.mlength
+                        );
                         self.done.1 = true;
                     }
                     other => println!("[{}] sender: event {other:?}", ctx.now()),
@@ -81,11 +108,29 @@ impl App for Receiver {
                 let eq = ctx.eq_alloc(16).expect("eq_alloc");
                 self.eq = Some(eq);
                 let me = ctx
-                    .me_attach(PORTAL, ProcessId::any(), MATCH_BITS, 0, UnlinkOp::Retain, InsertPos::After)
+                    .me_attach(
+                        PORTAL,
+                        ProcessId::any(),
+                        MATCH_BITS,
+                        0,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
                     .expect("me_attach");
-                ctx.md_attach(me, 4096, 1024, MdOptions::put_target(), Threshold::Infinite, Some(eq), 0)
-                    .expect("md_attach");
-                println!("[{}] receiver: ME attached on portal {PORTAL}, waiting", ctx.now());
+                ctx.md_attach(
+                    me,
+                    4096,
+                    1024,
+                    MdOptions::put_target(),
+                    Threshold::Infinite,
+                    Some(eq),
+                    0,
+                )
+                .expect("md_attach");
+                println!(
+                    "[{}] receiver: ME attached on portal {PORTAL}, waiting",
+                    ctx.now()
+                );
                 ctx.wait_eq(eq);
             }
             AppEvent::Ptl(ev) => match ev.kind {
@@ -120,7 +165,14 @@ fn main() {
     let mut config = MachineConfig::paper_pair();
     config.synthetic_payload = false; // carry real bytes
     let mut machine = Machine::new(config, &[NodeSpec::catamount_compute()]);
-    machine.spawn(0, 0, Box::new(Sender { eq: None, done: (false, false) }));
+    machine.spawn(
+        0,
+        0,
+        Box::new(Sender {
+            eq: None,
+            done: (false, false),
+        }),
+    );
     machine.spawn(1, 0, Box::new(Receiver { eq: None }));
 
     let mut engine = machine.into_engine();

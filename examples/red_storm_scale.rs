@@ -42,7 +42,14 @@ impl App for NeighborPusher {
                 let eq = ctx.eq_alloc(128).unwrap();
                 self.eq = Some(eq);
                 let me = ctx
-                    .me_attach(PT, ProcessId::any(), BITS, 0, UnlinkOp::Retain, InsertPos::After)
+                    .me_attach(
+                        PT,
+                        ProcessId::any(),
+                        BITS,
+                        0,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
                     .unwrap();
                 ctx.md_attach(
                     me,
@@ -59,10 +66,18 @@ impl App for NeighborPusher {
                 )
                 .unwrap();
                 let md = ctx
-                    .md_bind(0, MSG, MdOptions::default(), Threshold::Infinite, Some(eq), 1)
+                    .md_bind(
+                        0,
+                        MSG,
+                        MdOptions::default(),
+                        Threshold::Infinite,
+                        Some(eq),
+                        1,
+                    )
                     .unwrap();
                 let target = ProcessId::new((self.me + 1) % self.n, 0);
-                ctx.put(md, AckReq::NoAck, target, PT, 0, BITS, 0, 0).unwrap();
+                ctx.put(md, AckReq::NoAck, target, PT, 0, BITS, 0, 0)
+                    .unwrap();
                 self.sent = 1;
                 ctx.wait_eq(eq);
             }
@@ -70,7 +85,8 @@ impl App for NeighborPusher {
                 match (ev.user_ptr, ev.kind) {
                     (1, EventKind::SendEnd) if self.sent < ROUNDS => {
                         let target = ProcessId::new((self.me + 1) % self.n, 0);
-                        ctx.put(ev.md, AckReq::NoAck, target, PT, 0, BITS, 0, 0).unwrap();
+                        ctx.put(ev.md, AckReq::NoAck, target, PT, 0, BITS, 0, 0)
+                            .unwrap();
                         self.sent += 1;
                     }
                     (0, EventKind::PutEnd) => {
@@ -104,10 +120,23 @@ fn main() {
             ..ProcSpec::catamount_generic()
         }],
     };
-    println!("building {n}-node Red Storm slice ({}x{}x{}, torus in z)...", dims.nx, dims.ny, dims.nz);
+    println!(
+        "building {n}-node Red Storm slice ({}x{}x{}, torus in z)...",
+        dims.nx, dims.ny, dims.nz
+    );
     let mut m = Machine::new(config, &[spec]);
     for node in 0..n {
-        m.spawn(node, 0, Box::new(NeighborPusher { me: node, n, eq: None, sent: 0, received: 0 }));
+        m.spawn(
+            node,
+            0,
+            Box::new(NeighborPusher {
+                me: node,
+                n,
+                eq: None,
+                sent: 0,
+                received: 0,
+            }),
+        );
     }
 
     let start = std::time::Instant::now();
@@ -148,9 +177,21 @@ fn main() {
     );
 
     // Mean host and PPC utilization across nodes.
-    let host_util: f64 =
-        m.nodes.iter().map(|nd| nd.host.utilization(sim_time)).sum::<f64>() / n as f64;
-    let ppc_util: f64 =
-        m.nodes.iter().map(|nd| nd.chip.ppc.utilization(sim_time)).sum::<f64>() / n as f64;
-    println!("mean host utilization {:.1}% | mean PPC utilization {:.1}%", host_util * 100.0, ppc_util * 100.0);
+    let host_util: f64 = m
+        .nodes
+        .iter()
+        .map(|nd| nd.host.utilization(sim_time))
+        .sum::<f64>()
+        / n as f64;
+    let ppc_util: f64 = m
+        .nodes
+        .iter()
+        .map(|nd| nd.chip.ppc.utilization(sim_time))
+        .sum::<f64>()
+        / n as f64;
+    println!(
+        "mean host utilization {:.1}% | mean PPC utilization {:.1}%",
+        host_util * 100.0,
+        ppc_util * 100.0
+    );
 }

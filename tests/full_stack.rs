@@ -57,11 +57,19 @@ impl App for Pusher {
                 let eq = ctx.eq_alloc(1024).unwrap();
                 self.eq = Some(eq);
                 let md = ctx
-                    .md_bind(0, self.len, MdOptions::default(), Threshold::Infinite, Some(eq), 0)
+                    .md_bind(
+                        0,
+                        self.len,
+                        MdOptions::default(),
+                        Threshold::Infinite,
+                        Some(eq),
+                        0,
+                    )
                     .unwrap();
                 let first_burst = if self.burst { self.count } else { 1 };
                 for _ in 0..first_burst {
-                    ctx.put(md, AckReq::NoAck, self.target, PT, 0, BITS, 0, 0).unwrap();
+                    ctx.put(md, AckReq::NoAck, self.target, PT, 0, BITS, 0, 0)
+                        .unwrap();
                 }
                 self.sent = first_burst;
                 ctx.wait_eq(eq);
@@ -131,7 +139,14 @@ impl App for Collector {
                 let eq = ctx.eq_alloc(256).unwrap();
                 self.eq = Some(eq);
                 let me = ctx
-                    .me_attach(PT, ProcessId::any(), BITS, 0, UnlinkOp::Retain, InsertPos::After)
+                    .me_attach(
+                        PT,
+                        ProcessId::any(),
+                        BITS,
+                        0,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
                     .unwrap();
                 ctx.md_attach(
                     me,
@@ -206,7 +221,11 @@ fn linux_client_to_catamount_target_is_byte_exact() {
         }],
     };
     let mut m = Machine::new(config, &[linux, cat]);
-    m.spawn(0, 0, Box::new(Pusher::new(ProcessId::new(1, 0), 100_000, 3)));
+    m.spawn(
+        0,
+        0,
+        Box::new(Pusher::new(ProcessId::new(1, 0), 100_000, 3)),
+    );
     m.spawn(1, 0, Box::new(Collector::new(100_000, 3)));
     let mut engine = m.into_engine();
     engine.run();
@@ -214,7 +233,10 @@ fn linux_client_to_catamount_target_is_byte_exact() {
     assert_eq!(m.running_apps(), 0);
     let c = harvest_collector(&mut m, 1);
     assert_eq!(c.got, 3);
-    assert!(!c.corrupt, "paged scatter/gather delivery must be byte exact");
+    assert!(
+        !c.corrupt,
+        "paged scatter/gather delivery must be byte exact"
+    );
     // The Linux sender's buffers needed one DMA command per 4 KB page.
     assert!(
         m.nodes[0].chip.tx_dma.commands() > 3 * 20,
@@ -254,7 +276,11 @@ fn go_back_n_recovers_byte_exact_under_exhaustion() {
     config.fw.tx_pendings = 64;
     config.exhaustion = ExhaustionPolicy::GoBackN;
     let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
-    m.spawn(0, 0, Box::new(Pusher::burst(ProcessId::new(1, 0), 2048, 24)));
+    m.spawn(
+        0,
+        0,
+        Box::new(Pusher::burst(ProcessId::new(1, 0), 2048, 24)),
+    );
     m.spawn(1, 0, Box::new(Collector::new(2048, 24)));
     let mut engine = m.into_engine();
     engine.run();
@@ -277,7 +303,11 @@ fn wire_crc_errors_delay_but_do_not_corrupt() {
     config.synthetic_payload = false;
     config.fabric.link.crc_error_prob = 0.25;
     let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
-    m.spawn(0, 0, Box::new(Pusher::new(ProcessId::new(1, 0), 64 << 10, 4)));
+    m.spawn(
+        0,
+        0,
+        Box::new(Pusher::new(ProcessId::new(1, 0), 64 << 10, 4)),
+    );
     m.spawn(1, 0, Box::new(Collector::new(64 << 10, 4)));
     let mut engine = m.into_engine();
     engine.run();
@@ -285,7 +315,11 @@ fn wire_crc_errors_delay_but_do_not_corrupt() {
         let mut config = MachineConfig::paper_pair();
         config.synthetic_payload = false;
         let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
-        m.spawn(0, 0, Box::new(Pusher::new(ProcessId::new(1, 0), 64 << 10, 4)));
+        m.spawn(
+            0,
+            0,
+            Box::new(Pusher::new(ProcessId::new(1, 0), 64 << 10, 4)),
+        );
         m.spawn(1, 0, Box::new(Collector::new(64 << 10, 4)));
         let mut e2 = m.into_engine();
         e2.run();
@@ -294,7 +328,10 @@ fn wire_crc_errors_delay_but_do_not_corrupt() {
     };
     let mut m = engine.into_model();
     assert_eq!(m.running_apps(), 0);
-    assert!(m.fabric.total_retries() > 0, "a 25% CRC error rate must trigger retries");
+    assert!(
+        m.fabric.total_retries() > 0,
+        "a 25% CRC error rate must trigger retries"
+    );
     let c = harvest_collector(&mut m, 1);
     assert!(!c.corrupt);
     assert!(c.done_at > clean_time, "link retries must cost time");
@@ -311,7 +348,11 @@ fn determinism_across_identical_runs() {
         engine.run();
         let at = engine.now();
         let m = engine.into_model();
-        (at, m.fabric.bytes_sent(), m.nodes[1].fw.counters().interrupts)
+        (
+            at,
+            m.fabric.bytes_sent(),
+            m.nodes[1].fw.counters().interrupts,
+        )
     };
     assert_eq!(run(), run(), "same configuration, bit-identical outcome");
 }
@@ -324,7 +365,11 @@ fn many_senders_one_target_serializes_through_source_lists() {
     let config = MachineConfig::paper(dims);
     let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
     for nid in 1..5 {
-        m.spawn(nid, 0, Box::new(Pusher::new(ProcessId::new(0, 0), 16 << 10, 6)));
+        m.spawn(
+            nid,
+            0,
+            Box::new(Pusher::new(ProcessId::new(0, 0), 16 << 10, 6)),
+        );
     }
     m.spawn(0, 0, Box::new(Collector::new(16 << 10, 24)));
     let mut engine = m.into_engine();
@@ -347,7 +392,11 @@ fn accelerated_and_generic_nodes_interoperate() {
     let generic = NodeSpec::catamount_compute();
     // Accelerated sender, generic receiver.
     let mut m = Machine::new(config, &[accel, generic]);
-    m.spawn(0, 0, Box::new(Pusher::new(ProcessId::new(1, 0), 32 << 10, 3)));
+    m.spawn(
+        0,
+        0,
+        Box::new(Pusher::new(ProcessId::new(1, 0), 32 << 10, 3)),
+    );
     m.spawn(1, 0, Box::new(Collector::new(32 << 10, 3)));
     let mut engine = m.into_engine();
     engine.run();
@@ -356,8 +405,15 @@ fn accelerated_and_generic_nodes_interoperate() {
     let c = harvest_collector(&mut m, 1);
     assert_eq!(c.got, 3);
     assert!(!c.corrupt);
-    assert_eq!(m.nodes[0].fw.counters().interrupts, 0, "accelerated sender takes none");
-    assert!(m.nodes[1].fw.counters().interrupts > 0, "generic receiver still interrupt-driven");
+    assert_eq!(
+        m.nodes[0].fw.counters().interrupts,
+        0,
+        "accelerated sender takes none"
+    );
+    assert!(
+        m.nodes[1].fw.counters().interrupts > 0,
+        "generic receiver still interrupt-driven"
+    );
 }
 
 #[test]
@@ -399,7 +455,11 @@ fn e2e_crc_rejection_under_panic_policy_loses_messages() {
     config.fabric.link.e2e_error_prob = 0.3;
     config.exhaustion = ExhaustionPolicy::Panic;
     let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
-    m.spawn(0, 0, Box::new(Pusher::burst(ProcessId::new(1, 0), 1024, 20)));
+    m.spawn(
+        0,
+        0,
+        Box::new(Pusher::burst(ProcessId::new(1, 0), 1024, 20)),
+    );
     m.spawn(1, 0, Box::new(Collector::new(1024, 20)));
     let mut engine = m.into_engine();
     // The collector waits forever for the lost messages; bound the run.
@@ -417,7 +477,11 @@ fn mailbox_backpressure_never_drops_commands() {
     // (§4.1) instead of losing transmits; everything still delivers.
     let config = MachineConfig::paper_pair();
     let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
-    m.spawn(0, 0, Box::new(Pusher::burst(ProcessId::new(1, 0), 512, 200)));
+    m.spawn(
+        0,
+        0,
+        Box::new(Pusher::burst(ProcessId::new(1, 0), 512, 200)),
+    );
     m.spawn(1, 0, Box::new(Collector::new(512, 200)));
     let mut engine = m.into_engine();
     engine.run();

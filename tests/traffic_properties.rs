@@ -38,7 +38,14 @@ impl App for TrafficNode {
                 let eq = ctx.eq_alloc(2048).unwrap();
                 self.eq = Some(eq);
                 let me = ctx
-                    .me_attach(PT, ProcessId::any(), BITS, 0, UnlinkOp::Retain, InsertPos::After)
+                    .me_attach(
+                        PT,
+                        ProcessId::any(),
+                        BITS,
+                        0,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
                     .unwrap();
                 ctx.md_attach(
                     me,
@@ -68,8 +75,17 @@ impl App for TrafficNode {
                         )
                         .unwrap();
                     let hdr_data = ((self.me as u64) << 32) | i as u64;
-                    ctx.put(md, AckReq::NoAck, ProcessId::new(target, 0), PT, 0, BITS, 0, hdr_data)
-                        .unwrap();
+                    ctx.put(
+                        md,
+                        AckReq::NoAck,
+                        ProcessId::new(target, 0),
+                        PT,
+                        0,
+                        BITS,
+                        0,
+                        hdr_data,
+                    )
+                    .unwrap();
                     self.next_send = i + 1;
                 }
                 if self.done() {

@@ -1,0 +1,170 @@
+//! Offline stand-in for `criterion`, covering the API the workspace's
+//! benches use: `Criterion::bench_function`, `benchmark_group` /
+//! `bench_with_input` / `finish`, `BenchmarkId::from_parameter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no crates.io access, so the real criterion
+//! cannot be fetched. This harness keeps `cargo bench` working with the
+//! same sources: each benchmark runs a short warm-up, then a fixed number
+//! of timed iterations, and prints min/mean/max wall-clock per iteration.
+//! No statistical analysis, no HTML reports, no comparison against saved
+//! baselines — restore the real criterion (one-line dependency change in
+//! the root manifest) for those.
+//!
+//! Wall-clock timing here is intentional and exempt from the repo's
+//! determinism audit: this crate measures the *simulator's* host-time
+//! performance, never simulated time (`cargo run -p audit -- lint` scans
+//! `crates/`, not `vendor/`).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 12 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: u64) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations for benches in this group.
+    pub fn sample_size(&mut self, n: u64) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the stub).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a bench within a group by its parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Identify a bench by function name and parameter value.
+    pub fn new<P: std::fmt::Display>(function: &str, p: P) -> Self {
+        BenchmarkId(format!("{function}/{p}"))
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    sample_size: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: u64) -> Self {
+        Bencher {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time the closure: one untimed warm-up call, then `sample_size`
+    /// timed iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let max = self.samples.iter().max().copied().unwrap_or_default();
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "{name:<44} [{min:>12.3?} {mean:>12.3?} {max:>12.3?}]  ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for one or more groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

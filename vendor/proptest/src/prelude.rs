@@ -1,0 +1,5 @@
+//! The `proptest::prelude` the workspace tests import.
+
+pub use crate::strategy::{any, Just, Strategy};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};

@@ -1,0 +1,54 @@
+//! Test-runner configuration and case outcomes.
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+/// Exposed in the prelude as `ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real default is 256; the stub trims it to keep `cargo test`
+        // fast while still exercising edge-biased sampling.
+        Config { cases: 48 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property failed; the test panics with this message.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; it is resampled.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason (mirrors `TestCaseError::fail`).
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds hermetically (no crates.io), so this crate
+//! supplies just enough surface for `use serde::{Deserialize, Serialize}`
+//! plus `#[derive(Serialize, Deserialize)]` to compile: marker traits and
+//! the no-op derives from the sibling `serde_derive` stub. No code in the
+//! workspace relies on actual serde serialization; JSON output is
+//! hand-rolled where needed (`xt3-netpipe::report`). Restoring the real
+//! serde is a one-line dependency change in the root manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the no-op
+/// derive never implements it and nothing bounds on it).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}
