@@ -16,7 +16,7 @@
 use std::any::Any;
 use std::fmt;
 
-use xt3_netpipe::runner::{build_engine, NetpipeConfig, TestKind, Transport};
+use xt3_netpipe::runner::{build_engine, scenario_matrix, scenario_name, NetpipeConfig};
 use xt3_node::config::{ExhaustionPolicy, MachineConfig, NodeSpec};
 use xt3_node::{App, AppCtx, AppEvent, Machine};
 use xt3_portals::event::EventKind;
@@ -103,6 +103,20 @@ pub fn lockstep<M: Model>(
                 ),
             });
         }
+        // The event stream can agree while model-internal state (trace
+        // digest, fault-injection decisions, recovery counters) drifts;
+        // the state fingerprint closes that gap.
+        if a.state_fingerprint() != b.state_fingerprint() {
+            return Err(Divergence {
+                scenario: name.to_string(),
+                index: a.dispatched(),
+                detail: format!(
+                    "state fingerprint {:#018x} vs {:#018x} (event streams agree)",
+                    a.state_fingerprint(),
+                    b.state_fingerprint()
+                ),
+            });
+        }
     }
 }
 
@@ -126,26 +140,18 @@ impl Scenario {
     }
 }
 
-/// The NetPIPE scenarios: every transport × pattern, on the quick size
-/// schedule capped at `max_size` bytes.
+/// The NetPIPE scenarios: every transport × pattern from
+/// [`scenario_matrix`] — the same enumeration the fault campaign sweeps,
+/// so audit coverage and campaign coverage cannot drift apart — on the
+/// quick size schedule capped at `max_size` bytes.
 pub fn netpipe_scenarios(max_size: u64) -> Vec<Scenario> {
-    let transports = [
-        Transport::Put,
-        Transport::Get,
-        Transport::Mpich1,
-        Transport::Mpich2,
-    ];
-    let kinds = [TestKind::PingPong, TestKind::Stream, TestKind::Bidir];
-    let mut out = Vec::new();
-    for &t in &transports {
-        for &k in &kinds {
-            out.push(Scenario {
-                name: format!("netpipe/{}-{:?}", t.label(), k).to_lowercase(),
-                build: Box::new(move || build_engine(&NetpipeConfig::quick(max_size), t, k)),
-            });
-        }
-    }
-    out
+    scenario_matrix()
+        .into_iter()
+        .map(|(t, k)| Scenario {
+            name: scenario_name(t, k),
+            build: Box::new(move || build_engine(&NetpipeConfig::quick(max_size), t, k)),
+        })
+        .collect()
 }
 
 /// The tier-1 end-to-end configurations, replayed: go-back-N recovery
@@ -217,11 +223,29 @@ pub fn crc_noise_engine(seed: u64) -> Engine<Machine> {
     m.into_engine()
 }
 
+/// A fault-injected NetPIPE replay: wire faults at a rate high enough to
+/// force go-back-n recovery on every round. Replaying it in lockstep
+/// proves the injector's decisions — drops, corruptions, reorders — are
+/// part of the deterministic contract, not just the clean path.
+pub fn fault_scenario() -> Scenario {
+    Scenario {
+        name: "e2e/fault-injection".to_string(),
+        build: Box::new(|| {
+            let plan = xt3_sim::FaultPlan::wire(0xFA17_5EED, 0.08);
+            let config = NetpipeConfig::quick(4096).with_faults(plan);
+            let (t, k) = scenario_matrix()[0];
+            build_engine(&config, t, k)
+        }),
+    }
+}
+
 /// Every scenario the `audit replay` command and the tier-1 replay test
-/// run: NetPIPE sweeps capped at 4 KiB plus the e2e configurations.
+/// run: NetPIPE sweeps capped at 4 KiB, the e2e configurations, and the
+/// fault-injected replay.
 pub fn all_scenarios() -> Vec<Scenario> {
     let mut out = netpipe_scenarios(4096);
     out.extend(e2e_scenarios());
+    out.push(fault_scenario());
     out
 }
 
@@ -234,13 +258,16 @@ pub fn check_all() -> Result<Vec<ReplayRun>, Divergence> {
 // ---------------------------------------------------------------------
 // Minimal traffic apps (put sender / put collector) for the e2e
 // scenarios. Mirrors the shape of the tier-1 `full_stack.rs` apps.
+// Public so the fault campaign (`crates/bench`) can drive real-payload
+// integrity checks through the same apps the audit replays.
 // ---------------------------------------------------------------------
 
 const PT: u32 = 4;
 const BITS: u64 = 0xD1CE;
 
-/// Sends `count` puts of `len` bytes to `target`.
-struct Pusher {
+/// Sends `count` puts of `len` bytes to `target`. With real payloads the
+/// bytes follow the `i % 251` pattern [`Collector`] verifies on arrival.
+pub struct Pusher {
     target: ProcessId,
     len: u64,
     count: u32,
@@ -251,7 +278,8 @@ struct Pusher {
 }
 
 impl Pusher {
-    fn new(target: ProcessId, len: u64, count: u32) -> Self {
+    /// One put at a time, each sent when the previous completes.
+    pub fn new(target: ProcessId, len: u64, count: u32) -> Self {
         Pusher {
             target,
             len,
@@ -263,7 +291,8 @@ impl Pusher {
         }
     }
 
-    fn burst(target: ProcessId, len: u64, count: u32) -> Self {
+    /// All `count` puts issued at once (stresses RX pool exhaustion).
+    pub fn burst(target: ProcessId, len: u64, count: u32) -> Self {
         Pusher {
             burst: true,
             ..Self::new(target, len, count)
@@ -322,18 +351,26 @@ impl App for Pusher {
     }
 }
 
-/// Collects `count` puts, then finishes.
-struct Collector {
+/// Collects `count` puts, then finishes. With real payloads every
+/// arriving byte is checked against [`Pusher`]'s `i % 251` pattern; a
+/// mismatch sets [`Collector::corrupt`] — the fault campaign's
+/// end-to-end integrity invariant.
+pub struct Collector {
     count: u32,
-    got: u32,
+    /// Puts received so far.
+    pub got: u32,
+    /// A real-payload arrival failed byte verification.
+    pub corrupt: bool,
     eq: Option<EqHandle>,
 }
 
 impl Collector {
-    fn new(count: u32) -> Self {
+    /// Expect `count` puts.
+    pub fn new(count: u32) -> Self {
         Collector {
             count,
             got: 0,
+            corrupt: false,
             eq: None,
         }
     }
@@ -374,6 +411,16 @@ impl App for Collector {
             AppEvent::Ptl(ev) => {
                 if ev.kind == EventKind::PutEnd {
                     self.got += 1;
+                    if !ctx.synthetic() {
+                        let data = ctx.read_mem(ev.offset, ev.mlength as u32);
+                        let ok = data
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &b)| b == (i as u64 % 251) as u8);
+                        if !ok {
+                            self.corrupt = true;
+                        }
+                    }
                     if self.got >= self.count {
                         ctx.finish();
                         return;

@@ -1,0 +1,358 @@
+//! Deterministic fault-injection campaign.
+//!
+//! Sweeps every NetPIPE transport × pattern scenario (the same
+//! [`scenario_matrix`] the replay audit covers) across a set of wire
+//! fault rates, plus targeted SRAM-pulse, payload-integrity and
+//! node-isolation runs, asserting the recovery invariants the paper's
+//! §4.3 reliability work promises:
+//!
+//! 1. **Drain**: every faulted run completes — no livelock, no deadlock.
+//! 2. **No lost Portals events**: every application finishes, i.e. every
+//!    expected event was eventually delivered exactly once.
+//! 3. **Payload integrity**: with real payloads, every delivered byte
+//!    matches what was sent, even when the delivering transmission was a
+//!    go-back-n retransmission of a dropped/corrupted original.
+//! 4. **Bounded recovery**: retransmissions stay within
+//!    `(faults + 1) × window` — go-back-n never amplifies a loss into an
+//!    unbounded retransmission storm.
+//! 5. **Determinism**: the same seed replays to the same engine digest
+//!    and the same model state fingerprint, faults included.
+//! 6. **Isolation**: an injected firmware fault takes exactly its node
+//!    dark; the rest of the machine keeps running.
+
+use audit::replay::{Collector, Pusher};
+use xt3_netpipe::runner::{build_engine, scenario_matrix, scenario_name, NetpipeConfig};
+use xt3_node::config::{ExhaustionPolicy, MachineConfig, NodeSpec};
+use xt3_node::Machine;
+use xt3_portals::types::ProcessId;
+use xt3_sim::{FaultPlan, FaultStats, FwFaultKind, RunOutcome, SimTime, TimeWindow};
+use xt3_topology::coord::Dims;
+
+/// Go-back-n window size the machine uses (mirrors
+/// `xt3_node::machine::GBN_WINDOW`; the bound invariant needs it).
+const GBN_WINDOW: u64 = 64;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Base seed; every scenario derives its plan seed from it.
+    pub seed: u64,
+    /// Wire fault rates to sweep (drop = rate, corrupt = reorder = rate/2).
+    pub rates: Vec<f64>,
+    /// NetPIPE quick-schedule size cap in bytes.
+    pub max_size: u64,
+}
+
+impl CampaignConfig {
+    /// The default campaign: three fault rates over a 2 KiB sweep.
+    pub fn new(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            rates: vec![0.01, 0.04, 0.08],
+            max_size: 2048,
+        }
+    }
+
+    /// A reduced campaign for CI smoke runs (same rate count, smaller
+    /// messages).
+    pub fn quick(seed: u64) -> Self {
+        CampaignConfig {
+            max_size: 512,
+            ..Self::new(seed)
+        }
+    }
+}
+
+/// Outcome of one faulted scenario run (both same-seed executions agreed).
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario display name.
+    pub name: String,
+    /// Wire fault rate injected.
+    pub rate: f64,
+    /// Events dispatched to drain.
+    pub dispatched: u64,
+    /// Final engine replay digest (identical across both executions).
+    pub digest: u64,
+    /// Final model state fingerprint (identical across both executions).
+    pub state: u64,
+    /// What the injector actually did.
+    pub stats: FaultStats,
+    /// Go-back-n retransmissions the recovery layer performed.
+    pub retransmissions: u64,
+}
+
+/// One execution of one faulted NetPIPE scenario, with the recovery
+/// invariants asserted.
+fn run_one(
+    config: &NetpipeConfig,
+    t: xt3_netpipe::runner::Transport,
+    k: xt3_netpipe::runner::TestKind,
+    rate: f64,
+) -> ScenarioReport {
+    let name = scenario_name(t, k);
+    let mut engine = build_engine(config, t, k);
+    let outcome = engine.run();
+    assert_eq!(
+        outcome,
+        RunOutcome::Drained,
+        "{name} @ rate {rate}: faulted run must drain (livelock/deadlock in recovery)"
+    );
+    let dispatched = engine.dispatched();
+    let digest = engine.digest();
+    let state = engine.state_fingerprint();
+    let m = engine.into_model();
+    assert_eq!(
+        m.running_apps(),
+        0,
+        "{name} @ rate {rate}: every app must finish — a Portals event was lost"
+    );
+    assert!(
+        !m.any_panicked(),
+        "{name} @ rate {rate}: go-back-n must recover injected losses without panicking nodes"
+    );
+    assert!(
+        m.dark_nodes().is_empty(),
+        "{name} @ rate {rate}: wire faults must not take nodes dark"
+    );
+    let stats = m.fault_stats();
+    let retransmissions = m.total_gbn_retransmissions();
+    assert!(
+        retransmissions <= (stats.total() + 1) * GBN_WINDOW,
+        "{name} @ rate {rate}: {retransmissions} retransmissions from {} faults exceeds \
+         the (faults + 1) x window bound",
+        stats.total()
+    );
+    if stats.wire_total() > 0 {
+        assert!(
+            retransmissions > 0 || dispatched > 0,
+            "{name} @ rate {rate}: faults fired but left no trace"
+        );
+    }
+    ScenarioReport {
+        name,
+        rate,
+        dispatched,
+        digest,
+        state,
+        stats,
+        retransmissions,
+    }
+}
+
+/// Sweep every NetPIPE scenario at every configured fault rate. Each
+/// (scenario, rate) cell is executed **twice** from the same seed and the
+/// two executions must agree on the replay digest and the state
+/// fingerprint — the determinism invariant with faults in the loop.
+pub fn run_netpipe_sweep(config: &CampaignConfig) -> Vec<ScenarioReport> {
+    let mut reports = Vec::new();
+    for (idx, (t, k)) in scenario_matrix().into_iter().enumerate() {
+        for (ridx, &rate) in config.rates.iter().enumerate() {
+            let plan_seed = config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(((idx as u64) << 8) | ridx as u64);
+            let np =
+                NetpipeConfig::quick(config.max_size).with_faults(FaultPlan::wire(plan_seed, rate));
+            let first = run_one(&np, t, k, rate);
+            let second = run_one(&np, t, k, rate);
+            assert_eq!(
+                first.digest, second.digest,
+                "{}: same-seed runs must produce identical replay digests",
+                first.name
+            );
+            assert_eq!(
+                first.state, second.state,
+                "{}: same-seed runs must produce identical state fingerprints",
+                first.name
+            );
+            assert_eq!(first.dispatched, second.dispatched);
+            reports.push(first);
+        }
+    }
+    reports
+}
+
+/// Result of the real-payload integrity run.
+#[derive(Debug, Clone)]
+pub struct IntegrityReport {
+    /// Messages delivered.
+    pub delivered: u32,
+    /// Go-back-n retransmissions performed.
+    pub retransmissions: u64,
+    /// Injector statistics.
+    pub stats: FaultStats,
+}
+
+/// Drive real (non-synthetic) payloads through wire faults plus an SRAM
+/// exhaustion pulse and an interrupt-delay spike, and verify every
+/// delivered byte. This is the end-to-end integrity invariant: a
+/// retransmitted or CRC-rejected-then-repaired message must arrive byte
+/// exact.
+pub fn run_payload_integrity(seed: u64, rate: f64) -> IntegrityReport {
+    const COUNT: u32 = 24;
+    let mut config = MachineConfig::paper_pair();
+    config.synthetic_payload = false;
+    config.exhaustion = ExhaustionPolicy::GoBackN;
+    config.faults = FaultPlan::wire(seed, rate)
+        .with_sram_pulse(
+            Some(1),
+            TimeWindow {
+                start: SimTime::from_us(30),
+                end: SimTime::from_us(60),
+            },
+        )
+        .with_interrupt_spike(
+            None,
+            TimeWindow {
+                start: SimTime::ZERO,
+                end: SimTime::from_ms(2),
+            },
+            SimTime::from_us(3),
+        );
+    let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
+    m.spawn(
+        0,
+        0,
+        Box::new(Pusher::new(ProcessId::new(1, 0), 2048, COUNT)),
+    );
+    m.spawn(1, 0, Box::new(Collector::new(COUNT)));
+    let mut engine = m.into_engine();
+    let outcome = engine.run();
+    assert_eq!(
+        outcome,
+        RunOutcome::Drained,
+        "integrity run must drain at rate {rate}"
+    );
+    let mut m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "all {COUNT} puts must deliver");
+    assert!(!m.any_panicked());
+    let stats = m.fault_stats();
+    let retransmissions = m.total_gbn_retransmissions();
+    let mut app = m.take_app(1, 0).expect("collector");
+    let c = app
+        .as_any()
+        .downcast_mut::<Collector>()
+        .expect("collector type");
+    assert_eq!(c.got, COUNT, "exactly-once delivery under faults");
+    assert!(
+        !c.corrupt,
+        "every delivered payload must be byte exact (rate {rate})"
+    );
+    IntegrityReport {
+        delivered: c.got,
+        retransmissions,
+        stats,
+    }
+}
+
+/// Result of the node-isolation run.
+#[derive(Debug, Clone)]
+pub struct IsolationReport {
+    /// Nodes the fault plan took dark.
+    pub dark: Vec<u32>,
+    /// Puts the collector still received from the surviving senders.
+    pub delivered: u32,
+}
+
+/// Inject an unrecoverable firmware fault on one node of a five-node
+/// fan-in and prove the blast radius stops at that node: the other
+/// senders keep delivering, nothing panics, and exactly the faulted node
+/// goes dark. The collector can never reach its full count (the dark
+/// node's messages are gone), so the run is bounded by a time horizon
+/// rather than drained.
+pub fn run_isolation(seed: u64) -> IsolationReport {
+    const PER_SENDER: u32 = 3;
+    let mut config = MachineConfig::paper(Dims::mesh(5, 1, 1));
+    config.seed = seed;
+    config.exhaustion = ExhaustionPolicy::GoBackN;
+    config.faults =
+        FaultPlan::wire(seed, 0.0).with_fw_event(2, SimTime::from_us(1), FwFaultKind::Fault);
+    let mut m = Machine::new(config, &[NodeSpec::catamount_compute()]);
+    for nid in 1..5 {
+        m.spawn(
+            nid,
+            0,
+            Box::new(Pusher::new(ProcessId::new(0, 0), 1024, PER_SENDER)),
+        );
+    }
+    m.spawn(0, 0, Box::new(Collector::new(4 * PER_SENDER)));
+    let mut engine = m.into_engine();
+    engine.run_until(SimTime::from_ms(50));
+    let mut m = engine.into_model();
+    let dark = m.dark_nodes();
+    assert_eq!(dark, vec![2], "exactly the faulted node goes dark");
+    assert!(
+        !m.any_panicked(),
+        "an injected firmware fault must isolate, not panic, the machine"
+    );
+    let mut app = m.take_app(0, 0).expect("collector");
+    let c = app
+        .as_any()
+        .downcast_mut::<Collector>()
+        .expect("collector type");
+    assert_eq!(
+        c.got,
+        3 * PER_SENDER,
+        "the three surviving senders must still deliver everything"
+    );
+    IsolationReport {
+        dark,
+        delivered: c.got,
+    }
+}
+
+/// Full campaign: the NetPIPE sweep plus the integrity and isolation
+/// runs. Panics on any violated invariant; returns the per-scenario
+/// reports for display.
+pub fn run_all(config: &CampaignConfig) -> (Vec<ScenarioReport>, IntegrityReport, IsolationReport) {
+    let sweep = run_netpipe_sweep(config);
+    let max_rate = config
+        .rates
+        .iter()
+        .copied()
+        .fold(0.0_f64, f64::max)
+        .max(0.02);
+    let integrity = run_payload_integrity(config.seed ^ 0x1A7E6417, max_rate);
+    let isolation = run_isolation(config.seed ^ 0x150_1A7E);
+    (sweep, integrity, isolation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One cell of the sweep end-to-end, with the double-run digest
+    /// check, at a meaningful fault rate.
+    #[test]
+    fn single_cell_recovers_and_replays() {
+        let config = CampaignConfig {
+            seed: 0xCA4A16,
+            rates: vec![0.06],
+            max_size: 256,
+        };
+        let reports = run_netpipe_sweep(&config);
+        assert_eq!(reports.len(), scenario_matrix().len());
+        assert!(
+            reports.iter().any(|r| r.stats.wire_total() > 0),
+            "a 6% fault rate must actually inject faults somewhere"
+        );
+    }
+
+    #[test]
+    fn payload_integrity_under_faults() {
+        let r = run_payload_integrity(0xFEED_FACE, 0.05);
+        assert_eq!(r.delivered, 24);
+        assert!(
+            r.stats.total() > 0,
+            "the integrity run must actually exercise faults"
+        );
+    }
+
+    #[test]
+    fn faulted_node_is_isolated() {
+        let r = run_isolation(0xDEAD_10CC);
+        assert_eq!(r.dark, vec![2]);
+        assert_eq!(r.delivered, 9);
+    }
+}

@@ -7,6 +7,8 @@
 //! `cargo bench` wraps the same sweeps in Criterion for statistical
 //! wall-clock tracking of the simulator itself.
 
+pub mod campaign;
+
 use xt3_netpipe::report::FigureData;
 use xt3_netpipe::runner::{bandwidth_curve, latency_curve, NetpipeConfig, TestKind, Transport};
 

@@ -441,6 +441,15 @@ impl Firmware {
         Ok(effects)
     }
 
+    /// Record a header rejection forced by the fault-injection subsystem's
+    /// SRAM pool-exhaustion pulse. The header was seen but no pending was
+    /// allocated; accounting matches a real pool miss so exhaustion
+    /// counters cover injected squeezes too.
+    pub fn note_injected_exhaustion(&mut self) {
+        self.counters.rx_headers += 1;
+        self.counters.exhaustion_drops += 1;
+    }
+
     /// A new message header arrived from the network for firmware-level
     /// process `proc`.
     ///

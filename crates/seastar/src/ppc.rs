@@ -52,6 +52,8 @@ impl FwHandler {
 pub struct Ppc440 {
     cursor: BusyCursor,
     handler_counts: [u64; 6],
+    stalls: u64,
+    stalled_for: SimTime,
 }
 
 impl Ppc440 {
@@ -84,6 +86,27 @@ impl Ppc440 {
     ) -> SimTime {
         self.handler_counts[Self::idx(handler)] += 1;
         self.cursor.occupy(arrival, handler.cost(cm) + extra)
+    }
+
+    /// Wedge the core from `arrival` for `duration`: no handler makes
+    /// progress until the stall ends, and already-queued work simply
+    /// resumes afterwards. Used by the fault-injection subsystem to model
+    /// a watchdog-recovered firmware stall; counted separately from
+    /// handler work so utilization attribution stays honest.
+    pub fn stall(&mut self, arrival: SimTime, duration: SimTime) -> SimTime {
+        self.stalls += 1;
+        self.stalled_for += duration;
+        self.cursor.occupy(arrival, duration)
+    }
+
+    /// Number of injected stalls served.
+    pub fn stall_count(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Total time spent wedged by injected stalls.
+    pub fn stalled_for(&self) -> SimTime {
+        self.stalled_for
     }
 
     fn idx(h: FwHandler) -> usize {
@@ -154,6 +177,22 @@ mod tests {
         assert_eq!(ppc.count(FwHandler::RxHeader), 2);
         assert_eq!(ppc.count(FwHandler::Match), 1);
         assert_eq!(ppc.count(FwHandler::TxCommand), 0);
+    }
+
+    #[test]
+    fn stall_wedges_the_core() {
+        let cm = CostModel::paper();
+        let mut ppc = Ppc440::new();
+        let end = ppc.stall(SimTime::ZERO, SimTime::from_us(10));
+        assert_eq!(end, SimTime::from_us(10));
+        let done = ppc.run(&cm, FwHandler::RxHeader, SimTime::ZERO);
+        assert_eq!(
+            done,
+            SimTime::from_us(10) + cm.fw_rx_hdr,
+            "work resumes after the stall"
+        );
+        assert_eq!(ppc.stall_count(), 1);
+        assert_eq!(ppc.stalled_for(), SimTime::from_us(10));
     }
 
     #[test]

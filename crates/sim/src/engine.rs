@@ -33,6 +33,16 @@ pub trait Model {
     fn fingerprint(event: &Self::Event, digest: &mut EventDigest) {
         let _ = (event, digest);
     }
+
+    /// A digest of model-*internal* state the event stream alone cannot
+    /// see — trace digests, injected-fault streams, retransmission
+    /// counters. The replay audit compares this alongside
+    /// [`Engine::digest`] so divergence hidden inside the model (rather
+    /// than in event timing) is still caught. The default reports
+    /// nothing, keeping trivial models working unchanged.
+    fn state_fingerprint(&self) -> u64 {
+        0
+    }
 }
 
 /// Why a [`Engine::run`] call returned.
@@ -109,6 +119,12 @@ impl<M: Model> Engine<M> {
     /// the replay-divergence audit (`crates/audit`) enforces exactly that.
     pub fn digest(&self) -> u64 {
         self.digest.value()
+    }
+
+    /// The model's [`Model::state_fingerprint`]: internal-state digest
+    /// compared by the replay audit in addition to the event digest.
+    pub fn state_fingerprint(&self) -> u64 {
+        self.model.state_fingerprint()
     }
 
     /// Consume the engine, returning the model.

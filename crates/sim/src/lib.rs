@@ -40,6 +40,7 @@
 pub mod cursor;
 pub mod digest;
 pub mod engine;
+pub mod faults;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -49,6 +50,7 @@ pub mod trace;
 pub use cursor::BusyCursor;
 pub use digest::EventDigest;
 pub use engine::{Engine, Model, RunOutcome};
+pub use faults::{FaultInjector, FaultPlan, FaultStats, FwFaultKind, PacketFate, TimeWindow};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, Series, SeriesPoint};

@@ -137,6 +137,10 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Enable event tracing.
     pub trace: bool,
+    /// Deterministic fault-injection plan (inactive by default). Active
+    /// plans pair naturally with [`ExhaustionPolicy::GoBackN`]; under
+    /// `Panic`, injected losses kill nodes exactly like real ones.
+    pub faults: xt3_sim::FaultPlan,
 }
 
 impl MachineConfig {
@@ -159,6 +163,7 @@ impl MachineConfig {
             ras_heartbeat: None,
             seed: 0xC0FFEE,
             trace: false,
+            faults: xt3_sim::FaultPlan::none(),
         }
     }
 

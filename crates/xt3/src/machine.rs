@@ -36,7 +36,10 @@ use xt3_portals::types::{
 };
 use xt3_seastar::ht::HtDir;
 use xt3_seastar::ppc::FwHandler;
-use xt3_sim::{Engine, EventQueue, Model, SimTime, Trace, TraceCategory};
+use xt3_sim::{
+    Engine, EventDigest, EventQueue, FaultInjector, FaultStats, FwFaultKind, Model, PacketFate,
+    SimTime, Trace, TraceCategory,
+};
 use xt3_topology::coord::NodeId;
 use xt3_topology::fabric::{Fabric, NetMessage};
 
@@ -128,6 +131,13 @@ pub enum Ev {
         /// Destination node id.
         peer: u32,
     },
+    /// A scheduled fault-plan firmware event fires on a node.
+    FaultAt {
+        /// Affected node index.
+        node: u32,
+        /// Stall or unrecoverable fault.
+        kind: FwFaultKind,
+    },
 }
 
 /// The machine model.
@@ -140,6 +150,8 @@ pub struct Machine {
     pub fabric: Fabric,
     /// Trace buffer.
     pub trace: Trace,
+    /// The fault-injection subsystem executing `config.faults`.
+    pub(crate) faults: FaultInjector,
     running_apps: u32,
     spawned: Vec<(u32, u32)>,
 }
@@ -158,11 +170,13 @@ impl Machine {
         } else {
             Trace::disabled()
         };
+        let faults = FaultInjector::new(config.faults.clone());
         Machine {
             config,
             nodes,
             fabric,
             trace,
+            faults,
             running_apps: 0,
             spawned: Vec::new(),
         }
@@ -187,16 +201,43 @@ impl Machine {
         self.nodes.iter().any(|n| n.panicked)
     }
 
+    /// Nodes whose firmware took an injected unrecoverable fault.
+    pub fn dark_nodes(&self) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .filter(|n| n.dark)
+            .map(|n| n.id.0)
+            .collect()
+    }
+
+    /// Counters of every fault the plan has injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats()
+    }
+
+    /// Streaming digest over the injected-fault stream (folded into
+    /// [`Model::state_fingerprint`]).
+    pub fn fault_digest(&self) -> u64 {
+        self.faults.digest()
+    }
+
+    /// Total go-back-n retransmissions across every node.
+    pub fn total_gbn_retransmissions(&self) -> u64 {
+        self.nodes.iter().map(|n| n.gbn_retransmissions()).sum()
+    }
+
     /// Extract an app after the run (for result harvesting).
     pub fn take_app(&mut self, node: u32, pid: u32) -> Option<Box<dyn App>> {
         self.nodes[node as usize].procs[pid as usize].app.take()
     }
 
-    /// Wrap in an engine with every spawned app's start event seeded.
+    /// Wrap in an engine with every spawned app's start event seeded,
+    /// plus the fault plan's scheduled firmware events.
     pub fn into_engine(self) -> Engine<Machine> {
         let starts = self.spawned.clone();
         let heartbeat = self.config.ras_heartbeat;
         let node_count = self.nodes.len() as u32;
+        let fw_events = self.faults.plan().fw_events.clone();
         let mut engine = Engine::new(self).with_event_budget(2_000_000_000);
         for (node, pid) in starts {
             engine
@@ -209,6 +250,15 @@ impl Machine {
                     .queue_mut()
                     .schedule_at(interval, Ev::RasHeartbeat { node });
             }
+        }
+        for ev in fw_events {
+            engine.queue_mut().schedule_at(
+                ev.at,
+                Ev::FaultAt {
+                    node: ev.node,
+                    kind: ev.kind,
+                },
+            );
         }
         engine
     }
@@ -367,12 +417,24 @@ impl Machine {
                     // still drains every event queued by then (§4.1's
                     // coalescing), so a busy host processes events early
                     // but pays for every line assertion.
-                    let n = &mut self.nodes[node];
-                    n.chip.raise_interrupt();
-                    q.schedule_at(
-                        t + cm.ht_write_latency,
-                        Ev::HostInterrupt { node: node as u32 },
-                    );
+                    self.nodes[node].chip.raise_interrupt();
+                    let mut deliver = t + cm.ht_write_latency;
+                    if self.faults.active() {
+                        // Fault plan: interrupt-delay spike (host masking
+                        // interrupts through a long critical section).
+                        let extra = self.faults.interrupt_extra(t, node as u32);
+                        if extra > SimTime::ZERO {
+                            self.trace.record(
+                                t,
+                                node as u32,
+                                TraceCategory::Host,
+                                "fault:int-delay",
+                                0,
+                            );
+                            deliver += extra;
+                        }
+                    }
+                    q.schedule_at(deliver, Ev::HostInterrupt { node: node as u32 });
                 }
                 FwEffect::MatchOnNic { proc, pending } => {
                     self.nic_match(q, t, node, proc, pending);
@@ -450,7 +512,10 @@ impl Machine {
                 .entry(dst)
                 .or_insert_with(|| GbnSender::new(GBN_WINDOW));
             match sender.send(msg.clone()) {
-                Some(seq) => msg.seq = Some(seq),
+                Some(seq) => {
+                    msg.seq = Some(seq);
+                    self.arm_gbn_timer(q, fetch_done, node, dst);
+                }
                 None => {
                     self.nodes[node]
                         .gbn_deferred
@@ -484,6 +549,57 @@ impl Machine {
         let src = NodeId(msg.header.src.nid);
         let dst = NodeId(msg.header.dst.nid);
         let tag = msg.tag;
+
+        // Fault plan: decide this message's wire fate before it touches
+        // the fabric (loopback never reaches the wire).
+        let mut forced_corrupt = false;
+        let mut extra_delay = SimTime::ZERO;
+        if self.faults.active() && src != dst {
+            match self.faults.packet_fate(inject_at, src.0, dst.0, tag) {
+                PacketFate::Deliver => {}
+                PacketFate::Drop => {
+                    self.trace
+                        .record(inject_at, src.0, TraceCategory::Network, "fault:drop", tag);
+                    return;
+                }
+                PacketFate::Corrupt => {
+                    if matches!(msg.kind, WireKind::Data) {
+                        // Escaped the link CRC; the receiver's end-to-end
+                        // 32-bit check will reject the deposit (§2).
+                        forced_corrupt = true;
+                        self.trace.record(
+                            inject_at,
+                            src.0,
+                            TraceCategory::Network,
+                            "fault:corrupt",
+                            tag,
+                        );
+                    } else {
+                        // A corrupted ACK/NACK fails its CRC at the link
+                        // and is discarded — equivalent to a drop.
+                        self.trace.record(
+                            inject_at,
+                            src.0,
+                            TraceCategory::Network,
+                            "fault:corrupt-ctl-drop",
+                            tag,
+                        );
+                        return;
+                    }
+                }
+                PacketFate::Delay(d) => {
+                    extra_delay = d;
+                    self.trace.record(
+                        inject_at,
+                        src.0,
+                        TraceCategory::Network,
+                        "fault:reorder",
+                        tag,
+                    );
+                }
+            }
+        }
+
         let wire_bytes = msg.wire_bytes();
         let d = self.fabric.send(
             inject_at, // the header packet leaves as soon as it is fetched
@@ -496,15 +612,15 @@ impl Machine {
             },
         );
         let head_latency = d.header_at.saturating_sub(inject_at);
-        let complete_at = d.complete_at.max(dma_done + head_latency);
+        let complete_at = d.complete_at.max(dma_done + head_latency) + extra_delay;
         q.schedule_at(
-            d.header_at,
+            d.header_at + extra_delay,
             Ev::NetHeader {
                 node: dst.0,
                 inflight: Box::new(InFlight {
                     msg: d.msg.body,
                     complete_at,
-                    corrupted: d.corrupted,
+                    corrupted: d.corrupted || forced_corrupt,
                 }),
             },
         );
@@ -587,6 +703,9 @@ impl Machine {
                     m.seq = Some(seq);
                     self.inject(q, t, t, m);
                 }
+                // Under an active fault plan the retransmission itself can
+                // be lost; keep a timer armed while anything is in flight.
+                self.arm_gbn_timer(q, t, node, from_node);
                 return;
             }
             WireKind::GbnAck { upto } => {
@@ -612,8 +731,24 @@ impl Machine {
             let t = self.nodes[node].chip.ppc.run(&cm, FwHandler::RxHeader, now);
             if let Some(seq) = msg.seq {
                 let rx = self.nodes[node].gbn_rx.entry(from_node).or_default();
-                if let GbnEvent::Nack { expected } = rx.on_arrival(seq, false) {
-                    self.send_gbn_control(q, t, node, from_node, WireKind::GbnNack { expected });
+                let ev = rx.on_arrival(seq, false);
+                let upto = rx.expected();
+                match ev {
+                    GbnEvent::Nack { expected } => {
+                        self.send_gbn_control(
+                            q,
+                            t,
+                            node,
+                            from_node,
+                            WireKind::GbnNack { expected },
+                        );
+                    }
+                    GbnEvent::Duplicate if self.faults.active() => {
+                        // Corrupted duplicate: re-ack so the sender can
+                        // advance even if the original ACK was lost.
+                        self.send_gbn_control(q, t, node, from_node, WireKind::GbnAck { upto });
+                    }
+                    _ => {}
                 }
             }
             self.trace.record(
@@ -631,6 +766,7 @@ impl Machine {
             let rx = self.nodes[node].gbn_rx.entry(from_node).or_default();
             if seq != rx.expected() {
                 let ev = rx.on_arrival(seq, true);
+                let upto = rx.expected();
                 match ev {
                     GbnEvent::Nack { expected } => {
                         self.send_gbn_control(
@@ -641,7 +777,20 @@ impl Machine {
                             WireKind::GbnNack { expected },
                         );
                     }
-                    GbnEvent::Duplicate => {}
+                    GbnEvent::Duplicate => {
+                        if self.faults.active() {
+                            // Re-ack: a retransmitted message whose ACK
+                            // was dropped would otherwise stall the
+                            // sender until its timeout.
+                            self.send_gbn_control(
+                                q,
+                                now,
+                                node,
+                                from_node,
+                                WireKind::GbnAck { upto },
+                            );
+                        }
+                    }
                     GbnEvent::Accept { .. } => unreachable!("mismatched seq cannot accept"),
                 }
                 return;
@@ -658,9 +807,25 @@ impl Machine {
         } else {
             self.nodes[node].chip.ppc.run(&cm, FwHandler::RxHeader, now)
         };
-        let result = self.nodes[node]
-            .fw
-            .rx_header(fw_proc, from_node, piggy, direct);
+        // Fault plan: an SRAM pool-exhaustion pulse forces the header to
+        // be rejected exactly as if `rx_pendings` had run dry, driving
+        // the configured exhaustion policy.
+        let squeezed = self.faults.active() && self.faults.sram_exhausted(t, node as u32);
+        let result = if squeezed {
+            self.nodes[node].fw.note_injected_exhaustion();
+            self.trace.record(
+                t,
+                node as u32,
+                TraceCategory::Firmware,
+                "fault:sram-squeeze",
+                msg.tag,
+            );
+            Err(FwError::NoRxPending)
+        } else {
+            self.nodes[node]
+                .fw
+                .rx_header(fw_proc, from_node, piggy, direct)
+        };
 
         // Resolve go-back-n acceptance against allocation success.
         if let Some(seq) = msg.seq {
@@ -843,6 +1008,7 @@ impl Machine {
                 Some(seq) => {
                     msg.seq = Some(seq);
                     self.inject(q, t, t, msg);
+                    self.arm_gbn_timer(q, t, node, dst);
                 }
                 None => {
                     self.nodes[node]
@@ -852,6 +1018,59 @@ impl Machine {
                         .push_front(msg);
                     break;
                 }
+            }
+        }
+    }
+
+    /// Arm the per-peer retransmission timer if the fault plan is active
+    /// and something is in flight. Without injected faults the only loss
+    /// mode is resource exhaustion, which always produces a NACK, so the
+    /// baseline keeps its narrower timer policy (and its exact event
+    /// schedule); under injected loss an ACK/NACK can vanish outright and
+    /// only a timer recovers.
+    fn arm_gbn_timer(&mut self, q: &mut EventQueue<Ev>, t: SimTime, node: usize, peer: u32) {
+        if !self.faults.active() {
+            return;
+        }
+        let in_flight = self.nodes[node]
+            .gbn_tx
+            .get(&peer)
+            .map_or(0, |s| s.in_flight());
+        if in_flight > 0 && self.nodes[node].gbn_timer_armed.insert(peer) {
+            q.schedule_at(
+                t + GBN_TIMEOUT,
+                Ev::GbnTimeout {
+                    node: node as u32,
+                    peer,
+                },
+            );
+        }
+    }
+
+    /// A fault-plan firmware event fires on `node`.
+    fn on_fault_at(&mut self, now: SimTime, node: usize, kind: FwFaultKind) {
+        match kind {
+            FwFaultKind::Stall(duration) => {
+                self.faults.note_fw_stall(now, node as u32, duration);
+                self.trace.record(
+                    now,
+                    node as u32,
+                    TraceCategory::Firmware,
+                    "fault:fw-stall",
+                    0,
+                );
+                self.nodes[node].chip.ppc.stall(now, duration);
+            }
+            FwFaultKind::Fault => {
+                self.faults.note_fw_fault(now, node as u32);
+                self.trace.record(
+                    now,
+                    node as u32,
+                    TraceCategory::Firmware,
+                    "fault:fw-dark",
+                    0,
+                );
+                self.nodes[node].dark = true;
             }
         }
     }
@@ -1508,6 +1727,25 @@ impl Model for Machine {
     type Event = Ev;
 
     fn dispatch(&mut self, now: SimTime, event: Ev, q: &mut EventQueue<Ev>) {
+        // A node taken dark by an injected firmware fault serves nothing:
+        // every event targeting it is discarded (except further fault
+        // events). RAS isolates the node; the rest of the machine keeps
+        // running — the paper's §4.3 goal of containing NIC faults.
+        let owner = match &event {
+            Ev::AppStart { node, .. }
+            | Ev::AppWake { node, .. }
+            | Ev::FwCmd { node, .. }
+            | Ev::TxDmaDone { node }
+            | Ev::NetHeader { node, .. }
+            | Ev::RxDepositDone { node, .. }
+            | Ev::HostInterrupt { node }
+            | Ev::RasHeartbeat { node }
+            | Ev::GbnTimeout { node, .. }
+            | Ev::FaultAt { node, .. } => *node,
+        };
+        if self.nodes[owner as usize].dark && !matches!(event, Ev::FaultAt { .. }) {
+            return;
+        }
         match event {
             Ev::AppStart { node, pid } => {
                 self.run_app(q, now, node as usize, pid, AppEvent::Started)
@@ -1536,6 +1774,9 @@ impl Model for Machine {
                     m.seq = Some(seq);
                     self.inject(q, now, now, m);
                 }
+                // The retransmission itself can be lost under an active
+                // fault plan: keep a timer running while unacked.
+                self.arm_gbn_timer(q, now, node as usize, peer);
             }
             Ev::RasHeartbeat { node } => {
                 // The firmware's main loop stamps the control block; the
@@ -1551,6 +1792,7 @@ impl Model for Machine {
                     }
                 }
             }
+            Ev::FaultAt { node, kind } => self.on_fault_at(now, node as usize, kind),
         }
     }
 
@@ -1615,7 +1857,35 @@ impl Model for Machine {
                 digest.write_u32(*node);
                 digest.write_u32(*peer);
             }
+            Ev::FaultAt { node, kind } => {
+                digest.write_u8(9);
+                digest.write_u32(*node);
+                match kind {
+                    FwFaultKind::Stall(d) => {
+                        digest.write_u8(0);
+                        digest.write_u64(d.0);
+                    }
+                    FwFaultKind::Fault => digest.write_u8(1),
+                }
+            }
         }
+    }
+
+    /// Model-internal state the event stream alone cannot see: the trace
+    /// digest (covers every record, including fault annotations), the
+    /// fault injector's decision digest, and per-node health/recovery
+    /// counters. Two same-seed runs must agree on all of it.
+    fn state_fingerprint(&self) -> u64 {
+        let mut d = EventDigest::new();
+        d.write_u64(self.trace.digest());
+        d.write_u64(self.faults.digest());
+        d.write_u64(self.faults.stats().total());
+        for n in &self.nodes {
+            d.write_u8(u8::from(n.panicked));
+            d.write_u8(u8::from(n.dark));
+            d.write_u64(n.gbn_retransmissions());
+        }
+        d.value()
     }
 }
 

@@ -108,6 +108,10 @@ pub struct Node {
     /// The node hit unrecoverable resource exhaustion under the `Panic`
     /// policy (paper §4.3's shipped behaviour).
     pub panicked: bool,
+    /// The node's firmware took an injected unrecoverable fault (fault
+    /// plan): the NIC stops serving traffic and the RAS layer isolates
+    /// the node without aborting the rest of the machine.
+    pub dark: bool,
     pub(crate) next_tag: u64,
 }
 
@@ -212,6 +216,7 @@ impl Node {
             gbn_deferred: BTreeMap::new(),
             gbn_timer_armed: BTreeSet::new(),
             panicked: false,
+            dark: false,
             next_tag: (id.0 as u64) << 40,
         }
     }

@@ -1,0 +1,163 @@
+//! Golden conformance tests for the paper's NetPIPE figures (Figs. 4–7)
+//! under zero faults.
+//!
+//! Each test regenerates a reduced-domain version of one figure with the
+//! calibrated cost model and compares every `(curve, size)` point against
+//! the checked-in golden data in `tests/golden/`. The simulator is
+//! deterministic, so the only way a point moves is a change to the
+//! timing model or the protocol path — exactly what this fence exists to
+//! catch. Drift beyond [`REL_TOL`] fails tier-1.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test netpipe_golden
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use xt3_netpipe::runner::{bandwidth_curve, latency_curve, NetpipeConfig, TestKind, Transport};
+use xt3_netpipe::Series;
+
+/// Stated tolerance: a point may drift by 0.1% relative before the fence
+/// trips. The simulator is bit-deterministic, so this headroom exists
+/// only to keep the golden files robust to their own decimal round-trip.
+const REL_TOL: f64 = 1e-3;
+
+/// The four transports every figure plots.
+const TRANSPORTS: [Transport; 4] = [
+    Transport::Put,
+    Transport::Get,
+    Transport::Mpich1,
+    Transport::Mpich2,
+];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn render(series: &[Series]) -> String {
+    let mut out = String::new();
+    for s in series {
+        for p in &s.points {
+            writeln!(out, "{} {} {:.12e}", s.label, p.x as u64, p.y).expect("string write");
+        }
+    }
+    out
+}
+
+fn parse(text: &str) -> Vec<(String, u64, f64)> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let label = it.next().expect("label").to_string();
+            let size: u64 = it.next().expect("size").parse().expect("size parses");
+            let y: f64 = it.next().expect("value").parse().expect("value parses");
+            (label, size, y)
+        })
+        .collect()
+}
+
+/// Compare freshly-computed series against a golden file, or rewrite the
+/// file when `UPDATE_GOLDEN=1`.
+fn check_golden(name: &str, title: &str, series: &[Series]) {
+    let path = golden_path(name);
+    let fresh = render(series);
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        let header = format!(
+            "# {title} — golden conformance data (zero faults, calibrated cost model).\n\
+             # Columns: curve-label message-size-bytes value.\n\
+             # Regenerate: UPDATE_GOLDEN=1 cargo test --test netpipe_golden\n"
+        );
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir golden");
+        std::fs::write(&path, header + &fresh).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test netpipe_golden",
+            path.display()
+        )
+    });
+    let want = parse(&golden);
+    let got = parse(&fresh);
+    assert_eq!(
+        want.len(),
+        got.len(),
+        "{name}: point count changed ({} golden vs {} fresh) — curve domain drifted",
+        want.len(),
+        got.len()
+    );
+    for ((wl, ws, wy), (gl, gs, gy)) in want.iter().zip(&got) {
+        assert_eq!((wl, ws), (gl, gs), "{name}: curve/size grid drifted");
+        let rel = (gy - wy).abs() / wy.abs().max(f64::MIN_POSITIVE);
+        assert!(
+            rel <= REL_TOL,
+            "{name}: {wl} @ {ws} B drifted {:.4}% (golden {wy:.6}, fresh {gy:.6}, \
+             tolerance {:.2}%)",
+            rel * 100.0,
+            REL_TOL * 100.0
+        );
+    }
+}
+
+fn curves(config: &NetpipeConfig, kind: TestKind, latency: bool) -> Vec<Series> {
+    TRANSPORTS
+        .iter()
+        .map(|&t| {
+            if latency {
+                latency_curve(config, t, kind)
+            } else {
+                bandwidth_curve(config, t, kind)
+            }
+        })
+        .collect()
+}
+
+/// Figure 4: latency, ping-pong, over the small-message domain.
+#[test]
+fn golden_fig4_latency() {
+    let config = NetpipeConfig::quick(1024);
+    check_golden(
+        "fig4_latency",
+        "Figure 4. Latency performance (reduced domain)",
+        &curves(&config, TestKind::PingPong, true),
+    );
+}
+
+/// Figure 5: uni-directional ping-pong bandwidth (reduced max size).
+#[test]
+fn golden_fig5_unidir_bandwidth() {
+    let config = NetpipeConfig::quick(64 << 10);
+    check_golden(
+        "fig5_unidir",
+        "Figure 5. Uni-directional bandwidth performance (reduced domain)",
+        &curves(&config, TestKind::PingPong, false),
+    );
+}
+
+/// Figure 6: streaming bandwidth (reduced max size).
+#[test]
+fn golden_fig6_stream_bandwidth() {
+    let config = NetpipeConfig::quick(64 << 10);
+    check_golden(
+        "fig6_stream",
+        "Figure 6. Streaming bandwidth performance (reduced domain)",
+        &curves(&config, TestKind::Stream, false),
+    );
+}
+
+/// Figure 7: bi-directional bandwidth (reduced max size).
+#[test]
+fn golden_fig7_bidir_bandwidth() {
+    let config = NetpipeConfig::quick(64 << 10);
+    check_golden(
+        "fig7_bidir",
+        "Figure 7. Bi-directional bandwidth performance (reduced domain)",
+        &curves(&config, TestKind::Bidir, false),
+    );
+}
