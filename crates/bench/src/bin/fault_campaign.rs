@@ -6,19 +6,26 @@
 //! firmware-fault isolation checks. Any violated recovery invariant
 //! panics, so a non-zero exit is a failed campaign.
 //!
+//! The sweep fans its (scenario, rate) cells across worker threads by
+//! default; `--serial` forces the single-threaded path. Both produce
+//! bit-identical reports (each cell derives its own seed from its matrix
+//! position), so the flag only matters for timing comparisons and for
+//! debugging with a deterministic execution *order*.
+//!
 //! ```text
-//! cargo run -p xt3-bench --bin fault_campaign -- [--seed N] [--rates a,b,c] [--quick]
+//! cargo run -p xt3-bench --bin fault_campaign -- [--seed N] [--rates a,b,c] [--quick] [--serial]
 //! ```
 
 use xt3_bench::campaign::{run_all, CampaignConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fault_campaign [--seed N] [--rates a,b,c] [--quick]\n\
+        "usage: fault_campaign [--seed N] [--rates a,b,c] [--quick] [--serial]\n\
          \n\
          --seed N       base seed (decimal or 0x hex; default 0xFA17CA4A)\n\
          --rates a,b,c  wire fault rates to sweep (default 0.01,0.04,0.08)\n\
-         --quick        smaller message sizes (CI smoke configuration)"
+         --quick        smaller message sizes (CI smoke configuration)\n\
+         --serial       run the sweep single-threaded (same reports, slower)"
     );
     std::process::exit(2)
 }
@@ -38,6 +45,7 @@ fn main() {
     let mut seed = 0xFA17_CA4A_u64;
     let mut rates: Option<Vec<f64>> = None;
     let mut quick = false;
+    let mut serial = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,6 +66,7 @@ fn main() {
                 }
             }
             "--quick" => quick = true,
+            "--serial" => serial = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -76,13 +85,16 @@ fn main() {
     }
 
     println!(
-        "fault campaign: seed {:#x}, rates {:?}, max message {} B",
-        config.seed, config.rates, config.max_size
+        "fault campaign: seed {:#x}, rates {:?}, max message {} B, {} sweep",
+        config.seed,
+        config.rates,
+        config.max_size,
+        if serial { "serial" } else { "parallel" }
     );
     println!();
 
     let start = std::time::Instant::now();
-    let (sweep, integrity, isolation) = run_all(&config);
+    let (sweep, integrity, isolation) = run_all(&config, serial);
 
     println!(
         "{:<28} {:>6} {:>9} {:>7} {:>7} {:>6} {:>18}",

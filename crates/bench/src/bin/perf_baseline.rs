@@ -1,0 +1,162 @@
+//! Simulator-core throughput baseline: events/sec per NetPIPE scenario.
+//!
+//! Every figure the repo reproduces is replayed through `sim::Engine`;
+//! this binary measures how fast that core chews through each scenario
+//! of `scenario_matrix()` (host wall time, simulated work held fixed)
+//! and appends the result to the perf trajectory in `BENCH_core.json`.
+//! Event counts are deterministic, so two builds of the same source
+//! always measure identical simulated work — any events/sec delta is
+//! the simulator itself.
+//!
+//! ```text
+//! cargo run --release -p xt3-bench --bin perf_baseline -- [--quick] [--reps N] [--out PATH]
+//! ```
+
+use std::time::Instant;
+use xt3_netpipe::runner::{build_engine, scenario_matrix, scenario_name, NetpipeConfig};
+use xt3_sim::RunOutcome;
+
+/// One scenario's measurement.
+struct Row {
+    name: String,
+    events: u64,
+    /// Best-of-reps wall time in seconds.
+    wall_s: f64,
+    events_per_sec: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf_baseline [--quick] [--reps N] [--max-size BYTES] [--out PATH]\n\
+         \n\
+         --quick           small messages + 1 rep (CI smoke configuration)\n\
+         --reps N          timing repetitions per scenario, best-of (default 3)\n\
+         --max-size BYTES  NetPIPE schedule size cap (default 65536)\n\
+         --out PATH        JSON output path (default BENCH_core.json)"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut reps: u32 = 3;
+    let mut max_size: u64 = 64 * 1024;
+    let mut out = String::from("BENCH_core.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--max-size" => {
+                max_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    if quick {
+        reps = 1;
+        max_size = max_size.min(4096);
+    }
+
+    let config = NetpipeConfig::quick(max_size);
+    println!(
+        "perf baseline: {} scenarios, max message {} B, best of {} rep(s)",
+        scenario_matrix().len(),
+        max_size,
+        reps
+    );
+    println!();
+    println!(
+        "{:<28} {:>10} {:>10} {:>14}",
+        "scenario", "events", "wall ms", "events/sec"
+    );
+
+    let mut rows = Vec::new();
+    for (t, k) in scenario_matrix() {
+        let name = scenario_name(t, k);
+        let mut events = 0u64;
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let mut engine = build_engine(&config, t, k);
+            let start = Instant::now();
+            let outcome = engine.run();
+            let wall = start.elapsed().as_secs_f64();
+            assert_eq!(outcome, RunOutcome::Drained, "{name}: run must drain");
+            events = engine.dispatched();
+            best = best.min(wall);
+        }
+        let eps = events as f64 / best;
+        println!(
+            "{:<28} {:>10} {:>10.2} {:>14.0}",
+            name,
+            events,
+            best * 1e3,
+            eps
+        );
+        rows.push(Row {
+            name,
+            events,
+            wall_s: best,
+            events_per_sec: eps,
+        });
+    }
+
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
+    let total_wall: f64 = rows.iter().map(|r| r.wall_s).sum();
+    let aggregate = total_events as f64 / total_wall;
+    println!();
+    println!(
+        "aggregate: {total_events} events in {:.1} ms -> {:.0} events/sec",
+        total_wall * 1e3,
+        aggregate
+    );
+
+    let json = render_json(&rows, max_size, reps, quick, aggregate);
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+/// Hand-rolled JSON (the workspace's serde is an offline no-op stub).
+fn render_json(rows: &[Row], max_size: u64, reps: u32, quick: bool, aggregate: f64) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"core-events-per-sec\",");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"max_size\": {max_size},");
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    let _ = writeln!(s, "  \"aggregate_events_per_sec\": {aggregate:.0},");
+    s.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"events\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}}}{comma}",
+            r.name,
+            r.events,
+            r.wall_s * 1e3,
+            r.events_per_sec
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -65,6 +65,6 @@ fn main() {
     }
     println!(
         "\n(total events: {}; the second half mirrors the first as the pong)",
-        m.trace.events().len()
+        m.trace.len()
     );
 }

@@ -140,37 +140,77 @@ fn run_one(
     }
 }
 
-/// Sweep every NetPIPE scenario at every configured fault rate. Each
-/// (scenario, rate) cell is executed **twice** from the same seed and the
-/// two executions must agree on the replay digest and the state
-/// fingerprint — the determinism invariant with faults in the loop.
-pub fn run_netpipe_sweep(config: &CampaignConfig) -> Vec<ScenarioReport> {
-    let mut reports = Vec::new();
+/// One (scenario, rate) cell of the sweep, fully determined by the
+/// campaign seed and the cell's position in the matrix.
+#[derive(Debug, Clone, Copy)]
+struct SweepCell {
+    t: xt3_netpipe::runner::Transport,
+    k: xt3_netpipe::runner::TestKind,
+    rate: f64,
+    plan_seed: u64,
+}
+
+/// Expand the campaign into its cell list, in the canonical (scenario,
+/// rate) order. Every cell carries its own derived seed, so cells are
+/// independent and can run in any order — which is what makes the
+/// parallel sweep trivially bit-identical to the serial one.
+fn sweep_cells(config: &CampaignConfig) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
     for (idx, (t, k)) in scenario_matrix().into_iter().enumerate() {
         for (ridx, &rate) in config.rates.iter().enumerate() {
             let plan_seed = config
                 .seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(((idx as u64) << 8) | ridx as u64);
-            let np =
-                NetpipeConfig::quick(config.max_size).with_faults(FaultPlan::wire(plan_seed, rate));
-            let first = run_one(&np, t, k, rate);
-            let second = run_one(&np, t, k, rate);
-            assert_eq!(
-                first.digest, second.digest,
-                "{}: same-seed runs must produce identical replay digests",
-                first.name
-            );
-            assert_eq!(
-                first.state, second.state,
-                "{}: same-seed runs must produce identical state fingerprints",
-                first.name
-            );
-            assert_eq!(first.dispatched, second.dispatched);
-            reports.push(first);
+            cells.push(SweepCell {
+                t,
+                k,
+                rate,
+                plan_seed,
+            });
         }
     }
-    reports
+    cells
+}
+
+/// Execute one cell **twice** from the same seed; the two executions must
+/// agree on the replay digest and the state fingerprint — the determinism
+/// invariant with faults in the loop.
+fn run_cell(config: &CampaignConfig, cell: &SweepCell) -> ScenarioReport {
+    let np = NetpipeConfig::quick(config.max_size)
+        .with_faults(FaultPlan::wire(cell.plan_seed, cell.rate));
+    let first = run_one(&np, cell.t, cell.k, cell.rate);
+    let second = run_one(&np, cell.t, cell.k, cell.rate);
+    assert_eq!(
+        first.digest, second.digest,
+        "{}: same-seed runs must produce identical replay digests",
+        first.name
+    );
+    assert_eq!(
+        first.state, second.state,
+        "{}: same-seed runs must produce identical state fingerprints",
+        first.name
+    );
+    assert_eq!(first.dispatched, second.dispatched);
+    first
+}
+
+/// Sweep every NetPIPE scenario at every configured fault rate, serially.
+pub fn run_netpipe_sweep(config: &CampaignConfig) -> Vec<ScenarioReport> {
+    sweep_cells(config)
+        .iter()
+        .map(|cell| run_cell(config, cell))
+        .collect()
+}
+
+/// The same sweep fanned across worker threads. Each cell is an
+/// independent deterministic simulation with a seed derived from its
+/// matrix position, so the report vector — digests, fingerprints, order —
+/// is bit-identical to [`run_netpipe_sweep`] (asserted by the
+/// `parallel_sweep_matches_serial` test and the campaign binary's
+/// `--serial` escape hatch).
+pub fn run_netpipe_sweep_parallel(config: &CampaignConfig) -> Vec<ScenarioReport> {
+    crate::parallel::run_indexed(sweep_cells(config), |cell| run_cell(config, cell))
 }
 
 /// Result of the real-payload integrity run.
@@ -304,9 +344,17 @@ pub fn run_isolation(seed: u64) -> IsolationReport {
 
 /// Full campaign: the NetPIPE sweep plus the integrity and isolation
 /// runs. Panics on any violated invariant; returns the per-scenario
-/// reports for display.
-pub fn run_all(config: &CampaignConfig) -> (Vec<ScenarioReport>, IntegrityReport, IsolationReport) {
-    let sweep = run_netpipe_sweep(config);
+/// reports for display. `serial` forces the single-threaded sweep (the
+/// parallel one is the default and produces bit-identical reports).
+pub fn run_all(
+    config: &CampaignConfig,
+    serial: bool,
+) -> (Vec<ScenarioReport>, IntegrityReport, IsolationReport) {
+    let sweep = if serial {
+        run_netpipe_sweep(config)
+    } else {
+        run_netpipe_sweep_parallel(config)
+    };
     let max_rate = config
         .rates
         .iter()
@@ -337,6 +385,35 @@ mod tests {
             reports.iter().any(|r| r.stats.wire_total() > 0),
             "a 6% fault rate must actually inject faults somewhere"
         );
+    }
+
+    /// The fanned-out sweep must be indistinguishable from the serial
+    /// one: same report order, same digests, same fingerprints, same
+    /// fault counts. This is the contract that lets `fault_campaign`
+    /// default to the parallel runner.
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let config = CampaignConfig {
+            seed: 0xCA4A16,
+            rates: vec![0.0, 0.06],
+            max_size: 256,
+        };
+        let serial = run_netpipe_sweep(&config);
+        let parallel = run_netpipe_sweep_parallel(&config);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.rate.to_bits(), p.rate.to_bits());
+            assert_eq!(s.dispatched, p.dispatched);
+            assert_eq!(
+                s.digest, p.digest,
+                "{}: digest must be bit-identical",
+                s.name
+            );
+            assert_eq!(s.state, p.state, "{}: state must be bit-identical", s.name);
+            assert_eq!(s.retransmissions, p.retransmissions);
+            assert_eq!(s.stats, p.stats);
+        }
     }
 
     #[test]

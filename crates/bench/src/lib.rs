@@ -8,6 +8,7 @@
 //! wall-clock tracking of the simulator itself.
 
 pub mod campaign;
+pub mod parallel;
 
 use xt3_netpipe::report::FigureData;
 use xt3_netpipe::runner::{bandwidth_curve, latency_curve, NetpipeConfig, TestKind, Transport};
@@ -57,27 +58,16 @@ pub fn figure7(config: &NetpipeConfig) -> FigureData {
 }
 
 /// Run the four transport curves of one figure in parallel (each curve is
-/// an independent deterministic simulation; std scoped threads keep the
-/// sweep wall-clock at the slowest single curve).
+/// an independent deterministic simulation, so the index-merging runner
+/// keeps the series order — and every point — bit-identical to a serial
+/// sweep while the wall-clock drops to the slowest single curve).
 fn run_parallel(config: &NetpipeConfig, kind: TestKind, latency: bool) -> Vec<xt3_netpipe::Series> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = CURVES
-            .iter()
-            .map(|&t| {
-                let cfg = config.clone();
-                scope.spawn(move || {
-                    if latency {
-                        latency_curve(&cfg, t, kind)
-                    } else {
-                        bandwidth_curve(&cfg, t, kind)
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("curve thread"))
-            .collect()
+    parallel::run_indexed(CURVES.to_vec(), |&t| {
+        if latency {
+            latency_curve(config, t, kind)
+        } else {
+            bandwidth_curve(config, t, kind)
+        }
     })
 }
 

@@ -66,7 +66,7 @@ impl FwConfig {
 }
 
 /// Effects the firmware hands back for the platform to execute.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FwEffect {
     /// Program the TX DMA engine for a pending at the head of the TX list.
     StartTxDma {
@@ -109,6 +109,106 @@ pub enum FwEffect {
         /// The pending holding the header.
         pending: PendingId,
     },
+}
+
+/// Unused filler for [`Effects`]' inline slots (never observable: `len`
+/// bounds every read).
+const FX_FILL: FwEffect = FwEffect::RaiseInterrupt;
+
+/// How many effects an [`Effects`] list holds without heap allocation.
+/// No single §4.3 handler produces more than three (event + interrupt +
+/// next-DMA start); only multi-command mailbox drains spill.
+pub const FX_INLINE: usize = 4;
+
+/// The effect list a firmware handler returns.
+///
+/// Handlers run on the per-event hot path and return at most three
+/// effects, so this stores up to [`FX_INLINE`] inline and only spills to
+/// a `Vec` when lists are concatenated (mailbox drains). Dereferences to
+/// `&[FwEffect]`, so it reads like the `Vec` it replaced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effects {
+    /// At most [`FX_INLINE`] effects, no heap.
+    Inline {
+        /// Number of live entries in `fx`.
+        len: u8,
+        /// Storage; entries at `len..` are filler.
+        fx: [FwEffect; FX_INLINE],
+    },
+    /// Spilled to the heap (concatenated lists).
+    Heap(Vec<FwEffect>),
+}
+
+impl Effects {
+    /// An empty list.
+    pub const fn new() -> Self {
+        Effects::Inline {
+            len: 0,
+            fx: [FX_FILL; FX_INLINE],
+        }
+    }
+
+    /// A single-effect list.
+    pub const fn one(e: FwEffect) -> Self {
+        Effects::Inline {
+            len: 1,
+            fx: [e, FX_FILL, FX_FILL, FX_FILL],
+        }
+    }
+
+    /// Append an effect, spilling to the heap past [`FX_INLINE`].
+    pub fn push(&mut self, e: FwEffect) {
+        match self {
+            Effects::Inline { len, fx } => {
+                if (*len as usize) < FX_INLINE {
+                    fx[*len as usize] = e;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(FX_INLINE + 1);
+                    v.extend_from_slice(&fx[..]);
+                    v.push(e);
+                    *self = Effects::Heap(v);
+                }
+            }
+            Effects::Heap(v) => v.push(e),
+        }
+    }
+
+    /// Append every effect of `other` in order.
+    pub fn append(&mut self, other: &Effects) {
+        for &e in other.as_slice() {
+            self.push(e);
+        }
+    }
+
+    /// The live effects.
+    pub fn as_slice(&self) -> &[FwEffect] {
+        match self {
+            Effects::Inline { len, fx } => &fx[..*len as usize],
+            Effects::Heap(v) => v,
+        }
+    }
+}
+
+impl Default for Effects {
+    fn default() -> Self {
+        Effects::new()
+    }
+}
+
+impl std::ops::Deref for Effects {
+    type Target = [FwEffect];
+    fn deref(&self) -> &[FwEffect] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Effects {
+    type Item = &'a FwEffect;
+    type IntoIter = std::slice::Iter<'a, FwEffect>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
 }
 
 /// Resource-exhaustion conditions (§4.3).
@@ -284,10 +384,10 @@ impl Firmware {
     // ----- main-loop entry points (§4.3) -----
 
     /// Drain and process every queued mailbox command for `proc`.
-    pub fn poll_mailbox(&mut self, proc: ProcIdx) -> Result<Vec<FwEffect>, FwError> {
-        let mut effects = Vec::new();
+    pub fn poll_mailbox(&mut self, proc: ProcIdx) -> Result<Effects, FwError> {
+        let mut effects = Effects::new();
         while let Some(cmd) = self.processes[proc as usize].mailbox.take_cmd() {
-            effects.extend(self.handle_command(proc, cmd)?);
+            effects.append(&self.handle_command(proc, cmd)?);
         }
         Ok(effects)
     }
@@ -297,11 +397,7 @@ impl Firmware {
     /// Event handlers return typed errors instead of panicking: the audit
     /// layer forbids `unwrap`/`expect` on these paths (a corrupt host
     /// command must isolate the node, not abort the simulation).
-    pub fn handle_command(
-        &mut self,
-        proc: ProcIdx,
-        cmd: FwCommand,
-    ) -> Result<Vec<FwEffect>, FwError> {
+    pub fn handle_command(&mut self, proc: ProcIdx, cmd: FwCommand) -> Result<Effects, FwError> {
         match cmd {
             FwCommand::Transmit {
                 pending,
@@ -327,9 +423,9 @@ impl Firmware {
                 self.tx_list.push_back((proc, pending));
                 if self.tx_list.len() == 1 {
                     self.lower_mut(proc, pending).state = PendingState::TxActive;
-                    Ok(vec![FwEffect::StartTxDma { proc, pending }])
+                    Ok(Effects::one(FwEffect::StartTxDma { proc, pending }))
                 } else {
-                    Ok(Vec::new())
+                    Ok(Effects::new())
                 }
             }
             FwCommand::RecvDeposit {
@@ -341,7 +437,7 @@ impl Firmware {
                 let peer = {
                     let lp = self.lower_mut(proc, pending);
                     if lp.state != PendingState::RxHeaderPending {
-                        return Ok(Vec::new());
+                        return Ok(Effects::new());
                     }
                     lp.state = PendingState::RxQueued;
                     lp.length = length;
@@ -357,13 +453,13 @@ impl Firmware {
                 src.rx_pending_list.push_back(pending);
                 if src.rx_pending_list.len() == 1 {
                     self.lower_mut(proc, pending).state = PendingState::RxActive;
-                    Ok(vec![FwEffect::StartRxDma {
+                    Ok(Effects::one(FwEffect::StartRxDma {
                         proc,
                         pending,
                         source,
-                    }])
+                    }))
                 } else {
-                    Ok(Vec::new())
+                    Ok(Effects::new())
                 }
             }
             FwCommand::RecvDiscard { pending } => {
@@ -372,7 +468,7 @@ impl Firmware {
                     lp.state = PendingState::Free;
                     self.processes[proc as usize].rx_pool.free(pending);
                 }
-                Ok(Vec::new())
+                Ok(Effects::new())
             }
             FwCommand::ReleasePending { pending } => {
                 let rx_cap = self.config.rx_pendings;
@@ -383,7 +479,7 @@ impl Firmware {
                         self.processes[proc as usize].rx_pool.free(pending);
                     }
                 }
-                Ok(Vec::new())
+                Ok(Effects::new())
             }
         }
     }
@@ -397,8 +493,8 @@ impl Firmware {
         proc: ProcIdx,
         pending: PendingId,
         length: u64,
-        dma: Vec<xt3_seastar::dma::DmaCommand>,
-    ) -> Result<Vec<FwEffect>, FwError> {
+        dma: xt3_seastar::dma::DmaList,
+    ) -> Result<Effects, FwError> {
         self.handle_command(
             proc,
             FwCommand::RecvDeposit {
@@ -415,7 +511,7 @@ impl Firmware {
     /// A completion with an empty TX list is a spurious interrupt from
     /// the DMA engine (or corrupted firmware state) and is surfaced as a
     /// typed error rather than a panic.
-    pub fn tx_dma_complete(&mut self) -> Result<Vec<FwEffect>, FwError> {
+    pub fn tx_dma_complete(&mut self) -> Result<Effects, FwError> {
         let (proc, pending) = self
             .tx_list
             .pop_front()
@@ -423,10 +519,10 @@ impl Firmware {
         self.counters.tx_completions += 1;
         self.lower_mut(proc, pending).state = PendingState::AwaitRelease;
 
-        let mut effects = vec![FwEffect::PostEvent {
+        let mut effects = Effects::one(FwEffect::PostEvent {
             proc,
             event: FwEvent::TxComplete { pending },
-        }];
+        });
         if self.processes[proc as usize].mode == FwMode::Generic {
             self.counters.interrupts += 1;
             effects.push(FwEffect::RaiseInterrupt);
@@ -463,7 +559,7 @@ impl Firmware {
         from_node: u32,
         piggybacked: bool,
         direct: bool,
-    ) -> Result<(PendingId, Vec<FwEffect>), FwError> {
+    ) -> Result<(PendingId, Effects), FwError> {
         if proc as usize >= self.processes.len() {
             return Err(FwError::BadProcess);
         }
@@ -483,10 +579,10 @@ impl Firmware {
             let lp = self.lower_mut(proc, pending);
             lp.state = PendingState::RxHeaderPending;
             lp.peer = from_node;
-            lp.dma = Vec::new();
+            lp.dma = xt3_seastar::dma::DmaList::new();
             lp.direct = direct;
         }
-        let mut effects = vec![FwEffect::WriteUpperHeader { proc, pending }];
+        let mut effects = Effects::one(FwEffect::WriteUpperHeader { proc, pending });
         if direct {
             // Reply/Ack: the firmware already knows the destination buffer
             // (the originating command pushed it down); no host matching,
@@ -518,7 +614,7 @@ impl Firmware {
         &mut self,
         proc: ProcIdx,
         pending: PendingId,
-    ) -> Result<Vec<FwEffect>, FwError> {
+    ) -> Result<Effects, FwError> {
         self.counters.rx_completions += 1;
         let peer = self.lower(proc, pending).peer;
         let source = self.sources.find(peer).ok_or(FwError::NoSource)?;
@@ -533,7 +629,7 @@ impl Firmware {
             lp.direct
         };
 
-        let mut effects = Vec::new();
+        let mut effects = Effects::new();
         if !direct {
             effects.push(FwEffect::PostEvent {
                 proc,
@@ -588,6 +684,7 @@ impl Firmware {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xt3_seastar::dma::DmaList;
 
     fn fw(modes: &[FwMode]) -> (Firmware, Sram) {
         let mut sram = Sram::default();
@@ -600,7 +697,7 @@ mod tests {
             pending,
             target_node: target,
             length: 1024,
-            dma: vec![],
+            dma: DmaList::new(),
             tag: 0,
         }
     }
@@ -648,8 +745,8 @@ mod tests {
         // First transmit starts the DMA immediately.
         let e1 = f.handle_command(0, tx_cmd(base, 1)).unwrap();
         assert_eq!(
-            e1,
-            vec![FwEffect::StartTxDma {
+            e1.as_slice(),
+            &[FwEffect::StartTxDma {
                 proc: 0,
                 pending: base
             }]
@@ -711,7 +808,7 @@ mod tests {
                     pending: p1,
                     length: 100,
                     drop_length: 0,
-                    dma: vec![],
+                    dma: DmaList::new(),
                 },
             )
             .unwrap();
@@ -723,7 +820,7 @@ mod tests {
                     pending: p2,
                     length: 100,
                     drop_length: 0,
-                    dma: vec![],
+                    dma: DmaList::new(),
                 },
             )
             .unwrap();
@@ -737,7 +834,7 @@ mod tests {
                     pending: p3,
                     length: 100,
                     drop_length: 0,
-                    dma: vec![],
+                    dma: DmaList::new(),
                 },
             )
             .unwrap();
@@ -761,7 +858,7 @@ mod tests {
                 pending: p,
                 length: 10,
                 drop_length: 0,
-                dma: vec![],
+                dma: DmaList::new(),
             },
         )
         .unwrap();

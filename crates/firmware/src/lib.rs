@@ -45,12 +45,12 @@
 //!     pending,
 //!     target_node: 3,
 //!     length: 1024,
-//!     dma: vec![],
+//!     dma: xt3_seastar::dma::DmaList::new(),
 //!     tag: 0,
 //! });
 //! // ...the firmware's main loop picks it up and programs the TX DMA.
 //! let effects = fw.poll_mailbox(0).unwrap();
-//! assert_eq!(effects, vec![FwEffect::StartTxDma { proc: 0, pending }]);
+//! assert_eq!(effects.as_slice(), &[FwEffect::StartTxDma { proc: 0, pending }]);
 //!
 //! // DMA completion posts the host event and raises the interrupt.
 //! let effects = fw.tx_dma_complete().unwrap();
@@ -64,7 +64,7 @@ pub mod pending;
 pub mod pool;
 pub mod source;
 
-pub use control::{Firmware, FwConfig, FwCounters, FwEffect, FwError, FwMode, ProcIdx};
+pub use control::{Effects, Firmware, FwConfig, FwCounters, FwEffect, FwError, FwMode, ProcIdx};
 pub use gbn::{GbnEvent, GbnReceiver, GbnSender, SeqNo};
 pub use mailbox::{FwCommand, FwEvent, FwResult, Mailbox};
 pub use pending::{LowerPending, PendingId, PendingState, UpperPending};

@@ -9,7 +9,7 @@
 use crate::pending::PendingId;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use xt3_seastar::dma::DmaCommand;
+use xt3_seastar::dma::DmaList;
 
 /// Commands the host pushes to the firmware (§4.3).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,7 +24,7 @@ pub enum FwCommand {
         length: u64,
         /// DMA command list (one entry for contiguous buffers; the host
         /// pre-computes the list for paged buffers, §3.3).
-        dma: Vec<DmaCommand>,
+        dma: DmaList,
         /// Trace correlation tag.
         tag: u64,
     },
@@ -38,7 +38,7 @@ pub enum FwCommand {
         /// Bytes to discard (truncated tail).
         drop_length: u64,
         /// DMA command list for the target buffer.
-        dma: Vec<DmaCommand>,
+        dma: DmaList,
     },
     /// Discard a received message entirely (no match / permission
     /// violation): the firmware must still consume and drop the payload.
@@ -153,7 +153,7 @@ mod tests {
             pending,
             target_node: 1,
             length: 64,
-            dma: vec![],
+            dma: DmaList::new(),
             tag: 0,
         }
     }

@@ -7,7 +7,7 @@
 //! contiguous pages. This means that a single command is sufficient."
 
 use xt3_portals::memory::ProcessMemory;
-use xt3_seastar::dma::{paged_commands, DmaCommand};
+use xt3_seastar::dma::{paged_commands, DmaCommand, DmaList};
 use xt3_sim::SimRng;
 
 /// Linux page size on the XT3's Opterons.
@@ -21,7 +21,7 @@ pub trait AddressSpace: ProcessMemory {
     /// Translate a virtual range into DMA commands (physically contiguous
     /// chunks). Also returns the number of pages that had to be pinned
     /// (0 for Catamount — memory is always resident).
-    fn translate(&self, addr: u64, len: u32) -> (Vec<DmaCommand>, u32);
+    fn translate(&self, addr: u64, len: u32) -> (DmaList, u32);
 }
 
 /// Catamount's contiguous address space: virtual offset `v` lives at
@@ -65,15 +65,15 @@ impl AddressSpace for CatamountSpace {
             .unwrap_or(false)
     }
 
-    fn translate(&self, addr: u64, len: u32) -> (Vec<DmaCommand>, u32) {
+    fn translate(&self, addr: u64, len: u32) -> (DmaList, u32) {
         if len == 0 {
-            return (Vec::new(), 0);
+            return (DmaList::new(), 0);
         }
         (
-            vec![DmaCommand {
+            DmaList::one(DmaCommand {
                 phys_addr: self.phys_base + addr,
                 bytes: len,
-            }],
+            }),
             0,
         )
     }
@@ -166,9 +166,9 @@ impl AddressSpace for LinuxSpace {
             .unwrap_or(false)
     }
 
-    fn translate(&self, addr: u64, len: u32) -> (Vec<DmaCommand>, u32) {
+    fn translate(&self, addr: u64, len: u32) -> (DmaList, u32) {
         if len == 0 {
-            return (Vec::new(), 0);
+            return (DmaList::new(), 0);
         }
         let cmds = paged_commands(addr, len, PAGE_SIZE, |page_base| {
             let vpage = page_base / PAGE_SIZE as u64;

@@ -8,7 +8,7 @@
 use crate::addr::AddressSpace;
 use serde::{Deserialize, Serialize};
 use xt3_seastar::cost::CostModel;
-use xt3_seastar::dma::DmaCommand;
+use xt3_seastar::dma::DmaList;
 use xt3_sim::SimTime;
 
 /// Which bridge a process uses (paper §3.2).
@@ -27,7 +27,7 @@ pub enum BridgeKind {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PreparedBuffer {
     /// Physically contiguous chunks for the DMA engine.
-    pub commands: Vec<DmaCommand>,
+    pub commands: DmaList,
     /// Host CPU time spent validating, pinning and translating.
     pub prep_cost: SimTime,
     /// Pages pinned (must be unpinned on completion; 0 for Catamount).

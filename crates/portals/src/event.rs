@@ -58,11 +58,18 @@ pub struct Event {
 }
 
 /// A fixed-capacity circular event queue.
+///
+/// The *logical* capacity (the point at which posts drop, which upper
+/// layers size their protocols around) is fixed at creation, but the
+/// backing storage grows lazily: an `eq_alloc(2048)` used to memset a
+/// ~144 KB `vec![None; 2048]` up front, which dominated short
+/// simulations (allocation happens mid-run, at `AppStart` dispatch).
+/// Typical queues hold a handful of events at a time, so the deque
+/// stays tiny and the drop semantics are unchanged.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EventQueue {
-    ring: Vec<Option<Event>>,
-    head: u64,
-    tail: u64,
+    ring: std::collections::VecDeque<Event>,
+    capacity: u32,
     dropped: u64,
 }
 
@@ -75,26 +82,25 @@ impl EventQueue {
     pub fn new(capacity: u32) -> Self {
         assert!(capacity > 0, "zero-capacity event queue");
         EventQueue {
-            ring: vec![None; capacity as usize],
-            head: 0,
-            tail: 0,
+            ring: std::collections::VecDeque::new(),
+            capacity,
             dropped: 0,
         }
     }
 
     /// Capacity in events.
     pub fn capacity(&self) -> u32 {
-        self.ring.len() as u32
+        self.capacity
     }
 
     /// Undelivered events currently queued.
     pub fn len(&self) -> u32 {
-        (self.tail - self.head) as u32
+        self.ring.len() as u32
     }
 
     /// True when nothing is pending.
     pub fn is_empty(&self) -> bool {
-        self.head == self.tail
+        self.ring.is_empty()
     }
 
     /// Events dropped due to overflow.
@@ -104,13 +110,11 @@ impl EventQueue {
 
     /// Post an event. Returns `false` (and counts a drop) when full.
     pub fn post(&mut self, event: Event) -> bool {
-        if self.len() == self.capacity() {
+        if self.len() == self.capacity {
             self.dropped += 1;
             return false;
         }
-        let slot = (self.tail % self.ring.len() as u64) as usize;
-        self.ring[slot] = Some(event);
-        self.tail += 1;
+        self.ring.push_back(event);
         true
     }
 
@@ -118,26 +122,19 @@ impl EventQueue {
     /// when none is pending, or `EqDropped` (once) after an overflow so
     /// the consumer learns events were lost.
     pub fn get(&mut self) -> PtlResult<Event> {
-        if self.head == self.tail {
-            if self.dropped > 0 {
+        match self.ring.pop_front() {
+            Some(ev) => Ok(ev),
+            None if self.dropped > 0 => {
                 self.dropped = 0;
-                return Err(PtlError::EqDropped);
+                Err(PtlError::EqDropped)
             }
-            return Err(PtlError::EqEmpty);
+            None => Err(PtlError::EqEmpty),
         }
-        let slot = (self.head % self.ring.len() as u64) as usize;
-        let ev = self.ring[slot].take().expect("ring slot must be occupied");
-        self.head += 1;
-        Ok(ev)
     }
 
     /// Peek the next event without consuming it.
     pub fn peek(&self) -> Option<&Event> {
-        if self.head == self.tail {
-            return None;
-        }
-        let slot = (self.head % self.ring.len() as u64) as usize;
-        self.ring[slot].as_ref()
+        self.ring.front()
     }
 
     /// Drain all pending events.

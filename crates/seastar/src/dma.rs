@@ -33,6 +33,132 @@ pub struct DmaCommand {
     pub bytes: u32,
 }
 
+/// Unused filler for [`DmaList`]'s inline slots (never observable:
+/// `len` bounds every read).
+const DMA_FILL: DmaCommand = DmaCommand {
+    phys_addr: 0,
+    bytes: 0,
+};
+
+/// How many commands a [`DmaList`] holds without heap allocation.
+/// Catamount buffers are always one command (§3.3); two covers the odd
+/// straddle case, so only Linux paged buffers spill.
+pub const DMA_INLINE: usize = 2;
+
+/// A DMA command list that stores up to [`DMA_INLINE`] commands inline.
+///
+/// Command lists ride inside every transmit/deposit command and every
+/// lower pending, and on the dominant (Catamount, contiguous) path they
+/// hold exactly one entry — a `Vec` would put a heap allocation and free
+/// on the per-message hot path for nothing. Paged (Linux) buffers with
+/// more commands spill to a `Vec` and behave as before.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmaList {
+    /// At most [`DMA_INLINE`] commands, no heap.
+    Inline {
+        /// Number of live entries in `cmds`.
+        len: u8,
+        /// Storage; entries at `len..` are filler.
+        cmds: [DmaCommand; DMA_INLINE],
+    },
+    /// Spilled to the heap (paged buffers).
+    Heap(Vec<DmaCommand>),
+}
+
+impl DmaList {
+    /// An empty list.
+    pub const fn new() -> Self {
+        DmaList::Inline {
+            len: 0,
+            cmds: [DMA_FILL; DMA_INLINE],
+        }
+    }
+
+    /// A single-command list (the contiguous-buffer fast path).
+    pub const fn one(cmd: DmaCommand) -> Self {
+        DmaList::Inline {
+            len: 1,
+            cmds: [cmd, DMA_FILL],
+        }
+    }
+
+    /// `cmd` repeated `n` times (synthetic chunk accounting).
+    pub fn repeat(cmd: DmaCommand, n: usize) -> Self {
+        if n <= DMA_INLINE {
+            let mut l = DmaList::new();
+            for _ in 0..n {
+                l.push(cmd);
+            }
+            l
+        } else {
+            DmaList::Heap(vec![cmd; n])
+        }
+    }
+
+    /// Append a command, spilling to the heap past [`DMA_INLINE`].
+    pub fn push(&mut self, cmd: DmaCommand) {
+        match self {
+            DmaList::Inline { len, cmds } => {
+                if (*len as usize) < DMA_INLINE {
+                    cmds[*len as usize] = cmd;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(DMA_INLINE + 1);
+                    v.extend_from_slice(&cmds[..]);
+                    v.push(cmd);
+                    *self = DmaList::Heap(v);
+                }
+            }
+            DmaList::Heap(v) => v.push(cmd),
+        }
+    }
+
+    /// The live commands.
+    pub fn as_slice(&self) -> &[DmaCommand] {
+        match self {
+            DmaList::Inline { len, cmds } => &cmds[..*len as usize],
+            DmaList::Heap(v) => v,
+        }
+    }
+}
+
+impl Default for DmaList {
+    fn default() -> Self {
+        DmaList::new()
+    }
+}
+
+impl std::ops::Deref for DmaList {
+    type Target = [DmaCommand];
+    fn deref(&self) -> &[DmaCommand] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<DmaCommand>> for DmaList {
+    fn from(v: Vec<DmaCommand>) -> Self {
+        DmaList::Heap(v)
+    }
+}
+
+impl FromIterator<DmaCommand> for DmaList {
+    fn from_iter<I: IntoIterator<Item = DmaCommand>>(iter: I) -> Self {
+        let mut l = DmaList::new();
+        for cmd in iter {
+            l.push(cmd);
+        }
+        l
+    }
+}
+
+impl<'a> IntoIterator for &'a DmaList {
+    type Item = &'a DmaCommand;
+    type IntoIter = std::slice::Iter<'a, DmaCommand>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// One DMA engine.
 #[derive(Debug)]
 pub struct DmaEngine {
@@ -126,12 +252,12 @@ pub fn paged_commands(
     len: u32,
     page_size: u32,
     phys_of_page: impl Fn(u64) -> u64,
-) -> Vec<DmaCommand> {
+) -> DmaList {
     assert!(
         page_size.is_power_of_two(),
         "page size must be a power of two"
     );
-    let mut cmds = Vec::new();
+    let mut cmds = DmaList::new();
     let mut addr = virt_addr;
     let mut remaining = len;
     while remaining > 0 {

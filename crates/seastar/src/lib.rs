@@ -34,7 +34,7 @@ pub mod sram;
 
 pub use chip::SeaStar;
 pub use cost::CostModel;
-pub use dma::DmaEngine;
+pub use dma::{DmaEngine, DmaList};
 pub use ht::HyperTransport;
 pub use ppc::Ppc440;
 pub use sram::{Sram, SramError, SramRegion};

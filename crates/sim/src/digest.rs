@@ -41,28 +41,42 @@ impl EventDigest {
         self.state = self.state.wrapping_mul(FNV_PRIME);
     }
 
-    /// Fold a little-endian `u64`.
+    /// Fold a `u64` in a single FNV round (xor the whole word, one
+    /// multiply) instead of eight byte rounds. Diffusion per round is
+    /// weaker than byte-at-a-time FNV, but the digest only ever compares
+    /// run against run — any differing input word still changes the state
+    /// permanently, which is the property the replay checker needs. This
+    /// is the engine's per-event hot path, so the 8x fewer multiplies
+    /// matter.
     #[inline]
     pub fn write_u64(&mut self, value: u64) {
-        for b in value.to_le_bytes() {
-            self.write_u8(b);
-        }
+        self.state ^= value;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
     }
 
-    /// Fold a little-endian `u32`.
+    /// Fold a `u32` (single FNV round, like [`Self::write_u64`]).
     #[inline]
     pub fn write_u32(&mut self, value: u32) {
-        for b in value.to_le_bytes() {
-            self.write_u8(b);
-        }
+        self.write_u64(value as u64);
     }
 
     /// Fold a byte slice (length-prefixed, so `"ab" + "c"` and
-    /// `"a" + "bc"` fold differently).
+    /// `"a" + "bc"` fold differently). Folds whole little-endian words
+    /// where possible; the zero-padded tail word is unambiguous because
+    /// the length prefix fixes how many of its bytes are real.
     pub fn write_bytes(&mut self, bytes: &[u8]) {
         self.write_u64(bytes.len() as u64);
-        for &b in bytes {
-            self.write_u8(b);
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.write_u64(u64::from_le_bytes(word));
         }
     }
 

@@ -132,20 +132,28 @@ impl<M: Model> Engine<M> {
         self.model
     }
 
+    /// Dispatch one already-popped event: advance the clock, fold the
+    /// digest, hand it to the model. The whole per-event hot path lives
+    /// here so `step` and the `run*` loops stay in lockstep.
+    #[inline]
+    fn dispatch_one(&mut self, at: SimTime, ev: M::Event) {
+        assert!(
+            at >= self.now,
+            "causality violation: event at {at} dispatched at {}",
+            self.now
+        );
+        self.now = at;
+        self.dispatched += 1;
+        self.digest.write_u64(at.0);
+        M::fingerprint(&ev, &mut self.digest);
+        self.model.dispatch(at, ev, &mut self.queue);
+    }
+
     /// Dispatch a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
             Some((at, ev)) => {
-                assert!(
-                    at >= self.now,
-                    "causality violation: event at {at} dispatched at {}",
-                    self.now
-                );
-                self.now = at;
-                self.dispatched += 1;
-                self.digest.write_u64(at.0);
-                M::fingerprint(&ev, &mut self.digest);
-                self.model.dispatch(at, ev, &mut self.queue);
+                self.dispatch_one(at, ev);
                 true
             }
             None => false,
@@ -171,7 +179,8 @@ impl<M: Model> Engine<M> {
                 return RunOutcome::EventBudgetExhausted;
             }
             budget -= 1;
-            self.step();
+            let (at, ev) = self.queue.pop().expect("peeked event must pop");
+            self.dispatch_one(at, ev);
         }
     }
 

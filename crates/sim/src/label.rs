@@ -1,0 +1,111 @@
+//! Compile-time interned trace labels.
+//!
+//! Trace labels used to be `String`s, which put a heap allocation on the
+//! hot path of every `Trace::record` call and made digest folding walk the
+//! label byte-by-byte. A [`Label`] is a `&'static str` paired with its
+//! FNV-1a hash computed in a `const fn`, so recording a label moves two
+//! words and digesting it folds a single pre-computed `u64`. The hash is
+//! the label's identity in every digest; the text rides along purely for
+//! rendering and tests.
+//!
+//! Use the [`label!`](crate::label!) macro at call sites — it wraps
+//! [`Label::new`] in an inline `const` block so the hash is evaluated at
+//! compile time even in debug builds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// An interned trace label: static text plus its const-computed FNV-1a id.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Label {
+    text: &'static str,
+    id: u64,
+}
+
+impl Label {
+    /// Intern `text`. `const fn` so the FNV-1a id costs nothing at
+    /// runtime; prefer the [`label!`](crate::label!) macro, which forces
+    /// const evaluation.
+    pub const fn new(text: &'static str) -> Self {
+        let bytes = text.as_bytes();
+        let mut state = FNV_OFFSET;
+        let mut i = 0;
+        while i < bytes.len() {
+            state ^= bytes[i] as u64;
+            state = state.wrapping_mul(FNV_PRIME);
+            i += 1;
+        }
+        Label { text, id: state }
+    }
+
+    /// The label text.
+    pub const fn as_str(self) -> &'static str {
+        self.text
+    }
+
+    /// The label's digest identity (FNV-1a of the text).
+    pub const fn id(self) -> u64 {
+        self.id
+    }
+}
+
+// Identity is the hash of the text, so compare by id: two labels with the
+// same text are equal no matter where they were interned.
+impl PartialEq for Label {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for Label {}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text)
+    }
+}
+
+/// Intern a string literal as a [`Label`] at compile time.
+///
+/// ```
+/// use xt3_sim::label;
+/// let l = label!("tx-dma-done");
+/// assert_eq!(l.as_str(), "tx-dma-done");
+/// ```
+#[macro_export]
+macro_rules! label {
+    ($s:expr) => {
+        const { $crate::label::Label::new($s) }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_is_fnv1a_of_text() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c (same vector digest.rs checks).
+        assert_eq!(Label::new("a").id(), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Label::new("").id(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn equality_tracks_text() {
+        assert_eq!(label!("x"), Label::new("x"));
+        assert_ne!(label!("x"), label!("y"));
+        assert_eq!(label!("tx-dma-done").to_string(), "tx-dma-done");
+    }
+
+    #[test]
+    fn distinct_labels_get_distinct_ids() {
+        let labels = ["tx-cmd-post", "int-raise", "host-match", "fault:drop"];
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(Label::new(a).id(), Label::new(b).id());
+            }
+        }
+    }
+}

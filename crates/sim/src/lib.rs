@@ -41,6 +41,7 @@ pub mod cursor;
 pub mod digest;
 pub mod engine;
 pub mod faults;
+pub mod label;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -51,6 +52,7 @@ pub use cursor::BusyCursor;
 pub use digest::EventDigest;
 pub use engine::{Engine, Model, RunOutcome};
 pub use faults::{FaultInjector, FaultPlan, FaultStats, FwFaultKind, PacketFate, TimeWindow};
+pub use label::Label;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, Series, SeriesPoint};

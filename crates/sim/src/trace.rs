@@ -5,10 +5,19 @@
 //! the determinism integration test compares full traces across runs, and
 //! the latency-breakdown tooling attributes time between consecutive steps
 //! of one message's life.
+//!
+//! Recording is allocation-free: labels are compile-time interned
+//! [`Label`]s (two words plus a pre-computed hash), and retention is a
+//! ring buffer that keeps the most recent `capacity` events. The streaming
+//! digest always covers *every* record made while enabled, so a capped
+//! trace and an uncapped trace of the same run digest identically — the
+//! cap bounds memory, not the determinism check.
 
 use crate::digest::EventDigest;
+use crate::label::Label;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Coarse category of a trace event, used for filtering.
@@ -46,7 +55,7 @@ impl fmt::Display for TraceCategory {
 }
 
 /// One recorded step.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
     /// When it happened.
     pub at: SimTime,
@@ -54,8 +63,8 @@ pub struct TraceEvent {
     pub node: u32,
     /// Event category.
     pub category: TraceCategory,
-    /// Human-readable step label (stable strings; compared across runs).
-    pub label: String,
+    /// Interned step label (stable strings; compared across runs).
+    pub label: Label,
     /// Message/connection correlation id, when applicable.
     pub tag: u64,
 }
@@ -65,8 +74,9 @@ pub struct TraceEvent {
 #[derive(Debug, Default)]
 pub struct Trace {
     enabled: bool,
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
     capacity: usize,
+    recorded: u64,
     digest: EventDigest,
 }
 
@@ -75,19 +85,21 @@ impl Trace {
     pub fn disabled() -> Self {
         Trace {
             enabled: false,
-            events: Vec::new(),
+            events: VecDeque::new(),
             capacity: 0,
+            recorded: 0,
             digest: EventDigest::new(),
         }
     }
 
-    /// An enabled trace retaining at most `capacity` events (0 =
-    /// unbounded).
+    /// An enabled trace retaining at most the `capacity` most recent
+    /// events (0 = unbounded).
     pub fn enabled(capacity: usize) -> Self {
         Trace {
             enabled: true,
-            events: Vec::new(),
+            events: VecDeque::new(),
             capacity,
+            recorded: 0,
             digest: EventDigest::new(),
         }
     }
@@ -97,31 +109,32 @@ impl Trace {
         self.enabled
     }
 
-    /// Record an event (no-op when disabled or full).
+    /// Record an event (no-op when disabled). When the retention cap is
+    /// reached the *oldest* event is evicted — the buffer keeps the tail
+    /// of the stream, which is what post-mortem debugging wants. The
+    /// digest is folded before eviction, so it covers the full stream.
+    #[inline]
     pub fn record(
         &mut self,
         at: SimTime,
         node: u32,
         category: TraceCategory,
-        label: impl Into<String>,
+        label: Label,
         tag: u64,
     ) {
         if !self.enabled {
             return;
         }
-        let label = label.into();
-        // The digest covers every record() call while enabled — including
-        // events the capacity bound drops from retention — so it reflects
-        // the full stream, not just the kept prefix.
+        self.recorded += 1;
         self.digest.write_u64(at.0);
         self.digest.write_u32(node);
         self.digest.write_u8(category as u8);
-        self.digest.write_str(&label);
+        self.digest.write_u64(label.id());
         self.digest.write_u64(tag);
-        if self.capacity != 0 && self.events.len() >= self.capacity {
-            return;
+        if self.capacity != 0 && self.events.len() == self.capacity {
+            self.events.pop_front();
         }
-        self.events.push(TraceEvent {
+        self.events.push_back(TraceEvent {
             at,
             node,
             category,
@@ -130,13 +143,29 @@ impl Trace {
         });
     }
 
-    /// All recorded events in order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// All retained events in order (the tail of the stream when capped).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total records made while enabled, including events the cap has
+    /// since evicted.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
     }
 
     /// Streaming digest of every event recorded while enabled (time,
-    /// node, category, label, tag), independent of the retention cap.
+    /// node, category, label id, tag), independent of the retention cap.
     /// Used by the replay-divergence audit to compare traced runs.
     pub fn digest(&self) -> u64 {
         self.digest.value()
@@ -169,33 +198,73 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::label;
 
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::disabled();
-        t.record(SimTime::ZERO, 0, TraceCategory::Host, "x", 1);
-        assert!(t.events().is_empty());
+        t.record(SimTime::ZERO, 0, TraceCategory::Host, label!("x"), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 0);
         assert!(!t.is_enabled());
     }
 
     #[test]
     fn enabled_trace_records_in_order() {
         let mut t = Trace::enabled(0);
-        t.record(SimTime::from_ns(1), 0, TraceCategory::Host, "a", 7);
-        t.record(SimTime::from_ns(2), 1, TraceCategory::Network, "b", 7);
-        t.record(SimTime::from_ns(3), 1, TraceCategory::Firmware, "c", 8);
-        assert_eq!(t.events().len(), 3);
+        t.record(SimTime::from_ns(1), 0, TraceCategory::Host, label!("a"), 7);
+        t.record(
+            SimTime::from_ns(2),
+            1,
+            TraceCategory::Network,
+            label!("b"),
+            7,
+        );
+        t.record(
+            SimTime::from_ns(3),
+            1,
+            TraceCategory::Firmware,
+            label!("c"),
+            8,
+        );
+        assert_eq!(t.len(), 3);
         let tagged: Vec<_> = t.for_tag(7).map(|e| e.label.as_str()).collect();
         assert_eq!(tagged, vec!["a", "b"]);
     }
 
     #[test]
-    fn capacity_bounds_retention() {
+    fn capacity_keeps_the_tail() {
         let mut t = Trace::enabled(2);
         for i in 0..5 {
-            t.record(SimTime::from_ns(i), 0, TraceCategory::App, "e", i);
+            t.record(SimTime::from_ns(i), 0, TraceCategory::App, label!("e"), i);
         }
-        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.recorded(), 5);
+        // The two *most recent* records survive.
+        let tags: Vec<u64> = t.events().map(|e| e.tag).collect();
+        assert_eq!(tags, vec![3, 4]);
+    }
+
+    #[test]
+    fn capped_digest_matches_uncapped() {
+        // The cap bounds retention only: a capped trace of the same
+        // stream folds the same digest as an unbounded one.
+        let mut capped = Trace::enabled(3);
+        let mut uncapped = Trace::enabled(0);
+        for i in 0..64 {
+            let at = SimTime::from_ns(i * 5);
+            let cat = if i % 2 == 0 {
+                TraceCategory::Host
+            } else {
+                TraceCategory::Network
+            };
+            capped.record(at, (i % 4) as u32, cat, label!("step"), i);
+            uncapped.record(at, (i % 4) as u32, cat, label!("step"), i);
+        }
+        assert_eq!(capped.len(), 3);
+        assert_eq!(uncapped.len(), 64);
+        assert_eq!(capped.digest(), uncapped.digest());
+        assert_eq!(capped.recorded(), uncapped.recorded());
     }
 
     #[test]
@@ -205,7 +274,7 @@ mod tests {
             SimTime::from_us(5),
             3,
             TraceCategory::Dma,
-            "tx-dma-done",
+            label!("tx-dma-done"),
             42,
         );
         let s = t.render();

@@ -138,17 +138,20 @@ impl Fabric {
         let cfg = self.config.link;
         let packets = cfg.packets_for(msg.payload_bytes);
         let serialization = cfg.serialization_time(packets);
-        let path = self.routes.path(msg.src, msg.dst);
-        let hops = path.len() as u32;
+        // Split borrows: the lazy path walk borrows `routes` while the
+        // loop body mutates `links`/`rng`.
+        let (routes, links, rng) = (&self.routes, &mut self.links, &mut self.rng);
+        let mut hops = 0u32;
 
         // Cut-through: the head waits for each link in turn; each link is
         // occupied for the full packet train. `head` tracks when the first
         // byte arrives at the next router.
         let mut head = inject_at;
         let mut complete = inject_at + serialization;
-        for (node, port) in path {
-            let link = &mut self.links[node.0 as usize][port.index()];
-            let (start, done) = link.transmit(&cfg, &mut self.rng, head, packets);
+        for (node, port) in routes.path_iter(msg.src, msg.dst) {
+            hops += 1;
+            let link = &mut links[node.0 as usize][port.index()];
+            let (start, done) = link.transmit(&cfg, rng, head, packets);
             head = start + cfg.hop_latency;
             // The last byte clears this link at `done` and still needs the
             // hop latency to reach the next router.

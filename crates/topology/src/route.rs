@@ -69,23 +69,18 @@ impl RoutingTable {
     /// The full fixed path from `src` to `dst` as a list of `(node, port)`
     /// traversals; empty when `src == dst`.
     pub fn path(&self, src: NodeId, dst: NodeId) -> Vec<(NodeId, Port)> {
-        let mut hops = Vec::new();
-        let mut at = src;
-        while at != dst {
-            let port = self.next_port(at, dst);
-            debug_assert_ne!(port, Port::Host, "premature host port on path");
-            let next = self
-                .dims
-                .neighbor(self.dims.coord_of(at), port)
-                .expect("routing table pointed at a missing link");
-            hops.push((at, port));
-            at = self.dims.id_of(next);
-            debug_assert!(
-                hops.len() <= self.dims.node_count() as usize,
-                "routing loop {src}->{dst}"
-            );
+        self.path_iter(src, dst).collect()
+    }
+
+    /// Walk the fixed path from `src` to `dst` lazily — the fabric's
+    /// per-message hot path iterates hops without building a `Vec`.
+    pub fn path_iter(&self, src: NodeId, dst: NodeId) -> PathIter<'_> {
+        PathIter {
+            routes: self,
+            at: src,
+            dst,
+            steps: 0,
         }
-        hops
     }
 
     /// Number of network hops between two nodes.
@@ -110,6 +105,40 @@ impl RoutingTable {
             }
         };
         span(d.nx, d.wrap_x) + span(d.ny, d.wrap_y) + span(d.nz, d.wrap_z)
+    }
+}
+
+/// Lazy walker over a fixed route; see [`RoutingTable::path_iter`].
+pub struct PathIter<'a> {
+    routes: &'a RoutingTable,
+    at: NodeId,
+    dst: NodeId,
+    steps: u32,
+}
+
+impl Iterator for PathIter<'_> {
+    type Item = (NodeId, Port);
+
+    fn next(&mut self) -> Option<(NodeId, Port)> {
+        if self.at == self.dst {
+            return None;
+        }
+        let port = self.routes.next_port(self.at, self.dst);
+        debug_assert_ne!(port, Port::Host, "premature host port on path");
+        let next = self
+            .routes
+            .dims
+            .neighbor(self.routes.dims.coord_of(self.at), port)
+            .expect("routing table pointed at a missing link");
+        let hop = (self.at, port);
+        self.at = self.routes.dims.id_of(next);
+        self.steps += 1;
+        debug_assert!(
+            self.steps <= self.routes.dims.node_count(),
+            "routing loop towards {}",
+            self.dst
+        );
+        Some(hop)
     }
 }
 

@@ -23,7 +23,7 @@ use crate::app::{App, AppEvent, WaitRequest};
 use crate::config::{ExhaustionPolicy, MachineConfig, NodeSpec};
 use crate::node::{Node, ProcState, RxRecord, TxRecord, WaitState};
 use crate::wire::{WireKind, WireMsg};
-use xt3_firmware::control::{FwEffect, FwError, FwMode, ProcIdx};
+use xt3_firmware::control::{Effects, FwEffect, FwError, FwMode, ProcIdx};
 use xt3_firmware::gbn::{GbnEvent, GbnSender};
 use xt3_firmware::mailbox::{FwCommand, FwEvent};
 use xt3_firmware::pending::PendingId;
@@ -34,12 +34,26 @@ use xt3_portals::me::{InsertPos, UnlinkOp};
 use xt3_portals::types::{
     AckReq, EqHandle, MatchBits, MdHandle, MeHandle, ProcessId, PtlError, PtlResult,
 };
+use xt3_seastar::dma::DmaList;
 use xt3_seastar::ht::HtDir;
 use xt3_seastar::ppc::FwHandler;
 use xt3_sim::{
-    Engine, EventDigest, EventQueue, FaultInjector, FaultStats, FwFaultKind, Model, PacketFate,
-    SimTime, Trace, TraceCategory,
+    label, Engine, EventDigest, EventQueue, FaultInjector, FaultStats, FwFaultKind, Label, Model,
+    PacketFate, SimTime, Trace, TraceCategory,
 };
+
+/// Static trace label for a firmware fault, one per [`FwError`] variant
+/// (replaces a per-fault `format!` on what is otherwise an
+/// allocation-free dispatch path).
+fn fw_error_label(err: FwError) -> Label {
+    match err {
+        FwError::NoRxPending => label!("fw-fault:no-rx-pending"),
+        FwError::NoSource => label!("fw-fault:no-source"),
+        FwError::BadPending => label!("fw-fault:bad-pending"),
+        FwError::BadProcess => label!("fw-fault:bad-process"),
+        FwError::SpuriousCompletion => label!("fw-fault:spurious-completion"),
+    }
+}
 use xt3_topology::coord::NodeId;
 use xt3_topology::fabric::{Fabric, NetMessage};
 
@@ -102,7 +116,10 @@ pub enum Ev {
     NetHeader {
         /// Destination node index.
         node: u32,
-        /// The message and its completion time.
+        /// The message and its completion time. Boxed deliberately: one
+        /// allocation per *message* keeps `Ev` small (~32 B instead of
+        /// ~176 B), and every queue slot, bucket entry, and slab
+        /// `take()` copies an `Ev` on every *event*.
         inflight: Box<InFlight>,
     },
     /// The RX DMA finished depositing a pending.
@@ -154,6 +171,9 @@ pub struct Machine {
     pub(crate) faults: FaultInjector,
     running_apps: u32,
     spawned: Vec<(u32, u32)>,
+    /// Reusable drain buffer for `on_host_interrupt` (the handler is never
+    /// reentrant — it only runs from a dispatched `Ev::HostInterrupt`).
+    scratch_events: Vec<(ProcIdx, FwEvent)>,
 }
 
 impl Machine {
@@ -179,6 +199,7 @@ impl Machine {
             faults,
             running_apps: 0,
             spawned: Vec::new(),
+            scratch_events: Vec::new(),
         }
     }
 
@@ -330,8 +351,13 @@ impl Machine {
             .chip
             .ppc
             .run(&cm, FwHandler::Completion, now);
-        self.trace
-            .record(t, node as u32, TraceCategory::Dma, "rx-deposit-done", 0);
+        self.trace.record(
+            t,
+            node as u32,
+            TraceCategory::Dma,
+            label!("rx-deposit-done"),
+            0,
+        );
         let effects = match self.nodes[node].fw.rx_dma_complete(fw_proc, pending) {
             Ok(e) => e,
             Err(err) => self.fw_fault(t, node, err),
@@ -369,27 +395,23 @@ impl Machine {
     /// spurious completion, ...). On the real XT3 the firmware panics the
     /// node and RAS reboots it (§4.3); the model isolates the node instead
     /// so the run finishes and `any_panicked()` reports the failure.
-    fn fw_fault(&mut self, t: SimTime, node: usize, err: FwError) -> Vec<FwEffect> {
+    /// The label is per-variant so the fault cause stays visible in the
+    /// trace without a per-fault `format!`.
+    fn fw_fault(&mut self, t: SimTime, node: usize, err: FwError) -> Effects {
         self.nodes[node].panicked = true;
         self.trace.record(
             t,
             node as u32,
             TraceCategory::Firmware,
-            format!("fw-fault:{err}"),
+            fw_error_label(err),
             0,
         );
-        Vec::new()
+        Effects::new()
     }
 
-    fn exec_effects(
-        &mut self,
-        q: &mut EventQueue<Ev>,
-        t: SimTime,
-        node: usize,
-        effects: Vec<FwEffect>,
-    ) {
+    fn exec_effects(&mut self, q: &mut EventQueue<Ev>, t: SimTime, node: usize, effects: Effects) {
         let cm = self.config.cost;
-        for eff in effects {
+        for &eff in effects.as_slice() {
             match eff {
                 FwEffect::StartTxDma { proc, pending } => {
                     self.start_tx_dma(q, t, node, proc, pending);
@@ -409,8 +431,13 @@ impl Machine {
                     }
                 }
                 FwEffect::RaiseInterrupt => {
-                    self.trace
-                        .record(t, node as u32, TraceCategory::Firmware, "int-raise", 0);
+                    self.trace.record(
+                        t,
+                        node as u32,
+                        TraceCategory::Firmware,
+                        label!("int-raise"),
+                        0,
+                    );
                     // Every raise costs the host a full handler entry/exit
                     // (§3.3: interrupts are "very costly, requiring at
                     // least 2 us of overhead each"); a handler invocation
@@ -428,7 +455,7 @@ impl Machine {
                                 t,
                                 node as u32,
                                 TraceCategory::Host,
-                                "fault:int-delay",
+                                label!("fault:int-delay"),
                                 0,
                             );
                             deliver += extra;
@@ -531,7 +558,7 @@ impl Machine {
             fetch_done,
             node as u32,
             TraceCategory::Dma,
-            "tx-inject",
+            label!("tx-inject"),
             tag,
         );
         self.inject(q, fetch_done, dma_done, msg);
@@ -558,8 +585,13 @@ impl Machine {
             match self.faults.packet_fate(inject_at, src.0, dst.0, tag) {
                 PacketFate::Deliver => {}
                 PacketFate::Drop => {
-                    self.trace
-                        .record(inject_at, src.0, TraceCategory::Network, "fault:drop", tag);
+                    self.trace.record(
+                        inject_at,
+                        src.0,
+                        TraceCategory::Network,
+                        label!("fault:drop"),
+                        tag,
+                    );
                     return;
                 }
                 PacketFate::Corrupt => {
@@ -571,7 +603,7 @@ impl Machine {
                             inject_at,
                             src.0,
                             TraceCategory::Network,
-                            "fault:corrupt",
+                            label!("fault:corrupt"),
                             tag,
                         );
                     } else {
@@ -581,7 +613,7 @@ impl Machine {
                             inject_at,
                             src.0,
                             TraceCategory::Network,
-                            "fault:corrupt-ctl-drop",
+                            label!("fault:corrupt-ctl-drop"),
                             tag,
                         );
                         return;
@@ -593,7 +625,7 @@ impl Machine {
                         inject_at,
                         src.0,
                         TraceCategory::Network,
-                        "fault:reorder",
+                        label!("fault:reorder"),
                         tag,
                     );
                 }
@@ -755,7 +787,7 @@ impl Machine {
                 t,
                 node as u32,
                 TraceCategory::Dma,
-                "e2e-crc-reject",
+                label!("e2e-crc-reject"),
                 msg.tag,
             );
             return;
@@ -817,7 +849,7 @@ impl Machine {
                 t,
                 node as u32,
                 TraceCategory::Firmware,
-                "fault:sram-squeeze",
+                label!("fault:sram-squeeze"),
                 msg.tag,
             );
             Err(FwError::NoRxPending)
@@ -857,7 +889,7 @@ impl Machine {
                         t,
                         node as u32,
                         TraceCategory::Firmware,
-                        "panic-exhaustion",
+                        label!("panic-exhaustion"),
                         msg.tag,
                     );
                 }
@@ -869,7 +901,7 @@ impl Machine {
             t,
             node as u32,
             TraceCategory::Firmware,
-            "rx-header",
+            label!("rx-header"),
             msg.tag,
         );
         self.nodes[node].rx_store.insert(
@@ -1056,7 +1088,7 @@ impl Machine {
                     now,
                     node as u32,
                     TraceCategory::Firmware,
-                    "fault:fw-stall",
+                    label!("fault:fw-stall"),
                     0,
                 );
                 self.nodes[node].chip.ppc.stall(now, duration);
@@ -1067,7 +1099,7 @@ impl Machine {
                     now,
                     node as u32,
                     TraceCategory::Firmware,
-                    "fault:fw-dark",
+                    label!("fault:fw-dark"),
                     0,
                 );
                 self.nodes[node].dark = true;
@@ -1080,19 +1112,28 @@ impl Machine {
     fn on_host_interrupt(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize) {
         let cm = self.config.cost;
         let mut t = self.nodes[node].host.interrupt(&cm, now);
-        self.trace
-            .record(t, node as u32, TraceCategory::Host, "int-handler-done", 0);
+        self.trace.record(
+            t,
+            node as u32,
+            TraceCategory::Host,
+            label!("int-handler-done"),
+            0,
+        );
 
-        // §4.1: the handler processes ALL new events each invocation.
-        let mut events = Vec::new();
+        // §4.1: the handler processes ALL new events each invocation. The
+        // drain buffer is reused across interrupts (taken, not borrowed,
+        // because `process_fw_event` needs `&mut self`).
+        let mut events = std::mem::take(&mut self.scratch_events);
+        events.clear();
         for (fw_proc, eq) in self.nodes[node].fw_eq.iter_mut().enumerate() {
             while let Some(ev) = eq.pop_front() {
                 events.push((fw_proc as ProcIdx, ev));
             }
         }
-        for (fw_proc, ev) in events {
+        for &(fw_proc, ev) in &events {
             t = self.process_fw_event(q, t, node, fw_proc, ev);
         }
+        self.scratch_events = events;
     }
 
     fn process_fw_event(
@@ -1133,8 +1174,13 @@ impl Machine {
                     proc.lib
                         .complete_put(&rec.header, ticket, &rec.data, proc.mem.as_mut_memory())
                 };
-                self.trace
-                    .record(t, node as u32, TraceCategory::Portals, "put-end-posted", 0);
+                self.trace.record(
+                    t,
+                    node as u32,
+                    TraceCategory::Portals,
+                    label!("put-end-posted"),
+                    0,
+                );
                 t = self.post_cmd(q, t, node, fw_proc, FwCommand::ReleasePending { pending });
                 t = self.handle_incoming_action(q, t, node, fw_proc, rec.dst_pid, action, None);
                 self.maybe_wake(q, t, node, rec.dst_pid);
@@ -1156,8 +1202,13 @@ impl Machine {
         let cm = self.config.cost;
         t = self.nodes[node].host.run(t, cm.host_match);
         self.nodes[node].host.counters.matches += 1;
-        self.trace
-            .record(t, node as u32, TraceCategory::Portals, "host-match", 0);
+        self.trace.record(
+            t,
+            node as u32,
+            TraceCategory::Portals,
+            label!("host-match"),
+            0,
+        );
 
         let (header, dst_pid, piggy) = {
             let rec = &self.nodes[node].rx_store[&(fw_proc, pending)];
@@ -1336,7 +1387,7 @@ impl Machine {
                 t,
                 node as u32,
                 TraceCategory::Host,
-                "tx-pending-exhausted",
+                label!("tx-pending-exhausted"),
                 0,
             );
             eprintln!(
@@ -1346,8 +1397,13 @@ impl Machine {
             return t;
         };
         let tag = self.nodes[node].fresh_tag();
-        self.trace
-            .record(t, node as u32, TraceCategory::Host, "tx-cmd-post", tag);
+        self.trace.record(
+            t,
+            node as u32,
+            TraceCategory::Host,
+            label!("tx-cmd-post"),
+            tag,
+        );
         let len = data.len();
         let target_node = header.dst.nid;
         self.nodes[node].tx_store.insert(
@@ -1360,13 +1416,13 @@ impl Machine {
                 tag,
             },
         );
-        let dma = vec![
+        let dma = DmaList::repeat(
             xt3_seastar::dma::DmaCommand {
                 phys_addr: 0,
                 bytes: (len / dma_chunks.max(1) as u64).max(1) as u32,
-            };
-            dma_chunks.max(1) as usize
-        ];
+            },
+            dma_chunks.max(1) as usize,
+        );
         t = self.nodes[node].host.run(t, cm.host_cmd_post);
         let backlog = self.nodes[node]
             .fw
@@ -1614,7 +1670,9 @@ impl Machine {
             let ready = proc.lib.eq_len(eq).map(|n| n > 0).unwrap_or(false);
             if ready {
                 proc.wake_scheduled = true;
-                q.schedule_at(
+                // Wakes fire at the caller's current instant: take the
+                // queue's same-time FIFO fast path instead of the heap.
+                q.schedule_at_now(
                     now,
                     Ev::AppWake {
                         node: node as u32,
@@ -1652,8 +1710,13 @@ impl Machine {
                 let got = self.nodes[node].procs[pid as usize].lib.eq_get(eq);
                 match got {
                     Ok(ev) => {
-                        self.trace
-                            .record(t, node as u32, TraceCategory::App, "app-event", 0);
+                        self.trace.record(
+                            t,
+                            node as u32,
+                            TraceCategory::App,
+                            label!("app-event"),
+                            0,
+                        );
                         self.nodes[node].procs[pid as usize].wait = WaitState::Idle;
                         self.run_app(q, t, node, pid, AppEvent::Ptl(ev));
                     }

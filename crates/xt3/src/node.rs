@@ -18,9 +18,76 @@ use xt3_portals::header::PortalsHeader;
 use xt3_portals::library::{MatchTicket, PortalsLib, WireData};
 use xt3_portals::types::{MdHandle, NiLimits, ProcessId};
 use xt3_seastar::chip::SeaStar;
-use xt3_seastar::dma::DmaCommand;
+use xt3_seastar::dma::DmaList;
 use xt3_sim::SimTime;
 use xt3_topology::coord::NodeId;
+
+/// A slab map keyed by `(fw_proc, pending)`.
+///
+/// Replaces the previous `BTreeMap`: pending ids are small dense
+/// integers handed out lowest-first (the RX pool and the host TX free
+/// list both pop the lowest id), so a per-process `Vec<Option<V>>` gives
+/// O(1) insert/remove with no per-message tree-node allocation on the
+/// transmit/receive hot paths. The `BTreeMap`-shaped API keeps call
+/// sites unchanged, and slab iteration (were it needed) is index-ordered
+/// and therefore as deterministic as the tree it replaces.
+pub(crate) struct PendingMap<V> {
+    slots: Vec<Vec<Option<V>>>,
+}
+
+impl<V> PendingMap<V> {
+    /// Preallocate `procs` rows of `ids` slots each so no insert on the
+    /// message hot path has to grow the slab.
+    pub(crate) fn with_capacity(procs: usize, ids: usize) -> Self {
+        let mut slots = Vec::with_capacity(procs);
+        for _ in 0..procs {
+            let mut row = Vec::new();
+            row.resize_with(ids, || None);
+            slots.push(row);
+        }
+        PendingMap { slots }
+    }
+
+    pub(crate) fn insert(&mut self, key: (ProcIdx, PendingId), v: V) -> Option<V> {
+        let (p, id) = (key.0 as usize, key.1 as usize);
+        if p >= self.slots.len() {
+            self.slots.resize_with(p + 1, Vec::new);
+        }
+        let row = &mut self.slots[p];
+        if id >= row.len() {
+            row.resize_with(id + 1, || None);
+        }
+        row[id].replace(v)
+    }
+
+    pub(crate) fn get(&self, key: &(ProcIdx, PendingId)) -> Option<&V> {
+        self.slots
+            .get(key.0 as usize)?
+            .get(key.1 as usize)?
+            .as_ref()
+    }
+
+    pub(crate) fn get_mut(&mut self, key: &(ProcIdx, PendingId)) -> Option<&mut V> {
+        self.slots
+            .get_mut(key.0 as usize)?
+            .get_mut(key.1 as usize)?
+            .as_mut()
+    }
+
+    pub(crate) fn remove(&mut self, key: &(ProcIdx, PendingId)) -> Option<V> {
+        self.slots
+            .get_mut(key.0 as usize)?
+            .get_mut(key.1 as usize)?
+            .take()
+    }
+}
+
+impl<V> std::ops::Index<&(ProcIdx, PendingId)> for PendingMap<V> {
+    type Output = V;
+    fn index(&self, key: &(ProcIdx, PendingId)) -> &V {
+        self.get(key).expect("no record for pending")
+    }
+}
 
 /// A process's wait status between activations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,14 +154,14 @@ pub struct Node {
     pub procs: Vec<ProcState>,
     /// Host-managed TX pending free lists, per firmware-level process.
     pub(crate) tx_free: Vec<Vec<PendingId>>,
-    pub(crate) tx_store: BTreeMap<(ProcIdx, PendingId), TxRecord>,
-    pub(crate) rx_store: BTreeMap<(ProcIdx, PendingId), RxRecord>,
+    pub(crate) tx_store: PendingMap<TxRecord>,
+    pub(crate) rx_store: PendingMap<RxRecord>,
     /// The host-memory event queues the firmware posts into (generic
     /// procs only; accelerated completions are handled inline).
     pub(crate) fw_eq: Vec<VecDeque<FwEvent>>,
     /// Reply deposit buffers prepared at `PtlGet` time, keyed by
     /// `(pid, initiator MD)`.
-    pub(crate) await_reply: BTreeMap<(u32, MdHandle), Vec<DmaCommand>>,
+    pub(crate) await_reply: BTreeMap<(u32, MdHandle), DmaList>,
     /// Go-back-n sender state per destination node.
     pub(crate) gbn_tx: BTreeMap<u32, GbnSender<WireMsg>>,
     /// Go-back-n receiver state per source node.
@@ -198,7 +265,11 @@ impl Node {
         let tx_free = (0..fw_modes.len())
             .map(|_| (tx_base..tx_base + tx_count).rev().collect())
             .collect();
-        let fw_eq = (0..fw_modes.len()).map(|_| VecDeque::new()).collect();
+        // Reserve up front so the interrupt path's first posts don't
+        // allocate mid-run.
+        let fw_eq = (0..fw_modes.len())
+            .map(|_| VecDeque::with_capacity(32))
+            .collect();
 
         Node {
             id,
@@ -207,8 +278,8 @@ impl Node {
             host: HostCpu::new(),
             procs,
             tx_free,
-            tx_store: BTreeMap::new(),
-            rx_store: BTreeMap::new(),
+            tx_store: PendingMap::with_capacity(fw_modes.len(), (tx_base + tx_count) as usize),
+            rx_store: PendingMap::with_capacity(fw_modes.len(), (tx_base + tx_count) as usize),
             fw_eq,
             await_reply: BTreeMap::new(),
             gbn_tx: BTreeMap::new(),
