@@ -134,9 +134,15 @@ impl Scenario {
         (self.build)()
     }
 
-    /// Run the scenario twice from identical state and compare.
+    /// Run the scenario twice from identical state and compare. The
+    /// telemetry sink is enabled on one side only, so every lockstep pass
+    /// also proves telemetry is digest-neutral at event granularity — the
+    /// instrumented run must match the bare one step for step.
     pub fn check(&self) -> Result<ReplayRun, Divergence> {
-        lockstep(self.build(), self.build(), &self.name)
+        let a = self.build();
+        let mut b = self.build();
+        b.model_mut().set_telemetry_enabled(true);
+        lockstep(a, b, &self.name)
     }
 }
 

@@ -26,6 +26,7 @@ use xt3_node::config::{ExhaustionPolicy, MachineConfig, NodeSpec};
 use xt3_node::Machine;
 use xt3_portals::types::ProcessId;
 use xt3_sim::{FaultPlan, FaultStats, FwFaultKind, RunOutcome, SimTime, TimeWindow};
+use xt3_telemetry::TelemetryReport;
 use xt3_topology::coord::Dims;
 
 /// Go-back-n window size the machine uses (mirrors
@@ -41,6 +42,10 @@ pub struct CampaignConfig {
     pub rates: Vec<f64>,
     /// NetPIPE quick-schedule size cap in bytes.
     pub max_size: u64,
+    /// Attach a cross-layer [`TelemetryReport`] to every scenario report.
+    /// Digest-neutral: the sweep's digests and fingerprints are identical
+    /// either way.
+    pub telemetry: bool,
 }
 
 impl CampaignConfig {
@@ -50,6 +55,7 @@ impl CampaignConfig {
             seed,
             rates: vec![0.01, 0.04, 0.08],
             max_size: 2048,
+            telemetry: false,
         }
     }
 
@@ -80,6 +86,8 @@ pub struct ScenarioReport {
     pub stats: FaultStats,
     /// Go-back-n retransmissions the recovery layer performed.
     pub retransmissions: u64,
+    /// Cross-layer telemetry, when [`CampaignConfig::telemetry`] is set.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// One execution of one faulted NetPIPE scenario, with the recovery
@@ -101,6 +109,7 @@ fn run_one(
     let dispatched = engine.dispatched();
     let digest = engine.digest();
     let state = engine.state_fingerprint();
+    let elapsed = engine.now();
     let m = engine.into_model();
     assert_eq!(
         m.running_apps(),
@@ -129,6 +138,7 @@ fn run_one(
             "{name} @ rate {rate}: faults fired but left no trace"
         );
     }
+    let telemetry = config.telemetry.then(|| m.telemetry_report(&name, elapsed));
     ScenarioReport {
         name,
         rate,
@@ -137,6 +147,7 @@ fn run_one(
         state,
         stats,
         retransmissions,
+        telemetry,
     }
 }
 
@@ -177,8 +188,9 @@ fn sweep_cells(config: &CampaignConfig) -> Vec<SweepCell> {
 /// agree on the replay digest and the state fingerprint — the determinism
 /// invariant with faults in the loop.
 fn run_cell(config: &CampaignConfig, cell: &SweepCell) -> ScenarioReport {
-    let np = NetpipeConfig::quick(config.max_size)
+    let mut np = NetpipeConfig::quick(config.max_size)
         .with_faults(FaultPlan::wire(cell.plan_seed, cell.rate));
+    np.telemetry = config.telemetry;
     let first = run_one(&np, cell.t, cell.k, cell.rate);
     let second = run_one(&np, cell.t, cell.k, cell.rate);
     assert_eq!(
@@ -378,6 +390,7 @@ mod tests {
             seed: 0xCA4A16,
             rates: vec![0.06],
             max_size: 256,
+            telemetry: false,
         };
         let reports = run_netpipe_sweep(&config);
         assert_eq!(reports.len(), scenario_matrix().len());
@@ -385,6 +398,37 @@ mod tests {
             reports.iter().any(|r| r.stats.wire_total() > 0),
             "a 6% fault rate must actually inject faults somewhere"
         );
+    }
+
+    /// Turning telemetry on must not perturb the sweep: digests and
+    /// fingerprints stay bit-identical, and every report gains telemetry.
+    #[test]
+    fn telemetry_attach_is_digest_neutral() {
+        let base = CampaignConfig {
+            seed: 0xCA4A16,
+            rates: vec![0.06],
+            max_size: 256,
+            telemetry: false,
+        };
+        let with_tele = CampaignConfig {
+            telemetry: true,
+            ..base.clone()
+        };
+        let plain = run_netpipe_sweep(&base);
+        let instrumented = run_netpipe_sweep(&with_tele);
+        assert_eq!(plain.len(), instrumented.len());
+        for (p, i) in plain.iter().zip(&instrumented) {
+            assert_eq!(
+                p.digest, i.digest,
+                "{}: telemetry changed the digest",
+                p.name
+            );
+            assert_eq!(p.state, i.state, "{}: telemetry changed the state", p.name);
+            assert!(p.telemetry.is_none());
+            let t = i.telemetry.as_ref().expect("report attached");
+            assert_eq!(t.label, i.name);
+            assert_eq!(t.nodes.len(), 2);
+        }
     }
 
     /// The fanned-out sweep must be indistinguishable from the serial
@@ -397,6 +441,7 @@ mod tests {
             seed: 0xCA4A16,
             rates: vec![0.0, 0.06],
             max_size: 256,
+            telemetry: false,
         };
         let serial = run_netpipe_sweep(&config);
         let parallel = run_netpipe_sweep_parallel(&config);

@@ -255,6 +255,14 @@ pub struct FwCounters {
     pub rx_completions: u64,
     /// Interrupts requested (generic mode).
     pub interrupts: u64,
+    /// Interrupts raised for transmit completions (sender side).
+    pub tx_interrupts: u64,
+    /// Interrupts raised for new-message headers — one per host-path
+    /// message in generic mode, piggybacked or not.
+    pub rx_header_interrupts: u64,
+    /// Interrupts raised for receive-DMA completions — the second
+    /// per-message interrupt the ≤12 B header piggyback eliminates (§6).
+    pub rx_complete_interrupts: u64,
     /// Headers dropped to exhaustion.
     pub exhaustion_drops: u64,
     /// RAS heartbeats written to the control block (Figure 3's
@@ -343,6 +351,11 @@ impl Firmware {
     /// Host-side mailbox access (the host posts commands through this).
     pub fn mailbox_mut(&mut self, proc: ProcIdx) -> &mut Mailbox {
         &mut self.processes[proc as usize].mailbox
+    }
+
+    /// Read-only mailbox access (telemetry harvesting).
+    pub fn mailbox(&self, proc: ProcIdx) -> &Mailbox {
+        &self.processes[proc as usize].mailbox
     }
 
     /// The source table (diagnostics / exhaustion experiments).
@@ -525,6 +538,7 @@ impl Firmware {
         });
         if self.processes[proc as usize].mode == FwMode::Generic {
             self.counters.interrupts += 1;
+            self.counters.tx_interrupts += 1;
             effects.push(FwEffect::RaiseInterrupt);
         }
         if let Some(&(nproc, npending)) = self.tx_list.front() {
@@ -596,6 +610,7 @@ impl Firmware {
                     event: FwEvent::RxHeader { pending },
                 });
                 self.counters.interrupts += 1;
+                self.counters.rx_header_interrupts += 1;
                 effects.push(FwEffect::RaiseInterrupt);
             }
             FwMode::Accelerated => {
@@ -637,6 +652,7 @@ impl Firmware {
             });
             if self.processes[proc as usize].mode == FwMode::Generic {
                 self.counters.interrupts += 1;
+                self.counters.rx_complete_interrupts += 1;
                 effects.push(FwEffect::RaiseInterrupt);
             }
         }

@@ -94,6 +94,7 @@ pub struct Mailbox {
     cmd_capacity: u32,
     /// Commands rejected because the FIFO was full.
     pub cmd_overflows: u64,
+    cmd_high_water: u32,
 }
 
 impl Mailbox {
@@ -104,6 +105,7 @@ impl Mailbox {
             result: VecDeque::new(),
             cmd_capacity,
             cmd_overflows: 0,
+            cmd_high_water: 0,
         }
     }
 
@@ -119,6 +121,7 @@ impl Mailbox {
             self.cmd_overflows += 1;
         }
         self.cmd.push_back(cmd);
+        self.cmd_high_water = self.cmd_high_water.max(self.cmd.len() as u32);
         backlog
     }
 
@@ -141,6 +144,11 @@ impl Mailbox {
     /// Commands waiting.
     pub fn cmd_len(&self) -> u32 {
         self.cmd.len() as u32
+    }
+
+    /// Deepest the command FIFO has ever been.
+    pub fn cmd_high_water(&self) -> u32 {
+        self.cmd_high_water
     }
 }
 

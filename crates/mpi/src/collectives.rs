@@ -105,12 +105,33 @@ impl Barrier {
     }
 }
 
-/// Recursive-doubling allreduce (sum of one `f64`), power-of-two ranks.
+/// Which stage of the non-power-of-two allreduce a rank is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReducePhase {
+    /// Extra ranks (`me >= p2`) fold their contribution into `me - p2`;
+    /// ranks below `n - p2` absorb one extra contribution.
+    FoldIn,
+    /// Recursive doubling among the power-of-two core (`me < p2`).
+    Double,
+    /// Core ranks below `n - p2` return the final sum to `me + p2`.
+    FoldOut,
+}
+
+/// Recursive-doubling allreduce (sum of one `f64`). Non-power-of-two
+/// communicators use the classic MPICH reduction to a power-of-two core:
+/// the `r = n - 2^k` extra ranks fold their value into the core before
+/// doubling and receive the result back afterwards, at the cost of one
+/// extra round trip on those ranks.
 #[derive(Debug)]
 pub struct AllReduce {
     me: Rank,
+    /// Largest power of two ≤ n.
+    p2: Rank,
+    /// `n - p2` extra ranks outside the doubling core.
+    extra: Rank,
     round: u32,
     rounds_total: u32,
+    phase: ReducePhase,
     /// Local partial value.
     pub value: f64,
     send_buf: u64,
@@ -122,22 +143,34 @@ pub struct AllReduce {
 }
 
 impl AllReduce {
-    /// Prepare an allreduce of `value`. Requires `n` to be a power of two.
+    /// Prepare an allreduce of `value` over any communicator size.
     /// `send_buf`/`recv_buf` are 8-byte scratch regions.
     pub fn new(ep: &MpiEndpoint, value: f64, send_buf: u64, recv_buf: u64, instance: Tag) -> Self {
         let n = ep.size();
-        assert!(n.is_power_of_two(), "recursive doubling needs 2^k ranks");
+        let p2 = if n == 0 {
+            1
+        } else {
+            1 << (31 - n.leading_zeros())
+        };
+        let extra = n.saturating_sub(p2);
         AllReduce {
             me: ep.rank(),
+            p2,
+            extra,
             round: 0,
-            rounds_total: n.trailing_zeros(),
+            rounds_total: p2.trailing_zeros(),
+            phase: if extra > 0 {
+                ReducePhase::FoldIn
+            } else {
+                ReducePhase::Double
+            },
             value,
             send_buf,
             recv_buf,
             pending_send: None,
             pending_recv: None,
             instance,
-            done: n == 1,
+            done: n <= 1,
         }
     }
 
@@ -146,20 +179,61 @@ impl AllReduce {
         self.done
     }
 
-    fn tag(&self) -> Tag {
-        COLL_TAG_BASE + 0x8000 + self.instance * 64 + self.round
+    /// Doubling rounds use codes `0..rounds_total`; the fold phases take
+    /// the two codes above so no tag collides across phases.
+    fn tag_for(&self, code: u32) -> Tag {
+        COLL_TAG_BASE + 0x8000 + self.instance * 64 + code
     }
 
-    /// Start or continue the current round.
+    fn fold_in_tag(&self) -> Tag {
+        self.tag_for(self.rounds_total)
+    }
+
+    fn fold_out_tag(&self) -> Tag {
+        self.tag_for(self.rounds_total + 1)
+    }
+
+    /// Start or continue the current phase.
     pub fn advance(&mut self, ep: &mut MpiEndpoint, ctx: &mut AppCtx<'_>) -> Result<(), MpiError> {
         if self.done || self.pending_send.is_some() || self.pending_recv.is_some() {
             return Ok(());
         }
-        let partner = self.me ^ (1 << self.round);
-        ctx.write_mem(self.send_buf, &self.value.to_le_bytes());
-        let tag = self.tag();
-        self.pending_recv = Some(ep.irecv(ctx, partner, tag, self.recv_buf, 8)?);
-        self.pending_send = Some(ep.isend(ctx, partner, tag, self.send_buf, 8)?);
+        match self.phase {
+            ReducePhase::FoldIn => {
+                if self.me >= self.p2 {
+                    ctx.write_mem(self.send_buf, &self.value.to_le_bytes());
+                    let tag = self.fold_in_tag();
+                    self.pending_send =
+                        Some(ep.isend(ctx, self.me - self.p2, tag, self.send_buf, 8)?);
+                } else if self.me < self.extra {
+                    let tag = self.fold_in_tag();
+                    self.pending_recv =
+                        Some(ep.irecv(ctx, self.me + self.p2, tag, self.recv_buf, 8)?);
+                } else {
+                    // Core rank with no extra partner: straight to doubling.
+                    self.phase = ReducePhase::Double;
+                    return self.advance(ep, ctx);
+                }
+            }
+            ReducePhase::Double => {
+                let partner = self.me ^ (1 << self.round);
+                ctx.write_mem(self.send_buf, &self.value.to_le_bytes());
+                let tag = self.tag_for(self.round);
+                self.pending_recv = Some(ep.irecv(ctx, partner, tag, self.recv_buf, 8)?);
+                self.pending_send = Some(ep.isend(ctx, partner, tag, self.send_buf, 8)?);
+            }
+            ReducePhase::FoldOut => {
+                let tag = self.fold_out_tag();
+                if self.me >= self.p2 {
+                    self.pending_recv =
+                        Some(ep.irecv(ctx, self.me - self.p2, tag, self.recv_buf, 8)?);
+                } else {
+                    ctx.write_mem(self.send_buf, &self.value.to_le_bytes());
+                    self.pending_send =
+                        Some(ep.isend(ctx, self.me + self.p2, tag, self.send_buf, 8)?);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -178,17 +252,45 @@ impl AllReduce {
             self.pending_recv = None;
             let bytes = ctx.read_mem(self.recv_buf, 8);
             let peer_val = f64::from_le_bytes(bytes.try_into().expect("8 bytes"));
-            self.value += peer_val;
+            if self.phase == ReducePhase::FoldOut {
+                // The folded-out result is the whole sum, not a partial.
+                self.value = peer_val;
+            } else {
+                self.value += peer_val;
+            }
         } else {
             return Ok(false);
         }
-        if self.pending_send.is_none() && self.pending_recv.is_none() {
-            self.round += 1;
-            if self.round >= self.rounds_total {
+        if self.pending_send.is_some() || self.pending_recv.is_some() {
+            return Ok(false);
+        }
+        match self.phase {
+            ReducePhase::FoldIn => {
+                // Extra ranks skip doubling and wait for the result; core
+                // ranks enter it with the extra contribution absorbed.
+                self.phase = if self.me >= self.p2 {
+                    ReducePhase::FoldOut
+                } else {
+                    ReducePhase::Double
+                };
+                self.advance(ep, ctx)?;
+            }
+            ReducePhase::Double => {
+                self.round += 1;
+                if self.round < self.rounds_total {
+                    self.advance(ep, ctx)?;
+                } else if self.me < self.extra {
+                    self.phase = ReducePhase::FoldOut;
+                    self.advance(ep, ctx)?;
+                } else {
+                    self.done = true;
+                    return Ok(true);
+                }
+            }
+            ReducePhase::FoldOut => {
                 self.done = true;
                 return Ok(true);
             }
-            self.advance(ep, ctx)?;
         }
         Ok(false)
     }
@@ -216,20 +318,22 @@ pub struct Broadcast {
 }
 
 impl Broadcast {
-    /// Prepare a broadcast of `[buf, buf+len)` from `root` (power-of-two
-    /// communicators).
+    /// Prepare a broadcast of `[buf, buf+len)` from `root` (any
+    /// communicator size; the send/receive conditions below bound every
+    /// peer index by `n`, so partial top rounds fall out naturally).
     pub fn new(ep: &MpiEndpoint, root: Rank, buf: u64, len: u64, instance: Tag) -> Self {
         let n = ep.size();
-        assert!(
-            n.is_power_of_two(),
-            "binomial tree as implemented needs 2^k ranks"
-        );
+        let rounds_total = if n <= 1 {
+            0
+        } else {
+            (n as f64).log2().ceil() as u32
+        };
         Broadcast {
             n,
             me: ep.rank(),
             root,
             round: 0,
-            rounds_total: n.trailing_zeros(),
+            rounds_total,
             buf,
             len,
             have_data: ep.rank() == root,

@@ -1,0 +1,239 @@
+//! Unit tests for `mpi::collectives`: completion and value correctness
+//! on small communicators, including the non-power-of-two sizes the
+//! fold-in/fold-out allreduce and partial-top-round broadcast handle.
+
+use std::any::Any;
+use xt3_mpi::collectives::{AllReduce, Barrier, Broadcast};
+use xt3_mpi::{MpiEndpoint, Personality};
+use xt3_node::config::{MachineConfig, NodeSpec, OsKind, ProcSpec};
+use xt3_node::{App, AppCtx, AppEvent, Machine};
+use xt3_portals::types::ProcessId;
+use xt3_sim::RunOutcome;
+
+/// User data below 1 MB, collective scratch above, MPI bounce buffers at
+/// the top of the 8 MB test address space.
+const BOUNCE_BASE: u64 = 4 << 20;
+const DATA_BUF: u64 = 0;
+const SCRATCH: u64 = 1 << 20;
+const BCAST_LEN: u64 = 4096;
+
+fn comm(n: u32) -> Vec<ProcessId> {
+    (0..n).map(|i| ProcessId::new(i, 0)).collect()
+}
+
+fn bcast_byte(i: u64) -> u8 {
+    (i * 13 % 251) as u8
+}
+
+enum Op {
+    Barrier(Option<Barrier>),
+    Reduce(Option<AllReduce>),
+    Bcast(Option<Broadcast>, u32),
+}
+
+struct CollApp {
+    rank: u32,
+    n: u32,
+    op: Op,
+    /// Finished cleanly.
+    pub completed: bool,
+    /// Final allreduce value (reductions only).
+    pub result: f64,
+    /// Broadcast payload verified byte-exact (broadcasts only).
+    pub payload_ok: bool,
+    ep: Option<MpiEndpoint>,
+}
+
+impl CollApp {
+    fn new(rank: u32, n: u32, op: Op) -> Self {
+        CollApp {
+            rank,
+            n,
+            op,
+            completed: false,
+            result: 0.0,
+            payload_ok: false,
+            ep: None,
+        }
+    }
+
+    fn op_done(&self) -> bool {
+        match &self.op {
+            Op::Barrier(b) => b.as_ref().is_some_and(|b| b.is_done()),
+            Op::Reduce(r) => r.as_ref().is_some_and(|r| r.is_done()),
+            Op::Bcast(bc, _) => bc.as_ref().is_some_and(|b| b.is_done()),
+        }
+    }
+}
+
+impl App for CollApp {
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        if let AppEvent::Started = event {
+            let mut ep = MpiEndpoint::init(
+                ctx,
+                comm(self.n),
+                self.rank,
+                Personality::mpich1(),
+                BOUNCE_BASE,
+            )
+            .expect("mpi init");
+            match &mut self.op {
+                Op::Barrier(b) => {
+                    let mut x = Barrier::new(&ep, SCRATCH, 0);
+                    x.advance(&mut ep, ctx).unwrap();
+                    *b = Some(x);
+                }
+                Op::Reduce(r) => {
+                    let mut x =
+                        AllReduce::new(&ep, (self.rank + 1) as f64, SCRATCH + 64, SCRATCH + 128, 0);
+                    x.advance(&mut ep, ctx).unwrap();
+                    *r = Some(x);
+                }
+                Op::Bcast(bc, root) => {
+                    if self.rank == *root {
+                        let payload: Vec<u8> = (0..BCAST_LEN).map(bcast_byte).collect();
+                        ctx.write_mem(DATA_BUF, &payload);
+                    }
+                    let mut x = Broadcast::new(&ep, *root, DATA_BUF, BCAST_LEN, 0);
+                    x.advance(&mut ep, ctx).unwrap();
+                    *bc = Some(x);
+                }
+            }
+            self.ep = Some(ep);
+        }
+        let mut ep = self.ep.take().expect("endpoint");
+        if let AppEvent::Ptl(ev) = &event {
+            ep.progress(ctx, ev.clone());
+        }
+        loop {
+            let comps = ep.take_completions();
+            if comps.is_empty() {
+                break;
+            }
+            for c in comps {
+                match &mut self.op {
+                    Op::Barrier(b) => {
+                        b.as_mut().unwrap().on_completion(&mut ep, ctx, &c).unwrap();
+                    }
+                    Op::Reduce(r) => {
+                        r.as_mut().unwrap().on_completion(&mut ep, ctx, &c).unwrap();
+                    }
+                    Op::Bcast(bc, _) => {
+                        bc.as_mut()
+                            .unwrap()
+                            .on_completion(&mut ep, ctx, &c)
+                            .unwrap();
+                    }
+                }
+            }
+        }
+        if self.op_done() {
+            match &self.op {
+                Op::Reduce(r) => self.result = r.as_ref().unwrap().value,
+                Op::Bcast(..) => {
+                    let got = ctx.read_mem(DATA_BUF, BCAST_LEN as u32);
+                    self.payload_ok = got
+                        .iter()
+                        .enumerate()
+                        .all(|(i, &b)| b == bcast_byte(i as u64));
+                }
+                Op::Barrier(_) => {}
+            }
+            self.completed = true;
+            ctx.finish();
+        } else {
+            ctx.wait_eq(ep.eq());
+        }
+        self.ep = Some(ep);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn run_collective(n: u32, synthetic: bool, mk: impl Fn(u32) -> Op) -> Vec<CollApp> {
+    let mut config = MachineConfig::paper(xt3_topology::coord::Dims::mesh(n as u16, 1, 1));
+    config.synthetic_payload = synthetic;
+    let spec = NodeSpec {
+        os: OsKind::Catamount,
+        procs: vec![ProcSpec {
+            mem_bytes: 8 << 20,
+            ..ProcSpec::catamount_generic()
+        }],
+    };
+    let mut m = Machine::new(config, &[spec]);
+    for rank in 0..n {
+        m.spawn(rank, 0, Box::new(CollApp::new(rank, n, mk(rank))));
+    }
+    let mut engine = m.into_engine();
+    assert_eq!(engine.run(), RunOutcome::Drained);
+    let mut m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "all ranks must finish");
+    (0..n)
+        .map(|i| {
+            let mut a = m.take_app(i, 0).unwrap();
+            let app = a.as_any().downcast_mut::<CollApp>().unwrap();
+            std::mem::replace(app, CollApp::new(0, 0, Op::Barrier(None)))
+        })
+        .collect()
+}
+
+fn check_allreduce(n: u32) {
+    let apps = run_collective(n, false, |_| Op::Reduce(None));
+    let expect = (n * (n + 1) / 2) as f64;
+    for a in &apps {
+        assert!(a.completed, "rank {} did not finish (n={n})", a.rank);
+        assert_eq!(a.result, expect, "rank {} sum mismatch for n={n}", a.rank);
+    }
+}
+
+fn check_broadcast(n: u32, root: u32) {
+    let apps = run_collective(n, false, |_| Op::Bcast(None, root));
+    for a in &apps {
+        assert!(a.completed, "rank {} did not finish (n={n})", a.rank);
+        assert!(
+            a.payload_ok,
+            "rank {} payload mismatch (n={n}, root={root})",
+            a.rank
+        );
+    }
+}
+
+#[test]
+fn barrier_completes_on_three_ranks() {
+    let apps = run_collective(3, true, |_| Op::Barrier(None));
+    for a in &apps {
+        assert!(a.completed, "rank {} stuck in barrier", a.rank);
+    }
+}
+
+#[test]
+fn allreduce_power_of_two_still_sums() {
+    check_allreduce(4);
+}
+
+#[test]
+fn allreduce_three_ranks() {
+    check_allreduce(3);
+}
+
+#[test]
+fn allreduce_five_ranks() {
+    check_allreduce(5);
+}
+
+#[test]
+fn allreduce_six_ranks() {
+    check_allreduce(6);
+}
+
+#[test]
+fn broadcast_five_ranks_nonzero_root() {
+    check_broadcast(5, 2);
+}
+
+#[test]
+fn broadcast_six_ranks_nonzero_root() {
+    check_broadcast(6, 3);
+}

@@ -39,6 +39,54 @@ impl RoundResult {
     }
 }
 
+/// Per-message latency percentiles over a set of rounds, in nanoseconds.
+/// Each round contributes its per-message latency once per message, so
+/// sizes with more iterations weigh proportionally more — the same
+/// weighting NetPIPE's aggregate timing applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Median per-message latency (ns, log-bucket lower bound).
+    pub p50_ns: u64,
+    /// 95th percentile (ns).
+    pub p95_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+    /// Messages counted.
+    pub messages: u64,
+}
+
+impl LatencyPercentiles {
+    /// Compute from round results via the sim log-bucketed histogram.
+    pub fn from_rounds(rounds: &[RoundResult]) -> Self {
+        let mut h = xt3_sim::stats::Histogram::new();
+        let mut messages = 0u64;
+        for r in rounds {
+            let lat_ns = r.latency().ps() / 1000;
+            for _ in 0..r.messages {
+                h.record(lat_ns);
+            }
+            messages += r.messages as u64;
+        }
+        LatencyPercentiles {
+            p50_ns: h.p50(),
+            p95_ns: h.p95(),
+            p99_ns: h.p99(),
+            messages,
+        }
+    }
+
+    /// One-line human summary (µs units, matching the paper's figures).
+    pub fn render(&self) -> String {
+        format!(
+            "latency p50 ~{:.1} µs, p95 ~{:.1} µs, p99 ~{:.1} µs over {} messages",
+            self.p50_ns as f64 / 1000.0,
+            self.p95_ns as f64 / 1000.0,
+            self.p99_ns as f64 / 1000.0,
+            self.messages
+        )
+    }
+}
+
 /// Build a latency series (µs vs bytes) from round results.
 pub fn latency_series(label: &str, rounds: &[RoundResult]) -> Series {
     let mut s = Series::new(label);
@@ -467,6 +515,19 @@ mod tests {
         assert!((lat.points[0].y - 5.0).abs() < 1e-9);
         let bw = bandwidth_series("put", &rounds);
         assert!((bw.points[1].y - 1024.0 / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_percentiles_weight_by_messages() {
+        // 90 messages at 5 us, 10 at 80 us: p50 sits in the 5 us bucket
+        // ([4096, 8192) ns), p99 in the 80 us bucket ([65536, 131072) ns).
+        let rounds = vec![r(8, 90, 450), r(1 << 20, 10, 800)];
+        let p = LatencyPercentiles::from_rounds(&rounds);
+        assert_eq!(p.messages, 100);
+        assert_eq!(p.p50_ns, 4096);
+        assert_eq!(p.p99_ns, 65536);
+        assert!(p.p50_ns <= p.p95_ns && p.p95_ns <= p.p99_ns);
+        assert!(p.render().contains("p95"));
     }
 
     #[test]

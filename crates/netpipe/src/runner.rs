@@ -9,6 +9,7 @@ use xt3_node::config::{MachineConfig, NodeSpec, ProcSpec};
 use xt3_node::Machine;
 use xt3_seastar::cost::CostModel;
 use xt3_sim::RunOutcome;
+use xt3_telemetry::TelemetryReport;
 
 /// Which transport a curve measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +58,9 @@ pub struct NetpipeConfig {
     pub accelerated: bool,
     /// Carry real payload bytes (slow; for validation runs).
     pub real_payload: bool,
+    /// Enable the cross-layer telemetry sink (occupancy spans, counters,
+    /// Perfetto export). Digest-neutral: results are identical either way.
+    pub telemetry: bool,
     /// Deterministic fault-injection plan (inactive by default). An
     /// active plan flips the machine to `ExhaustionPolicy::GoBackN` so
     /// injected losses are recovered instead of panicking nodes.
@@ -71,6 +75,7 @@ impl NetpipeConfig {
             cost: CostModel::paper(),
             accelerated: false,
             real_payload: false,
+            telemetry: false,
             faults: xt3_sim::FaultPlan::none(),
         }
     }
@@ -94,6 +99,12 @@ impl NetpipeConfig {
     /// Replace the fault plan (builder style).
     pub fn with_faults(mut self, faults: xt3_sim::FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enable telemetry (builder style).
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
         self
     }
 }
@@ -128,6 +139,7 @@ pub fn scenario_name(transport: Transport, kind: TestKind) -> String {
 fn machine_for(config: &NetpipeConfig, mem_bytes: u64) -> Machine {
     let mut mc = MachineConfig::paper_pair().with_cost(config.cost);
     mc.synthetic_payload = !config.real_payload;
+    mc.telemetry = config.telemetry;
     if config.faults.is_active() {
         mc.faults = config.faults.clone();
         mc.exhaustion = xt3_node::config::ExhaustionPolicy::GoBackN;
@@ -319,6 +331,68 @@ impl PickSide for (Vec<RoundResult>, Vec<RoundResult>) {
         match kind {
             TestKind::Stream => self.1,
             _ => self.0,
+        }
+    }
+}
+
+/// A measurement run with the telemetry sink enabled: the usual round
+/// results plus the machine-readable [`TelemetryReport`] and a Perfetto
+/// trace of the whole run.
+#[derive(Debug)]
+pub struct InstrumentedRun {
+    /// Per-size round results, exactly as [`run_curve`] reports them.
+    pub rounds: Vec<RoundResult>,
+    /// Cross-layer counters and occupancy totals per node.
+    pub report: TelemetryReport,
+    /// Chrome trace-event JSON (load in ui.perfetto.dev).
+    pub perfetto: String,
+}
+
+/// Run `(transport, kind)` with the telemetry sink forced on and harvest
+/// the report. Telemetry is digest-neutral, so the rounds are identical
+/// to an uninstrumented [`run_curve`] of the same config.
+pub fn run_instrumented(
+    config: &NetpipeConfig,
+    transport: Transport,
+    kind: TestKind,
+) -> InstrumentedRun {
+    let mut cfg = config.clone();
+    cfg.telemetry = true;
+    let mut engine = build_engine(&cfg, transport, kind);
+    let outcome = engine.run();
+    assert_eq!(outcome, RunOutcome::Drained, "instrumented run must drain");
+    let elapsed = engine.now();
+    let mut m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "instrumented apps must finish");
+    let report = m.telemetry_report(&scenario_name(transport, kind), elapsed);
+    let perfetto = m.telemetry().perfetto_json();
+    let rounds = extract_rounds(&mut m, transport, kind);
+    InstrumentedRun {
+        rounds,
+        report,
+        perfetto,
+    }
+}
+
+/// Pull the measuring side's results out of a finished machine, matching
+/// the side selection in [`run_curve`].
+fn extract_rounds(m: &mut Machine, transport: Transport, kind: TestKind) -> Vec<RoundResult> {
+    match transport {
+        Transport::Put | Transport::Get => {
+            // Streamed puts are measured at the receiver; every other
+            // Portals pattern is measured by node 0's initiator.
+            if transport == Transport::Put && kind == TestKind::Stream {
+                let mut b = m.take_app(1, 0).expect("responder");
+                std::mem::take(&mut b.as_any().downcast_mut::<PtlResponder>().unwrap().results)
+            } else {
+                let mut a = m.take_app(0, 0).expect("initiator");
+                std::mem::take(&mut a.as_any().downcast_mut::<PtlInitiator>().unwrap().results)
+            }
+        }
+        Transport::Mpich1 | Transport::Mpich2 => {
+            let node = if kind == TestKind::Stream { 1 } else { 0 };
+            let mut a = m.take_app(node, 0).expect("rank");
+            std::mem::take(&mut a.as_any().downcast_mut::<MpiDriver>().unwrap().results)
         }
     }
 }

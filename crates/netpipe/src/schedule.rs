@@ -70,6 +70,15 @@ impl Schedule {
         Self::standard(1 << 10, 3)
     }
 
+    /// A single-point schedule: `reps` iterations at exactly `size`
+    /// bytes. Telemetry fence tests use this to pin the message size on
+    /// one side of the 12-byte piggyback threshold.
+    pub fn fixed(size: u64, reps: u32) -> Self {
+        Schedule {
+            points: vec![SizePoint { size, reps }],
+        }
+    }
+
     /// A light sweep for unit/integration tests.
     pub fn quick(max_size: u64) -> Self {
         let mut s = Self::standard(max_size, 0);

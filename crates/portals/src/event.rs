@@ -71,6 +71,7 @@ pub struct EventQueue {
     ring: std::collections::VecDeque<Event>,
     capacity: u32,
     dropped: u64,
+    high_water: u32,
 }
 
 impl EventQueue {
@@ -85,6 +86,7 @@ impl EventQueue {
             ring: std::collections::VecDeque::new(),
             capacity,
             dropped: 0,
+            high_water: 0,
         }
     }
 
@@ -108,6 +110,11 @@ impl EventQueue {
         self.dropped
     }
 
+    /// Deepest the queue has ever been (undelivered events).
+    pub fn high_water(&self) -> u32 {
+        self.high_water
+    }
+
     /// Post an event. Returns `false` (and counts a drop) when full.
     pub fn post(&mut self, event: Event) -> bool {
         if self.len() == self.capacity {
@@ -115,6 +122,7 @@ impl EventQueue {
             return false;
         }
         self.ring.push_back(event);
+        self.high_water = self.high_water.max(self.ring.len() as u32);
         true
     }
 

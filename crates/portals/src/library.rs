@@ -233,6 +233,16 @@ impl PortalsLib {
             .len())
     }
 
+    /// Deepest any of this interface's event queues has ever been
+    /// (telemetry: how close the process came to an EQ overflow).
+    pub fn max_eq_high_water(&self) -> u32 {
+        self.eqs
+            .iter()
+            .map(|(_, _, eq)| eq.high_water())
+            .max()
+            .unwrap_or(0)
+    }
+
     // ----- Memory descriptors -----
 
     /// Bind a free-floating MD for initiating operations (`PtlMDBind`).

@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 use xt3_sim::{BusyCursor, SimTime};
+use xt3_telemetry::{Component, TelemetrySink};
 
 /// Which engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -206,9 +207,37 @@ impl DmaEngine {
         self.cursor.occupy_span(arrival, duration)
     }
 
+    /// [`DmaEngine::occupy`] with telemetry: the granted `(start, done)`
+    /// span is recorded on the engine's track for `node` before being
+    /// returned, so the timeline shows exactly what the caller schedules.
+    #[inline]
+    pub fn occupy_via(
+        &mut self,
+        arrival: SimTime,
+        duration: SimTime,
+        bytes: u64,
+        commands: u64,
+        node: u32,
+        sink: &mut impl TelemetrySink,
+    ) -> (SimTime, SimTime) {
+        let (start, done) = self.occupy(arrival, duration, bytes, commands);
+        let (component, label) = match self.kind {
+            DmaKind::Tx => (Component::TxDma, "tx-dma"),
+            DmaKind::Rx => (Component::RxDma, "rx-dma"),
+        };
+        sink.span(node, component, label, start, done);
+        sink.add(node, "dma.transfers", 1);
+        (start, done)
+    }
+
     /// When the engine becomes free.
     pub fn free_at(&self) -> SimTime {
         self.cursor.free_at()
+    }
+
+    /// Total time the engine spent streaming.
+    pub fn busy_total(&self) -> SimTime {
+        self.cursor.busy_total()
     }
 
     /// Record an end-to-end CRC failure (fault injection).

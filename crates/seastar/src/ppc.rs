@@ -15,6 +15,7 @@
 use crate::cost::CostModel;
 use serde::{Deserialize, Serialize};
 use xt3_sim::{BusyCursor, SimTime};
+use xt3_telemetry::{Component, TelemetrySink};
 
 /// Firmware handler classes, each with a cost-model duration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -43,6 +44,18 @@ impl FwHandler {
             FwHandler::RxCommand => cm.fw_rx_cmd,
             FwHandler::Completion => cm.fw_completion,
             FwHandler::Match => cm.fw_match,
+        }
+    }
+
+    /// Timeline label for the handler's occupancy spans.
+    pub fn label(self) -> &'static str {
+        match self {
+            FwHandler::TxCommand => "fw-tx-cmd",
+            FwHandler::TxDmaSetup => "fw-tx-dma-setup",
+            FwHandler::RxHeader => "fw-rx-hdr",
+            FwHandler::RxCommand => "fw-rx-cmd",
+            FwHandler::Completion => "fw-completion",
+            FwHandler::Match => "fw-match",
         }
     }
 }
@@ -88,6 +101,53 @@ impl Ppc440 {
         self.cursor.occupy(arrival, handler.cost(cm) + extra)
     }
 
+    /// [`Ppc440::run`] with telemetry: records the handler's busy span on
+    /// the node's PPC track. Same cursor math, same return value.
+    #[inline]
+    pub fn run_via(
+        &mut self,
+        cm: &CostModel,
+        handler: FwHandler,
+        arrival: SimTime,
+        node: u32,
+        sink: &mut impl TelemetrySink,
+    ) -> SimTime {
+        self.run_with_extra_via(cm, handler, arrival, SimTime::ZERO, node, sink)
+    }
+
+    /// [`Ppc440::run_with_extra`] with telemetry.
+    #[inline]
+    pub fn run_with_extra_via(
+        &mut self,
+        cm: &CostModel,
+        handler: FwHandler,
+        arrival: SimTime,
+        extra: SimTime,
+        node: u32,
+        sink: &mut impl TelemetrySink,
+    ) -> SimTime {
+        self.handler_counts[Self::idx(handler)] += 1;
+        let cost = handler.cost(cm) + extra;
+        let (start, done) = self.cursor.occupy_span(arrival, cost);
+        sink.span(node, Component::Ppc, handler.label(), start, done);
+        done
+    }
+
+    /// [`Ppc440::occupy_raw`] with telemetry.
+    #[inline]
+    pub fn occupy_raw_via(
+        &mut self,
+        arrival: SimTime,
+        cost: SimTime,
+        label: &'static str,
+        node: u32,
+        sink: &mut impl TelemetrySink,
+    ) -> SimTime {
+        let (start, done) = self.cursor.occupy_span(arrival, cost);
+        sink.span(node, Component::Ppc, label, start, done);
+        done
+    }
+
     /// Wedge the core from `arrival` for `duration`: no handler makes
     /// progress until the stall ends, and already-queued work simply
     /// resumes afterwards. Used by the fault-injection subsystem to model
@@ -128,6 +188,11 @@ impl Ppc440 {
     /// When the core becomes idle.
     pub fn free_at(&self) -> SimTime {
         self.cursor.free_at()
+    }
+
+    /// Total time the core spent executing handlers (and stalls).
+    pub fn busy_total(&self) -> SimTime {
+        self.cursor.busy_total()
     }
 
     /// Utilization over `[0, now]`.

@@ -152,6 +152,21 @@ impl Histogram {
         1u64 << 63
     }
 
+    /// Median (bucket lower bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket lower bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket lower bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Iterate non-empty buckets as `(lower_bound, count)`.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -305,6 +320,22 @@ mod tests {
         assert!(buckets.iter().any(|&(lb, c)| lb == 0 && c == 3));
         assert!(buckets.iter().any(|&(lb, c)| lb == 2 && c == 2));
         assert!(buckets.iter().any(|&(lb, c)| lb == 512 && c == 1));
+    }
+
+    #[test]
+    fn histogram_percentile_accessors() {
+        let mut h = Histogram::new();
+        // 90 fast samples around 4, 10 slow ones around 4096.
+        for _ in 0..90 {
+            h.record(5);
+        }
+        for _ in 0..10 {
+            h.record(5000);
+        }
+        assert_eq!(h.p50(), 4, "median lands in the [4,8) bucket");
+        assert_eq!(h.p95(), 4096, "p95 captures the slow tail");
+        assert_eq!(h.p99(), 4096);
+        assert_eq!(Histogram::new().p99(), 0, "empty histogram is all zeros");
     }
 
     #[test]

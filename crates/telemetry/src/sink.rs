@@ -1,0 +1,140 @@
+//! The sink trait every instrumented layer records through.
+
+use xt3_sim::SimTime;
+
+/// A serialized hardware resource whose occupancy we timeline, one track
+/// per component per node in the Perfetto export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Component {
+    /// The host Opteron.
+    Host,
+    /// The SeaStar's embedded PowerPC 440.
+    Ppc,
+    /// The transmit DMA engine.
+    TxDma,
+    /// The receive DMA engine.
+    RxDma,
+    /// One outgoing fabric link, by router port index (0..6).
+    Link(u8),
+}
+
+impl Component {
+    /// Stable per-node track id for trace exports (Perfetto `tid`).
+    pub fn track_id(self) -> u32 {
+        match self {
+            Component::Host => 0,
+            Component::Ppc => 1,
+            Component::TxDma => 2,
+            Component::RxDma => 3,
+            Component::Link(port) => 4 + port as u32,
+        }
+    }
+
+    /// Human-readable track name.
+    pub fn track_name(self) -> &'static str {
+        match self {
+            Component::Host => "host (Opteron)",
+            Component::Ppc => "PPC 440",
+            Component::TxDma => "TX DMA",
+            Component::RxDma => "RX DMA",
+            Component::Link(0) => "link X+",
+            Component::Link(1) => "link X-",
+            Component::Link(2) => "link Y+",
+            Component::Link(3) => "link Y-",
+            Component::Link(4) => "link Z+",
+            Component::Link(_) => "link Z-",
+        }
+    }
+}
+
+/// Recording interface for all instrumented layers.
+///
+/// Implementors must be pure observers: a call may update the sink's own
+/// storage and nothing else. Hot paths take `&mut impl TelemetrySink`, so
+/// the [`NullSink`] specializes to nothing and the concrete
+/// [`crate::Telemetry`] recorder inlines down to one `enabled` branch.
+pub trait TelemetrySink {
+    /// True when the sink is recording. Callers may use this to skip
+    /// building expensive arguments.
+    fn is_enabled(&self) -> bool;
+
+    /// Add `delta` to the per-node counter `name`.
+    fn add(&mut self, node: u32, name: &'static str, delta: u64);
+
+    /// Observe gauge `name` at `value`; the sink keeps the high-water
+    /// mark.
+    fn gauge(&mut self, node: u32, name: &'static str, value: u64);
+
+    /// Record one latency/duration sample into histogram `name`.
+    fn sample(&mut self, name: &'static str, value: SimTime);
+
+    /// Record that `component` on `node` was busy over `[start, end)`.
+    fn span(
+        &mut self,
+        node: u32,
+        component: Component,
+        label: &'static str,
+        start: SimTime,
+        end: SimTime,
+    );
+}
+
+/// A sink that records nothing; generic call sites monomorphize it away.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    #[inline(always)]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn add(&mut self, _node: u32, _name: &'static str, _delta: u64) {}
+
+    #[inline(always)]
+    fn gauge(&mut self, _node: u32, _name: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    fn sample(&mut self, _name: &'static str, _value: SimTime) {}
+
+    #[inline(always)]
+    fn span(
+        &mut self,
+        _node: u32,
+        _component: Component,
+        _label: &'static str,
+        _start: SimTime,
+        _end: SimTime,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn track_ids_are_unique_per_component() {
+        let all = [
+            Component::Host,
+            Component::Ppc,
+            Component::TxDma,
+            Component::RxDma,
+            Component::Link(0),
+            Component::Link(5),
+        ];
+        let mut ids: Vec<u32> = all.iter().map(|c| c.track_id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        let mut s = NullSink;
+        assert!(!s.is_enabled());
+        s.add(0, "x", 1);
+        s.span(0, Component::Host, "x", SimTime::ZERO, SimTime::from_ns(1));
+    }
+}

@@ -18,6 +18,7 @@ use crate::link::{Link, LinkConfig};
 use crate::route::RoutingTable;
 use serde::{Deserialize, Serialize};
 use xt3_sim::{SimRng, SimTime};
+use xt3_telemetry::{Component, NullSink, TelemetrySink};
 
 /// Fabric-wide configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -121,6 +122,20 @@ impl Fabric {
     /// at `inject_at`. Returns the delivery record; the caller schedules
     /// the corresponding events.
     pub fn send<P>(&mut self, inject_at: SimTime, msg: NetMessage<P>) -> DeliveredMsg<P> {
+        self.send_via(inject_at, msg, &mut NullSink)
+    }
+
+    /// [`Fabric::send`] with telemetry: each traversed link records a busy
+    /// span on its owning node's track, and the head-of-line wait in front
+    /// of a busy link is sampled into the `net.hol_stall` histogram.
+    /// Recording observes the timing the cut-through walk computes anyway,
+    /// so delivery is bit-identical to the untraced path.
+    pub fn send_via<P>(
+        &mut self,
+        inject_at: SimTime,
+        msg: NetMessage<P>,
+        sink: &mut impl TelemetrySink,
+    ) -> DeliveredMsg<P> {
         self.messages_sent += 1;
         self.bytes_sent += msg.payload_bytes;
 
@@ -142,6 +157,7 @@ impl Fabric {
         // loop body mutates `links`/`rng`.
         let (routes, links, rng) = (&self.routes, &mut self.links, &mut self.rng);
         let mut hops = 0u32;
+        let recording = sink.is_enabled();
 
         // Cut-through: the head waits for each link in turn; each link is
         // occupied for the full packet train. `head` tracks when the first
@@ -152,6 +168,16 @@ impl Fabric {
             hops += 1;
             let link = &mut links[node.0 as usize][port.index()];
             let (start, done) = link.transmit(&cfg, rng, head, packets);
+            if recording {
+                sink.span(
+                    node.0,
+                    Component::Link(port.index() as u8),
+                    "link",
+                    start,
+                    done,
+                );
+                sink.sample("net.hol_stall", start.saturating_sub(head));
+            }
             head = start + cfg.hop_latency;
             // The last byte clears this link at `done` and still needs the
             // hop latency to reach the next router.

@@ -73,6 +73,7 @@ pub struct Link {
     cursor: BusyCursor,
     packets: u64,
     retries: u64,
+    stall_total: SimTime,
 }
 
 impl Link {
@@ -102,7 +103,9 @@ impl Link {
             }
         }
         self.packets += packets;
-        self.cursor.occupy_span(arrival, occupancy)
+        let (start, done) = self.cursor.occupy_span(arrival, occupancy);
+        self.stall_total += start.saturating_sub(arrival);
+        (start, done)
     }
 
     /// When the link becomes free.
@@ -118,6 +121,17 @@ impl Link {
     /// Total CRC retries performed.
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Total time messages spent stalled at the link head behind earlier
+    /// traffic (head-of-line blocking).
+    pub fn stall_total(&self) -> SimTime {
+        self.stall_total
+    }
+
+    /// Total time the link spent serializing packets.
+    pub fn busy_total(&self) -> SimTime {
+        self.cursor.busy_total()
     }
 
     /// Utilization in `[0,1]` over `[0, now]`.
@@ -179,6 +193,12 @@ mod tests {
         assert_eq!(s2, d1, "second message queues behind the first");
         assert_eq!(link.packets_carried(), 20);
         assert_eq!(link.retries(), 0);
+        assert_eq!(
+            link.stall_total(),
+            d1,
+            "the second message stalls head-of-line for the first's occupancy"
+        );
+        assert_eq!(link.busy_total(), cfg.serialization_time(20));
     }
 
     #[test]

@@ -137,6 +137,10 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Enable event tracing.
     pub trace: bool,
+    /// Enable the cross-layer telemetry sink (occupancy timelines,
+    /// deterministic counters). Digest-neutral: simulation outcomes are
+    /// bit-identical with this on or off.
+    pub telemetry: bool,
     /// Deterministic fault-injection plan (inactive by default). Active
     /// plans pair naturally with [`ExhaustionPolicy::GoBackN`]; under
     /// `Panic`, injected losses kill nodes exactly like real ones.
@@ -163,6 +167,7 @@ impl MachineConfig {
             ras_heartbeat: None,
             seed: 0xC0FFEE,
             trace: false,
+            telemetry: false,
             faults: xt3_sim::FaultPlan::none(),
         }
     }

@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 use xt3_seastar::cost::CostModel;
 use xt3_sim::{BusyCursor, SimTime};
+use xt3_telemetry::{Component, TelemetrySink};
 
 /// Host CPU counters.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -52,6 +53,58 @@ impl HostCpu {
     pub fn interrupt(&mut self, cm: &CostModel, arrival: SimTime) -> SimTime {
         self.counters.interrupts += 1;
         self.run(arrival, cm.host_interrupt)
+    }
+
+    /// [`HostCpu::run`] with telemetry: records the occupancy on the
+    /// node's host track under `label`. Same cursor math, same return.
+    #[inline]
+    pub fn run_span(
+        &mut self,
+        arrival: SimTime,
+        cost: SimTime,
+        label: &'static str,
+        node: u32,
+        sink: &mut impl TelemetrySink,
+    ) -> SimTime {
+        let (start, done) = self.cursor.occupy_span(arrival, cost);
+        sink.span(node, Component::Host, label, start, done);
+        done
+    }
+
+    /// [`HostCpu::trap`] with telemetry.
+    #[inline]
+    pub fn trap_span(
+        &mut self,
+        cm: &CostModel,
+        arrival: SimTime,
+        node: u32,
+        sink: &mut impl TelemetrySink,
+    ) -> SimTime {
+        self.counters.traps += 1;
+        let done = self.run_span(arrival, cm.host_trap, "trap", node, sink);
+        sink.add(node, "host.traps", 1);
+        done
+    }
+
+    /// [`HostCpu::interrupt`] with telemetry: the entry/exit overhead shows
+    /// up as an "interrupt" span, and the per-node interrupt counter ticks.
+    #[inline]
+    pub fn interrupt_span(
+        &mut self,
+        cm: &CostModel,
+        arrival: SimTime,
+        node: u32,
+        sink: &mut impl TelemetrySink,
+    ) -> SimTime {
+        self.counters.interrupts += 1;
+        let done = self.run_span(arrival, cm.host_interrupt, "interrupt", node, sink);
+        sink.add(node, "host.interrupts", 1);
+        done
+    }
+
+    /// Total time the CPU spent occupied.
+    pub fn busy_total(&self) -> SimTime {
+        self.cursor.busy_total()
     }
 
     /// When the CPU becomes free.

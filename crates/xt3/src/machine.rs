@@ -54,7 +54,10 @@ fn fw_error_label(err: FwError) -> Label {
         FwError::SpuriousCompletion => label!("fw-fault:spurious-completion"),
     }
 }
-use xt3_topology::coord::NodeId;
+use xt3_telemetry::{
+    Component, DmaSummary, LinkSummary, NodeReport, Telemetry, TelemetryReport, TelemetrySink,
+};
+use xt3_topology::coord::{NodeId, Port};
 use xt3_topology::fabric::{Fabric, NetMessage};
 
 /// PPC cost of feeding one additional scatter/gather chunk to a DMA
@@ -169,6 +172,10 @@ pub struct Machine {
     pub trace: Trace,
     /// The fault-injection subsystem executing `config.faults`.
     pub(crate) faults: FaultInjector,
+    /// Cross-layer telemetry recorder. Deliberately excluded from
+    /// [`Model::state_fingerprint`]: it observes the simulation and never
+    /// feeds back into it, so digests match with it on or off.
+    telemetry: Telemetry,
     running_apps: u32,
     spawned: Vec<(u32, u32)>,
     /// Reusable drain buffer for `on_host_interrupt` (the handler is never
@@ -191,12 +198,18 @@ impl Machine {
             Trace::disabled()
         };
         let faults = FaultInjector::new(config.faults.clone());
+        let telemetry = if config.telemetry {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
         Machine {
             config,
             nodes,
             fabric,
             trace,
             faults,
+            telemetry,
             running_apps: 0,
             spawned: Vec::new(),
             scratch_events: Vec::new(),
@@ -252,6 +265,99 @@ impl Machine {
         self.nodes[node as usize].procs[pid as usize].app.take()
     }
 
+    /// The cross-layer telemetry recorder (counters, gauges, spans).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access (exporters, tests).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Turn the telemetry sink on or off mid-run. Digest-neutral: the
+    /// recorder only observes, so two lockstep engines differing only in
+    /// this flag produce identical digests and fingerprints.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.telemetry.set_enabled(enabled);
+    }
+
+    /// Harvest the cross-layer telemetry summary: per-node host/PPC/DMA
+    /// busy time, the cause-split interrupt counters behind the §6
+    /// interrupts-per-message metric, mailbox and SRAM-pool high-water
+    /// marks, Portals EQ depth peaks, and per-hop link accounting. A pure
+    /// read of hardware-model counters — available whether or not the
+    /// span-recording sink was enabled.
+    pub fn telemetry_report(&self, label: &str, elapsed: SimTime) -> TelemetryReport {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let fwc = n.fw.counters();
+            let mailbox_cmd_high_water = (0..n.fw.process_count())
+                .map(|p| n.fw.mailbox(p).cmd_high_water())
+                .max()
+                .unwrap_or(0);
+            let rx_pool_high_water = (0..n.fw.process_count())
+                .map(|p| n.fw.rx_pool_stats(p).1)
+                .max()
+                .unwrap_or(0);
+            let eq_high_water = n
+                .procs
+                .iter()
+                .map(|p| p.lib.max_eq_high_water())
+                .max()
+                .unwrap_or(0);
+            let mut links = Vec::new();
+            for port in Port::NETWORK_PORTS {
+                let l = self.fabric.link(n.id, port);
+                if l.packets_carried() == 0 {
+                    continue;
+                }
+                let idx = port.index() as u8;
+                links.push(LinkSummary {
+                    port: idx,
+                    name: Component::Link(idx).track_name(),
+                    packets: l.packets_carried(),
+                    retries: l.retries(),
+                    busy: l.busy_total(),
+                    stall: l.stall_total(),
+                    utilization: l.utilization(elapsed),
+                });
+            }
+            nodes.push(NodeReport {
+                node: n.id.0,
+                host_busy: n.host.busy_total(),
+                host_interrupts: n.host.counters.interrupts,
+                host_traps: n.host.counters.traps,
+                ppc_busy: n.chip.ppc.busy_total(),
+                tx_dma: DmaSummary {
+                    transfers: n.chip.tx_dma.transfers(),
+                    bytes: n.chip.tx_dma.bytes(),
+                    busy: n.chip.tx_dma.busy_total(),
+                },
+                rx_dma: DmaSummary {
+                    transfers: n.chip.rx_dma.transfers(),
+                    bytes: n.chip.rx_dma.bytes(),
+                    busy: n.chip.rx_dma.busy_total(),
+                },
+                rx_headers: fwc.rx_headers,
+                rx_piggybacked: fwc.rx_piggybacked,
+                rx_header_interrupts: fwc.rx_header_interrupts,
+                rx_complete_interrupts: fwc.rx_complete_interrupts,
+                tx_interrupts: fwc.tx_interrupts,
+                mailbox_cmd_high_water,
+                rx_pool_high_water,
+                rx_pool_capacity: n.fw.config().rx_pendings,
+                eq_high_water,
+                links,
+            });
+        }
+        TelemetryReport {
+            label: label.to_string(),
+            elapsed,
+            nodes,
+        }
+    }
+
     /// Wrap in an engine with every spawned app's start event seeded,
     /// plus the fault plan's scheduled firmware events.
     pub fn into_engine(self) -> Engine<Machine> {
@@ -299,25 +405,39 @@ impl Machine {
                         .map(|r| r.header.op == PortalsOp::Reply)
                         .unwrap_or(false);
                     if is_reply {
-                        self.nodes[node].chip.ppc.occupy_raw(now, cm.fw_reply_tx)
+                        self.nodes[node].chip.ppc.occupy_raw_via(
+                            now,
+                            cm.fw_reply_tx,
+                            "fw-reply-tx",
+                            node as u32,
+                            &mut self.telemetry,
+                        )
                     } else {
-                        self.nodes[node]
-                            .chip
-                            .ppc
-                            .run(&cm, FwHandler::TxCommand, now)
+                        self.nodes[node].chip.ppc.run_via(
+                            &cm,
+                            FwHandler::TxCommand,
+                            now,
+                            node as u32,
+                            &mut self.telemetry,
+                        )
                     }
                 }
-                FwCommand::RecvDeposit { .. } => {
-                    self.nodes[node]
-                        .chip
-                        .ppc
-                        .run(&cm, FwHandler::RxCommand, now)
+                FwCommand::RecvDeposit { .. } => self.nodes[node].chip.ppc.run_via(
+                    &cm,
+                    FwHandler::RxCommand,
+                    now,
+                    node as u32,
+                    &mut self.telemetry,
+                ),
+                FwCommand::RecvDiscard { .. } | FwCommand::ReleasePending { .. } => {
+                    self.nodes[node].chip.ppc.run_via(
+                        &cm,
+                        FwHandler::Completion,
+                        now,
+                        node as u32,
+                        &mut self.telemetry,
+                    )
                 }
-                FwCommand::RecvDiscard { .. } | FwCommand::ReleasePending { .. } => self.nodes
-                    [node]
-                    .chip
-                    .ppc
-                    .run(&cm, FwHandler::Completion, now),
             };
             let effects = match self.nodes[node].fw.handle_command(fw_proc, cmd) {
                 Ok(e) => e,
@@ -328,9 +448,13 @@ impl Machine {
     }
 
     fn on_tx_dma_done(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize) {
+        let tele = &mut self.telemetry;
         let n = &mut self.nodes[node];
         let cm = n.chip.cost;
-        let t = n.chip.ppc.run(&cm, FwHandler::Completion, now);
+        let t = n
+            .chip
+            .ppc
+            .run_via(&cm, FwHandler::Completion, now, node as u32, tele);
         let effects = match n.fw.tx_dma_complete() {
             Ok(e) => e,
             Err(err) => self.fw_fault(t, node, err),
@@ -347,10 +471,13 @@ impl Machine {
         pending: PendingId,
     ) {
         let cm = self.config.cost;
-        let t = self.nodes[node]
-            .chip
-            .ppc
-            .run(&cm, FwHandler::Completion, now);
+        let t = self.nodes[node].chip.ppc.run_via(
+            &cm,
+            FwHandler::Completion,
+            now,
+            node as u32,
+            &mut self.telemetry,
+        );
         self.trace.record(
             t,
             node as u32,
@@ -428,6 +555,8 @@ impl Machine {
                         self.accel_event(q, t, node, proc, event);
                     } else {
                         self.nodes[node].fw_eq[proc as usize].push_back(event);
+                        let depth = self.nodes[node].fw_eq[proc as usize].len() as u64;
+                        self.telemetry.gauge(node as u32, "fw.eq_depth", depth);
                     }
                 }
                 FwEffect::RaiseInterrupt => {
@@ -479,6 +608,7 @@ impl Machine {
         pending: PendingId,
     ) {
         let cm = self.config.cost;
+        let tele = &mut self.telemetry;
         let n = &mut self.nodes[node];
         let chunks = n.fw.lower(proc, pending).dma.len().max(1) as u64;
         let extra = FW_PER_CHUNK.times(chunks - 1);
@@ -492,11 +622,13 @@ impl Machine {
         // the separate DMA-setup charge — their header was synthesized on
         // the NIC from the serve command (fw_reply_tx covered it).
         let setup_done = if is_reply {
-            n.chip.ppc.occupy_raw(t, extra)
+            n.chip
+                .ppc
+                .occupy_raw_via(t, extra, "fw-reply-tx-setup", node as u32, tele)
         } else {
             n.chip
                 .ppc
-                .run_with_extra(&cm, FwHandler::TxDmaSetup, t, extra)
+                .run_with_extra_via(&cm, FwHandler::TxDmaSetup, t, extra, node as u32, tele)
         };
         let fetch_done = if is_reply {
             setup_done
@@ -518,9 +650,14 @@ impl Machine {
         } else {
             n.chip.ht.bulk(&cm, HtDir::Read, fetch_done, len).1
         };
-        n.chip
-            .tx_dma
-            .occupy(fetch_done, dma_done.saturating_sub(fetch_done), len, chunks);
+        n.chip.tx_dma.occupy_via(
+            fetch_done,
+            dma_done.saturating_sub(fetch_done),
+            len,
+            chunks,
+            node as u32,
+            tele,
+        );
         q.schedule_at(dma_done, Ev::TxDmaDone { node: node as u32 });
 
         let mut msg = WireMsg {
@@ -633,7 +770,7 @@ impl Machine {
         }
 
         let wire_bytes = msg.wire_bytes();
-        let d = self.fabric.send(
+        let d = self.fabric.send_via(
             inject_at, // the header packet leaves as soon as it is fetched
             NetMessage {
                 src,
@@ -642,6 +779,7 @@ impl Machine {
                 tag,
                 body: msg,
             },
+            &mut self.telemetry,
         );
         let head_latency = d.header_at.saturating_sub(inject_at);
         let complete_at = d.complete_at.max(dma_done + head_latency) + extra_delay;
@@ -667,6 +805,7 @@ impl Machine {
         pending: PendingId,
     ) {
         let cm = self.config.cost;
+        let tele = &mut self.telemetry;
         let n = &mut self.nodes[node];
         let lower = n.fw.lower(proc, pending);
         let len = lower.length;
@@ -677,15 +816,18 @@ impl Machine {
             .map(|r| r.wire_complete)
             .unwrap_or(t);
         let extra = FW_PER_CHUNK.times(chunks - 1);
-        let setup_done = n
-            .chip
-            .ppc
-            .run_with_extra(&cm, FwHandler::TxDmaSetup, t, extra);
+        let setup_done =
+            n.chip
+                .ppc
+                .run_with_extra_via(&cm, FwHandler::TxDmaSetup, t, extra, node as u32, tele);
         // The engine serializes deposits; HT bandwidth and wire arrival
         // both bound completion.
         let (_, ht_done) = n.chip.ht.bulk(&cm, HtDir::Write, setup_done, len);
         let ht_duration = ht_done.saturating_sub(setup_done);
-        let (_, engine_done) = n.chip.rx_dma.occupy(setup_done, ht_duration, len, chunks);
+        let (_, engine_done) =
+            n.chip
+                .rx_dma
+                .occupy_via(setup_done, ht_duration, len, chunks, node as u32, tele);
         let done = engine_done.max(ht_done).max(wire_complete) + cm.ht_write_latency;
         q.schedule_at(
             done,
@@ -710,7 +852,13 @@ impl Machine {
 
         match msg.kind {
             WireKind::GbnNack { expected } => {
-                let t = self.nodes[node].chip.ppc.run(&cm, FwHandler::RxHeader, now);
+                let t = self.nodes[node].chip.ppc.run_via(
+                    &cm,
+                    FwHandler::RxHeader,
+                    now,
+                    node as u32,
+                    &mut self.telemetry,
+                );
                 let (resend, in_flight) = self.nodes[node]
                     .gbn_tx
                     .get_mut(&from_node)
@@ -741,10 +889,13 @@ impl Machine {
                 return;
             }
             WireKind::GbnAck { upto } => {
-                let t = self.nodes[node]
-                    .chip
-                    .ppc
-                    .run(&cm, FwHandler::Completion, now);
+                let t = self.nodes[node].chip.ppc.run_via(
+                    &cm,
+                    FwHandler::Completion,
+                    now,
+                    node as u32,
+                    &mut self.telemetry,
+                );
                 if let Some(s) = self.nodes[node].gbn_tx.get_mut(&from_node) {
                     s.ack(upto);
                 }
@@ -760,7 +911,13 @@ impl Machine {
         // policy the message is simply lost and counted.
         if inflight.corrupted && matches!(msg.kind, WireKind::Data) {
             self.nodes[node].chip.rx_dma.record_crc_failure();
-            let t = self.nodes[node].chip.ppc.run(&cm, FwHandler::RxHeader, now);
+            let t = self.nodes[node].chip.ppc.run_via(
+                &cm,
+                FwHandler::RxHeader,
+                now,
+                node as u32,
+                &mut self.telemetry,
+            );
             if let Some(seq) = msg.seq {
                 let rx = self.nodes[node].gbn_rx.entry(from_node).or_default();
                 let ev = rx.on_arrival(seq, false);
@@ -835,9 +992,21 @@ impl Machine {
         let piggy = msg.piggybacked(cm.piggyback_max);
 
         let t = if direct {
-            self.nodes[node].chip.ppc.occupy_raw(now, cm.fw_reply_rx)
+            self.nodes[node].chip.ppc.occupy_raw_via(
+                now,
+                cm.fw_reply_rx,
+                "fw-reply-rx",
+                node as u32,
+                &mut self.telemetry,
+            )
         } else {
-            self.nodes[node].chip.ppc.run(&cm, FwHandler::RxHeader, now)
+            self.nodes[node].chip.ppc.run_via(
+                &cm,
+                FwHandler::RxHeader,
+                now,
+                node as u32,
+                &mut self.telemetry,
+            )
         };
         // Fault plan: an SRAM pool-exhaustion pulse forces the header to
         // be rejected exactly as if `rx_pendings` had run dry, driving
@@ -942,8 +1111,12 @@ impl Machine {
                     .rx_store
                     .remove(&(fw_proc, pending))
                     .expect("rec");
+                let tele = &mut self.telemetry;
                 let n = &mut self.nodes[node];
-                let t2 = n.chip.ppc.run(&cm, FwHandler::Completion, t);
+                let t2 = n
+                    .chip
+                    .ppc
+                    .run_via(&cm, FwHandler::Completion, t, node as u32, tele);
                 n.procs[dst_pid as usize].lib.deliver_ack(&rec.header);
                 n.fw.release_direct(fw_proc, pending);
                 self.maybe_wake(q, t2 + cm.ht_write_latency, node, dst_pid);
@@ -955,8 +1128,12 @@ impl Machine {
                     .rx_store
                     .remove(&(fw_proc, pending))
                     .expect("rec");
+                let tele = &mut self.telemetry;
                 let n = &mut self.nodes[node];
-                let t2 = n.chip.ppc.occupy_raw(t, cm.fw_reply_rx);
+                let t2 =
+                    n.chip
+                        .ppc
+                        .occupy_raw_via(t, cm.fw_reply_rx, "fw-reply-rx", node as u32, tele);
                 let proc = &mut n.procs[dst_pid as usize];
                 proc.lib
                     .complete_reply(&rec.header, &rec.data, proc.mem.as_mut_memory());
@@ -1111,7 +1288,10 @@ impl Machine {
 
     fn on_host_interrupt(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize) {
         let cm = self.config.cost;
-        let mut t = self.nodes[node].host.interrupt(&cm, now);
+        let mut t =
+            self.nodes[node]
+                .host
+                .interrupt_span(&cm, now, node as u32, &mut self.telemetry);
         self.trace.record(
             t,
             node as u32,
@@ -1153,7 +1333,13 @@ impl Machine {
                     .expect("tx rec");
                 self.nodes[node].free_tx_pending(fw_proc, pending);
                 if let Some(md) = rec.md {
-                    t = self.nodes[node].host.run(t, cm.host_event_post);
+                    t = self.nodes[node].host.run_span(
+                        t,
+                        cm.host_event_post,
+                        "event-post",
+                        node as u32,
+                        &mut self.telemetry,
+                    );
                     self.nodes[node].procs[rec.src_pid as usize]
                         .lib
                         .on_send_complete(md, rec.data.len());
@@ -1168,7 +1354,13 @@ impl Machine {
                     .remove(&(fw_proc, pending))
                     .expect("rx rec");
                 let ticket = rec.ticket.as_ref().expect("deposit had a ticket");
-                t = self.nodes[node].host.run(t, cm.host_event_post);
+                t = self.nodes[node].host.run_span(
+                    t,
+                    cm.host_event_post,
+                    "event-post",
+                    node as u32,
+                    &mut self.telemetry,
+                );
                 let action = {
                     let proc = &mut self.nodes[node].procs[rec.dst_pid as usize];
                     proc.lib
@@ -1200,7 +1392,13 @@ impl Machine {
         pending: PendingId,
     ) -> SimTime {
         let cm = self.config.cost;
-        t = self.nodes[node].host.run(t, cm.host_match);
+        t = self.nodes[node].host.run_span(
+            t,
+            cm.host_match,
+            "match",
+            node as u32,
+            &mut self.telemetry,
+        );
         self.nodes[node].host.counters.matches += 1;
         self.trace.record(
             t,
@@ -1237,7 +1435,13 @@ impl Machine {
                     proc.lib
                         .complete_put(&rec.header, &ticket, &rec.data, proc.mem.as_mut_memory())
                 };
-                t = self.nodes[node].host.run(t, cm.host_event_post);
+                t = self.nodes[node].host.run_span(
+                    t,
+                    cm.host_event_post,
+                    "event-post",
+                    node as u32,
+                    &mut self.telemetry,
+                );
                 self.nodes[node].fw.rx_piggyback_complete(fw_proc, pending);
                 t = self.post_cmd(q, t, node, fw_proc, FwCommand::ReleasePending { pending });
                 t = self.handle_incoming_action(q, t, node, fw_proc, dst_pid, action, None);
@@ -1259,7 +1463,13 @@ impl Machine {
                         .expect("matched region is valid");
                     (prepared.commands, prepared.prep_cost)
                 };
-                t = self.nodes[node].host.run(t, prep_cost);
+                t = self.nodes[node].host.run_span(
+                    t,
+                    prep_cost,
+                    "rx-prepare",
+                    node as u32,
+                    &mut self.telemetry,
+                );
                 let drop_length = ticket.rlength - ticket.mlength;
                 self.nodes[node]
                     .rx_store
@@ -1305,7 +1515,13 @@ impl Machine {
                     action,
                     Some(ticket.address),
                 );
-                t = self.nodes[node].host.run(t, cm.host_event_post);
+                t = self.nodes[node].host.run_span(
+                    t,
+                    cm.host_event_post,
+                    "event-post",
+                    node as u32,
+                    &mut self.telemetry,
+                );
                 self.nodes[node].fw.rx_piggyback_complete(fw_proc, pending);
                 t = self.post_cmd(q, t, node, fw_proc, FwCommand::ReleasePending { pending });
                 self.maybe_wake(q, t, node, dst_pid);
@@ -1423,7 +1639,13 @@ impl Machine {
             },
             dma_chunks.max(1) as usize,
         );
-        t = self.nodes[node].host.run(t, cm.host_cmd_post);
+        t = self.nodes[node].host.run_span(
+            t,
+            cm.host_cmd_post,
+            "cmd-post",
+            node as u32,
+            &mut self.telemetry,
+        );
         let backlog = self.nodes[node]
             .fw
             .mailbox_mut(fw_proc)
@@ -1434,6 +1656,10 @@ impl Machine {
                 dma,
                 tag,
             });
+        if self.telemetry.is_enabled() {
+            let depth = self.nodes[node].fw.mailbox(fw_proc).cmd_len() as u64;
+            self.telemetry.gauge(node as u32, "fw.mailbox_depth", depth);
+        }
         t = self.charge_mailbox_stall(node, t, backlog);
         q.schedule_at(
             t + cm.ht_write_latency,
@@ -1454,8 +1680,18 @@ impl Machine {
         cmd: FwCommand,
     ) -> SimTime {
         let cm = self.config.cost;
-        let t = self.nodes[node].host.run(t, cm.host_cmd_post);
+        let t = self.nodes[node].host.run_span(
+            t,
+            cm.host_cmd_post,
+            "cmd-post",
+            node as u32,
+            &mut self.telemetry,
+        );
         let backlog = self.nodes[node].fw.mailbox_mut(fw_proc).post_cmd(cmd);
+        if self.telemetry.is_enabled() {
+            let depth = self.nodes[node].fw.mailbox(fw_proc).cmd_len() as u64;
+            self.telemetry.gauge(node as u32, "fw.mailbox_depth", depth);
+        }
         let t = self.charge_mailbox_stall(node, t, backlog);
         q.schedule_at(
             t + cm.ht_write_latency,
@@ -1492,7 +1728,13 @@ impl Machine {
         pending: PendingId,
     ) {
         let cm = self.config.cost;
-        let t = self.nodes[node].chip.ppc.run(&cm, FwHandler::Match, t);
+        let t = self.nodes[node].chip.ppc.run_via(
+            &cm,
+            FwHandler::Match,
+            t,
+            node as u32,
+            &mut self.telemetry,
+        );
         let (header, dst_pid, piggy) = {
             let rec = &self.nodes[node].rx_store[&(fw_proc, pending)];
             (rec.header.clone(), rec.dst_pid, rec.piggyback)
@@ -1662,12 +1904,15 @@ impl Machine {
     // ----- app scheduling -----
 
     fn maybe_wake(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize, pid: u32) {
+        let tele = &mut self.telemetry;
         let proc = &mut self.nodes[node].procs[pid as usize];
         if proc.wake_scheduled || proc.finished {
             return;
         }
         if let WaitState::Eq(eq) = proc.wait {
-            let ready = proc.lib.eq_len(eq).map(|n| n > 0).unwrap_or(false);
+            let depth = proc.lib.eq_len(eq).unwrap_or(0);
+            tele.gauge(node as u32, "ptl.eq_depth", depth as u64);
+            let ready = depth > 0;
             if ready {
                 proc.wake_scheduled = true;
                 // Wakes fire at the caller's current instant: take the
@@ -1704,9 +1949,17 @@ impl Machine {
                 let accelerated = self.nodes[node].procs[pid as usize].spec.accelerated;
                 let mut t = now;
                 if !accelerated {
-                    t = self.nodes[node].host.trap(&cm, t);
+                    t = self.nodes[node]
+                        .host
+                        .trap_span(&cm, t, node as u32, &mut self.telemetry);
                 }
-                t = self.nodes[node].host.run(t, cm.host_eq_poll);
+                t = self.nodes[node].host.run_span(
+                    t,
+                    cm.host_eq_poll,
+                    "eq-poll",
+                    node as u32,
+                    &mut self.telemetry,
+                );
                 let got = self.nodes[node].procs[pid as usize].lib.eq_get(eq);
                 match got {
                     Ok(ev) => {
@@ -1845,9 +2098,12 @@ impl Model for Machine {
                 // The firmware's main loop stamps the control block; the
                 // RAS system watches for it going stale. Ticks stop once
                 // all applications finish so runs still drain.
+                let tele = &mut self.telemetry;
                 let n = &mut self.nodes[node as usize];
                 let cm = n.chip.cost;
-                n.chip.ppc.run(&cm, FwHandler::Completion, now);
+                n.chip
+                    .ppc
+                    .run_via(&cm, FwHandler::Completion, now, node, tele);
                 n.fw.ras_heartbeat();
                 if self.running_apps > 0 {
                     if let Some(interval) = self.config.ras_heartbeat {
@@ -2000,7 +2256,13 @@ impl AppCtx<'_> {
     }
 
     fn charge(&mut self, cost: SimTime) {
-        self.time = self.m.nodes[self.node].host.run(self.time, cost);
+        self.time = self.m.nodes[self.node].host.run_span(
+            self.time,
+            cost,
+            "api",
+            self.node as u32,
+            &mut self.m.telemetry,
+        );
     }
 
     fn api_entry(&mut self) {

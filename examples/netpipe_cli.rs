@@ -7,8 +7,10 @@
 //! Run: `cargo run --release --example netpipe_cli -- put pingpong 65536`
 //! Args: `<put|get|mpich1|mpich2> <pingpong|stream|bidir> [max_bytes] [--accel]`
 
-use portals_xt3::netpipe::report::{bandwidth_series, latency_series, FigureData};
-use portals_xt3::netpipe::runner::{run_curve, NetpipeConfig, TestKind, Transport};
+use portals_xt3::netpipe::report::{
+    bandwidth_series, latency_series, FigureData, LatencyPercentiles,
+};
+use portals_xt3::netpipe::runner::{run_instrumented, NetpipeConfig, TestKind, Transport};
 use portals_xt3::netpipe::Schedule;
 
 fn usage() -> ! {
@@ -52,12 +54,13 @@ fn main() {
         kind,
         if accel { " (accelerated mode)" } else { "" }
     );
-    let rounds = run_curve(&config, transport, kind);
+    let run = run_instrumented(&config, transport, kind);
+    let rounds = &run.rounds;
     println!(
         "{:>12} {:>10} {:>14} {:>14}",
         "bytes", "msgs", "latency (us)", "bw (MB/s)"
     );
-    for r in &rounds {
+    for r in rounds {
         println!(
             "{:>12} {:>10} {:>14.3} {:>14.2}",
             r.size,
@@ -67,12 +70,25 @@ fn main() {
         );
     }
 
+    println!("\n{}", LatencyPercentiles::from_rounds(rounds).render());
+    println!(
+        "telemetry: {} host-path messages, {:.3} rx interrupts/message \
+         ({:.3} per piggybacked <=12 B, {:.3} per full), {:.3} host us/message, \
+         peak link utilization {:.2}%",
+        run.report.host_path_messages(),
+        run.report.rx_interrupts_per_message(),
+        run.report.rx_interrupts_per_piggybacked_message(),
+        run.report.rx_interrupts_per_full_message(),
+        run.report.host_us_per_message(),
+        run.report.peak_link_utilization() * 100.0
+    );
+
     let fig = FigureData {
         title: format!("{} {:?}", transport.label(), kind),
         y_label: "MB/s".into(),
         series: vec![
-            bandwidth_series(transport.label(), &rounds),
-            latency_series("(latency-us)", &rounds),
+            bandwidth_series(transport.label(), rounds),
+            latency_series("(latency-us)", rounds),
         ],
     };
     println!("\n{}", fig.render_ascii(64, 16));
