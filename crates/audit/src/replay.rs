@@ -135,13 +135,15 @@ impl Scenario {
     }
 
     /// Run the scenario twice from identical state and compare. The
-    /// telemetry sink is enabled on one side only, so every lockstep pass
-    /// also proves telemetry is digest-neutral at event granularity — the
-    /// instrumented run must match the bare one step for step.
+    /// telemetry sink *and* the causal message tracer are enabled on one
+    /// side only, so every lockstep pass also proves both observers are
+    /// digest-neutral at event granularity — the instrumented run must
+    /// match the bare one step for step.
     pub fn check(&self) -> Result<ReplayRun, Divergence> {
         let a = self.build();
         let mut b = self.build();
         b.model_mut().set_telemetry_enabled(true);
+        b.model_mut().set_causal_enabled(true);
         lockstep(a, b, &self.name)
     }
 }

@@ -32,7 +32,9 @@ fn usage() -> ! {
          --quick           small messages + 1 rep (CI smoke configuration)\n\
          --reps N          timing repetitions per scenario, best-of (default 3)\n\
          --max-size BYTES  NetPIPE schedule size cap (default 65536)\n\
-         --out PATH        JSON output path (default BENCH_core.json)"
+         --out PATH        JSON output path (default BENCH_core.json)\n\
+         --check PATH      compare against a committed baseline JSON and fail\n\
+         \x20                 if aggregate events/sec fall below 25% of it"
     );
     std::process::exit(2)
 }
@@ -42,6 +44,7 @@ fn main() {
     let mut reps: u32 = 3;
     let mut max_size: u64 = 64 * 1024;
     let mut out = String::from("BENCH_core.json");
+    let mut check: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,6 +65,7 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--check" => check = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -133,6 +137,42 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out}");
+
+    if let Some(path) = check {
+        check_against(&path, aggregate);
+    }
+}
+
+/// Bench-regression guard: CI machines are noisy and heterogeneous, so
+/// the tolerance is generous — the guard only trips on a catastrophic
+/// slowdown (an accidental O(n^2), tracing left on in the hot path),
+/// not on run-to-run jitter.
+fn check_against(path: &str, aggregate: f64) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let reference = xt3_telemetry::parse_json(&text)
+        .and_then(|doc| {
+            doc.get("aggregate_events_per_sec")
+                .and_then(xt3_telemetry::JsonValue::as_f64)
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("baseline {path} has no aggregate_events_per_sec: {e}");
+            std::process::exit(1);
+        });
+    let floor = reference * 0.25;
+    println!(
+        "regression check: {aggregate:.0} events/sec vs baseline {reference:.0} (floor {floor:.0})"
+    );
+    if aggregate < floor {
+        eprintln!("perf_baseline: aggregate throughput fell below 25% of the committed baseline");
+        std::process::exit(1);
+    }
+    println!("regression check passed");
 }
 
 /// Hand-rolled JSON (the workspace's serde is an offline no-op stub).

@@ -374,6 +374,95 @@ pub fn run_instrumented(
     }
 }
 
+/// A run with causal tracing enabled: the usual round results plus the
+/// critical-path chain of every delivered message and a Perfetto trace
+/// whose flow arrows link each message's sender and receiver checkpoints.
+#[derive(Debug)]
+pub struct ExplainedRun {
+    /// Per-size round results, exactly as [`run_curve`] reports them
+    /// (causal tracing is digest-neutral).
+    pub rounds: Vec<RoundResult>,
+    /// One extracted critical path per attributable EQ delivery, in
+    /// delivery order.
+    pub chains: Vec<xt3_telemetry::Chain>,
+    /// Chrome trace-event JSON with causal flow arrows.
+    pub perfetto: String,
+    /// Causal records discarded at the log's bounded capacity; non-zero
+    /// means the chain list under-covers the run.
+    pub dropped: u64,
+}
+
+/// Run `(transport, kind)` with the causal tracer (and telemetry sink)
+/// forced on, then extract every delivery's critical path. Tracing is
+/// digest-neutral, so the rounds are identical to an uninstrumented
+/// [`run_curve`] of the same config.
+pub fn run_explained(config: &NetpipeConfig, transport: Transport, kind: TestKind) -> ExplainedRun {
+    let mut cfg = config.clone();
+    cfg.telemetry = true;
+    let mut engine = build_engine(&cfg, transport, kind);
+    engine.model_mut().set_causal_enabled(true);
+    let outcome = engine.run();
+    assert_eq!(outcome, RunOutcome::Drained, "explained run must drain");
+    let mut m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "explained apps must finish");
+    let perfetto = m.telemetry().perfetto_json_with_causal(m.causal());
+    let chains = xt3_telemetry::extract_chains(m.causal()).expect("causal DAG is well-formed");
+    let dropped = m.causal().dropped();
+    let rounds = extract_rounds(&mut m, transport, kind);
+    ExplainedRun {
+        rounds,
+        chains,
+        perfetto,
+        dropped,
+    }
+}
+
+/// Select the chains that exactly partition `round`'s measured window.
+///
+/// Three refinements over "all chains":
+/// * an EQ can carry a start event and an end event per message; only
+///   the delivery that resumed the application (the message's *last*
+///   delivery) lies on the critical path, so one chain is kept per
+///   trace id, the latest;
+/// * setup/control traffic before the timed window is excluded by
+///   anchoring the window to the final delivery and walking back
+///   exactly `round.elapsed`;
+/// * `node_filter` restricts to one side's deliveries — a get is
+///   measured by the requester alone (pass `Some(0)`), while put
+///   ping-pong alternates deliveries across both nodes (pass `None`).
+///
+/// For a ping-pong round the returned chains tile the window: the sum
+/// of their spans equals `round.elapsed` with zero residual.
+pub fn critical_chains<'a>(
+    chains: &'a [xt3_telemetry::Chain],
+    round: &RoundResult,
+    node_filter: Option<u32>,
+) -> Vec<&'a xt3_telemetry::Chain> {
+    use std::collections::BTreeMap;
+    let mut last_by_id: BTreeMap<u64, &xt3_telemetry::Chain> = BTreeMap::new();
+    for c in chains {
+        if node_filter.is_some_and(|n| c.node != n) {
+            continue;
+        }
+        let slot = last_by_id.entry(c.id.0).or_insert(c);
+        if c.end > slot.end {
+            *slot = c;
+        }
+    }
+    let window_end = last_by_id
+        .values()
+        .map(|c| c.end)
+        .max()
+        .unwrap_or(xt3_sim::SimTime::ZERO);
+    let window_start = window_end.saturating_sub(round.elapsed);
+    let mut kept: Vec<&xt3_telemetry::Chain> = last_by_id
+        .into_values()
+        .filter(|c| c.start >= window_start && c.end <= window_end)
+        .collect();
+    kept.sort_by_key(|c| c.end);
+    kept
+}
+
 /// Pull the measuring side's results out of a finished machine, matching
 /// the side selection in [`run_curve`].
 fn extract_rounds(m: &mut Machine, transport: Transport, kind: TestKind) -> Vec<RoundResult> {

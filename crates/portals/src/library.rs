@@ -134,6 +134,10 @@ pub struct LibCounters {
     pub permission_violations: u64,
     /// Replies/acks referencing stale MDs.
     pub stale_completions: u64,
+    /// Events successfully posted to event queues (drops excluded).
+    /// Monotone; the causal tracer diffs it across a completion call to
+    /// learn how many EQ slots that completion produced.
+    pub events_posted: u64,
 }
 
 /// Per-process Portals library state.
@@ -869,7 +873,9 @@ impl PortalsLib {
             hdr_data: header.hdr_data,
         };
         if let Some(eq) = self.eqs.get_mut(eq_h.index, eq_h.generation) {
-            eq.post(event);
+            if eq.post(event) {
+                self.counters.events_posted += 1;
+            }
         }
     }
 
@@ -896,7 +902,9 @@ impl PortalsLib {
         };
         fill(&mut event, md);
         if let Some(eq) = self.eqs.get_mut(eq_h.index, eq_h.generation) {
-            eq.post(event);
+            if eq.post(event) {
+                self.counters.events_posted += 1;
+            }
         }
     }
 }

@@ -37,6 +37,7 @@
 //! assert_eq!(engine.now(), SimTime::from_ns(300));
 //! ```
 
+pub mod causal;
 pub mod cursor;
 pub mod digest;
 pub mod engine;
@@ -48,6 +49,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use causal::{CausalLog, CausalRecord, CausalStage, TraceId};
 pub use cursor::BusyCursor;
 pub use digest::EventDigest;
 pub use engine::{Engine, Model, RunOutcome};

@@ -117,6 +117,20 @@ impl SimTime {
         }
     }
 
+    /// Checked subtraction: `None` when `rhs > self`.
+    ///
+    /// Attribution arithmetic (causal-chain segment durations, breakdown
+    /// residuals) must use this instead of `-` so a malformed DAG — a
+    /// child record stamped before its parent — surfaces as an explicit
+    /// error instead of a wrapped duration.
+    #[inline]
+    pub const fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(SimTime(v)),
+            None => None,
+        }
+    }
+
     /// The later of two times.
     #[inline]
     pub fn max(self, other: SimTime) -> SimTime {
@@ -163,16 +177,17 @@ impl Sub for SimTime {
     type Output = SimTime;
     #[inline]
     fn sub(self, rhs: SimTime) -> SimTime {
-        debug_assert!(self.0 >= rhs.0, "SimTime underflow: {self} - {rhs}");
-        SimTime(self.0 - rhs.0)
+        match self.checked_sub(rhs) {
+            Some(v) => v,
+            None => panic!("SimTime underflow: {self} - {rhs}"),
+        }
     }
 }
 
 impl SubAssign for SimTime {
     #[inline]
     fn sub_assign(&mut self, rhs: SimTime) {
-        debug_assert!(self.0 >= rhs.0, "SimTime underflow");
-        self.0 -= rhs.0;
+        *self = *self - rhs;
     }
 }
 

@@ -41,6 +41,11 @@ mod registry;
 mod report;
 mod sink;
 
+pub mod critpath;
+
+pub use critpath::{
+    aggregate, extract_chains, Breakdown, Chain, CostClass, CritPathError, Segment,
+};
 pub use json::{parse as parse_json, JsonValue};
 pub use registry::{Span, Telemetry};
 pub use report::{DmaSummary, LinkSummary, NodeReport, TelemetryReport};

@@ -2,14 +2,62 @@
 //!
 //! Emits the classic `traceEvents` array format: one process per node,
 //! one thread (track) per component, `"X"` complete events for occupancy
-//! spans and `"M"` metadata events naming the tracks. Load the file in
-//! `ui.perfetto.dev` or `chrome://tracing`.
+//! spans and `"M"` metadata events naming the tracks. Each track also
+//! carries a `thread_sort_index` pinning the display order to the
+//! hardware order (host, PPC, TX DMA, RX DMA, links) instead of the
+//! viewer's first-seen order. With a causal log attached, every message
+//! additionally becomes a flow (`"s"`/`"t"`/`"f"` arrow events) linking
+//! its sender-side and receiver-side checkpoints across node tracks.
+//! Load the file in `ui.perfetto.dev` or `chrome://tracing`.
 
 use crate::json::quote;
 use crate::registry::Telemetry;
 use crate::sink::Component;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
+use xt3_sim::CausalLog;
+
+/// Perfetto `tid` of the per-node causal-checkpoint track; past every
+/// [`Component::track_id`] so it sorts below the hardware tracks.
+const CAUSAL_TID: u32 = 16;
+
+/// Emit one trace event line into the accumulating array.
+fn emit(out: &mut String, first: &mut bool, line: &str) {
+    if *first {
+        *first = false;
+        out.push('\n');
+    } else {
+        out.push_str(",\n");
+    }
+    out.push_str("    ");
+    out.push_str(line);
+}
+
+/// Emit the three metadata events describing one track: process name,
+/// thread name, and the sort index that fixes the display order.
+fn emit_track_meta(out: &mut String, first: &mut bool, node: u32, tid: u32, name: &str) {
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{node},\"args\":{{\"name\":{}}}}}",
+        quote(&format!("node{node}"))
+    );
+    emit(out, first, &line);
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{node},\"tid\":{tid},\"args\":{{\"name\":{}}}}}",
+        quote(name)
+    );
+    emit(out, first, &line);
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":{node},\"tid\":{tid},\
+         \"args\":{{\"sort_index\":{tid}}}}}"
+    );
+    emit(out, first, &line);
+}
 
 impl Telemetry {
     /// Render all recorded spans as a Chrome trace-event JSON document.
@@ -18,38 +66,40 @@ impl Telemetry {
     /// spans keep fractional precision so back-to-back firmware handlers
     /// stay distinguishable.
     pub fn perfetto_json(&self) -> String {
+        self.render(None)
+    }
+
+    /// Like [`Telemetry::perfetto_json`], but also renders `causal`'s
+    /// checkpoint records on a per-node "causal" track and links each
+    /// message's checkpoints with flow arrows, so a NetPIPE round trip
+    /// reads as one arrow chain from the sender's API entry to the
+    /// receiver's EQ delivery.
+    pub fn perfetto_json_with_causal(&self, causal: &CausalLog) -> String {
+        self.render(Some(causal))
+    }
+
+    fn render(&self, causal: Option<&CausalLog>) -> String {
         let mut out = String::from("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [");
         let mut first = true;
-        let mut emit = |out: &mut String, line: &str| {
-            if first {
-                first = false;
-                out.push('\n');
-            } else {
-                out.push_str(",\n");
-            }
-            out.push_str("    ");
-            out.push_str(line);
-        };
 
         // Track metadata: name each (node, component) pair that appears.
         let tracks: BTreeSet<(u32, Component)> =
             self.spans().iter().map(|s| (s.node, s.component)).collect();
         for &(node, comp) in &tracks {
-            let mut line = String::new();
-            let _ = write!(
-                line,
-                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{node},\"args\":{{\"name\":{}}}}}",
-                quote(&format!("node{node}"))
-            );
-            emit(&mut out, &line);
-            let mut line = String::new();
-            let _ = write!(
-                line,
-                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{node},\"tid\":{},\"args\":{{\"name\":{}}}}}",
+            emit_track_meta(
+                &mut out,
+                &mut first,
+                node,
                 comp.track_id(),
-                quote(comp.track_name())
+                comp.track_name(),
             );
-            emit(&mut out, &line);
+        }
+
+        if let Some(log) = causal {
+            let causal_nodes: BTreeSet<u32> = log.records().iter().map(|r| r.node).collect();
+            for &node in &causal_nodes {
+                emit_track_meta(&mut out, &mut first, node, CAUSAL_TID, "causal checkpoints");
+            }
         }
 
         for s in self.spans() {
@@ -63,8 +113,59 @@ impl Telemetry {
                 s.node,
                 s.component.track_id()
             );
-            emit(&mut out, &line);
+            emit(&mut out, &mut first, &line);
         }
+
+        if let Some(log) = causal {
+            // Group records by trace id, preserving record order, so each
+            // message becomes one flow.
+            let mut by_id: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+            for (idx, rec) in log.records().iter().enumerate() {
+                let ts = rec.at.ps() as f64 / 1e6;
+                let mut line = String::new();
+                // A sliver-width slice marks the checkpoint and anchors
+                // the flow arrows (flows bind to the enclosing slice).
+                let _ = write!(
+                    line,
+                    "{{\"ph\":\"X\",\"name\":{},\"pid\":{},\"tid\":{CAUSAL_TID},\
+                     \"ts\":{ts},\"dur\":0.001,\"args\":{{\"idx\":{idx}}}}}",
+                    quote(rec.stage.name()),
+                    rec.node,
+                );
+                emit(&mut out, &mut first, &line);
+                if rec.id.is_some() {
+                    by_id.entry(rec.id.0).or_default().push(idx as u32);
+                }
+            }
+            for (id, idxs) in &by_id {
+                if idxs.len() < 2 {
+                    continue;
+                }
+                // Hex-string flow id: u64-safe (bit 63 marks sender-side
+                // chains), which a JSON double could not represent.
+                let fid = quote(&format!("{id:#x}"));
+                let last = idxs.len() - 1;
+                for (pos, &idx) in idxs.iter().enumerate() {
+                    let rec = &log.records()[idx as usize];
+                    let ts = rec.at.ps() as f64 / 1e6;
+                    let (ph, bind) = match pos {
+                        0 => ("s", ""),
+                        p if p == last => ("f", ",\"bp\":\"e\""),
+                        _ => ("t", ""),
+                    };
+                    let mut line = String::new();
+                    let _ = write!(
+                        line,
+                        "{{\"ph\":{},\"cat\":\"msg\",\"name\":\"msg\",\"id\":{fid},\
+                         \"pid\":{},\"tid\":{CAUSAL_TID},\"ts\":{ts}{bind}}}",
+                        quote(ph),
+                        rec.node,
+                    );
+                    emit(&mut out, &mut first, &line);
+                }
+            }
+        }
+
         out.push_str("\n  ]\n}\n");
         out
     }
@@ -75,7 +176,7 @@ mod tests {
     use crate::json::parse;
     use crate::sink::{Component, TelemetrySink};
     use crate::Telemetry;
-    use xt3_sim::SimTime;
+    use xt3_sim::{CausalLog, CausalStage, SimTime, TraceId};
 
     #[test]
     fn export_parses_and_names_tracks() {
@@ -100,14 +201,74 @@ mod tests {
             .get("traceEvents")
             .and_then(|e| e.as_array().map(<[_]>::to_vec))
             .expect("events array");
-        // 2 tracks x 2 metadata events + 2 spans.
-        assert_eq!(events.len(), 6);
+        // 2 tracks x 3 metadata events + 2 spans.
+        assert_eq!(events.len(), 8);
         let span = events
             .iter()
             .find(|e| e.get("ph").and_then(|p| p.as_str().map(String::from)) == Ok("X".into()))
             .expect("span event");
         assert_eq!(span.get("ts").and_then(|t| t.as_f64()), Ok(1.0));
         assert_eq!(span.get("dur").and_then(|t| t.as_f64()), Ok(2.0));
+    }
+
+    #[test]
+    fn tracks_carry_sort_indices() {
+        let mut t = Telemetry::enabled();
+        t.span(0, Component::RxDma, "rx", SimTime::ZERO, SimTime::NS);
+        let doc = t.perfetto_json();
+        let v = parse(&doc).expect("parses");
+        let events = v
+            .get("traceEvents")
+            .and_then(|e| e.as_array().map(<[_]>::to_vec))
+            .expect("events array");
+        let sort = events
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(|n| n.as_str().map(String::from))
+                    == Ok("thread_sort_index".into())
+            })
+            .expect("sort-index metadata");
+        assert_eq!(
+            sort.get("args")
+                .and_then(|a| a.get("sort_index"))
+                .and_then(|s| s.as_f64()),
+            Ok(f64::from(Component::RxDma.track_id()))
+        );
+    }
+
+    #[test]
+    fn causal_records_become_flows() {
+        let t = Telemetry::enabled();
+        let mut log = CausalLog::enabled();
+        let id = TraceId(42);
+        let a = log.record(id, CausalStage::ApiEntry, SimTime::from_ns(10), 0, None, 8);
+        log.record(id, CausalStage::AppDeliver, SimTime::from_ns(500), 1, a, 1);
+        let doc = t.perfetto_json_with_causal(&log);
+        let v = parse(&doc).expect("parses");
+        let events = v
+            .get("traceEvents")
+            .and_then(|e| e.as_array().map(<[_]>::to_vec))
+            .expect("events array");
+        let phase = |e: &crate::JsonValue| {
+            e.get("ph")
+                .and_then(|p| p.as_str().map(String::from))
+                .unwrap_or_default()
+        };
+        let starts = events.iter().filter(|e| phase(e) == "s").count();
+        let ends = events.iter().filter(|e| phase(e) == "f").count();
+        assert_eq!((starts, ends), (1, 1), "one flow start and one finish");
+        let start = events.iter().find(|e| phase(e) == "s").expect("flow start");
+        assert_eq!(
+            start.get("id").and_then(|i| i.as_str().map(String::from)),
+            Ok("0x2a".into())
+        );
+        // Checkpoint slices land on the causal track of each node.
+        let slices = events
+            .iter()
+            .filter(|e| phase(e) == "X")
+            .filter(|e| e.get("tid").and_then(|t| t.as_f64()) == Ok(16.0))
+            .count();
+        assert_eq!(slices, 2);
     }
 
     #[test]

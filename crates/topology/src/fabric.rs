@@ -17,7 +17,7 @@ use crate::coord::{Dims, NodeId, Port};
 use crate::link::{Link, LinkConfig};
 use crate::route::RoutingTable;
 use serde::{Deserialize, Serialize};
-use xt3_sim::{SimRng, SimTime};
+use xt3_sim::{CausalLog, CausalStage, SimRng, SimTime, TraceId};
 use xt3_telemetry::{Component, NullSink, TelemetrySink};
 
 /// Fabric-wide configuration.
@@ -136,6 +136,22 @@ impl Fabric {
         msg: NetMessage<P>,
         sink: &mut impl TelemetrySink,
     ) -> DeliveredMsg<P> {
+        let mut causal = CausalLog::disabled();
+        self.send_full(inject_at, msg, sink, &mut causal)
+    }
+
+    /// [`Fabric::send_via`] plus causal tracing: each traversed link hop
+    /// appends a `LinkHop` record (chained onto the message's `TxInject`)
+    /// whose `info` carries the head-of-line stall at that hop in
+    /// picoseconds — the detail the critical-path extractor uses to split
+    /// transit time into wire vs. hop-queueing classes.
+    pub fn send_full<P>(
+        &mut self,
+        inject_at: SimTime,
+        msg: NetMessage<P>,
+        sink: &mut impl TelemetrySink,
+        causal: &mut CausalLog,
+    ) -> DeliveredMsg<P> {
         self.messages_sent += 1;
         self.bytes_sent += msg.payload_bytes;
 
@@ -178,6 +194,13 @@ impl Fabric {
                 );
                 sink.sample("net.hol_stall", start.saturating_sub(head));
             }
+            causal.record_chain(
+                TraceId(msg.tag),
+                CausalStage::LinkHop,
+                start,
+                node.0,
+                start.saturating_sub(head).ps(),
+            );
             head = start + cfg.hop_latency;
             // The last byte clears this link at `done` and still needs the
             // hop latency to reach the next router.

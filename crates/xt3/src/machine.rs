@@ -38,8 +38,8 @@ use xt3_seastar::dma::DmaList;
 use xt3_seastar::ht::HtDir;
 use xt3_seastar::ppc::FwHandler;
 use xt3_sim::{
-    label, Engine, EventDigest, EventQueue, FaultInjector, FaultStats, FwFaultKind, Label, Model,
-    PacketFate, SimTime, Trace, TraceCategory,
+    label, CausalLog, CausalStage, Engine, EventDigest, EventQueue, FaultInjector, FaultStats,
+    FwFaultKind, Label, Model, PacketFate, SimTime, Trace, TraceCategory, TraceId,
 };
 
 /// Static trace label for a firmware fault, one per [`FwError`] variant
@@ -74,6 +74,11 @@ const ACCEL_ENTRY_COST: SimTime = SimTime::from_ns(40);
 const GBN_WINDOW: usize = 64;
 /// Go-back-n retransmission timeout (sender side).
 const GBN_TIMEOUT: SimTime = SimTime::from_us(200);
+/// High bit marking a message's *sender-side* completion chain (the
+/// `SendEnd` delivery). Kept distinct from the message's own trace id so
+/// those records never splice into the receive-path spine; `fresh_tag`
+/// packs the node id from bit 40 up and never reaches bit 63.
+const SEND_CHAIN_BIT: u64 = 1 << 63;
 
 /// A message in flight: the wire body plus when its last byte lands.
 #[derive(Debug)]
@@ -176,6 +181,11 @@ pub struct Machine {
     /// [`Model::state_fingerprint`]: it observes the simulation and never
     /// feeds back into it, so digests match with it on or off.
     telemetry: Telemetry,
+    /// Causal message DAG (trace ids, parent edges, EQ-delivery
+    /// attribution). Observation-only like `telemetry` and excluded from
+    /// the state fingerprint for the same reason: enabling it must not
+    /// perturb replay digests (asserted by the replay-audit lockstep).
+    causal: CausalLog,
     running_apps: u32,
     spawned: Vec<(u32, u32)>,
     /// Reusable drain buffer for `on_host_interrupt` (the handler is never
@@ -210,6 +220,7 @@ impl Machine {
             trace,
             faults,
             telemetry,
+            causal: CausalLog::disabled(),
             running_apps: 0,
             spawned: Vec::new(),
             scratch_events: Vec::new(),
@@ -280,6 +291,23 @@ impl Machine {
     /// this flag produce identical digests and fingerprints.
     pub fn set_telemetry_enabled(&mut self, enabled: bool) {
         self.telemetry.set_enabled(enabled);
+    }
+
+    /// The causal message DAG recorded so far.
+    pub fn causal(&self) -> &CausalLog {
+        &self.causal
+    }
+
+    /// Mutable causal-log access (extractors, tests).
+    pub fn causal_mut(&mut self) -> &mut CausalLog {
+        &mut self.causal
+    }
+
+    /// Turn causal tracing on or off. Digest-neutral for the same reason
+    /// as [`Self::set_telemetry_enabled`]: the log observes message life
+    /// cycles and never feeds back into scheduling.
+    pub fn set_causal_enabled(&mut self, enabled: bool) {
+        self.causal.set_enabled(enabled);
     }
 
     /// Harvest the cross-layer telemetry summary: per-node host/PPC/DMA
@@ -485,6 +513,14 @@ impl Machine {
             label!("rx-deposit-done"),
             0,
         );
+        let dep_tag = self.nodes[node]
+            .rx_store
+            .get(&(fw_proc, pending))
+            .map(|r| r.tag);
+        if let Some(tag) = dep_tag {
+            self.causal
+                .record_chain(TraceId(tag), CausalStage::DepositDone, t, node as u32, 0);
+        }
         let effects = match self.nodes[node].fw.rx_dma_complete(fw_proc, pending) {
             Ok(e) => e,
             Err(err) => self.fw_fault(t, node, err),
@@ -503,15 +539,19 @@ impl Machine {
                 .remove(&(fw_proc, pending))
                 .expect("record");
             let pid = rec.dst_pid as usize;
-            let n = &mut self.nodes[node];
-            let proc = &mut n.procs[pid];
-            proc.lib
-                .complete_reply(&rec.header, &rec.data, proc.mem.as_mut_memory());
-            if let Some(md) = rec.header.initiator_md {
-                n.await_reply.remove(&(rec.dst_pid, md));
+            let before = self.events_posted_before(node, rec.dst_pid);
+            {
+                let n = &mut self.nodes[node];
+                let proc = &mut n.procs[pid];
+                proc.lib
+                    .complete_reply(&rec.header, &rec.data, proc.mem.as_mut_memory());
+                if let Some(md) = rec.header.initiator_md {
+                    n.await_reply.remove(&(rec.dst_pid, md));
+                }
+                n.fw.release_direct(fw_proc, pending);
             }
-            n.fw.release_direct(fw_proc, pending);
             let visible = t + cm.ht_write_latency;
+            self.causal_eq_post(node, rec.dst_pid, TraceId(rec.tag), visible, before);
             self.maybe_wake(q, visible, node, pid as u32);
         }
 
@@ -770,7 +810,11 @@ impl Machine {
         }
 
         let wire_bytes = msg.wire_bytes();
-        let d = self.fabric.send_via(
+        // Recorded here rather than in `start_tx_dma` so go-back-n
+        // deferrals and retransmissions stamp the *actual* inject time.
+        self.causal
+            .record_chain(TraceId(tag), CausalStage::TxInject, inject_at, src.0, 0);
+        let d = self.fabric.send_full(
             inject_at, // the header packet leaves as soon as it is fetched
             NetMessage {
                 src,
@@ -780,6 +824,7 @@ impl Machine {
                 body: msg,
             },
             &mut self.telemetry,
+            &mut self.causal,
         );
         let head_latency = d.header_at.saturating_sub(inject_at);
         let complete_at = d.complete_at.max(dma_done + head_latency) + extra_delay;
@@ -904,6 +949,14 @@ impl Machine {
             }
             WireKind::Data => {}
         }
+
+        self.causal.record_chain(
+            TraceId(msg.tag),
+            CausalStage::NetArrive,
+            now,
+            node as u32,
+            0,
+        );
 
         // End-to-end CRC (§2): a payload that escaped the link CRC is
         // rejected by the RX DMA's 32-bit check. Under go-back-n the drop
@@ -1073,6 +1126,8 @@ impl Machine {
             label!("rx-header"),
             msg.tag,
         );
+        self.causal
+            .record_chain(TraceId(msg.tag), CausalStage::FwRxDone, t, node as u32, 0);
         self.nodes[node].rx_store.insert(
             (fw_proc, pending),
             RxRecord {
@@ -1082,6 +1137,7 @@ impl Machine {
                 dst_pid,
                 piggyback: piggy,
                 ticket: None,
+                tag: msg.tag,
             },
         );
         self.exec_effects(q, t, node, effects);
@@ -1111,15 +1167,21 @@ impl Machine {
                     .rx_store
                     .remove(&(fw_proc, pending))
                     .expect("rec");
-                let tele = &mut self.telemetry;
-                let n = &mut self.nodes[node];
-                let t2 = n
-                    .chip
-                    .ppc
-                    .run_via(&cm, FwHandler::Completion, t, node as u32, tele);
-                n.procs[dst_pid as usize].lib.deliver_ack(&rec.header);
-                n.fw.release_direct(fw_proc, pending);
-                self.maybe_wake(q, t2 + cm.ht_write_latency, node, dst_pid);
+                let before = self.events_posted_before(node, dst_pid);
+                let t2 = {
+                    let tele = &mut self.telemetry;
+                    let n = &mut self.nodes[node];
+                    let t2 = n
+                        .chip
+                        .ppc
+                        .run_via(&cm, FwHandler::Completion, t, node as u32, tele);
+                    n.procs[dst_pid as usize].lib.deliver_ack(&rec.header);
+                    n.fw.release_direct(fw_proc, pending);
+                    t2
+                };
+                let visible = t2 + cm.ht_write_latency;
+                self.causal_eq_post(node, dst_pid, TraceId(rec.tag), visible, before);
+                self.maybe_wake(q, visible, node, dst_pid);
             }
             PortalsOp::Reply if piggy => {
                 // Payload arrived with the header: deposit and complete
@@ -1128,20 +1190,29 @@ impl Machine {
                     .rx_store
                     .remove(&(fw_proc, pending))
                     .expect("rec");
-                let tele = &mut self.telemetry;
-                let n = &mut self.nodes[node];
-                let t2 =
-                    n.chip
-                        .ppc
-                        .occupy_raw_via(t, cm.fw_reply_rx, "fw-reply-rx", node as u32, tele);
-                let proc = &mut n.procs[dst_pid as usize];
-                proc.lib
-                    .complete_reply(&rec.header, &rec.data, proc.mem.as_mut_memory());
-                if let Some(md) = rec.header.initiator_md {
-                    n.await_reply.remove(&(dst_pid, md));
-                }
-                n.fw.release_direct(fw_proc, pending);
-                self.maybe_wake(q, t2 + cm.ht_write_latency, node, dst_pid);
+                let before = self.events_posted_before(node, dst_pid);
+                let t2 = {
+                    let tele = &mut self.telemetry;
+                    let n = &mut self.nodes[node];
+                    let t2 = n.chip.ppc.occupy_raw_via(
+                        t,
+                        cm.fw_reply_rx,
+                        "fw-reply-rx",
+                        node as u32,
+                        tele,
+                    );
+                    let proc = &mut n.procs[dst_pid as usize];
+                    proc.lib
+                        .complete_reply(&rec.header, &rec.data, proc.mem.as_mut_memory());
+                    if let Some(md) = rec.header.initiator_md {
+                        n.await_reply.remove(&(dst_pid, md));
+                    }
+                    n.fw.release_direct(fw_proc, pending);
+                    t2
+                };
+                let visible = t2 + cm.ht_write_latency;
+                self.causal_eq_post(node, dst_pid, TraceId(rec.tag), visible, before);
+                self.maybe_wake(q, visible, node, dst_pid);
             }
             PortalsOp::Reply => {
                 // Bulk reply: the get command pushed the deposit buffer
@@ -1333,6 +1404,7 @@ impl Machine {
                     .expect("tx rec");
                 self.nodes[node].free_tx_pending(fw_proc, pending);
                 if let Some(md) = rec.md {
+                    let before = self.events_posted_before(node, rec.src_pid);
                     t = self.nodes[node].host.run_span(
                         t,
                         cm.host_event_post,
@@ -1343,17 +1415,34 @@ impl Machine {
                     self.nodes[node].procs[rec.src_pid as usize]
                         .lib
                         .on_send_complete(md, rec.data.len());
+                    self.causal_eq_post_send(node, rec.src_pid, rec.tag, t, before);
                     self.maybe_wake(q, t, node, rec.src_pid);
                 }
                 t
             }
-            FwEvent::RxHeader { pending } => self.host_match(q, t, node, fw_proc, pending),
+            FwEvent::RxHeader { pending } => {
+                let tag = self.nodes[node]
+                    .rx_store
+                    .get(&(fw_proc, pending))
+                    .map_or(0, |r| r.tag);
+                self.causal
+                    .record_chain(TraceId(tag), CausalStage::IntDeliver, t, node as u32, 0);
+                self.host_match(q, t, node, fw_proc, pending)
+            }
             FwEvent::RxComplete { pending } => {
                 let rec = self.nodes[node]
                     .rx_store
                     .remove(&(fw_proc, pending))
                     .expect("rx rec");
+                let int_idx = self.causal.record_chain(
+                    TraceId(rec.tag),
+                    CausalStage::IntDeliver,
+                    t,
+                    node as u32,
+                    0,
+                );
                 let ticket = rec.ticket.as_ref().expect("deposit had a ticket");
+                let before = self.events_posted_before(node, rec.dst_pid);
                 t = self.nodes[node].host.run_span(
                     t,
                     cm.host_event_post,
@@ -1374,7 +1463,9 @@ impl Machine {
                     0,
                 );
                 t = self.post_cmd(q, t, node, fw_proc, FwCommand::ReleasePending { pending });
+                self.causal.set_cause(int_idx);
                 t = self.handle_incoming_action(q, t, node, fw_proc, rec.dst_pid, action, None);
+                self.causal_eq_post(node, rec.dst_pid, TraceId(rec.tag), t, before);
                 self.maybe_wake(q, t, node, rec.dst_pid);
                 t
             }
@@ -1408,13 +1499,25 @@ impl Machine {
             0,
         );
 
-        let (header, dst_pid, piggy) = {
+        let (header, dst_pid, piggy, tag) = {
             let rec = &self.nodes[node].rx_store[&(fw_proc, pending)];
-            (rec.header.clone(), rec.dst_pid, rec.piggyback)
+            (rec.header.clone(), rec.dst_pid, rec.piggyback, rec.tag)
         };
+        let match_idx =
+            self.causal
+                .record_chain(TraceId(tag), CausalStage::MatchDone, t, node as u32, 0);
+        // Matching itself may post a start event (PutStart/GetStart);
+        // attribute any such posts to the match record so the EQ-delivery
+        // FIFO stays aligned with the queue.
+        let before_match = self.events_posted_before(node, dst_pid);
         let outcome = self.nodes[node].procs[dst_pid as usize]
             .lib
             .match_incoming(&header);
+        if let Some(mi) = match_idx {
+            let after = self.events_posted_before(node, dst_pid);
+            self.causal
+                .push_eq_posts(node as u32, dst_pid, mi, after.saturating_sub(before_match));
+        }
 
         let ticket = match outcome {
             DeliverOutcome::Matched(ticket) => ticket,
@@ -1430,6 +1533,7 @@ impl Machine {
                     .rx_store
                     .remove(&(fw_proc, pending))
                     .expect("rec");
+                let before = self.events_posted_before(node, dst_pid);
                 let action = {
                     let proc = &mut self.nodes[node].procs[dst_pid as usize];
                     proc.lib
@@ -1444,7 +1548,9 @@ impl Machine {
                 );
                 self.nodes[node].fw.rx_piggyback_complete(fw_proc, pending);
                 t = self.post_cmd(q, t, node, fw_proc, FwCommand::ReleasePending { pending });
+                self.causal.set_cause(match_idx);
                 t = self.handle_incoming_action(q, t, node, fw_proc, dst_pid, action, None);
+                self.causal_eq_post(node, dst_pid, TraceId(tag), t, before);
                 self.maybe_wake(q, t, node, dst_pid);
                 t
             }
@@ -1476,7 +1582,7 @@ impl Machine {
                     .get_mut(&(fw_proc, pending))
                     .expect("rec")
                     .ticket = Some(ticket);
-                self.post_cmd(
+                let t = self.post_cmd(
                     q,
                     t,
                     node,
@@ -1487,7 +1593,10 @@ impl Machine {
                         drop_length,
                         dma,
                     },
-                )
+                );
+                self.causal
+                    .record_chain(TraceId(tag), CausalStage::RxCmdPost, t, node as u32, 0);
+                t
             }
             PortalsOp::Get => {
                 let rec = self.nodes[node]
@@ -1495,6 +1604,7 @@ impl Machine {
                     .remove(&(fw_proc, pending))
                     .expect("rec");
                 let synthetic = self.config.synthetic_payload;
+                let before = self.events_posted_before(node, dst_pid);
                 let action = {
                     let proc = &mut self.nodes[node].procs[dst_pid as usize];
                     proc.lib.complete_get_serve(
@@ -1506,6 +1616,7 @@ impl Machine {
                 };
                 // The reply leaves first; GetEnd bookkeeping and the
                 // pending release follow off the reply's critical path.
+                self.causal.set_cause(match_idx);
                 t = self.handle_incoming_action(
                     q,
                     t,
@@ -1524,6 +1635,7 @@ impl Machine {
                 );
                 self.nodes[node].fw.rx_piggyback_complete(fw_proc, pending);
                 t = self.post_cmd(q, t, node, fw_proc, FwCommand::ReleasePending { pending });
+                self.causal_eq_post(node, dst_pid, TraceId(tag), t, before);
                 self.maybe_wake(q, t, node, dst_pid);
                 t
             }
@@ -1558,6 +1670,7 @@ impl Machine {
                 WireData::Synthetic(0),
                 1,
                 None,
+                t,
             ),
             IncomingAction::SendReply(reply, data) => {
                 // Reply payload is DMA'ed from the matched MD region; the
@@ -1576,12 +1689,17 @@ impl Machine {
                 } else {
                     1
                 };
-                self.transmit_internal(q, t, node, fw_proc, src_pid, reply, data, chunks, None)
+                self.transmit_internal(q, t, node, fw_proc, src_pid, reply, data, chunks, None, t)
             }
         }
     }
 
     /// Kernel/NIC-initiated transmit (acks, replies).
+    ///
+    /// `api_start` is when the operation conceptually began — the
+    /// app-visible API entry for user puts/gets, the serve point for
+    /// internal acks/replies — and stamps the causal chain's `ApiEntry`
+    /// root (the anchor every latency attribution measures from).
     #[allow(clippy::too_many_arguments)]
     fn transmit_internal(
         &mut self,
@@ -1594,6 +1712,7 @@ impl Machine {
         data: WireData,
         dma_chunks: u32,
         md: Option<MdHandle>,
+        api_start: SimTime,
     ) -> SimTime {
         let cm = self.config.cost;
         let Some(pending) = self.nodes[node].alloc_tx_pending(fw_proc) else {
@@ -1621,6 +1740,15 @@ impl Machine {
             tag,
         );
         let len = data.len();
+        let cause = self.causal.cause();
+        self.causal.record(
+            TraceId(tag),
+            CausalStage::ApiEntry,
+            api_start,
+            node as u32,
+            cause,
+            len,
+        );
         let target_node = header.dst.nid;
         self.nodes[node].tx_store.insert(
             (fw_proc, pending),
@@ -1661,6 +1789,8 @@ impl Machine {
             self.telemetry.gauge(node as u32, "fw.mailbox_depth", depth);
         }
         t = self.charge_mailbox_stall(node, t, backlog);
+        self.causal
+            .record_chain(TraceId(tag), CausalStage::TxCmdPost, t, node as u32, 0);
         q.schedule_at(
             t + cm.ht_write_latency,
             Ev::FwCmd {
@@ -1716,6 +1846,80 @@ impl Machine {
             .run(t, cm.fw_tx_cmd.times(backlog as u64))
     }
 
+    // ----- causal EQ-delivery attribution -----
+
+    /// Snapshot `(node, pid)`'s monotone posted-event counter before a
+    /// library completion call (pairs with [`Self::causal_eq_post`]).
+    fn events_posted_before(&self, node: usize, pid: u32) -> u64 {
+        if !self.causal.is_enabled() {
+            return 0;
+        }
+        self.nodes[node].procs[pid as usize]
+            .lib
+            .counters()
+            .events_posted
+    }
+
+    /// Record the `EqPost` checkpoint for a completion that may have
+    /// posted events to `(node, pid)`'s queue: diffs the library's
+    /// posted-event counter across the completion and maps every new
+    /// event to this producer record, so a later successful `eq_get` can
+    /// name the message whose completion it consumed.
+    fn causal_eq_post(
+        &mut self,
+        node: usize,
+        pid: u32,
+        id: TraceId,
+        at: SimTime,
+        before: u64,
+    ) -> Option<u32> {
+        if !self.causal.is_enabled() {
+            return None;
+        }
+        let after = self.nodes[node].procs[pid as usize]
+            .lib
+            .counters()
+            .events_posted;
+        let posted = after.saturating_sub(before);
+        if posted == 0 {
+            return None;
+        }
+        let idx =
+            self.causal
+                .record_chain(id, CausalStage::EqPost, at, node as u32, u64::from(pid))?;
+        self.causal.push_eq_posts(node as u32, pid, idx, posted);
+        Some(idx)
+    }
+
+    /// Like [`Self::causal_eq_post`] but for sender-side `SendEnd`
+    /// completions: recorded as a *root* under the message's send-chain
+    /// id ([`SEND_CHAIN_BIT`]), so the receive-path spine — which shares
+    /// the tag and may still be growing on the remote node — keeps its
+    /// own latest-record chain.
+    fn causal_eq_post_send(&mut self, node: usize, pid: u32, tag: u64, at: SimTime, before: u64) {
+        if !self.causal.is_enabled() {
+            return;
+        }
+        let after = self.nodes[node].procs[pid as usize]
+            .lib
+            .counters()
+            .events_posted;
+        let posted = after.saturating_sub(before);
+        if posted == 0 {
+            return;
+        }
+        if let Some(idx) = self.causal.record(
+            TraceId(tag | SEND_CHAIN_BIT),
+            CausalStage::EqPost,
+            at,
+            node as u32,
+            None,
+            u64::from(pid),
+        ) {
+            self.causal.push_eq_posts(node as u32, pid, idx, posted);
+        }
+    }
+
     // ----- accelerated mode -----
 
     /// Offloaded matching on the PPC (paper §3.3's accelerated mode).
@@ -1735,13 +1939,22 @@ impl Machine {
             node as u32,
             &mut self.telemetry,
         );
-        let (header, dst_pid, piggy) = {
+        let (header, dst_pid, piggy, tag) = {
             let rec = &self.nodes[node].rx_store[&(fw_proc, pending)];
-            (rec.header.clone(), rec.dst_pid, rec.piggyback)
+            (rec.header.clone(), rec.dst_pid, rec.piggyback, rec.tag)
         };
+        let match_idx =
+            self.causal
+                .record_chain(TraceId(tag), CausalStage::MatchDone, t, node as u32, 0);
+        let before_match = self.events_posted_before(node, dst_pid);
         let outcome = self.nodes[node].procs[dst_pid as usize]
             .lib
             .match_incoming(&header);
+        if let Some(mi) = match_idx {
+            let after = self.events_posted_before(node, dst_pid);
+            self.causal
+                .push_eq_posts(node as u32, dst_pid, mi, after.saturating_sub(before_match));
+        }
         let ticket = match outcome {
             DeliverOutcome::Matched(ticket) => ticket,
             _ => {
@@ -1764,6 +1977,7 @@ impl Machine {
                     .rx_store
                     .remove(&(fw_proc, pending))
                     .expect("rec");
+                let before = self.events_posted_before(node, dst_pid);
                 let action = {
                     let proc = &mut self.nodes[node].procs[dst_pid as usize];
                     proc.lib
@@ -1778,6 +1992,10 @@ impl Machine {
                     Err(err) => self.fw_fault(t, node, err),
                 };
                 self.exec_effects(q, t, node, effects);
+                self.causal_eq_post(node, dst_pid, TraceId(tag), t + cm.ht_write_latency, before);
+                // Cause is the match, not the EqPost: the post's visible
+                // time is later than the ack's own start.
+                self.causal.set_cause(match_idx);
                 let t2 = self.handle_incoming_action(q, t, node, fw_proc, dst_pid, action, None);
                 self.maybe_wake(q, t2 + cm.ht_write_latency, node, dst_pid);
             }
@@ -1806,6 +2024,8 @@ impl Machine {
                     Ok(e) => e,
                     Err(err) => self.fw_fault(t, node, err),
                 };
+                self.causal
+                    .record_chain(TraceId(tag), CausalStage::RxCmdPost, t, node as u32, 0);
                 self.exec_effects(q, t, node, effects);
             }
             PortalsOp::Get => {
@@ -1814,6 +2034,7 @@ impl Machine {
                     .remove(&(fw_proc, pending))
                     .expect("rec");
                 let synthetic = self.config.synthetic_payload;
+                let before = self.events_posted_before(node, dst_pid);
                 let action = {
                     let proc = &mut self.nodes[node].procs[dst_pid as usize];
                     proc.lib.complete_get_serve(
@@ -1832,6 +2053,8 @@ impl Machine {
                     Err(err) => self.fw_fault(t, node, err),
                 };
                 self.exec_effects(q, t, node, effects);
+                self.causal_eq_post(node, dst_pid, TraceId(tag), t, before);
+                self.causal.set_cause(match_idx);
                 let t2 = self.handle_incoming_action(
                     q,
                     t,
@@ -1866,10 +2089,13 @@ impl Machine {
                     .expect("tx rec");
                 self.nodes[node].free_tx_pending(fw_proc, pending);
                 if let Some(md) = rec.md {
+                    let before = self.events_posted_before(node, rec.src_pid);
                     self.nodes[node].procs[rec.src_pid as usize]
                         .lib
                         .on_send_complete(md, rec.data.len());
-                    self.maybe_wake(q, t + cm.ht_write_latency, node, rec.src_pid);
+                    let visible = t + cm.ht_write_latency;
+                    self.causal_eq_post_send(node, rec.src_pid, rec.tag, visible, before);
+                    self.maybe_wake(q, visible, node, rec.src_pid);
                 }
             }
             FwEvent::RxComplete { pending } => {
@@ -1878,6 +2104,7 @@ impl Machine {
                     .remove(&(fw_proc, pending))
                     .expect("rx rec");
                 let ticket = rec.ticket.as_ref().expect("ticket");
+                let before = self.events_posted_before(node, rec.dst_pid);
                 let action = {
                     let proc = &mut self.nodes[node].procs[rec.dst_pid as usize];
                     proc.lib
@@ -1891,6 +2118,11 @@ impl Machine {
                     Err(err) => self.fw_fault(t, node, err),
                 };
                 self.exec_effects(q, t, node, effects);
+                // Chains onto the message's DepositDone; the ack's cause
+                // is the completion record itself (stamped at `t`, not
+                // after the ack's own start).
+                let eq_idx = self.causal_eq_post(node, rec.dst_pid, TraceId(rec.tag), t, before);
+                self.causal.set_cause(eq_idx);
                 let t2 =
                     self.handle_incoming_action(q, t, node, fw_proc, rec.dst_pid, action, None);
                 self.maybe_wake(q, t2 + cm.ht_write_latency, node, rec.dst_pid);
@@ -1942,6 +2174,7 @@ impl Machine {
             WaitState::Idle => {}
             WaitState::Timer => {
                 self.nodes[node].procs[pid as usize].wait = WaitState::Idle;
+                self.causal.set_cause(None);
                 self.run_app(q, now, node, pid, AppEvent::Timer);
             }
             WaitState::Eq(eq) => {
@@ -1970,6 +2203,12 @@ impl Machine {
                             label!("app-event"),
                             0,
                         );
+                        // Resolve which completion produced the event the
+                        // app just consumed, close the message's causal
+                        // chain with an `AppDeliver`, and make it the
+                        // cause of whatever the app does next.
+                        let producer = self.causal.pop_eq_post(node as u32, pid);
+                        self.causal.record_deliver(node as u32, pid, t, producer);
                         self.nodes[node].procs[pid as usize].wait = WaitState::Idle;
                         self.run_app(q, t, node, pid, AppEvent::Ptl(ev));
                     }
@@ -1978,6 +2217,7 @@ impl Machine {
                     }
                     Err(PtlError::EqDropped) => {
                         self.nodes[node].procs[pid as usize].wait = WaitState::Idle;
+                        self.causal.set_cause(None);
                         self.run_app(q, t, node, pid, AppEvent::EqDropped);
                     }
                     Err(e) => panic!("eq_get failed: {e}"),
@@ -2064,6 +2304,7 @@ impl Model for Machine {
         }
         match event {
             Ev::AppStart { node, pid } => {
+                self.causal.set_cause(None);
                 self.run_app(q, now, node as usize, pid, AppEvent::Started)
             }
             Ev::AppWake { node, pid } => self.on_app_wake(q, now, node as usize, pid),
@@ -2419,6 +2660,7 @@ impl AppCtx<'_> {
         hdr_data: u64,
     ) -> PtlResult<()> {
         let cm = self.m.config.cost;
+        let api_start = self.time;
         self.api_entry();
         self.charge(cm.host_tx_proc);
         let header = self.proc().lib.put_region(
@@ -2464,6 +2706,7 @@ impl AppCtx<'_> {
             data,
             chunks,
             Some(md),
+            api_start,
         );
         Ok(())
     }
@@ -2479,6 +2722,7 @@ impl AppCtx<'_> {
         remote_offset: u64,
     ) -> PtlResult<()> {
         let cm = self.m.config.cost;
+        let api_start = self.time;
         self.api_entry();
         self.charge(cm.host_tx_proc);
         let header =
@@ -2512,6 +2756,7 @@ impl AppCtx<'_> {
             WireData::Synthetic(0),
             1,
             None,
+            api_start,
         );
         Ok(())
     }

@@ -138,6 +138,9 @@ pub(crate) struct RxRecord {
     pub dst_pid: u32,
     pub piggyback: bool,
     pub ticket: Option<MatchTicket>,
+    /// The message's wire tag, which the causal tracer uses as its
+    /// [`xt3_sim::TraceId`] on the receive path.
+    pub tag: u64,
 }
 
 /// One node.

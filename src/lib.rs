@@ -13,4 +13,5 @@ pub use xt3_node as xt3;
 pub use xt3_portals as portals;
 pub use xt3_seastar as seastar;
 pub use xt3_sim as sim;
+pub use xt3_telemetry as telemetry;
 pub use xt3_topology as topology;

@@ -1,0 +1,136 @@
+//! Tier-1 causal critical-path contract tests.
+//!
+//! 1. **Digest neutrality**: enabling the causal tracer changes nothing —
+//!    an instrumented engine matches a bare one step for step (the full
+//!    16-scenario sweep lives in `determinism_audit.rs`; this is the
+//!    focused single-scenario version).
+//! 2. **Exact partition** (property): for arbitrary sizes/reps/transports,
+//!    every chain's cost classes sum exactly to its span, there is exactly
+//!    one critical path per timed message, and the chains tile the
+//!    measured round time with zero residual.
+//! 3. **Piggyback fence**: a 12 B put (header piggyback) shows *no* rx-DMA
+//!    class and one interrupt per message; a 13 B put pays the rx-DMA
+//!    deposit and exactly one extra interrupt — every other class is
+//!    bit-identical between the two sizes.
+
+use audit::replay::lockstep;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use xt3_netpipe::runner::{
+    build_engine, critical_chains, run_explained, NetpipeConfig, TestKind, Transport,
+};
+use xt3_netpipe::Schedule;
+use xt3_sim::SimTime;
+use xt3_telemetry::{Breakdown, Chain, CostClass};
+
+fn fixed_config(size: u64, reps: u32) -> NetpipeConfig {
+    NetpipeConfig {
+        schedule: Schedule::fixed(size, reps),
+        ..NetpipeConfig::paper()
+    }
+}
+
+fn class_totals(chains: &[&Chain]) -> Breakdown {
+    let mut total = Breakdown::new();
+    for c in chains {
+        total.merge(&c.breakdown);
+    }
+    total
+}
+
+#[test]
+fn causal_tracer_is_digest_neutral() {
+    let config = NetpipeConfig::quick(4096);
+    let bare = build_engine(&config, Transport::Put, TestKind::PingPong);
+    let mut traced = build_engine(&config, Transport::Put, TestKind::PingPong);
+    traced.model_mut().set_causal_enabled(true);
+    let run = lockstep(bare, traced, "causal-neutrality").expect("no divergence");
+    assert!(run.dispatched > 0);
+}
+
+#[test]
+fn piggyback_fence_differs_only_in_dma_and_interrupt() {
+    let reps = 4;
+    let small = run_explained(&fixed_config(12, reps), Transport::Put, TestKind::PingPong);
+    let large = run_explained(&fixed_config(13, reps), Transport::Put, TestKind::PingPong);
+    let b12 = class_totals(&critical_chains(&small.chains, &small.rounds[0], None));
+    let b13 = class_totals(&critical_chains(&large.chains, &large.rounds[0], None));
+
+    // 12 B rides the header piggyback: no rx-DMA deposit at all.
+    assert_eq!(b12.get(CostClass::Dma), SimTime::ZERO);
+    // 13 B pays the deposit and exactly one extra interrupt per message.
+    assert!(b13.get(CostClass::Dma) > SimTime::ZERO);
+    assert_eq!(
+        b13.get(CostClass::Interrupt),
+        b12.get(CostClass::Interrupt).times(2)
+    );
+    // Everything else is identical to the picosecond.
+    for class in [
+        CostClass::Trap,
+        CostClass::FwTx,
+        CostClass::Wire,
+        CostClass::HopQueue,
+        CostClass::FwRx,
+        CostClass::HostCompletion,
+    ] {
+        assert_eq!(
+            b12.get(class),
+            b13.get(class),
+            "class {class} must not move"
+        );
+    }
+}
+
+#[test]
+fn interrupt_class_is_at_least_two_microseconds_per_message() {
+    let run = run_explained(&fixed_config(64, 3), Transport::Put, TestKind::PingPong);
+    let chains = critical_chains(&run.chains, &run.rounds[0], None);
+    assert!(!chains.is_empty());
+    for c in &chains {
+        assert!(
+            c.breakdown.get(CostClass::Interrupt) >= SimTime::from_us(2),
+            "paper §6: interrupt service dominates at >= 2 us, got {} for message {:#x}",
+            c.breakdown.get(CostClass::Interrupt),
+            c.id.0
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn critical_paths_partition_measured_latency(
+        size in 1u64..1501u64,
+        reps in 2u32..6u32,
+        use_get in any::<bool>(),
+    ) {
+        let transport = if use_get { Transport::Get } else { Transport::Put };
+        let run = run_explained(&fixed_config(size, reps), transport, TestKind::PingPong);
+        prop_assert_eq!(run.rounds.len(), 1);
+        prop_assert_eq!(run.dropped, 0, "bounded log must not overflow here");
+        let round = run.rounds[0];
+
+        // Every extracted chain partitions its own span exactly; class
+        // durations are non-negative by type (SimTime is unsigned) and
+        // extraction errors out on any non-monotone parent edge.
+        for c in &run.chains {
+            prop_assert_eq!(c.breakdown.total(), c.span());
+        }
+
+        // Exactly one critical path per timed message, each a distinct
+        // message id.
+        let filter = use_get.then_some(0);
+        let critical = critical_chains(&run.chains, &round, filter);
+        prop_assert_eq!(critical.len() as u32, round.messages);
+        let ids: BTreeSet<u64> = critical.iter().map(|c| c.id.0).collect();
+        prop_assert_eq!(ids.len(), critical.len());
+
+        // The chains tile the measured window: their spans sum to the
+        // round's elapsed time with zero residual.
+        let mut sum = SimTime::ZERO;
+        for c in &critical {
+            sum += c.span();
+        }
+        prop_assert_eq!(sum, round.elapsed);
+    }
+}
