@@ -16,10 +16,17 @@
 //!   command must surface as a typed `FwError` the machine can turn into
 //!   a node fault, not abort the whole simulation.
 //!
-//! The scanner is deliberately a text-level pass (comments, strings and
-//! `#[cfg(test)]` modules stripped) rather than a full parse: the rules
-//! key on identifiers that are unambiguous at the token level, and a
-//! dependency-free scanner runs in CI and as a plain `#[test]`.
+//! This module is the *legacy text-level pass* (comments, strings and
+//! `#[cfg(test)]` modules stripped line by line). The shipped linter is
+//! the token-based engine in [`crate::rules`], which re-implements
+//! these three rules on real tokens and adds five concurrency-safety
+//! rules for the parallel-DES era. The text pass is kept (and its
+//! historical raw-string and nested-block-comment stripping bugs fixed)
+//! as an independent implementation: `tests/lexer_differential.rs`
+//! proves it agrees with the lexer on every file in the tree, so a bug
+//! in either stripping strategy surfaces as a diff instead of a silent
+//! false negative. The file walker and allowlist live here and are
+//! shared with the engine.
 //!
 //! Escape hatches, in order of preference:
 //!
@@ -311,92 +318,247 @@ fn scan_file(rel: &str, text: &str, rules: &[Rule], out: &mut Vec<Violation>) {
     }
 }
 
-/// Removes comments and the contents of string/char literals from source
-/// lines, carrying block-comment state across lines.
+/// Removes comments and the contents of string/char literals from
+/// source lines, carrying state across lines.
+///
+/// Historically this pass had two stripping bugs the lexer
+/// ([`crate::lex`]) does not: raw strings (`r#"..."#`) were lexed as an
+/// identifier plus a cooked string (so a `"` or `\` inside leaked
+/// contents into the "code" channel), and nested block comments ended
+/// at the *first* `*/`. Both are fixed here — the stripper now carries
+/// a comment depth and raw-string hash count across lines, and
+/// canonicalizes every string flavor to `""` and every char literal to
+/// `''` — and `tests/lexer_differential.rs` proves the two passes agree
+/// on every file in the tree.
 #[derive(Debug, Default)]
-struct Stripper {
-    in_block_comment: bool,
+pub struct Stripper {
+    state: StripState,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum StripState {
+    #[default]
+    Normal,
+    /// Inside a block comment at this nesting depth.
+    BlockComment(u32),
+    /// Inside a multi-line cooked string.
+    Str,
+    /// Inside a multi-line raw string closed by `"` + this many `#`s.
+    RawStr(u32),
 }
 
 impl Stripper {
-    fn strip_line(&mut self, line: &str) -> String {
-        let mut out = String::with_capacity(line.len());
+    /// Strip one line, updating the carried state.
+    pub fn strip_line(&mut self, line: &str) -> String {
         let chars: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(line.len());
         let mut i = 0;
         while i < chars.len() {
-            if self.in_block_comment {
-                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    self.in_block_comment = false;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-                continue;
-            }
-            match chars[i] {
-                '/' if chars.get(i + 1) == Some(&'/') => break, // line comment
-                '/' if chars.get(i + 1) == Some(&'*') => {
-                    self.in_block_comment = true;
-                    i += 2;
-                }
-                '"' => {
-                    // String literal: skip to the closing quote, honoring
-                    // escapes. An unterminated (multi-line) string blanks
-                    // the rest of the line only; the rules' identifiers
-                    // never span lines so this stays sound in practice.
-                    out.push('"');
-                    i += 1;
-                    while i < chars.len() {
-                        match chars[i] {
-                            '\\' => i += 2,
-                            '"' => {
-                                i += 1;
-                                break;
-                            }
-                            _ => i += 1,
-                        }
-                    }
-                    out.push('"');
-                }
-                '\'' => {
-                    // Char literal ('x', '\n', '\u{..}') vs lifetime ('a).
-                    let rest: String = chars[i + 1..].iter().take(12).collect();
-                    if let Some(len) = char_literal_len(&rest) {
-                        out.push('\'');
-                        i += 1 + len;
-                        out.push('\'');
+            match self.state {
+                StripState::BlockComment(depth) => {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        self.state = StripState::BlockComment(depth + 1);
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        self.state = if depth == 1 {
+                            StripState::Normal
+                        } else {
+                            StripState::BlockComment(depth - 1)
+                        };
+                        i += 2;
                     } else {
-                        out.push('\'');
                         i += 1;
                     }
                 }
-                c => {
-                    out.push(c);
-                    i += 1;
+                StripState::Str => match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        self.state = StripState::Normal;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                StripState::RawStr(hashes) => {
+                    if chars[i] == '"'
+                        && (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'))
+                    {
+                        self.state = StripState::Normal;
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                }
+                StripState::Normal => {
+                    let c = chars[i];
+                    match c {
+                        '/' if chars.get(i + 1) == Some(&'/') => break, // line comment
+                        '/' if chars.get(i + 1) == Some(&'*') => {
+                            self.state = StripState::BlockComment(1);
+                            i += 2;
+                        }
+                        '"' => {
+                            out.push_str("\"\"");
+                            self.state = StripState::Str;
+                            i += 1;
+                            while i < chars.len() && self.state == StripState::Str {
+                                match chars[i] {
+                                    '\\' => i += 2,
+                                    '"' => {
+                                        self.state = StripState::Normal;
+                                        i += 1;
+                                    }
+                                    _ => i += 1,
+                                }
+                            }
+                        }
+                        '\'' => i += self.char_or_lifetime(&chars, i, &mut out),
+                        c if c.is_alphabetic() || c == '_' => {
+                            i += self.ident_or_literal_prefix(&chars, i, &mut out);
+                        }
+                        c => {
+                            out.push(c);
+                            i += 1;
+                        }
+                    }
                 }
             }
         }
         out
     }
-}
 
-/// If `rest` (the text after an opening `'`) starts a char literal,
-/// return the number of chars up to and including the closing quote.
-fn char_literal_len(rest: &str) -> Option<usize> {
-    let chars: Vec<char> = rest.chars().collect();
-    match chars.first()? {
-        '\\' => {
-            let pos = chars.iter().position(|&c| c == '\'')?;
-            Some(pos + 1)
-        }
-        _ => {
-            if chars.get(1) == Some(&'\'') {
-                Some(2)
-            } else {
-                None // lifetime
+    /// Handle `'` at `chars[i]`: emit `''` for char literals, the
+    /// lifetime text otherwise. Returns chars consumed.
+    fn char_or_lifetime(&mut self, chars: &[char], i: usize, out: &mut String) -> usize {
+        match chars.get(i + 1) {
+            Some('\\') => {
+                // Escaped char: the char after the backslash is
+                // consumed blind — it may itself be `\` (`'\\'`) or `'`
+                // (`'\''`) — then scan to the closing quote.
+                let mut k = i + 3;
+                while k < chars.len() {
+                    match chars[k] {
+                        '\\' => k += 2,
+                        '\'' => {
+                            k += 1;
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                out.push_str("''");
+                k - i
+            }
+            Some(_) if chars.get(i + 2) == Some(&'\'') => {
+                out.push_str("''");
+                3
+            }
+            Some(c) if c.is_alphabetic() || *c == '_' => {
+                // Lifetime: keep the text (it is code, not data).
+                out.push('\'');
+                let mut k = i + 1;
+                while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                    out.push(chars[k]);
+                    k += 1;
+                }
+                k - i
+            }
+            _ => {
+                out.push('\'');
+                1
             }
         }
     }
+
+    /// Handle an identifier at `chars[i]` — which may turn out to be
+    /// the prefix of a raw/byte string (`r"`, `r#"`, `b"`, `br#"`), a
+    /// byte char (`b'x'`) or a raw identifier (`r#match`). Returns
+    /// chars consumed.
+    fn ident_or_literal_prefix(&mut self, chars: &[char], i: usize, out: &mut String) -> usize {
+        let mut k = i;
+        while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_') {
+            k += 1;
+        }
+        let ident: String = chars[i..k].iter().collect();
+        let hashes_then_quote = |at: usize| -> Option<u32> {
+            let mut h = 0usize;
+            while chars.get(at + h) == Some(&'#') {
+                h += 1;
+            }
+            (chars.get(at + h) == Some(&'"')).then_some(h as u32)
+        };
+        match ident.as_str() {
+            "r" | "br" if chars.get(k) == Some(&'#') || chars.get(k) == Some(&'"') => {
+                if ident == "r"
+                    && chars.get(k) == Some(&'#')
+                    && chars
+                        .get(k + 1)
+                        .is_some_and(|c| c.is_alphabetic() || *c == '_')
+                {
+                    // Raw identifier r#match: emit the bare identifier.
+                    let mut m = k + 1;
+                    while m < chars.len() && (chars[m].is_alphanumeric() || chars[m] == '_') {
+                        out.push(chars[m]);
+                        m += 1;
+                    }
+                    return m - i;
+                }
+                if let Some(h) = hashes_then_quote(k) {
+                    // Raw string: consume `#`* `"`, then scan for close.
+                    out.push_str("\"\"");
+                    self.state = StripState::RawStr(h);
+                    let mut m = k + h as usize + 1;
+                    while m < chars.len() {
+                        if chars[m] == '"'
+                            && (0..h as usize).all(|x| chars.get(m + 1 + x) == Some(&'#'))
+                        {
+                            self.state = StripState::Normal;
+                            m += 1 + h as usize;
+                            return m - i;
+                        }
+                        m += 1;
+                    }
+                    return m - i;
+                }
+                out.push_str(&ident);
+                k - i
+            }
+            "b" if chars.get(k) == Some(&'"') => {
+                // Byte string: strip like a cooked string.
+                out.push_str("\"\"");
+                self.state = StripState::Str;
+                let mut m = k + 1;
+                while m < chars.len() && self.state == StripState::Str {
+                    match chars[m] {
+                        '\\' => m += 2,
+                        '"' => {
+                            self.state = StripState::Normal;
+                            m += 1;
+                        }
+                        _ => m += 1,
+                    }
+                }
+                m - i
+            }
+            "b" if chars.get(k) == Some(&'\'') => {
+                // Byte char b'x'.
+                let consumed = self.char_or_lifetime(chars, k, out);
+                k + consumed - i
+            }
+            _ => {
+                out.push_str(&ident);
+                k - i
+            }
+        }
+    }
+}
+
+/// Strip a whole file to canonicalized code-only lines (string contents
+/// replaced by `""`, char literals by `''`, comments removed). This is
+/// the legacy text pass's view of the file; the differential test
+/// compares it line-by-line against the lexer's.
+pub fn strip_text(text: &str) -> Vec<String> {
+    let mut stripper = Stripper::default();
+    text.lines().map(|l| stripper.strip_line(l)).collect()
 }
 
 /// Tracks `#[cfg(test)] mod ... { ... }` regions via brace counting so
@@ -469,7 +631,7 @@ impl TestModSkipper {
 }
 
 /// All `.rs` files under the trees the lints care about.
-fn source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+pub fn source_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
     for top in ["crates", "src", "tests"] {
         let dir = root.join(top);
@@ -488,7 +650,10 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name == ".git" || name == "vendor" {
+            // `fixtures` holds deliberate rule-bait for the fixture
+            // corpus tests; it is scanned by those tests at synthetic
+            // paths, never as part of the real tree.
+            if name == "target" || name == ".git" || name == "vendor" || name == "fixtures" {
                 continue;
             }
             walk(&path, out)?;
@@ -499,7 +664,8 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-fn rel_path(root: &Path, file: &Path) -> String {
+/// `file` relative to `root`, with forward slashes.
+pub fn rel_path(root: &Path, file: &Path) -> String {
     file.strip_prefix(root)
         .unwrap_or(file)
         .to_string_lossy()
@@ -579,6 +745,55 @@ mod tests {
         assert!(rules_for("crates/firmware/src/gbn.rs").contains(&Rule::PanicPath));
         assert!(!rules_for("crates/firmware/src/pool.rs").contains(&Rule::PanicPath));
         assert!(rules_for("vendor/proptest/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn raw_strings_are_fully_stripped() {
+        // The historical bug: `r#"..."#` was lexed as ident + cooked
+        // string, so a `"` inside leaked contents into the code channel.
+        let v = scan_str(
+            "crates/sim/src/x.rs",
+            "let x = r#\"say \"HashMap\" loudly\"#;\nlet y = r\"\\\"; let z: u32 = 0;\n",
+            &[Rule::NondetCollection],
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn multiline_raw_string_carries_across_lines() {
+        let stripped = strip_text("let x = r#\"line one\nHashMap line two\"#;\nlet done = 1;\n");
+        assert_eq!(stripped[0], "let x = \"\"");
+        assert_eq!(stripped[1], ";");
+        assert_eq!(stripped[2], "let done = 1;");
+    }
+
+    #[test]
+    fn nested_block_comments_strip_to_the_outer_close() {
+        let v = scan_str(
+            "crates/sim/src/x.rs",
+            "/* outer /* inner */ still comment: HashMap */ let a = 1;\n",
+            &[Rule::NondetCollection],
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let stripped = strip_text("/* a /* b */ c */ code");
+        assert_eq!(stripped[0].trim(), "code");
+    }
+
+    #[test]
+    fn escaped_char_literals_close_at_their_own_quote() {
+        // '\\' — the escaped char is itself a backslash; found by the
+        // stripper/lexer differential test (both implementations shared
+        // the bug of re-treating it as an escape opener).
+        let stripped = strip_text(r"let c = '\\'; let after = 1;");
+        assert_eq!(stripped[0], "let c = ''; let after = 1;");
+        let stripped = strip_text(r"let c = '\''; let after = 1;");
+        assert_eq!(stripped[0], "let c = ''; let after = 1;");
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents_canonicalize() {
+        let stripped = strip_text("let a = b\"HashMap\"; let b = b'x'; let r#match = 1;");
+        assert_eq!(stripped[0], "let a = \"\"; let b = ''; let match = 1;");
     }
 
     #[test]

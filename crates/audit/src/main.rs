@@ -1,22 +1,24 @@
 //! Determinism audit CLI.
 //!
 //! ```text
-//! cargo run -p audit -- lint     # source lints; exit 1 on any violation
-//! cargo run -p audit -- replay   # replay-divergence check; exit 1 on divergence
-//! cargo run -p audit -- all      # both
+//! cargo run -p audit -- lint          # 8-rule lint engine; exit 1 on any violation
+//! cargo run -p audit -- lint --json   # machine-readable findings (CI artifact)
+//! cargo run -p audit -- replay        # replay-divergence check; exit 1 on divergence
+//! cargo run -p audit -- all           # both
 //! ```
 
 use std::process::ExitCode;
 
-use audit::{lint, replay};
+use audit::{lint, replay, rules};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        Some("lint") => run_lint(json),
         Some("replay") => run_replay(),
         Some("all") => {
-            let a = run_lint();
+            let a = run_lint(json);
             let b = run_replay();
             if a == ExitCode::SUCCESS && b == ExitCode::SUCCESS {
                 ExitCode::SUCCESS
@@ -25,17 +27,21 @@ fn main() -> ExitCode {
             }
         }
         _ => {
-            eprintln!("usage: audit <lint|replay|all>");
+            eprintln!("usage: audit <lint [--json]|replay|all>");
             ExitCode::from(2)
         }
     }
 }
 
-fn run_lint() -> ExitCode {
+fn run_lint(json: bool) -> ExitCode {
     let root = lint::repo_root();
-    match lint::run(&root) {
+    match rules::run(&root) {
         Ok(report) => {
-            print!("{}", report.render());
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render());
+            }
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {

@@ -1,0 +1,10 @@
+// Near-misses: SeqCst is fine, and cmp::Ordering is a different enum.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn compare(a: u32, b: u32) -> std::cmp::Ordering {
+    a.cmp(&b)
+}

@@ -1,0 +1,7 @@
+// True positive: Relaxed ordering — races it permits are invisible to
+// the replay checker. Scoped everywhere, even non-sim-facing crates.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}

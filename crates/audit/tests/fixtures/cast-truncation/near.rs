@@ -1,0 +1,8 @@
+// Near-misses: widening casts and usize (container indexing) are fine.
+pub fn widen(ticks: u32) -> u64 {
+    ticks as u64
+}
+
+pub fn index(ticks: u64) -> usize {
+    ticks as usize
+}

@@ -1,0 +1,5 @@
+// True positive: a bare narrowing cast in SimTime math silently wraps
+// instead of surfacing overflow.
+pub fn to_ticks(nanos: u64) -> u32 {
+    nanos as u32
+}

@@ -1,0 +1,2 @@
+// Suppression: every float token on the marked line is downgraded.
+pub fn weight(raw: f64) -> f64 { raw * 0.5 } // audit:allow(float-nondet): fixture: reporting-only weight

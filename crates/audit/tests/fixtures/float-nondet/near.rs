@@ -1,0 +1,5 @@
+// Near-miss: the reporting module keeps its floats and libm methods —
+// its outputs never feed a digest.
+pub fn std_dev(variance: f64) -> f64 {
+    variance.sqrt()
+}

@@ -1,0 +1,5 @@
+// True positive: float arithmetic in a digest-feeding module couples
+// the event digest to the platform's float environment.
+pub fn weight(raw: f64) -> f64 {
+    raw * 0.5
+}

@@ -1,0 +1,7 @@
+// Suppression: an inline marker on the offending line downgrades the
+// finding to inline-allow without hiding it from JSON consumers.
+use std::collections::HashMap; // audit:allow(nondet-collection): fixture: mirrors a host-side table
+
+pub fn size_hint() -> usize {
+    0
+}

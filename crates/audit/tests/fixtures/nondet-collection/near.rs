@@ -1,0 +1,13 @@
+// Near-misses: identifiers inside strings/comments and look-alike
+// names. The legacy text pass's false-positive class — none may fire.
+
+/// A `HashMap` mentioned in a doc comment is commentary, not code.
+pub struct HashMapShim;
+
+pub fn banner() -> &'static str {
+    r#"benchmarked against HashMap baselines"#
+}
+
+pub fn ordered() -> std::collections::BTreeMap<u32, u32> {
+    std::collections::BTreeMap::new()
+}

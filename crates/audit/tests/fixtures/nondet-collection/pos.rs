@@ -1,0 +1,7 @@
+// True positive: HashMap in a sim-facing crate (host-seeded iteration
+// order would leak into event ordering).
+use std::collections::HashMap;
+
+pub fn table() -> HashMap<u32, u32> {
+    HashMap::new()
+}

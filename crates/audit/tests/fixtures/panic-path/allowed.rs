@@ -1,0 +1,4 @@
+// Suppression: a reviewed invariant, marked at the use site.
+pub fn take(slot: Option<u32>) -> u32 {
+    slot.unwrap() // audit:allow(panic-path): fixture: slot checked by the dispatcher
+}

@@ -1,0 +1,5 @@
+// True positive: a bare unwrap directly in a firmware handler module
+// (the paper's firmware never aborts the node on a bad input).
+pub fn take(slot: Option<u32>) -> u32 {
+    slot.unwrap()
+}

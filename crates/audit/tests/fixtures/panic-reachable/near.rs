@@ -1,0 +1,9 @@
+// Near-misses: the reachable helper is total, and the panic site sits
+// in a function nothing in a handler module calls (an island).
+pub fn fixture_entry(deposits: &[u32], at: usize) -> u32 {
+    deposits.get(at).copied().unwrap_or(0)
+}
+
+pub fn island(slot: Option<u32>) -> u32 {
+    slot.unwrap()
+}

@@ -1,0 +1,6 @@
+// True positive: an indexing expression in a helper that a firmware
+// handler reaches through the call graph. The harness pairs this file
+// with a driver in a handler module that calls `fixture_entry`.
+pub fn fixture_entry(deposits: &[u32], at: usize) -> u32 {
+    deposits[at]
+}

@@ -1,0 +1,13 @@
+// Near-misses: a look-alike type name, Arc of plain (non-Cell) data,
+// and a lock mentioned only in a string.
+pub struct MutexStats {
+    pub contended: u64,
+}
+
+pub fn share(buf: std::sync::Arc<Vec<u8>>) -> usize {
+    buf.len()
+}
+
+pub fn label() -> &'static str {
+    "guarded by a Mutex on the host side"
+}

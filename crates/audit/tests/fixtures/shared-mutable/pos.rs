@@ -1,0 +1,9 @@
+// True positives: shared-mutable-state primitives outside the sim::par
+// boundary module.
+use std::sync::Mutex;
+
+static mut LAST_SEEN: u64 = 0;
+
+pub fn guard() -> Mutex<u64> {
+    Mutex::new(0)
+}

@@ -1,0 +1,5 @@
+// Suppression: a reviewed host-profiling probe.
+pub fn probe() -> u128 {
+    let t0 = std::time::Instant::now(); // audit:allow(wall-clock): fixture: host-profiling probe
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,16 @@
+// Near-misses: a virtual clock whose method happens to be called
+// `now`, and a wall-clock mention in a comment.
+pub struct Clock {
+    ticks: u64,
+}
+
+impl Clock {
+    pub fn now(&self) -> u64 {
+        self.ticks
+    }
+}
+
+pub fn virtual_now(clock: &Clock) -> u64 {
+    // Instant::now would be a wall-clock read; the virtual clock is not.
+    clock.now()
+}

@@ -1,0 +1,6 @@
+// True positive: a wall-clock read in simulation code couples results
+// to host load.
+pub fn stamp() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,79 @@
+//! Differential test: the legacy text stripper and the token lexer are
+//! two independent implementations of "what is code vs. string/comment
+//! content", and they must agree on every file in the tree.
+//!
+//! Agreement is checked on the identifier channel — the only channel
+//! the legacy rules consume. For each line of each source file, the
+//! identifier words surviving `lint::strip_text` must equal the
+//! `TokKind::Ident` tokens the lexer places on that line. A raw string
+//! the stripper leaks (the historical bug) or a comment the lexer
+//! mis-nests shows up as a one-line diff with both renderings.
+
+use audit::lex::{self, TokKind};
+use audit::lint;
+
+/// Identifier words in one stripped line: maximal `[A-Za-z0-9_]` runs
+/// that start like an identifier, excluding lifetimes (`'a` — the
+/// stripper canonicalizes char literals to `''`, so a surviving quote
+/// prefix means a lifetime, which the lexer types separately).
+fn stripped_idents(line: &str) -> Vec<String> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_ascii_alphanumeric() || chars[i] == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let starts_ident = !chars[start].is_ascii_digit();
+            let lifetime = start > 0 && chars[start - 1] == '\'';
+            if starts_ident && !lifetime {
+                out.push(chars[start..i].iter().collect());
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn stripper_and_lexer_agree_on_every_file() {
+    let root = lint::repo_root();
+    let mut checked = 0usize;
+    for file in lint::source_files(&root).expect("walk") {
+        let rel = lint::rel_path(&root, &file);
+        if !rel.ends_with(".rs") || rel.starts_with("vendor/") || rel.starts_with("target/") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&file).expect("read");
+
+        let stripped = lint::strip_text(&text);
+        let mut per_line: Vec<Vec<String>> = vec![Vec::new(); stripped.len()];
+        for t in lex::lex(&text) {
+            if t.kind == TokKind::Ident {
+                let idx = t.line as usize - 1;
+                assert!(
+                    idx < per_line.len(),
+                    "{rel}: lexer places a token on line {} of {}",
+                    t.line,
+                    per_line.len()
+                );
+                per_line[idx].push(t.text);
+            }
+        }
+
+        for (i, line) in stripped.iter().enumerate() {
+            let legacy = stripped_idents(line);
+            assert_eq!(
+                legacy,
+                per_line[i],
+                "{rel}:{}: stripper and lexer disagree\n  stripped: {line:?}",
+                i + 1
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked > 50, "sanity: walked only {checked} files");
+}

@@ -1,11 +1,13 @@
-//! The lint half of the audit, as tests: the shipped tree must be clean,
-//! and the scanner must actually catch seeded violations (so a silent
-//! scanner regression can't fake a clean tree).
+//! The lint half of the audit, as tests: the shipped tree must be clean
+//! under both the legacy text pass and the token-graph engine, and both
+//! must actually catch seeded violations (so a silent scanner
+//! regression can't fake a clean tree).
 
 use std::fs;
 use std::path::PathBuf;
 
 use audit::lint::{self, AllowEntry, Rule};
+use audit::rules::{self, AllowStatus, RuleId};
 
 /// A scratch repo-shaped directory, cleaned up on drop.
 struct ScratchRepo {
@@ -46,6 +48,127 @@ fn shipped_tree_is_clean() {
         "sanity: the scanner must actually visit the tree (saw {})",
         report.files_scanned
     );
+}
+
+#[test]
+fn shipped_tree_is_clean_under_the_engine() {
+    let report = rules::run(&lint::repo_root()).expect("engine run");
+    assert!(
+        report.is_clean(),
+        "the 8-rule engine must pass on the shipped tree:\n{}",
+        report.render()
+    );
+    assert!(
+        report.files_scanned > 50,
+        "sanity: the engine must actually visit the tree (saw {})",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn engine_allowlist_suppresses_and_goes_stale() {
+    // The 8-rule engine keeps the legacy shrink-only allowlist
+    // semantics: a matching entry suppresses (but still reports) the
+    // finding, and an entry matching nothing is an error.
+    let repo = ScratchRepo::new("engine-allow");
+    repo.write(
+        "crates/sim/src/time.rs",
+        "pub fn f(x: u64) -> u32 { x as u32 }\n",
+    );
+    repo.write("crates/portals/src/clean.rs", "pub fn f() {}\n");
+
+    let allow = vec![
+        rules::AllowEntry {
+            rule: RuleId::CastTruncation,
+            path: "crates/sim/src/time.rs".to_string(),
+        },
+        rules::AllowEntry {
+            rule: RuleId::CastTruncation,
+            path: "crates/portals/src/clean.rs".to_string(),
+        },
+    ];
+    let report = rules::run_with_allowlist(&repo.root, &allow).expect("engine run");
+    assert_eq!(report.violations().count(), 0, "{}", report.render());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == RuleId::CastTruncation && f.allow == AllowStatus::Listed));
+    assert_eq!(report.stale_allowlist.len(), 1);
+    assert!(report.stale_allowlist[0].contains("clean.rs"));
+    assert!(!report.is_clean(), "stale entries are errors");
+}
+
+#[test]
+fn engine_inline_marker_must_name_the_right_rule() {
+    let repo = ScratchRepo::new("engine-marker");
+    repo.write(
+        "crates/sim/src/engine.rs",
+        "pub fn a(x: f64) -> f64 { x } // audit:allow(float-nondet): host-only scale factor\n\
+         pub fn b(x: f64) -> f64 { x } // audit:allow(cast-truncation): wrong rule name\n",
+    );
+    let report = rules::run_with_allowlist(&repo.root, &[]).expect("engine run");
+    let live: Vec<u32> = report.violations().map(|f| f.line).collect();
+    assert_eq!(live, vec![2, 2], "{}", report.render());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.line == 1 && f.allow == AllowStatus::Inline));
+}
+
+#[test]
+fn engine_json_names_every_finding() {
+    let repo = ScratchRepo::new("engine-json");
+    repo.write(
+        "crates/sim/src/bad.rs",
+        "use std::collections::HashMap; // audit:allow(nondet-collection): seeded\nuse std::sync::Mutex;\n",
+    );
+    let report = rules::run_with_allowlist(&repo.root, &[]).expect("engine run");
+    let json = report.render_json();
+    assert!(json.contains("\"schema\": \"audit-lint/1\""));
+    assert!(json.contains("\"rule\": \"nondet-collection\""));
+    assert!(json.contains("\"allow_status\": \"inline-allow\""));
+    assert!(json.contains("\"rule\": \"shared-mutable\""));
+    assert!(json.contains("\"allow_status\": \"active\""));
+    assert!(json.contains("\"clean\": false"));
+}
+
+#[test]
+fn crate_deps_table_matches_the_manifests() {
+    // The graph rule constrains call edges along CRATE_DEPS; if the table
+    // drifts from the real manifests it silently over- or under-links.
+    let root = lint::repo_root();
+    for (krate, deps) in rules::CRATE_DEPS {
+        let manifest = fs::read_to_string(root.join(format!("crates/{krate}/Cargo.toml")))
+            .unwrap_or_else(|e| panic!("crates/{krate}/Cargo.toml: {e}"));
+        // Only [dependencies] counts: dev-dependencies are test-only and
+        // test tokens never enter the graph.
+        let dep_section: Vec<&str> = manifest
+            .lines()
+            .skip_while(|l| l.trim() != "[dependencies]")
+            .skip(1)
+            .take_while(|l| !l.trim_start().starts_with('['))
+            .collect();
+        for (other, _) in rules::CRATE_DEPS {
+            if other == krate {
+                continue;
+            }
+            // Workspace member package names are xt3-<dir> (sim is
+            // xt3-sim, xt3 itself is xt3-node).
+            let pkg = match *other {
+                "xt3" => "xt3-node".to_string(),
+                o => format!("xt3-{o}"),
+            };
+            let declared = dep_section.iter().any(|l| {
+                let l = l.trim_start();
+                l.starts_with(&format!("{pkg}.workspace")) || l.starts_with(&format!("{pkg} ="))
+            });
+            let listed = deps.contains(other);
+            assert_eq!(
+                declared, listed,
+                "CRATE_DEPS drift: {krate} -> {other} (manifest says {declared}, table says {listed})"
+            );
+        }
+    }
 }
 
 #[test]

@@ -160,8 +160,8 @@ impl Effects {
     pub fn push(&mut self, e: FwEffect) {
         match self {
             Effects::Inline { len, fx } => {
-                if (*len as usize) < FX_INLINE {
-                    fx[*len as usize] = e;
+                if let Some(slot) = fx.get_mut(*len as usize) {
+                    *slot = e;
                     *len += 1;
                 } else {
                     let mut v = Vec::with_capacity(FX_INLINE + 1);
@@ -184,7 +184,7 @@ impl Effects {
     /// The live effects.
     pub fn as_slice(&self) -> &[FwEffect] {
         match self {
-            Effects::Inline { len, fx } => &fx[..*len as usize],
+            Effects::Inline { len, fx } => fx.get(..*len as usize).unwrap_or(&[]),
             Effects::Heap(v) => v,
         }
     }
@@ -343,19 +343,34 @@ impl Firmware {
         self.processes.len() as u32
     }
 
-    /// A process's mode.
+    /// Borrow a process's state, surfacing an unknown id as the typed
+    /// error every handler path propagates.
+    fn process(&self, proc: ProcIdx) -> Result<&FwProcess, FwError> {
+        self.processes.get(proc as usize).ok_or(FwError::BadProcess)
+    }
+
+    fn process_mut(&mut self, proc: ProcIdx) -> Result<&mut FwProcess, FwError> {
+        self.processes
+            .get_mut(proc as usize)
+            .ok_or(FwError::BadProcess)
+    }
+
+    /// A process's mode. Unknown ids read as [`FwMode::Generic`] (the
+    /// conservative interrupt-raising mode) — the host side only asks
+    /// about processes it configured, which the debug assert enforces.
     pub fn mode(&self, proc: ProcIdx) -> FwMode {
-        self.processes[proc as usize].mode
+        debug_assert!((proc as usize) < self.processes.len(), "unknown proc");
+        self.process(proc).map_or(FwMode::Generic, |p| p.mode)
     }
 
     /// Host-side mailbox access (the host posts commands through this).
-    pub fn mailbox_mut(&mut self, proc: ProcIdx) -> &mut Mailbox {
-        &mut self.processes[proc as usize].mailbox
+    pub fn mailbox_mut(&mut self, proc: ProcIdx) -> Result<&mut Mailbox, FwError> {
+        Ok(&mut self.process_mut(proc)?.mailbox)
     }
 
     /// Read-only mailbox access (telemetry harvesting).
-    pub fn mailbox(&self, proc: ProcIdx) -> &Mailbox {
-        &self.processes[proc as usize].mailbox
+    pub fn mailbox(&self, proc: ProcIdx) -> Result<&Mailbox, FwError> {
+        Ok(&self.process(proc)?.mailbox)
     }
 
     /// The source table (diagnostics / exhaustion experiments).
@@ -363,10 +378,17 @@ impl Firmware {
         &self.sources
     }
 
-    /// RX pool diagnostics for a process.
+    /// RX pool diagnostics for a process: `(in_use, high_water,
+    /// alloc_failures)`. Unknown ids read as zeros (telemetry never
+    /// isolates a node).
     pub fn rx_pool_stats(&self, proc: ProcIdx) -> (u32, u32, u64) {
-        let p = &self.processes[proc as usize].rx_pool;
-        (p.in_use(), p.high_water(), p.alloc_failures())
+        self.process(proc).map_or((0, 0, 0), |p| {
+            (
+                p.rx_pool.in_use(),
+                p.rx_pool.high_water(),
+                p.rx_pool.alloc_failures(),
+            )
+        })
     }
 
     /// First TX pending id for a process (host-managed ids start here).
@@ -374,23 +396,32 @@ impl Firmware {
         self.config.rx_pendings
     }
 
-    /// Borrow a lower pending.
-    pub fn lower(&self, proc: ProcIdx, pending: PendingId) -> &LowerPending {
-        let p = &self.processes[proc as usize];
+    /// Borrow a lower pending. Fails with [`FwError::BadPending`] when
+    /// the id falls outside both the RX pool and the TX range.
+    pub fn lower(&self, proc: ProcIdx, pending: PendingId) -> Result<&LowerPending, FwError> {
+        let p = self.process(proc)?;
         if pending < self.config.rx_pendings {
-            p.rx_pool.get(pending)
+            p.rx_pool.get(pending).ok_or(FwError::BadPending)
         } else {
-            &p.tx_lower[(pending - self.config.rx_pendings) as usize]
+            p.tx_lower
+                .get((pending - self.config.rx_pendings) as usize)
+                .ok_or(FwError::BadPending)
         }
     }
 
-    fn lower_mut(&mut self, proc: ProcIdx, pending: PendingId) -> &mut LowerPending {
+    fn lower_mut(
+        &mut self,
+        proc: ProcIdx,
+        pending: PendingId,
+    ) -> Result<&mut LowerPending, FwError> {
         let rx_cap = self.config.rx_pendings;
-        let p = &mut self.processes[proc as usize];
+        let p = self.process_mut(proc)?;
         if pending < rx_cap {
-            p.rx_pool.get_mut(pending)
+            p.rx_pool.get_mut(pending).ok_or(FwError::BadPending)
         } else {
-            &mut p.tx_lower[(pending - rx_cap) as usize]
+            p.tx_lower
+                .get_mut((pending - rx_cap) as usize)
+                .ok_or(FwError::BadPending)
         }
     }
 
@@ -399,7 +430,7 @@ impl Firmware {
     /// Drain and process every queued mailbox command for `proc`.
     pub fn poll_mailbox(&mut self, proc: ProcIdx) -> Result<Effects, FwError> {
         let mut effects = Effects::new();
-        while let Some(cmd) = self.processes[proc as usize].mailbox.take_cmd() {
+        while let Some(cmd) = self.process_mut(proc)?.mailbox.take_cmd() {
             effects.append(&self.handle_command(proc, cmd)?);
         }
         Ok(effects)
@@ -424,7 +455,7 @@ impl Firmware {
                 // needed, and enqueue on the single TX list.
                 let _ = self.sources.find_or_alloc(target_node);
                 {
-                    let lp = self.lower_mut(proc, pending);
+                    let lp = self.lower_mut(proc, pending)?;
                     lp.state = PendingState::TxQueued;
                     lp.peer = target_node;
                     lp.length = length;
@@ -435,7 +466,7 @@ impl Firmware {
                 }
                 self.tx_list.push_back((proc, pending));
                 if self.tx_list.len() == 1 {
-                    self.lower_mut(proc, pending).state = PendingState::TxActive;
+                    self.lower_mut(proc, pending)?.state = PendingState::TxActive;
                     Ok(Effects::one(FwEffect::StartTxDma { proc, pending }))
                 } else {
                     Ok(Effects::new())
@@ -448,7 +479,7 @@ impl Firmware {
                 dma,
             } => {
                 let peer = {
-                    let lp = self.lower_mut(proc, pending);
+                    let lp = self.lower_mut(proc, pending)?;
                     if lp.state != PendingState::RxHeaderPending {
                         return Ok(Effects::new());
                     }
@@ -462,10 +493,10 @@ impl Firmware {
                 // live while its RX list is non-empty; failing to find it
                 // means the host named a pending we never advertised.
                 let source = self.sources.find(peer).ok_or(FwError::NoSource)?;
-                let src = self.sources.get_mut(source);
+                let src = self.sources.get_mut(source).ok_or(FwError::NoSource)?;
                 src.rx_pending_list.push_back(pending);
                 if src.rx_pending_list.len() == 1 {
-                    self.lower_mut(proc, pending).state = PendingState::RxActive;
+                    self.lower_mut(proc, pending)?.state = PendingState::RxActive;
                     Ok(Effects::one(FwEffect::StartRxDma {
                         proc,
                         pending,
@@ -476,20 +507,20 @@ impl Firmware {
                 }
             }
             FwCommand::RecvDiscard { pending } => {
-                let lp = self.lower_mut(proc, pending);
+                let lp = self.lower_mut(proc, pending)?;
                 if lp.state == PendingState::RxHeaderPending {
                     lp.state = PendingState::Free;
-                    self.processes[proc as usize].rx_pool.free(pending);
+                    self.process_mut(proc)?.rx_pool.free(pending);
                 }
                 Ok(Effects::new())
             }
             FwCommand::ReleasePending { pending } => {
                 let rx_cap = self.config.rx_pendings;
-                let lp = self.lower_mut(proc, pending);
+                let lp = self.lower_mut(proc, pending)?;
                 if lp.state == PendingState::AwaitRelease {
                     lp.state = PendingState::Free;
                     if pending < rx_cap {
-                        self.processes[proc as usize].rx_pool.free(pending);
+                        self.process_mut(proc)?.rx_pool.free(pending);
                     }
                 }
                 Ok(Effects::new())
@@ -530,19 +561,19 @@ impl Firmware {
             .pop_front()
             .ok_or(FwError::SpuriousCompletion)?;
         self.counters.tx_completions += 1;
-        self.lower_mut(proc, pending).state = PendingState::AwaitRelease;
+        self.lower_mut(proc, pending)?.state = PendingState::AwaitRelease;
 
         let mut effects = Effects::one(FwEffect::PostEvent {
             proc,
             event: FwEvent::TxComplete { pending },
         });
-        if self.processes[proc as usize].mode == FwMode::Generic {
+        if self.process(proc)?.mode == FwMode::Generic {
             self.counters.interrupts += 1;
             self.counters.tx_interrupts += 1;
             effects.push(FwEffect::RaiseInterrupt);
         }
         if let Some(&(nproc, npending)) = self.tx_list.front() {
-            self.lower_mut(nproc, npending).state = PendingState::TxActive;
+            self.lower_mut(nproc, npending)?.state = PendingState::TxActive;
             effects.push(FwEffect::StartTxDma {
                 proc: nproc,
                 pending: npending,
@@ -574,9 +605,7 @@ impl Firmware {
         piggybacked: bool,
         direct: bool,
     ) -> Result<(PendingId, Effects), FwError> {
-        if proc as usize >= self.processes.len() {
-            return Err(FwError::BadProcess);
-        }
+        self.process(proc)?;
         self.counters.rx_headers += 1;
         if piggybacked {
             self.counters.rx_piggybacked += 1;
@@ -585,12 +614,12 @@ impl Firmware {
             self.counters.exhaustion_drops += 1;
             return Err(FwError::NoSource);
         };
-        let Some(pending) = self.processes[proc as usize].rx_pool.alloc() else {
+        let Some(pending) = self.process_mut(proc)?.rx_pool.alloc() else {
             self.counters.exhaustion_drops += 1;
             return Err(FwError::NoRxPending);
         };
         {
-            let lp = self.lower_mut(proc, pending);
+            let lp = self.lower_mut(proc, pending)?;
             lp.state = PendingState::RxHeaderPending;
             lp.peer = from_node;
             lp.dma = xt3_seastar::dma::DmaList::new();
@@ -603,7 +632,7 @@ impl Firmware {
             // no interrupt. The node model drives the deposit directly.
             return Ok((pending, effects));
         }
-        match self.processes[proc as usize].mode {
+        match self.process(proc)?.mode {
             FwMode::Generic => {
                 effects.push(FwEffect::PostEvent {
                     proc,
@@ -631,15 +660,15 @@ impl Firmware {
         pending: PendingId,
     ) -> Result<Effects, FwError> {
         self.counters.rx_completions += 1;
-        let peer = self.lower(proc, pending).peer;
+        let peer = self.lower(proc, pending)?.peer;
         let source = self.sources.find(peer).ok_or(FwError::NoSource)?;
-        let src = self.sources.get_mut(source);
+        let src = self.sources.get_mut(source).ok_or(FwError::NoSource)?;
         let head = src.rx_pending_list.pop_front();
         debug_assert_eq!(head, Some(pending), "completions follow list order");
         let next = src.rx_pending_list.front().copied();
 
         let direct = {
-            let lp = self.lower_mut(proc, pending);
+            let lp = self.lower_mut(proc, pending)?;
             lp.state = PendingState::AwaitRelease;
             lp.direct
         };
@@ -650,14 +679,14 @@ impl Firmware {
                 proc,
                 event: FwEvent::RxComplete { pending },
             });
-            if self.processes[proc as usize].mode == FwMode::Generic {
+            if self.process(proc)?.mode == FwMode::Generic {
                 self.counters.interrupts += 1;
                 self.counters.rx_complete_interrupts += 1;
                 effects.push(FwEffect::RaiseInterrupt);
             }
         }
         if let Some(npending) = next {
-            self.lower_mut(proc, npending).state = PendingState::RxActive;
+            self.lower_mut(proc, npending)?.state = PendingState::RxActive;
             effects.push(FwEffect::StartRxDma {
                 proc,
                 pending: npending,
@@ -668,16 +697,23 @@ impl Firmware {
     }
 
     /// Free a direct pending immediately after the node finished its
-    /// inline completion (no host release command is involved).
+    /// inline completion (no host release command is involved). A
+    /// foreign id is ignored (the node only releases pendings the
+    /// firmware handed it).
     pub fn release_direct(&mut self, proc: ProcIdx, pending: PendingId) {
-        let lp = self.lower_mut(proc, pending);
+        let Ok(lp) = self.lower_mut(proc, pending) else {
+            debug_assert!(false, "release_direct on foreign pending");
+            return;
+        };
         debug_assert!(lp.direct, "release_direct on non-direct pending");
         debug_assert!(matches!(
             lp.state,
             PendingState::AwaitRelease | PendingState::RxHeaderPending
         ));
         lp.state = PendingState::Free;
-        self.processes[proc as usize].rx_pool.free(pending);
+        if let Ok(p) = self.process_mut(proc) {
+            p.rx_pool.free(pending);
+        }
     }
 
     /// Tick the control block's RAS heartbeat (Figure 3). The RAS system
@@ -691,7 +727,10 @@ impl Firmware {
     /// host matching deposits the bytes.
     pub fn rx_piggyback_complete(&mut self, proc: ProcIdx, pending: PendingId) {
         self.counters.rx_completions += 1;
-        let lp = self.lower_mut(proc, pending);
+        let Ok(lp) = self.lower_mut(proc, pending) else {
+            debug_assert!(false, "piggyback completion for foreign pending");
+            return;
+        };
         debug_assert_eq!(lp.state, PendingState::RxHeaderPending);
         lp.state = PendingState::AwaitRelease;
     }
@@ -948,8 +987,8 @@ mod tests {
     fn mailbox_polling_drains_commands() {
         let (mut f, _) = fw(&[FwMode::Generic]);
         let base = f.tx_base();
-        f.mailbox_mut(0).post_cmd(tx_cmd(base, 1));
-        f.mailbox_mut(0).post_cmd(tx_cmd(base + 1, 1));
+        f.mailbox_mut(0).unwrap().post_cmd(tx_cmd(base, 1));
+        f.mailbox_mut(0).unwrap().post_cmd(tx_cmd(base + 1, 1));
         let effects = f.poll_mailbox(0).unwrap();
         // Only the first starts (single TX FIFO).
         assert_eq!(
@@ -959,6 +998,6 @@ mod tests {
                 .count(),
             1
         );
-        assert_eq!(f.mailbox_mut(0).cmd_len(), 0);
+        assert_eq!(f.mailbox_mut(0).unwrap().cmd_len(), 0);
     }
 }

@@ -41,7 +41,7 @@
 //!
 //! // The host posts a transmit command into the mailbox...
 //! let pending = fw.tx_base();
-//! fw.mailbox_mut(0).post_cmd(FwCommand::Transmit {
+//! fw.mailbox_mut(0).unwrap().post_cmd(FwCommand::Transmit {
 //!     pending,
 //!     target_node: 3,
 //!     length: 1024,

@@ -58,14 +58,16 @@ impl<T> Pool<T> {
         self.in_use -= 1;
     }
 
-    /// Borrow an object.
-    pub fn get(&self, idx: u32) -> &T {
-        &self.items[idx as usize]
+    /// Borrow an object. `None` for an index the pool never issued —
+    /// firmware callers surface that as a typed error instead of
+    /// aborting the node.
+    pub fn get(&self, idx: u32) -> Option<&T> {
+        self.items.get(idx as usize)
     }
 
-    /// Mutably borrow an object.
-    pub fn get_mut(&mut self, idx: u32) -> &mut T {
-        &mut self.items[idx as usize]
+    /// Mutably borrow an object; `None` for a foreign index.
+    pub fn get_mut(&mut self, idx: u32) -> Option<&mut T> {
+        self.items.get_mut(idx as usize)
     }
 
     /// Total capacity.
@@ -132,8 +134,9 @@ mod tests {
     fn data_access_roundtrip() {
         let mut p: Pool<String> = Pool::new(2);
         let i = p.alloc().unwrap();
-        *p.get_mut(i) = "hello".into();
-        assert_eq!(p.get(i), "hello");
+        *p.get_mut(i).unwrap() = "hello".into();
+        assert_eq!(p.get(i).unwrap(), "hello");
+        assert_eq!(p.get(99), None, "foreign index is surfaced, not a panic");
     }
 
     #[test]

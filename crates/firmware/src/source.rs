@@ -60,10 +60,11 @@ impl SourceTable {
 
     /// Find the active source for `node_id`.
     pub fn find(&self, node_id: u32) -> Option<SourceId> {
-        self.buckets[Self::bucket(node_id)]
+        self.buckets
+            .get(Self::bucket(node_id))?
             .iter()
             .copied()
-            .find(|&id| self.pool.get(id).node_id == node_id)
+            .find(|&id| self.pool.get(id).is_some_and(|s| s.node_id == node_id))
     }
 
     /// Find or allocate the source for `node_id`. `None` on pool
@@ -73,35 +74,40 @@ impl SourceTable {
             return Some(id);
         }
         let id = self.pool.alloc()?;
-        let src = self.pool.get_mut(id);
+        let src = self.pool.get_mut(id)?;
         src.node_id = node_id;
         src.rx_pending_list.clear();
-        self.buckets[Self::bucket(node_id)].push(id);
+        self.buckets.get_mut(Self::bucket(node_id))?.push(id);
         Some(id)
     }
 
     /// Release a source back to the pool (when its pending list drains and
-    /// the firmware decides to reclaim it).
+    /// the firmware decides to reclaim it). A foreign id is ignored.
     pub fn release(&mut self, id: SourceId) {
-        let node_id = self.pool.get(id).node_id;
+        let Some(src) = self.pool.get(id) else {
+            debug_assert!(false, "releasing foreign source id {id}");
+            return;
+        };
+        let node_id = src.node_id;
         debug_assert!(
-            self.pool.get(id).rx_pending_list.is_empty(),
+            src.rx_pending_list.is_empty(),
             "releasing source with queued pendings"
         );
-        let bucket = &mut self.buckets[Self::bucket(node_id)];
-        if let Some(pos) = bucket.iter().position(|&s| s == id) {
-            bucket.swap_remove(pos);
+        if let Some(bucket) = self.buckets.get_mut(Self::bucket(node_id)) {
+            if let Some(pos) = bucket.iter().position(|&s| s == id) {
+                bucket.swap_remove(pos);
+            }
         }
         self.pool.free(id);
     }
 
-    /// Borrow a source.
-    pub fn get(&self, id: SourceId) -> &Source {
+    /// Borrow a source; `None` for an id the pool never issued.
+    pub fn get(&self, id: SourceId) -> Option<&Source> {
         self.pool.get(id)
     }
 
-    /// Mutably borrow a source.
-    pub fn get_mut(&mut self, id: SourceId) -> &mut Source {
+    /// Mutably borrow a source; `None` for a foreign id.
+    pub fn get_mut(&mut self, id: SourceId) -> Option<&mut Source> {
         self.pool.get_mut(id)
     }
 
@@ -169,7 +175,7 @@ mod tests {
         }
         for node in 0..600u32 {
             let id = t.find(node * 7919).expect("must find after alloc");
-            assert_eq!(t.get(id).node_id, node * 7919);
+            assert_eq!(t.get(id).unwrap().node_id, node * 7919);
         }
         assert_eq!(t.high_water(), 600);
     }
@@ -178,11 +184,11 @@ mod tests {
     fn rx_pending_list_per_source() {
         let mut t = SourceTable::new(4);
         let id = t.find_or_alloc(9).unwrap();
-        t.get_mut(id).rx_pending_list.push_back(11);
-        t.get_mut(id).rx_pending_list.push_back(12);
-        assert_eq!(t.get(id).rx_pending_list.front(), Some(&11));
-        t.get_mut(id).rx_pending_list.pop_front();
-        assert_eq!(t.get(id).rx_pending_list.front(), Some(&12));
+        t.get_mut(id).unwrap().rx_pending_list.push_back(11);
+        t.get_mut(id).unwrap().rx_pending_list.push_back(12);
+        assert_eq!(t.get(id).unwrap().rx_pending_list.front(), Some(&11));
+        t.get_mut(id).unwrap().rx_pending_list.pop_front();
+        assert_eq!(t.get(id).unwrap().rx_pending_list.front(), Some(&12));
     }
 
     #[test]

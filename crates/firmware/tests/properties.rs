@@ -54,7 +54,7 @@ proptest! {
                         }
                     }
                     assigned.insert(node, id);
-                    prop_assert_eq!(t.get(id).node_id, node);
+                    prop_assert_eq!(t.get(id).unwrap().node_id, node);
                 }
                 None => prop_assert!(assigned.len() >= 64, "premature exhaustion"),
             }

@@ -14,6 +14,14 @@ use xt3_node::machine::AppCtx;
 /// Tag space reserved for collective traffic.
 const COLL_TAG_BASE: Tag = 0xC011_0000;
 
+/// `ceil(log2(n))` for `n >= 2`, in integers: round counts must be
+/// bit-exact on every host, and `f64::log2` goes through libm, whose
+/// last-ulp behavior is platform-dependent.
+fn ceil_log2(n: Rank) -> u32 {
+    debug_assert!(n >= 2);
+    u32::BITS - (n - 1).leading_zeros()
+}
+
 /// A dissemination barrier: ceil(log2(n)) rounds; in round k, rank r
 /// sends to `(r + 2^k) mod n` and waits for a message from
 /// `(r - 2^k) mod n`.
@@ -37,11 +45,7 @@ impl Barrier {
     /// is one byte of process memory the barrier may use.
     pub fn new(ep: &MpiEndpoint, scratch_addr: u64, instance: Tag) -> Self {
         let n = ep.size();
-        let rounds_total = if n <= 1 {
-            0
-        } else {
-            (n as f64).log2().ceil() as u32
-        };
+        let rounds_total = if n <= 1 { 0 } else { ceil_log2(n) };
         Barrier {
             n,
             me: ep.rank(),
@@ -323,11 +327,7 @@ impl Broadcast {
     /// peer index by `n`, so partial top rounds fall out naturally).
     pub fn new(ep: &MpiEndpoint, root: Rank, buf: u64, len: u64, instance: Tag) -> Self {
         let n = ep.size();
-        let rounds_total = if n <= 1 {
-            0
-        } else {
-            (n as f64).log2().ceil() as u32
-        };
+        let rounds_total = if n <= 1 { 0 } else { ceil_log2(n) };
         Broadcast {
             n,
             me: ep.rank(),

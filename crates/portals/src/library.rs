@@ -159,8 +159,8 @@ impl PortalsLib {
     /// bootstrap does.
     pub fn new(id: ProcessId, limits: NiLimits) -> Self {
         let mut ac_table = vec![None; limits.ac_size as usize];
-        if !ac_table.is_empty() {
-            ac_table[0] = Some(AcEntry::open());
+        if let Some(slot) = ac_table.first_mut() {
+            *slot = Some(AcEntry::open());
         }
         PortalsLib {
             id,

@@ -100,8 +100,8 @@ impl DmaList {
     pub fn push(&mut self, cmd: DmaCommand) {
         match self {
             DmaList::Inline { len, cmds } => {
-                if (*len as usize) < DMA_INLINE {
-                    cmds[*len as usize] = cmd;
+                if let Some(slot) = cmds.get_mut(*len as usize) {
+                    *slot = cmd;
                     *len += 1;
                 } else {
                     let mut v = Vec::with_capacity(DMA_INLINE + 1);
@@ -117,7 +117,7 @@ impl DmaList {
     /// The live commands.
     pub fn as_slice(&self) -> &[DmaCommand] {
         match self {
-            DmaList::Inline { len, cmds } => &cmds[..*len as usize],
+            DmaList::Inline { len, cmds } => cmds.get(..*len as usize).unwrap_or(&[]),
             DmaList::Heap(v) => v,
         }
     }

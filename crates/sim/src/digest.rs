@@ -75,7 +75,9 @@ impl EventDigest {
         let rest = chunks.remainder();
         if !rest.is_empty() {
             let mut word = [0u8; 8];
-            word[..rest.len()].copy_from_slice(rest);
+            for (dst, src) in word.iter_mut().zip(rest) {
+                *dst = *src;
+            }
             self.write_u64(u64::from_le_bytes(word));
         }
     }

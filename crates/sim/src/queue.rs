@@ -129,13 +129,10 @@ impl<E> EventQueue<E> {
             (Some(&(bseq, _)), Some(k)) => (k.at, k.seq) < (self.bucket_time, bseq),
         };
         if from_heap {
-            let e = self.heap.pop().expect("heap top was just peeked");
+            let e = self.heap.pop()?;
             Some((e.at, e.ev))
         } else {
-            let (_, ev) = self
-                .bucket
-                .pop_front()
-                .expect("bucket front was just peeked");
+            let (_, ev) = self.bucket.pop_front()?;
             Some((self.bucket_time, ev))
         }
     }

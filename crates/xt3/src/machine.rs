@@ -321,7 +321,7 @@ impl Machine {
         for n in &self.nodes {
             let fwc = n.fw.counters();
             let mailbox_cmd_high_water = (0..n.fw.process_count())
-                .map(|p| n.fw.mailbox(p).cmd_high_water())
+                .map(|p| n.fw.mailbox(p).map_or(0, |m| m.cmd_high_water()))
                 .max()
                 .unwrap_or(0);
             let rx_pool_high_water = (0..n.fw.process_count())
@@ -421,7 +421,12 @@ impl Machine {
     // ================= event handlers =================
 
     fn on_fw_cmd(&mut self, q: &mut EventQueue<Ev>, now: SimTime, node: usize, fw_proc: ProcIdx) {
-        while let Some(cmd) = self.nodes[node].fw.mailbox_mut(fw_proc).take_cmd() {
+        while let Some(cmd) = self.nodes[node]
+            .fw
+            .mailbox_mut(fw_proc)
+            .ok()
+            .and_then(|m| m.take_cmd())
+        {
             let cm = self.config.cost;
             let t = match &cmd {
                 FwCommand::Transmit { pending, .. } => {
@@ -650,7 +655,7 @@ impl Machine {
         let cm = self.config.cost;
         let tele = &mut self.telemetry;
         let n = &mut self.nodes[node];
-        let chunks = n.fw.lower(proc, pending).dma.len().max(1) as u64;
+        let chunks = n.fw.lower(proc, pending).map_or(1, |l| l.dma.len().max(1)) as u64;
         let extra = FW_PER_CHUNK.times(chunks - 1);
         let is_reply = n
             .tx_store
@@ -852,7 +857,9 @@ impl Machine {
         let cm = self.config.cost;
         let tele = &mut self.telemetry;
         let n = &mut self.nodes[node];
-        let lower = n.fw.lower(proc, pending);
+        let lower =
+            n.fw.lower(proc, pending)
+                .expect("pending named by firmware effect");
         let len = lower.length;
         let chunks = lower.dma.len().max(1) as u64;
         let wire_complete = n
@@ -1777,6 +1784,7 @@ impl Machine {
         let backlog = self.nodes[node]
             .fw
             .mailbox_mut(fw_proc)
+            .expect("machine-owned fw proc")
             .post_cmd(FwCommand::Transmit {
                 pending,
                 target_node,
@@ -1785,7 +1793,10 @@ impl Machine {
                 tag,
             });
         if self.telemetry.is_enabled() {
-            let depth = self.nodes[node].fw.mailbox(fw_proc).cmd_len() as u64;
+            let depth = self.nodes[node]
+                .fw
+                .mailbox(fw_proc)
+                .map_or(0, |m| m.cmd_len()) as u64;
             self.telemetry.gauge(node as u32, "fw.mailbox_depth", depth);
         }
         t = self.charge_mailbox_stall(node, t, backlog);
@@ -1817,9 +1828,16 @@ impl Machine {
             node as u32,
             &mut self.telemetry,
         );
-        let backlog = self.nodes[node].fw.mailbox_mut(fw_proc).post_cmd(cmd);
+        let backlog = self.nodes[node]
+            .fw
+            .mailbox_mut(fw_proc)
+            .expect("machine-owned fw proc")
+            .post_cmd(cmd);
         if self.telemetry.is_enabled() {
-            let depth = self.nodes[node].fw.mailbox(fw_proc).cmd_len() as u64;
+            let depth = self.nodes[node]
+                .fw
+                .mailbox(fw_proc)
+                .map_or(0, |m| m.cmd_len()) as u64;
             self.telemetry.gauge(node as u32, "fw.mailbox_depth", depth);
         }
         let t = self.charge_mailbox_stall(node, t, backlog);

@@ -490,7 +490,7 @@ fn mailbox_backpressure_never_drops_commands() {
     let c = harvest_collector(&mut m, 1);
     assert_eq!(c.got, 200, "no command was dropped");
     assert!(
-        m.nodes[0].fw.mailbox_mut(0).cmd_overflows > 0,
+        m.nodes[0].fw.mailbox_mut(0).unwrap().cmd_overflows > 0,
         "the burst must actually have overflowed the FIFO"
     );
 }
