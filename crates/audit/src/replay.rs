@@ -16,7 +16,7 @@
 use std::any::Any;
 use std::fmt;
 
-use xt3_netpipe::runner::{build_engine, scenario_matrix, scenario_name, NetpipeConfig};
+use xt3_netpipe::runner::{build_machine, scenario_matrix, scenario_name, NetpipeConfig};
 use xt3_node::config::{ExhaustionPolicy, MachineConfig, NodeSpec};
 use xt3_node::{App, AppCtx, AppEvent, Machine};
 use xt3_portals::event::EventKind;
@@ -121,16 +121,24 @@ pub fn lockstep<M: Model>(
 }
 
 /// One replayable scenario: a name plus a constructor that builds a
-/// fully-seeded engine. The checker calls the constructor twice.
+/// fully-spawned (unrun) machine. The checker calls the constructor
+/// twice; holding a *machine* builder (rather than an engine builder)
+/// lets the same construction drive both the serial lockstep check and
+/// the serial-vs-parallel check.
 pub struct Scenario {
     /// Display name (stable; used in failure output).
     pub name: String,
-    build: Box<dyn Fn() -> Engine<Machine>>,
+    build: Box<dyn Fn() -> Machine>,
 }
 
 impl Scenario {
-    /// Build one engine instance.
+    /// Build one fully-seeded engine instance.
     pub fn build(&self) -> Engine<Machine> {
+        (self.build)().into_engine()
+    }
+
+    /// Build one fully-spawned machine instance.
+    pub fn build_machine(&self) -> Machine {
         (self.build)()
     }
 
@@ -146,6 +154,65 @@ impl Scenario {
         b.model_mut().set_causal_enabled(true);
         lockstep(a, b, &self.name)
     }
+
+    /// Run the scenario serially and on the parallel window driver with
+    /// `workers` shards, comparing final digest, state fingerprint,
+    /// clock and dispatch count. The parallel side runs with telemetry
+    /// and causal tracing enabled, extending the observer-neutrality
+    /// proof to partitioned execution. Windowed execution has no
+    /// per-event interleaving to compare, so divergence is reported at
+    /// run granularity.
+    pub fn check_parallel(&self, workers: usize) -> Result<ReplayRun, Divergence> {
+        let mut serial = self.build();
+        serial.run();
+        let name = format!("{}@par{workers}", self.name);
+
+        let mut m = self.build_machine();
+        // Routed through the config flag so the shards created by
+        // `Machine::split` inherit enabled sinks.
+        m.config.telemetry = true;
+        m.set_causal_enabled(true);
+        let par = xt3_node::par::run_parallel(m, workers);
+
+        let mut mismatch: Vec<String> = Vec::new();
+        if par.digest != serial.digest() {
+            mismatch.push(format!(
+                "digest {:#018x} vs serial {:#018x}",
+                par.digest,
+                serial.digest()
+            ));
+        }
+        if par.state_fingerprint != serial.state_fingerprint() {
+            mismatch.push(format!(
+                "state fingerprint {:#018x} vs serial {:#018x}",
+                par.state_fingerprint,
+                serial.state_fingerprint()
+            ));
+        }
+        if par.now != serial.now() {
+            mismatch.push(format!("clock {} vs serial {}", par.now, serial.now()));
+        }
+        if par.dispatched != serial.dispatched() {
+            mismatch.push(format!(
+                "dispatched {} vs serial {}",
+                par.dispatched,
+                serial.dispatched()
+            ));
+        }
+        if mismatch.is_empty() {
+            Ok(ReplayRun {
+                name,
+                dispatched: par.dispatched,
+                digest: par.digest,
+            })
+        } else {
+            Err(Divergence {
+                scenario: name,
+                index: par.dispatched,
+                detail: mismatch.join("; "),
+            })
+        }
+    }
 }
 
 /// The NetPIPE scenarios: every transport × pattern from
@@ -157,7 +224,7 @@ pub fn netpipe_scenarios(max_size: u64) -> Vec<Scenario> {
         .into_iter()
         .map(|(t, k)| Scenario {
             name: scenario_name(t, k),
-            build: Box::new(move || build_engine(&NetpipeConfig::quick(max_size), t, k)),
+            build: Box::new(move || build_machine(&NetpipeConfig::quick(max_size), t, k)),
         })
         .collect()
 }
@@ -182,14 +249,14 @@ pub fn e2e_scenarios() -> Vec<Scenario> {
                     Box::new(Pusher::burst(ProcessId::new(1, 0), 2048, 16)),
                 );
                 m.spawn(1, 0, Box::new(Collector::new(16)));
-                m.into_engine()
+                m
             }),
         },
         Scenario {
             name: "e2e/crc-noise".to_string(),
             build: Box::new(|| {
                 let seed = MachineConfig::paper_pair().seed;
-                crc_noise_engine(seed)
+                crc_noise_machine(seed)
             }),
         },
         Scenario {
@@ -201,7 +268,7 @@ pub fn e2e_scenarios() -> Vec<Scenario> {
                     m.spawn(nid, 0, Box::new(Pusher::new(ProcessId::new(0, 0), 1024, 3)));
                 }
                 m.spawn(0, 0, Box::new(Collector::new(12)));
-                m.into_engine()
+                m
             }),
         },
     ]
@@ -214,6 +281,12 @@ pub fn e2e_scenarios() -> Vec<Scenario> {
 /// (the seed drives CRC error injection, so the event streams genuinely
 /// differ).
 pub fn crc_noise_engine(seed: u64) -> Engine<Machine> {
+    crc_noise_machine(seed).into_engine()
+}
+
+/// The CRC-noise machine behind [`crc_noise_engine`], un-wrapped so the
+/// parallel checker can run the same construction on the window driver.
+pub fn crc_noise_machine(seed: u64) -> Machine {
     let mut config = MachineConfig::paper_pair();
     config.seed = seed;
     // The fabric keeps its own injection RNG; thread the seed there too
@@ -228,7 +301,7 @@ pub fn crc_noise_engine(seed: u64) -> Engine<Machine> {
         Box::new(Pusher::new(ProcessId::new(1, 0), 16 << 10, 4)),
     );
     m.spawn(1, 0, Box::new(Collector::new(4)));
-    m.into_engine()
+    m
 }
 
 /// A fault-injected NetPIPE replay: wire faults at a rate high enough to
@@ -242,7 +315,7 @@ pub fn fault_scenario() -> Scenario {
             let plan = xt3_sim::FaultPlan::wire(0xFA17_5EED, 0.08);
             let config = NetpipeConfig::quick(4096).with_faults(plan);
             let (t, k) = scenario_matrix()[0];
-            build_engine(&config, t, k)
+            build_machine(&config, t, k)
         }),
     }
 }

@@ -36,7 +36,10 @@ pub struct PreparedBuffer {
 
 /// The bridge interface (paper §3.2: data movement between API and
 /// library space plus address validation/translation).
-pub trait Bridge {
+///
+/// `Send` so a node (which boxes its processes' bridges) can migrate to
+/// a worker thread in a partitioned parallel run.
+pub trait Bridge: Send {
     /// Which configuration this is.
     fn kind(&self) -> BridgeKind;
 

@@ -226,7 +226,15 @@ pub fn build_engine(
     transport: Transport,
     kind: TestKind,
 ) -> xt3_sim::Engine<Machine> {
-    let m = match (transport, kind) {
+    build_machine(config, transport, kind).into_engine()
+}
+
+/// Build the fully-spawned (unrun) machine for `(transport, kind)`. The
+/// parallel differential suite uses this to hand the *same* machine
+/// construction to `xt3_node::par::run_parallel`, so serial and parallel
+/// runs compare nothing but the execution strategy.
+pub fn build_machine(config: &NetpipeConfig, transport: Transport, kind: TestKind) -> Machine {
+    match (transport, kind) {
         (Transport::Put, TestKind::PingPong) => ptl_machine(config, PtlPattern::PingPongPut),
         (Transport::Put, TestKind::Stream) => ptl_machine(config, PtlPattern::StreamPut),
         (Transport::Put, TestKind::Bidir) => ptl_machine(config, PtlPattern::Bidir),
@@ -235,8 +243,7 @@ pub fn build_engine(
         (Transport::Get, TestKind::Bidir) => ptl_symmetric_machine(config, PtlPattern::BidirGet),
         (Transport::Mpich1, k) => mpi_machine(config, mpi_pattern(k), Personality::mpich1()),
         (Transport::Mpich2, k) => mpi_machine(config, mpi_pattern(k), Personality::mpich2()),
-    };
-    m.into_engine()
+    }
 }
 
 /// Run one Portals curve; returns `(initiator results, responder

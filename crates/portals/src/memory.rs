@@ -8,7 +8,10 @@
 //! virtual address space.
 
 /// A process's virtual address space, as seen by the Portals library.
-pub trait ProcessMemory {
+///
+/// `Send` so nodes holding boxed memories can migrate between worker
+/// threads in a partitioned parallel run (they are owned, never shared).
+pub trait ProcessMemory: Send {
     /// Size of the address space in bytes.
     fn size(&self) -> u64;
 

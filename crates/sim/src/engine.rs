@@ -4,6 +4,15 @@
 //! The engine enforces monotonic time (an event may never be scheduled
 //! before the current instant — that would be a causality bug in the model)
 //! and provides run limits so a buggy model cannot spin forever.
+//!
+//! The replay digest is kept in **lanes**: every dispatched event folds
+//! into the lane chosen by [`Model::lane`] (per-node for the machine
+//! model), and [`Engine::digest`] combines the touched lanes in canonical
+//! lane order. Because each lane's stream depends only on that lane's own
+//! dispatch sequence, a spatially partitioned parallel run — where each
+//! worker dispatches a disjoint subset of lanes — reproduces the serial
+//! digest exactly by merging lane vectors, without ever agreeing on a
+//! global interleaving.
 
 use crate::digest::EventDigest;
 use crate::queue::EventQueue;
@@ -22,14 +31,40 @@ pub trait Model {
     /// Handle one event at simulated time `now`.
     fn dispatch(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
 
+    /// Handle one event together with its scheduling key (see
+    /// [`EventQueue::schedule_keyed`]). The engine always calls this;
+    /// the default discards the key and forwards to [`Model::dispatch`].
+    /// Models that defer cross-partition work override it to remember the
+    /// key of the event being dispatched, so deferred sends can later be
+    /// replayed in exactly the serial call order.
+    fn dispatch_keyed(
+        &mut self,
+        now: SimTime,
+        key: u64,
+        event: Self::Event,
+        queue: &mut EventQueue<Self::Event>,
+    ) {
+        let _ = key;
+        self.dispatch(now, event, queue);
+    }
+
+    /// Which digest lane `event` belongs to. Lanes partition the replay
+    /// digest so that a spatially partitioned run can reproduce it; the
+    /// machine model maps each event to its owning node. The default
+    /// (a single lane) keeps trivial models working unchanged.
+    fn lane(event: &Self::Event) -> u32 {
+        let _ = event;
+        0
+    }
+
     /// Fold identifying details of `event` (kind, node, correlation ids)
     /// into the engine's replay digest.
     ///
-    /// The engine always folds the firing time and dispatch index; models
-    /// override this to add event-specific detail so that two runs which
-    /// happen to fire *different* events at identical times still produce
-    /// different digests. The default folds nothing, which keeps trivial
-    /// test models working unchanged.
+    /// The engine always folds the firing time; models override this to
+    /// add event-specific detail so that two runs which happen to fire
+    /// *different* events at identical times still produce different
+    /// digests. The default folds nothing, which keeps trivial test
+    /// models working unchanged.
     fn fingerprint(event: &Self::Event, digest: &mut EventDigest) {
         let _ = (event, digest);
     }
@@ -56,13 +91,55 @@ pub enum RunOutcome {
     EventBudgetExhausted,
 }
 
+/// One digest lane: how many events it has folded, and their streaming
+/// digest. Untouched lanes (count 0) are skipped by the canonical fold,
+/// so lane-vector length never matters.
+pub type DigestLane = (u64, EventDigest);
+
+/// Combine digest lanes in canonical order: each touched lane contributes
+/// its index, its event count and its digest value. This is the single
+/// definition of "the run's digest" shared by the serial engine and the
+/// parallel merge — byte-equal lane vectors produce byte-equal digests.
+pub fn fold_digest_lanes(lanes: &[DigestLane]) -> u64 {
+    let mut d = EventDigest::new();
+    for (i, (count, lane)) in lanes.iter().enumerate() {
+        if *count > 0 {
+            d.write_u64(i as u64);
+            d.write_u64(*count);
+            d.write_u64(lane.value());
+        }
+    }
+    d.value()
+}
+
+/// Merge per-shard lane vectors into one. Lanes must be disjoint: each
+/// index may be touched by at most one shard — the invariant a spatial
+/// partition provides (each node's events dispatch on exactly one
+/// worker).
+pub fn merge_digest_lanes(shards: &[&[DigestLane]]) -> Vec<DigestLane> {
+    let width = shards.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut out: Vec<DigestLane> = vec![(0, EventDigest::new()); width];
+    for shard in shards {
+        for (i, lane) in shard.iter().enumerate() {
+            if lane.0 > 0 {
+                assert!(
+                    out[i].0 == 0,
+                    "digest lane {i} touched by more than one shard"
+                );
+                out[i] = *lane;
+            }
+        }
+    }
+    out
+}
+
 /// The discrete-event simulation engine.
 pub struct Engine<M: Model> {
     model: M,
     queue: EventQueue<M::Event>,
     now: SimTime,
     dispatched: u64,
-    digest: EventDigest,
+    lanes: Vec<DigestLane>,
     /// Hard cap on dispatched events per `run*` call; guards against
     /// accidental infinite event loops in models under test.
     event_budget: u64,
@@ -76,7 +153,7 @@ impl<M: Model> Engine<M> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             dispatched: 0,
-            digest: EventDigest::new(),
+            lanes: Vec::new(),
             event_budget: u64::MAX,
         }
     }
@@ -85,6 +162,12 @@ impl<M: Model> Engine<M> {
     pub fn with_event_budget(mut self, budget: u64) -> Self {
         self.event_budget = budget;
         self
+    }
+
+    /// Adjust the per-`run*` event budget in place (the parallel window
+    /// driver re-arms it every synchronization round).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
     }
 
     /// Current simulated time (the firing time of the last dispatched
@@ -103,6 +186,11 @@ impl<M: Model> Engine<M> {
         &mut self.model
     }
 
+    /// Immutable access to the queue (e.g. to peek the next firing time).
+    pub fn queue(&self) -> &EventQueue<M::Event> {
+        &self.queue
+    }
+
     /// Mutable access to the queue (e.g. to seed initial events).
     pub fn queue_mut(&mut self) -> &mut EventQueue<M::Event> {
         &mut self.queue
@@ -113,12 +201,22 @@ impl<M: Model> Engine<M> {
         self.dispatched
     }
 
-    /// Streaming digest of every event dispatched so far: firing time,
-    /// dispatch index, and the model's [`Model::fingerprint`] detail.
-    /// Equal seeds must yield equal digests at equal dispatch counts —
-    /// the replay-divergence audit (`crates/audit`) enforces exactly that.
+    /// Streaming digest of every event dispatched so far: firing time
+    /// plus the model's [`Model::fingerprint`] detail, folded per
+    /// [`Model::lane`] and combined in canonical lane order (see
+    /// [`fold_digest_lanes`]). Equal seeds must yield equal digests at
+    /// equal dispatch counts — the replay-divergence audit
+    /// (`crates/audit`) enforces exactly that, and the parallel engine
+    /// must reproduce it for any worker count.
     pub fn digest(&self) -> u64 {
-        self.digest.value()
+        fold_digest_lanes(&self.lanes)
+    }
+
+    /// The per-lane digest vector (lane index → event count + digest).
+    /// The parallel driver merges shard lane vectors with
+    /// [`merge_digest_lanes`] to reproduce the serial digest.
+    pub fn digest_lanes(&self) -> &[DigestLane] {
+        &self.lanes
     }
 
     /// The model's [`Model::state_fingerprint`]: internal-state digest
@@ -133,10 +231,10 @@ impl<M: Model> Engine<M> {
     }
 
     /// Dispatch one already-popped event: advance the clock, fold the
-    /// digest, hand it to the model. The whole per-event hot path lives
-    /// here so `step` and the `run*` loops stay in lockstep.
+    /// digest lane, hand it to the model. The whole per-event hot path
+    /// lives here so `step` and the `run*` loops stay in lockstep.
     #[inline]
-    fn dispatch_one(&mut self, at: SimTime, ev: M::Event) {
+    fn dispatch_one(&mut self, at: SimTime, key: u64, ev: M::Event) {
         assert!(
             at >= self.now,
             "causality violation: event at {at} dispatched at {}",
@@ -144,16 +242,22 @@ impl<M: Model> Engine<M> {
         );
         self.now = at;
         self.dispatched += 1;
-        self.digest.write_u64(at.0);
-        M::fingerprint(&ev, &mut self.digest);
-        self.model.dispatch(at, ev, &mut self.queue);
+        let lane = M::lane(&ev) as usize;
+        if lane >= self.lanes.len() {
+            self.lanes.resize(lane + 1, (0, EventDigest::new()));
+        }
+        let (count, digest) = &mut self.lanes[lane];
+        *count += 1;
+        digest.write_u64(at.0);
+        M::fingerprint(&ev, digest);
+        self.model.dispatch_keyed(at, key, ev, &mut self.queue);
     }
 
     /// Dispatch a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        match self.queue.pop() {
-            Some((at, ev)) => {
-                self.dispatch_one(at, ev);
+        match self.queue.pop_keyed() {
+            Some((at, key, ev)) => {
+                self.dispatch_one(at, key, ev);
                 true
             }
             None => false,
@@ -179,8 +283,8 @@ impl<M: Model> Engine<M> {
                 return RunOutcome::EventBudgetExhausted;
             }
             budget -= 1;
-            let (at, ev) = self.queue.pop().expect("peeked event must pop");
-            self.dispatch_one(at, ev);
+            let (at, key, ev) = self.queue.pop_keyed().expect("peeked event must pop");
+            self.dispatch_one(at, key, ev);
         }
     }
 
@@ -265,6 +369,67 @@ mod tests {
         e.queue_mut().schedule_at(SimTime::ZERO, 100);
         e.run_while(|m| m.hits.len() < 5);
         assert_eq!(e.model().hits.len(), 5);
+    }
+
+    #[test]
+    fn lanes_make_digest_interleave_independent() {
+        // Two models dispatching the same per-lane streams — but with
+        // different cross-lane interleavings at equal instants — fold the
+        // same digest, while a difference *within* one lane changes it.
+        struct Laned;
+        impl Model for Laned {
+            type Event = (u32, u64);
+            fn dispatch(&mut self, _: SimTime, _: (u32, u64), _: &mut EventQueue<(u32, u64)>) {}
+            fn lane(ev: &(u32, u64)) -> u32 {
+                ev.0
+            }
+            fn fingerprint(ev: &(u32, u64), d: &mut EventDigest) {
+                d.write_u64(ev.1);
+            }
+        }
+        let t = SimTime::from_ns(4);
+        let mut a = Engine::new(Laned);
+        a.queue_mut().schedule_keyed(t, 1, (0, 10));
+        a.queue_mut().schedule_keyed(t, 2, (1, 20));
+        let mut b = Engine::new(Laned);
+        b.queue_mut().schedule_keyed(t, 2, (1, 20));
+        b.queue_mut().schedule_keyed(t, 1, (0, 10));
+        a.run();
+        b.run();
+        assert_eq!(a.digest(), b.digest());
+
+        let mut c = Engine::new(Laned);
+        c.queue_mut().schedule_keyed(t, 1, (0, 11));
+        c.queue_mut().schedule_keyed(t, 2, (1, 20));
+        c.run();
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn merged_lanes_reproduce_serial_digest() {
+        struct Laned;
+        impl Model for Laned {
+            type Event = u32;
+            fn dispatch(&mut self, _: SimTime, _: u32, _: &mut EventQueue<u32>) {}
+            fn lane(ev: &u32) -> u32 {
+                *ev
+            }
+        }
+        let mut serial = Engine::new(Laned);
+        let mut s0 = Engine::new(Laned);
+        let mut s1 = Engine::new(Laned);
+        for i in 0..10u64 {
+            let t = SimTime::from_ns(i);
+            let node = (i % 3) as u32;
+            serial.queue_mut().schedule_keyed(t, i + 1, node);
+            let shard = if node == 0 { &mut s0 } else { &mut s1 };
+            shard.queue_mut().schedule_keyed(t, i + 1, node);
+        }
+        serial.run();
+        s0.run();
+        s1.run();
+        let merged = merge_digest_lanes(&[s0.digest_lanes(), s1.digest_lanes()]);
+        assert_eq!(fold_digest_lanes(&merged), serial.digest());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! injected fault in its [`crate::Trace`].
 
 use crate::digest::EventDigest;
+use crate::engine::{fold_digest_lanes, DigestLane};
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -277,33 +278,33 @@ const D_INT: u8 = 5;
 const D_STALL: u8 = 6;
 const D_FAULT: u8 = 7;
 
-/// The runtime half of the fault subsystem: owns the plan, the RNG
-/// streams, the counters and the fault digest.
+/// The runtime half of the fault subsystem: owns the plan, the counters
+/// and the fault digest.
 ///
-/// Determinism contract: decisions depend only on the plan and on the
-/// *sequence* of queries, which the single-threaded engine dispatch order
-/// fixes. The injector draws randomness only when the relevant
-/// probability is non-zero, so an inactive plan consumes nothing and the
-/// digest stays at its initial value.
+/// Determinism contract: every decision is a pure function of the plan
+/// and the query itself. Wire fates hash `(seed, now, src, dst, tag)`
+/// into a per-message RNG, so the decision is independent of the order
+/// in which messages are queried — which is exactly what lets a
+/// spatially partitioned parallel run (where shards query their own
+/// nodes' messages concurrently) reproduce a serial run's fault stream
+/// bit for bit. Counters and per-node digest lanes accumulate as
+/// queries are made and merge across shards by disjoint union.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     plan: FaultPlan,
-    wire_rng: SimRng,
     stats: FaultStats,
-    digest: EventDigest,
+    lanes: Vec<DigestLane>,
     active: bool,
 }
 
 impl FaultInjector {
     /// Build an injector executing `plan`.
     pub fn new(plan: FaultPlan) -> Self {
-        let root = SimRng::new(plan.seed ^ 0xFA17_0000_0000_0001);
         let active = plan.is_active();
         FaultInjector {
             plan,
-            wire_rng: root.fork(1),
             stats: FaultStats::default(),
-            digest: EventDigest::new(),
+            lanes: Vec::new(),
             active,
         }
     }
@@ -324,31 +325,73 @@ impl FaultInjector {
         self.stats
     }
 
-    /// Streaming digest over every injected fault (category, time, node,
-    /// detail). Folded into the model's state fingerprint so replay
-    /// comparison covers the fault stream, not just the event stream.
+    /// Streaming digest over every injected fault (category, time,
+    /// detail — folded into the deciding node's lane, lanes combined in
+    /// canonical node order). Folded into the model's state fingerprint
+    /// so replay comparison covers the fault stream, not just the event
+    /// stream; a partitioned run reproduces it by merging per-node lanes.
     pub fn digest(&self) -> u64 {
-        self.digest.value()
+        fold_digest_lanes(&self.lanes)
+    }
+
+    /// Fold another injector's decisions into this one (parallel-shard
+    /// merge). Shards decide faults for disjoint node sets, so per-node
+    /// lanes transfer wholesale and counters sum.
+    pub fn merge_from(&mut self, other: &FaultInjector) {
+        let s = other.stats;
+        self.stats.dropped += s.dropped;
+        self.stats.corrupted += s.corrupted;
+        self.stats.reordered += s.reordered;
+        self.stats.sram_rejections += s.sram_rejections;
+        self.stats.interrupt_spikes += s.interrupt_spikes;
+        self.stats.fw_stalls += s.fw_stalls;
+        self.stats.fw_faults += s.fw_faults;
+        if other.lanes.len() > self.lanes.len() {
+            self.lanes
+                .resize(other.lanes.len(), (0, EventDigest::new()));
+        }
+        for (i, lane) in other.lanes.iter().enumerate() {
+            if lane.0 > 0 {
+                assert!(self.lanes[i].0 == 0, "fault lane {i} decided on two shards");
+                self.lanes[i] = *lane;
+            }
+        }
     }
 
     /// Decide the fate of one wire message injected at `now` from `src`
     /// to `dst` with correlation `tag`. Loopback traffic never reaches
     /// the wire, so callers skip it.
+    ///
+    /// The decision hashes the message's identity `(now, src, dst, tag)`
+    /// with the plan seed into a one-shot RNG, so it depends only on the
+    /// message itself — never on how many other messages were queried
+    /// first. Digest folds land in `src`'s lane: the fate is decided at
+    /// the sending node's dispatch, on the sending node's shard.
     pub fn packet_fate(&mut self, now: SimTime, src: u32, dst: u32, tag: u64) -> PacketFate {
         let lf = self.plan.link;
-        if lf.drop_prob > 0.0 && self.wire_rng.chance(lf.drop_prob) {
+        if !lf.is_active() {
+            return PacketFate::Deliver;
+        }
+        let mut mix = EventDigest::new();
+        mix.write_u64(self.plan.seed ^ 0xFA17_0000_0000_0001);
+        mix.write_u64(now.0);
+        mix.write_u32(src);
+        mix.write_u32(dst);
+        mix.write_u64(tag);
+        let mut rng = SimRng::new(mix.value());
+        if lf.drop_prob > 0.0 && rng.chance(lf.drop_prob) {
             self.stats.dropped += 1;
             self.fold(D_DROP, now, src, u64::from(dst) ^ tag);
             return PacketFate::Drop;
         }
-        if lf.corrupt_prob > 0.0 && self.wire_rng.chance(lf.corrupt_prob) {
+        if lf.corrupt_prob > 0.0 && rng.chance(lf.corrupt_prob) {
             self.stats.corrupted += 1;
             self.fold(D_CORRUPT, now, src, u64::from(dst) ^ tag);
             return PacketFate::Corrupt;
         }
-        if lf.reorder_prob > 0.0 && self.wire_rng.chance(lf.reorder_prob) {
+        if lf.reorder_prob > 0.0 && rng.chance(lf.reorder_prob) {
             let window_ps = lf.reorder_window.0.max(1);
-            let delay = SimTime(self.wire_rng.range(1, window_ps));
+            let delay = SimTime(rng.range(1, window_ps));
             self.stats.reordered += 1;
             self.fold(D_REORDER, now, src, u64::from(dst) ^ tag ^ delay.0);
             return PacketFate::Delay(delay);
@@ -401,10 +444,15 @@ impl FaultInjector {
     }
 
     fn fold(&mut self, code: u8, now: SimTime, node: u32, detail: u64) {
-        self.digest.write_u8(code);
-        self.digest.write_u64(now.0);
-        self.digest.write_u32(node);
-        self.digest.write_u64(detail);
+        let lane = node as usize;
+        if lane >= self.lanes.len() {
+            self.lanes.resize(lane + 1, (0, EventDigest::new()));
+        }
+        let (count, digest) = &mut self.lanes[lane];
+        *count += 1;
+        digest.write_u8(code);
+        digest.write_u64(now.0);
+        digest.write_u64(detail);
     }
 }
 

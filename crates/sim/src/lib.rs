@@ -43,6 +43,7 @@ pub mod digest;
 pub mod engine;
 pub mod faults;
 pub mod label;
+pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -52,9 +53,10 @@ pub mod trace;
 pub use causal::{CausalLog, CausalRecord, CausalStage, TraceId};
 pub use cursor::BusyCursor;
 pub use digest::EventDigest;
-pub use engine::{Engine, Model, RunOutcome};
+pub use engine::{fold_digest_lanes, merge_digest_lanes, DigestLane, Engine, Model, RunOutcome};
 pub use faults::{FaultInjector, FaultPlan, FaultStats, FwFaultKind, PacketFate, TimeWindow};
 pub use label::Label;
+pub use par::{Delivery, ParConfig, ParOutcome, Partitioned, WindowDriver};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, Series, SeriesPoint};

@@ -1,0 +1,570 @@
+//! Conservative time-window parallel driver for spatially partitioned
+//! models.
+//!
+//! This is the *only* module in the sim-facing crates allowed to spawn
+//! threads or hold synchronization primitives (the audit lint enforces
+//! that boundary). Everything here is plain-channel message passing —
+//! no locks, no atomics — so the concurrency surface stays auditable.
+//!
+//! # Protocol
+//!
+//! The fabric is partitioned into shards, each owning a disjoint set of
+//! nodes and running an ordinary serial [`Engine`] on a worker thread.
+//! Synchronization is a classic conservative time window: if every
+//! cross-shard interaction takes at least the *lookahead* `L` of
+//! simulated time to arrive (the minimum link latency of the topology),
+//! then all events in `[W, W + L)` — where `W` is the global minimum
+//! pending event time — are causally independent across shards and can
+//! be dispatched concurrently.
+//!
+//! Each round:
+//!
+//! 1. the coordinator computes `W` and hands every worker the window
+//!    horizon `W + L - 1ps` plus any cross-shard deliveries routed in
+//!    the previous round (all of which fire at or after `W + L`);
+//! 2. workers insert the deliveries, run their engine up to the
+//!    horizon, and hand back the *send intents* their model deferred
+//!    (models never touch the shared fabric directly — see
+//!    [`Partitioned::drain_intents`]);
+//! 3. the coordinator routes the collected intents through the caller's
+//!    `route` closure — which owns the fabric and replays the intents
+//!    in the exact serial order — producing the next round's
+//!    deliveries.
+//!
+//! Because windows are disjoint and ascending, replaying each window's
+//! intents in serial dispatch order reproduces the serial engine's
+//! fabric interaction sequence exactly; combined with per-lane digests
+//! ([`crate::engine::fold_digest_lanes`]) the parallel run is
+//! bit-identical to the serial one for any worker count.
+
+use crate::engine::{Engine, Model, RunOutcome};
+use crate::time::SimTime;
+use std::sync::mpsc;
+use std::thread;
+
+/// A model that can run as one shard of a spatial partition.
+///
+/// Shard models must not interact with shared state (the fabric) while
+/// dispatching; instead they buffer *intents* — records of the sends
+/// they would have performed — in generation order, and the coordinator
+/// replays them against the shared fabric between windows.
+pub trait Partitioned: Model {
+    /// One deferred cross-shard interaction (e.g. a fabric send).
+    type Intent: Send;
+
+    /// Take the intents buffered since the last call, in the order the
+    /// model generated them.
+    fn drain_intents(&mut self) -> Vec<Self::Intent>;
+}
+
+/// A cross-shard event produced by routing intents: schedule `event`
+/// with `key` at `at` on shard `shard`.
+#[derive(Debug)]
+pub struct Delivery<E> {
+    /// Destination shard index.
+    pub shard: usize,
+    /// Firing time; must be at or after the end of the window whose
+    /// intents produced it (the driver asserts this — a violation means
+    /// the configured lookahead overstates the real minimum latency).
+    pub at: SimTime,
+    /// Scheduling key (see [`crate::queue::EventQueue::schedule_keyed`]).
+    pub key: u64,
+    /// The event to deliver.
+    pub event: E,
+}
+
+/// Window-synchronization parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ParConfig {
+    /// Conservative lookahead: the minimum simulated time any
+    /// cross-shard interaction takes to arrive. Must be positive.
+    pub lookahead: SimTime,
+    /// Global cap on dispatched events across all shards, mirroring the
+    /// serial engine's event budget. Exhaustion is detected at window
+    /// granularity.
+    pub event_budget: u64,
+}
+
+/// What a parallel run produced, beyond the shard engines themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParOutcome {
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+    /// The maximum simulated time reached by any shard.
+    pub now: SimTime,
+    /// Total events dispatched across all shards.
+    pub dispatched: u64,
+    /// Number of synchronization windows executed.
+    pub rounds: u64,
+}
+
+/// Per-round command to a worker.
+struct Round<E> {
+    deliveries: Vec<(SimTime, u64, E)>,
+    horizon: SimTime,
+    budget: u64,
+}
+
+enum ToWorker<E> {
+    Round(Round<E>),
+    Stop,
+}
+
+/// Per-round worker response.
+struct Rsp<I> {
+    shard: usize,
+    intents: Vec<I>,
+    next_time: Option<SimTime>,
+    dispatched: u64,
+    budget_exhausted: bool,
+}
+
+/// The coordinator for one parallel run: owns the shard engines, spawns
+/// one worker thread per shard, and drives the window protocol.
+pub struct WindowDriver<M: Partitioned> {
+    engines: Vec<Engine<M>>,
+    config: ParConfig,
+}
+
+impl<M> WindowDriver<M>
+where
+    M: Partitioned + Send,
+    M::Event: Send,
+{
+    /// Wrap pre-seeded shard engines. Panics on an empty shard list or
+    /// a non-positive lookahead.
+    pub fn new(engines: Vec<Engine<M>>, config: ParConfig) -> Self {
+        assert!(
+            !engines.is_empty(),
+            "window driver needs at least one shard"
+        );
+        assert!(
+            config.lookahead > SimTime::ZERO,
+            "conservative lookahead must be positive"
+        );
+        WindowDriver { engines, config }
+    }
+
+    /// Run all shards to completion. `route` is called once per window
+    /// on the coordinator thread with every shard's drained intents (in
+    /// shard index order); it owns all shared state and returns the
+    /// cross-shard deliveries the intents caused. Returns the shard
+    /// engines (in shard order) for merging, plus the run outcome.
+    pub fn run<R>(self, mut route: R) -> (Vec<Engine<M>>, ParOutcome)
+    where
+        R: FnMut(Vec<Vec<M::Intent>>) -> Vec<Delivery<M::Event>>,
+    {
+        let WindowDriver { engines, config } = self;
+        let shards = engines.len();
+        let lookahead = config.lookahead;
+
+        let mut next_times: Vec<Option<SimTime>> =
+            engines.iter().map(|e| e.queue().peek_time()).collect();
+        let mut per_shard_dispatched: Vec<u64> = engines.iter().map(|e| e.dispatched()).collect();
+        let base_dispatched: u64 = per_shard_dispatched.iter().sum();
+        let mut pending: Vec<Vec<(SimTime, u64, M::Event)>> = Vec::new();
+        pending.resize_with(shards, Vec::new);
+
+        let mut outcome = RunOutcome::Drained;
+        let mut rounds: u64 = 0;
+
+        let mut finished: Vec<Option<Engine<M>>> = Vec::new();
+        finished.resize_with(shards, || None);
+
+        thread::scope(|scope| {
+            let (rsp_tx, rsp_rx) = mpsc::channel::<Rsp<M::Intent>>();
+            let (done_tx, done_rx) = mpsc::channel::<(usize, Engine<M>)>();
+            let mut cmd_txs = Vec::with_capacity(shards);
+            for (shard, mut engine) in engines.into_iter().enumerate() {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<ToWorker<M::Event>>();
+                cmd_txs.push(cmd_tx);
+                let rsp_tx = rsp_tx.clone();
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    while let Ok(msg) = cmd_rx.recv() {
+                        let round = match msg {
+                            ToWorker::Round(r) => r,
+                            ToWorker::Stop => break,
+                        };
+                        for (at, key, ev) in round.deliveries {
+                            engine.queue_mut().schedule_keyed(at, key, ev);
+                        }
+                        engine.set_event_budget(round.budget);
+                        let run = engine.run_until(round.horizon);
+                        let intents = engine.model_mut().drain_intents();
+                        let rsp = Rsp {
+                            shard,
+                            intents,
+                            next_time: engine.queue().peek_time(),
+                            dispatched: engine.dispatched(),
+                            budget_exhausted: run == RunOutcome::EventBudgetExhausted,
+                        };
+                        if rsp_tx.send(rsp).is_err() {
+                            break;
+                        }
+                    }
+                    let _ = done_tx.send((shard, engine));
+                });
+            }
+
+            loop {
+                let total: u64 = per_shard_dispatched.iter().sum();
+                let spent = total - base_dispatched;
+                if spent >= config.event_budget {
+                    outcome = RunOutcome::EventBudgetExhausted;
+                    break;
+                }
+                // The global window floor: the earliest pending event on
+                // any shard, counting deliveries not yet handed over.
+                let mut window: Option<SimTime> = None;
+                for s in 0..shards {
+                    for cand in next_times[s]
+                        .into_iter()
+                        .chain(pending[s].iter().map(|d| d.0))
+                    {
+                        window = Some(match window {
+                            Some(w) if w <= cand => w,
+                            _ => cand,
+                        });
+                    }
+                }
+                let w = match window {
+                    Some(w) => w,
+                    None => break, // every queue drained, nothing in flight
+                };
+                let horizon = SimTime(w.0 + lookahead.0 - 1);
+                let remaining = config.event_budget - spent;
+                rounds += 1;
+
+                for (s, tx) in cmd_txs.iter().enumerate() {
+                    let round = Round {
+                        deliveries: std::mem::take(&mut pending[s]),
+                        horizon,
+                        budget: remaining,
+                    };
+                    tx.send(ToWorker::Round(round))
+                        .expect("worker thread hung up mid-run");
+                }
+
+                let mut intents_by_shard: Vec<Vec<M::Intent>> = Vec::new();
+                intents_by_shard.resize_with(shards, Vec::new);
+                let mut exhausted = false;
+                for _ in 0..shards {
+                    let rsp = rsp_rx.recv().expect("worker thread hung up mid-round");
+                    next_times[rsp.shard] = rsp.next_time;
+                    per_shard_dispatched[rsp.shard] = rsp.dispatched;
+                    exhausted |= rsp.budget_exhausted;
+                    intents_by_shard[rsp.shard] = rsp.intents;
+                }
+
+                for d in route(intents_by_shard) {
+                    assert!(
+                        d.at > horizon,
+                        "lookahead violation: delivery at {} inside window ending {}",
+                        d.at,
+                        horizon
+                    );
+                    assert!(d.shard < shards, "delivery routed to unknown shard");
+                    pending[d.shard].push((d.at, d.key, d.event));
+                }
+
+                if exhausted {
+                    outcome = RunOutcome::EventBudgetExhausted;
+                    break;
+                }
+            }
+
+            for tx in &cmd_txs {
+                let _ = tx.send(ToWorker::Stop);
+            }
+            drop(cmd_txs);
+            drop(rsp_rx);
+            for _ in 0..shards {
+                let (shard, engine) = done_rx.recv().expect("worker thread lost its engine");
+                finished[shard] = Some(engine);
+            }
+        });
+
+        let engines: Vec<Engine<M>> = finished
+            .into_iter()
+            .map(|e| e.expect("every shard returns its engine"))
+            .collect();
+        let now = engines
+            .iter()
+            .map(|e| e.now())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let dispatched: u64 = engines.iter().map(|e| e.dispatched()).sum::<u64>() - base_dispatched;
+        (
+            engines,
+            ParOutcome {
+                outcome,
+                now,
+                dispatched,
+                rounds,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::EventDigest;
+    use crate::engine::{fold_digest_lanes, merge_digest_lanes};
+    use crate::queue::EventQueue;
+
+    /// A toy "machine": `nodes` counters on a ring. Each event bumps its
+    /// node's counter and forwards to the next node after `HOP` — a
+    /// cross-shard send, which shard models defer as an intent.
+    const HOP: SimTime = SimTime::from_ns(50);
+
+    #[derive(Debug)]
+    struct RingMsg {
+        src: u32,
+        dst: u32,
+        hops_left: u32,
+        sent_at: SimTime,
+        key: u64,
+    }
+
+    struct RingShard {
+        /// Global ids of the nodes this shard owns.
+        base: u32,
+        count: u32,
+        total_nodes: u32,
+        hits: Vec<u64>,
+        key_ctr: Vec<u64>,
+        intents: Vec<RingMsg>,
+        cur_key: u64,
+    }
+
+    impl RingShard {
+        fn new(base: u32, count: u32, total: u32) -> Self {
+            RingShard {
+                base,
+                count,
+                total_nodes: total,
+                hits: vec![0; count as usize],
+                key_ctr: vec![0; count as usize],
+                intents: Vec::new(),
+                cur_key: 0,
+            }
+        }
+
+        fn owns(&self, node: u32) -> bool {
+            node >= self.base && node < self.base + self.count
+        }
+
+        fn next_key(&mut self, node: u32) -> u64 {
+            let slot = (node - self.base) as usize;
+            self.key_ctr[slot] += 1;
+            (u64::from(node) << 32) | self.key_ctr[slot]
+        }
+    }
+
+    /// Event = message arriving at its destination node.
+    impl Model for RingShard {
+        type Event = RingMsg;
+
+        fn dispatch(&mut self, _: SimTime, _: RingMsg, _: &mut EventQueue<RingMsg>) {
+            unreachable!("keyed dispatch only");
+        }
+
+        fn dispatch_keyed(
+            &mut self,
+            now: SimTime,
+            key: u64,
+            ev: RingMsg,
+            q: &mut EventQueue<RingMsg>,
+        ) {
+            assert!(self.owns(ev.dst), "event routed to wrong shard");
+            self.cur_key = key;
+            let slot = (ev.dst - self.base) as usize;
+            self.hits[slot] += 1;
+            if ev.hops_left > 0 {
+                let src = ev.dst;
+                let dst = (src + 1) % self.total_nodes;
+                let key = self.next_key(src);
+                let msg = RingMsg {
+                    src,
+                    dst,
+                    hops_left: ev.hops_left - 1,
+                    sent_at: now,
+                    key,
+                };
+                // Even same-shard sends go through the intent path so
+                // serial and parallel replay identical fabric
+                // interactions.
+                self.intents.push(msg);
+                let _ = q;
+            }
+        }
+
+        fn lane(ev: &RingMsg) -> u32 {
+            ev.dst
+        }
+
+        fn fingerprint(ev: &RingMsg, d: &mut EventDigest) {
+            d.write_u32(ev.src);
+            d.write_u32(ev.dst);
+            d.write_u32(ev.hops_left);
+        }
+    }
+
+    impl Partitioned for RingShard {
+        type Intent = RingMsg;
+        fn drain_intents(&mut self) -> Vec<RingMsg> {
+            std::mem::take(&mut self.intents)
+        }
+    }
+
+    /// Route intents in serial dispatch order: stable sort on the
+    /// sending event's (time, key), exactly like the machine model.
+    fn route_ring(
+        shard_of: impl Fn(u32) -> usize,
+    ) -> impl FnMut(Vec<Vec<RingMsg>>) -> Vec<Delivery<RingMsg>> {
+        move |by_shard| {
+            let mut all: Vec<RingMsg> = by_shard.into_iter().flatten().collect();
+            all.sort_by_key(|m| (m.sent_at, m.key));
+            all.into_iter()
+                .map(|m| Delivery {
+                    shard: shard_of(m.dst),
+                    at: m.sent_at + HOP,
+                    key: m.key,
+                    event: m,
+                })
+                .collect()
+        }
+    }
+
+    fn seed(engine: &mut Engine<RingShard>, total: u32, hops: u32) {
+        // One message starting on every node at t=0, all racing around
+        // the ring concurrently.
+        for n in 0..total {
+            let model = engine.model_mut();
+            if !model.owns(n) {
+                continue;
+            }
+            let key = model.next_key(n);
+            engine.queue_mut().schedule_keyed(
+                SimTime::ZERO,
+                key,
+                RingMsg {
+                    src: n,
+                    dst: n,
+                    hops_left: hops,
+                    sent_at: SimTime::ZERO,
+                    key,
+                },
+            );
+        }
+    }
+
+    fn serial_run(total: u32, hops: u32) -> (u64, Vec<u64>, u64) {
+        let mut e = Engine::new(RingShard::new(0, total, total));
+        seed(&mut e, total, hops);
+        // Serial reference replays its own intents the same way the
+        // coordinator would, single-shard.
+        let shard_of = |_| 0usize;
+        let mut route = route_ring(shard_of);
+        loop {
+            let out = e.run();
+            assert_eq!(out, RunOutcome::Drained);
+            let intents = e.model_mut().drain_intents();
+            if intents.is_empty() {
+                break;
+            }
+            for d in route(vec![intents]) {
+                e.queue_mut().schedule_keyed(d.at, d.key, d.event);
+            }
+        }
+        (e.digest(), e.model().hits.clone(), e.dispatched())
+    }
+
+    fn parallel_run(total: u32, shards: u32, hops: u32) -> (u64, Vec<u64>, u64) {
+        let per = total.div_ceil(shards);
+        let mut engines = Vec::new();
+        let mut bases = Vec::new();
+        let mut base = 0;
+        while base < total {
+            let count = per.min(total - base);
+            let mut e = Engine::new(RingShard::new(base, count, total));
+            seed(&mut e, total, hops);
+            engines.push(e);
+            bases.push(base);
+            base += count;
+        }
+        let shard_of = move |node: u32| (node / per) as usize;
+        let driver = WindowDriver::new(
+            engines,
+            ParConfig {
+                lookahead: HOP,
+                event_budget: u64::MAX,
+            },
+        );
+        let (engines, out) = driver.run(route_ring(shard_of));
+        assert_eq!(out.outcome, RunOutcome::Drained);
+        let lanes: Vec<&[_]> = engines.iter().map(|e| e.digest_lanes()).collect();
+        let digest = fold_digest_lanes(&merge_digest_lanes(&lanes));
+        let mut hits = Vec::new();
+        for e in &engines {
+            hits.extend_from_slice(&e.model().hits);
+        }
+        (digest, hits, out.dispatched)
+    }
+
+    #[test]
+    fn parallel_ring_matches_serial_for_any_shard_count() {
+        let (sd, sh, sn) = serial_run(12, 9);
+        for shards in [1, 2, 3, 4, 5, 12] {
+            let (pd, ph, pn) = parallel_run(12, shards, 9);
+            assert_eq!(pd, sd, "digest diverged at {shards} shards");
+            assert_eq!(ph, sh, "hit counts diverged at {shards} shards");
+            assert_eq!(pn, sn, "dispatch count diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_detected() {
+        let per = 4u32;
+        let mut engines = Vec::new();
+        for base in [0u32, 4] {
+            let mut e = Engine::new(RingShard::new(base, per, 8));
+            seed(&mut e, 8, 1000);
+            engines.push(e);
+        }
+        let driver = WindowDriver::new(
+            engines,
+            ParConfig {
+                lookahead: HOP,
+                event_budget: 64,
+            },
+        );
+        let (_, out) = driver.run(route_ring(|n| (n / 4) as usize));
+        assert_eq!(out.outcome, RunOutcome::EventBudgetExhausted);
+        assert!(out.dispatched >= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn overstated_lookahead_is_caught() {
+        let mut engines = Vec::new();
+        for base in [0u32, 4] {
+            let mut e = Engine::new(RingShard::new(base, 4, 8));
+            seed(&mut e, 8, 4);
+            engines.push(e);
+        }
+        let driver = WindowDriver::new(
+            engines,
+            ParConfig {
+                // Claims cross-shard sends take 100ns when they really
+                // take 50ns: the round-1 deliveries land inside round
+                // 2's window and the driver must refuse.
+                lookahead: SimTime::from_ns(100),
+                event_budget: u64::MAX,
+            },
+        );
+        let (_, _) = driver.run(route_ring(|n| (n / 4) as usize));
+    }
+}

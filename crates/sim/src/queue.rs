@@ -1,44 +1,56 @@
 //! The pending-event queue.
 //!
-//! Two tiers, both keyed on `(time, sequence)` where the sequence number
-//! is a monotonically increasing insertion counter (so events scheduled
-//! for the same instant fire in scheduling order, keeping the whole
-//! simulation deterministic without requiring `Ord` on the payload):
+//! Events are ordered by `(time, key, seq)`:
 //!
-//! - a **near-term FIFO bucket** holding every pending event at one
-//!   instant (`bucket_time`). The dominant scheduling pattern in the
-//!   machine model is zero-delay chaining — dispatch at `t` schedules
-//!   more work at `t` — and those events go through a `VecDeque`
-//!   push/pop, never touching the heap;
+//! - `time` is the absolute firing instant;
+//! - `key` is a caller-supplied **scheduling key** — the deterministic
+//!   merge rule that makes parallel partitioned runs bit-identical to
+//!   serial ones. Models that partition across workers assign each
+//!   scheduled event a key derived from the *scheduling* entity (e.g.
+//!   `node << 32 | per-node counter`), which is reproducible no matter
+//!   which worker performs the insertion or when a cross-partition
+//!   delivery is merged in. Keys are expected to be unique per event, so
+//!   the ordering never falls through to insertion order for keyed
+//!   events. Trivial models use [`EventQueue::schedule_at`], which keys
+//!   everything 0;
+//! - `seq` is a monotonically increasing insertion counter that breaks
+//!   ties among equal keys (i.e. among unkeyed events), preserving the
+//!   classic FIFO-at-equal-times behaviour.
+//!
+//! Two tiers back the ordering:
+//!
+//! - a **near-term bucket** holding every pending event at one instant
+//!   (`bucket_time`), ordered by `(key, seq)`. The dominant scheduling
+//!   pattern in the machine model is zero-delay chaining — dispatch at
+//!   `t` schedules more work at `t` — and those events cycle through the
+//!   small bucket heap, never touching the main heap;
 //! - a **[`BinaryHeap`]** for everything else, with the ordering key
-//!   `(time, seq)` separated from the payload: comparisons during
+//!   `(time, key, seq)` separated from the payload: comparisons during
 //!   sift-up/down read only the key fields, never the payload (no `Ord`
 //!   bound on `E`), and heap storage is recycled in place so
-//!   steady-state scheduling performs no allocation. (A payload slab
-//!   with key-only heap entries was measured and lost: the indirection
-//!   costs an extra cache line on every pop, which outweighs moving a
-//!   pointer-sized payload during sifts.)
+//!   steady-state scheduling performs no allocation.
 //!
-//! `pop` compares the bucket front against the heap top lexicographically
-//! by `(time, seq)`, so ordering is exact no matter how pushes interleave
-//! — including scheduling "in the past", which the engine (not the queue)
-//! rejects.
+//! `pop` compares the bucket minimum against the heap top
+//! lexicographically by `(time, key, seq)`, so ordering is exact no
+//! matter how pushes interleave — including scheduling "in the past",
+//! which the engine (not the queue) rejects.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
-/// Heap entry: the `(time, seq)` ordering key plus the payload. Only the
-/// key participates in comparisons, so `E` needs no `Ord`.
+/// Heap entry: the `(time, key, seq)` ordering key plus the payload. Only
+/// the key fields participate in comparisons, so `E` needs no `Ord`.
 struct HeapEntry<E> {
     at: SimTime,
+    key: u64,
     seq: u64,
     ev: E,
 }
 
 impl<E> PartialEq for HeapEntry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key && self.seq == other.seq
     }
 }
 impl<E> Eq for HeapEntry<E> {}
@@ -51,19 +63,49 @@ impl<E> PartialOrd for HeapEntry<E> {
 
 impl<E> Ord for HeapEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
+        // BinaryHeap is a max-heap; invert so the earliest
+        // (time, key, seq) pops first.
         other
             .at
             .cmp(&self.at)
+            .then_with(|| other.key.cmp(&self.key))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Bucket entry: events at `bucket_time`, ordered by `(key, seq)`.
+struct BucketEntry<E> {
+    key: u64,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for BucketEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl<E> Eq for BucketEntry<E> {}
+
+impl<E> PartialOrd for BucketEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for BucketEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .cmp(&self.key)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
 /// A time-ordered queue of future events.
 pub struct EventQueue<E> {
-    /// Events at `bucket_time`, in scheduling order.
-    bucket: VecDeque<(u64, E)>,
+    /// Events at `bucket_time`, ordered by `(key, seq)`.
+    bucket: BinaryHeap<BucketEntry<E>>,
     bucket_time: SimTime,
     heap: BinaryHeap<HeapEntry<E>>,
     next_seq: u64,
@@ -80,7 +122,7 @@ impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
-            bucket: VecDeque::new(),
+            bucket: BinaryHeap::new(),
             bucket_time: SimTime::ZERO,
             heap: BinaryHeap::new(),
             next_seq: 0,
@@ -88,63 +130,95 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedule `event` to fire at absolute time `at`.
+    /// Schedule `event` to fire at absolute time `at` with scheduling key
+    /// `key`.
     ///
-    /// Events at equal times fire in scheduling order. An empty bucket is
-    /// claimed by whatever instant is scheduled next; pushes at the
-    /// bucket's instant stay FIFO in the bucket, everything else goes to
-    /// the heap.
+    /// Events at equal times fire in `(key, seq)` order. An empty bucket
+    /// is claimed by whatever instant is scheduled next; pushes at the
+    /// bucket's instant stay in the bucket, everything else goes to the
+    /// heap.
     #[inline]
-    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
         if self.bucket.is_empty() {
             self.bucket_time = at;
-            self.bucket.push_back((seq, event));
+            self.bucket.push(BucketEntry {
+                key,
+                seq,
+                ev: event,
+            });
         } else if at == self.bucket_time {
-            self.bucket.push_back((seq, event));
+            self.bucket.push(BucketEntry {
+                key,
+                seq,
+                ev: event,
+            });
         } else {
-            self.heap.push(HeapEntry { at, seq, ev: event });
+            self.heap.push(HeapEntry {
+                at,
+                key,
+                seq,
+                ev: event,
+            });
         }
+    }
+
+    /// Schedule `event` at absolute time `at` with key 0 — the unkeyed
+    /// path for models that rely on pure FIFO-at-equal-times ordering.
+    #[inline]
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.schedule_keyed(at, 0, event);
     }
 
     /// Schedule `event` at the current dispatch instant `now` — the
     /// zero-delay fast path. During dispatch at `now` the bucket is
     /// either empty or already holds `now`'s events, so this lands in the
-    /// FIFO bucket without touching the heap (the general routing in
-    /// [`Self::schedule_at`] still backstops the rare case where the
+    /// bucket without touching the main heap (the general routing in
+    /// [`Self::schedule_keyed`] still backstops the rare case where the
     /// bucket was claimed by a different instant mid-dispatch).
     #[inline]
     pub fn schedule_at_now(&mut self, now: SimTime, event: E) {
         self.schedule_at(now, event);
     }
 
+    /// [`Self::schedule_at_now`] with a scheduling key.
+    #[inline]
+    pub fn schedule_keyed_now(&mut self, now: SimTime, key: u64, event: E) {
+        self.schedule_keyed(now, key, event);
+    }
+
     /// Pop the earliest event, if any, returning its firing time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let from_heap = match (self.bucket.front(), self.heap.peek()) {
+        self.pop_keyed().map(|(at, _, ev)| (at, ev))
+    }
+
+    /// Pop the earliest event together with its scheduling key.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
+        let from_heap = match (self.bucket.peek(), self.heap.peek()) {
             (None, None) => return None,
             (None, Some(_)) => true,
             (Some(_), None) => false,
-            (Some(&(bseq, _)), Some(k)) => (k.at, k.seq) < (self.bucket_time, bseq),
+            (Some(b), Some(k)) => (k.at, k.key, k.seq) < (self.bucket_time, b.key, b.seq),
         };
         if from_heap {
             let e = self.heap.pop()?;
-            Some((e.at, e.ev))
+            Some((e.at, e.key, e.ev))
         } else {
-            let (_, ev) = self.bucket.pop_front()?;
-            Some((self.bucket_time, ev))
+            let b = self.bucket.pop()?;
+            Some((self.bucket_time, b.key, b.ev))
         }
     }
 
     /// The firing time of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        match (self.bucket.front(), self.heap.peek()) {
+        match (self.bucket.peek(), self.heap.peek()) {
             (None, None) => None,
             (None, Some(k)) => Some(k.at),
             (Some(_), None) => Some(self.bucket_time),
-            (Some(&(bseq, _)), Some(k)) => {
-                if (k.at, k.seq) < (self.bucket_time, bseq) {
+            (Some(b), Some(k)) => {
+                if (k.at, k.key, k.seq) < (self.bucket_time, b.key, b.seq) {
                     Some(k.at)
                 } else {
                     Some(self.bucket_time)
@@ -195,6 +269,42 @@ mod tests {
         }
         for i in 0..100 {
             assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn keys_order_within_an_instant() {
+        // At equal times, key order wins over insertion order — the
+        // deterministic merge rule for partitioned runs.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        q.schedule_keyed(t, 30, "c");
+        q.schedule_keyed(t, 10, "a");
+        q.schedule_keyed(t, 20, "b");
+        assert_eq!(q.pop_keyed(), Some((t, 10, "a")));
+        assert_eq!(q.pop_keyed(), Some((t, 20, "b")));
+        assert_eq!(q.pop_keyed(), Some((t, 30, "c")));
+    }
+
+    #[test]
+    fn key_order_is_insertion_independent() {
+        // The same set of keyed events pops in the same order no matter
+        // how insertions interleave — including when some land in the
+        // bucket and some in the heap.
+        let t5 = SimTime::from_ns(5);
+        let t9 = SimTime::from_ns(9);
+        let mut a = EventQueue::new();
+        a.schedule_keyed(t9, 2, "y");
+        a.schedule_keyed(t5, 7, "x");
+        a.schedule_keyed(t9, 1, "z");
+        let mut b = EventQueue::new();
+        b.schedule_keyed(t9, 1, "z");
+        b.schedule_keyed(t9, 2, "y");
+        b.schedule_keyed(t5, 7, "x");
+        for q in [&mut a, &mut b] {
+            assert_eq!(q.pop_keyed(), Some((t5, 7, "x")));
+            assert_eq!(q.pop_keyed(), Some((t9, 1, "z")));
+            assert_eq!(q.pop_keyed(), Some((t9, 2, "y")));
         }
     }
 
@@ -283,7 +393,7 @@ mod tests {
     #[test]
     fn zero_delay_chain_exhausts_event_budget() {
         // A model that keeps rescheduling at the *same* instant lives
-        // entirely in the FIFO bucket; the engine's event budget must
+        // entirely in the near-term bucket; the engine's event budget must
         // still stop it.
         struct SameInstantSpinner;
         impl Model for SameInstantSpinner {

@@ -13,7 +13,7 @@
 //! trace and an uncapped trace of the same run digest identically — the
 //! cap bounds memory, not the determinism check.
 
-use crate::digest::EventDigest;
+use crate::engine::{fold_digest_lanes, DigestLane};
 use crate::label::Label;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -77,7 +77,11 @@ pub struct Trace {
     events: VecDeque<TraceEvent>,
     capacity: usize,
     recorded: u64,
-    digest: EventDigest,
+    /// Per-node digest lanes (indexed by the recording node), combined in
+    /// canonical order by [`Trace::digest`]. Lanes let a spatially
+    /// partitioned run reproduce the serial trace digest by merging
+    /// disjoint per-node streams.
+    lanes: Vec<DigestLane>,
 }
 
 impl Trace {
@@ -88,7 +92,7 @@ impl Trace {
             events: VecDeque::new(),
             capacity: 0,
             recorded: 0,
-            digest: EventDigest::new(),
+            lanes: Vec::new(),
         }
     }
 
@@ -100,7 +104,7 @@ impl Trace {
             events: VecDeque::new(),
             capacity,
             recorded: 0,
-            digest: EventDigest::new(),
+            lanes: Vec::new(),
         }
     }
 
@@ -126,11 +130,17 @@ impl Trace {
             return;
         }
         self.recorded += 1;
-        self.digest.write_u64(at.0);
-        self.digest.write_u32(node);
-        self.digest.write_u8(category as u8);
-        self.digest.write_u64(label.id());
-        self.digest.write_u64(tag);
+        let lane = node as usize;
+        if lane >= self.lanes.len() {
+            self.lanes
+                .resize(lane + 1, (0, crate::digest::EventDigest::new()));
+        }
+        let (count, digest) = &mut self.lanes[lane];
+        *count += 1;
+        digest.write_u64(at.0);
+        digest.write_u8(category as u8);
+        digest.write_u64(label.id());
+        digest.write_u64(tag);
         if self.capacity != 0 && self.events.len() == self.capacity {
             self.events.pop_front();
         }
@@ -165,10 +175,44 @@ impl Trace {
     }
 
     /// Streaming digest of every event recorded while enabled (time,
-    /// node, category, label id, tag), independent of the retention cap.
-    /// Used by the replay-divergence audit to compare traced runs.
+    /// category, label id, tag — folded into the recording node's lane,
+    /// lanes combined in canonical node order), independent of the
+    /// retention cap. Used by the replay-divergence audit to compare
+    /// traced runs; a partitioned parallel run reproduces it by merging
+    /// per-node lanes.
     pub fn digest(&self) -> u64 {
-        self.digest.value()
+        fold_digest_lanes(&self.lanes)
+    }
+
+    /// Fold another trace's records into this one. Shard traces record
+    /// disjoint node sets, so per-node lanes transfer wholesale; the
+    /// retained rings are interleaved by time (stable: `self`'s events
+    /// first at equal instants) and re-trimmed to this trace's cap.
+    pub fn merge_from(&mut self, other: &Trace) {
+        self.recorded += other.recorded;
+        if other.lanes.len() > self.lanes.len() {
+            self.lanes
+                .resize(other.lanes.len(), (0, crate::digest::EventDigest::new()));
+        }
+        for (i, lane) in other.lanes.iter().enumerate() {
+            if lane.0 > 0 {
+                assert!(
+                    self.lanes[i].0 == 0,
+                    "trace lane {i} recorded on two shards"
+                );
+                self.lanes[i] = *lane;
+            }
+        }
+        let mut merged: Vec<TraceEvent> = self.events.drain(..).collect();
+        merged.extend(other.events.iter().copied());
+        merged.sort_by_key(|e| e.at);
+        let mut ring: VecDeque<TraceEvent> = merged.into();
+        if self.capacity != 0 {
+            while ring.len() > self.capacity {
+                ring.pop_front();
+            }
+        }
+        self.events = ring;
     }
 
     /// Events for one correlation tag, in order.

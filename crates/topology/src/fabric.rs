@@ -42,6 +42,20 @@ impl Default for FabricConfig {
     }
 }
 
+impl FabricConfig {
+    /// The minimum simulated time between a message being injected and
+    /// *any* resulting event on another queue: the conservative
+    /// lookahead a parallel time-window scheduler may use. A loopback
+    /// arrives after `loopback_latency`; a network message's header
+    /// cannot arrive before one hop of wire latency plus the
+    /// serialization of its header packet (head-of-line stalls, extra
+    /// hops and fault-injected delays only push it later).
+    pub fn min_lookahead(&self) -> SimTime {
+        let network = self.link.hop_latency + self.link.serialization_time(1);
+        self.loopback_latency.min(network)
+    }
+}
+
 /// A message handed to the fabric. `P` is the opaque wire body the upper
 /// layers attach (the firmware's wire message); the fabric only reads the
 /// byte count.
@@ -116,6 +130,12 @@ impl Fabric {
     /// The link configuration.
     pub fn link_config(&self) -> &LinkConfig {
         &self.config.link
+    }
+
+    /// Conservative parallel-scheduling lookahead for this fabric (see
+    /// [`FabricConfig::min_lookahead`]).
+    pub fn min_lookahead(&self) -> SimTime {
+        self.config.min_lookahead()
     }
 
     /// Transmit `msg`, with its first byte presented to the source router
@@ -373,6 +393,27 @@ mod tests {
         assert_eq!(f.bytes_sent(), 300);
         assert!(f.peak_link_utilization(SimTime::from_us(1)) > 0.0);
         assert_eq!(f.total_retries(), 0);
+    }
+
+    #[test]
+    fn min_lookahead_bounds_every_delivery() {
+        // Every delivery — loopback, neighbor, far corner, under
+        // saturation — arrives at least `min_lookahead` after injection;
+        // that bound is what makes conservative window parallelism
+        // sound.
+        let cfg = FabricConfig::default();
+        let la = cfg.min_lookahead();
+        assert!(la > SimTime::ZERO);
+        let mut f = Fabric::new(Dims::torus(4, 4, 4), cfg);
+        let inject = SimTime::from_us(3);
+        for (src, dst, bytes) in [(5, 5, 64), (0, 1, 8), (0, 63, 1 << 20), (9, 62, 64)] {
+            let d = f.send(inject, msg(src, dst, bytes, 7));
+            assert!(
+                d.header_at >= inject + la,
+                "{src}->{dst} header {} breaks lookahead {la}",
+                d.header_at
+            );
+        }
     }
 
     #[test]

@@ -39,7 +39,11 @@ pub(crate) enum WaitRequest {
 }
 
 /// An application process.
-pub trait App: 'static {
+///
+/// `Send` because a partitioned parallel run moves each shard's nodes —
+/// including their installed apps — onto a worker thread (ownership
+/// transfers at window boundaries; apps are never shared).
+pub trait App: Send + 'static {
     /// Handle one activation. Issue Portals calls through `ctx`; request
     /// the next wait via [`AppCtx::wait_eq`] / [`AppCtx::sleep`] /
     /// [`AppCtx::finish`] before returning.

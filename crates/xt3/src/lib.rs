@@ -25,10 +25,13 @@ pub mod config;
 pub mod host;
 pub mod machine;
 pub mod node;
+pub mod par;
 pub mod wire;
+pub mod workloads;
 
 pub use app::{App, AppCtx, AppEvent};
 pub use config::{ExhaustionPolicy, MachineConfig, NodeSpec, OsKind, ProcSpec};
 pub use host::HostCpu;
 pub use machine::{Ev, Machine};
+pub use par::{run_parallel, ParRun};
 pub use wire::{WireKind, WireMsg};

@@ -39,7 +39,7 @@ use xt3_seastar::ht::HtDir;
 use xt3_seastar::ppc::FwHandler;
 use xt3_sim::{
     label, CausalLog, CausalStage, Engine, EventDigest, EventQueue, FaultInjector, FaultStats,
-    FwFaultKind, Label, Model, PacketFate, SimTime, Trace, TraceCategory, TraceId,
+    FwFaultKind, Label, Model, PacketFate, Partitioned, SimTime, Trace, TraceCategory, TraceId,
 };
 
 /// Static trace label for a firmware fault, one per [`FwError`] variant
@@ -57,7 +57,7 @@ fn fw_error_label(err: FwError) -> Label {
 use xt3_telemetry::{
     Component, DmaSummary, LinkSummary, NodeReport, Telemetry, TelemetryReport, TelemetrySink,
 };
-use xt3_topology::coord::{NodeId, Port};
+use xt3_topology::coord::{Dims, NodeId, Port};
 use xt3_topology::fabric::{Fabric, NetMessage};
 
 /// PPC cost of feeding one additional scatter/gather chunk to a DMA
@@ -165,13 +165,179 @@ pub enum Ev {
     },
 }
 
+impl Ev {
+    /// The node whose state this event mutates — its digest lane, and
+    /// the shard that must dispatch it in a partitioned run.
+    pub fn owner(&self) -> u32 {
+        match self {
+            Ev::AppStart { node, .. }
+            | Ev::AppWake { node, .. }
+            | Ev::FwCmd { node, .. }
+            | Ev::TxDmaDone { node }
+            | Ev::NetHeader { node, .. }
+            | Ev::RxDepositDone { node, .. }
+            | Ev::HostInterrupt { node }
+            | Ev::RasHeartbeat { node }
+            | Ev::GbnTimeout { node, .. }
+            | Ev::FaultAt { node, .. } => *node,
+        }
+    }
+}
+
+/// The nodes a machine (or one shard of a partitioned machine) owns,
+/// indexed by *global* node id. A full machine has `base == 0`; a shard
+/// owns the contiguous slab `[base, base + len)`. Keeping indexing
+/// global means every handler — and every external test poking at
+/// `machine.nodes[i]` — is oblivious to partitioning.
+pub struct Nodes {
+    base: usize,
+    inner: Vec<Node>,
+}
+
+impl Nodes {
+    /// First global node id owned.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of nodes owned.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no nodes are owned.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The owned global node ids, in order.
+    pub fn ids(&self) -> std::ops::Range<usize> {
+        self.base..self.base + self.inner.len()
+    }
+
+    /// Iterate the owned nodes in global-id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Node> {
+        self.inner.iter()
+    }
+}
+
+impl std::ops::Index<usize> for Nodes {
+    type Output = Node;
+    fn index(&self, global: usize) -> &Node {
+        &self.inner[global - self.base]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Nodes {
+    fn index_mut(&mut self, global: usize) -> &mut Node {
+        &mut self.inner[global - self.base]
+    }
+}
+
+impl<'a> IntoIterator for &'a Nodes {
+    type Item = &'a Node;
+    type IntoIter = std::slice::Iter<'a, Node>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// How the machine interacts with the fabric.
+pub(crate) enum NetMode {
+    /// Serial: sends walk the fabric inline during dispatch.
+    Inline,
+    /// One shard of a partitioned run: sends are buffered as intents in
+    /// generation order; the coordinator replays them against the shared
+    /// fabric at the next window boundary in exact serial order.
+    Deferred(Vec<SendIntent>),
+}
+
+/// One deferred fabric send. Carries everything [`apply_send`] needs to
+/// reproduce the serial engine's fabric walk — including the dispatch
+/// instant (`at`) and scheduling key (`cur_key`) of the event that
+/// performed the send, which together order intents across shards
+/// exactly as the serial engine's inline walks interleave.
+pub struct SendIntent {
+    /// Dispatch time of the sending event.
+    pub(crate) at: SimTime,
+    /// Scheduling key of the sending event.
+    pub(crate) cur_key: u64,
+    /// Pre-reserved scheduling key for the delivery (`Ev::NetHeader`).
+    pub(crate) delivery_key: u64,
+    /// When the header packet is presented to the source router.
+    pub(crate) inject_at: SimTime,
+    /// When the TX DMA stream finishes feeding the payload.
+    pub(crate) dma_done: SimTime,
+    /// The wire message.
+    pub(crate) msg: WireMsg,
+    /// Fault plan forced an end-to-end CRC rejection.
+    pub(crate) forced_corrupt: bool,
+    /// Fault plan reorder delay.
+    pub(crate) extra_delay: SimTime,
+}
+
+/// Walk one send through the fabric and produce its delivery event.
+/// This is the single definition of the fabric interaction — the serial
+/// engine calls it inline from [`Machine::inject`]; the parallel
+/// coordinator calls it between windows with the shards' drained
+/// intents in serial order. `telemetry` and `causal` are whichever
+/// sinks own the fabric-side records in that mode.
+pub(crate) fn apply_send(
+    fabric: &mut Fabric,
+    telemetry: &mut Telemetry,
+    causal: &mut CausalLog,
+    intent: SendIntent,
+) -> (SimTime, u64, Ev) {
+    let SendIntent {
+        inject_at,
+        dma_done,
+        msg,
+        forced_corrupt,
+        extra_delay,
+        delivery_key,
+        ..
+    } = intent;
+    let src = NodeId(msg.header.src.nid);
+    let dst = NodeId(msg.header.dst.nid);
+    let tag = msg.tag;
+    let wire_bytes = msg.wire_bytes();
+    causal.record_chain(TraceId(tag), CausalStage::TxInject, inject_at, src.0, 0);
+    let d = fabric.send_full(
+        inject_at, // the header packet leaves as soon as it is fetched
+        NetMessage {
+            src,
+            dst,
+            payload_bytes: wire_bytes,
+            tag,
+            body: msg,
+        },
+        telemetry,
+        causal,
+    );
+    let head_latency = d.header_at.saturating_sub(inject_at);
+    let complete_at = d.complete_at.max(dma_done + head_latency) + extra_delay;
+    (
+        d.header_at + extra_delay,
+        delivery_key,
+        Ev::NetHeader {
+            node: dst.0,
+            inflight: Box::new(InFlight {
+                msg: d.msg.body,
+                complete_at,
+                corrupted: d.corrupted || forced_corrupt,
+            }),
+        },
+    )
+}
+
 /// The machine model.
 pub struct Machine {
     /// Configuration.
     pub config: MachineConfig,
-    /// Nodes.
-    pub nodes: Vec<Node>,
-    /// The interconnect.
+    /// Nodes (the full machine, or this shard's slab of it).
+    pub nodes: Nodes,
+    /// The interconnect. On a partitioned shard this is a placeholder:
+    /// shards never walk the fabric — the coordinator owns the real one.
     pub fabric: Fabric,
     /// Trace buffer.
     pub trace: Trace,
@@ -186,11 +352,18 @@ pub struct Machine {
     /// the state fingerprint for the same reason: enabling it must not
     /// perturb replay digests (asserted by the replay-audit lockstep).
     causal: CausalLog,
-    running_apps: u32,
     spawned: Vec<(u32, u32)>,
     /// Reusable drain buffer for `on_host_interrupt` (the handler is never
     /// reentrant — it only runs from a dispatched `Ev::HostInterrupt`).
     scratch_events: Vec<(ProcIdx, FwEvent)>,
+    /// Serial inline fabric walks, or deferred send intents (one shard
+    /// of a partitioned run).
+    net: NetMode,
+    /// Scheduling key of the event currently being dispatched (recorded
+    /// into deferred send intents to order them across shards).
+    cur_key: u64,
+    /// Dispatch time of the event currently being dispatched.
+    cur_now: SimTime,
 }
 
 impl Machine {
@@ -199,9 +372,12 @@ impl Machine {
     pub fn new(config: MachineConfig, specs: &[NodeSpec]) -> Self {
         assert!(!specs.is_empty(), "at least one node spec required");
         let fabric = Fabric::new(config.dims, config.fabric);
-        let nodes = (0..config.dims.node_count())
-            .map(|i| Node::new(&config, NodeId(i), &specs[i as usize % specs.len()]))
-            .collect();
+        let nodes = Nodes {
+            base: 0,
+            inner: (0..config.dims.node_count())
+                .map(|i| Node::new(&config, NodeId(i), &specs[i as usize % specs.len()]))
+                .collect(),
+        };
         let trace = if config.trace {
             Trace::enabled(1 << 20)
         } else {
@@ -221,24 +397,42 @@ impl Machine {
             faults,
             telemetry,
             causal: CausalLog::disabled(),
-            running_apps: 0,
             spawned: Vec::new(),
             scratch_events: Vec::new(),
+            net: NetMode::Inline,
+            cur_key: 0,
+            cur_now: SimTime::ZERO,
         }
     }
 
     /// Install an app on `(node, pid)`; it activates at time zero.
     pub fn spawn(&mut self, node: u32, pid: u32, app: Box<dyn App>) {
-        let slot = &mut self.nodes[node as usize].procs[pid as usize].app;
+        let n = &mut self.nodes[node as usize];
+        let slot = &mut n.procs[pid as usize].app;
         assert!(slot.is_none(), "process {node}:{pid} already has an app");
         *slot = Some(app);
-        self.running_apps += 1;
+        n.running_apps += 1;
         self.spawned.push((node, pid));
     }
 
-    /// Number of apps still running.
+    /// Number of apps still running (on this machine's owned nodes).
     pub fn running_apps(&self) -> u32 {
-        self.running_apps
+        self.nodes.iter().map(|n| n.running_apps).sum()
+    }
+
+    /// Reserve the next scheduling key for an event owned by `node`.
+    ///
+    /// Keys are `(node << 32) | counter` with a per-node monotone
+    /// counter, so they are unique machine-wide and — because a node's
+    /// counter is only ever bumped while dispatching that node's own
+    /// events — identical between a serial run and any partitioning.
+    /// The queue orders equal-time events by key, making the dispatch
+    /// order a pure function of simulation state rather than of queue
+    /// insertion order.
+    fn next_key(&mut self, node: u32) -> u64 {
+        let n = &mut self.nodes[node as usize];
+        n.key_ctr += 1;
+        (u64::from(node) << 32) | n.key_ctr
     }
 
     /// Did any node panic on resource exhaustion?
@@ -391,24 +585,38 @@ impl Machine {
     pub fn into_engine(self) -> Engine<Machine> {
         let starts = self.spawned.clone();
         let heartbeat = self.config.ras_heartbeat;
-        let node_count = self.nodes.len() as u32;
+        let owned = self.nodes.ids();
         let fw_events = self.faults.plan().fw_events.clone();
         let mut engine = Engine::new(self).with_event_budget(2_000_000_000);
+        // Seed only events owned by this machine's node range (identity
+        // for a full machine; the filter matters for partitioned shards).
+        // Seeding order — app starts, then heartbeats, then planned
+        // firmware faults — fixes each node's key subsequence, and
+        // filtering by owner preserves per-node subsequences exactly, so
+        // a shard reserves the same keys the serial machine would.
         for (node, pid) in starts {
+            let key = engine.model_mut().next_key(node);
             engine
                 .queue_mut()
-                .schedule_at(SimTime::ZERO, Ev::AppStart { node, pid });
+                .schedule_keyed(SimTime::ZERO, key, Ev::AppStart { node, pid });
         }
         if let Some(interval) = heartbeat {
-            for node in 0..node_count {
+            for node in owned.clone() {
+                let node = node as u32;
+                let key = engine.model_mut().next_key(node);
                 engine
                     .queue_mut()
-                    .schedule_at(interval, Ev::RasHeartbeat { node });
+                    .schedule_keyed(interval, key, Ev::RasHeartbeat { node });
             }
         }
         for ev in fw_events {
-            engine.queue_mut().schedule_at(
+            if !owned.contains(&(ev.node as usize)) {
+                continue;
+            }
+            let key = engine.model_mut().next_key(ev.node);
+            engine.queue_mut().schedule_keyed(
                 ev.at,
+                key,
                 Ev::FaultAt {
                     node: ev.node,
                     kind: ev.kind,
@@ -635,7 +843,8 @@ impl Machine {
                             deliver += extra;
                         }
                     }
-                    q.schedule_at(deliver, Ev::HostInterrupt { node: node as u32 });
+                    let key = self.next_key(node as u32);
+                    q.schedule_keyed(deliver, key, Ev::HostInterrupt { node: node as u32 });
                 }
                 FwEffect::MatchOnNic { proc, pending } => {
                     self.nic_match(q, t, node, proc, pending);
@@ -703,7 +912,8 @@ impl Machine {
             node as u32,
             tele,
         );
-        q.schedule_at(dma_done, Ev::TxDmaDone { node: node as u32 });
+        let key = self.next_key(node as u32);
+        q.schedule_keyed(dma_done, key, Ev::TxDmaDone { node: node as u32 });
 
         let mut msg = WireMsg {
             header,
@@ -758,6 +968,15 @@ impl Machine {
         let src = NodeId(msg.header.src.nid);
         let dst = NodeId(msg.header.dst.nid);
         let tag = msg.tag;
+
+        // Reserve the delivery's scheduling key up front, from the
+        // *source* node's counter (every inject call site runs while
+        // dispatching an event the source owns; the destination may live
+        // on another shard). Unconditional — even a dropped message
+        // consumes its key — so counters advance identically whether or
+        // not the fault plan interferes, and identically in serial and
+        // partitioned runs.
+        let delivery_key = self.next_key(src.0);
 
         // Fault plan: decide this message's wire fate before it touches
         // the fabric (loopback never reaches the wire).
@@ -814,36 +1033,31 @@ impl Machine {
             }
         }
 
-        let wire_bytes = msg.wire_bytes();
-        // Recorded here rather than in `start_tx_dma` so go-back-n
-        // deferrals and retransmissions stamp the *actual* inject time.
-        self.causal
-            .record_chain(TraceId(tag), CausalStage::TxInject, inject_at, src.0, 0);
-        let d = self.fabric.send_full(
-            inject_at, // the header packet leaves as soon as it is fetched
-            NetMessage {
-                src,
-                dst,
-                payload_bytes: wire_bytes,
-                tag,
-                body: msg,
-            },
-            &mut self.telemetry,
-            &mut self.causal,
-        );
-        let head_latency = d.header_at.saturating_sub(inject_at);
-        let complete_at = d.complete_at.max(dma_done + head_latency) + extra_delay;
-        q.schedule_at(
-            d.header_at + extra_delay,
-            Ev::NetHeader {
-                node: dst.0,
-                inflight: Box::new(InFlight {
-                    msg: d.msg.body,
-                    complete_at,
-                    corrupted: d.corrupted || forced_corrupt,
-                }),
-            },
-        );
+        // The causal TxInject record lives in `apply_send` (rather than
+        // `start_tx_dma`) so go-back-n deferrals and retransmissions
+        // stamp the *actual* inject time.
+        let intent = SendIntent {
+            at: self.cur_now,
+            cur_key: self.cur_key,
+            delivery_key,
+            inject_at,
+            dma_done,
+            msg,
+            forced_corrupt,
+            extra_delay,
+        };
+        match &mut self.net {
+            NetMode::Inline => {
+                let (at, key, ev) = apply_send(
+                    &mut self.fabric,
+                    &mut self.telemetry,
+                    &mut self.causal,
+                    intent,
+                );
+                q.schedule_keyed(at, key, ev);
+            }
+            NetMode::Deferred(intents) => intents.push(intent),
+        }
     }
 
     fn start_rx_dma(
@@ -881,8 +1095,10 @@ impl Machine {
                 .rx_dma
                 .occupy_via(setup_done, ht_duration, len, chunks, node as u32, tele);
         let done = engine_done.max(ht_done).max(wire_complete) + cm.ht_write_latency;
-        q.schedule_at(
+        let key = self.next_key(node as u32);
+        q.schedule_keyed(
             done,
+            key,
             Ev::RxDepositDone {
                 node: node as u32,
                 fw_proc: proc,
@@ -923,8 +1139,10 @@ impl Machine {
                     // Suppressed duplicate: arm the retransmission timer
                     // (one per peer) so a dropped retransmission is
                     // eventually repaired.
-                    q.schedule_at(
+                    let key = self.next_key(node as u32);
+                    q.schedule_keyed(
                         t + GBN_TIMEOUT,
+                        key,
                         Ev::GbnTimeout {
                             node: node as u32,
                             peer: from_node,
@@ -1324,8 +1542,10 @@ impl Machine {
             .get(&peer)
             .map_or(0, |s| s.in_flight());
         if in_flight > 0 && self.nodes[node].gbn_timer_armed.insert(peer) {
-            q.schedule_at(
+            let key = self.next_key(node as u32);
+            q.schedule_keyed(
                 t + GBN_TIMEOUT,
+                key,
                 Ev::GbnTimeout {
                     node: node as u32,
                     peer,
@@ -1802,8 +2022,10 @@ impl Machine {
         t = self.charge_mailbox_stall(node, t, backlog);
         self.causal
             .record_chain(TraceId(tag), CausalStage::TxCmdPost, t, node as u32, 0);
-        q.schedule_at(
+        let key = self.next_key(node as u32);
+        q.schedule_keyed(
             t + cm.ht_write_latency,
+            key,
             Ev::FwCmd {
                 node: node as u32,
                 fw_proc,
@@ -1841,8 +2063,10 @@ impl Machine {
             self.telemetry.gauge(node as u32, "fw.mailbox_depth", depth);
         }
         let t = self.charge_mailbox_stall(node, t, backlog);
-        q.schedule_at(
+        let key = self.next_key(node as u32);
+        q.schedule_keyed(
             t + cm.ht_write_latency,
+            key,
             Ev::FwCmd {
                 node: node as u32,
                 fw_proc,
@@ -2166,9 +2390,11 @@ impl Machine {
             if ready {
                 proc.wake_scheduled = true;
                 // Wakes fire at the caller's current instant: take the
-                // queue's same-time FIFO fast path instead of the heap.
-                q.schedule_at_now(
+                // queue's same-time fast path instead of the heap.
+                let key = self.next_key(node as u32);
+                q.schedule_keyed_now(
                     now,
+                    key,
                     Ev::AppWake {
                         node: node as u32,
                         pid,
@@ -2274,14 +2500,16 @@ impl Machine {
         if finished {
             self.nodes[node].procs[pid as usize].finished = true;
             self.nodes[node].procs[pid as usize].wait = WaitState::Idle;
-            self.running_apps -= 1;
+            self.nodes[node].running_apps -= 1;
             return;
         }
         self.nodes[node].set_wait(pid, wait);
         match wait {
             WaitRequest::Timer(delay) => {
-                q.schedule_at(
+                let key = self.next_key(node as u32);
+                q.schedule_keyed(
                     end_time + delay,
+                    key,
                     Ev::AppWake {
                         node: node as u32,
                         pid,
@@ -2300,23 +2528,27 @@ impl Machine {
 impl Model for Machine {
     type Event = Ev;
 
+    fn dispatch_keyed(&mut self, now: SimTime, key: u64, event: Ev, q: &mut EventQueue<Ev>) {
+        // Record the dispatching event's (time, key) so deferred send
+        // intents can be globally ordered by the coordinator exactly as
+        // the serial engine's inline fabric walks interleave.
+        self.cur_key = key;
+        self.cur_now = now;
+        self.dispatch(now, event, q);
+    }
+
+    /// Digest lane = owning node, so a partitioned run's per-shard
+    /// digests cover disjoint lanes and merge into the serial digest.
+    fn lane(event: &Ev) -> u32 {
+        event.owner()
+    }
+
     fn dispatch(&mut self, now: SimTime, event: Ev, q: &mut EventQueue<Ev>) {
         // A node taken dark by an injected firmware fault serves nothing:
         // every event targeting it is discarded (except further fault
         // events). RAS isolates the node; the rest of the machine keeps
         // running — the paper's §4.3 goal of containing NIC faults.
-        let owner = match &event {
-            Ev::AppStart { node, .. }
-            | Ev::AppWake { node, .. }
-            | Ev::FwCmd { node, .. }
-            | Ev::TxDmaDone { node }
-            | Ev::NetHeader { node, .. }
-            | Ev::RxDepositDone { node, .. }
-            | Ev::HostInterrupt { node }
-            | Ev::RasHeartbeat { node }
-            | Ev::GbnTimeout { node, .. }
-            | Ev::FaultAt { node, .. } => *node,
-        };
+        let owner = event.owner();
         if self.nodes[owner as usize].dark && !matches!(event, Ev::FaultAt { .. }) {
             return;
         }
@@ -2364,9 +2596,13 @@ impl Model for Machine {
                     .ppc
                     .run_via(&cm, FwHandler::Completion, now, node, tele);
                 n.fw.ras_heartbeat();
-                if self.running_apps > 0 {
+                // Gated on the *node's* own apps (not the machine-wide
+                // count) so the decision is shard-local and identical
+                // under any partitioning.
+                if self.nodes[node as usize].running_apps > 0 {
                     if let Some(interval) = self.config.ras_heartbeat {
-                        q.schedule_at(now + interval, Ev::RasHeartbeat { node });
+                        let key = self.next_key(node);
+                        q.schedule_keyed(now + interval, key, Ev::RasHeartbeat { node });
                     }
                 }
             }
@@ -2464,6 +2700,136 @@ impl Model for Machine {
             d.write_u64(n.gbn_retransmissions());
         }
         d.value()
+    }
+}
+
+impl Machine {
+    /// Partition a freshly built (not yet run) machine into `shards`
+    /// contiguous node slabs for a parallel run. Returns the shard
+    /// machines plus the real fabric, which the *coordinator* owns: the
+    /// shards get placeholder fabrics they never touch (their sends are
+    /// deferred as [`SendIntent`]s and replayed by the coordinator in
+    /// serial order).
+    pub fn split(mut self, shards: usize) -> (Vec<Machine>, Fabric) {
+        assert!(shards > 0, "at least one shard");
+        assert!(
+            self.nodes.base == 0 && matches!(self.net, NetMode::Inline),
+            "only a full serial machine can be split"
+        );
+        assert!(
+            self.nodes.iter().all(|n| n.key_ctr == 0),
+            "split before running: key counters must be untouched"
+        );
+        let node_count = self.nodes.len();
+        let shards = shards.min(node_count);
+        let per = node_count.div_ceil(shards);
+        let fabric = std::mem::replace(
+            &mut self.fabric,
+            Fabric::new(Dims::mesh(1, 1, 1), self.config.fabric),
+        );
+        let causal_enabled = self.causal.is_enabled();
+        let mut slabs = self.nodes.inner;
+        let mut out = Vec::with_capacity(shards);
+        let mut base = 0usize;
+        while !slabs.is_empty() {
+            let take = per.min(slabs.len());
+            let rest = slabs.split_off(take);
+            let inner = std::mem::replace(&mut slabs, rest);
+            let range = base..base + take;
+            let spawned = self
+                .spawned
+                .iter()
+                .copied()
+                .filter(|(n, _)| range.contains(&(*n as usize)))
+                .collect();
+            out.push(Machine {
+                config: self.config.clone(),
+                nodes: Nodes { base, inner },
+                fabric: Fabric::new(Dims::mesh(1, 1, 1), self.config.fabric),
+                trace: if self.config.trace {
+                    Trace::enabled(1 << 20)
+                } else {
+                    Trace::disabled()
+                },
+                faults: FaultInjector::new(self.config.faults.clone()),
+                telemetry: if self.config.telemetry {
+                    Telemetry::enabled()
+                } else {
+                    Telemetry::disabled()
+                },
+                causal: if causal_enabled {
+                    CausalLog::enabled()
+                } else {
+                    CausalLog::disabled()
+                },
+                spawned,
+                scratch_events: Vec::new(),
+                net: NetMode::Deferred(Vec::new()),
+                cur_key: 0,
+                cur_now: SimTime::ZERO,
+            });
+            base += take;
+        }
+        (out, fabric)
+    }
+
+    /// Reassemble shard machines (after their engines drained) into one
+    /// machine equivalent to the serial run: nodes concatenated in slab
+    /// order, trace and fault lanes disjoint-merged, and the
+    /// coordinator's real `fabric` restored. Telemetry spans and the
+    /// causal DAG are observation-only and are not merged — the merged
+    /// machine gets fresh (empty) sinks; `telemetry_report` reads node
+    /// hardware counters and fabric links, so it is unaffected.
+    pub fn merge(shards: Vec<Machine>, fabric: Fabric) -> Machine {
+        let mut shards = shards.into_iter();
+        let mut m = shards.next().expect("at least one shard");
+        assert!(m.nodes.base == 0, "shards must be merged in slab order");
+        m.fabric = fabric;
+        let mut trace = if m.config.trace {
+            Trace::enabled(1 << 20)
+        } else {
+            Trace::disabled()
+        };
+        trace.merge_from(&m.trace);
+        let mut faults = FaultInjector::new(m.config.faults.clone());
+        faults.merge_from(&m.faults);
+        for s in shards {
+            assert_eq!(
+                s.nodes.base,
+                m.nodes.base + m.nodes.inner.len(),
+                "shards must be merged in slab order"
+            );
+            m.nodes.inner.extend(s.nodes.inner);
+            m.spawned.extend(s.spawned);
+            trace.merge_from(&s.trace);
+            faults.merge_from(&s.faults);
+        }
+        m.trace = trace;
+        m.faults = faults;
+        m.telemetry = if m.config.telemetry {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let causal_enabled = m.causal.is_enabled();
+        m.causal = if causal_enabled {
+            CausalLog::enabled()
+        } else {
+            CausalLog::disabled()
+        };
+        m.net = NetMode::Inline;
+        m
+    }
+}
+
+impl Partitioned for Machine {
+    type Intent = SendIntent;
+
+    fn drain_intents(&mut self) -> Vec<SendIntent> {
+        match &mut self.net {
+            NetMode::Inline => Vec::new(),
+            NetMode::Deferred(intents) => std::mem::take(intents),
+        }
     }
 }
 

@@ -183,6 +183,15 @@ pub struct Node {
     /// the node without aborting the rest of the machine.
     pub dark: bool,
     pub(crate) next_tag: u64,
+    /// Monotone scheduling-key counter: every event this node schedules
+    /// gets key `(id << 32) | counter`, making queue tie-breaks a pure
+    /// function of per-node state — the property that lets a spatial
+    /// partition reproduce the serial dispatch order exactly.
+    pub(crate) key_ctr: u64,
+    /// Apps still running on this node (the RAS heartbeat gate; kept
+    /// per-node so a partitioned shard never needs machine-global
+    /// state).
+    pub(crate) running_apps: u32,
 }
 
 impl Node {
@@ -292,6 +301,8 @@ impl Node {
             panicked: false,
             dark: false,
             next_tag: (id.0 as u64) << 40,
+            key_ctr: 0,
+            running_apps: 0,
         }
     }
 

@@ -1,0 +1,142 @@
+//! Parallel machine runs: spatial partitioning over the conservative
+//! time-window driver in `xt3_sim::par`.
+//!
+//! This module contains no threading — it only prepares shards and
+//! routes their deferred sends; all synchronization lives in
+//! [`xt3_sim::WindowDriver`]. The contract is *bit-identical* results:
+//! for any worker count, a parallel run produces the same event digest,
+//! state fingerprint and telemetry report as the serial engine.
+//!
+//! # How the pieces line up
+//!
+//! * The machine is split into contiguous node slabs
+//!   ([`Machine::split`]); each slab runs an ordinary serial engine on
+//!   a worker thread.
+//! * The window lookahead is the fabric's minimum cross-node latency
+//!   ([`xt3_topology::fabric::FabricConfig::min_lookahead`]), so events
+//!   inside one window are causally independent across shards.
+//! * Shards never touch the shared fabric: their sends buffer as
+//!   [`SendIntent`]s, which the coordinator replays between windows in
+//!   serial dispatch order — a stable sort on the sending event's
+//!   `(time, key)`. Windows are disjoint and ascending, so the fabric
+//!   (link cursors, RNG, counters) evolves exactly as in a serial run.
+//! * Every event carries a scheduling key derived from per-node monotone
+//!   counters, so equal-time dispatch order is a function of simulation
+//!   state, not queue insertion order, and per-node digest lanes merge
+//!   into the serial digest.
+
+use crate::machine::{apply_send, Ev, Machine, SendIntent};
+use xt3_sim::{
+    fold_digest_lanes, merge_digest_lanes, CausalLog, Model, ParConfig, ParOutcome, RunOutcome,
+    SimTime, WindowDriver,
+};
+use xt3_telemetry::Telemetry;
+
+/// Everything a parallel run produces.
+pub struct ParRun {
+    /// The reassembled machine (nodes, trace, fault lanes, real fabric)
+    /// — equivalent to the serial machine after the same run.
+    pub machine: Machine,
+    /// Event digest, bit-identical to the serial engine's
+    /// [`xt3_sim::Engine::digest`].
+    pub digest: u64,
+    /// Model state fingerprint, bit-identical to the serial engine's.
+    pub state_fingerprint: u64,
+    /// Maximum simulated time reached.
+    pub now: SimTime,
+    /// Events dispatched across all shards.
+    pub dispatched: u64,
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+    /// Synchronization windows executed.
+    pub rounds: u64,
+}
+
+/// Run a freshly built machine to completion on `workers` shards.
+///
+/// `workers` is clamped to the node count; `run_parallel(m, 1)` is the
+/// degenerate single-shard case (still exercising the full deferred-send
+/// protocol). Panics if the machine was already run.
+pub fn run_parallel(machine: Machine, workers: usize) -> ParRun {
+    let node_count = machine.nodes.len();
+    let shards = workers.max(1).min(node_count);
+    let per = node_count.div_ceil(shards);
+    let lookahead = machine.config.fabric.min_lookahead();
+    let telemetry_on = machine.config.telemetry;
+    let causal_on = machine.causal().is_enabled();
+
+    let (shard_machines, mut fabric) = machine.split(shards);
+    let engines = shard_machines
+        .into_iter()
+        .map(Machine::into_engine)
+        .collect();
+    let driver = WindowDriver::new(
+        engines,
+        ParConfig {
+            lookahead,
+            // Mirror the serial engine's budget (see
+            // `Machine::into_engine`) so exhaustion behaves the same.
+            event_budget: 2_000_000_000,
+        },
+    );
+
+    // The coordinator owns the real fabric plus observation-only sinks
+    // for the fabric-side records (link spans, hop traces). Those sinks
+    // are not merged back — like the shard-side span logs, they observe
+    // and never feed back, so digests and reports are unaffected.
+    let mut tele = if telemetry_on {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let mut causal = if causal_on {
+        CausalLog::enabled()
+    } else {
+        CausalLog::disabled()
+    };
+    let route = |by_shard: Vec<Vec<SendIntent>>| {
+        let mut all: Vec<SendIntent> = by_shard.into_iter().flatten().collect();
+        // Serial dispatch order: the engine dispatches events in
+        // ascending (time, key), and within one dispatch sends are
+        // generated in program order — which the per-shard intent lists
+        // preserve and the stable sort keeps.
+        all.sort_by_key(|a| (a.at, a.cur_key));
+        all.into_iter()
+            .map(|intent| {
+                let (at, key, event) = apply_send(&mut fabric, &mut tele, &mut causal, intent);
+                let Ev::NetHeader { node, .. } = &event else {
+                    unreachable!("apply_send only produces deliveries");
+                };
+                xt3_sim::Delivery {
+                    shard: *node as usize / per,
+                    at,
+                    key,
+                    event,
+                }
+            })
+            .collect()
+    };
+
+    let (engines, out) = driver.run(route);
+    let ParOutcome {
+        outcome,
+        now,
+        dispatched,
+        rounds,
+    } = out;
+
+    let lanes: Vec<&[_]> = engines.iter().map(|e| e.digest_lanes()).collect();
+    let digest = fold_digest_lanes(&merge_digest_lanes(&lanes));
+    let shards: Vec<Machine> = engines.into_iter().map(|e| e.into_model()).collect();
+    let machine = Machine::merge(shards, fabric);
+    let state_fingerprint = machine.state_fingerprint();
+    ParRun {
+        machine,
+        digest,
+        state_fingerprint,
+        now,
+        dispatched,
+        outcome,
+        rounds,
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared large-scale workloads.
+//!
+//! The Red Storm nearest-neighbor workload lives here (rather than in an
+//! example or the bench crate) because three consumers need the *same*
+//! machine construction: the `red_storm_scale` example, the
+//! serial/parallel differential suite, and the `perf_parallel`
+//! benchmark. Identical construction is what makes the differential
+//! suite's bit-identity assertion meaningful.
+
+use crate::app::{App, AppCtx, AppEvent};
+use crate::config::{MachineConfig, NodeSpec, OsKind, ProcSpec};
+use crate::machine::Machine;
+use std::any::Any;
+use xt3_portals::event::EventKind;
+use xt3_portals::md::{MdOptions, Threshold};
+use xt3_portals::me::{InsertPos, UnlinkOp};
+use xt3_portals::types::{AckReq, EqHandle, ProcessId};
+use xt3_topology::coord::Dims;
+
+/// Portal table index the workload posts on.
+pub const RED_STORM_PT: u32 = 4;
+/// Match bits.
+pub const RED_STORM_BITS: u64 = 0x5CA1E;
+
+/// Every node sends `rounds` puts to its successor in node-id order
+/// (with wraparound) and absorbs the same from its predecessor, so all
+/// nodes and links carry traffic at once.
+pub struct NeighborPusher {
+    me: u32,
+    n: u32,
+    rounds: u32,
+    msg: u64,
+    eq: Option<EqHandle>,
+    sent: u32,
+    received: u32,
+}
+
+impl NeighborPusher {
+    /// Pusher for node `me` of `n`, sending `rounds` puts of `msg` bytes.
+    pub fn new(me: u32, n: u32, rounds: u32, msg: u64) -> Self {
+        NeighborPusher {
+            me,
+            n,
+            rounds,
+            msg,
+            eq: None,
+            sent: 0,
+            received: 0,
+        }
+    }
+}
+
+impl App for NeighborPusher {
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        match event {
+            AppEvent::Started => {
+                let eq = ctx.eq_alloc(128).unwrap();
+                self.eq = Some(eq);
+                let me = ctx
+                    .me_attach(
+                        RED_STORM_PT,
+                        ProcessId::any(),
+                        RED_STORM_BITS,
+                        0,
+                        UnlinkOp::Retain,
+                        InsertPos::After,
+                    )
+                    .unwrap();
+                ctx.md_attach(
+                    me,
+                    self.msg,
+                    self.msg,
+                    MdOptions {
+                        manage_remote: true,
+                        event_start_disable: true,
+                        ..MdOptions::put_target()
+                    },
+                    Threshold::Infinite,
+                    Some(eq),
+                    0,
+                )
+                .unwrap();
+                let md = ctx
+                    .md_bind(
+                        0,
+                        self.msg,
+                        MdOptions::default(),
+                        Threshold::Infinite,
+                        Some(eq),
+                        1,
+                    )
+                    .unwrap();
+                let target = ProcessId::new((self.me + 1) % self.n, 0);
+                ctx.put(
+                    md,
+                    AckReq::NoAck,
+                    target,
+                    RED_STORM_PT,
+                    0,
+                    RED_STORM_BITS,
+                    0,
+                    0,
+                )
+                .unwrap();
+                self.sent = 1;
+                ctx.wait_eq(eq);
+            }
+            AppEvent::Ptl(ev) => {
+                match (ev.user_ptr, ev.kind) {
+                    (1, EventKind::SendEnd) if self.sent < self.rounds => {
+                        let target = ProcessId::new((self.me + 1) % self.n, 0);
+                        ctx.put(
+                            ev.md,
+                            AckReq::NoAck,
+                            target,
+                            RED_STORM_PT,
+                            0,
+                            RED_STORM_BITS,
+                            0,
+                            0,
+                        )
+                        .unwrap();
+                        self.sent += 1;
+                    }
+                    (0, EventKind::PutEnd) => {
+                        self.received += 1;
+                    }
+                    _ => {}
+                }
+                if self.sent >= self.rounds && self.received >= self.rounds {
+                    ctx.finish();
+                } else {
+                    ctx.wait_eq(self.eq.unwrap());
+                }
+            }
+            _ => ctx.wait_eq(self.eq.unwrap()),
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Build the Red Storm nearest-neighbor machine: `dims` Catamount nodes,
+/// one [`NeighborPusher`] per node sending `rounds` puts of `msg` bytes.
+pub fn red_storm_machine(dims: Dims, rounds: u32, msg: u64) -> Machine {
+    let n = dims.node_count();
+    let config = MachineConfig::paper(dims);
+    let spec = NodeSpec {
+        os: OsKind::Catamount,
+        procs: vec![ProcSpec {
+            mem_bytes: (2 * msg + 8192) as usize,
+            ..ProcSpec::catamount_generic()
+        }],
+    };
+    let mut m = Machine::new(config, &[spec]);
+    for node in 0..n {
+        m.spawn(node, 0, Box::new(NeighborPusher::new(node, n, rounds, msg)));
+    }
+    m
+}

@@ -1,159 +1,114 @@
-//! Red Storm at scale: a 216-node (6x6x6, torus in z) slice of the
-//! machine the paper measured on, running simultaneous nearest-neighbor
-//! put traffic on every node.
+//! Red Storm at scale: a configurable slice of the machine the paper
+//! measured on, running simultaneous nearest-neighbor put traffic on
+//! every node — serially or on the partitioned parallel engine.
 //!
 //! Demonstrates that the simulation holds up beyond benchmark pairs: all
-//! 216 firmware instances, routers and hosts progress together, and the
+//! firmware instances, routers and hosts progress together, and the
 //! printed statistics show the §1 requirements story at machine scale
 //! (per-node injection vs. the 1.5 GB/s target, interior link
-//! utilization, machine diameter in hops).
+//! utilization, machine diameter in hops). With `--workers N > 1` the
+//! run goes through the conservative time-window parallel driver, whose
+//! results are bit-identical to the serial engine (enforced by
+//! `tests/parallel_differential.rs`).
 //!
-//! Run: `cargo run --release --example red_storm_scale`
+//! Run: `cargo run --release --example red_storm_scale -- [--dims X Y Z] [--workers N] [--rounds R]`
+//!
+//! Defaults: 6x6x6 (216 nodes, torus in z), serial, 8 rounds of 64 KiB.
 
-use portals_xt3::portals::event::EventKind;
-use portals_xt3::portals::md::{MdOptions, Threshold};
-use portals_xt3::portals::me::{InsertPos, UnlinkOp};
-use portals_xt3::portals::types::{AckReq, EqHandle, ProcessId};
 use portals_xt3::topology::coord::Dims;
-use portals_xt3::xt3::config::{MachineConfig, NodeSpec, OsKind, ProcSpec};
-use portals_xt3::xt3::{App, AppCtx, AppEvent, Machine};
-use std::any::Any;
+use portals_xt3::xt3::par::run_parallel;
+use portals_xt3::xt3::workloads::red_storm_machine;
 
-const PT: u32 = 4;
-const BITS: u64 = 0x5CA1E;
 const MSG: u64 = 64 * 1024;
-const ROUNDS: u32 = 8;
 
-/// Every node sends `ROUNDS` puts to its +x neighbor and absorbs the same
-/// from its -x neighbor (with wraparound in the ring ordering of node
-/// ids), so all links see traffic at once.
-struct NeighborPusher {
-    me: u32,
-    n: u32,
-    eq: Option<EqHandle>,
-    sent: u32,
-    received: u32,
+struct Args {
+    dims: Dims,
+    workers: usize,
+    rounds: u32,
 }
 
-impl App for NeighborPusher {
-    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
-        match event {
-            AppEvent::Started => {
-                let eq = ctx.eq_alloc(128).unwrap();
-                self.eq = Some(eq);
-                let me = ctx
-                    .me_attach(
-                        PT,
-                        ProcessId::any(),
-                        BITS,
-                        0,
-                        UnlinkOp::Retain,
-                        InsertPos::After,
-                    )
-                    .unwrap();
-                ctx.md_attach(
-                    me,
-                    MSG,
-                    MSG,
-                    MdOptions {
-                        manage_remote: true,
-                        event_start_disable: true,
-                        ..MdOptions::put_target()
-                    },
-                    Threshold::Infinite,
-                    Some(eq),
-                    0,
-                )
-                .unwrap();
-                let md = ctx
-                    .md_bind(
-                        0,
-                        MSG,
-                        MdOptions::default(),
-                        Threshold::Infinite,
-                        Some(eq),
-                        1,
-                    )
-                    .unwrap();
-                let target = ProcessId::new((self.me + 1) % self.n, 0);
-                ctx.put(md, AckReq::NoAck, target, PT, 0, BITS, 0, 0)
-                    .unwrap();
-                self.sent = 1;
-                ctx.wait_eq(eq);
-            }
-            AppEvent::Ptl(ev) => {
-                match (ev.user_ptr, ev.kind) {
-                    (1, EventKind::SendEnd) if self.sent < ROUNDS => {
-                        let target = ProcessId::new((self.me + 1) % self.n, 0);
-                        ctx.put(ev.md, AckReq::NoAck, target, PT, 0, BITS, 0, 0)
-                            .unwrap();
-                        self.sent += 1;
-                    }
-                    (0, EventKind::PutEnd) => {
-                        self.received += 1;
-                    }
-                    _ => {}
+fn parse_args() -> Args {
+    let mut args = Args {
+        dims: Dims::red_storm(6, 6, 6),
+        workers: 1,
+        rounds: 8,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let usage = "usage: red_storm_scale [--dims X Y Z] [--workers N] [--rounds R]";
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dims" => {
+                let (x, y, z) = (
+                    argv.get(i + 1).and_then(|s| s.parse().ok()),
+                    argv.get(i + 2).and_then(|s| s.parse().ok()),
+                    argv.get(i + 3).and_then(|s| s.parse().ok()),
+                );
+                match (x, y, z) {
+                    (Some(x), Some(y), Some(z)) => args.dims = Dims::red_storm(x, y, z),
+                    _ => panic!("--dims needs three integers; {usage}"),
                 }
-                if self.sent >= ROUNDS && self.received >= ROUNDS {
-                    ctx.finish();
-                } else {
-                    ctx.wait_eq(self.eq.unwrap());
-                }
+                i += 4;
             }
-            _ => ctx.wait_eq(self.eq.unwrap()),
+            "--workers" => {
+                args.workers = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--workers needs an integer; {usage}"));
+                i += 2;
+            }
+            "--rounds" => {
+                args.rounds = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--rounds needs an integer; {usage}"));
+                i += 2;
+            }
+            other => panic!("unknown argument {other}; {usage}"),
         }
     }
-
-    fn as_any(&mut self) -> &mut dyn Any {
-        self
-    }
+    args
 }
 
 fn main() {
-    let dims = Dims::red_storm(6, 6, 6);
+    let Args {
+        dims,
+        workers,
+        rounds,
+    } = parse_args();
     let n = dims.node_count();
-    let config = MachineConfig::paper(dims);
-    let spec = NodeSpec {
-        os: OsKind::Catamount,
-        procs: vec![ProcSpec {
-            mem_bytes: (2 * MSG + 8192) as usize,
-            ..ProcSpec::catamount_generic()
-        }],
-    };
     println!(
-        "building {n}-node Red Storm slice ({}x{}x{}, torus in z)...",
-        dims.nx, dims.ny, dims.nz
+        "building {n}-node Red Storm slice ({}x{}x{}, torus in z), {rounds} rounds of {} KiB, {workers} worker(s)...",
+        dims.nx,
+        dims.ny,
+        dims.nz,
+        MSG / 1024
     );
-    let mut m = Machine::new(config, &[spec]);
-    for node in 0..n {
-        m.spawn(
-            node,
-            0,
-            Box::new(NeighborPusher {
-                me: node,
-                n,
-                eq: None,
-                sent: 0,
-                received: 0,
-            }),
-        );
-    }
+    let m = red_storm_machine(dims, rounds, MSG);
 
     let start = std::time::Instant::now();
-    let mut engine = m.into_engine();
-    engine.run();
-    let sim_time = engine.now();
-    let events = engine.dispatched();
-    let m = engine.into_model();
+    let (m, sim_time, events) = if workers > 1 {
+        let run = run_parallel(m, workers);
+        println!(
+            "parallel run: {} synchronization windows across {workers} shards",
+            run.rounds
+        );
+        (run.machine, run.now, run.dispatched)
+    } else {
+        let mut engine = m.into_engine();
+        engine.run();
+        let (now, events) = (engine.now(), engine.dispatched());
+        (engine.into_model(), now, events)
+    };
+    let wall = start.elapsed();
 
     assert_eq!(m.running_apps(), 0, "all {n} nodes complete");
     assert!(!m.any_panicked());
 
     let total_bytes = m.fabric.bytes_sent();
-    let wall = start.elapsed();
     println!(
         "{} puts of {} KB delivered on {} nodes in {sim_time} simulated",
-        n * ROUNDS,
+        n * rounds,
         MSG / 1024,
         n
     );

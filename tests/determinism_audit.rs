@@ -26,6 +26,23 @@ fn replay_scenarios_never_diverge() {
     }
 }
 
+/// Every replay scenario, re-run on the parallel window driver: the
+/// partitioned run — with fault injection, telemetry *and* causal
+/// tracing enabled on the parallel side — must reproduce the serial
+/// digest, state fingerprint, clock and dispatch count. This folds the
+/// serial/parallel equivalence into the same tier-1 audit that guards
+/// serial replay determinism.
+#[test]
+fn replay_scenarios_match_under_parallelism() {
+    for scenario in replay::all_scenarios() {
+        for workers in [2, 3] {
+            scenario
+                .check_parallel(workers)
+                .unwrap_or_else(|d| panic!("{d}"));
+        }
+    }
+}
+
 /// Same seed ⇒ same digest and same event count (run separately, not in
 /// lockstep, so this also covers the "two independent processes" shape).
 #[test]

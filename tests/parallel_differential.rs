@@ -1,0 +1,127 @@
+//! Serial/parallel differential suite.
+//!
+//! The parallel engine's contract is *bit-identity*: for any worker
+//! count, a partitioned run must produce the same event digest, the same
+//! model state fingerprint (trace digest + fault decisions + per-node
+//! health counters) and the same telemetry-report JSON as the serial
+//! engine. This suite enforces that over every NetPIPE scenario in
+//! `scenario_matrix()` plus the Red Storm nearest-neighbor workload, at
+//! worker counts {1, 2, 3, 8} (clamped to the node count — the NetPIPE
+//! pairs degenerate to 2 shards, which still exercises the full
+//! deferred-send window protocol; Red Storm exercises real fan-out).
+
+use xt3_netpipe::runner::{build_machine, scenario_matrix, scenario_name, NetpipeConfig};
+use xt3_node::par::run_parallel;
+use xt3_node::workloads::red_storm_machine;
+use xt3_node::Machine;
+use xt3_sim::{RunOutcome, SimTime};
+use xt3_topology::coord::Dims;
+
+const WORKERS: [usize; 4] = [1, 2, 3, 8];
+
+struct SerialRef {
+    digest: u64,
+    fingerprint: u64,
+    dispatched: u64,
+    now: SimTime,
+    telemetry: String,
+}
+
+fn serial_reference(machine: Machine, label: &str) -> SerialRef {
+    let mut engine = machine.into_engine();
+    let outcome = engine.run();
+    assert_eq!(outcome, RunOutcome::Drained, "{label}: serial must drain");
+    let digest = engine.digest();
+    let fingerprint = engine.state_fingerprint();
+    let dispatched = engine.dispatched();
+    let now = engine.now();
+    let m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "{label}: serial apps must finish");
+    let telemetry = m.telemetry_report(label, now).to_json();
+    SerialRef {
+        digest,
+        fingerprint,
+        dispatched,
+        now,
+        telemetry,
+    }
+}
+
+fn assert_parallel_matches(build: impl Fn() -> Machine, label: &str) {
+    let reference = serial_reference(build(), label);
+    for workers in WORKERS {
+        let run = run_parallel(build(), workers);
+        assert_eq!(
+            run.outcome,
+            RunOutcome::Drained,
+            "{label}@{workers}: parallel must drain"
+        );
+        assert_eq!(
+            run.digest, reference.digest,
+            "{label}@{workers}: event digest diverged"
+        );
+        assert_eq!(
+            run.state_fingerprint, reference.fingerprint,
+            "{label}@{workers}: state fingerprint diverged"
+        );
+        assert_eq!(
+            run.dispatched, reference.dispatched,
+            "{label}@{workers}: dispatch count diverged"
+        );
+        assert_eq!(
+            run.now, reference.now,
+            "{label}@{workers}: final time diverged"
+        );
+        assert_eq!(
+            run.machine.running_apps(),
+            0,
+            "{label}@{workers}: parallel apps must finish"
+        );
+        let telemetry = run.machine.telemetry_report(label, run.now).to_json();
+        assert_eq!(
+            telemetry, reference.telemetry,
+            "{label}@{workers}: telemetry report diverged"
+        );
+    }
+}
+
+/// Every NetPIPE scenario (4 transports x 3 kinds), serial vs parallel.
+#[test]
+fn netpipe_scenarios_bit_identical_under_parallelism() {
+    let config = NetpipeConfig::quick(4096).with_telemetry();
+    for (transport, kind) in scenario_matrix() {
+        let label = scenario_name(transport, kind);
+        assert_parallel_matches(|| build_machine(&config, transport, kind), &label);
+    }
+}
+
+/// The Red Storm nearest-neighbor workload at a multi-shard node count.
+#[test]
+fn red_storm_bit_identical_under_parallelism() {
+    // 4x3x2 = 24 nodes: every tested worker count gets distinct slabs.
+    let dims = Dims::red_storm(4, 3, 2);
+    assert_parallel_matches(|| red_storm_machine(dims, 2, 4 * 1024), "red-storm-4x3x2");
+}
+
+/// Fault injection (drops, corruption, reorders, go-back-n recovery)
+/// stays bit-identical under parallelism: packet fates are hash-derived
+/// from message identity, not draw order.
+#[test]
+fn faulty_wire_bit_identical_under_parallelism() {
+    let config = NetpipeConfig::quick(2048)
+        .with_telemetry()
+        .with_faults(xt3_sim::FaultPlan::wire(0xFA17_5EED, 0.08));
+    for (transport, kind) in [
+        (
+            xt3_netpipe::runner::Transport::Put,
+            xt3_netpipe::runner::TestKind::Stream,
+        ),
+        (
+            xt3_netpipe::runner::Transport::Mpich2,
+            xt3_netpipe::runner::TestKind::PingPong,
+        ),
+    ] {
+        let label = format!("faulty-{}", scenario_name(transport, kind));
+        assert_parallel_matches(|| build_machine(&config, transport, kind), &label);
+    }
+}
