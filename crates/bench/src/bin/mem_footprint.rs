@@ -1,0 +1,211 @@
+//! Heap footprint of the machine model at Red Storm scale, measured
+//! from allocator statistics: a counting `#[global_allocator]` wraps
+//! the system allocator and tracks live and peak heap bytes, so the
+//! numbers are exact (not RSS, which rounds to pages and includes the
+//! binary).
+//!
+//! For each slice size the bench records the heap needed to *construct*
+//! the machine and the peak while *running* one neighbor-push round,
+//! both as absolute bytes and bytes per node. The full 10,368-node
+//! machine (27x16x24) is the headline row: the demand-allocation work
+//! (lazy pending pools, on-demand routing, write-materialized address
+//! spaces) is accountable to keeping it far under the 4 GB line.
+//!
+//! ```text
+//! cargo run --release -p xt3-bench --bin mem_footprint -- [--dims X Y Z] [--out PATH]
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use xt3_node::workloads::red_storm_machine;
+use xt3_sim::RunOutcome;
+use xt3_topology::coord::Dims;
+
+/// Live heap bytes right now.
+static LIVE: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`LIVE`] (reset between measurements).
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that keeps the live/peak counters. SeqCst
+/// throughout: this is measurement plumbing, not a hot path worth
+/// weaker-ordering subtleties.
+struct CountingAlloc;
+
+fn count_alloc(bytes: u64) {
+    let live = LIVE.fetch_add(bytes, Ordering::SeqCst) + bytes;
+    PEAK.fetch_max(live, Ordering::SeqCst);
+}
+
+// The one sanctioned unsafe block in the tree (see crates/bench's lint
+// table): GlobalAlloc is an unsafe trait, and every body only forwards
+// to the system allocator plus counter updates.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            count_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size() as u64, Ordering::SeqCst);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE.fetch_sub(layout.size() as u64, Ordering::SeqCst);
+            count_alloc(new_size as u64);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// One slice's measurement.
+struct Row {
+    dims: Dims,
+    nodes: usize,
+    built_bytes: u64,
+    peak_bytes: u64,
+    events: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mem_footprint [--dims X Y Z] [--out PATH]\n\
+         \n\
+         --dims X Y Z      measure a single slice instead of the default\n\
+         \x20                 512 / 2,048 / 10,368-node sweep\n\
+         --out PATH        JSON output path (default BENCH_mem.json)"
+    );
+    std::process::exit(2)
+}
+
+fn measure(dims: Dims) -> Row {
+    let nodes = dims.node_count() as usize;
+    let rounds = 1;
+    let msg: u64 = 16 * 1024;
+
+    let floor = LIVE.load(Ordering::SeqCst);
+    PEAK.store(floor, Ordering::SeqCst);
+
+    let machine = red_storm_machine(dims, rounds, msg);
+    let built = LIVE.load(Ordering::SeqCst).saturating_sub(floor);
+
+    let mut engine = machine.into_engine();
+    let outcome = engine.run();
+    assert_eq!(outcome, RunOutcome::Drained, "scale run must drain");
+    assert_eq!(
+        engine.model().running_apps(),
+        0,
+        "every app must finish its round"
+    );
+    let peak = PEAK.load(Ordering::SeqCst).saturating_sub(floor);
+    let events = engine.dispatched();
+    drop(engine);
+
+    Row {
+        dims,
+        nodes,
+        built_bytes: built,
+        peak_bytes: peak,
+        events,
+    }
+}
+
+fn main() {
+    let mut sizes = vec![
+        Dims::red_storm(8, 8, 8),
+        Dims::red_storm(16, 16, 8),
+        Dims::red_storm(27, 16, 24),
+    ];
+    let mut out = String::from("BENCH_mem.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dims" => {
+                let mut next = || args.next().and_then(|v| v.parse::<u16>().ok());
+                match (next(), next(), next()) {
+                    (Some(x), Some(y), Some(z)) => sizes = vec![Dims::red_storm(x, y, z)],
+                    _ => usage(),
+                }
+            }
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+
+    println!("mem footprint: heap bytes per node, 1 neighbor-push round of 16 KiB\n");
+    println!(
+        "{:<10} {:>8} {:>14} {:>14} {:>12} {:>12} {:>10}",
+        "dims", "nodes", "built bytes", "peak bytes", "built/node", "peak/node", "events"
+    );
+
+    let rows: Vec<Row> = sizes.into_iter().map(measure).collect();
+    for r in &rows {
+        println!(
+            "{:<10} {:>8} {:>14} {:>14} {:>12} {:>12} {:>10}",
+            format!("{}x{}x{}", r.dims.nx, r.dims.ny, r.dims.nz),
+            r.nodes,
+            r.built_bytes,
+            r.peak_bytes,
+            r.built_bytes / r.nodes as u64,
+            r.peak_bytes / r.nodes as u64,
+            r.events
+        );
+    }
+
+    let headline = rows.last().expect("at least one size");
+    println!(
+        "\nlargest slice peaks at {:.1} MB heap ({} bytes/node) — budget 4 GB",
+        headline.peak_bytes as f64 / 1e6,
+        headline.peak_bytes / headline.nodes as u64
+    );
+
+    let json = render_json(&rows);
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+/// Hand-rolled JSON (the workspace's serde is an offline no-op stub).
+fn render_json(rows: &[Row]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"mem-bytes-per-node\",");
+    let _ = writeln!(s, "  \"rounds\": 1,");
+    let _ = writeln!(s, "  \"msg_bytes\": 16384,");
+    s.push_str("  \"sizes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"dims\": [{}, {}, {}], \"nodes\": {}, \"built_bytes\": {}, \"peak_bytes\": {}, \"built_bytes_per_node\": {}, \"peak_bytes_per_node\": {}, \"events\": {}}}{comma}",
+            r.dims.nx,
+            r.dims.ny,
+            r.dims.nz,
+            r.nodes,
+            r.built_bytes,
+            r.peak_bytes,
+            r.built_bytes / r.nodes as u64,
+            r.peak_bytes / r.nodes as u64,
+            r.events
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -8,11 +8,18 @@
 //! divergent run would be meaningless.
 //!
 //! The JSON carries a `cores` field: wall-clock speedup is bounded by
-//! the host's physical parallelism, and CI containers are often pinned
-//! to a single core, where the worker sweep measures coordination
-//! overhead rather than speedup. The honest headline number is
-//! `aggregate_events_per_sec` — the best throughput observed across the
-//! sweep, serial included.
+//! the host's physical parallelism. On single-core hosts (CI containers
+//! pinned to one CPU) the driver runs shards inline on the coordinator
+//! thread, where the win comes from smaller per-shard event heaps and
+//! batched fabric replay rather than concurrency — real, and much
+//! smaller than what multiple cores would add. The headline numbers are
+//! `aggregate_events_per_sec` (best throughput across the sweep, serial
+//! included) and `best_parallel_speedup` (best ≥2-worker wall-clock
+//! ratio vs serial).
+//!
+//! Timing is symmetric: the serial region covers run + digest + state
+//! fingerprint, matching the parallel region (which additionally pays
+//! its own split/merge — a parallel-only cost it must absorb).
 //!
 //! ```text
 //! cargo run --release -p xt3-bench --bin perf_parallel -- [--quick] [--out PATH] [--check PATH]
@@ -40,22 +47,23 @@ fn usage() -> ! {
     eprintln!(
         "usage: perf_parallel [--quick] [--reps N] [--dims X Y Z] [--rounds R] [--out PATH]\n\
          \n\
-         --quick           6x6x6 slice, 1 round, 2 reps (CI smoke configuration)\n\
-         --reps N          timing repetitions per sweep point, best-of (default 3)\n\
-         --dims X Y Z      Red Storm slice dimensions (default 6 6 6)\n\
-         --rounds R        neighbor-push rounds per node (default 2)\n\
+         --quick           8x8x8 slice, 1 round, 2 reps (CI smoke configuration)\n\
+         --reps N          timing repetitions per sweep point, best-of (default 5)\n\
+         --dims X Y Z      Red Storm slice dimensions (default 27 16 24, the full machine)\n\
+         --rounds R        neighbor-push rounds per node (default 1)\n\
          --out PATH        JSON output path (default BENCH_parallel.json)\n\
-         --check PATH      compare against a committed baseline JSON and fail\n\
-         \x20                 if aggregate events/sec fall below 25% of it"
+         --check PATH      compare against a committed baseline JSON: fail if\n\
+         \x20                 aggregate events/sec fall below 25% of it, or if the\n\
+         \x20                 best >=2-worker run regresses below serial"
     );
     std::process::exit(2)
 }
 
 fn main() {
     let mut quick = false;
-    let mut reps: u32 = 3;
-    let mut dims = Dims::red_storm(6, 6, 6);
-    let mut rounds: u32 = 2;
+    let mut reps: u32 = 5;
+    let mut dims = Dims::red_storm(27, 16, 24);
+    let mut rounds: u32 = 1;
     let mut out = String::from("BENCH_parallel.json");
     let mut check: Option<String> = None;
     let msg: u64 = 16 * 1024;
@@ -96,7 +104,7 @@ fn main() {
     }
     if quick {
         reps = 2;
-        dims = Dims::red_storm(6, 6, 6);
+        dims = Dims::red_storm(8, 8, 8);
         rounds = 1;
     }
 
@@ -120,12 +128,15 @@ fn main() {
     let mut serial_best = f64::INFINITY;
     for _ in 0..reps {
         let mut engine = build().into_engine();
+        // Symmetric with the parallel region: time until the run's
+        // digest and fingerprint are in hand, not just until it drains
+        // (run_parallel computes both before returning).
         let start = Instant::now();
         let outcome = engine.run();
-        let wall = start.elapsed().as_secs_f64();
-        assert_eq!(outcome, RunOutcome::Drained, "serial run must drain");
         serial_digest = engine.digest();
         serial_fp = engine.state_fingerprint();
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(outcome, RunOutcome::Drained, "serial run must drain");
         serial_events = engine.dispatched();
         serial_best = serial_best.min(wall);
     }
@@ -189,12 +200,31 @@ fn main() {
     }
 
     let aggregate = rows.iter().map(|r| r.events_per_sec).fold(0.0f64, f64::max);
+    // Best wall-clock ratio vs serial among genuinely multi-shard runs —
+    // the number the scale work is accountable to.
+    let best_speedup = rows
+        .iter()
+        .filter(|r| r.workers >= 2)
+        .map(|r| serial_best / r.wall_s)
+        .fold(0.0f64, f64::max);
     println!();
     println!(
-        "aggregate (best across sweep): {aggregate:.0} events/sec; all parallel runs bit-identical to serial"
+        "aggregate (best across sweep): {aggregate:.0} events/sec; best >=2-worker speedup {best_speedup:.2}x; \
+         all parallel runs bit-identical to serial"
     );
 
-    let json = render_json(&rows, dims, rounds, msg, reps, quick, cores, aggregate);
+    let json = render_json(
+        &rows,
+        dims,
+        rounds,
+        msg,
+        reps,
+        quick,
+        cores,
+        aggregate,
+        best_speedup,
+        serial_best,
+    );
     if let Err(e) = std::fs::write(&out, json) {
         eprintln!("failed to write {out}: {e}");
         std::process::exit(1);
@@ -202,13 +232,17 @@ fn main() {
     println!("wrote {out}");
 
     if let Some(path) = check {
-        check_against(&path, aggregate);
+        check_against(&path, aggregate, best_speedup);
     }
 }
 
-/// Same generous floor as `perf_baseline`: trips on catastrophic
-/// slowdowns, not on CI jitter or core-count differences.
-fn check_against(path: &str, aggregate: f64) {
+/// Two gates: an absolute-throughput floor as generous as
+/// `perf_baseline`'s (trips on catastrophic slowdowns, not on CI jitter
+/// or core-count differences), and a serial-vs-parallel gate — the
+/// best ≥2-worker run must not regress below serial. The latter allows
+/// 2% measurement jitter; anything past that means the window protocol's
+/// overhead is no longer paying for itself and is a real regression.
+fn check_against(path: &str, aggregate: f64, best_speedup: f64) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -233,6 +267,11 @@ fn check_against(path: &str, aggregate: f64) {
         eprintln!("perf_parallel: aggregate throughput fell below 25% of the committed baseline");
         std::process::exit(1);
     }
+    println!("speedup check: best >=2-worker run at {best_speedup:.2}x serial (floor 0.98x)");
+    if best_speedup < 0.98 {
+        eprintln!("perf_parallel: parallel execution at >=2 workers regressed below serial");
+        std::process::exit(1);
+    }
     println!("regression check passed");
 }
 
@@ -247,6 +286,8 @@ fn render_json(
     quick: bool,
     cores: usize,
     aggregate: f64,
+    best_speedup: f64,
+    serial_wall_s: f64,
 ) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
@@ -260,6 +301,7 @@ fn render_json(
     let _ = writeln!(s, "  \"reps\": {reps},");
     let _ = writeln!(s, "  \"cores\": {cores},");
     let _ = writeln!(s, "  \"aggregate_events_per_sec\": {aggregate:.0},");
+    let _ = writeln!(s, "  \"best_parallel_speedup\": {best_speedup:.3},");
     s.push_str("  \"sweep\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -270,11 +312,12 @@ fn render_json(
         };
         let _ = writeln!(
             s,
-            "    {{\"config\": \"{config}\", \"workers\": {}, \"events\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \"windows\": {}}}{comma}",
+            "    {{\"config\": \"{config}\", \"workers\": {}, \"events\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \"speedup\": {:.3}, \"windows\": {}}}{comma}",
             r.workers,
             r.events,
             r.wall_s * 1e3,
             r.events_per_sec,
+            serial_wall_s / r.wall_s,
             r.windows
         );
     }

@@ -277,7 +277,10 @@ struct FwProcess {
     mailbox: Mailbox,
     /// Firmware-managed RX pool; ids `[0, rx_cap)`.
     rx_pool: Pool<LowerPending>,
-    /// Host-managed TX pendings; ids `[rx_cap, rx_cap + tx_cap)`.
+    /// Host-managed TX pendings; ids `[rx_cap, rx_cap + tx_cap)`. Grows
+    /// on first write of each slot (the host's Transmit command always
+    /// writes a pending before anything reads it), so the vector's length
+    /// is the TX-concurrency high-water mark, not the table capacity.
     tx_lower: Vec<LowerPending>,
 }
 
@@ -316,7 +319,7 @@ impl Firmware {
                 mode,
                 mailbox: Mailbox::new(config.mailbox_depth),
                 rx_pool: Pool::new(config.rx_pendings),
-                tx_lower: vec![LowerPending::default(); config.tx_pendings as usize],
+                tx_lower: Vec::new(),
             });
         }
         Ok(Firmware {
@@ -415,13 +418,19 @@ impl Firmware {
         pending: PendingId,
     ) -> Result<&mut LowerPending, FwError> {
         let rx_cap = self.config.rx_pendings;
+        let tx_cap = self.config.tx_pendings;
         let p = self.process_mut(proc)?;
         if pending < rx_cap {
             p.rx_pool.get_mut(pending).ok_or(FwError::BadPending)
         } else {
-            p.tx_lower
-                .get_mut((pending - rx_cap) as usize)
-                .ok_or(FwError::BadPending)
+            let slot = (pending - rx_cap) as usize;
+            if slot >= tx_cap as usize {
+                return Err(FwError::BadPending);
+            }
+            if slot >= p.tx_lower.len() {
+                p.tx_lower.resize_with(slot + 1, LowerPending::default);
+            }
+            p.tx_lower.get_mut(slot).ok_or(FwError::BadPending)
         }
     }
 

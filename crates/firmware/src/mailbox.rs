@@ -101,7 +101,10 @@ impl Mailbox {
     /// A mailbox whose command FIFO holds `cmd_capacity` entries.
     pub fn new(cmd_capacity: u32) -> Self {
         Mailbox {
-            cmd: VecDeque::with_capacity(cmd_capacity as usize),
+            // Grows to its observed depth on demand; the modelled FIFO
+            // capacity is `cmd_capacity`, enforced by the backlog
+            // accounting, not by the Vec allocation.
+            cmd: VecDeque::new(),
             result: VecDeque::new(),
             cmd_capacity,
             cmd_overflows: 0,

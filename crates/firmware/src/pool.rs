@@ -8,44 +8,64 @@
 //! authors' careful monitoring on 7,700 Red Storm nodes.
 
 /// A fixed pool of `T` with an intrusive-style free list of indices.
+///
+/// Capacity is a hard limit (the firmware's compile-time table size), but
+/// backing storage materializes lazily: indices are handed out returned-
+/// LIFO-first, then fresh-lowest-first — the exact sequence the eager
+/// `(0..capacity).rev()` free list produced — and an object is default-
+/// constructed the first time its index is issued. `items` therefore only
+/// ever grows to the pool's storage high-water mark, which is what lets a
+/// 10,368-node machine carry its per-node pools without paying for
+/// thousands of never-used slots.
 #[derive(Debug, Clone)]
 pub struct Pool<T> {
     items: Vec<T>,
+    capacity: u32,
+    /// Returned indices, reused LIFO.
     free: Vec<u32>,
+    /// Next never-issued index (== `items.len()`).
+    next_fresh: u32,
     in_use: u32,
     high_water: u32,
     alloc_failures: u64,
 }
 
 impl<T: Default + Clone> Pool<T> {
-    /// Pre-allocate `capacity` default-initialized objects.
+    /// A pool of `capacity` objects (default-initialized on first use).
     pub fn new(capacity: u32) -> Self {
         Pool {
-            items: vec![T::default(); capacity as usize],
-            free: (0..capacity).rev().collect(),
+            items: Vec::new(),
+            capacity,
+            free: Vec::new(),
+            next_fresh: 0,
             in_use: 0,
             high_water: 0,
             alloc_failures: 0,
         }
     }
-}
 
-impl<T> Pool<T> {
     /// Allocate an object, returning its index, or `None` on exhaustion.
     pub fn alloc(&mut self) -> Option<u32> {
-        match self.free.pop() {
-            Some(idx) => {
-                self.in_use += 1;
-                self.high_water = self.high_water.max(self.in_use);
-                Some(idx)
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None if self.next_fresh < self.capacity => {
+                let idx = self.next_fresh;
+                self.next_fresh += 1;
+                self.items.push(T::default());
+                idx
             }
             None => {
                 self.alloc_failures += 1;
-                None
+                return None;
             }
-        }
+        };
+        self.in_use += 1;
+        self.high_water = self.high_water.max(self.in_use);
+        Some(idx)
     }
+}
 
+impl<T> Pool<T> {
     /// Return an object to the free list.
     ///
     /// # Panics
@@ -72,6 +92,12 @@ impl<T> Pool<T> {
 
     /// Total capacity.
     pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Slots whose backing object has been materialized (the storage
+    /// high-water mark; at most [`Self::capacity`]).
+    pub fn materialized(&self) -> u32 {
         self.items.len() as u32
     }
 
@@ -137,6 +163,28 @@ mod tests {
         *p.get_mut(i).unwrap() = "hello".into();
         assert_eq!(p.get(i).unwrap(), "hello");
         assert_eq!(p.get(99), None, "foreign index is surfaced, not a panic");
+    }
+
+    #[test]
+    fn lazy_materialization_preserves_id_order() {
+        // Fresh indices come out lowest-first and returned indices are
+        // reused LIFO — the same sequence the eager free list produced —
+        // while storage only grows to the concurrency high-water mark.
+        let mut p: Pool<u64> = Pool::new(1024);
+        assert_eq!(p.materialized(), 0);
+        assert_eq!(p.alloc(), Some(0));
+        assert_eq!(p.alloc(), Some(1));
+        assert_eq!(p.alloc(), Some(2));
+        p.free(1);
+        assert_eq!(p.alloc(), Some(1), "returned index reused before fresh");
+        assert_eq!(p.alloc(), Some(3));
+        assert_eq!(
+            p.materialized(),
+            4,
+            "storage tracks high-water, not capacity"
+        );
+        assert_eq!(p.capacity(), 1024);
+        assert_eq!(p.get(5), None, "never-issued index is foreign");
     }
 
     #[test]

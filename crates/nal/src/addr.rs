@@ -26,9 +26,16 @@ pub trait AddressSpace: ProcessMemory {
 
 /// Catamount's contiguous address space: virtual offset `v` lives at
 /// physical `base + v`.
+///
+/// Backing bytes materialize on first write: untouched memory reads as
+/// zeros without ever being allocated, so a full-machine run whose nodes
+/// only touch a fraction of their address space (or none — synthetic
+/// payloads are often written but never read back) pays for the written
+/// high-water mark, not the configured size.
 #[derive(Debug, Clone)]
 pub struct CatamountSpace {
     phys_base: u64,
+    size: u64,
     bytes: Vec<u8>,
 }
 
@@ -37,31 +44,44 @@ impl CatamountSpace {
     pub fn new(size: usize, phys_base: u64) -> Self {
         CatamountSpace {
             phys_base,
-            bytes: vec![0; size],
+            size: size as u64,
+            bytes: Vec::new(),
         }
     }
 }
 
 impl ProcessMemory for CatamountSpace {
     fn size(&self) -> u64 {
-        self.bytes.len() as u64
+        self.size
     }
 
     fn write(&mut self, addr: u64, data: &[u8]) {
         let start = addr as usize;
-        self.bytes[start..start + data.len()].copy_from_slice(data);
+        let end = start + data.len();
+        assert!(end as u64 <= self.size, "write past end of address space");
+        if end > self.bytes.len() {
+            self.bytes.resize(end, 0);
+        }
+        self.bytes[start..end].copy_from_slice(data);
     }
 
     fn read(&self, addr: u64, len: u32) -> Vec<u8> {
         let start = addr as usize;
-        self.bytes[start..start + len as usize].to_vec()
+        let end = start + len as usize;
+        assert!(end as u64 <= self.size, "read past end of address space");
+        let mut out = vec![0u8; len as usize];
+        if start < self.bytes.len() {
+            let have = end.min(self.bytes.len()) - start;
+            out[..have].copy_from_slice(&self.bytes[start..start + have]);
+        }
+        out
     }
 }
 
 impl AddressSpace for CatamountSpace {
     fn validate(&self, addr: u64, len: u64) -> bool {
         addr.checked_add(len)
-            .map(|end| end <= self.bytes.len() as u64)
+            .map(|end| end <= self.size)
             .unwrap_or(false)
     }
 

@@ -56,7 +56,9 @@ pub use digest::EventDigest;
 pub use engine::{fold_digest_lanes, merge_digest_lanes, DigestLane, Engine, Model, RunOutcome};
 pub use faults::{FaultInjector, FaultPlan, FaultStats, FwFaultKind, PacketFate, TimeWindow};
 pub use label::Label;
-pub use par::{Delivery, ParConfig, ParOutcome, Partitioned, WindowDriver};
+pub use par::{
+    merge_ordered_runs, Delivery, ExecMode, ParConfig, ParOutcome, Partitioned, WindowDriver,
+};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, Series, SeriesPoint};

@@ -19,9 +19,11 @@
 //!
 //! Each round:
 //!
-//! 1. the coordinator computes `W` and hands every worker the window
-//!    horizon `W + L - 1ps` plus any cross-shard deliveries routed in
-//!    the previous round (all of which fire at or after `W + L`);
+//! 1. the coordinator computes `W` and hands every *active* worker (one
+//!    with an event or handover inside the window — idle shards are
+//!    skipped, they would dispatch nothing) the window horizon
+//!    `W + L - 1ps` plus any cross-shard deliveries routed in the
+//!    previous round (all of which fire at or after `W + L`);
 //! 2. workers insert the deliveries, run their engine up to the
 //!    horizon, and hand back the *send intents* their model deferred
 //!    (models never touch the shared fabric directly — see
@@ -36,6 +38,43 @@
 //! fabric interaction sequence exactly; combined with per-lane digests
 //! ([`crate::engine::fold_digest_lanes`]) the parallel run is
 //! bit-identical to the serial one for any worker count.
+//!
+//! # Execution backends
+//!
+//! The window protocol is independent of *where* shards execute, so the
+//! driver has two backends selected by [`ParConfig::exec`]:
+//!
+//! * [`ExecMode::Threads`] — one worker thread per shard, channel
+//!   message passing. This is the backend that extracts wall-clock
+//!   parallelism on multi-core hosts.
+//! * [`ExecMode::Inline`] — every shard round runs on the coordinator
+//!   thread. The protocol, window boundaries, budget accounting and
+//!   routing order are identical (shards are mutually independent
+//!   within a window, so execution order between them is immaterial),
+//!   which makes the backends bit-identical by construction. Inline
+//!   execution pays no thread wakeups, no channel hops and no
+//!   cross-core cache traffic — on single-core hosts (CI containers
+//!   pinned to one CPU) it turns the window protocol from a
+//!   per-window tax of several microseconds into a plain function
+//!   call.
+//! * [`ExecMode::Auto`] (the default) picks `Threads` when the host
+//!   exposes more than one core and `Inline` otherwise. The choice
+//!   cannot affect results, only wall-clock time.
+//!
+//! # Window coalescing
+//!
+//! When exactly one shard is active (its events are the only ones below
+//! every other shard's floor — common in startup ramps, drain tails and
+//! load-imbalanced phases), each window is a full coordinator round for
+//! a single shard's worth of work. With [`ParConfig::coalesce`] the
+//! solo shard instead *sprints*: it keeps running consecutive local
+//! windows — stopping at the first one that defers an intent, at the
+//! earliest event owned by any other shard, or when it drains — before
+//! reporting back. Intent-free windows touch no shared state, so the
+//! fabric replay order is untouched; the cap at the next foreign event
+//! keeps every sprint intent ahead of all future intents in `(time,
+//! key)` order. Digest lanes, fingerprints and dispatch counts are
+//! bit-identical; only the round count shrinks.
 
 use crate::engine::{Engine, Model, RunOutcome};
 use crate::time::SimTime;
@@ -55,6 +94,15 @@ pub trait Partitioned: Model {
     /// Take the intents buffered since the last call, in the order the
     /// model generated them.
     fn drain_intents(&mut self) -> Vec<Self::Intent>;
+
+    /// Append the buffered intents to `out` (same contract as
+    /// [`Self::drain_intents`], but reusing the caller's buffer).
+    /// Implementers with an internal buffer should override this to
+    /// `append` so neither side reallocates; the inline backend calls it
+    /// every window.
+    fn drain_intents_into(&mut self, out: &mut Vec<Self::Intent>) {
+        out.append(&mut self.drain_intents());
+    }
 }
 
 /// A cross-shard event produced by routing intents: schedule `event`
@@ -63,14 +111,26 @@ pub trait Partitioned: Model {
 pub struct Delivery<E> {
     /// Destination shard index.
     pub shard: usize,
-    /// Firing time; must be at or after the end of the window whose
-    /// intents produced it (the driver asserts this — a violation means
-    /// the configured lookahead overstates the real minimum latency).
+    /// Firing time; must be after the destination shard's completed
+    /// horizon (the driver asserts this — a violation means the
+    /// configured lookahead overstates the real minimum latency).
     pub at: SimTime,
     /// Scheduling key (see [`crate::queue::EventQueue::schedule_keyed`]).
     pub key: u64,
     /// The event to deliver.
     pub event: E,
+}
+
+/// Where shard rounds execute; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// `Threads` on multi-core hosts, `Inline` on single-core ones.
+    #[default]
+    Auto,
+    /// One worker thread per shard (wall-clock parallelism).
+    Threads,
+    /// All shards on the coordinator thread (no synchronization cost).
+    Inline,
 }
 
 /// Window-synchronization parameters.
@@ -83,6 +143,25 @@ pub struct ParConfig {
     /// serial engine's event budget. Exhaustion is detected at window
     /// granularity.
     pub event_budget: u64,
+    /// Execution backend (default [`ExecMode::Auto`]).
+    pub exec: ExecMode,
+    /// Let a solo-active shard run consecutive windows before reporting
+    /// back (default on; see the module docs — results are identical,
+    /// only coordination overhead changes).
+    pub coalesce: bool,
+}
+
+impl ParConfig {
+    /// A config with the given lookahead and budget, automatic backend
+    /// selection and window coalescing on.
+    pub fn new(lookahead: SimTime, event_budget: u64) -> Self {
+        ParConfig {
+            lookahead,
+            event_budget,
+            exec: ExecMode::Auto,
+            coalesce: true,
+        }
+    }
 }
 
 /// What a parallel run produced, beyond the shard engines themselves.
@@ -98,11 +177,24 @@ pub struct ParOutcome {
     pub rounds: u64,
 }
 
+/// How far past its base window a solo shard may keep running.
+#[derive(Debug, Clone, Copy)]
+enum Sprint {
+    /// Other shards have events: stop at the base horizon.
+    No,
+    /// Solo shard; the earliest event owned by anyone else is at `cap`
+    /// (exclusive — the sprint must stay strictly below it).
+    Capped(SimTime),
+    /// No other shard has anything pending anywhere.
+    Unbounded,
+}
+
 /// Per-round command to a worker.
 struct Round<E> {
     deliveries: Vec<(SimTime, u64, E)>,
     horizon: SimTime,
     budget: u64,
+    sprint: Sprint,
 }
 
 enum ToWorker<E> {
@@ -117,10 +209,176 @@ struct Rsp<I> {
     next_time: Option<SimTime>,
     dispatched: u64,
     budget_exhausted: bool,
+    /// The horizon the shard actually completed (past the base horizon
+    /// when it sprinted).
+    completed: SimTime,
 }
 
-/// The coordinator for one parallel run: owns the shard engines, spawns
-/// one worker thread per shard, and drives the window protocol.
+/// Run one shard's window (and its coalesced continuation windows, when
+/// sprinting): insert the handed-over deliveries, run to the horizon,
+/// and drain the deferred intents into `intents_out`.
+///
+/// Shared verbatim by both backends — it *is* the per-round worker body,
+/// which is what makes them bit-identical.
+fn run_window<M: Partitioned>(
+    engine: &mut Engine<M>,
+    deliveries: &mut Vec<(SimTime, u64, M::Event)>,
+    horizon: SimTime,
+    budget: u64,
+    lookahead: SimTime,
+    sprint: Sprint,
+    intents_out: &mut Vec<M::Intent>,
+) -> (Option<SimTime>, bool, SimTime) {
+    for (at, key, ev) in deliveries.drain(..) {
+        engine.queue_mut().schedule_keyed(at, key, ev);
+    }
+    let start = engine.dispatched();
+    engine.set_event_budget(budget);
+    let mut run = engine.run_until(horizon);
+    intents_out.clear();
+    engine.model_mut().drain_intents_into(intents_out);
+    let mut completed = horizon;
+
+    if !matches!(sprint, Sprint::No) {
+        // Keep taking lookahead-sized local windows while they stay
+        // strictly below every other shard's earliest event and defer
+        // nothing to the fabric.
+        while run != RunOutcome::EventBudgetExhausted && intents_out.is_empty() {
+            let Some(next) = engine.queue().peek_time() else {
+                break;
+            };
+            let mut h = SimTime(next.0 + lookahead.0 - 1);
+            if let Sprint::Capped(cap) = sprint {
+                if next >= cap {
+                    break;
+                }
+                h = h.min(SimTime(cap.0 - 1));
+            }
+            engine.set_event_budget(budget.saturating_sub(engine.dispatched() - start));
+            run = engine.run_until(h);
+            engine.model_mut().drain_intents_into(intents_out);
+            completed = h;
+        }
+    }
+
+    (
+        engine.queue().peek_time(),
+        run == RunOutcome::EventBudgetExhausted,
+        completed,
+    )
+}
+
+/// The coordinator's bookkeeping between windows, shared by both
+/// backends so every protocol decision (window floor, active set,
+/// sprint cap, budget split) is computed by exactly one piece of code.
+struct Coordinator {
+    next_times: Vec<Option<SimTime>>,
+    per_shard_dispatched: Vec<u64>,
+    completed: Vec<SimTime>,
+    base_dispatched: u64,
+    lookahead: SimTime,
+    event_budget: u64,
+    coalesce: bool,
+}
+
+/// One round's marching orders.
+struct Plan {
+    horizon: SimTime,
+    remaining: u64,
+    /// Shard indices with work inside the window, ascending.
+    active: Vec<usize>,
+    sprint: Sprint,
+}
+
+enum Step {
+    Window(Plan),
+    Drained,
+    Exhausted,
+}
+
+impl Coordinator {
+    fn new<M: Partitioned>(engines: &[Engine<M>], config: &ParConfig) -> Self {
+        let per_shard_dispatched: Vec<u64> = engines.iter().map(|e| e.dispatched()).collect();
+        Coordinator {
+            next_times: engines.iter().map(|e| e.queue().peek_time()).collect(),
+            base_dispatched: per_shard_dispatched.iter().sum(),
+            per_shard_dispatched,
+            completed: vec![SimTime::ZERO; engines.len()],
+            lookahead: config.lookahead,
+            event_budget: config.event_budget,
+            coalesce: config.coalesce,
+        }
+    }
+
+    /// Earliest candidate event on shard `s` (queued or pending
+    /// handover).
+    fn candidate<E>(&self, s: usize, pending: &[Vec<(SimTime, u64, E)>]) -> Option<SimTime> {
+        let held = pending[s].iter().map(|d| d.0).min();
+        match (self.next_times[s], held) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn plan<E>(&self, pending: &[Vec<(SimTime, u64, E)>]) -> Step {
+        let spent: u64 = self.per_shard_dispatched.iter().sum::<u64>() - self.base_dispatched;
+        if spent >= self.event_budget {
+            return Step::Exhausted;
+        }
+        let shards = self.next_times.len();
+        let window = (0..shards).filter_map(|s| self.candidate(s, pending)).min();
+        let Some(w) = window else {
+            return Step::Drained; // every queue drained, nothing in flight
+        };
+        let horizon = SimTime(w.0 + self.lookahead.0 - 1);
+        let active: Vec<usize> = (0..shards)
+            .filter(|&s| self.candidate(s, pending).is_some_and(|t| t <= horizon))
+            .collect();
+        let sprint = match (self.coalesce, &active[..]) {
+            (true, &[solo]) => {
+                let foreign = (0..shards)
+                    .filter(|&s| s != solo)
+                    .filter_map(|s| self.candidate(s, pending))
+                    .min();
+                match foreign {
+                    Some(cap) => Sprint::Capped(cap),
+                    None => Sprint::Unbounded,
+                }
+            }
+            _ => Sprint::No,
+        };
+        Step::Window(Plan {
+            horizon,
+            remaining: self.event_budget - spent,
+            active,
+            sprint,
+        })
+    }
+
+    fn record(&mut self, shard: usize, next: Option<SimTime>, dispatched: u64, completed: SimTime) {
+        self.next_times[shard] = next;
+        self.per_shard_dispatched[shard] = dispatched;
+        self.completed[shard] = completed;
+    }
+
+    /// File the routed deliveries into the per-shard pending queues,
+    /// checking each lands beyond its destination's completed horizon.
+    fn accept<E>(&self, deliveries: &mut Vec<Delivery<E>>, pending: &mut [Vec<(SimTime, u64, E)>]) {
+        for d in deliveries.drain(..) {
+            assert!(
+                d.at > self.completed[d.shard],
+                "lookahead violation: delivery at {} inside window ending {}",
+                d.at,
+                self.completed[d.shard]
+            );
+            pending[d.shard].push((d.at, d.key, d.event));
+        }
+    }
+}
+
+/// The coordinator for one parallel run: owns the shard engines, drives
+/// the window protocol, and (in the threaded backend) spawns one worker
+/// thread per shard.
 pub struct WindowDriver<M: Partitioned> {
     engines: Vec<Engine<M>>,
     config: ParConfig,
@@ -147,23 +405,125 @@ where
 
     /// Run all shards to completion. `route` is called once per window
     /// on the coordinator thread with every shard's drained intents (in
-    /// shard index order); it owns all shared state and returns the
-    /// cross-shard deliveries the intents caused. Returns the shard
-    /// engines (in shard order) for merging, plus the run outcome.
-    pub fn run<R>(self, mut route: R) -> (Vec<Engine<M>>, ParOutcome)
+    /// shard index order; inactive shards contribute empty runs); it
+    /// owns all shared state and pushes the cross-shard deliveries the
+    /// intents caused into the output buffer. Both buffers are reused
+    /// across windows. Returns the shard engines (in shard order) for
+    /// merging, plus the run outcome.
+    pub fn run<R>(self, route: R) -> (Vec<Engine<M>>, ParOutcome)
     where
-        R: FnMut(Vec<Vec<M::Intent>>) -> Vec<Delivery<M::Event>>,
+        R: FnMut(&mut Vec<Vec<M::Intent>>, &mut Vec<Delivery<M::Event>>),
+    {
+        let exec = match self.config.exec {
+            ExecMode::Auto => {
+                if thread::available_parallelism().map_or(1, usize::from) > 1 {
+                    ExecMode::Threads
+                } else {
+                    ExecMode::Inline
+                }
+            }
+            mode => mode,
+        };
+        match exec {
+            ExecMode::Inline => self.run_inline(route),
+            _ => self.run_threads(route),
+        }
+    }
+
+    /// Single-thread backend: every shard round executes as a direct
+    /// call on the coordinator thread. Same protocol, same results, no
+    /// synchronization overhead.
+    fn run_inline<R>(self, mut route: R) -> (Vec<Engine<M>>, ParOutcome)
+    where
+        R: FnMut(&mut Vec<Vec<M::Intent>>, &mut Vec<Delivery<M::Event>>),
+    {
+        let WindowDriver {
+            mut engines,
+            config,
+        } = self;
+        let shards = engines.len();
+        let mut coord = Coordinator::new(&engines, &config);
+
+        // Per-shard scratch, reused across every window.
+        let mut pending: Vec<Vec<(SimTime, u64, M::Event)>> = Vec::new();
+        pending.resize_with(shards, Vec::new);
+        let mut intents_by_shard: Vec<Vec<M::Intent>> = Vec::new();
+        intents_by_shard.resize_with(shards, Vec::new);
+        let mut routed: Vec<Delivery<M::Event>> = Vec::new();
+
+        let mut outcome = RunOutcome::Drained;
+        let mut rounds: u64 = 0;
+
+        loop {
+            let plan = match coord.plan(&pending) {
+                Step::Window(p) => p,
+                Step::Drained => break,
+                Step::Exhausted => {
+                    outcome = RunOutcome::EventBudgetExhausted;
+                    break;
+                }
+            };
+            rounds += 1;
+            let mut exhausted = false;
+            for row in &mut intents_by_shard {
+                row.clear();
+            }
+            for &s in &plan.active {
+                let (next, hit_budget, completed) = run_window(
+                    &mut engines[s],
+                    &mut pending[s],
+                    plan.horizon,
+                    plan.remaining,
+                    config.lookahead,
+                    plan.sprint,
+                    &mut intents_by_shard[s],
+                );
+                coord.record(s, next, engines[s].dispatched(), completed);
+                exhausted |= hit_budget;
+            }
+            route(&mut intents_by_shard, &mut routed);
+            coord.accept(&mut routed, &mut pending);
+            if exhausted {
+                outcome = RunOutcome::EventBudgetExhausted;
+                break;
+            }
+        }
+
+        let dispatched =
+            engines.iter().map(|e| e.dispatched()).sum::<u64>() - coord.base_dispatched;
+        let now = engines
+            .iter()
+            .map(|e| e.now())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        (
+            engines,
+            ParOutcome {
+                outcome,
+                now,
+                dispatched,
+                rounds,
+            },
+        )
+    }
+
+    /// Thread-per-shard backend: workers run rounds off channels; the
+    /// coordinator plans windows and routes intents exactly as the
+    /// inline backend does.
+    fn run_threads<R>(self, mut route: R) -> (Vec<Engine<M>>, ParOutcome)
+    where
+        R: FnMut(&mut Vec<Vec<M::Intent>>, &mut Vec<Delivery<M::Event>>),
     {
         let WindowDriver { engines, config } = self;
         let shards = engines.len();
         let lookahead = config.lookahead;
+        let mut coord = Coordinator::new(&engines, &config);
 
-        let mut next_times: Vec<Option<SimTime>> =
-            engines.iter().map(|e| e.queue().peek_time()).collect();
-        let mut per_shard_dispatched: Vec<u64> = engines.iter().map(|e| e.dispatched()).collect();
-        let base_dispatched: u64 = per_shard_dispatched.iter().sum();
         let mut pending: Vec<Vec<(SimTime, u64, M::Event)>> = Vec::new();
         pending.resize_with(shards, Vec::new);
+        let mut intents_by_shard: Vec<Vec<M::Intent>> = Vec::new();
+        intents_by_shard.resize_with(shards, Vec::new);
+        let mut routed: Vec<Delivery<M::Event>> = Vec::new();
 
         let mut outcome = RunOutcome::Drained;
         let mut rounds: u64 = 0;
@@ -181,23 +541,28 @@ where
                 let rsp_tx = rsp_tx.clone();
                 let done_tx = done_tx.clone();
                 scope.spawn(move || {
+                    let mut intents: Vec<M::Intent> = Vec::new();
                     while let Ok(msg) = cmd_rx.recv() {
-                        let round = match msg {
+                        let mut round = match msg {
                             ToWorker::Round(r) => r,
                             ToWorker::Stop => break,
                         };
-                        for (at, key, ev) in round.deliveries {
-                            engine.queue_mut().schedule_keyed(at, key, ev);
-                        }
-                        engine.set_event_budget(round.budget);
-                        let run = engine.run_until(round.horizon);
-                        let intents = engine.model_mut().drain_intents();
+                        let (next_time, budget_exhausted, completed) = run_window(
+                            &mut engine,
+                            &mut round.deliveries,
+                            round.horizon,
+                            round.budget,
+                            lookahead,
+                            round.sprint,
+                            &mut intents,
+                        );
                         let rsp = Rsp {
                             shard,
-                            intents,
-                            next_time: engine.queue().peek_time(),
+                            intents: std::mem::take(&mut intents),
+                            next_time,
                             dispatched: engine.dispatched(),
-                            budget_exhausted: run == RunOutcome::EventBudgetExhausted,
+                            budget_exhausted,
+                            completed,
                         };
                         if rsp_tx.send(rsp).is_err() {
                             break;
@@ -208,65 +573,41 @@ where
             }
 
             loop {
-                let total: u64 = per_shard_dispatched.iter().sum();
-                let spent = total - base_dispatched;
-                if spent >= config.event_budget {
-                    outcome = RunOutcome::EventBudgetExhausted;
-                    break;
-                }
-                // The global window floor: the earliest pending event on
-                // any shard, counting deliveries not yet handed over.
-                let mut window: Option<SimTime> = None;
-                for s in 0..shards {
-                    for cand in next_times[s]
-                        .into_iter()
-                        .chain(pending[s].iter().map(|d| d.0))
-                    {
-                        window = Some(match window {
-                            Some(w) if w <= cand => w,
-                            _ => cand,
-                        });
+                let plan = match coord.plan(&pending) {
+                    Step::Window(p) => p,
+                    Step::Drained => break,
+                    Step::Exhausted => {
+                        outcome = RunOutcome::EventBudgetExhausted;
+                        break;
                     }
-                }
-                let w = match window {
-                    Some(w) => w,
-                    None => break, // every queue drained, nothing in flight
                 };
-                let horizon = SimTime(w.0 + lookahead.0 - 1);
-                let remaining = config.event_budget - spent;
                 rounds += 1;
 
-                for (s, tx) in cmd_txs.iter().enumerate() {
+                for &s in &plan.active {
                     let round = Round {
                         deliveries: std::mem::take(&mut pending[s]),
-                        horizon,
-                        budget: remaining,
+                        horizon: plan.horizon,
+                        budget: plan.remaining,
+                        sprint: plan.sprint,
                     };
-                    tx.send(ToWorker::Round(round))
+                    cmd_txs[s]
+                        .send(ToWorker::Round(round))
                         .expect("worker thread hung up mid-run");
                 }
 
-                let mut intents_by_shard: Vec<Vec<M::Intent>> = Vec::new();
-                intents_by_shard.resize_with(shards, Vec::new);
+                for row in &mut intents_by_shard {
+                    row.clear();
+                }
                 let mut exhausted = false;
-                for _ in 0..shards {
+                for _ in 0..plan.active.len() {
                     let rsp = rsp_rx.recv().expect("worker thread hung up mid-round");
-                    next_times[rsp.shard] = rsp.next_time;
-                    per_shard_dispatched[rsp.shard] = rsp.dispatched;
+                    coord.record(rsp.shard, rsp.next_time, rsp.dispatched, rsp.completed);
                     exhausted |= rsp.budget_exhausted;
                     intents_by_shard[rsp.shard] = rsp.intents;
                 }
 
-                for d in route(intents_by_shard) {
-                    assert!(
-                        d.at > horizon,
-                        "lookahead violation: delivery at {} inside window ending {}",
-                        d.at,
-                        horizon
-                    );
-                    assert!(d.shard < shards, "delivery routed to unknown shard");
-                    pending[d.shard].push((d.at, d.key, d.event));
-                }
+                route(&mut intents_by_shard, &mut routed);
+                coord.accept(&mut routed, &mut pending);
 
                 if exhausted {
                     outcome = RunOutcome::EventBudgetExhausted;
@@ -294,7 +635,8 @@ where
             .map(|e| e.now())
             .max()
             .unwrap_or(SimTime::ZERO);
-        let dispatched: u64 = engines.iter().map(|e| e.dispatched()).sum::<u64>() - base_dispatched;
+        let dispatched =
+            engines.iter().map(|e| e.dispatched()).sum::<u64>() - coord.base_dispatched;
         (
             engines,
             ParOutcome {
@@ -304,6 +646,66 @@ where
                 rounds,
             },
         )
+    }
+}
+
+/// Merge per-shard runs that are already sorted by `key` into one
+/// globally ordered stream, draining the runs in place (their buffers
+/// keep their capacity for reuse next window).
+///
+/// Byte-for-byte equivalent to flattening the runs in shard order and
+/// stable-sorting by `key` — provided each run is individually
+/// nondecreasing, which shard engines guarantee by construction (they
+/// dispatch in ascending `(time, key)` and buffer intents in generation
+/// order). Ties across runs resolve to the lowest shard index, exactly
+/// as a stable sort of the shard-ordered concatenation would.
+/// Debug builds assert the per-run precondition as the merge walks.
+pub fn merge_ordered_runs<'a, T, K, F>(runs: &'a mut [Vec<T>], key: F) -> MergeOrderedRuns<'a, T, F>
+where
+    K: Ord,
+    F: FnMut(&T) -> K,
+{
+    MergeOrderedRuns {
+        runs: runs.iter_mut().map(|r| r.drain(..).peekable()).collect(),
+        key,
+    }
+}
+
+/// Iterator returned by [`merge_ordered_runs`].
+pub struct MergeOrderedRuns<'a, T, F> {
+    runs: Vec<std::iter::Peekable<std::vec::Drain<'a, T>>>,
+    key: F,
+}
+
+impl<T, K, F> Iterator for MergeOrderedRuns<'_, T, F>
+where
+    K: Ord,
+    F: FnMut(&T) -> K,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        let mut best: Option<(usize, K)> = None;
+        for (i, run) in self.runs.iter_mut().enumerate() {
+            if let Some(item) = run.peek() {
+                let k = (self.key)(item);
+                // Strict `<` keeps the first (lowest-shard) run on ties,
+                // matching a stable sort of the concatenation.
+                if best.as_ref().is_none_or(|(_, bk)| k < *bk) {
+                    best = Some((i, k));
+                }
+            }
+        }
+        let (i, _) = best?;
+        let item = self.runs.get_mut(i)?.next();
+        #[cfg(debug_assertions)]
+        if let (Some(taken), Some(next)) = (&item, self.runs.get_mut(i)?.peek()) {
+            debug_assert!(
+                (self.key)(taken) <= (self.key)(next),
+                "merge_ordered_runs: run {i} is not sorted"
+            );
+        }
+        item
     }
 }
 
@@ -419,22 +821,21 @@ mod tests {
         }
     }
 
-    /// Route intents in serial dispatch order: stable sort on the
-    /// sending event's (time, key), exactly like the machine model.
+    /// Route intents in serial dispatch order: a k-way merge of the
+    /// per-shard runs on the sending event's (time, key), exactly like
+    /// the machine model.
     fn route_ring(
         shard_of: impl Fn(u32) -> usize,
-    ) -> impl FnMut(Vec<Vec<RingMsg>>) -> Vec<Delivery<RingMsg>> {
-        move |by_shard| {
-            let mut all: Vec<RingMsg> = by_shard.into_iter().flatten().collect();
-            all.sort_by_key(|m| (m.sent_at, m.key));
-            all.into_iter()
-                .map(|m| Delivery {
+    ) -> impl FnMut(&mut Vec<Vec<RingMsg>>, &mut Vec<Delivery<RingMsg>>) {
+        move |by_shard, out| {
+            for m in merge_ordered_runs(by_shard, |m| (m.sent_at, m.key)) {
+                out.push(Delivery {
                     shard: shard_of(m.dst),
                     at: m.sent_at + HOP,
                     key: m.key,
                     event: m,
-                })
-                .collect()
+                });
+            }
         }
     }
 
@@ -468,39 +869,46 @@ mod tests {
         // coordinator would, single-shard.
         let shard_of = |_| 0usize;
         let mut route = route_ring(shard_of);
+        let mut out = Vec::new();
         loop {
-            let out = e.run();
-            assert_eq!(out, RunOutcome::Drained);
-            let intents = e.model_mut().drain_intents();
-            if intents.is_empty() {
+            let outcome = e.run();
+            assert_eq!(outcome, RunOutcome::Drained);
+            let mut runs = vec![e.model_mut().drain_intents()];
+            if runs[0].is_empty() {
                 break;
             }
-            for d in route(vec![intents]) {
+            route(&mut runs, &mut out);
+            for d in out.drain(..) {
                 e.queue_mut().schedule_keyed(d.at, d.key, d.event);
             }
         }
         (e.digest(), e.model().hits.clone(), e.dispatched())
     }
 
-    fn parallel_run(total: u32, shards: u32, hops: u32) -> (u64, Vec<u64>, u64) {
+    fn parallel_run_with(
+        total: u32,
+        shards: u32,
+        hops: u32,
+        exec: ExecMode,
+        coalesce: bool,
+    ) -> (u64, Vec<u64>, u64, u64) {
         let per = total.div_ceil(shards);
         let mut engines = Vec::new();
-        let mut bases = Vec::new();
         let mut base = 0;
         while base < total {
             let count = per.min(total - base);
             let mut e = Engine::new(RingShard::new(base, count, total));
             seed(&mut e, total, hops);
             engines.push(e);
-            bases.push(base);
             base += count;
         }
         let shard_of = move |node: u32| (node / per) as usize;
         let driver = WindowDriver::new(
             engines,
             ParConfig {
-                lookahead: HOP,
-                event_budget: u64::MAX,
+                exec,
+                coalesce,
+                ..ParConfig::new(HOP, u64::MAX)
             },
         );
         let (engines, out) = driver.run(route_ring(shard_of));
@@ -511,7 +919,12 @@ mod tests {
         for e in &engines {
             hits.extend_from_slice(&e.model().hits);
         }
-        (digest, hits, out.dispatched)
+        (digest, hits, out.dispatched, out.rounds)
+    }
+
+    fn parallel_run(total: u32, shards: u32, hops: u32) -> (u64, Vec<u64>, u64) {
+        let (d, h, n, _) = parallel_run_with(total, shards, hops, ExecMode::Auto, true);
+        (d, h, n)
     }
 
     #[test]
@@ -526,6 +939,34 @@ mod tests {
     }
 
     #[test]
+    fn backends_and_coalescing_are_bit_identical() {
+        let (sd, sh, sn) = serial_run(12, 9);
+        for shards in [1, 2, 3, 5] {
+            for exec in [ExecMode::Inline, ExecMode::Threads] {
+                for coalesce in [false, true] {
+                    let (pd, ph, pn, _) = parallel_run_with(12, shards, 9, exec, coalesce);
+                    assert_eq!(pd, sd, "digest diverged: {exec:?} coalesce={coalesce}");
+                    assert_eq!(ph, sh, "hits diverged: {exec:?} coalesce={coalesce}");
+                    assert_eq!(pn, sn, "count diverged: {exec:?} coalesce={coalesce}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coalescing_reduces_rounds_for_a_solo_shard() {
+        // One long-running message confined to a single shard's nodes
+        // would cost one coordinator round per hop without coalescing.
+        let total = 8u32;
+        let (_, _, _, plain) = parallel_run_with(total, 2, 40, ExecMode::Inline, false);
+        let (_, _, _, coalesced) = parallel_run_with(total, 2, 40, ExecMode::Inline, true);
+        assert!(
+            coalesced <= plain,
+            "coalescing must not add rounds ({coalesced} > {plain})"
+        );
+    }
+
+    #[test]
     fn budget_exhaustion_is_detected() {
         let per = 4u32;
         let mut engines = Vec::new();
@@ -534,13 +975,7 @@ mod tests {
             seed(&mut e, 8, 1000);
             engines.push(e);
         }
-        let driver = WindowDriver::new(
-            engines,
-            ParConfig {
-                lookahead: HOP,
-                event_budget: 64,
-            },
-        );
+        let driver = WindowDriver::new(engines, ParConfig::new(HOP, 64));
         let (_, out) = driver.run(route_ring(|n| (n / 4) as usize));
         assert_eq!(out.outcome, RunOutcome::EventBudgetExhausted);
         assert!(out.dispatched >= 64);
@@ -561,10 +996,25 @@ mod tests {
                 // Claims cross-shard sends take 100ns when they really
                 // take 50ns: the round-1 deliveries land inside round
                 // 2's window and the driver must refuse.
-                lookahead: SimTime::from_ns(100),
-                event_budget: u64::MAX,
+                coalesce: false,
+                ..ParConfig::new(SimTime::from_ns(100), u64::MAX)
             },
         );
         let (_, _) = driver.run(route_ring(|n| (n / 4) as usize));
+    }
+
+    #[test]
+    fn merge_ordered_runs_matches_stable_sort() {
+        let mut runs = vec![
+            vec![(1u64, 10u32), (3, 11), (3, 12), (9, 13)],
+            vec![(1, 20), (2, 21), (3, 22)],
+            vec![],
+            vec![(0, 30), (3, 31), (12, 32)],
+        ];
+        let mut expect: Vec<(u64, u32)> = runs.iter().flatten().copied().collect();
+        expect.sort_by_key(|&(t, _)| t);
+        let merged: Vec<(u64, u32)> = merge_ordered_runs(&mut runs, |&(t, _)| t).collect();
+        assert_eq!(merged, expect);
+        assert!(runs.iter().all(Vec::is_empty), "runs are drained in place");
     }
 }

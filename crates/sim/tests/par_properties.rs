@@ -111,18 +111,16 @@ impl Partitioned for MeshShard {
     }
 }
 
-fn route(assign: Vec<usize>) -> impl FnMut(Vec<Vec<Msg>>) -> Vec<Delivery<Msg>> {
-    move |by_shard| {
-        let mut all: Vec<Msg> = by_shard.into_iter().flatten().collect();
-        all.sort_by_key(|m| (m.sent_at, m.key));
-        all.into_iter()
-            .map(|m| Delivery {
+fn route(assign: Vec<usize>) -> impl FnMut(&mut Vec<Vec<Msg>>, &mut Vec<Delivery<Msg>>) {
+    move |by_shard, out| {
+        for m in xt3_sim::merge_ordered_runs(by_shard, |m| (m.sent_at, m.key)) {
+            out.push(Delivery {
                 shard: assign[m.dst as usize],
                 at: m.sent_at + HOP,
                 key: m.key,
                 event: m,
-            })
-            .collect()
+            });
+        }
     }
 }
 
@@ -151,13 +149,15 @@ fn serial(total: u32, sources: &[u32], hops: u32) -> (u64, Vec<u64>, u64) {
     let mut e = Engine::new(MeshShard::new((0..total).collect(), total));
     seed(&mut e, sources, hops);
     let mut r = route(vec![0; total as usize]);
+    let mut out = Vec::new();
     loop {
         assert_eq!(e.run(), RunOutcome::Drained);
-        let intents = e.model_mut().drain_intents();
-        if intents.is_empty() {
+        let mut runs = vec![e.model_mut().drain_intents()];
+        if runs[0].is_empty() {
             break;
         }
-        for d in r(vec![intents]) {
+        r(&mut runs, &mut out);
+        for d in out.drain(..) {
             e.queue_mut().schedule_keyed(d.at, d.key, d.event);
         }
     }
@@ -173,13 +173,7 @@ fn parallel(total: u32, assign: &[usize], sources: &[u32], hops: u32) -> (u64, V
         seed(&mut e, sources, hops);
         engines.push(e);
     }
-    let driver = WindowDriver::new(
-        engines,
-        ParConfig {
-            lookahead: HOP,
-            event_budget: u64::MAX,
-        },
-    );
+    let driver = WindowDriver::new(engines, ParConfig::new(HOP, u64::MAX));
     let (engines, out) = driver.run(route(assign.to_vec()));
     assert_eq!(out.outcome, RunOutcome::Drained);
     let lanes: Vec<&[_]> = engines.iter().map(|e| e.digest_lanes()).collect();
@@ -231,5 +225,39 @@ proptest! {
         prop_assert_eq!(pd, sd, "digest diverged (assign {:?})", &assign);
         prop_assert_eq!(ph, sh, "hits diverged (assign {:?})", &assign);
         prop_assert_eq!(pn, sn, "dispatch count diverged (assign {:?})", &assign);
+    }
+
+    /// The k-way merge the coordinator routes with is byte-equivalent to
+    /// the global stable sort it replaced: for arbitrary per-run keys
+    /// (sorted within each run, with plenty of cross-run ties), merging
+    /// yields exactly the stable sort of the shard-ordered flattening —
+    /// including tie-breaking toward the lower shard index.
+    #[test]
+    fn merge_of_sorted_runs_equals_global_stable_sort(
+        raw_runs in proptest::collection::vec(
+            proptest::collection::vec(0u64..8, 0..12),
+            0..6,
+        ),
+    ) {
+        // Tag every element with (run, position) so equal keys are
+        // distinguishable, then sort each run by key (tags preserve
+        // the within-run generation order stable sort would keep).
+        let mut runs: Vec<Vec<(u64, usize, usize)>> = raw_runs
+            .iter()
+            .enumerate()
+            .map(|(r, keys)| {
+                let mut run: Vec<(u64, usize, usize)> =
+                    keys.iter().enumerate().map(|(i, &k)| (k, r, i)).collect();
+                run.sort_by_key(|&(k, _, _)| k);
+                run
+            })
+            .collect();
+        let mut expect: Vec<(u64, usize, usize)> = runs.iter().flatten().copied().collect();
+        expect.sort_by_key(|&(k, _, _)| k);
+
+        let merged: Vec<(u64, usize, usize)> =
+            xt3_sim::merge_ordered_runs(&mut runs, |&(k, _, _)| k).collect();
+        prop_assert_eq!(merged, expect);
+        prop_assert!(runs.iter().all(Vec::is_empty), "merge drains runs in place");
     }
 }

@@ -2831,6 +2831,14 @@ impl Partitioned for Machine {
             NetMode::Deferred(intents) => std::mem::take(intents),
         }
     }
+
+    fn drain_intents_into(&mut self, out: &mut Vec<SendIntent>) {
+        // Keep the shard's buffer allocated across windows; the driver
+        // reuses `out` too, so steady state runs allocation-free.
+        if let NetMode::Deferred(intents) = &mut self.net {
+            out.append(intents);
+        }
+    }
 }
 
 fn ticket_mlength_of(node: &Node, fw_proc: ProcIdx, pending: PendingId) -> u64 {

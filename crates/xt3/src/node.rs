@@ -26,30 +26,37 @@ use xt3_topology::coord::NodeId;
 ///
 /// Replaces the previous `BTreeMap`: pending ids are small dense
 /// integers handed out lowest-first (the RX pool and the host TX free
-/// list both pop the lowest id), so a per-process `Vec<Option<V>>` gives
-/// O(1) insert/remove with no per-message tree-node allocation on the
-/// transmit/receive hot paths. The `BTreeMap`-shaped API keeps call
-/// sites unchanged, and slab iteration (were it needed) is index-ordered
-/// and therefore as deterministic as the tree it replaces.
+/// list both pop the lowest id), so a per-process growable arena of
+/// `Option<V>` slots gives O(1) insert/remove with no per-message
+/// tree-node allocation on the transmit/receive hot paths. Each map
+/// stores ids relative to `base` (0 for the RX id range, `tx_base` for
+/// the TX range) and each row grows only to the highest id concurrently
+/// in flight — a handful of slots per node in practice, not the
+/// firmware's full table capacity. The id allocators (the RX pool and
+/// the TX free list) recycle returned ids lowest/LIFO-first, so rows
+/// stay dense. The `BTreeMap`-shaped API keeps call sites unchanged, and
+/// slab iteration (were it needed) is index-ordered and therefore as
+/// deterministic as the tree it replaces.
 pub(crate) struct PendingMap<V> {
     slots: Vec<Vec<Option<V>>>,
+    base: u32,
 }
 
 impl<V> PendingMap<V> {
-    /// Preallocate `procs` rows of `ids` slots each so no insert on the
-    /// message hot path has to grow the slab.
-    pub(crate) fn with_capacity(procs: usize, ids: usize) -> Self {
+    /// An empty map of `procs` rows holding ids at or above `base`.
+    pub(crate) fn new(procs: usize, base: u32) -> Self {
         let mut slots = Vec::with_capacity(procs);
-        for _ in 0..procs {
-            let mut row = Vec::new();
-            row.resize_with(ids, || None);
-            slots.push(row);
-        }
-        PendingMap { slots }
+        slots.resize_with(procs, Vec::new);
+        PendingMap { slots, base }
+    }
+
+    fn slot_of(&self, id: PendingId) -> Option<usize> {
+        id.checked_sub(self.base).map(|s| s as usize)
     }
 
     pub(crate) fn insert(&mut self, key: (ProcIdx, PendingId), v: V) -> Option<V> {
-        let (p, id) = (key.0 as usize, key.1 as usize);
+        let p = key.0 as usize;
+        let id = self.slot_of(key.1).expect("pending id below map base");
         if p >= self.slots.len() {
             self.slots.resize_with(p + 1, Vec::new);
         }
@@ -61,24 +68,18 @@ impl<V> PendingMap<V> {
     }
 
     pub(crate) fn get(&self, key: &(ProcIdx, PendingId)) -> Option<&V> {
-        self.slots
-            .get(key.0 as usize)?
-            .get(key.1 as usize)?
-            .as_ref()
+        let id = self.slot_of(key.1)?;
+        self.slots.get(key.0 as usize)?.get(id)?.as_ref()
     }
 
     pub(crate) fn get_mut(&mut self, key: &(ProcIdx, PendingId)) -> Option<&mut V> {
-        self.slots
-            .get_mut(key.0 as usize)?
-            .get_mut(key.1 as usize)?
-            .as_mut()
+        let id = self.slot_of(key.1)?;
+        self.slots.get_mut(key.0 as usize)?.get_mut(id)?.as_mut()
     }
 
     pub(crate) fn remove(&mut self, key: &(ProcIdx, PendingId)) -> Option<V> {
-        self.slots
-            .get_mut(key.0 as usize)?
-            .get_mut(key.1 as usize)?
-            .take()
+        let id = self.slot_of(key.1)?;
+        self.slots.get_mut(key.0 as usize)?.get_mut(id)?.take()
     }
 }
 
@@ -86,6 +87,44 @@ impl<V> std::ops::Index<&(ProcIdx, PendingId)> for PendingMap<V> {
     type Output = V;
     fn index(&self, key: &(ProcIdx, PendingId)) -> &V {
         self.get(key).expect("no record for pending")
+    }
+}
+
+/// A host-managed TX pending free list with lazy id issue.
+///
+/// Equivalent to the eager `(base..base+count).rev()` stack it replaces:
+/// returned ids pop LIFO-first, then fresh ids issue lowest-first, so the
+/// id sequence is bit-identical — but the backing vector only ever holds
+/// ids that have actually been returned (the TX-concurrency high-water
+/// mark), not the full table range.
+pub(crate) struct TxFreeList {
+    returned: Vec<PendingId>,
+    next_fresh: PendingId,
+    limit: PendingId,
+}
+
+impl TxFreeList {
+    pub(crate) fn new(base: PendingId, count: PendingId) -> Self {
+        TxFreeList {
+            returned: Vec::new(),
+            next_fresh: base,
+            limit: base + count,
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<PendingId> {
+        self.returned.pop().or_else(|| {
+            (self.next_fresh < self.limit).then(|| {
+                let id = self.next_fresh;
+                self.next_fresh += 1;
+                id
+            })
+        })
+    }
+
+    pub(crate) fn push(&mut self, id: PendingId) {
+        debug_assert!(id < self.next_fresh, "freed TX pending was never issued");
+        self.returned.push(id);
     }
 }
 
@@ -156,7 +195,7 @@ pub struct Node {
     /// Processes, indexed by Portals pid.
     pub procs: Vec<ProcState>,
     /// Host-managed TX pending free lists, per firmware-level process.
-    pub(crate) tx_free: Vec<Vec<PendingId>>,
+    pub(crate) tx_free: Vec<TxFreeList>,
     pub(crate) tx_store: PendingMap<TxRecord>,
     pub(crate) rx_store: PendingMap<RxRecord>,
     /// The host-memory event queues the firmware posts into (generic
@@ -275,13 +314,9 @@ impl Node {
         let tx_base = fw.config().rx_pendings;
         let tx_count = fw.config().tx_pendings;
         let tx_free = (0..fw_modes.len())
-            .map(|_| (tx_base..tx_base + tx_count).rev().collect())
+            .map(|_| TxFreeList::new(tx_base, tx_count))
             .collect();
-        // Reserve up front so the interrupt path's first posts don't
-        // allocate mid-run.
-        let fw_eq = (0..fw_modes.len())
-            .map(|_| VecDeque::with_capacity(32))
-            .collect();
+        let fw_eq = (0..fw_modes.len()).map(|_| VecDeque::new()).collect();
 
         Node {
             id,
@@ -290,8 +325,8 @@ impl Node {
             host: HostCpu::new(),
             procs,
             tx_free,
-            tx_store: PendingMap::with_capacity(fw_modes.len(), (tx_base + tx_count) as usize),
-            rx_store: PendingMap::with_capacity(fw_modes.len(), (tx_base + tx_count) as usize),
+            tx_store: PendingMap::new(fw_modes.len(), tx_base),
+            rx_store: PendingMap::new(fw_modes.len(), 0),
             fw_eq,
             await_reply: BTreeMap::new(),
             gbn_tx: BTreeMap::new(),

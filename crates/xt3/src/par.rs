@@ -10,15 +10,18 @@
 //! # How the pieces line up
 //!
 //! * The machine is split into contiguous node slabs
-//!   ([`Machine::split`]); each slab runs an ordinary serial engine on
-//!   a worker thread.
+//!   ([`Machine::split`]); each slab runs an ordinary serial engine —
+//!   on a worker thread, or inline on the coordinator when the host has
+//!   a single core (see [`xt3_sim::ExecMode`]).
 //! * The window lookahead is the fabric's minimum cross-node latency
 //!   ([`xt3_topology::fabric::FabricConfig::min_lookahead`]), so events
 //!   inside one window are causally independent across shards.
 //! * Shards never touch the shared fabric: their sends buffer as
 //!   [`SendIntent`]s, which the coordinator replays between windows in
-//!   serial dispatch order — a stable sort on the sending event's
-//!   `(time, key)`. Windows are disjoint and ascending, so the fabric
+//!   serial dispatch order — a k-way merge of the per-shard runs on the
+//!   sending event's `(time, key)`, equivalent to a stable sort of the
+//!   concatenation because each run is already sorted by construction.
+//!   Windows are disjoint and ascending, so the fabric
 //!   (link cursors, RNG, counters) evolves exactly as in a serial run.
 //! * Every event carries a scheduling key derived from per-node monotone
 //!   counters, so equal-time dispatch order is a function of simulation
@@ -27,8 +30,8 @@
 
 use crate::machine::{apply_send, Ev, Machine, SendIntent};
 use xt3_sim::{
-    fold_digest_lanes, merge_digest_lanes, CausalLog, Model, ParConfig, ParOutcome, RunOutcome,
-    SimTime, WindowDriver,
+    fold_digest_lanes, merge_digest_lanes, merge_ordered_runs, CausalLog, Model, ParConfig,
+    ParOutcome, RunOutcome, SimTime, WindowDriver,
 };
 use xt3_telemetry::Telemetry;
 
@@ -70,15 +73,10 @@ pub fn run_parallel(machine: Machine, workers: usize) -> ParRun {
         .into_iter()
         .map(Machine::into_engine)
         .collect();
-    let driver = WindowDriver::new(
-        engines,
-        ParConfig {
-            lookahead,
-            // Mirror the serial engine's budget (see
-            // `Machine::into_engine`) so exhaustion behaves the same.
-            event_budget: 2_000_000_000,
-        },
-    );
+    // Mirror the serial engine's budget (see `Machine::into_engine`) so
+    // exhaustion behaves the same. Backend selection and window
+    // coalescing are left on automatic — neither can affect results.
+    let driver = WindowDriver::new(engines, ParConfig::new(lookahead, 2_000_000_000));
 
     // The coordinator owns the real fabric plus observation-only sinks
     // for the fabric-side records (link spans, hop traces). Those sinks
@@ -94,27 +92,26 @@ pub fn run_parallel(machine: Machine, workers: usize) -> ParRun {
     } else {
         CausalLog::disabled()
     };
-    let route = |by_shard: Vec<Vec<SendIntent>>| {
-        let mut all: Vec<SendIntent> = by_shard.into_iter().flatten().collect();
+    let route = |by_shard: &mut Vec<Vec<SendIntent>>, out: &mut Vec<xt3_sim::Delivery<Ev>>| {
         // Serial dispatch order: the engine dispatches events in
         // ascending (time, key), and within one dispatch sends are
-        // generated in program order — which the per-shard intent lists
-        // preserve and the stable sort keeps.
-        all.sort_by_key(|a| (a.at, a.cur_key));
-        all.into_iter()
-            .map(|intent| {
-                let (at, key, event) = apply_send(&mut fabric, &mut tele, &mut causal, intent);
-                let Ev::NetHeader { node, .. } = &event else {
-                    unreachable!("apply_send only produces deliveries");
-                };
-                xt3_sim::Delivery {
-                    shard: *node as usize / per,
-                    at,
-                    key,
-                    event,
-                }
-            })
-            .collect()
+        // generated in program order — which the per-shard intent runs
+        // preserve, so they are individually sorted and a k-way merge
+        // reproduces exactly what a stable sort of the flattened list
+        // used to (see `merge_ordered_runs`), without reallocating the
+        // runs or the merged list every window.
+        for intent in merge_ordered_runs(by_shard, |a| (a.at, a.cur_key)) {
+            let (at, key, event) = apply_send(&mut fabric, &mut tele, &mut causal, intent);
+            let Ev::NetHeader { node, .. } = &event else {
+                unreachable!("apply_send only produces deliveries");
+            };
+            out.push(xt3_sim::Delivery {
+                shard: *node as usize / per,
+                at,
+                key,
+                event,
+            });
+        }
     };
 
     let (engines, out) = driver.run(route);

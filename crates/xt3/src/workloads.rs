@@ -26,8 +26,7 @@ pub const RED_STORM_BITS: u64 = 0x5CA1E;
 /// (with wraparound) and absorbs the same from its predecessor, so all
 /// nodes and links carry traffic at once.
 pub struct NeighborPusher {
-    me: u32,
-    n: u32,
+    target: u32,
     rounds: u32,
     msg: u64,
     eq: Option<EqHandle>,
@@ -36,11 +35,18 @@ pub struct NeighborPusher {
 }
 
 impl NeighborPusher {
-    /// Pusher for node `me` of `n`, sending `rounds` puts of `msg` bytes.
+    /// Pusher for node `me` of `n`, sending `rounds` puts of `msg` bytes
+    /// to its successor.
     pub fn new(me: u32, n: u32, rounds: u32, msg: u64) -> Self {
+        Self::toward((me + 1) % n, rounds, msg)
+    }
+
+    /// Pusher sending `rounds` puts of `msg` bytes to `target`. The app
+    /// also expects to *receive* `rounds` puts before finishing, so
+    /// targets must form cycles (mutual pairs, rings, ...).
+    pub fn toward(target: u32, rounds: u32, msg: u64) -> Self {
         NeighborPusher {
-            me,
-            n,
+            target,
             rounds,
             msg,
             eq: None,
@@ -90,7 +96,7 @@ impl App for NeighborPusher {
                         1,
                     )
                     .unwrap();
-                let target = ProcessId::new((self.me + 1) % self.n, 0);
+                let target = ProcessId::new(self.target, 0);
                 ctx.put(
                     md,
                     AckReq::NoAck,
@@ -108,7 +114,7 @@ impl App for NeighborPusher {
             AppEvent::Ptl(ev) => {
                 match (ev.user_ptr, ev.kind) {
                     (1, EventKind::SendEnd) if self.sent < self.rounds => {
-                        let target = ProcessId::new((self.me + 1) % self.n, 0);
+                        let target = ProcessId::new(self.target, 0);
                         ctx.put(
                             ev.md,
                             AckReq::NoAck,
@@ -157,6 +163,42 @@ pub fn red_storm_machine(dims: Dims, rounds: u32, msg: u64) -> Machine {
     let mut m = Machine::new(config, &[spec]);
     for node in 0..n {
         m.spawn(node, 0, Box::new(NeighborPusher::new(node, n, rounds, msg)));
+    }
+    m
+}
+
+/// Build a sparse-peer machine: only the nodes named in `pairs` run
+/// apps (each pair exchanging `rounds` puts of `msg` bytes in both
+/// directions); every other node is installed without processes and
+/// never sees traffic, so its demand-allocated state — GBN peer maps,
+/// pending stores, address-space backing — is never materialized. The
+/// differential suite uses this to pin down that lazily-created state
+/// cannot leak into digests or fingerprints, and that idle-shard
+/// skipping stays bit-identical when most shards have nothing to do.
+pub fn sparse_pairs_machine(dims: Dims, pairs: &[(u32, u32)], rounds: u32, msg: u64) -> Machine {
+    let n = dims.node_count();
+    let config = MachineConfig::paper(dims);
+    let idle = NodeSpec {
+        os: OsKind::Catamount,
+        procs: Vec::new(),
+    };
+    let busy = NodeSpec {
+        os: OsKind::Catamount,
+        procs: vec![ProcSpec {
+            mem_bytes: (2 * msg + 8192) as usize,
+            ..ProcSpec::catamount_generic()
+        }],
+    };
+    let mut specs = vec![idle; n as usize];
+    for &(a, b) in pairs {
+        assert!(a != b && a < n && b < n, "pair ({a}, {b}) out of range");
+        specs[a as usize] = busy.clone();
+        specs[b as usize] = busy.clone();
+    }
+    let mut m = Machine::new(config, &specs);
+    for &(a, b) in pairs {
+        m.spawn(a, 0, Box::new(NeighborPusher::toward(b, rounds, msg)));
+        m.spawn(b, 0, Box::new(NeighborPusher::toward(a, rounds, msg)));
     }
     m
 }

@@ -12,7 +12,7 @@
 
 use xt3_netpipe::runner::{build_machine, scenario_matrix, scenario_name, NetpipeConfig};
 use xt3_node::par::run_parallel;
-use xt3_node::workloads::red_storm_machine;
+use xt3_node::workloads::{red_storm_machine, sparse_pairs_machine};
 use xt3_node::Machine;
 use xt3_sim::{RunOutcome, SimTime};
 use xt3_topology::coord::Dims;
@@ -101,6 +101,26 @@ fn red_storm_bit_identical_under_parallelism() {
     // 4x3x2 = 24 nodes: every tested worker count gets distinct slabs.
     let dims = Dims::red_storm(4, 3, 2);
     assert_parallel_matches(|| red_storm_machine(dims, 2, 4 * 1024), "red-storm-4x3x2");
+}
+
+/// Sparse peers across an otherwise idle machine: only three node pairs
+/// exchange traffic, so most nodes never materialize their
+/// demand-allocated state (GBN peer maps, pending stores, address-space
+/// backing) and — at every tested worker count — several shards are
+/// idle in most windows. This pins down two things at once: lazily
+/// created state cannot leak into digests or fingerprints, and the
+/// idle-shard-skipping / solo-shard-sprint paths in the window driver
+/// are bit-identical to serial.
+#[test]
+fn sparse_peers_bit_identical_under_parallelism() {
+    // 60 nodes; pairs span distant slabs so every worker count in
+    // WORKERS leaves at least one shard with no traffic at all.
+    let dims = Dims::red_storm(5, 4, 3);
+    let pairs = [(0, 59), (7, 23), (31, 32)];
+    assert_parallel_matches(
+        || sparse_pairs_machine(dims, &pairs, 2, 4 * 1024),
+        "sparse-peers-5x4x3",
+    );
 }
 
 /// Fault injection (drops, corruption, reorders, go-back-n recovery)
