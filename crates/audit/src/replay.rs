@@ -320,13 +320,36 @@ pub fn fault_scenario() -> Scenario {
     }
 }
 
+/// The RMA-native workload scenarios: the 4-rank distributed hash table
+/// (accumulate inserts + get lookups) and the 8-rank window-driven halo
+/// exchange. These replay the one-sided machinery the NetPIPE matrix
+/// does not reach — multi-rank fence barriers, per-target accumulate
+/// serialization, window events — under the audit (synthetic) build.
+pub fn rma_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "rma/dht".to_string(),
+            build: Box::new(|| {
+                xt3_netpipe::rma::dht_machine(&xt3_netpipe::rma::RmaWorkloadConfig::audit())
+            }),
+        },
+        Scenario {
+            name: "rma/window-halo".to_string(),
+            build: Box::new(|| {
+                xt3_netpipe::rma::window_halo_machine(&xt3_netpipe::rma::RmaWorkloadConfig::audit())
+            }),
+        },
+    ]
+}
+
 /// Every scenario the `audit replay` command and the tier-1 replay test
-/// run: NetPIPE sweeps capped at 4 KiB, the e2e configurations, and the
-/// fault-injected replay.
+/// run: NetPIPE sweeps capped at 4 KiB, the e2e configurations, the
+/// fault-injected replay, and the RMA workloads.
 pub fn all_scenarios() -> Vec<Scenario> {
     let mut out = netpipe_scenarios(4096);
     out.extend(e2e_scenarios());
     out.push(fault_scenario());
+    out.extend(rma_scenarios());
     out
 }
 

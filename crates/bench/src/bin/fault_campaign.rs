@@ -94,13 +94,13 @@ fn main() {
     println!();
 
     let start = std::time::Instant::now();
-    let (sweep, integrity, isolation) = run_all(&config, serial);
+    let (sweep, rma, integrity, isolation) = run_all(&config, serial);
 
     println!(
         "{:<28} {:>6} {:>9} {:>7} {:>7} {:>6} {:>18}",
         "scenario", "rate", "events", "faults", "retx", "sram", "digest"
     );
-    for r in &sweep {
+    for r in sweep.iter().chain(&rma) {
         println!(
             "{:<28} {:>6.3} {:>9} {:>7} {:>7} {:>6} {:#018x}",
             r.name,
@@ -113,6 +113,10 @@ fn main() {
         );
     }
     println!();
+    println!(
+        "rma: {} workload cells (accumulate exactly-once + halo byte integrity held)",
+        rma.len()
+    );
     println!(
         "integrity: {} messages byte-exact ({} wire faults, {} sram rejections, \
          {} interrupt spikes, {} retransmissions)",
@@ -127,8 +131,8 @@ fn main() {
         isolation.dark, isolation.delivered
     );
 
-    let cells = sweep.len();
-    let injected: u64 = sweep.iter().map(|r| r.stats.total()).sum();
+    let cells = sweep.len() + rma.len();
+    let injected: u64 = sweep.iter().chain(&rma).map(|r| r.stats.total()).sum();
     println!();
     println!(
         "campaign green: {cells} scenario cells, {injected} injected faults, \

@@ -10,17 +10,29 @@
 //! table is an accounting identity, not an estimate.
 //!
 //! ```text
-//! latency_explain [--sizes CSV] [--reps N] [--transport put|get] [--quick]
-//!                 [--out PATH] [--trace PATH]
+//! latency_explain [--sizes CSV] [--reps N] [--quick] [--out PATH] [--trace PATH]
+//!                 [--transport put|get|rma|mpich1|mpich2]
+//! latency_explain --compare [--sizes CSV] [--reps N] [--quick]
 //! latency_explain --baseline a.json --candidate b.json [--tol-ns N]
 //! ```
 //!
-//! The second form diffs two JSON outputs of the first form and exits
-//! non-zero when the candidate's total latency regresses beyond the
-//! tolerance at any common size.
+//! `--transport rma` attributes the one-sided put ping-pong: the RMA
+//! window completion path raises Ack and fence-barrier traffic alongside
+//! the data puts, so attribution keeps only data-bearing chains (the
+//! sync chains are zero-byte by construction) — the partition over the
+//! measured window stays exact. `--compare` runs the one-sided put
+//! against both two-sided personalities at the same sizes and prints the
+//! per-class deltas: the table that says *why* RMA beats or loses to
+//! eager/rendezvous at each message size.
+//!
+//! The `--baseline`/`--candidate` form diffs two JSON outputs of the
+//! first form and exits non-zero when the candidate's total latency
+//! regresses beyond the tolerance at any common size.
 
 use std::fmt::Write as _;
-use xt3_netpipe::runner::{critical_chains, run_explained, NetpipeConfig, TestKind, Transport};
+use xt3_netpipe::runner::{
+    critical_chains, run_explained, tiled_chains, NetpipeConfig, TestKind, Transport,
+};
 use xt3_netpipe::Schedule;
 use xt3_sim::SimTime;
 use xt3_telemetry::{parse_json, Breakdown, Chain, CostClass, JsonValue};
@@ -34,9 +46,16 @@ struct SizeRow {
     elapsed: SimTime,
     /// Critical-path chains inside the measured window.
     chains: usize,
-    /// Per-class totals over the round; sums exactly to `elapsed`.
+    /// Per-class totals over the round; with `turnaround`, sums exactly
+    /// to `elapsed`.
     classes: Breakdown,
-    /// `elapsed - classes.total()`; zero unless attribution failed.
+    /// Library/application time between a delivery and the next
+    /// injection (zero for the raw Portals transports, whose drivers
+    /// reply in the delivery instant; the personalities pay event
+    /// draining and matching here).
+    turnaround: SimTime,
+    /// `|elapsed - (classes.total() + turnaround)|`; zero unless
+    /// attribution failed (under- *or* over-counted).
     residual: SimTime,
     /// Causal records lost to the bounded log (0 in any sane run).
     dropped: u64,
@@ -50,17 +69,26 @@ impl SizeRow {
     fn class_ns(&self, class: CostClass) -> f64 {
         self.classes.get(class).as_ns_f64() / f64::from(self.messages)
     }
+
+    fn turnaround_ns(&self) -> f64 {
+        self.turnaround.as_ns_f64() / f64::from(self.messages)
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: latency_explain [--sizes CSV] [--reps N] [--transport put|get] [--quick]\n\
+        "usage: latency_explain [--sizes CSV] [--reps N] [--quick]\n\
+         \x20                      [--transport put|get|rma|mpich1|mpich2]\n\
          \x20                      [--out PATH] [--trace PATH]\n\
+         \x20      latency_explain --compare [--sizes CSV] [--reps N] [--quick]\n\
          \x20      latency_explain --baseline a.json --candidate b.json [--tol-ns N]\n\
          \n\
          --sizes CSV       comma-separated message sizes (default Fig. 4 domain)\n\
          --reps N          ping-pong iterations per size (default 20)\n\
-         --transport T     put (default) or get\n\
+         --transport T     put (default), get, rma (one-sided put over a window),\n\
+         \x20                 mpich1 (eager) or mpich2 (rendezvous)\n\
+         --compare         RMA vs two-sided: per-class breakdown of all three\n\
+         \x20                 ping-pongs at the same sizes, plus the deltas\n\
          --quick           small size list + 5 reps (CI smoke configuration)\n\
          --out PATH        write per-size breakdown JSON\n\
          --trace PATH      write a Perfetto flow trace of the first size's run\n\
@@ -80,6 +108,7 @@ fn main() {
     let mut baseline: Option<String> = None;
     let mut candidate: Option<String> = None;
     let mut tol_ns: f64 = 100.0;
+    let mut compare = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -105,9 +134,13 @@ fn main() {
                 transport = match args.next().as_deref() {
                     Some("put") => Transport::Put,
                     Some("get") => Transport::Get,
+                    Some("rma") => Transport::Rma,
+                    Some("mpich1") => Transport::Mpich1,
+                    Some("mpich2") => Transport::Mpich2,
                     _ => usage(),
                 }
             }
+            "--compare" => compare = true,
             "--quick" => {
                 sizes = vec![1, 8, 12, 13, 64, 1024];
                 reps = 5;
@@ -132,6 +165,7 @@ fn main() {
 
     match (baseline, candidate) {
         (Some(b), Some(c)) => diff_mode(&b, &c, tol_ns),
+        (None, None) if compare => compare_mode(&sizes, reps),
         (None, None) => measure_mode(&sizes, reps, transport, out.as_deref(), trace.as_deref()),
         _ => {
             eprintln!("--baseline and --candidate must be given together");
@@ -156,6 +190,28 @@ fn measure_mode(
         reps
     );
     println!();
+    let rows = measure_rows(sizes, reps, transport, trace);
+
+    print_table(&rows);
+    assert_exact(&rows);
+
+    if let Some(path) = out {
+        let json = render_json(&rows, reps, transport);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("breakdown JSON written to {path}");
+    }
+}
+
+/// Run one explained ping-pong per size and account each round.
+fn measure_rows(
+    sizes: &[u64],
+    reps: u32,
+    transport: Transport,
+    trace: Option<&str>,
+) -> Vec<SizeRow> {
     let mut rows = Vec::new();
     for (i, &size) in sizes.iter().enumerate() {
         let mut config = NetpipeConfig::paper_latency();
@@ -172,9 +228,11 @@ fn measure_mode(
         }
         rows.push(account(size, round, &run.chains, run.dropped, transport));
     }
+    rows
+}
 
-    print_table(&rows);
-
+/// The attribution is an accounting identity — enforce it.
+fn assert_exact(rows: &[SizeRow]) {
     let residual: u64 = rows.iter().map(|r| r.residual.ps()).sum();
     let dropped: u64 = rows.iter().map(|r| r.dropped).sum();
     println!();
@@ -185,21 +243,68 @@ fn measure_mode(
         eprintln!("latency_explain: attribution must be exact and complete");
         std::process::exit(1);
     }
+}
 
-    if let Some(path) = out {
-        let json = render_json(&rows, reps, transport);
-        if let Err(e) = std::fs::write(path, json) {
-            eprintln!("failed to write {path}: {e}");
-            std::process::exit(1);
+/// RMA vs two-sided: run the one-sided put ping-pong and both two-sided
+/// personalities at the same sizes, print each breakdown, then the
+/// per-class deltas. Every number is exact (zero-residual), so the delta
+/// rows *are* the explanation: whichever classes go negative are where
+/// the one-sided path saves its time (no match/rendezvous turnaround in
+/// host-completion), and positives are what it pays back (the window
+/// deposit's DMA setup).
+fn compare_mode(sizes: &[u64], reps: u32) {
+    let contenders = [
+        (Transport::Rma, "rma-put"),
+        (Transport::Mpich1, "eager"),
+        (Transport::Mpich2, "rendezvous"),
+    ];
+    println!(
+        "latency_explain: one-sided vs two-sided ping-pong, {} size(s), {} rep(s) each",
+        sizes.len(),
+        reps
+    );
+    let mut all = Vec::new();
+    for (transport, label) in contenders {
+        println!();
+        println!("--- {label} ---");
+        let rows = measure_rows(sizes, reps, transport, None);
+        print_table(&rows);
+        assert_exact(&rows);
+        all.push((label, rows));
+    }
+
+    println!();
+    println!("--- per-class delta vs rma-put (ns/message; negative = rma faster) ---");
+    print!("{:>7} {:>11}", "size B", "contender");
+    for c in CostClass::ALL {
+        print!(" {:>10}", c.name());
+    }
+    println!(" {:>10} {:>9}", "turnaround", "total");
+    let (_, rma_rows) = &all[0];
+    for (label, rows) in &all[1..] {
+        for (r, base) in rows.iter().zip(rma_rows) {
+            assert_eq!(r.size, base.size, "size lists must align");
+            print!("{:>7} {:>11}", r.size, label);
+            for c in CostClass::ALL {
+                print!(" {:>+10.1}", base.class_ns(c) - r.class_ns(c));
+            }
+            println!(
+                " {:>+10.1} {:>+9.1}",
+                base.turnaround_ns() - r.turnaround_ns(),
+                base.latency_ns() - r.latency_ns()
+            );
         }
-        println!("breakdown JSON written to {path}");
     }
 }
 
 /// Sum the breakdowns of the chains that partition `round`'s measured
 /// window (see [`critical_chains`] for the selection rules). A get is
 /// measured by the requester alone, so its deliveries are filtered to
-/// node 0.
+/// node 0. The one-sided put completes through MD Ack events and fences
+/// between rounds — both raise zero-byte chains off the critical data
+/// path — so RMA attribution keeps data-bearing chains only; the
+/// ping-pong data deliveries then tile the measured window exactly, as
+/// in the two-sided cases.
 fn account(
     size: u64,
     round: xt3_netpipe::RoundResult,
@@ -207,20 +312,41 @@ fn account(
     dropped: u64,
     transport: Transport,
 ) -> SizeRow {
-    let filter = (transport == Transport::Get).then_some(0);
-    let critical = critical_chains(chains, &round, filter);
+    let (critical, turnaround) = match transport {
+        // Raw Portals drivers reply in the delivery instant, so the
+        // latest-delivery-per-id rule tiles with zero turnaround.
+        Transport::Put | Transport::Get => {
+            let filter = (transport == Transport::Get).then_some(0);
+            (critical_chains(chains, &round, filter), SimTime::ZERO)
+        }
+        // The personalities consume several events per message and run
+        // library code between delivery and reply: tile by resumption
+        // and account the turnaround explicitly. RMA additionally drops
+        // the zero-byte sync chains (fences, acks).
+        Transport::Rma | Transport::Mpich1 | Transport::Mpich2 => {
+            let tiled = tiled_chains(chains, &round, None, transport == Transport::Rma)
+                .unwrap_or_else(|| {
+                    panic!("no per-message tiling for {} @ {size} B", transport.label())
+                });
+            (tiled.chains, tiled.turnaround)
+        }
+    };
     let mut classes = Breakdown::new();
     for c in &critical {
         classes.merge(&c.breakdown);
     }
     let kept = critical.len();
-    let residual = round.elapsed.saturating_sub(classes.total());
+    let covered = classes.total() + turnaround;
+    let residual = covered
+        .checked_sub(round.elapsed)
+        .unwrap_or_else(|| round.elapsed.saturating_sub(covered));
     SizeRow {
         size,
         messages: round.messages,
         elapsed: round.elapsed,
         chains: kept,
         classes,
+        turnaround,
         residual,
         dropped,
     }
@@ -231,13 +357,18 @@ fn print_table(rows: &[SizeRow]) {
     for c in CostClass::ALL {
         print!(" {:>10}", c.name());
     }
-    println!(" {:>6} {:>8}", "chains", "resid");
+    println!(" {:>10} {:>6} {:>8}", "turnaround", "chains", "resid");
     for r in rows {
         print!("{:>7} {:>10.1}", r.size, r.latency_ns());
         for c in CostClass::ALL {
             print!(" {:>10.1}", r.class_ns(c));
         }
-        println!(" {:>6} {:>8}", r.chains, r.residual.ps());
+        println!(
+            " {:>10.1} {:>6} {:>8}",
+            r.turnaround_ns(),
+            r.chains,
+            r.residual.ps()
+        );
     }
 }
 
@@ -255,14 +386,16 @@ fn render_json(rows: &[SizeRow], reps: u32, transport: Transport) -> String {
         let _ = write!(
             s,
             "    {{\"size\": {}, \"messages\": {}, \"elapsed_ps\": {}, \"latency_ns\": {:.3}, \
-             \"chains\": {}, \"residual_ps\": {}, \"dropped\": {}, \"classes_ps\": {{",
+             \"chains\": {}, \"residual_ps\": {}, \"dropped\": {}, \"turnaround_ps\": {}, \
+             \"classes_ps\": {{",
             r.size,
             r.messages,
             r.elapsed.ps(),
             r.latency_ns(),
             r.chains,
             r.residual.ps(),
-            r.dropped
+            r.dropped,
+            r.turnaround.ps()
         );
         for (j, c) in CostClass::ALL.iter().enumerate() {
             let comma = if j + 1 == CostClass::ALL.len() {

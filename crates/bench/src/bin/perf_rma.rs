@@ -1,0 +1,299 @@
+//! RMA vs two-sided latency/bandwidth curves.
+//!
+//! Sweeps the five one-sided NetPIPE patterns (put/get/accumulate
+//! ping-pong, put stream, bidirectional put) next to the eager and
+//! rendezvous two-sided baselines, and writes the per-size latency and
+//! bandwidth numbers to `BENCH_rma.json`. Everything here is *simulated*
+//! time, so the numbers are bit-reproducible across hosts: `--check`
+//! against the committed artifact is a model-regression guard, not a
+//! wall-clock one — it trips when a change to the Portals/SeaStar model
+//! or the RMA sync path moves a curve by more than 2x, and when the
+//! headline ordering (1-byte one-sided put beats the rendezvous
+//! two-sided path) stops holding.
+//!
+//! ```text
+//! cargo run --release -p xt3-bench --bin perf_rma -- [--quick] [--max-size BYTES] [--out PATH] [--check PATH]
+//! ```
+
+use xt3_mpi::Personality;
+use xt3_netpipe::mpi::MpiPattern;
+use xt3_netpipe::rma::RmaPattern;
+use xt3_netpipe::runner::{run_mpi, run_rma, NetpipeConfig};
+use xt3_netpipe::RoundResult;
+use xt3_telemetry::JsonValue;
+
+/// One measured point.
+struct Point {
+    size: u64,
+    latency_us: f64,
+    bandwidth_mb: f64,
+}
+
+/// One curve: a named sweep of sizes.
+struct Curve {
+    name: &'static str,
+    points: Vec<Point>,
+}
+
+fn curve(name: &'static str, rounds: &[RoundResult]) -> Curve {
+    Curve {
+        name,
+        points: rounds
+            .iter()
+            .map(|r| Point {
+                size: r.size,
+                latency_us: r.latency_us(),
+                bandwidth_mb: r.bandwidth_mb(),
+            })
+            .collect(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf_rma [--quick] [--max-size BYTES] [--out PATH] [--check PATH]\n\
+         \n\
+         --quick           small messages (CI smoke configuration)\n\
+         --max-size BYTES  NetPIPE schedule size cap (default 65536)\n\
+         --out PATH        JSON output path (default BENCH_rma.json)\n\
+         --check PATH      compare against a committed artifact and fail if\n\
+         \x20                 any shared point's latency exceeds 2x the\n\
+         \x20                 committed value, or if the 1-byte one-sided put\n\
+         \x20                 no longer beats the rendezvous two-sided path"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut max_size: u64 = 64 * 1024;
+    let mut out = String::from("BENCH_rma.json");
+    let mut check: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--max-size" => {
+                max_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--check" => check = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    if quick {
+        max_size = max_size.min(4096);
+    }
+
+    let config = NetpipeConfig::quick(max_size);
+    println!("perf rma: one-sided vs two-sided, max message {max_size} B");
+    println!();
+
+    let curves = vec![
+        curve("rma-put", &run_rma(&config, RmaPattern::PingPongPut).0),
+        curve("rma-get", &run_rma(&config, RmaPattern::PingPongGet).0),
+        curve("rma-acc", &run_rma(&config, RmaPattern::PingPongAcc).0),
+        curve("rma-stream", &run_rma(&config, RmaPattern::Stream).1),
+        curve("rma-bidir", &run_rma(&config, RmaPattern::Bidir).0),
+        curve(
+            "mpich1-pingpong",
+            &run_mpi(&config, MpiPattern::PingPong, Personality::mpich1()).0,
+        ),
+        curve(
+            "mpich2-pingpong",
+            &run_mpi(&config, MpiPattern::PingPong, Personality::mpich2()).0,
+        ),
+        curve(
+            "mpich1-stream",
+            &run_mpi(&config, MpiPattern::Stream, Personality::mpich1()).1,
+        ),
+        curve(
+            "mpich2-stream",
+            &run_mpi(&config, MpiPattern::Stream, Personality::mpich2()).1,
+        ),
+    ];
+
+    println!(
+        "{:<18} {:>8} {:>12} {:>12}",
+        "curve", "points", "lat@min us", "bw@max MB/s"
+    );
+    for c in &curves {
+        let first = c.points.first().map(|p| p.latency_us).unwrap_or(0.0);
+        let last = c.points.last().map(|p| p.bandwidth_mb).unwrap_or(0.0);
+        println!(
+            "{:<18} {:>8} {:>12.3} {:>12.1}",
+            c.name,
+            c.points.len(),
+            first,
+            last
+        );
+    }
+    println!();
+    print_crossover(&curves);
+
+    let json = render_json(&curves, max_size, quick);
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+
+    if let Some(path) = check {
+        check_against(&path, &curves);
+    }
+}
+
+/// Print where the one-sided put curve crosses each two-sided baseline —
+/// the table EXPERIMENTS.md quotes.
+fn print_crossover(curves: &[Curve]) {
+    let find = |name: &str| curves.iter().find(|c| c.name == name);
+    let (Some(rma), Some(eager), Some(rndv)) = (
+        find("rma-put"),
+        find("mpich1-pingpong"),
+        find("mpich2-pingpong"),
+    ) else {
+        return;
+    };
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>10}",
+        "bytes", "rma-put us", "eager us", "rndv us", "winner"
+    );
+    for p in &rma.points {
+        let at = |c: &Curve| {
+            c.points
+                .iter()
+                .find(|q| q.size == p.size)
+                .map(|q| q.latency_us)
+        };
+        let (Some(e), Some(r)) = (at(eager), at(rndv)) else {
+            continue;
+        };
+        let winner = if p.latency_us <= e.min(r) {
+            "rma"
+        } else if e <= r {
+            "eager"
+        } else {
+            "rndv"
+        };
+        println!(
+            "{:>10} {:>12.3} {:>12.3} {:>12.3} {:>10}",
+            p.size, p.latency_us, e, r, winner
+        );
+    }
+    println!();
+}
+
+/// Model-regression guard against the committed artifact. Simulated
+/// numbers are deterministic, so the 2x tolerance is pure headroom for
+/// deliberate model evolution — accidental path regressions (a sync
+/// round-trip snuck into put completion, a fence gained a round) land
+/// well past it for small messages.
+fn check_against(path: &str, curves: &[Curve]) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = xt3_telemetry::parse_json(&text).unwrap_or_else(|e| {
+        eprintln!("baseline {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let baseline = doc.get("curves").and_then(JsonValue::as_array);
+    let baseline = baseline.unwrap_or_else(|e| {
+        eprintln!("baseline {path} has no curves array: {e}");
+        std::process::exit(1);
+    });
+
+    let mut compared = 0u32;
+    let mut worst: f64 = 0.0;
+    for c in curves {
+        let Some(ref_points) = baseline.iter().find_map(|bc| {
+            let name = bc.get("name").and_then(JsonValue::as_str).ok()?;
+            (name == c.name)
+                .then(|| bc.get("points").and_then(JsonValue::as_array).ok())
+                .flatten()
+        }) else {
+            continue;
+        };
+        for p in &c.points {
+            let Some(ref_lat) = ref_points.iter().find_map(|rp| {
+                let size = rp.get("size").and_then(JsonValue::as_f64).ok()?;
+                (size as u64 == p.size)
+                    .then(|| rp.get("latency_us").and_then(JsonValue::as_f64).ok())
+                    .flatten()
+            }) else {
+                continue;
+            };
+            compared += 1;
+            let ratio = p.latency_us / ref_lat;
+            worst = worst.max(ratio);
+            if p.latency_us > ref_lat * 2.0 {
+                eprintln!(
+                    "perf_rma: {} @ {} B regressed: {:.3} us vs committed {:.3} us (> 2x)",
+                    c.name, p.size, p.latency_us, ref_lat
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    if compared == 0 {
+        eprintln!("perf_rma: no shared (curve, size) points with baseline {path}");
+        std::process::exit(1);
+    }
+
+    // Headline ordering: a 1-byte one-sided put must still beat the
+    // rendezvous two-sided path (it skips the handshake entirely).
+    let min_lat = |name: &str| {
+        curves
+            .iter()
+            .find(|c| c.name == name)
+            .and_then(|c| c.points.first())
+            .map(|p| p.latency_us)
+    };
+    if let (Some(put), Some(rndv)) = (min_lat("rma-put"), min_lat("mpich2-pingpong")) {
+        if put >= rndv {
+            eprintln!(
+                "perf_rma: 1-byte rma-put ({put:.3} us) no longer beats rendezvous ({rndv:.3} us)"
+            );
+            std::process::exit(1);
+        }
+    }
+    println!("regression check passed: {compared} points within 2x (worst ratio {worst:.2})");
+}
+
+/// Hand-rolled JSON (the workspace's serde is an offline no-op stub).
+fn render_json(curves: &[Curve], max_size: u64, quick: bool) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"rma-vs-two-sided\",");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"max_size\": {max_size},");
+    s.push_str("  \"curves\": [\n");
+    for (ci, c) in curves.iter().enumerate() {
+        let _ = writeln!(s, "    {{\"name\": \"{}\", \"points\": [", c.name);
+        for (pi, p) in c.points.iter().enumerate() {
+            let comma = if pi + 1 == c.points.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "      {{\"size\": {}, \"latency_us\": {:.4}, \"bandwidth_mb\": {:.4}}}{comma}",
+                p.size, p.latency_us, p.bandwidth_mb
+            );
+        }
+        let comma = if ci + 1 == curves.len() { "" } else { "," };
+        let _ = writeln!(s, "    ]}}{comma}");
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

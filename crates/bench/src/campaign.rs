@@ -225,6 +225,142 @@ pub fn run_netpipe_sweep_parallel(config: &CampaignConfig) -> Vec<ScenarioReport
     crate::parallel::run_indexed(sweep_cells(config), |cell| run_cell(config, cell))
 }
 
+/// Build the fault plan an RMA workload cell runs under: wire faults at
+/// `rate` (drop = rate, corrupt = reorder = rate/2) plus an SRAM
+/// exhaustion pulse on node 1 — so every cell exercises both loss
+/// recovery and go-back-n under receive-resource pressure.
+fn rma_fault_plan(seed: u64, rate: f64) -> FaultPlan {
+    FaultPlan::wire(seed, rate).with_sram_pulse(
+        Some(1),
+        TimeWindow {
+            start: SimTime::from_us(30),
+            end: SimTime::from_us(90),
+        },
+    )
+}
+
+/// One faulted execution of one RMA workload, with the shared recovery
+/// invariants asserted and the workload's own integrity check applied.
+fn run_rma_one(
+    name: &str,
+    rate: f64,
+    machine: Machine,
+    verify: &dyn Fn(&mut Machine, &str, f64),
+) -> ScenarioReport {
+    let mut engine = machine.into_engine();
+    let outcome = engine.run();
+    assert_eq!(
+        outcome,
+        RunOutcome::Drained,
+        "{name} @ rate {rate}: faulted RMA run must drain"
+    );
+    let dispatched = engine.dispatched();
+    let digest = engine.digest();
+    let state = engine.state_fingerprint();
+    let mut m = engine.into_model();
+    assert_eq!(
+        m.running_apps(),
+        0,
+        "{name} @ rate {rate}: every rank must finish — a fence or ack was lost"
+    );
+    assert!(!m.any_panicked(), "{name} @ rate {rate}: no panicked nodes");
+    assert!(
+        m.dark_nodes().is_empty(),
+        "{name} @ rate {rate}: wire faults must not take nodes dark"
+    );
+    let stats = m.fault_stats();
+    let retransmissions = m.total_gbn_retransmissions();
+    assert!(
+        retransmissions <= (stats.total() + 1) * GBN_WINDOW,
+        "{name} @ rate {rate}: {retransmissions} retransmissions from {} faults exceeds \
+         the (faults + 1) x window bound",
+        stats.total()
+    );
+    verify(&mut m, name, rate);
+    ScenarioReport {
+        name: name.to_string(),
+        rate,
+        dispatched,
+        digest,
+        state,
+        stats,
+        retransmissions,
+        telemetry: None,
+    }
+}
+
+/// Sweep both RMA workloads — the accumulate-driven DHT and the
+/// window-driven halo exchange — across every configured wire fault rate
+/// with an SRAM exhaustion pulse layered on, real payloads throughout.
+/// Each cell runs **twice** from the same seed and must replay
+/// digest-identical: for the DHT that means the accumulation order per
+/// target is fixed, not merely the final sums.
+///
+/// Integrity invariants, checked per cell:
+/// * **DHT (exactly-once accumulate)**: the wrapping sum of every stored
+///   window lane equals the wrapping sum of every inserted value — a
+///   dropped accumulate (lost update) or a double-applied retransmission
+///   both break the equality;
+/// * **halo**: every received face is byte-exact against the neighbor's
+///   pattern for all iterations.
+pub fn run_rma_faults(config: &CampaignConfig) -> Vec<ScenarioReport> {
+    use xt3_netpipe::rma::{
+        dht_machine, dht_outcome, halo_outcome, window_halo_machine, RmaWorkloadConfig, HALO_ITERS,
+    };
+    let verify_dht = |m: &mut Machine, name: &str, rate: f64| {
+        let out = dht_outcome(m);
+        assert_eq!(
+            out.stored, out.inserted,
+            "{name} @ rate {rate}: accumulate applied other than exactly once \
+             (stored {:#x} vs inserted {:#x})",
+            out.stored, out.inserted
+        );
+    };
+    let verify_halo = |m: &mut Machine, name: &str, rate: f64| {
+        let out = halo_outcome(m);
+        assert!(
+            !out.corrupt,
+            "{name} @ rate {rate}: a halo face failed byte verification"
+        );
+        assert_eq!(
+            out.iters, HALO_ITERS,
+            "{name} @ rate {rate}: iterations lost"
+        );
+    };
+    type RmaCell<'a> = (
+        &'a str,
+        &'a dyn Fn(&RmaWorkloadConfig) -> Machine,
+        &'a dyn Fn(&mut Machine, &str, f64),
+    );
+    let mut reports = Vec::new();
+    for (sidx, &rate) in config.rates.iter().enumerate() {
+        let cells: [RmaCell<'_>; 2] = [
+            ("rma/dht", &|c| dht_machine(c), &verify_dht),
+            ("rma/window-halo", &|c| window_halo_machine(c), &verify_halo),
+        ];
+        for (cidx, (name, build, verify)) in cells.iter().enumerate() {
+            let plan_seed = config
+                .seed
+                .wrapping_mul(0xA24B_AED4_963E_E407)
+                .wrapping_add(((sidx as u64) << 8) | cidx as u64);
+            let wcfg = RmaWorkloadConfig::validation().with_faults(rma_fault_plan(plan_seed, rate));
+            let first = run_rma_one(name, rate, build(&wcfg), verify);
+            let second = run_rma_one(name, rate, build(&wcfg), verify);
+            assert_eq!(
+                first.digest, second.digest,
+                "{name}: same-seed faulted RMA runs must replay digest-identical"
+            );
+            assert_eq!(
+                first.state, second.state,
+                "{name}: same-seed faulted RMA runs must agree on state fingerprints"
+            );
+            assert_eq!(first.dispatched, second.dispatched);
+            reports.push(first);
+        }
+    }
+    reports
+}
+
 /// Result of the real-payload integrity run.
 #[derive(Debug, Clone)]
 pub struct IntegrityReport {
@@ -354,19 +490,26 @@ pub fn run_isolation(seed: u64) -> IsolationReport {
     }
 }
 
-/// Full campaign: the NetPIPE sweep plus the integrity and isolation
-/// runs. Panics on any violated invariant; returns the per-scenario
-/// reports for display. `serial` forces the single-threaded sweep (the
-/// parallel one is the default and produces bit-identical reports).
+/// Full campaign: the NetPIPE sweep, the RMA workload sweep, plus the
+/// integrity and isolation runs. Panics on any violated invariant;
+/// returns the per-scenario reports for display. `serial` forces the
+/// single-threaded sweep (the parallel one is the default and produces
+/// bit-identical reports).
 pub fn run_all(
     config: &CampaignConfig,
     serial: bool,
-) -> (Vec<ScenarioReport>, IntegrityReport, IsolationReport) {
+) -> (
+    Vec<ScenarioReport>,
+    Vec<ScenarioReport>,
+    IntegrityReport,
+    IsolationReport,
+) {
     let sweep = if serial {
         run_netpipe_sweep(config)
     } else {
         run_netpipe_sweep_parallel(config)
     };
+    let rma = run_rma_faults(config);
     let max_rate = config
         .rates
         .iter()
@@ -375,7 +518,7 @@ pub fn run_all(
         .max(0.02);
     let integrity = run_payload_integrity(config.seed ^ 0x1A7E6417, max_rate);
     let isolation = run_isolation(config.seed ^ 0x150_1A7E);
-    (sweep, integrity, isolation)
+    (sweep, rma, integrity, isolation)
 }
 
 #[cfg(test)]
@@ -459,6 +602,26 @@ mod tests {
             assert_eq!(s.retransmissions, p.retransmissions);
             assert_eq!(s.stats, p.stats);
         }
+    }
+
+    /// One RMA workload cell per workload at a meaningful fault rate:
+    /// drains, replays digest-identical, and — the Accumulate
+    /// exactly-once invariant — the stored sums match the inserted sums
+    /// even when go-back-n had to retransmit.
+    #[test]
+    fn rma_workloads_recover_and_stay_exactly_once() {
+        let config = CampaignConfig {
+            seed: 0xCA4A16,
+            rates: vec![0.06],
+            max_size: 256,
+            telemetry: false,
+        };
+        let reports = run_rma_faults(&config);
+        assert_eq!(reports.len(), 2, "one cell per workload per rate");
+        assert!(
+            reports.iter().any(|r| r.stats.total() > 0),
+            "a 6% fault rate must actually inject faults somewhere"
+        );
     }
 
     #[test]

@@ -30,9 +30,15 @@
 pub mod collectives;
 pub mod endpoint;
 pub mod personality;
+pub mod rma;
 pub mod types;
+pub mod window;
 
 pub use collectives::{AllReduce, Barrier, Broadcast};
 pub use endpoint::{Completion, CompletionKind, MpiEndpoint};
 pub use personality::Personality;
+pub use rma::{
+    f64_to_ordered_bits, ordered_bits_to_f64, RmaCompletion, RmaCompletionKind, RmaEndpoint,
+};
 pub use types::{MpiError, Rank, ReqId, Tag, ANY_SOURCE, ANY_TAG};
+pub use window::{Window, RMA_PT, WIN_BASE};

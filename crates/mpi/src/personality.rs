@@ -49,6 +49,28 @@ impl Personality {
         }
     }
 
+    /// The MPI-3 one-sided (RMA) personality.
+    ///
+    /// One-sided MPI maps straight onto Portals one-sided primitives:
+    /// no posted-receive queue to search, no unexpected-message bounce
+    /// buffers, no tag matching beyond the window id. Its per-operation
+    /// overheads are accordingly lighter than either two-sided
+    /// personality — the origin binds an MD and fires; the target's NIC
+    /// does the rest. `eager_max` is irrelevant (there is no rendezvous
+    /// switch; puts of any size are one-sided) and kept only so curve
+    /// harnesses can read a uniform struct.
+    pub fn rma() -> Self {
+        Personality {
+            name: "mpi-rma",
+            eager_max: u64::MAX,
+            send_overhead: SimTime::from_ns(250),
+            recv_overhead: SimTime::from_ns(200),
+            event_overhead: SimTime::from_ns(180),
+            unexpected_buffers: 0,
+            unexpected_buffer_bytes: 0,
+        }
+    }
+
     /// Cray's MPICH2.
     pub fn mpich2() -> Self {
         Personality {

@@ -1,0 +1,98 @@
+//! MPI-3 RMA windows over Portals match entries.
+//!
+//! `MPI_Win_create` exposes a caller-owned memory region for one-sided
+//! access. The Portals mapping is direct: each window is one match entry
+//! on a dedicated portal table entry ([`RMA_PT`]) whose match bits are
+//! the window id, backed by an MD over the exposed region with
+//! [`MdOptions::rma_target`] — puts, gets and atomics accepted, target
+//! displacement supplied by the initiator (`manage_remote`), no
+//! truncation. Window creation is collective in the MPI sense only in
+//! that every rank must create its windows in the same order so ids
+//! agree; no messages are exchanged.
+
+use crate::types::MpiError;
+use xt3_node::machine::AppCtx;
+use xt3_portals::md::{MdOptions, Threshold};
+use xt3_portals::me::{InsertPos, UnlinkOp};
+use xt3_portals::types::{EqHandle, MdHandle, MeHandle, ProcessId};
+
+/// Portal table index for RMA window traffic.
+pub const RMA_PT: u32 = 3;
+
+/// User-pointer base for window MDs: window `id` carries user pointer
+/// `WIN_BASE + id`, so target-side events route back to the window.
+pub const WIN_BASE: u64 = u64::MAX - 4096;
+
+/// One exposed window on this rank.
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    /// Window id (= Portals match bits on [`RMA_PT`]).
+    pub id: u64,
+    /// Base address of the exposed region.
+    pub base: u64,
+    /// Region length in bytes.
+    pub len: u64,
+    /// The match entry exposing the region.
+    pub me: MeHandle,
+    /// The MD over the region.
+    pub md: MdHandle,
+    /// Whether target-side events (remote puts landing) are delivered.
+    pub events: bool,
+}
+
+impl Window {
+    /// Expose `[base, base+len)` as window `id`.
+    ///
+    /// With `events` set, remote puts landing in the window raise
+    /// `PutEnd` events on `eq` (the stream benchmark and the halo
+    /// workload consume these); start events are always suppressed.
+    pub fn create(
+        ctx: &mut AppCtx<'_>,
+        eq: EqHandle,
+        id: u64,
+        base: u64,
+        len: u64,
+        events: bool,
+    ) -> Result<Self, MpiError> {
+        let me = ctx
+            .me_attach(
+                RMA_PT,
+                ProcessId::any(),
+                id,
+                0,
+                UnlinkOp::Retain,
+                InsertPos::After,
+            )
+            .map_err(|_| MpiError::Portals)?;
+        let options = MdOptions {
+            event_start_disable: true,
+            event_end_disable: !events,
+            ..MdOptions::rma_target()
+        };
+        let md = ctx
+            .md_attach(
+                me,
+                base,
+                len,
+                options,
+                Threshold::Infinite,
+                if events { Some(eq) } else { None },
+                WIN_BASE + id,
+            )
+            .map_err(|_| MpiError::Portals)?;
+        Ok(Window {
+            id,
+            base,
+            len,
+            me,
+            md,
+            events,
+        })
+    }
+
+    /// Tear the window down (`MPI_Win_free`); the caller is responsible
+    /// for having synchronized first.
+    pub fn free(&self, ctx: &mut AppCtx<'_>) -> Result<(), MpiError> {
+        ctx.me_unlink(self.me).map_err(|_| MpiError::Portals)
+    }
+}

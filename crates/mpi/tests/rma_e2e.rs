@@ -1,0 +1,412 @@
+//! End-to-end MPI-3 RMA tests on the simulated platform: windows,
+//! put/get/accumulate, fence and passive-target epochs.
+
+use std::any::Any;
+use xt3_mpi::{Personality, RmaCompletionKind, RmaEndpoint};
+use xt3_node::config::{MachineConfig, NodeSpec, OsKind, ProcSpec};
+use xt3_node::{App, AppCtx, AppEvent, Machine};
+use xt3_portals::header::AtomicOp;
+use xt3_portals::types::ProcessId;
+use xt3_sim::RunOutcome;
+
+/// Memory layout: the exposed window sits at 1 MB, op staging below it.
+const WIN_ADDR: u64 = 1 << 20;
+const WIN_LEN: u64 = 64 * 1024;
+const SRC_BUF: u64 = 0;
+const GET_BUF: u64 = 64 * 1024;
+
+fn comm(n: u32) -> Vec<ProcessId> {
+    (0..n).map(|i| ProcessId::new(i, 0)).collect()
+}
+
+fn pattern(rank: u32, i: u64) -> u8 {
+    ((i * 13 + rank as u64 * 31 + 5) % 251) as u8
+}
+
+enum Script {
+    /// Rank 0 puts into rank 1's window (fence-synchronized), then rank
+    /// 1 gets from rank 0's window under a lock/unlock epoch.
+    PutGetFence { step: u32 },
+    /// Every rank > 0 accumulates `Sum` twice into rank 0's lanes.
+    AccSum { step: u32 },
+    /// Rank 0 fires four back-to-back `Replace` accumulates; per-target
+    /// serialization must apply them in issue order.
+    ReplaceChain { step: u32, serialized: u64 },
+    /// Rank 1's window has events enabled; rank 0's put must surface as
+    /// a target-side `WindowPut` completion.
+    WindowEvents { got_window_put: bool, done: bool },
+}
+
+struct RmaApp {
+    rank: u32,
+    n: u32,
+    ep: Option<RmaEndpoint>,
+    win: u64,
+    script: Script,
+    pub log: Vec<String>,
+}
+
+impl RmaApp {
+    fn new(rank: u32, n: u32, script: Script) -> Self {
+        RmaApp {
+            rank,
+            n,
+            ep: None,
+            win: 0,
+            script,
+            log: Vec::new(),
+        }
+    }
+
+    fn zero_window(ctx: &mut AppCtx<'_>) {
+        ctx.write_mem(WIN_ADDR, &vec![0u8; WIN_LEN as usize]);
+    }
+
+    fn read_lane(ctx: &mut AppCtx<'_>, lane: u64) -> u64 {
+        let b = ctx.read_mem(WIN_ADDR + lane * 8, 8);
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&b);
+        u64::from_le_bytes(a)
+    }
+}
+
+impl App for RmaApp {
+    fn on_event(&mut self, ctx: &mut AppCtx<'_>, event: AppEvent) {
+        let events_wanted = matches!(self.script, Script::WindowEvents { .. }) && self.rank == 1;
+        if let AppEvent::Started = event {
+            let mut ep = RmaEndpoint::init(ctx, comm(self.n), self.rank, Personality::rma())
+                .expect("rma init");
+            Self::zero_window(ctx);
+            self.win = ep
+                .win_create(ctx, WIN_ADDR, WIN_LEN, events_wanted)
+                .expect("win_create");
+            self.ep = Some(ep);
+        }
+        let mut ep = self.ep.take().expect("endpoint");
+        if let AppEvent::Ptl(ev) = &event {
+            ep.progress(ctx, ev.clone());
+        }
+
+        match &mut self.script {
+            Script::PutGetFence { step } => {
+                if matches!(event, AppEvent::Started) {
+                    // Everyone publishes a rank-specific pattern in its
+                    // own window, then fences so it is globally visible.
+                    let fill: Vec<u8> = (0..4096).map(|i| pattern(self.rank, i)).collect();
+                    ctx.write_mem(WIN_ADDR, &fill);
+                    ep.fence(ctx).unwrap();
+                }
+                let mut finished = false;
+                for c in ep.take_completions() {
+                    match (c.kind, *step) {
+                        (RmaCompletionKind::Fence, 0) => {
+                            *step = 1;
+                            if self.rank == 0 {
+                                let payload: Vec<u8> = (0..1024).map(|i| pattern(9, i)).collect();
+                                ctx.write_mem(SRC_BUF, &payload);
+                                ep.put(&mut *ctx, self.win, 1, SRC_BUF, 1024, 256).unwrap();
+                            }
+                            ep.fence(ctx).unwrap();
+                        }
+                        (RmaCompletionKind::Fence, 1) => {
+                            *step = 2;
+                            if self.rank == 1 {
+                                // The put is fence-complete: verify it.
+                                if !ctx.synthetic() {
+                                    let got = ctx.read_mem(WIN_ADDR + 256, 1024);
+                                    let want: Vec<u8> = (0..1024).map(|i| pattern(9, i)).collect();
+                                    assert_eq!(got, want, "put payload mismatch");
+                                }
+                                self.log.push("put-verified".into());
+                                // Passive-target read of rank 0's window.
+                                ep.lock(0);
+                                ep.get(&mut *ctx, self.win, 0, GET_BUF, 512, 128).unwrap();
+                                ep.unlock(ctx, 0).unwrap();
+                            } else {
+                                finished = true;
+                            }
+                        }
+                        (RmaCompletionKind::Put, _) => {
+                            self.log.push(format!("put-done len={}", c.len));
+                        }
+                        (RmaCompletionKind::Get, _) => {
+                            self.log.push(format!("get-done len={}", c.len));
+                        }
+                        (RmaCompletionKind::Flush, _) => {
+                            // unlock(0) drained: the get is complete.
+                            if !ctx.synthetic() {
+                                let got = ctx.read_mem(GET_BUF, 512);
+                                let want: Vec<u8> = (0..512).map(|i| pattern(0, i + 128)).collect();
+                                assert_eq!(got, want, "get payload mismatch");
+                            }
+                            self.log.push("get-verified".into());
+                            finished = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if finished {
+                    ctx.finish();
+                } else {
+                    ctx.wait_eq(ep.eq());
+                }
+            }
+            Script::AccSum { step } => {
+                if matches!(event, AppEvent::Started) {
+                    ep.fence(ctx).unwrap();
+                }
+                let mut finished = false;
+                for c in ep.take_completions() {
+                    match (c.kind, *step) {
+                        (RmaCompletionKind::Fence, 0) => {
+                            *step = 1;
+                            if self.rank != 0 {
+                                // Two accumulates of [r, 10r] into rank
+                                // 0's lanes 0-1; the second queues behind
+                                // the first (per-target serialization).
+                                let r = self.rank as u64;
+                                for _ in 0..2 {
+                                    ctx.write_mem(SRC_BUF, &r.to_le_bytes());
+                                    ctx.write_mem(SRC_BUF + 8, &(10 * r).to_le_bytes());
+                                    ep.accumulate(
+                                        &mut *ctx,
+                                        self.win,
+                                        0,
+                                        SRC_BUF,
+                                        16,
+                                        AtomicOp::Sum,
+                                        0,
+                                    )
+                                    .unwrap();
+                                }
+                            }
+                            ep.fence(ctx).unwrap();
+                        }
+                        (RmaCompletionKind::Fence, 1) => {
+                            *step = 2;
+                            if self.rank == 0 && !ctx.synthetic() {
+                                let sum_r: u64 = (1..self.n as u64).sum();
+                                assert_eq!(Self::read_lane(ctx, 0), 2 * sum_r, "lane 0");
+                                assert_eq!(Self::read_lane(ctx, 1), 20 * sum_r, "lane 1");
+                                self.log.push("acc-verified".into());
+                            }
+                            finished = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if finished {
+                    ctx.finish();
+                } else {
+                    ctx.wait_eq(ep.eq());
+                }
+            }
+            Script::ReplaceChain { step, serialized } => {
+                if matches!(event, AppEvent::Started) {
+                    ep.fence(ctx).unwrap();
+                }
+                let mut finished = false;
+                for c in ep.take_completions() {
+                    match (c.kind, *step) {
+                        (RmaCompletionKind::Fence, 0) => {
+                            *step = 1;
+                            if self.rank == 0 {
+                                // Four back-to-back replaces; each uses
+                                // its own staging lane so queued payloads
+                                // stay stable until issued.
+                                for (i, v) in [1u64, 2, 3, 4].iter().enumerate() {
+                                    let addr = SRC_BUF + i as u64 * 8;
+                                    ctx.write_mem(addr, &v.to_le_bytes());
+                                    ep.accumulate(
+                                        &mut *ctx,
+                                        self.win,
+                                        1,
+                                        addr,
+                                        8,
+                                        AtomicOp::Replace,
+                                        0,
+                                    )
+                                    .unwrap();
+                                }
+                            }
+                            ep.fence(ctx).unwrap();
+                        }
+                        (RmaCompletionKind::Fence, 1) => {
+                            *step = 2;
+                            *serialized = ep.acc_serialized;
+                            if self.rank == 1 && !ctx.synthetic() {
+                                assert_eq!(
+                                    Self::read_lane(ctx, 0),
+                                    4,
+                                    "replaces must apply in issue order"
+                                );
+                                self.log.push("replace-verified".into());
+                            }
+                            finished = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if finished {
+                    ctx.finish();
+                } else {
+                    ctx.wait_eq(ep.eq());
+                }
+            }
+            Script::WindowEvents {
+                got_window_put,
+                done,
+            } => {
+                if matches!(event, AppEvent::Started) && self.rank == 0 {
+                    let payload: Vec<u8> = (0..256).map(|i| pattern(7, i)).collect();
+                    ctx.write_mem(SRC_BUF, &payload);
+                    ep.put(&mut *ctx, self.win, 1, SRC_BUF, 256, 512).unwrap();
+                }
+                for c in ep.take_completions() {
+                    match c.kind {
+                        RmaCompletionKind::WindowPut => {
+                            assert_eq!(c.peer, 0);
+                            assert_eq!(c.len, 256);
+                            assert_eq!(c.offset, 512);
+                            *got_window_put = true;
+                            self.log.push("window-put".into());
+                        }
+                        RmaCompletionKind::Put => {
+                            *done = true;
+                        }
+                        _ => {}
+                    }
+                }
+                let finished = if self.rank == 0 {
+                    *done
+                } else {
+                    *got_window_put
+                };
+                if finished {
+                    ctx.finish();
+                } else {
+                    ctx.wait_eq(ep.eq());
+                }
+            }
+        }
+        self.ep = Some(ep);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn run_machine(n_nodes: u16, apps: Vec<RmaApp>, synthetic: bool) -> Vec<RmaApp> {
+    let mut config = MachineConfig::paper(xt3_topology::coord::Dims::mesh(n_nodes, 1, 1));
+    config.synthetic_payload = synthetic;
+    let spec = NodeSpec {
+        os: OsKind::Catamount,
+        procs: vec![ProcSpec {
+            mem_bytes: 8 << 20,
+            ..ProcSpec::catamount_generic()
+        }],
+    };
+    let mut m = Machine::new(config, &[spec]);
+    for (i, app) in apps.into_iter().enumerate() {
+        m.spawn(i as u32, 0, Box::new(app));
+    }
+    let mut engine = m.into_engine();
+    assert_eq!(engine.run(), RunOutcome::Drained);
+    let mut m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "apps must all finish");
+    (0..n_nodes as u32)
+        .map(|i| {
+            let mut a = m.take_app(i, 0).unwrap();
+            let app = a.as_any().downcast_mut::<RmaApp>().unwrap();
+            std::mem::replace(app, RmaApp::new(0, 0, Script::PutGetFence { step: 0 }))
+        })
+        .collect()
+}
+
+#[test]
+fn put_get_fence_roundtrip() {
+    let apps = run_machine(
+        2,
+        (0..2)
+            .map(|r| RmaApp::new(r, 2, Script::PutGetFence { step: 0 }))
+            .collect(),
+        false,
+    );
+    assert!(apps[0].log.iter().any(|l| l.starts_with("put-done")));
+    assert!(apps[1].log.iter().any(|l| l == "put-verified"));
+    assert!(apps[1].log.iter().any(|l| l == "get-verified"));
+}
+
+#[test]
+fn accumulate_sum_across_four_ranks() {
+    let apps = run_machine(
+        4,
+        (0..4)
+            .map(|r| RmaApp::new(r, 4, Script::AccSum { step: 0 }))
+            .collect(),
+        false,
+    );
+    assert!(apps[0].log.iter().any(|l| l == "acc-verified"));
+}
+
+#[test]
+fn replace_chain_applies_in_issue_order() {
+    let apps = run_machine(
+        2,
+        (0..2)
+            .map(|r| {
+                RmaApp::new(
+                    r,
+                    2,
+                    Script::ReplaceChain {
+                        step: 0,
+                        serialized: 0,
+                    },
+                )
+            })
+            .collect(),
+        false,
+    );
+    assert!(apps[1].log.iter().any(|l| l == "replace-verified"));
+    // Three of rank 0's four replaces had to queue.
+    let Script::ReplaceChain { serialized, .. } = apps[0].script else {
+        panic!("wrong script");
+    };
+    assert_eq!(serialized, 3, "back-to-back accumulates must serialize");
+}
+
+#[test]
+fn window_events_surface_remote_puts() {
+    let apps = run_machine(
+        2,
+        (0..2)
+            .map(|r| {
+                RmaApp::new(
+                    r,
+                    2,
+                    Script::WindowEvents {
+                        got_window_put: false,
+                        done: false,
+                    },
+                )
+            })
+            .collect(),
+        false,
+    );
+    assert!(apps[1].log.iter().any(|l| l == "window-put"));
+}
+
+#[test]
+fn fence_synchronizes_without_traffic() {
+    // Pure fences on a non-power-of-two communicator: the dissemination
+    // barrier must still terminate.
+    let apps = run_machine(
+        3,
+        (0..3)
+            .map(|r| RmaApp::new(r, 3, Script::AccSum { step: 0 }))
+            .collect(),
+        true,
+    );
+    assert_eq!(apps.len(), 3);
+}

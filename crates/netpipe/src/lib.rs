@@ -22,6 +22,9 @@
 //!   paper's module does;
 //! * [`mpi`] — the MPI drivers over `xt3-mpi` (ping-pong, streaming,
 //!   bidirectional) for both personalities;
+//! * [`rma`] — the MPI-3 one-sided drivers (put/get/accumulate
+//!   ping-pong, streaming, bidirectional over windows) plus the
+//!   RMA-native DHT and window-halo workloads;
 //! * [`report`] — result containers, series construction, ASCII figure
 //!   rendering, and JSON export;
 //! * [`mod@reference`] — the paper's published anchor values (Figures 4–7);
@@ -45,6 +48,7 @@ pub mod mpi;
 pub mod ptl;
 pub mod reference;
 pub mod report;
+pub mod rma;
 pub mod runner;
 pub mod schedule;
 

@@ -3,6 +3,7 @@
 use crate::mpi::{MpiDriver, MpiPattern};
 use crate::ptl::{Layout, PtlInitiator, PtlPattern, PtlResponder};
 use crate::report::{bandwidth_series, latency_series, RoundResult, Series};
+use crate::rma::{RmaDriver, RmaLayout, RmaPattern};
 use crate::schedule::Schedule;
 use xt3_mpi::Personality;
 use xt3_node::config::{MachineConfig, NodeSpec, ProcSpec};
@@ -22,6 +23,8 @@ pub enum Transport {
     Mpich1,
     /// Cray MPICH2 over Portals.
     Mpich2,
+    /// MPI-3 one-sided (RMA) over Portals windows.
+    Rma,
 }
 
 impl Transport {
@@ -32,6 +35,7 @@ impl Transport {
             Transport::Get => "get",
             Transport::Mpich1 => "mpich-1.2.6",
             Transport::Mpich2 => "mpich2",
+            Transport::Rma => "mpi-rma",
         }
     }
 }
@@ -114,6 +118,11 @@ impl NetpipeConfig {
 /// fault-injection campaign, so neither can silently cover less than the
 /// other.
 pub fn scenario_matrix() -> Vec<(Transport, TestKind)> {
+    // `Transport::Rma` is deliberately absent: the audit covers RMA
+    // through the dedicated DHT and window-halo workload scenarios
+    // (`crate::rma`), which exercise strictly more of the one-sided
+    // machinery (multi-rank fences, accumulate serialization) than a
+    // two-node curve would.
     let transports = [
         Transport::Put,
         Transport::Get,
@@ -216,6 +225,22 @@ fn mpi_machine(config: &NetpipeConfig, pattern: MpiPattern, personality: Persona
     m
 }
 
+fn rma_machine(config: &NetpipeConfig, pattern: RmaPattern) -> Machine {
+    let layout = RmaLayout::for_max(config.schedule.max_size());
+    let mut m = machine_for(config, layout.mem_bytes);
+    m.spawn(
+        0,
+        0,
+        Box::new(RmaDriver::new(pattern, config.schedule.clone(), 0)),
+    );
+    m.spawn(
+        1,
+        0,
+        Box::new(RmaDriver::new(pattern, config.schedule.clone(), 1)),
+    );
+    m
+}
+
 /// Build the fully-spawned engine for `(transport, kind)` without running
 /// it. The replay-divergence audit (`crates/audit`) uses this to step two
 /// identically-configured engines in lockstep and compare their event
@@ -243,6 +268,7 @@ pub fn build_machine(config: &NetpipeConfig, transport: Transport, kind: TestKin
         (Transport::Get, TestKind::Bidir) => ptl_symmetric_machine(config, PtlPattern::BidirGet),
         (Transport::Mpich1, k) => mpi_machine(config, mpi_pattern(k), Personality::mpich1()),
         (Transport::Mpich2, k) => mpi_machine(config, mpi_pattern(k), Personality::mpich2()),
+        (Transport::Rma, k) => rma_machine(config, rma_pattern(k)),
     }
 }
 
@@ -306,6 +332,29 @@ pub fn run_mpi(
     (ra, rb)
 }
 
+/// Run one RMA curve; returns `(rank0 results, rank1 results)`. Beyond
+/// the [`TestKind`] mapping, `perf_rma` sweeps the get and accumulate
+/// ping-pong patterns through this entry point directly.
+pub fn run_rma(
+    config: &NetpipeConfig,
+    pattern: RmaPattern,
+) -> (Vec<RoundResult>, Vec<RoundResult>) {
+    let mut engine = rma_machine(config, pattern).into_engine();
+    let outcome = engine.run();
+    assert_eq!(outcome, RunOutcome::Drained, "rma netpipe run must drain");
+    let mut m = engine.into_model();
+    assert_eq!(
+        m.running_apps(),
+        0,
+        "rma netpipe apps must finish ({pattern:?})"
+    );
+    let mut a = m.take_app(0, 0).expect("rank 0");
+    let mut b = m.take_app(1, 0).expect("rank 1");
+    let ra = std::mem::take(&mut a.as_any().downcast_mut::<RmaDriver>().unwrap().results);
+    let rb = std::mem::take(&mut b.as_any().downcast_mut::<RmaDriver>().unwrap().results);
+    (ra, rb)
+}
+
 /// The measured rounds for `(transport, kind)` — the side holding the
 /// measurement depends on the pattern (receiver for streams).
 pub fn run_curve(config: &NetpipeConfig, transport: Transport, kind: TestKind) -> Vec<RoundResult> {
@@ -318,6 +367,7 @@ pub fn run_curve(config: &NetpipeConfig, transport: Transport, kind: TestKind) -
         (Transport::Get, TestKind::Bidir) => run_ptl_symmetric(config, PtlPattern::BidirGet),
         (Transport::Mpich1, k) => run_mpi(config, mpi_pattern(k), Personality::mpich1()).pick(k),
         (Transport::Mpich2, k) => run_mpi(config, mpi_pattern(k), Personality::mpich2()).pick(k),
+        (Transport::Rma, k) => run_rma(config, rma_pattern(k)).pick(k),
     }
 }
 
@@ -326,6 +376,14 @@ fn mpi_pattern(kind: TestKind) -> MpiPattern {
         TestKind::PingPong => MpiPattern::PingPong,
         TestKind::Stream => MpiPattern::Stream,
         TestKind::Bidir => MpiPattern::Bidir,
+    }
+}
+
+fn rma_pattern(kind: TestKind) -> RmaPattern {
+    match kind {
+        TestKind::PingPong => RmaPattern::PingPongPut,
+        TestKind::Stream => RmaPattern::Stream,
+        TestKind::Bidir => RmaPattern::Bidir,
     }
 }
 
@@ -470,6 +528,97 @@ pub fn critical_chains<'a>(
     kept
 }
 
+/// A delivery-to-delivery tiling of a measured round, with the time the
+/// application (or the personality library) spent *between* a delivery
+/// and the next injection accounted separately.
+#[derive(Debug)]
+pub struct TiledChains<'a> {
+    /// One chain per timed message, ascending by end time.
+    pub chains: Vec<&'a xt3_telemetry::Chain>,
+    /// Host/library turnaround inside the measured window that no chain
+    /// covers: the gap between each delivery and the next message's API
+    /// entry (event-queue draining, tag matching, window bookkeeping),
+    /// plus the same gap before the first injection. By construction
+    /// `sum(chain spans) + turnaround == round.elapsed` exactly.
+    pub turnaround: xt3_sim::SimTime,
+}
+
+/// Select one chain per timed message such that the chains tile the
+/// measured window delivery-to-delivery.
+///
+/// [`critical_chains`] relies on "the latest delivery per trace id is
+/// the one that resumed the application", which holds for the raw
+/// Portals drivers but not for the personalities: the MPI library
+/// consumes several events per message (start/end pairs, its own
+/// send-side completions *after* it already issued the reply), and the
+/// RMA endpoint completes each put through a separate Ack message whose
+/// chain roots at the original API entry. This walks backward instead:
+/// starting from a candidate final delivery, repeatedly take the
+/// latest-ending chain that finished before the current chain's API
+/// entry and started inside the window. Sync tails (acks, send-side
+/// completions, fence barriers) never satisfy the "finished before the
+/// next injection" condition, so they fall out naturally. Anchors are
+/// tried latest-first; the first one yielding exactly
+/// `round.messages` chains is the window's true final delivery.
+///
+/// `data_only` drops zero-byte chains first (RMA fence/barrier
+/// notifications, ack messages — anything that moves no payload).
+///
+/// Returns `None` when no anchor admits a full per-message tiling,
+/// which means the round structure broke an assumption above.
+pub fn tiled_chains<'a>(
+    chains: &'a [xt3_telemetry::Chain],
+    round: &RoundResult,
+    node_filter: Option<u32>,
+    data_only: bool,
+) -> Option<TiledChains<'a>> {
+    let mut cands: Vec<&xt3_telemetry::Chain> = chains
+        .iter()
+        .filter(|c| node_filter.is_none_or(|n| c.node == n))
+        .filter(|c| !data_only || c.len > 0)
+        .collect();
+    cands.sort_by_key(|c| (c.end, c.start));
+
+    for ai in (0..cands.len()).rev() {
+        let anchor = cands[ai];
+        let Some(window_start) = anchor.end.checked_sub(round.elapsed) else {
+            continue;
+        };
+        if anchor.start < window_start {
+            continue;
+        }
+        let mut selected: Vec<&xt3_telemetry::Chain> = vec![anchor];
+        let mut limit = anchor.start;
+        while let Some(&next) = cands[..ai]
+            .iter()
+            .filter(|c| c.end <= limit && c.start >= window_start)
+            .max_by_key(|c| (c.end, c.start))
+        {
+            selected.push(next);
+            limit = next.start;
+        }
+        if selected.len() as u32 != round.messages {
+            continue;
+        }
+        selected.reverse();
+        let mut turnaround = selected[0]
+            .start
+            .checked_sub(window_start)
+            .expect("selection stayed inside the window");
+        for pair in selected.windows(2) {
+            turnaround += pair[1]
+                .start
+                .checked_sub(pair[0].end)
+                .expect("tiling is overlap-free");
+        }
+        return Some(TiledChains {
+            chains: selected,
+            turnaround,
+        });
+    }
+    None
+}
+
 /// Pull the measuring side's results out of a finished machine, matching
 /// the side selection in [`run_curve`].
 fn extract_rounds(m: &mut Machine, transport: Transport, kind: TestKind) -> Vec<RoundResult> {
@@ -489,6 +638,11 @@ fn extract_rounds(m: &mut Machine, transport: Transport, kind: TestKind) -> Vec<
             let node = if kind == TestKind::Stream { 1 } else { 0 };
             let mut a = m.take_app(node, 0).expect("rank");
             std::mem::take(&mut a.as_any().downcast_mut::<MpiDriver>().unwrap().results)
+        }
+        Transport::Rma => {
+            let node = if kind == TestKind::Stream { 1 } else { 0 };
+            let mut a = m.take_app(node, 0).expect("rank");
+            std::mem::take(&mut a.as_any().downcast_mut::<RmaDriver>().unwrap().results)
         }
     }
 }

@@ -1,0 +1,140 @@
+//! Integration tests for the RMA NetPIPE drivers and the RMA-native
+//! workloads.
+
+use xt3_netpipe::mpi::MpiPattern;
+use xt3_netpipe::rma::{
+    dht_machine, dht_outcome, halo_outcome, window_halo_machine, RmaPattern, RmaWorkloadConfig,
+    DHT_OPS_PER_RANK, DHT_RANKS, HALO_ITERS,
+};
+use xt3_netpipe::runner::{run_curve, run_mpi, run_rma, NetpipeConfig, TestKind, Transport};
+use xt3_sim::RunOutcome;
+
+fn quick() -> NetpipeConfig {
+    NetpipeConfig::quick(4096)
+}
+
+#[test]
+fn rma_pingpong_put_produces_full_curve() {
+    let cfg = quick();
+    let (r0, r1) = run_rma(&cfg, RmaPattern::PingPongPut);
+    assert_eq!(r0.len(), cfg.schedule.len(), "one result per size point");
+    assert!(r1.is_empty(), "rank 1 does not measure ping-pong");
+    for (r, p) in r0.iter().zip(&cfg.schedule.points) {
+        assert_eq!(r.size, p.size);
+        assert_eq!(r.messages, 2 * p.reps, "ping-pong counts both directions");
+        assert_eq!(r.bw_factor, 1);
+        assert!(r.elapsed.ps() > 0);
+    }
+}
+
+#[test]
+fn rma_get_and_accumulate_curves_complete() {
+    let cfg = quick();
+    let (get0, _) = run_rma(&cfg, RmaPattern::PingPongGet);
+    assert_eq!(get0.len(), cfg.schedule.len());
+    for (r, p) in get0.iter().zip(&cfg.schedule.points) {
+        assert_eq!(r.messages, p.reps, "a get is its own round trip");
+    }
+    let (acc0, _) = run_rma(&cfg, RmaPattern::PingPongAcc);
+    assert_eq!(acc0.len(), cfg.schedule.len());
+    // An accumulate pays the lane-alignment padding and the target-side
+    // read-modify-write; it can never beat a plain put.
+    let (put0, _) = run_rma(&cfg, RmaPattern::PingPongPut);
+    for (a, p) in acc0.iter().zip(&put0) {
+        assert!(
+            a.latency() >= p.latency(),
+            "accumulate {} faster than put {} at {} B",
+            a.latency_us(),
+            p.latency_us(),
+            a.size
+        );
+    }
+}
+
+#[test]
+fn rma_stream_measures_at_receiver() {
+    let cfg = quick();
+    let (r0, r1) = run_rma(&cfg, RmaPattern::Stream);
+    assert!(r0.is_empty(), "the sender does not measure a stream");
+    // Rounds with reps == 1 are unmeasurable at the receiver (no
+    // inter-arrival interval) and are skipped, like the Portals driver.
+    let measurable = cfg.schedule.points.iter().filter(|p| p.reps > 1).count();
+    assert_eq!(r1.len(), measurable);
+    for r in &r1 {
+        assert_eq!(r.bw_factor, 1);
+    }
+}
+
+#[test]
+fn rma_bidir_records_aggregate_at_rank0() {
+    let cfg = quick();
+    let (r0, r1) = run_rma(&cfg, RmaPattern::Bidir);
+    assert_eq!(r0.len(), cfg.schedule.len());
+    assert!(r1.is_empty());
+    for r in &r0 {
+        assert_eq!(r.bw_factor, 2, "bidirectional aggregates both directions");
+    }
+}
+
+#[test]
+fn rma_transport_runs_through_the_standard_harness() {
+    let cfg = quick();
+    for kind in [TestKind::PingPong, TestKind::Stream, TestKind::Bidir] {
+        let rounds = run_curve(&cfg, Transport::Rma, kind);
+        assert!(!rounds.is_empty(), "{kind:?} must measure");
+    }
+}
+
+#[test]
+fn rma_put_latency_beats_two_sided_small_messages() {
+    // The personality's whole point: no matching, no unexpected-message
+    // handling, so a 1-byte one-sided put round-trips faster than
+    // either two-sided MPI (which also rides Portals puts underneath).
+    let cfg = quick();
+    let (rma, _) = run_rma(&cfg, RmaPattern::PingPongPut);
+    let (mpi1, _) = run_mpi(&cfg, MpiPattern::PingPong, xt3_mpi::Personality::mpich1());
+    let (mpi2, _) = run_mpi(&cfg, MpiPattern::PingPong, xt3_mpi::Personality::mpich2());
+    assert!(rma[0].latency() < mpi1[0].latency());
+    assert!(rma[0].latency() < mpi2[0].latency());
+}
+
+#[test]
+fn dht_accumulates_exactly_once() {
+    let mut engine = dht_machine(&RmaWorkloadConfig::validation()).into_engine();
+    assert_eq!(engine.run(), RunOutcome::Drained);
+    let mut m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "dht ranks must finish");
+    let out = dht_outcome(&mut m);
+    assert_eq!(
+        out.stored, out.inserted,
+        "every accumulate must apply exactly once"
+    );
+    assert_ne!(out.inserted, 0);
+    assert_eq!(out.lookups, DHT_RANKS * DHT_OPS_PER_RANK / 4);
+    assert!(
+        out.acc_serialized > 0,
+        "24 inserts over 3 targets must queue behind each other"
+    );
+}
+
+#[test]
+fn window_halo_faces_verify_bytewise() {
+    let mut engine = window_halo_machine(&RmaWorkloadConfig::validation()).into_engine();
+    assert_eq!(engine.run(), RunOutcome::Drained);
+    let mut m = engine.into_model();
+    assert_eq!(m.running_apps(), 0, "halo ranks must finish");
+    let out = halo_outcome(&mut m);
+    assert!(!out.corrupt, "a received face failed byte verification");
+    assert_eq!(out.iters, HALO_ITERS);
+}
+
+#[test]
+fn workloads_run_synthetic_for_audit() {
+    // The audit configuration (synthetic payloads) must drain too —
+    // it is what the lockstep replay matrix executes.
+    for build in [dht_machine, window_halo_machine] {
+        let mut engine = build(&RmaWorkloadConfig::audit()).into_engine();
+        assert_eq!(engine.run(), RunOutcome::Drained);
+        assert_eq!(engine.into_model().running_apps(), 0);
+    }
+}

@@ -12,6 +12,47 @@ use serde::{Deserialize, Serialize};
 /// 12-byte piggyback payload fills the 64-byte packet.
 pub const HEADER_BYTES: u32 = 52;
 
+/// Atomic update applied lane-wise at the target NIC.
+///
+/// Portals 3.3 itself has no atomic operations; this is the Portals-4
+/// style `PtlAtomic` surface the MPI-3 one-sided (RMA) personality
+/// needs for `MPI_Accumulate`. An atomic rides the wire as a put whose
+/// header carries the operation, and the target applies it
+/// read-modify-write over 8-byte little-endian lanes during deposit —
+/// so the entire put path (DMA, go-back-n, piggybacking, causal
+/// tracing) is shared unchanged.
+///
+/// All three operations act on `u64` lanes. Floating-point accumulation
+/// uses the order-preserving bit encoding in `xt3_mpi::rma` so that
+/// `Max` over encoded `f64`s equals `Max` over the floats, and no float
+/// arithmetic enters the deterministic core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AtomicOp {
+    /// Wrapping unsigned addition (`MPI_SUM` on u64 lanes). Wrapping
+    /// addition is commutative and associative, so the accumulated value
+    /// is independent of arrival order — the property the fault
+    /// campaign's sum invariant relies on.
+    Sum,
+    /// Unsigned maximum (`MPI_MAX`; order-independent).
+    Max,
+    /// Overwrite (`MPI_REPLACE`). The only order-*dependent* operation;
+    /// the RMA layer serializes replaces per target to keep runs
+    /// deterministic.
+    Replace,
+}
+
+impl AtomicOp {
+    /// Combine one 8-byte lane: `old` is the target's current value,
+    /// `operand` the incoming one.
+    pub fn apply(self, old: u64, operand: u64) -> u64 {
+        match self {
+            AtomicOp::Sum => old.wrapping_add(operand),
+            AtomicOp::Max => old.max(operand),
+            AtomicOp::Replace => operand,
+        }
+    }
+}
+
 /// Operation carried by a header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PortalsOp {
@@ -56,6 +97,9 @@ pub struct PortalsHeader {
     pub mlength: u64,
     /// For Reply/Ack: the offset used at the target.
     pub target_offset: u64,
+    /// For Put only: an atomic operation the target applies lane-wise
+    /// instead of a plain deposit. `None` is an ordinary put.
+    pub atomic: Option<AtomicOp>,
 }
 
 impl PortalsHeader {
@@ -87,6 +131,7 @@ impl PortalsHeader {
             initiator_md: Some(initiator_md),
             mlength: 0,
             target_offset: 0,
+            atomic: None,
         }
     }
 
@@ -116,6 +161,7 @@ impl PortalsHeader {
             initiator_md: Some(initiator_md),
             mlength: 0,
             target_offset: 0,
+            atomic: None,
         }
     }
 
@@ -136,6 +182,7 @@ impl PortalsHeader {
             initiator_md: get_hdr.initiator_md,
             mlength,
             target_offset,
+            atomic: None,
         }
     }
 
@@ -156,6 +203,7 @@ impl PortalsHeader {
             initiator_md: put_hdr.initiator_md,
             mlength,
             target_offset,
+            atomic: None,
         }
     }
 

@@ -74,7 +74,7 @@ pub mod types;
 
 pub use acl::AcEntry;
 pub use event::{Event, EventKind, EventQueue};
-pub use header::{PortalsHeader, PortalsOp};
+pub use header::{AtomicOp, PortalsHeader, PortalsOp};
 pub use library::{DeliverOutcome, IncomingAction, NiStatusRegister, PortalsLib};
 pub use md::{Md, MdOptions, Threshold};
 pub use me::{InsertPos, Me, UnlinkOp};

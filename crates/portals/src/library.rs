@@ -23,7 +23,7 @@
 
 use crate::acl::AcEntry;
 use crate::event::{Event, EventKind, EventQueue};
-use crate::header::{PortalsHeader, PortalsOp};
+use crate::header::{AtomicOp, PortalsHeader, PortalsOp};
 use crate::md::{Md, MdOptions, Threshold};
 use crate::me::{InsertPos, Me, MeList, UnlinkOp};
 use crate::memory::ProcessMemory;
@@ -44,6 +44,17 @@ pub enum WireData {
     Real(Vec<u8>),
     /// Length-only payload for bulk benchmarking.
     Synthetic(u64),
+}
+
+/// One little-endian u64 lane at byte offset `at` (zero-padded if the
+/// slice is short — unreachable for lane-aligned atomics, but kept
+/// panic-free).
+fn lane_at(bytes: &[u8], at: usize) -> u64 {
+    let mut lane = [0u8; 8];
+    if let Some(src) = bytes.get(at..at + 8) {
+        lane.copy_from_slice(src);
+    }
+    u64::from_le_bytes(lane)
 }
 
 impl WireData {
@@ -530,6 +541,47 @@ impl PortalsLib {
         ))
     }
 
+    /// Initiate an atomic put of a sub-region of the MD: a put whose
+    /// header carries an [`AtomicOp`] the target applies lane-wise
+    /// (8-byte little-endian lanes) instead of depositing. The offsets
+    /// and length must be lane-aligned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn atomic_region(
+        &mut self,
+        md_h: MdHandle,
+        local_offset: u64,
+        length: u64,
+        op: AtomicOp,
+        ack_req: AckReq,
+        target: ProcessId,
+        pt_index: u32,
+        ac_index: u32,
+        match_bits: MatchBits,
+        remote_offset: u64,
+        hdr_data: u64,
+    ) -> PtlResult<PortalsHeader> {
+        if !local_offset.is_multiple_of(8)
+            || !length.is_multiple_of(8)
+            || !remote_offset.is_multiple_of(8)
+        {
+            return Err(PtlError::InvalidArg);
+        }
+        let mut header = self.put_region(
+            md_h,
+            local_offset,
+            length,
+            ack_req,
+            target,
+            pt_index,
+            ac_index,
+            match_bits,
+            remote_offset,
+            hdr_data,
+        )?;
+        header.atomic = Some(op);
+        Ok(header)
+    }
+
     /// The transmit region for a region put (what the TX DMA reads).
     pub fn tx_region_at(
         &self,
@@ -627,6 +679,7 @@ impl PortalsLib {
                 continue;
             };
             let op_ok = match header.op {
+                PortalsOp::Put if header.atomic.is_some() => md.options.op_atomic,
                 PortalsOp::Put => md.options.op_put,
                 PortalsOp::Get => md.options.op_get,
                 _ => unreachable!(),
@@ -638,6 +691,13 @@ impl PortalsLib {
             let Some(mlength) = md.accept_length(offset, header.rlength) else {
                 continue;
             };
+            // An atomic must land on whole lanes: a misaligned or
+            // truncated-to-partial-lane target cannot be combined
+            // read-modify-write, so the entry does not match.
+            if header.atomic.is_some() && (!offset.is_multiple_of(8) || !mlength.is_multiple_of(8))
+            {
+                continue;
+            }
 
             // Commit the match.
             let unlink_op = me.unlink;
@@ -709,7 +769,26 @@ impl PortalsLib {
     ) -> IncomingAction {
         debug_assert_eq!(header.op, PortalsOp::Put);
         if let WireData::Real(bytes) = data {
-            mem.write(ticket.address, &bytes[..ticket.mlength as usize]);
+            match header.atomic {
+                Some(op) => {
+                    // Lane-wise read-modify-write: the simulated SeaStar
+                    // combines at line rate during deposit, so the
+                    // timing path is identical to a plain put.
+                    let n = ticket.mlength as usize;
+                    debug_assert_eq!(n % 8, 0, "atomic mlength is lane-aligned");
+                    let old = mem.read(ticket.address, n as u32);
+                    let mut combined = vec![0u8; n];
+                    for lane in 0..n / 8 {
+                        let at = lane * 8;
+                        let merged = op.apply(lane_at(&old, at), lane_at(bytes, at));
+                        if let Some(out) = combined.get_mut(at..at + 8) {
+                            out.copy_from_slice(&merged.to_le_bytes());
+                        }
+                    }
+                    mem.write(ticket.address, &combined);
+                }
+                None => mem.write(ticket.address, &bytes[..ticket.mlength as usize]),
+            }
         }
         self.post_header_event_checked(
             ticket.md,

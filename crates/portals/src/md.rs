@@ -15,6 +15,11 @@ pub struct MdOptions {
     pub op_put: bool,
     /// Accept get operations (`PTL_MD_OP_GET`).
     pub op_get: bool,
+    /// Accept atomic puts (Portals-4-style `PTL_MD_OP_ATOMIC`; see
+    /// [`crate::header::AtomicOp`]). Plain puts are still gated by
+    /// `op_put`, so a buffer can accept atomics without accepting
+    /// overwriting puts.
+    pub op_atomic: bool,
     /// Allow oversized puts to truncate (`PTL_MD_TRUNCATE`).
     pub truncate: bool,
     /// The *initiator's* offset is used instead of the MD-managed local
@@ -51,6 +56,20 @@ impl MdOptions {
         MdOptions {
             op_put: true,
             op_get: true,
+            ..Default::default()
+        }
+    }
+
+    /// Options for an MPI-3 RMA window: puts, gets and atomics, with the
+    /// initiator supplying the target displacement (`manage_remote`) and
+    /// no truncation (an out-of-range access must drop visibly rather
+    /// than deposit a prefix).
+    pub fn rma_target() -> Self {
+        MdOptions {
+            op_put: true,
+            op_get: true,
+            op_atomic: true,
+            manage_remote: true,
             ..Default::default()
         }
     }

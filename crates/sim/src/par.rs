@@ -728,6 +728,10 @@ mod tests {
         hops_left: u32,
         sent_at: SimTime,
         key: u64,
+        /// Key of the event whose dispatch produced this message — the
+        /// merge key for intent routing (monotone within a shard run,
+        /// unlike the freshly minted `key`).
+        sent_key: u64,
     }
 
     struct RingShard {
@@ -787,13 +791,14 @@ mod tests {
             if ev.hops_left > 0 {
                 let src = ev.dst;
                 let dst = (src + 1) % self.total_nodes;
-                let key = self.next_key(src);
+                let fresh = self.next_key(src);
                 let msg = RingMsg {
                     src,
                     dst,
                     hops_left: ev.hops_left - 1,
                     sent_at: now,
-                    key,
+                    key: fresh,
+                    sent_key: self.cur_key,
                 };
                 // Even same-shard sends go through the intent path so
                 // serial and parallel replay identical fabric
@@ -828,7 +833,7 @@ mod tests {
         shard_of: impl Fn(u32) -> usize,
     ) -> impl FnMut(&mut Vec<Vec<RingMsg>>, &mut Vec<Delivery<RingMsg>>) {
         move |by_shard, out| {
-            for m in merge_ordered_runs(by_shard, |m| (m.sent_at, m.key)) {
+            for m in merge_ordered_runs(by_shard, |m| (m.sent_at, m.sent_key)) {
                 out.push(Delivery {
                     shard: shard_of(m.dst),
                     at: m.sent_at + HOP,
@@ -857,6 +862,7 @@ mod tests {
                     hops_left: hops,
                     sent_at: SimTime::ZERO,
                     key,
+                    sent_key: key,
                 },
             );
         }

@@ -25,6 +25,10 @@ struct Msg {
     hops_left: u32,
     sent_at: SimTime,
     key: u64,
+    /// Key of the event whose dispatch produced this message — the merge
+    /// key for intent routing (monotone within a shard run, unlike the
+    /// freshly minted `key`).
+    sent_key: u64,
 }
 
 /// The deterministic "routing table": next hop is a hash of the current
@@ -74,13 +78,17 @@ impl MeshShard {
 impl Model for MeshShard {
     type Event = Msg;
 
-    fn dispatch(&mut self, now: SimTime, ev: Msg, _q: &mut EventQueue<Msg>) {
+    fn dispatch(&mut self, _: SimTime, _: Msg, _: &mut EventQueue<Msg>) {
+        unreachable!("keyed dispatch only");
+    }
+
+    fn dispatch_keyed(&mut self, now: SimTime, key: u64, ev: Msg, _q: &mut EventQueue<Msg>) {
         let slot = self.slot(ev.dst);
         self.hits[slot] += 1;
         if ev.hops_left > 0 {
             let src = ev.dst;
             let dst = next_hop(src, ev.hops_left, self.total);
-            let key = self.next_key(src);
+            let fresh = self.next_key(src);
             // All sends — even shard-local ones — defer as intents, so
             // serial and parallel replay identical interactions.
             self.intents.push(Msg {
@@ -88,7 +96,8 @@ impl Model for MeshShard {
                 dst,
                 hops_left: ev.hops_left - 1,
                 sent_at: now,
-                key,
+                key: fresh,
+                sent_key: key,
             });
         }
     }
@@ -113,7 +122,7 @@ impl Partitioned for MeshShard {
 
 fn route(assign: Vec<usize>) -> impl FnMut(&mut Vec<Vec<Msg>>, &mut Vec<Delivery<Msg>>) {
     move |by_shard, out| {
-        for m in xt3_sim::merge_ordered_runs(by_shard, |m| (m.sent_at, m.key)) {
+        for m in xt3_sim::merge_ordered_runs(by_shard, |m| (m.sent_at, m.sent_key)) {
             out.push(Delivery {
                 shard: assign[m.dst as usize],
                 at: m.sent_at + HOP,
@@ -139,6 +148,7 @@ fn seed(engine: &mut Engine<MeshShard>, sources: &[u32], hops: u32) {
                 hops_left: hops,
                 sent_at: SimTime::ZERO,
                 key,
+                sent_key: key,
             },
         );
     }

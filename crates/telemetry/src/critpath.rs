@@ -155,6 +155,11 @@ pub struct Chain {
     pub start: SimTime,
     /// Timestamp of the delivery.
     pub end: SimTime,
+    /// Payload length (bytes) stamped on the root API entry. Zero-byte
+    /// chains are synchronization traffic (barrier rounds, RMA fence
+    /// notifications), which latency attribution may want to separate
+    /// from data movement.
+    pub len: u64,
     /// Classified segments in causal (forward) order.
     pub segments: Vec<Segment>,
     /// Per-class totals; `breakdown.total() == end - start` exactly.
@@ -354,6 +359,7 @@ fn walk_one(records: &[CausalRecord], deliver_idx: u32) -> Result<Option<Chain>,
         pid: deliver.info as u32,
         start: root.at,
         end: deliver.at,
+        len: root.info,
         segments,
         breakdown,
     }))

@@ -27,7 +27,7 @@ use xt3_firmware::control::{Effects, FwEffect, FwError, FwMode, ProcIdx};
 use xt3_firmware::gbn::{GbnEvent, GbnSender};
 use xt3_firmware::mailbox::{FwCommand, FwEvent};
 use xt3_firmware::pending::PendingId;
-use xt3_portals::header::{PortalsHeader, PortalsOp};
+use xt3_portals::header::{AtomicOp, PortalsHeader, PortalsOp};
 use xt3_portals::library::{DeliverOutcome, IncomingAction, WireData};
 use xt3_portals::md::{MdOptions, Threshold};
 use xt3_portals::me::{InsertPos, UnlinkOp};
@@ -3067,6 +3067,59 @@ impl AppCtx<'_> {
             remote_offset,
             hdr_data,
         )?;
+        self.transmit_put(md, local_offset, length, header, api_start)
+    }
+
+    /// Atomic put (`PtlAtomic`-style): the target combines the payload
+    /// into its memory lane-wise with `op` instead of overwriting. Rides
+    /// the ordinary put path on the wire; offsets and length must be
+    /// 8-byte aligned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn atomic_put(
+        &mut self,
+        md: MdHandle,
+        local_offset: u64,
+        length: u64,
+        op: AtomicOp,
+        ack: AckReq,
+        target: ProcessId,
+        pt_index: u32,
+        ac_index: u32,
+        match_bits: MatchBits,
+        remote_offset: u64,
+        hdr_data: u64,
+    ) -> PtlResult<()> {
+        let cm = self.m.config.cost;
+        let api_start = self.time;
+        self.api_entry();
+        self.charge(cm.host_tx_proc);
+        let header = self.proc().lib.atomic_region(
+            md,
+            local_offset,
+            length,
+            op,
+            ack,
+            target,
+            pt_index,
+            ac_index,
+            match_bits,
+            remote_offset,
+            hdr_data,
+        )?;
+        self.transmit_put(md, local_offset, length, header, api_start)
+    }
+
+    /// Shared transmit tail for put-shaped operations: read/prepare the
+    /// payload, charge DMA prep, and hand the message to the firmware.
+    fn transmit_put(
+        &mut self,
+        md: MdHandle,
+        local_offset: u64,
+        length: u64,
+        header: PortalsHeader,
+        api_start: SimTime,
+    ) -> PtlResult<()> {
+        let cm = self.m.config.cost;
         let (start, len) = self.proc().lib.tx_region_at(md, local_offset, length)?;
         let synthetic = self.m.config.synthetic_payload;
         let (data, chunks, prep_cost) = {

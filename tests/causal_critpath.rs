@@ -2,7 +2,7 @@
 //!
 //! 1. **Digest neutrality**: enabling the causal tracer changes nothing —
 //!    an instrumented engine matches a bare one step for step (the full
-//!    16-scenario sweep lives in `determinism_audit.rs`; this is the
+//!    18-scenario sweep lives in `determinism_audit.rs`; this is the
 //!    focused single-scenario version).
 //! 2. **Exact partition** (property): for arbitrary sizes/reps/transports,
 //!    every chain's cost classes sum exactly to its span, there is exactly
@@ -92,6 +92,42 @@ fn interrupt_class_is_at_least_two_microseconds_per_message() {
             "paper §6: interrupt service dominates at >= 2 us, got {} for message {:#x}",
             c.breakdown.get(CostClass::Interrupt),
             c.id.0
+        );
+    }
+}
+
+/// The personality transports (one-sided RMA, both two-sided MPI
+/// flavors) consume several events per message and run library code
+/// between a delivery and the reply, so their attribution tiles by
+/// resumption: one chain per timed message plus an explicit turnaround
+/// term, summing to the measured round exactly.
+#[test]
+fn personality_tiling_is_exact() {
+    use xt3_netpipe::runner::tiled_chains;
+    for (transport, data_only) in [
+        (Transport::Rma, true),
+        (Transport::Mpich1, false),
+        (Transport::Mpich2, false),
+    ] {
+        let run = run_explained(&fixed_config(64, 4), transport, TestKind::PingPong);
+        let round = run.rounds[0];
+        let tiled = tiled_chains(&run.chains, &round, None, data_only)
+            .unwrap_or_else(|| panic!("{}: no per-message tiling", transport.label()));
+        assert_eq!(tiled.chains.len() as u32, round.messages);
+        let mut sum = tiled.turnaround;
+        for c in &tiled.chains {
+            sum += c.span();
+        }
+        assert_eq!(
+            sum,
+            round.elapsed,
+            "{}: tiling must be exact",
+            transport.label()
+        );
+        assert!(
+            tiled.turnaround > SimTime::ZERO,
+            "{}: a personality pays library turnaround between delivery and reply",
+            transport.label()
         );
     }
 }

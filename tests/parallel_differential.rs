@@ -95,6 +95,35 @@ fn netpipe_scenarios_bit_identical_under_parallelism() {
     }
 }
 
+/// The RMA-native workloads — the 4-rank DHT (accumulate inserts + get
+/// lookups over fences) and the 8-rank window-driven halo exchange —
+/// serial vs parallel at every tested worker count. These push the
+/// one-sided machinery (dissemination-barrier fences, per-target
+/// accumulate serialization, atomic header handling) through the
+/// partitioned engine.
+#[test]
+fn rma_workloads_bit_identical_under_parallelism() {
+    use xt3_netpipe::rma::{dht_machine, window_halo_machine, RmaWorkloadConfig};
+    let cfg = RmaWorkloadConfig::audit().with_telemetry();
+    assert_parallel_matches(|| dht_machine(&cfg), "rma-dht");
+    assert_parallel_matches(|| window_halo_machine(&cfg), "rma-window-halo");
+}
+
+/// The RMA NetPIPE transport (put ping-pong over windows with fence
+/// round boundaries), serial vs parallel.
+#[test]
+fn rma_netpipe_bit_identical_under_parallelism() {
+    let config = NetpipeConfig::quick(2048).with_telemetry();
+    let transport = xt3_netpipe::runner::Transport::Rma;
+    for kind in [
+        xt3_netpipe::runner::TestKind::PingPong,
+        xt3_netpipe::runner::TestKind::Stream,
+    ] {
+        let label = scenario_name(transport, kind);
+        assert_parallel_matches(|| build_machine(&config, transport, kind), &label);
+    }
+}
+
 /// The Red Storm nearest-neighbor workload at a multi-shard node count.
 #[test]
 fn red_storm_bit_identical_under_parallelism() {
