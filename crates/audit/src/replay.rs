@@ -143,15 +143,18 @@ impl Scenario {
     }
 
     /// Run the scenario twice from identical state and compare. The
-    /// telemetry sink *and* the causal message tracer are enabled on one
-    /// side only, so every lockstep pass also proves both observers are
-    /// digest-neutral at event granularity — the instrumented run must
-    /// match the bare one step for step.
+    /// telemetry sink, the causal message tracer *and* the per-link
+    /// congestion series are enabled on one side only, so every lockstep
+    /// pass also proves all three observers are digest-neutral at event
+    /// granularity — the instrumented run must match the bare one step
+    /// for step.
     pub fn check(&self) -> Result<ReplayRun, Divergence> {
         let a = self.build();
         let mut b = self.build();
         b.model_mut().set_telemetry_enabled(true);
         b.model_mut().set_causal_enabled(true);
+        b.model_mut()
+            .enable_link_series(xt3_telemetry::SeriesConfig::default());
         lockstep(a, b, &self.name)
     }
 
@@ -169,9 +172,11 @@ impl Scenario {
 
         let mut m = self.build_machine();
         // Routed through the config flag so the shards created by
-        // `Machine::split` inherit enabled sinks.
+        // `Machine::split` inherit enabled sinks. The link series ride
+        // on the real fabric, which the coordinator keeps.
         m.config.telemetry = true;
         m.set_causal_enabled(true);
+        m.enable_link_series(xt3_telemetry::SeriesConfig::default());
         let par = xt3_node::par::run_parallel(m, workers);
 
         let mut mismatch: Vec<String> = Vec::new();
@@ -342,14 +347,32 @@ pub fn rma_scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// The fabric-congestion traffic patterns, replayed: each of the five
+/// [`TrafficPattern`]s on a small torus. These exercise the per-link
+/// series recorder and hop-level contention — many flows crossing the
+/// same links in the same window — which the pairwise scenarios above
+/// never create.
+pub fn traffic_scenarios() -> Vec<Scenario> {
+    use xt3_node::workloads::{traffic_machine, TrafficPattern};
+    TrafficPattern::ALL
+        .into_iter()
+        .map(|pattern| Scenario {
+            name: format!("traffic/{}", pattern.name()),
+            build: Box::new(move || traffic_machine(pattern, Dims::mesh(4, 3, 2), 2, 2048)),
+        })
+        .collect()
+}
+
 /// Every scenario the `audit replay` command and the tier-1 replay test
 /// run: NetPIPE sweeps capped at 4 KiB, the e2e configurations, the
-/// fault-injected replay, and the RMA workloads.
+/// fault-injected replay, the RMA workloads, and the congestion traffic
+/// patterns.
 pub fn all_scenarios() -> Vec<Scenario> {
     let mut out = netpipe_scenarios(4096);
     out.extend(e2e_scenarios());
     out.push(fault_scenario());
     out.extend(rma_scenarios());
+    out.extend(traffic_scenarios());
     out
 }
 

@@ -94,13 +94,13 @@ fn main() {
     println!();
 
     let start = std::time::Instant::now();
-    let (sweep, rma, integrity, isolation) = run_all(&config, serial);
+    let (sweep, rma, traffic, integrity, isolation) = run_all(&config, serial);
 
     println!(
         "{:<28} {:>6} {:>9} {:>7} {:>7} {:>6} {:>18}",
         "scenario", "rate", "events", "faults", "retx", "sram", "digest"
     );
-    for r in sweep.iter().chain(&rma) {
+    for r in sweep.iter().chain(&rma).chain(&traffic) {
         println!(
             "{:<28} {:>6.3} {:>9} {:>7} {:>7} {:>6} {:#018x}",
             r.name,
@@ -118,6 +118,11 @@ fn main() {
         rma.len()
     );
     println!(
+        "traffic: {} congested cells (incast + all-to-all payload bytes and \
+         provenance sums exact through recovery)",
+        traffic.len()
+    );
+    println!(
         "integrity: {} messages byte-exact ({} wire faults, {} sram rejections, \
          {} interrupt spikes, {} retransmissions)",
         integrity.delivered,
@@ -131,8 +136,13 @@ fn main() {
         isolation.dark, isolation.delivered
     );
 
-    let cells = sweep.len() + rma.len();
-    let injected: u64 = sweep.iter().chain(&rma).map(|r| r.stats.total()).sum();
+    let cells = sweep.len() + rma.len() + traffic.len();
+    let injected: u64 = sweep
+        .iter()
+        .chain(&rma)
+        .chain(&traffic)
+        .map(|r| r.stats.total())
+        .sum();
     println!();
     println!(
         "campaign green: {cells} scenario cells, {injected} injected faults, \

@@ -35,7 +35,7 @@ use xt3_netpipe::runner::{
 };
 use xt3_netpipe::Schedule;
 use xt3_sim::SimTime;
-use xt3_telemetry::{parse_json, Breakdown, Chain, CostClass, JsonValue};
+use xt3_telemetry::{aggregate, parse_json, Breakdown, Chain, CostClass, HopStall, JsonValue};
 
 /// One size's exact cost-class accounting.
 struct SizeRow {
@@ -190,13 +190,14 @@ fn measure_mode(
         reps
     );
     println!();
-    let rows = measure_rows(sizes, reps, transport, trace);
+    let (rows, hops) = measure_rows(sizes, reps, transport, trace);
 
     print_table(&rows);
+    print_hops(&hops);
     assert_exact(&rows);
 
     if let Some(path) = out {
-        let json = render_json(&rows, reps, transport);
+        let json = render_json(&rows, &hops, reps, transport);
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
@@ -211,8 +212,10 @@ fn measure_rows(
     reps: u32,
     transport: Transport,
     trace: Option<&str>,
-) -> Vec<SizeRow> {
+) -> (Vec<SizeRow>, Vec<HopStall>) {
+    use std::collections::BTreeMap;
     let mut rows = Vec::new();
+    let mut hop_acc: BTreeMap<(u32, i16), (xt3_sim::SimTime, u64)> = BTreeMap::new();
     for (i, &size) in sizes.iter().enumerate() {
         let mut config = NetpipeConfig::paper_latency();
         config.schedule = Schedule::fixed(size, reps);
@@ -226,9 +229,32 @@ fn measure_rows(
             }
             println!("flow trace ({} B run) written to {path}", size);
         }
+        // Per-run identity: the per-link fold covers the aggregate
+        // hop-queueing class over all chains exactly.
+        let hop_total: SimTime = run.hops.iter().map(|h| h.stall).sum();
+        assert_eq!(
+            hop_total,
+            aggregate(&run.chains).get(CostClass::HopQueue),
+            "per-hop fold must cover hop-queueing exactly at {size} B"
+        );
+        for h in &run.hops {
+            let key = (h.node, h.port.map_or(-1, i16::from));
+            let e = hop_acc.entry(key).or_insert((SimTime::ZERO, 0));
+            e.0 += h.stall;
+            e.1 += h.waits;
+        }
         rows.push(account(size, round, &run.chains, run.dropped, transport));
     }
-    rows
+    let hops = hop_acc
+        .into_iter()
+        .map(|((node, port), (stall, waits))| HopStall {
+            node,
+            port: u8::try_from(port).ok(),
+            stall,
+            waits,
+        })
+        .collect();
+    (rows, hops)
 }
 
 /// The attribution is an accounting identity — enforce it.
@@ -267,8 +293,9 @@ fn compare_mode(sizes: &[u64], reps: u32) {
     for (transport, label) in contenders {
         println!();
         println!("--- {label} ---");
-        let rows = measure_rows(sizes, reps, transport, None);
+        let (rows, hops) = measure_rows(sizes, reps, transport, None);
         print_table(&rows);
+        print_hops(&hops);
         assert_exact(&rows);
         all.push((label, rows));
     }
@@ -372,8 +399,28 @@ fn print_table(rows: &[SizeRow]) {
     }
 }
 
+/// Per-hop hop-queueing breakout: where the aggregate class was paid.
+/// Covers *all* delivered chains (not just the critical selection), so
+/// control traffic outside the timed window appears here too.
+fn print_hops(hops: &[HopStall]) {
+    if hops.is_empty() {
+        return;
+    }
+    println!();
+    println!("per-hop hop-queueing (all delivered messages, every size):");
+    println!("{:<16} {:>12} {:>8}", "link", "stall ns", "waits");
+    for h in hops {
+        println!(
+            "{:<16} {:>12.1} {:>8}",
+            h.label(),
+            h.stall.as_ns_f64(),
+            h.waits
+        );
+    }
+}
+
 /// Hand-rolled JSON (the workspace's serde is an offline no-op stub).
-fn render_json(rows: &[SizeRow], reps: u32, transport: Transport) -> String {
+fn render_json(rows: &[SizeRow], hops: &[HopStall], reps: u32, transport: Transport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"latency-explain\",");
@@ -406,6 +453,18 @@ fn render_json(rows: &[SizeRow], reps: u32, transport: Transport) -> String {
             let _ = write!(s, "\"{}\": {}{comma}", c.name(), r.classes.get(*c).ps());
         }
         let _ = writeln!(s, "}}}}{comma}");
+    }
+    s.push_str("  ],\n  \"hops\": [\n");
+    for (i, h) in hops.iter().enumerate() {
+        let comma = if i + 1 == hops.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"node\": {}, \"port\": {}, \"stall_ps\": {}, \"waits\": {}}}{comma}",
+            h.node,
+            h.port.map_or(-1, i64::from),
+            h.stall.ps(),
+            h.waits
+        );
     }
     s.push_str("  ]\n}\n");
     s

@@ -11,14 +11,22 @@
 //! (lazy pending pools, on-demand routing, write-materialized address
 //! spaces) is accountable to keeping it far under the 4 GB line.
 //!
+//! `--series` measures the same sweep with the per-link congestion
+//! series enabled and enforces the observability heap envelope: at
+//! every size the instrumented peak must stay within 2× the committed
+//! `BENCH_mem.json` baseline — demand-allocated series lanes may cost
+//! heap proportional to *traffic*, never a dense per-node tax.
+//!
 //! ```text
 //! cargo run --release -p xt3-bench --bin mem_footprint -- [--dims X Y Z] [--out PATH]
+//!                                                         [--series [--check PATH]]
 //! ```
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use xt3_node::workloads::red_storm_machine;
 use xt3_sim::RunOutcome;
+use xt3_telemetry::{parse_json, SeriesConfig};
 use xt3_topology::coord::Dims;
 
 /// Live heap bytes right now.
@@ -78,16 +86,20 @@ struct Row {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mem_footprint [--dims X Y Z] [--out PATH]\n\
+        "usage: mem_footprint [--dims X Y Z] [--out PATH] [--series [--check PATH]]\n\
          \n\
          --dims X Y Z      measure a single slice instead of the default\n\
          \x20                 512 / 2,048 / 10,368-node sweep\n\
-         --out PATH        JSON output path (default BENCH_mem.json)"
+         --out PATH        JSON output path (default BENCH_mem.json)\n\
+         --series          enable per-link congestion series and enforce the\n\
+         \x20                 2x observability heap envelope (no JSON output)\n\
+         --check PATH      baseline to enforce the envelope against\n\
+         \x20                 (default BENCH_mem.json; only with --series)"
     );
     std::process::exit(2)
 }
 
-fn measure(dims: Dims) -> Row {
+fn measure(dims: Dims, series: bool) -> Row {
     let nodes = dims.node_count() as usize;
     let rounds = 1;
     let msg: u64 = 16 * 1024;
@@ -95,7 +107,10 @@ fn measure(dims: Dims) -> Row {
     let floor = LIVE.load(Ordering::SeqCst);
     PEAK.store(floor, Ordering::SeqCst);
 
-    let machine = red_storm_machine(dims, rounds, msg);
+    let mut machine = red_storm_machine(dims, rounds, msg);
+    if series {
+        machine.enable_link_series(SeriesConfig::default());
+    }
     let built = LIVE.load(Ordering::SeqCst).saturating_sub(floor);
 
     let mut engine = machine.into_engine();
@@ -126,6 +141,8 @@ fn main() {
         Dims::red_storm(27, 16, 24),
     ];
     let mut out = String::from("BENCH_mem.json");
+    let mut series = false;
+    let mut check = String::from("BENCH_mem.json");
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -138,6 +155,8 @@ fn main() {
                 }
             }
             "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--series" => series = true,
+            "--check" => check = args.next().unwrap_or_else(|| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -146,13 +165,17 @@ fn main() {
         }
     }
 
-    println!("mem footprint: heap bytes per node, 1 neighbor-push round of 16 KiB\n");
+    if series {
+        println!("mem footprint (+series): heap bytes per node, 1 neighbor-push round of 16 KiB\n");
+    } else {
+        println!("mem footprint: heap bytes per node, 1 neighbor-push round of 16 KiB\n");
+    }
     println!(
         "{:<10} {:>8} {:>14} {:>14} {:>12} {:>12} {:>10}",
         "dims", "nodes", "built bytes", "peak bytes", "built/node", "peak/node", "events"
     );
 
-    let rows: Vec<Row> = sizes.into_iter().map(measure).collect();
+    let rows: Vec<Row> = sizes.into_iter().map(|d| measure(d, series)).collect();
     for r in &rows {
         println!(
             "{:<10} {:>8} {:>14} {:>14} {:>12} {:>12} {:>10}",
@@ -173,12 +196,68 @@ fn main() {
         headline.peak_bytes / headline.nodes as u64
     );
 
+    if series {
+        enforce_envelope(&rows, &check);
+        return;
+    }
+
     let json = render_json(&rows);
     if let Err(e) = std::fs::write(&out, json) {
         eprintln!("failed to write {out}: {e}");
         std::process::exit(1);
     }
     println!("wrote {out}");
+}
+
+/// Enforce the observability heap envelope: at every measured size, the
+/// series-instrumented peak must stay within 2× the committed
+/// plain-machine baseline. Sizes missing from the baseline are an error
+/// — a silently skipped row would read as "covered" when it wasn't.
+fn enforce_envelope(rows: &[Row], baseline_path: &str) {
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {baseline_path}: {e}");
+        std::process::exit(1);
+    });
+    let json = parse_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse baseline {baseline_path}: {e}");
+        std::process::exit(1);
+    });
+    let baseline_peak = |nodes: u64| -> Option<u64> {
+        let sizes = json.get("sizes").ok()?.as_array().ok()?;
+        for s in sizes {
+            if s.get("nodes").ok()?.as_u64().ok()? == nodes {
+                return s.get("peak_bytes").ok()?.as_u64().ok();
+            }
+        }
+        None
+    };
+    println!();
+    let mut violated = false;
+    for r in rows {
+        let Some(base) = baseline_peak(r.nodes as u64) else {
+            eprintln!(
+                "baseline {baseline_path} has no {}-node row — regenerate it first",
+                r.nodes
+            );
+            std::process::exit(1);
+        };
+        let ratio = r.peak_bytes as f64 / base as f64;
+        let ok = r.peak_bytes <= 2 * base;
+        println!(
+            "{:<10} peak {:>14} vs baseline {:>14}  ({:.2}x of envelope 2.00x) {}",
+            format!("{}x{}x{}", r.dims.nx, r.dims.ny, r.dims.nz),
+            r.peak_bytes,
+            base,
+            ratio,
+            if ok { "ok" } else { "VIOLATED" }
+        );
+        violated |= !ok;
+    }
+    if violated {
+        eprintln!("\nobservability heap envelope violated");
+        std::process::exit(1);
+    }
+    println!("\nseries-instrumented peaks within the 2x observability envelope");
 }
 
 /// Hand-rolled JSON (the workspace's serde is an offline no-op stub).

@@ -361,6 +361,124 @@ pub fn run_rma_faults(config: &CampaignConfig) -> Vec<ScenarioReport> {
     reports
 }
 
+/// Sweep the congestion-heavy traffic patterns — the k-to-1 incast and
+/// the all-to-all — across every configured wire fault rate with an
+/// interrupt-delay spike layered on, real payloads throughout. These are
+/// the patterns where go-back-n recovery has to work *through* link
+/// contention: a retransmission joins the same congested queues that
+/// delayed the original.
+///
+/// Integrity invariants, checked per cell:
+/// * **Drain + completion**: every node finishes with zero outstanding
+///   receives — no put lost to the fault injector;
+/// * **Payload integrity**: every delivered byte matches the sender's
+///   pattern (real payloads, so a mis-repaired retransmission is caught);
+/// * **Exact provenance**: the wrapping sum of every delivered
+///   `(sender << 32) | seq` header equals the closed-form expectation —
+///   a duplicated or mis-attributed delivery breaks the sum even when
+///   the bytes look right.
+///
+/// Each cell runs **twice** from the same seed and must agree on digest
+/// and state fingerprint — determinism with faults *and* congestion in
+/// the loop.
+pub fn run_traffic_faults(config: &CampaignConfig) -> Vec<ScenarioReport> {
+    use xt3_node::workloads::{
+        expected_hdr_sum, pattern_stats, traffic_machine_cfg, TrafficPattern,
+    };
+    const ROUNDS: u32 = 2;
+    const MSG: u64 = 1024;
+    let dims = Dims::mesh(3, 2, 2);
+    let patterns = [TrafficPattern::Incast, TrafficPattern::AllToAll];
+    let run_one = |pattern: TrafficPattern, rate: f64, plan_seed: u64| -> ScenarioReport {
+        let name = format!("traffic/{}", pattern.name());
+        let mut mc = MachineConfig::paper(dims);
+        mc.seed = plan_seed;
+        mc.synthetic_payload = false;
+        mc.exhaustion = ExhaustionPolicy::GoBackN;
+        mc.faults = FaultPlan::wire(plan_seed, rate).with_interrupt_spike(
+            None,
+            TimeWindow {
+                start: SimTime::ZERO,
+                end: SimTime::from_ms(2),
+            },
+            SimTime::from_us(3),
+        );
+        let mut engine = traffic_machine_cfg(pattern, mc, ROUNDS, MSG).into_engine();
+        let outcome = engine.run();
+        assert_eq!(
+            outcome,
+            RunOutcome::Drained,
+            "{name} @ rate {rate}: faulted traffic run must drain"
+        );
+        let dispatched = engine.dispatched();
+        let digest = engine.digest();
+        let state = engine.state_fingerprint();
+        let mut m = engine.into_model();
+        assert!(!m.any_panicked(), "{name} @ rate {rate}: no panicked nodes");
+        assert!(
+            m.dark_nodes().is_empty(),
+            "{name} @ rate {rate}: wire faults must not take nodes dark"
+        );
+        let stats = m.fault_stats();
+        let retransmissions = m.total_gbn_retransmissions();
+        assert!(
+            retransmissions <= (stats.total() + 1) * GBN_WINDOW,
+            "{name} @ rate {rate}: {retransmissions} retransmissions from {} faults exceeds \
+             the (faults + 1) x window bound",
+            stats.total()
+        );
+        let pstats = pattern_stats(&mut m);
+        assert_eq!(
+            pstats.outstanding, 0,
+            "{name} @ rate {rate}: a put was lost under faults"
+        );
+        assert!(
+            !pstats.corrupt,
+            "{name} @ rate {rate}: a delivered payload failed byte verification"
+        );
+        assert_eq!(
+            pstats.hdr_sum,
+            expected_hdr_sum(pattern, dims, ROUNDS, plan_seed),
+            "{name} @ rate {rate}: provenance header sum mismatch (duplicate or \
+             mis-attributed delivery)"
+        );
+        ScenarioReport {
+            name,
+            rate,
+            dispatched,
+            digest,
+            state,
+            stats,
+            retransmissions,
+            telemetry: None,
+        }
+    };
+    let mut reports = Vec::new();
+    for (ridx, &rate) in config.rates.iter().enumerate() {
+        for (pidx, &pattern) in patterns.iter().enumerate() {
+            let plan_seed = config
+                .seed
+                .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                .wrapping_add(((ridx as u64) << 8) | pidx as u64);
+            let first = run_one(pattern, rate, plan_seed);
+            let second = run_one(pattern, rate, plan_seed);
+            assert_eq!(
+                first.digest, second.digest,
+                "{}: same-seed faulted traffic runs must replay digest-identical",
+                first.name
+            );
+            assert_eq!(
+                first.state, second.state,
+                "{}: same-seed faulted traffic runs must agree on state fingerprints",
+                first.name
+            );
+            assert_eq!(first.dispatched, second.dispatched);
+            reports.push(first);
+        }
+    }
+    reports
+}
+
 /// Result of the real-payload integrity run.
 #[derive(Debug, Clone)]
 pub struct IntegrityReport {
@@ -490,15 +608,16 @@ pub fn run_isolation(seed: u64) -> IsolationReport {
     }
 }
 
-/// Full campaign: the NetPIPE sweep, the RMA workload sweep, plus the
-/// integrity and isolation runs. Panics on any violated invariant;
-/// returns the per-scenario reports for display. `serial` forces the
-/// single-threaded sweep (the parallel one is the default and produces
-/// bit-identical reports).
+/// Full campaign: the NetPIPE sweep, the RMA workload sweep, the
+/// congested-traffic sweep, plus the integrity and isolation runs.
+/// Panics on any violated invariant; returns the per-scenario reports
+/// for display. `serial` forces the single-threaded sweep (the parallel
+/// one is the default and produces bit-identical reports).
 pub fn run_all(
     config: &CampaignConfig,
     serial: bool,
 ) -> (
+    Vec<ScenarioReport>,
     Vec<ScenarioReport>,
     Vec<ScenarioReport>,
     IntegrityReport,
@@ -510,6 +629,7 @@ pub fn run_all(
         run_netpipe_sweep_parallel(config)
     };
     let rma = run_rma_faults(config);
+    let traffic = run_traffic_faults(config);
     let max_rate = config
         .rates
         .iter()
@@ -518,7 +638,7 @@ pub fn run_all(
         .max(0.02);
     let integrity = run_payload_integrity(config.seed ^ 0x1A7E6417, max_rate);
     let isolation = run_isolation(config.seed ^ 0x150_1A7E);
-    (sweep, rma, integrity, isolation)
+    (sweep, rma, traffic, integrity, isolation)
 }
 
 #[cfg(test)]
@@ -621,6 +741,30 @@ mod tests {
         assert!(
             reports.iter().any(|r| r.stats.total() > 0),
             "a 6% fault rate must actually inject faults somewhere"
+        );
+    }
+
+    /// One congested-traffic fault cell per pattern at a meaningful
+    /// rate: drains, replays digest-identical, and keeps payload bytes
+    /// and the provenance header sum exact through go-back-n recovery
+    /// under contention.
+    #[test]
+    fn congested_traffic_recovers_with_exact_provenance() {
+        let config = CampaignConfig {
+            seed: 0xCA4A16,
+            rates: vec![0.06],
+            max_size: 256,
+            telemetry: false,
+        };
+        let reports = run_traffic_faults(&config);
+        assert_eq!(reports.len(), 2, "one cell per pattern per rate");
+        assert!(
+            reports.iter().any(|r| r.stats.total() > 0),
+            "a 6% fault rate must actually inject faults somewhere"
+        );
+        assert!(
+            reports.iter().any(|r| r.retransmissions > 0),
+            "contended faulted traffic must exercise go-back-n"
         );
     }
 

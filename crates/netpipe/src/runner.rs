@@ -455,6 +455,9 @@ pub struct ExplainedRun {
     /// Causal records discarded at the log's bounded capacity; non-zero
     /// means the chain list under-covers the run.
     pub dropped: u64,
+    /// Hop-queueing folded by physical link over *all* chains; sums
+    /// exactly to the chains' aggregate hop-queueing class.
+    pub hops: Vec<xt3_telemetry::HopStall>,
 }
 
 /// Run `(transport, kind)` with the causal tracer (and telemetry sink)
@@ -473,12 +476,14 @@ pub fn run_explained(config: &NetpipeConfig, transport: Transport, kind: TestKin
     let perfetto = m.telemetry().perfetto_json_with_causal(m.causal());
     let chains = xt3_telemetry::extract_chains(m.causal()).expect("causal DAG is well-formed");
     let dropped = m.causal().dropped();
+    let hops = xt3_telemetry::hop_stalls(&chains, m.causal());
     let rounds = extract_rounds(&mut m, transport, kind);
     ExplainedRun {
         rounds,
         chains,
         perfetto,
         dropped,
+        hops,
     }
 }
 

@@ -60,7 +60,9 @@ pub enum CausalStage {
     /// go-back-n deferrals and retransmissions, the actual inject time).
     TxInject = 2,
     /// Header started serializing onto one link of its route.
-    /// `info` = head-of-line stall at this hop, in picoseconds.
+    /// `info` = packed hop detail: low 56 bits are the head-of-line
+    /// stall at this hop in picoseconds, the high byte is the router
+    /// port plus one (0 = port unknown). See [`linkhop_info`].
     LinkHop = 3,
     /// Header packet reached the destination NIC.
     NetArrive = 4,
@@ -102,6 +104,37 @@ impl CausalStage {
             CausalStage::EqPost => "eq-post",
             CausalStage::AppDeliver => "app-deliver",
         }
+    }
+}
+
+/// Mask selecting the stall picoseconds from a packed `LinkHop` info.
+///
+/// 2^56 ps ≈ 20 hours of simulated time per hop — no physical stall
+/// approaches it, so the high byte is free to carry the router port.
+pub const LINKHOP_STALL_MASK: u64 = (1 << 56) - 1;
+
+/// Pack a `LinkHop` record's info: router `port` in the high byte
+/// (stored plus one so 0 still means "unknown"), stall picoseconds in
+/// the low 56 bits.
+#[inline]
+pub fn linkhop_info(port: u8, stall_ps: u64) -> u64 {
+    ((port as u64 + 1) << 56) | (stall_ps & LINKHOP_STALL_MASK)
+}
+
+/// The head-of-line stall (picoseconds) from a packed `LinkHop` info.
+/// Also correct for legacy unpacked infos (high byte zero).
+#[inline]
+pub fn linkhop_stall(info: u64) -> u64 {
+    info & LINKHOP_STALL_MASK
+}
+
+/// The router port from a packed `LinkHop` info, or `None` when the
+/// record predates port packing (high byte zero).
+#[inline]
+pub fn linkhop_port(info: u64) -> Option<u8> {
+    match info >> 56 {
+        0 => None,
+        p => Some((p - 1) as u8),
     }
 }
 
@@ -416,6 +449,20 @@ mod tests {
         }
         assert_eq!(capped.digest(), free.digest());
         assert_ne!(capped.records().len(), free.records().len());
+    }
+
+    #[test]
+    fn linkhop_info_round_trips_port_and_stall() {
+        for port in 0..6u8 {
+            for stall in [0u64, 1, 40_000, LINKHOP_STALL_MASK] {
+                let info = linkhop_info(port, stall);
+                assert_eq!(linkhop_port(info), Some(port));
+                assert_eq!(linkhop_stall(info), stall);
+            }
+        }
+        // Legacy records carried the raw stall with no port byte.
+        assert_eq!(linkhop_port(40_000), None);
+        assert_eq!(linkhop_stall(40_000), 40_000);
     }
 
     #[test]

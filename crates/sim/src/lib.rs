@@ -50,7 +50,10 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use causal::{CausalLog, CausalRecord, CausalStage, TraceId};
+pub use causal::{
+    linkhop_info, linkhop_port, linkhop_stall, CausalLog, CausalRecord, CausalStage, TraceId,
+    LINKHOP_STALL_MASK,
+};
 pub use cursor::BusyCursor;
 pub use digest::EventDigest;
 pub use engine::{fold_digest_lanes, merge_digest_lanes, DigestLane, Engine, Model, RunOutcome};

@@ -12,7 +12,7 @@
 
 use core::fmt;
 
-use xt3_sim::{CausalLog, CausalRecord, CausalStage, SimTime, TraceId};
+use xt3_sim::{linkhop_stall, CausalLog, CausalRecord, CausalStage, SimTime, TraceId};
 
 /// One of the eight cost classes a critical-path segment is charged to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -304,13 +304,30 @@ fn walk_one(records: &[CausalRecord], deliver_idx: u32) -> Result<Option<Chain>,
         let (child_idx, parent_idx) = (pair[0], pair[1]);
         let child = &records[child_idx as usize];
         let parent = &records[parent_idx as usize];
-        let dur = child
-            .at
-            .checked_sub(parent.at)
-            .ok_or(CritPathError::TimeUnderflow {
-                parent: parent_idx,
-                child: child_idx,
-            })?;
+        let dur = match child.at.checked_sub(parent.at) {
+            Some(d) => d,
+            // The host's TxCmdPost/RxCmdPost timestamps include the
+            // mailbox-stall charge, but the command word itself is
+            // visible to the firmware as soon as it is written: under
+            // concurrent TX/RX load another doorbell service can fetch
+            // and execute the command before the host's charged post
+            // time completes. A fully overlapped handoff contributes
+            // zero spine latency, so charge the firmware segment as
+            // zero instead of rejecting the chain.
+            None if (parent.stage == CausalStage::TxCmdPost
+                && child.stage == CausalStage::TxInject)
+                || (parent.stage == CausalStage::RxCmdPost
+                    && child.stage == CausalStage::DepositDone) =>
+            {
+                SimTime::ZERO
+            }
+            None => {
+                return Err(CritPathError::TimeUnderflow {
+                    parent: parent_idx,
+                    child: child_idx,
+                })
+            }
+        };
         match class_of(child.stage) {
             Some(class) => {
                 breakdown.add(class, dur);
@@ -323,9 +340,11 @@ fn walk_one(records: &[CausalRecord], deliver_idx: u32) -> Result<Option<Chain>,
                 });
             }
             None => {
-                // LinkHop: `info` holds the head-of-line stall in ps,
-                // clamped to the segment so the split still telescopes.
-                let stall = SimTime::from_ps(child.info).min(dur);
+                // LinkHop: the low 56 bits of `info` hold the
+                // head-of-line stall in ps (the high byte is the router
+                // port), clamped to the segment so the split still
+                // telescopes.
+                let stall = SimTime::from_ps(linkhop_stall(child.info)).min(dur);
                 let wire = dur.checked_sub(stall).expect("stall clamped to dur");
                 if wire > SimTime::ZERO || stall == SimTime::ZERO {
                     breakdown.add(CostClass::Wire, wire);
@@ -509,6 +528,49 @@ mod tests {
             (TraceId::NONE, CausalStage::AppDeliver, 400, 0, None, 1),
         ]);
         assert!(extract_chains(&log).unwrap().is_empty());
+    }
+
+    #[test]
+    fn overlapped_cmd_post_charges_zero_fw_tx() {
+        // Under concurrent TX/RX load the firmware can fetch and inject
+        // a command before the host's charged TxCmdPost time (post cost
+        // + mailbox stall) completes; the handoff segment charges zero.
+        let id = TraceId(11);
+        let log = log_with(vec![
+            (id, CausalStage::ApiEntry, 0, 0, None, 8),
+            (id, CausalStage::TxCmdPost, 900, 0, Some(0), 0),
+            (id, CausalStage::TxInject, 700, 0, Some(1), 0),
+            (id, CausalStage::NetArrive, 1100, 1, Some(2), 0),
+            (id, CausalStage::AppDeliver, 1400, 1, Some(3), 2),
+        ]);
+        let chains = extract_chains(&log).unwrap();
+        assert_eq!(chains.len(), 1);
+        let c = &chains[0];
+        assert_eq!(c.breakdown.get(CostClass::Trap), SimTime::from_ns(900));
+        assert_eq!(c.breakdown.get(CostClass::FwTx), SimTime::ZERO);
+        assert_eq!(c.breakdown.get(CostClass::Wire), SimTime::from_ns(400));
+    }
+
+    #[test]
+    fn overlapped_rx_cmd_post_charges_zero_dma() {
+        // Same overlap on the receive side: the deposit completes
+        // before the host's charged RxCmdPost time.
+        let id = TraceId(12);
+        let log = log_with(vec![
+            (id, CausalStage::ApiEntry, 0, 0, None, 8),
+            (id, CausalStage::MatchDone, 400, 1, Some(0), 0),
+            (id, CausalStage::RxCmdPost, 900, 1, Some(1), 0),
+            (id, CausalStage::DepositDone, 850, 1, Some(2), 0),
+            (id, CausalStage::AppDeliver, 1200, 1, Some(3), 2),
+        ]);
+        let chains = extract_chains(&log).unwrap();
+        assert_eq!(chains.len(), 1);
+        let c = &chains[0];
+        assert_eq!(c.breakdown.get(CostClass::Dma), SimTime::from_ns(500));
+        assert_eq!(
+            c.breakdown.get(CostClass::HostCompletion),
+            SimTime::from_ns(400 + 350)
+        );
     }
 
     #[test]

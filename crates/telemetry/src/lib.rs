@@ -41,12 +41,21 @@ mod registry;
 mod report;
 mod sink;
 
+pub mod congestion;
 pub mod critpath;
+pub mod series;
 
+pub use congestion::{
+    attribute, attribute_occupancy, hop_stalls, AttributionRow, CongestionTable, HopStall,
+};
 pub use critpath::{
     aggregate, extract_chains, Breakdown, Chain, CostClass, CritPathError, Segment,
 };
 pub use json::{parse as parse_json, JsonValue};
 pub use registry::{Span, Telemetry};
 pub use report::{DmaSummary, LinkSummary, NodeReport, TelemetryReport};
+pub use series::{
+    Hotspot, InjectBucket, InjectSeries, LinkBucket, LinkSeries, NodeSeries, Occupancy,
+    SeriesConfig, SeriesSet,
+};
 pub use sink::{Component, NullSink, TelemetrySink};

@@ -8,10 +8,14 @@
 //! viewer's first-seen order. With a causal log attached, every message
 //! additionally becomes a flow (`"s"`/`"t"`/`"f"` arrow events) linking
 //! its sender-side and receiver-side checkpoints across node tracks.
+//! With a [`SeriesSet`] attached, every touched link also gets native
+//! Perfetto counter tracks (`"C"` events): utilization %, queue depth,
+//! and per-bucket HOL stall, plus a per-node injection-rate counter.
 //! Load the file in `ui.perfetto.dev` or `chrome://tracing`.
 
 use crate::json::quote;
 use crate::registry::Telemetry;
+use crate::series::SeriesSet;
 use crate::sink::Component;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -66,7 +70,7 @@ impl Telemetry {
     /// spans keep fractional precision so back-to-back firmware handlers
     /// stay distinguishable.
     pub fn perfetto_json(&self) -> String {
-        self.render(None)
+        self.render(None, None)
     }
 
     /// Like [`Telemetry::perfetto_json`], but also renders `causal`'s
@@ -75,10 +79,22 @@ impl Telemetry {
     /// reads as one arrow chain from the sender's API entry to the
     /// receiver's EQ delivery.
     pub fn perfetto_json_with_causal(&self, causal: &CausalLog) -> String {
-        self.render(Some(causal))
+        self.render(Some(causal), None)
     }
 
-    fn render(&self, causal: Option<&CausalLog>) -> String {
+    /// Full export: spans, optional causal flows, and — when `series`
+    /// is given — native Perfetto counter tracks (`"C"` events) for
+    /// every touched link (utilization %, queue depth, HOL stall per
+    /// bucket) and each node's injection rate.
+    pub fn perfetto_json_full(
+        &self,
+        causal: Option<&CausalLog>,
+        series: Option<&SeriesSet>,
+    ) -> String {
+        self.render(causal, series)
+    }
+
+    fn render(&self, causal: Option<&CausalLog>, series: Option<&SeriesSet>) -> String {
         let mut out = String::from("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [");
         let mut first = true;
 
@@ -166,8 +182,77 @@ impl Telemetry {
             }
         }
 
+        if let Some(set) = series {
+            emit_counters(&mut out, &mut first, set);
+        }
+
         out.push_str("\n  ]\n}\n");
         out
+    }
+}
+
+/// Emit `"C"` counter events for every touched link and node in `set`.
+///
+/// Counter tracks are identified by `(pid, name)`; one sample per
+/// bucket (dense from bucket 0 to the last touched one, so dips to
+/// zero render correctly). Utilization is percent of the bucket the
+/// link spent serializing, depth is the time-averaged head-of-line
+/// queue, stall is the total HOL wait begun in the bucket.
+fn emit_counters(out: &mut String, first: &mut bool, set: &SeriesSet) {
+    let width_ps = set.config().bucket.ps().max(1) as f64;
+    let sample = |out: &mut String, first: &mut bool, node: u32, name: &str, idx, value: f64| {
+        let ts = set.bucket_start(idx).ps() as f64 / 1e6;
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"ph\":\"C\",\"name\":{},\"pid\":{node},\"ts\":{ts},\"args\":{{\"value\":{value}}}}}",
+            quote(name)
+        );
+        emit(out, first, &line);
+    };
+    for node in 0..set.node_slots() as u32 {
+        let Some(lanes) = set.node(node) else {
+            continue;
+        };
+        for port in 0..6u8 {
+            let link = lanes.link(port);
+            if link.msgs() == 0 {
+                continue;
+            }
+            let base = Component::Link(port).track_name();
+            for (idx, b) in link.buckets().iter().enumerate() {
+                let idx = idx as u32;
+                sample(
+                    out,
+                    first,
+                    node,
+                    &format!("{base} util%"),
+                    idx,
+                    b.busy_ps as f64 * 100.0 / width_ps,
+                );
+                sample(
+                    out,
+                    first,
+                    node,
+                    &format!("{base} qdepth"),
+                    idx,
+                    b.queued_ps as f64 / width_ps,
+                );
+                sample(
+                    out,
+                    first,
+                    node,
+                    &format!("{base} stall-ns"),
+                    idx,
+                    b.stall_ps as f64 / 1e3,
+                );
+            }
+        }
+        let inject = lanes.inject();
+        for (idx, b) in inject.buckets().iter().enumerate() {
+            sample(out, first, node, "inject msgs", idx as u32, b.msgs as f64);
+            sample(out, first, node, "inject bytes", idx as u32, b.bytes as f64);
+        }
     }
 }
 
@@ -269,6 +354,54 @@ mod tests {
             .filter(|e| e.get("tid").and_then(|t| t.as_f64()) == Ok(16.0))
             .count();
         assert_eq!(slices, 2);
+    }
+
+    #[test]
+    fn series_become_counter_tracks() {
+        use crate::series::{SeriesConfig, SeriesSet};
+        let t = Telemetry::enabled();
+        let mut s = SeriesSet::new(4, SeriesConfig::default());
+        s.record_inject(2, SimTime::from_us(1), 4096);
+        s.record_hop(
+            2,
+            0,
+            crate::series::Occupancy {
+                tag: 7,
+                arrival: SimTime::from_us(1),
+                start: SimTime::from_us(4),
+                done: SimTime::from_us(9),
+            },
+            8,
+        );
+        let doc = t.perfetto_json_full(None, Some(&s));
+        let v = parse(&doc).expect("parses");
+        let events = v
+            .get("traceEvents")
+            .and_then(|e| e.as_array().map(<[_]>::to_vec))
+            .expect("events array");
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str().map(String::from)) == Ok("C".into()))
+            .collect();
+        assert!(!counters.is_empty());
+        let util = counters
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(|n| n.as_str().map(String::from))
+                    == Ok("link X+ util%".into())
+            })
+            .expect("utilization counter track");
+        assert_eq!(util.get("pid").and_then(|p| p.as_f64()), Ok(2.0));
+        // Bucket 0 of a 10 µs bucket saw 5 µs of serialization -> 50 %.
+        assert_eq!(
+            util.get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(|x| x.as_f64()),
+            Ok(50.0)
+        );
+        assert!(counters.iter().any(|e| {
+            e.get("name").and_then(|n| n.as_str().map(String::from)) == Ok("inject bytes".into())
+        }));
     }
 
     #[test]

@@ -17,8 +17,8 @@ use crate::coord::{Dims, NodeId, Port};
 use crate::link::{Link, LinkConfig};
 use crate::route::RoutingTable;
 use serde::{Deserialize, Serialize};
-use xt3_sim::{CausalLog, CausalStage, SimRng, SimTime, TraceId};
-use xt3_telemetry::{Component, NullSink, TelemetrySink};
+use xt3_sim::{linkhop_info, CausalLog, CausalStage, SimRng, SimTime, TraceId};
+use xt3_telemetry::{Component, NullSink, Occupancy, SeriesConfig, SeriesSet, TelemetrySink};
 
 /// Fabric-wide configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -99,6 +99,13 @@ pub struct Fabric {
     messages_sent: u64,
     bytes_sent: u64,
     corrupted_deliveries: u64,
+    /// Time-bucketed per-link/per-node series, allocated only when
+    /// enabled (observation-only: excluded from fingerprints, recorded
+    /// from values the walk computes anyway). Owned by the fabric so
+    /// that in parallel runs — where the coordinator replays every
+    /// send on the one real fabric in exact serial order — the series
+    /// are bit-identical to serial and survive `Machine::merge`.
+    series: Option<Box<SeriesSet>>,
 }
 
 impl Fabric {
@@ -114,7 +121,26 @@ impl Fabric {
             messages_sent: 0,
             bytes_sent: 0,
             corrupted_deliveries: 0,
+            series: None,
         }
+    }
+
+    /// Start recording time-bucketed series (utilization, queue depth,
+    /// HOL stall per link; injections per node) with `cfg`'s bucket
+    /// geometry. Replaces any series recorded so far.
+    pub fn enable_series(&mut self, cfg: SeriesConfig) {
+        let nodes = self.dims().node_count() as usize;
+        self.series = Some(Box::new(SeriesSet::new(nodes, cfg)));
+    }
+
+    /// Stop recording series and drop what was recorded.
+    pub fn disable_series(&mut self) {
+        self.series = None;
+    }
+
+    /// The recorded series, if enabled.
+    pub fn series(&self) -> Option<&SeriesSet> {
+        self.series.as_deref()
     }
 
     /// The machine shape.
@@ -174,6 +200,9 @@ impl Fabric {
     ) -> DeliveredMsg<P> {
         self.messages_sent += 1;
         self.bytes_sent += msg.payload_bytes;
+        if let Some(series) = self.series.as_deref_mut() {
+            series.record_inject(msg.src.0, inject_at, msg.payload_bytes);
+        }
 
         if msg.src == msg.dst {
             let at = inject_at + self.config.loopback_latency;
@@ -190,8 +219,13 @@ impl Fabric {
         let packets = cfg.packets_for(msg.payload_bytes);
         let serialization = cfg.serialization_time(packets);
         // Split borrows: the lazy path walk borrows `routes` while the
-        // loop body mutates `links`/`rng`.
-        let (routes, links, rng) = (&self.routes, &mut self.links, &mut self.rng);
+        // loop body mutates `links`/`rng`/`series`.
+        let (routes, links, rng, mut series) = (
+            &self.routes,
+            &mut self.links,
+            &mut self.rng,
+            self.series.as_deref_mut(),
+        );
         let mut hops = 0u32;
         let recording = sink.is_enabled();
 
@@ -214,12 +248,25 @@ impl Fabric {
                 );
                 sink.sample("net.hol_stall", start.saturating_sub(head));
             }
+            if let Some(series) = series.as_deref_mut() {
+                series.record_hop(
+                    node.0,
+                    port.index() as u8,
+                    Occupancy {
+                        tag: msg.tag,
+                        arrival: head,
+                        start,
+                        done,
+                    },
+                    packets,
+                );
+            }
             causal.record_chain(
                 TraceId(msg.tag),
                 CausalStage::LinkHop,
                 start,
                 node.0,
-                start.saturating_sub(head).ps(),
+                linkhop_info(port.index() as u8, start.saturating_sub(head).ps()),
             );
             head = start + cfg.hop_latency;
             // The last byte clears this link at `done` and still needs the
@@ -414,6 +461,49 @@ mod tests {
                 d.header_at
             );
         }
+    }
+
+    #[test]
+    fn series_observe_without_perturbing_delivery() {
+        let dims = Dims::mesh(3, 1, 1);
+        let send_all = |f: &mut Fabric| {
+            let a = f.send(SimTime::ZERO, msg(0, 2, 1 << 16, 1));
+            let b = f.send(SimTime::ZERO, msg(1, 2, 64, 2));
+            (a.complete_at, b.complete_at)
+        };
+        let mut plain = Fabric::new(dims, FabricConfig::default());
+        let mut observed = Fabric::new(dims, FabricConfig::default());
+        observed.enable_series(xt3_telemetry::SeriesConfig::default());
+        assert_eq!(send_all(&mut plain), send_all(&mut observed));
+        assert!(plain.series().is_none());
+        let series = observed.series().unwrap();
+        // Both injections counted; the contended link into node 2
+        // carries both messages and saw the small one's stall.
+        assert_eq!(series.node(0).unwrap().inject().total_msgs(), 1);
+        assert_eq!(series.node(1).unwrap().inject().total_msgs(), 1);
+        let contended = series.link(1, Port::XPlus.index() as u8).unwrap();
+        assert_eq!(contended.msgs(), 2);
+        assert!(contended.total_stall() > SimTime::ZERO);
+        let hot = series.hotspots(1);
+        assert_eq!((hot[0].node, hot[0].port), (1, Port::XPlus.index() as u8));
+    }
+
+    #[test]
+    fn linkhop_records_carry_the_port() {
+        let mut f = two_node_fabric();
+        let mut causal = CausalLog::enabled();
+        let mut sink = NullSink;
+        f.send_full(SimTime::ZERO, msg(0, 1, 4096, 9), &mut sink, &mut causal);
+        let hop = causal
+            .records()
+            .iter()
+            .find(|r| r.stage == CausalStage::LinkHop)
+            .expect("hop recorded");
+        assert_eq!(
+            xt3_sim::linkhop_port(hop.info),
+            Some(Port::XPlus.index() as u8)
+        );
+        assert_eq!(xt3_sim::linkhop_stall(hop.info), 0);
     }
 
     #[test]

@@ -219,6 +219,12 @@ impl Nodes {
     pub fn iter(&self) -> std::slice::Iter<'_, Node> {
         self.inner.iter()
     }
+
+    /// Mutable access by global id; `None` when this shard doesn't own
+    /// the node.
+    pub fn get_mut(&mut self, global: usize) -> Option<&mut Node> {
+        self.inner.get_mut(global.checked_sub(self.base)?)
+    }
 }
 
 impl std::ops::Index<usize> for Nodes {
@@ -465,9 +471,15 @@ impl Machine {
         self.nodes.iter().map(|n| n.gbn_retransmissions()).sum()
     }
 
-    /// Extract an app after the run (for result harvesting).
+    /// Extract an app after the run (for result harvesting). `None` for
+    /// process-free nodes, out-of-range ids, or already-taken slots.
     pub fn take_app(&mut self, node: u32, pid: u32) -> Option<Box<dyn App>> {
-        self.nodes[node as usize].procs[pid as usize].app.take()
+        self.nodes
+            .get_mut(node as usize)?
+            .procs
+            .get_mut(pid as usize)?
+            .app
+            .take()
     }
 
     /// The cross-layer telemetry recorder (counters, gauges, spans).
@@ -502,6 +514,23 @@ impl Machine {
     /// cycles and never feeds back into scheduling.
     pub fn set_causal_enabled(&mut self, enabled: bool) {
         self.causal.set_enabled(enabled);
+    }
+
+    /// Start recording time-bucketed link/injection series on the
+    /// fabric. Digest-neutral like telemetry and causal tracing: the
+    /// series observe timings the cut-through walk computes anyway.
+    /// For a parallel run, call this *before* [`Machine::split`] — the
+    /// split moves the real fabric (series included) to the
+    /// coordinator, and [`Machine::merge`] brings it back, so the
+    /// recorded lanes survive with a deterministic (serial-order)
+    /// merge for free.
+    pub fn enable_link_series(&mut self, cfg: xt3_telemetry::SeriesConfig) {
+        self.fabric.enable_series(cfg);
+    }
+
+    /// The recorded fabric series, if enabled.
+    pub fn link_series(&self) -> Option<&xt3_telemetry::SeriesSet> {
+        self.fabric.series()
     }
 
     /// Harvest the cross-layer telemetry summary: per-node host/PPC/DMA

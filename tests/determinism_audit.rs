@@ -6,16 +6,16 @@
 use audit::replay;
 
 /// Every NetPIPE scenario, every e2e configuration, the fault-injected
-/// replay, and the RMA workloads (DHT, window-halo), built twice from
-/// identical state and stepped in lockstep: the digests must agree after
-/// every single event. On failure the checker names the scenario and the
-/// first divergent event index.
+/// replay, the RMA workloads (DHT, window-halo), and the five congestion
+/// traffic patterns, built twice from identical state and stepped in
+/// lockstep: the digests must agree after every single event. On failure
+/// the checker names the scenario and the first divergent event index.
 #[test]
 fn replay_scenarios_never_diverge() {
     let runs = replay::check_all().unwrap_or_else(|d| panic!("{d}"));
     assert_eq!(
         runs.len(),
-        18,
+        23,
         "scenario inventory changed; update this count"
     );
     for run in &runs {

@@ -1,0 +1,72 @@
+//! Property: per-link series lanes survive the parallel window driver
+//! bit-identically.
+//!
+//! The coordinator owns the one real fabric — shards only buffer send
+//! intents, which the coordinator replays in exact serial order — so
+//! the fabric-owned [`SeriesSet`] (utilization, queue depth, HOL-stall
+//! and occupancy lanes) must come back from `Machine::merge` byte for
+//! byte regardless of worker count, traffic pattern, mesh shape or
+//! message size. This is the contract that makes the congestion
+//! observatory parallel-safe: the series-derived attribution table is
+//! computed from exactly these bytes.
+
+use proptest::prelude::*;
+use xt3_node::par::run_parallel;
+use xt3_node::workloads::{traffic_machine, TrafficPattern};
+use xt3_node::Machine;
+use xt3_sim::RunOutcome;
+use xt3_telemetry::SeriesConfig;
+use xt3_topology::coord::Dims;
+
+/// Mesh shapes the property sweeps (kept ≤ 12 nodes for debug-profile
+/// runtime; non-square and 3-D shapes included deliberately — the
+/// transpose and halo patterns behave differently on them).
+const SHAPES: [(u16, u16, u16); 4] = [(2, 2, 1), (4, 1, 1), (3, 2, 2), (2, 2, 2)];
+
+fn build(pattern: TrafficPattern, dims: Dims, rounds: u32, msg: u64) -> Machine {
+    let mut m = traffic_machine(pattern, dims, rounds, msg);
+    m.enable_link_series(SeriesConfig::default());
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn series_lanes_merge_bit_identically(
+        pattern_idx in 0usize..TrafficPattern::ALL.len(),
+        shape_idx in 0usize..SHAPES.len(),
+        rounds in 1u32..3,
+        msg in prop_oneof![Just(256u64), Just(2048u64)],
+        workers in 1usize..6,
+    ) {
+        let pattern = TrafficPattern::ALL[pattern_idx];
+        let (x, y, z) = SHAPES[shape_idx];
+        let dims = Dims::mesh(x, y, z);
+
+        let mut engine = build(pattern, dims, rounds, msg).into_engine();
+        prop_assert_eq!(engine.run(), RunOutcome::Drained);
+        let digest = engine.digest();
+        let fingerprint = engine.state_fingerprint();
+        let m = engine.into_model();
+        let serial_json = m.link_series().expect("series enabled").to_json();
+
+        let par = run_parallel(build(pattern, dims, rounds, msg), workers);
+        prop_assert_eq!(par.outcome, RunOutcome::Drained);
+        prop_assert_eq!(par.digest, digest, "digest @ {} workers", workers);
+        prop_assert_eq!(
+            par.state_fingerprint, fingerprint,
+            "fingerprint @ {} workers", workers
+        );
+        let par_json = par
+            .machine
+            .link_series()
+            .expect("series survive merge")
+            .to_json();
+        prop_assert_eq!(
+            par_json, serial_json,
+            "series lanes must merge byte-identically ({} @ {} workers)",
+            pattern.name(), workers
+        );
+    }
+}
